@@ -1,0 +1,146 @@
+//! The error-predictor hardware added to the accelerator (Figure 7): a
+//! coefficient buffer fed through the config queue plus a small datapath
+//! (MAC chain for the linear model, comparator walk for the tree, one
+//! multiply-add for the EMA).
+
+use rumba_predict::{CheckerCost, ErrorEstimator};
+
+/// A checker datapath wrapping an [`ErrorEstimator`] with a hardware cycle
+/// model.
+///
+/// The cycle model is deliberately conservative: one cycle per MAC, one per
+/// comparison, and coefficient reads overlapped with compute (they stream
+/// from a dedicated circular buffer, Figure 7), plus a fixed one-cycle fire
+/// decision.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_accel::CheckerUnit;
+/// use rumba_predict::{EmaDetector, ErrorEstimator};
+///
+/// let ema = EmaDetector::new(8, 1).unwrap();
+/// let mut unit = CheckerUnit::new(Box::new(ema));
+/// let score = unit.predict(&[], &[0.5]);
+/// assert!(score >= 0.0);
+/// assert!(unit.cycles_per_prediction() >= 1);
+/// ```
+#[derive(Debug)]
+pub struct CheckerUnit {
+    estimator: Box<dyn ErrorEstimator>,
+    cycles: u64,
+    predictions: u64,
+}
+
+impl CheckerUnit {
+    /// Wraps an estimator in the hardware model.
+    #[must_use]
+    pub fn new(estimator: Box<dyn ErrorEstimator>) -> Self {
+        let cycles = cycles_of(estimator.cost());
+        Self { estimator, cycles, predictions: 0 }
+    }
+
+    /// Runs one prediction through the datapath.
+    pub fn predict(&mut self, input: &[f64], approx_output: &[f64]) -> f64 {
+        self.predictions += 1;
+        self.estimator.estimate(input, approx_output)
+    }
+
+    /// Cycles one prediction occupies the checker datapath.
+    #[must_use]
+    pub fn cycles_per_prediction(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Hardware work one prediction performs.
+    #[must_use]
+    pub fn cost(&self) -> CheckerCost {
+        self.estimator.cost()
+    }
+
+    /// The wrapped estimator's paper-facing name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.estimator.name()
+    }
+
+    /// Whether the wrapped estimator is input-based (§3.5 placement rules).
+    #[must_use]
+    pub fn is_input_based(&self) -> bool {
+        self.estimator.is_input_based()
+    }
+
+    /// Number of predictions issued since construction or the last reset.
+    #[must_use]
+    pub fn predictions(&self) -> u64 {
+        self.predictions
+    }
+
+    /// Clears online estimator state (EMA history) and the prediction
+    /// counter.
+    pub fn reset(&mut self) {
+        self.estimator.reset();
+        self.predictions = 0;
+    }
+
+    /// Direct access to the wrapped estimator.
+    #[must_use]
+    pub fn estimator(&self) -> &dyn ErrorEstimator {
+        self.estimator.as_ref()
+    }
+}
+
+fn cycles_of(cost: CheckerCost) -> u64 {
+    // +1: the fire comparison against the tuning threshold.
+    (cost.macs + cost.comparisons) as u64 + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumba_predict::{EmaDetector, LinearErrors, TreeErrors, TreeParams};
+
+    fn linear_unit(dim: usize) -> CheckerUnit {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64 / 20.0; dim]).collect();
+        let errors: Vec<f64> = (0..20).map(|i| i as f64 * 0.01).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        CheckerUnit::new(Box::new(LinearErrors::train(&refs, &errors, 1e-3).unwrap()))
+    }
+
+    #[test]
+    fn linear_cycles_scale_with_width() {
+        assert!(linear_unit(9).cycles_per_prediction() > linear_unit(2).cycles_per_prediction());
+    }
+
+    #[test]
+    fn tree_checker_is_cheap() {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let errors: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 0.5 } else { 0.0 }).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let unit = CheckerUnit::new(Box::new(
+            TreeErrors::train(&refs, &errors, &TreeParams::default()).unwrap(),
+        ));
+        // Depth ≤ 7 → at most 8 comparisons + fire = 9 cycles.
+        assert!(unit.cycles_per_prediction() <= 9);
+    }
+
+    #[test]
+    fn prediction_counter_and_reset() {
+        let ema = EmaDetector::new(4, 1).unwrap();
+        let mut unit = CheckerUnit::new(Box::new(ema));
+        let _ = unit.predict(&[], &[1.0]);
+        let _ = unit.predict(&[], &[1.0]);
+        assert_eq!(unit.predictions(), 2);
+        unit.reset();
+        assert_eq!(unit.predictions(), 0);
+        // EMA history cleared: the next sample scores zero again.
+        assert_eq!(unit.predict(&[], &[42.0]), 0.0);
+    }
+
+    #[test]
+    fn name_and_placement_pass_through() {
+        let unit = linear_unit(3);
+        assert_eq!(unit.name(), "linearErrors");
+        assert!(unit.is_input_based());
+    }
+}

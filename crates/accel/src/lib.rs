@@ -1,0 +1,47 @@
+//! Cycle-level model of the NPU-style approximate accelerator Rumba
+//! supervises, together with the hardware Rumba adds around it.
+//!
+//! The model mirrors the execution subsystem in the paper's Figure 4:
+//!
+//! - [`Npu`]: an 8-processing-element neural accelerator evaluating a
+//!   trained MLP; produces approximate outputs plus an invocation cycle
+//!   count derived from per-layer neuron scheduling,
+//! - [`queue::Fifo`]: the core↔accelerator I/O queues (config, input,
+//!   output, and the *recovery queue* carrying recovery bits),
+//! - [`CheckerUnit`]: the error-predictor hardware bolted onto the
+//!   accelerator (coefficient buffers + MAC/comparator datapath, Figure 7),
+//! - [`Placement`]: the Figure-9 design choice of running an input-based
+//!   detector before the accelerator (Configuration 1) or in parallel with
+//!   it (Configuration 2).
+//!
+//! # Examples
+//!
+//! ```
+//! use rumba_accel::{Npu, NpuParams};
+//! use rumba_nn::{Activation, NnDataset, TrainedModel, TrainParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let data = NnDataset::from_fn(1, 1, 64, |i, x, y| {
+//!     x[0] = i as f64 / 64.0;
+//!     y[0] = x[0] * 0.5;
+//! })?;
+//! let model = TrainedModel::fit(&[1, 4, 1], Activation::Sigmoid, &data,
+//!                               &TrainParams::default(), 1)?;
+//! let npu = Npu::new(model, NpuParams::default());
+//! let result = npu.invoke(&[0.5])?;
+//! assert_eq!(result.outputs.len(), 1);
+//! assert!(result.cycles > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+mod checker;
+mod config;
+mod npu;
+mod placement;
+pub mod queue;
+
+pub use checker::CheckerUnit;
+pub use config::{DeploymentImage, TransferReport};
+pub use npu::{Npu, NpuParams, NpuResult};
+pub use placement::{InvocationTiming, Placement};

@@ -1,0 +1,224 @@
+//! The neural processing unit: an 8-PE accelerator evaluating one trained
+//! MLP per invocation, with a cycle model derived from how neurons schedule
+//! onto processing elements.
+
+use rumba_nn::{NnError, TrainedModel};
+
+/// Microarchitectural parameters of the accelerator.
+///
+/// Defaults match the paper's 8-PE NPU configuration; the `ablate_pe_count`
+/// harness sweeps `pe_count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NpuParams {
+    /// Number of processing elements evaluating neurons in parallel.
+    pub pe_count: usize,
+    /// Pipeline fill/drain overhead charged per scheduled neuron wave.
+    pub wave_overhead: u64,
+    /// Queue-transfer cycles charged per word moved through the input and
+    /// output FIFOs.
+    pub io_cycles_per_word: u64,
+    /// Fixed invocation overhead (enqueue/dequeue handshake).
+    pub invocation_overhead: u64,
+    /// Datapath precision in fractional bits; `None` is the paper's
+    /// full-precision digital NPU, `Some(b)` models a limited-precision
+    /// (analog-style) implementation whose values live on a `2^-b` grid —
+    /// the "dial up the approximation" knob the `ablate_precision` harness
+    /// sweeps.
+    pub precision_bits: Option<u32>,
+}
+
+impl Default for NpuParams {
+    fn default() -> Self {
+        // Calibrated so kernel-level accelerator gains land in the paper's
+        // 2–7x band (Figure 18 quotes 6.67x for the fastest configuration):
+        // queue transfers dominate small-topology invocations.
+        Self {
+            pe_count: 8,
+            wave_overhead: 4,
+            io_cycles_per_word: 4,
+            invocation_overhead: 16,
+            precision_bits: None,
+        }
+    }
+}
+
+/// Output of one accelerator invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NpuResult {
+    /// The approximate outputs, in application units.
+    pub outputs: Vec<f64>,
+    /// Cycles the invocation occupied the accelerator.
+    pub cycles: u64,
+}
+
+/// The accelerator: a [`TrainedModel`] plus the scheduling cycle model.
+///
+/// See the [crate docs](crate) for a usage example.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Npu {
+    model: TrainedModel,
+    params: NpuParams,
+    cycles_per_invocation: u64,
+}
+
+impl Npu {
+    /// Builds an accelerator around an offline-trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.pe_count` is zero.
+    #[must_use]
+    pub fn new(model: TrainedModel, params: NpuParams) -> Self {
+        assert!(params.pe_count > 0, "accelerator needs at least one PE");
+        let cycles_per_invocation = cycle_model(&model, &params);
+        Self { model, params, cycles_per_invocation }
+    }
+
+    /// Evaluates one invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `input` does not match the configured
+    /// topology.
+    pub fn invoke(&self, input: &[f64]) -> Result<NpuResult, NnError> {
+        let outputs = match self.params.precision_bits {
+            Some(bits) => self.model.predict_quantized(input, bits)?,
+            None => self.model.predict(input)?,
+        };
+        Ok(NpuResult { outputs, cycles: self.cycles_per_invocation })
+    }
+
+    /// Cycles every invocation costs (the model is static, so this is a
+    /// constant per configuration).
+    #[must_use]
+    pub fn cycles_per_invocation(&self) -> u64 {
+        self.cycles_per_invocation
+    }
+
+    /// Total multiply-accumulates one invocation performs.
+    #[must_use]
+    pub fn macs_per_invocation(&self) -> usize {
+        self.model.mlp().mac_count()
+    }
+
+    /// The underlying trained model.
+    #[must_use]
+    pub fn model(&self) -> &TrainedModel {
+        &self.model
+    }
+
+    /// The accelerator's microarchitectural parameters.
+    #[must_use]
+    pub fn params(&self) -> &NpuParams {
+        &self.params
+    }
+
+    /// Width of the input port.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.model.mlp().input_dim()
+    }
+
+    /// Width of the output port.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.model.mlp().output_dim()
+    }
+}
+
+/// Per-invocation cycles: for each layer, neurons are issued to PEs in
+/// waves of `pe_count`; each wave streams the layer's inputs through its
+/// MAC chain (`in_dim` cycles) plus sigmoid/pipeline overhead. Input and
+/// output words pay queue transfer cost, plus a fixed handshake.
+fn cycle_model(model: &TrainedModel, params: &NpuParams) -> u64 {
+    let mlp = model.mlp();
+    let mut cycles = params.invocation_overhead;
+    cycles += params.io_cycles_per_word
+        * (mlp.input_dim() as u64 + mlp.output_dim() as u64);
+    for layer in mlp.layers() {
+        let waves = layer.out_dim().div_ceil(params.pe_count) as u64;
+        cycles += waves * (layer.in_dim() as u64 + params.wave_overhead);
+    }
+    cycles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumba_nn::{Activation, NnDataset, TrainParams, TrainedModel};
+
+    fn toy_model(topology: &[usize]) -> TrainedModel {
+        let data = NnDataset::from_fn(topology[0], *topology.last().unwrap(), 32, |i, x, y| {
+            for (j, v) in x.iter_mut().enumerate() {
+                *v = (i + j) as f64 / 32.0;
+            }
+            for v in y.iter_mut() {
+                *v = i as f64 / 32.0;
+            }
+        })
+        .unwrap();
+        let params = TrainParams { epochs: 2, ..TrainParams::default() };
+        TrainedModel::fit(topology, Activation::Sigmoid, &data, &params, 0).unwrap()
+    }
+
+    #[test]
+    fn cycle_model_matches_hand_count() {
+        // Topology 3->8->8->1 on 8 PEs:
+        //   layer 1: ceil(8/8)=1 wave * (3 + 4) = 7
+        //   layer 2: 1 wave * (8 + 4) = 12
+        //   layer 3: 1 wave * (8 + 4) = 12
+        //   io: (3 + 1) words * 4 = 16, overhead 16  → total 63.
+        let npu = Npu::new(toy_model(&[3, 8, 8, 1]), NpuParams::default());
+        assert_eq!(npu.cycles_per_invocation(), 63);
+    }
+
+    #[test]
+    fn fewer_pes_cost_more_cycles() {
+        let model = toy_model(&[4, 16, 2]);
+        let fast = Npu::new(model.clone(), NpuParams { pe_count: 16, ..NpuParams::default() });
+        let slow = Npu::new(model, NpuParams { pe_count: 2, ..NpuParams::default() });
+        assert!(slow.cycles_per_invocation() > fast.cycles_per_invocation());
+    }
+
+    #[test]
+    fn bigger_networks_cost_more_cycles() {
+        let small = Npu::new(toy_model(&[2, 2, 2]), NpuParams::default());
+        let large = Npu::new(toy_model(&[2, 32, 32, 2]), NpuParams::default());
+        assert!(large.cycles_per_invocation() > small.cycles_per_invocation());
+    }
+
+    #[test]
+    fn invoke_validates_width() {
+        let npu = Npu::new(toy_model(&[2, 2, 1]), NpuParams::default());
+        assert!(npu.invoke(&[1.0]).is_err());
+        assert!(npu.invoke(&[1.0, 2.0]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one PE")]
+    fn zero_pes_rejected() {
+        let _ = Npu::new(toy_model(&[2, 2, 1]), NpuParams { pe_count: 0, ..NpuParams::default() });
+    }
+
+    #[test]
+    fn limited_precision_perturbs_outputs() {
+        let model = toy_model(&[2, 8, 1]);
+        let exact = Npu::new(model.clone(), NpuParams::default());
+        let analog = Npu::new(
+            model,
+            NpuParams { precision_bits: Some(3), ..NpuParams::default() },
+        );
+        let x = [0.31, 0.77];
+        let a = exact.invoke(&x).unwrap().outputs[0];
+        let b = analog.invoke(&x).unwrap().outputs[0];
+        assert_ne!(a, b, "3-bit datapath must deviate from full precision");
+    }
+
+    #[test]
+    fn invocations_are_deterministic() {
+        let npu = Npu::new(toy_model(&[2, 4, 1]), NpuParams::default());
+        let a = npu.invoke(&[0.25, 0.75]).unwrap();
+        let b = npu.invoke(&[0.25, 0.75]).unwrap();
+        assert_eq!(a, b);
+    }
+}

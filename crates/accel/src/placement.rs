@@ -1,0 +1,120 @@
+//! §3.5 — relative placement of input-based error detectors (Figure 9).
+//!
+//! Configuration 1 runs the detector *before* the accelerator: a fired check
+//! skips the accelerator invocation entirely (saving its energy) at the cost
+//! of serializing detector and accelerator latency. Configuration 2 runs
+//! both in parallel: no added latency, but fired invocations waste the
+//! accelerator energy. The paper picks Configuration 2; `ablate_placement`
+//! quantifies the trade-off.
+
+use std::fmt;
+
+/// Where an input-based detector sits relative to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Placement {
+    /// Figure 9(a): detector output gates the accelerator invocation.
+    BeforeAccelerator,
+    /// Figure 9(b): detector and accelerator start together (the paper's
+    /// choice, used by default).
+    #[default]
+    Parallel,
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Placement::BeforeAccelerator => "configuration 1 (detector before accelerator)",
+            Placement::Parallel => "configuration 2 (detector parallel to accelerator)",
+        })
+    }
+}
+
+/// Latency/energy consequences of one invocation under a placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvocationTiming {
+    /// Cycles until the invocation's result (approximate or "fired, will
+    /// re-execute") is known at the accelerator boundary.
+    pub latency_cycles: u64,
+    /// Whether the accelerator actually ran (false only under
+    /// Configuration 1 with a fired check).
+    pub accelerator_ran: bool,
+}
+
+impl Placement {
+    /// Resolves the timing of one invocation.
+    ///
+    /// `fired` is whether the detector flagged this invocation;
+    /// `detector_cycles` and `accelerator_cycles` are the respective
+    /// datapath occupancies. Output-based detectors (EMA) must use
+    /// [`Placement::Parallel`] semantics with the detector serialized after
+    /// the accelerator — handled by the caller adding its cycles to
+    /// `accelerator_cycles`.
+    #[must_use]
+    pub fn timing(
+        self,
+        fired: bool,
+        detector_cycles: u64,
+        accelerator_cycles: u64,
+    ) -> InvocationTiming {
+        match self {
+            Placement::BeforeAccelerator => {
+                if fired {
+                    // Accelerator invocation is skipped entirely.
+                    InvocationTiming { latency_cycles: detector_cycles, accelerator_ran: false }
+                } else {
+                    InvocationTiming {
+                        latency_cycles: detector_cycles + accelerator_cycles,
+                        accelerator_ran: true,
+                    }
+                }
+            }
+            Placement::Parallel => InvocationTiming {
+                latency_cycles: detector_cycles.max(accelerator_cycles),
+                accelerator_ran: true,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_hides_detector_latency() {
+        let t = Placement::Parallel.timing(false, 10, 40);
+        assert_eq!(t.latency_cycles, 40);
+        assert!(t.accelerator_ran);
+    }
+
+    #[test]
+    fn parallel_never_skips_the_accelerator() {
+        let t = Placement::Parallel.timing(true, 10, 40);
+        assert!(t.accelerator_ran, "energy is wasted on fired invocations");
+        assert_eq!(t.latency_cycles, 40);
+    }
+
+    #[test]
+    fn config1_serializes_when_not_fired() {
+        let t = Placement::BeforeAccelerator.timing(false, 10, 40);
+        assert_eq!(t.latency_cycles, 50);
+        assert!(t.accelerator_ran);
+    }
+
+    #[test]
+    fn config1_skips_accelerator_when_fired() {
+        let t = Placement::BeforeAccelerator.timing(true, 10, 40);
+        assert_eq!(t.latency_cycles, 10);
+        assert!(!t.accelerator_ran, "accelerator energy saved");
+    }
+
+    #[test]
+    fn default_is_the_papers_choice() {
+        assert_eq!(Placement::default(), Placement::Parallel);
+    }
+
+    #[test]
+    fn display_is_descriptive() {
+        assert!(Placement::Parallel.to_string().contains("configuration 2"));
+    }
+}

@@ -1,0 +1,201 @@
+//! `blackscholes` — European call-option pricing (financial analysis).
+//!
+//! One invocation prices one option via the Black-Scholes closed form. The
+//! paper's Rumba variant maps a 3-input formulation to a `3->8->8->1`
+//! network; we use the scale-free parameterization (moneyness, maturity,
+//! volatility) with the risk-free rate fixed, which carries the same
+//! information as the classic 6-input PARSEC formulation once prices are
+//! normalized by the strike.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_nn::NnDataset;
+
+use crate::{dataset_from_inputs, ErrorMetric, Kernel, Split};
+
+/// Risk-free rate used by every invocation.
+const RATE: f64 = 0.03;
+const TRAIN_N: usize = 5_000;
+const TEST_N: usize = 5_000;
+
+/// The `blackscholes` benchmark kernel. See the module-level docs above.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::kernels::Blackscholes;
+/// use rumba_apps::Kernel;
+///
+/// let k = Blackscholes::new();
+/// // Deep in-the-money option with no time value ≈ intrinsic value.
+/// let price = k.compute_vec(&[1.4, 0.05, 0.1])[0];
+/// assert!((price - 0.4).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Blackscholes;
+
+impl Blackscholes {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn sample_inputs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flat = Vec::with_capacity(n * 3);
+        for _ in 0..n {
+            flat.push(rng.gen_range(0.6..1.4)); // moneyness S/K
+            flat.push(rng.gen_range(0.05..1.0)); // maturity (years)
+            flat.push(rng.gen_range(0.1..0.6)); // volatility
+        }
+        flat
+    }
+}
+
+/// Cumulative distribution function of the standard normal, via the
+/// Abramowitz & Stegun 7.1.26 rational approximation of `erf` (|error| <
+/// 1.5e-7) — the same polynomial CNDF the PARSEC source uses.
+#[must_use]
+pub fn normal_cdf(x: f64) -> f64 {
+    let t = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(t))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Prices a European call with strike 1 and the module's fixed rate.
+#[must_use]
+pub fn call_price(moneyness: f64, maturity: f64, volatility: f64) -> f64 {
+    let sqrt_t = maturity.sqrt();
+    let d1 = ((moneyness.ln()) + (RATE + 0.5 * volatility * volatility) * maturity)
+        / (volatility * sqrt_t);
+    let d2 = d1 - volatility * sqrt_t;
+    moneyness * normal_cdf(d1) - (-RATE * maturity).exp() * normal_cdf(d2)
+}
+
+impl Kernel for Blackscholes {
+    fn name(&self) -> &'static str {
+        "blackscholes"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Financial Analysis"
+    }
+
+    fn input_dim(&self) -> usize {
+        3
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, input: &[f64], output: &mut [f64]) {
+        output[0] = call_price(input[0], input[1], input[2]);
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::MeanRelativeError { eps: 0.01 }
+    }
+
+    fn rumba_topology(&self) -> Vec<usize> {
+        vec![3, 8, 8, 1]
+    }
+
+    fn npu_topology(&self) -> Vec<usize> {
+        // Paper lists 6->8->8->1 for the six-input PARSEC formulation; with
+        // the scale-free inputs the hidden structure is unchanged.
+        vec![3, 8, 8, 1]
+    }
+
+    fn generate(&self, split: Split, seed: u64) -> NnDataset {
+        let (n, salt) = match split {
+            Split::Train => (TRAIN_N, 0x1111),
+            Split::Test => (TEST_N, 0x2222),
+        };
+        dataset_from_inputs(self, &Self::sample_inputs(n, seed ^ salt))
+    }
+
+    fn cpu_cycles(&self) -> f64 {
+        // ln, exp, sqrt, two polynomial CNDFs plus arithmetic on the
+        // Table-2 out-of-order core.
+        320.0
+    }
+
+    fn kernel_fraction(&self) -> f64 {
+        0.8
+    }
+
+    fn train_data_desc(&self) -> &'static str {
+        "5K inputs"
+    }
+
+    fn test_data_desc(&self) -> &'static str {
+        "5K outputs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_cdf_symmetry_and_anchors() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        for &x in &[0.1, 0.7, 2.3] {
+            assert!((normal_cdf(x) + normal_cdf(-x) - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn price_matches_reference_value() {
+        // Standard textbook case: S=K (m=1), t=1, v=0.2, r=0.03 → C ≈ 0.0938.
+        let c = call_price(1.0, 1.0, 0.2);
+        assert!((c - 0.0938).abs() < 5e-4, "price {c}");
+    }
+
+    #[test]
+    fn price_monotone_in_volatility() {
+        let lo = call_price(1.0, 0.5, 0.1);
+        let hi = call_price(1.0, 0.5, 0.5);
+        assert!(hi > lo);
+    }
+
+    #[test]
+    fn price_bounded_by_no_arbitrage() {
+        // max(m - e^{-rt}, 0) <= C <= m
+        for &(m, t, v) in &[(0.7, 0.3, 0.2), (1.0, 1.0, 0.6), (1.3, 0.05, 0.15)] {
+            let c = call_price(m, t, v);
+            let lower = (m - (-RATE * t).exp()).max(0.0);
+            assert!(c >= lower - 1e-9 && c <= m + 1e-9, "({m},{t},{v}) -> {c}");
+        }
+    }
+
+    #[test]
+    fn dataset_sizes_match_table1() {
+        let k = Blackscholes::new();
+        assert_eq!(k.generate(Split::Train, 0).len(), 5_000);
+        assert_eq!(k.generate(Split::Test, 0).len(), 5_000);
+    }
+
+    #[test]
+    fn inputs_within_declared_ranges() {
+        let k = Blackscholes::new();
+        let d = k.generate(Split::Test, 1);
+        for (x, _) in d.iter() {
+            assert!((0.6..1.4).contains(&x[0]));
+            assert!((0.05..1.0).contains(&x[1]));
+            assert!((0.1..0.6).contains(&x[2]));
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! `fft` — twiddle-factor computation (signal processing).
+//!
+//! The NPU benchmark suite approximates the twiddle-factor evaluation inside
+//! a radix-2 FFT: given a normalized fraction `t` of the transform size, one
+//! invocation produces `(cos 2πt, sin 2πt)`. The surrounding butterfly
+//! arithmetic stays exact on the host.
+//!
+//! This module also carries an exact radix-2 FFT built on the kernel
+//! ([`fft_radix2`]) so integration tests can run a whole transform with
+//! approximate twiddles.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_nn::NnDataset;
+
+use crate::{dataset_from_inputs, ErrorMetric, Kernel, Split};
+
+const TRAIN_N: usize = 5_000;
+const TEST_N: usize = 5_000;
+
+/// The `fft` benchmark kernel. See the module-level docs above.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::kernels::Fft;
+/// use rumba_apps::Kernel;
+///
+/// let out = Fft::new().compute_vec(&[0.25]);
+/// assert!(out[0].abs() < 1e-12);        // cos(π/2)
+/// assert!((out[1] - 1.0).abs() < 1e-12); // sin(π/2)
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Fft;
+
+impl Fft {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn sample_inputs(n: usize, seed: u64) -> Vec<f64> {
+        // Quarter-wave range: optimized FFTs evaluate twiddles only on
+        // [0, 1/4) and recover the rest by symmetry, so that is the domain
+        // the accelerated kernel actually sees.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0.0..0.25)).collect()
+    }
+}
+
+impl Kernel for Fft {
+    fn name(&self) -> &'static str {
+        "fft"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Signal Processing"
+    }
+
+    fn input_dim(&self) -> usize {
+        1
+    }
+
+    fn output_dim(&self) -> usize {
+        2
+    }
+
+    fn compute(&self, input: &[f64], output: &mut [f64]) {
+        let theta = 2.0 * std::f64::consts::PI * input[0];
+        output[0] = theta.cos();
+        output[1] = theta.sin();
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        // cos(2π/4 · t) reaches 0 at the top of the quarter-wave range; the
+        // guard keeps the relative metric finite there.
+        ErrorMetric::MeanRelativeError { eps: 0.1 }
+    }
+
+    fn rumba_topology(&self) -> Vec<usize> {
+        vec![1, 1, 2]
+    }
+
+    fn npu_topology(&self) -> Vec<usize> {
+        vec![1, 4, 4, 2]
+    }
+
+    fn generate(&self, split: Split, seed: u64) -> NnDataset {
+        let (n, salt) = match split {
+            Split::Train => (TRAIN_N, 0x3333),
+            Split::Test => (TEST_N, 0x4444),
+        };
+        dataset_from_inputs(self, &Self::sample_inputs(n, seed ^ salt))
+    }
+
+    fn cpu_cycles(&self) -> f64 {
+        // sin + cos on the x86-64 core (fsincos-class latency).
+        180.0
+    }
+
+    fn kernel_fraction(&self) -> f64 {
+        0.75
+    }
+
+    fn train_data_desc(&self) -> &'static str {
+        "5K random fp numbers"
+    }
+
+    fn test_data_desc(&self) -> &'static str {
+        "5K random fp numbers"
+    }
+}
+
+/// Complex number as a `(re, im)` pair.
+pub type Complex = (f64, f64);
+
+/// In-place radix-2 decimation-in-time FFT using a caller-supplied twiddle
+/// evaluator `twiddle(t) -> (cos 2πt, sin 2πt)`, so the approximate kernel
+/// can be substituted for the exact one.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two.
+pub fn fft_radix2(data: &mut [Complex], mut twiddle: impl FnMut(f64) -> (f64, f64)) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "fft length must be a power of two");
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+
+    let mut len = 2;
+    while len <= n {
+        let half = len / 2;
+        for start in (0..n).step_by(len) {
+            for k in 0..half {
+                // Negative exponent: e^{-2πik/len}.
+                let (c, s) = twiddle(k as f64 / len as f64);
+                let w = (c, -s);
+                let (ar, ai) = data[start + k];
+                let (br, bi) = data[start + k + half];
+                let tr = br * w.0 - bi * w.1;
+                let ti = br * w.1 + bi * w.0;
+                data[start + k] = (ar + tr, ai + ti);
+                data[start + k + half] = (ar - tr, ai - ti);
+            }
+        }
+        len *= 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twiddles_lie_on_unit_circle() {
+        let k = Fft::new();
+        for i in 0..64 {
+            let out = k.compute_vec(&[i as f64 / 64.0]);
+            let r = out[0] * out[0] + out[1] * out[1];
+            assert!((r - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        let k = Fft::new();
+        fft_radix2(&mut data, |t| {
+            let out = k.compute_vec(&[t]);
+            (out[0], out[1])
+        });
+        for (re, im) in data {
+            assert!((re - 1.0).abs() < 1e-12 && im.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_of_single_tone_peaks_at_bin() {
+        let n = 32;
+        let freq = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * freq as f64 * i as f64 / n as f64;
+                (theta.cos(), 0.0)
+            })
+            .collect();
+        let k = Fft::new();
+        fft_radix2(&mut data, |t| {
+            let out = k.compute_vec(&[t]);
+            (out[0], out[1])
+        });
+        let mags: Vec<f64> = data.iter().map(|(r, i)| (r * r + i * i).sqrt()).collect();
+        let peak = mags.iter().cloned().fold(0.0, f64::max);
+        assert!((mags[freq] - peak).abs() < 1e-9);
+        assert!((mags[freq] - n as f64 / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut data = vec![(0.0, 0.0); 6];
+        fft_radix2(&mut data, |t| (t.cos(), t.sin()));
+    }
+
+    #[test]
+    fn dataset_sizes_match_table1() {
+        let k = Fft::new();
+        assert_eq!(k.generate(Split::Train, 0).len(), 5_000);
+        assert_eq!(k.generate(Split::Test, 0).len(), 5_000);
+    }
+}

@@ -1,0 +1,135 @@
+//! `gaussian` — the didactic kernel behind Figure 5 and the EVP/EEP study.
+//!
+//! One invocation evaluates a Gaussian bell curve at a point `x ∈ [-16, 16]`
+//! (the paper's Figure 5 x-range). A deliberately tiny network approximates
+//! it, concentrating errors near the curve's shoulders — which is what makes
+//! the *errors* easier to predict than the output itself (§3.2).
+//!
+//! Not part of the Table-1 suite; resolved via
+//! [`crate::kernel_by_name`]`("gaussian")`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_nn::NnDataset;
+
+use crate::{dataset_from_inputs, ErrorMetric, Kernel, Split};
+
+const TRAIN_N: usize = 2_000;
+const TEST_N: usize = 2_000;
+/// Standard deviation of the bell curve.
+pub const SIGMA: f64 = 5.0;
+
+/// The `gaussian` didactic kernel. See the module-level docs above.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::kernels::Gaussian;
+/// use rumba_apps::Kernel;
+///
+/// let k = Gaussian::new();
+/// assert!((k.compute_vec(&[0.0])[0] - 1.0).abs() < 1e-12);
+/// assert!(k.compute_vec(&[16.0])[0] < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Gaussian;
+
+impl Gaussian {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn sample_inputs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(-16.0..16.0)).collect()
+    }
+}
+
+impl Kernel for Gaussian {
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Didactic"
+    }
+
+    fn input_dim(&self) -> usize {
+        1
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, input: &[f64], output: &mut [f64]) {
+        output[0] = (-input[0] * input[0] / (2.0 * SIGMA * SIGMA)).exp();
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::MeanAbsoluteError { scale: 1.0 }
+    }
+
+    fn rumba_topology(&self) -> Vec<usize> {
+        vec![1, 2, 1]
+    }
+
+    fn npu_topology(&self) -> Vec<usize> {
+        vec![1, 2, 1]
+    }
+
+    fn generate(&self, split: Split, seed: u64) -> NnDataset {
+        let (n, salt) = match split {
+            Split::Train => (TRAIN_N, 0xf0f0),
+            Split::Test => (TEST_N, 0x0f0f),
+        };
+        dataset_from_inputs(self, &Self::sample_inputs(n, seed ^ salt))
+    }
+
+    fn cpu_cycles(&self) -> f64 {
+        90.0
+    }
+
+    fn kernel_fraction(&self) -> f64 {
+        0.9
+    }
+
+    fn train_data_desc(&self) -> &'static str {
+        "2K points on [-16, 16]"
+    }
+
+    fn test_data_desc(&self) -> &'static str {
+        "2K points on [-16, 16]"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bell_curve_shape() {
+        let k = Gaussian::new();
+        assert!(k.compute_vec(&[0.0])[0] > k.compute_vec(&[5.0])[0]);
+        assert!(k.compute_vec(&[5.0])[0] > k.compute_vec(&[10.0])[0]);
+    }
+
+    #[test]
+    fn symmetric_about_zero() {
+        let k = Gaussian::new();
+        for &x in &[1.0, 4.2, 9.9] {
+            assert!((k.compute_vec(&[x])[0] - k.compute_vec(&[-x])[0]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn outputs_in_unit_interval() {
+        let k = Gaussian::new();
+        let d = k.generate(Split::Test, 0);
+        for (_, y) in d.iter() {
+            assert!((0.0..=1.0).contains(&y[0]));
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! `inversek2j` — inverse kinematics for a 2-joint planar arm (robotics).
+//!
+//! One invocation maps an end-effector position `(x, y)` to the two joint
+//! angles `(θ1, θ2)` of an elbow-down two-link arm. The closed form involves
+//! `acos`/`atan2` and is numerically ill-conditioned near the workspace
+//! boundary — exactly where the neural approximation's large errors
+//! concentrate, which makes this benchmark a showcase for input-based error
+//! prediction.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_nn::NnDataset;
+
+use crate::{dataset_from_inputs, ErrorMetric, Kernel, Split};
+
+/// Upper-arm length.
+pub const L1: f64 = 0.5;
+/// Forearm length.
+pub const L2: f64 = 0.5;
+const TRAIN_N: usize = 10_000;
+const TEST_N: usize = 10_000;
+
+/// The `inversek2j` benchmark kernel. See the module-level docs above.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::kernels::{forward_kinematics, InverseK2j};
+/// use rumba_apps::Kernel;
+///
+/// let k = InverseK2j::new();
+/// let angles = k.compute_vec(&[0.3, 0.4]);
+/// let (x, y) = forward_kinematics(angles[0], angles[1]);
+/// assert!((x - 0.3).abs() < 1e-9 && (y - 0.4).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InverseK2j;
+
+impl InverseK2j {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Samples reachable targets by drawing joint angles and running the
+    /// forward model, so every generated input has an exact solution.
+    fn sample_inputs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flat = Vec::with_capacity(n * 2);
+        for _ in 0..n {
+            // Front-quadrant workspace: the benchmark drives the arm over
+            // targets ahead of its base (θ1 in the first quadrant), the
+            // usual operating envelope for a tabletop 2-link arm. This also
+            // keeps the atan2 branch cut out of the learned domain; the
+            // remaining hard spots are the workspace boundaries (θ2 → 0 or
+            // π), which is where the approximation errors concentrate.
+            let t1 = rng.gen_range(0.1..std::f64::consts::FRAC_PI_2);
+            // Elbow-down convention: θ2 in (0, π). Keep slightly inside the
+            // open interval so acos never sees |argument| > 1 from rounding.
+            let t2 = rng.gen_range(0.05..std::f64::consts::PI - 0.05);
+            let (x, y) = forward_kinematics(t1, t2);
+            flat.push(x);
+            flat.push(y);
+        }
+        flat
+    }
+}
+
+/// Forward kinematics of the two-link arm: joint angles to end-effector
+/// position.
+#[must_use]
+pub fn forward_kinematics(theta1: f64, theta2: f64) -> (f64, f64) {
+    let x = L1 * theta1.cos() + L2 * (theta1 + theta2).cos();
+    let y = L1 * theta1.sin() + L2 * (theta1 + theta2).sin();
+    (x, y)
+}
+
+/// Closed-form elbow-down inverse kinematics.
+///
+/// Positions outside the reachable annulus are clamped to its boundary
+/// (matching the benchmark's behaviour on unreachable inputs).
+#[must_use]
+pub fn inverse_kinematics(x: f64, y: f64) -> (f64, f64) {
+    let d2 = x * x + y * y;
+    let cos_t2 = ((d2 - L1 * L1 - L2 * L2) / (2.0 * L1 * L2)).clamp(-1.0, 1.0);
+    let theta2 = cos_t2.acos();
+    let k1 = L1 + L2 * theta2.cos();
+    let k2 = L2 * theta2.sin();
+    let theta1 = y.atan2(x) - k2.atan2(k1);
+    (theta1, theta2)
+}
+
+impl Kernel for InverseK2j {
+    fn name(&self) -> &'static str {
+        "inversek2j"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Robotics"
+    }
+
+    fn input_dim(&self) -> usize {
+        2
+    }
+
+    fn output_dim(&self) -> usize {
+        2
+    }
+
+    fn compute(&self, input: &[f64], output: &mut [f64]) {
+        let (t1, t2) = inverse_kinematics(input[0], input[1]);
+        output[0] = t1;
+        output[1] = t2;
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        // θ1 legitimately crosses zero; a guard of ~0.5 rad keeps the
+        // relative metric from exploding on small absolute angle errors.
+        ErrorMetric::MeanRelativeError { eps: 0.5 }
+    }
+
+    fn rumba_topology(&self) -> Vec<usize> {
+        vec![2, 2, 2]
+    }
+
+    fn npu_topology(&self) -> Vec<usize> {
+        vec![2, 8, 2]
+    }
+
+    fn generate(&self, split: Split, seed: u64) -> NnDataset {
+        let (n, salt) = match split {
+            Split::Train => (TRAIN_N, 0x5555),
+            Split::Test => (TEST_N, 0x6666),
+        };
+        dataset_from_inputs(self, &Self::sample_inputs(n, seed ^ salt))
+    }
+
+    fn cpu_cycles(&self) -> f64 {
+        // acos, two atan2, sin/cos, division chain.
+        300.0
+    }
+
+    fn kernel_fraction(&self) -> f64 {
+        0.97
+    }
+
+    fn train_data_desc(&self) -> &'static str {
+        "10K random (x, y) points"
+    }
+
+    fn test_data_desc(&self) -> &'static str {
+        "10K random (x, y) points"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_then_forward_round_trips() {
+        let k = InverseK2j::new();
+        let data = k.generate(Split::Test, 4);
+        for i in (0..data.len()).step_by(97) {
+            let x = data.input(i);
+            let angles = data.target(i);
+            let (fx, fy) = forward_kinematics(angles[0], angles[1]);
+            assert!((fx - x[0]).abs() < 1e-6, "x: {fx} vs {}", x[0]);
+            assert!((fy - x[1]).abs() < 1e-6, "y: {fy} vs {}", x[1]);
+        }
+    }
+
+    #[test]
+    fn elbow_down_angles_in_range() {
+        let k = InverseK2j::new();
+        let data = k.generate(Split::Train, 1);
+        for (_, angles) in data.iter() {
+            assert!((0.0..=std::f64::consts::PI).contains(&angles[1]));
+        }
+    }
+
+    #[test]
+    fn unreachable_target_is_clamped_not_nan() {
+        let (t1, t2) = inverse_kinematics(5.0, 5.0);
+        assert!(t1.is_finite() && t2.is_finite());
+        assert!((t2 - 0.0).abs() < 1e-9, "fully stretched arm");
+    }
+
+    #[test]
+    fn straight_reach_along_x() {
+        // Arm stretched along +x: target (L1+L2, 0) → θ1 = 0, θ2 = 0.
+        let (t1, t2) = inverse_kinematics(L1 + L2, 0.0);
+        assert!(t1.abs() < 1e-9 && t2.abs() < 1e-9);
+    }
+
+    #[test]
+    fn dataset_sizes_match_table1() {
+        let k = InverseK2j::new();
+        assert_eq!(k.generate(Split::Train, 0).len(), 10_000);
+        assert_eq!(k.generate(Split::Test, 0).len(), 10_000);
+    }
+
+    #[test]
+    fn generated_targets_are_reachable() {
+        let k = InverseK2j::new();
+        let data = k.generate(Split::Train, 2);
+        for (x, _) in data.iter() {
+            let r = (x[0] * x[0] + x[1] * x[1]).sqrt();
+            assert!(r <= L1 + L2 + 1e-9);
+            assert!(r >= (L1 - L2).abs() - 1e-9);
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! `jmeint` — triangle-triangle intersection (3-D gaming).
+//!
+//! One invocation tests whether two 3-D triangles (18 coordinates)
+//! intersect, using Möller's interval-overlap method — the same jME engine
+//! routine the NPU suite approximates. The network emits two scores and the
+//! class is their arg-max; the metric counts mismatches.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_nn::NnDataset;
+
+use crate::{dataset_from_inputs, ErrorMetric, Kernel, Split};
+
+const TRAIN_N: usize = 10_000;
+const TEST_N: usize = 10_000;
+const EPS: f64 = 1e-12;
+
+type Vec3 = [f64; 3];
+
+/// The `jmeint` benchmark kernel. See the module-level docs above.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::kernels::Jmeint;
+/// use rumba_apps::Kernel;
+///
+/// // Two triangles crossing at the origin.
+/// let input = [
+///     -1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0, // T1 in z=0 plane
+///     0.0, 0.5, -1.0, 0.0, 0.5, 1.0, 0.0, -1.0, 0.0, // T2 pierces it
+/// ];
+/// let out = Jmeint::new().compute_vec(&input);
+/// assert!(out[0] > out[1], "triangles intersect");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Jmeint;
+
+impl Jmeint {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Samples triangle pairs with the second triangle placed at a random
+    /// distance from the first so intersecting and disjoint pairs are both
+    /// well represented.
+    fn sample_inputs(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut flat = Vec::with_capacity(n * 18);
+        for _ in 0..n {
+            let t1: [f64; 9] = std::array::from_fn(|_| rng.gen_range(0.0..1.0));
+            let mut t2 = [0.0f64; 9];
+            if rng.gen::<f64>() < 0.55 {
+                // Nearby pair: T2 vertices scatter around T1's centroid, so
+                // crossings are common.
+                let cx = (t1[0] + t1[3] + t1[6]) / 3.0;
+                let cy = (t1[1] + t1[4] + t1[7]) / 3.0;
+                let cz = (t1[2] + t1[5] + t1[8]) / 3.0;
+                let center = [cx, cy, cz];
+                for v in 0..3 {
+                    for c in 0..3 {
+                        t2[v * 3 + c] = center[c] + rng.gen_range(-0.6..0.6);
+                    }
+                }
+            } else {
+                // Independent pair shifted by a random offset: mostly apart.
+                let spread: f64 = rng.gen_range(0.05..1.2);
+                let offset: Vec3 = std::array::from_fn(|_| rng.gen_range(-spread..spread));
+                for v in 0..3 {
+                    for c in 0..3 {
+                        t2[v * 3 + c] = rng.gen_range(0.0..1.0) * 0.8 + offset[c];
+                    }
+                }
+            }
+            flat.extend_from_slice(&t1);
+            flat.extend_from_slice(&t2);
+        }
+        flat
+    }
+}
+
+fn sub(a: Vec3, b: Vec3) -> Vec3 {
+    [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+}
+
+fn cross(a: Vec3, b: Vec3) -> Vec3 {
+    [a[1] * b[2] - a[2] * b[1], a[2] * b[0] - a[0] * b[2], a[0] * b[1] - a[1] * b[0]]
+}
+
+fn dot(a: Vec3, b: Vec3) -> f64 {
+    a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+}
+
+/// Computes the parametric interval of triangle `(v0, v1, v2)` along the
+/// intersection line, given projections `p` and signed plane distances `d`.
+/// Returns `None` when the vertex distances do not straddle the plane in the
+/// expected configuration (handled by the caller's sign analysis).
+fn interval(p: Vec3, d: Vec3) -> Option<(f64, f64)> {
+    // Rotate vertices so v0 is the lone vertex on its side of the plane.
+    let (pa, pb, pc, da, db, dc) = if d[0] * d[1] > 0.0 {
+        (p[2], p[0], p[1], d[2], d[0], d[1])
+    } else if d[0] * d[2] > 0.0 {
+        (p[1], p[0], p[2], d[1], d[0], d[2])
+    } else if d[1] * d[2] > 0.0 || d[0] != 0.0 {
+        (p[0], p[1], p[2], d[0], d[1], d[2])
+    } else if d[1] != 0.0 {
+        (p[1], p[0], p[2], d[1], d[0], d[2])
+    } else if d[2] != 0.0 {
+        (p[2], p[0], p[1], d[2], d[0], d[1])
+    } else {
+        return None; // coplanar
+    };
+    let t1 = pa + (pb - pa) * da / (da - db);
+    let t2 = pa + (pc - pa) * da / (da - dc);
+    Some((t1.min(t2), t1.max(t2)))
+}
+
+/// Möller's triangle-triangle intersection test.
+///
+/// Coplanar pairs are resolved with a 2-D edge/containment test in the
+/// triangles' dominant plane.
+#[must_use]
+pub fn tri_tri_intersect(t1: &[f64; 9], t2: &[f64; 9]) -> bool {
+    let v: [Vec3; 3] = [
+        [t1[0], t1[1], t1[2]],
+        [t1[3], t1[4], t1[5]],
+        [t1[6], t1[7], t1[8]],
+    ];
+    let u: [Vec3; 3] = [
+        [t2[0], t2[1], t2[2]],
+        [t2[3], t2[4], t2[5]],
+        [t2[6], t2[7], t2[8]],
+    ];
+
+    // Plane of T2: n2 · x + d2 = 0.
+    let n2 = cross(sub(u[1], u[0]), sub(u[2], u[0]));
+    let d2 = -dot(n2, u[0]);
+    let mut dv: Vec3 = std::array::from_fn(|i| dot(n2, v[i]) + d2);
+    for d in &mut dv {
+        if d.abs() < EPS {
+            *d = 0.0;
+        }
+    }
+    if dv[0] * dv[1] > 0.0 && dv[0] * dv[2] > 0.0 {
+        return false; // T1 entirely on one side of T2's plane
+    }
+
+    // Plane of T1.
+    let n1 = cross(sub(v[1], v[0]), sub(v[2], v[0]));
+    let d1 = -dot(n1, v[0]);
+    let mut du: Vec3 = std::array::from_fn(|i| dot(n1, u[i]) + d1);
+    for d in &mut du {
+        if d.abs() < EPS {
+            *d = 0.0;
+        }
+    }
+    if du[0] * du[1] > 0.0 && du[0] * du[2] > 0.0 {
+        return false;
+    }
+
+    // Direction of the intersection line; project onto its largest axis.
+    let dir = cross(n1, n2);
+    let axis = {
+        let a = [dir[0].abs(), dir[1].abs(), dir[2].abs()];
+        if a[0] >= a[1] && a[0] >= a[2] {
+            0
+        } else if a[1] >= a[2] {
+            1
+        } else {
+            2
+        }
+    };
+
+    if dv == [0.0; 3] && du == [0.0; 3] {
+        return coplanar_intersect(&v, &u, n1);
+    }
+
+    let pv: Vec3 = std::array::from_fn(|i| v[i][axis]);
+    let pu: Vec3 = std::array::from_fn(|i| u[i][axis]);
+    let (Some((a1, b1)), Some((a2, b2))) = (interval(pv, dv), interval(pu, du)) else {
+        return coplanar_intersect(&v, &u, n1);
+    };
+    a1.max(a2) <= b1.min(b2)
+}
+
+/// 2-D overlap test for coplanar triangles, projected onto the plane's
+/// dominant axis pair.
+fn coplanar_intersect(v: &[Vec3; 3], u: &[Vec3; 3], n: Vec3) -> bool {
+    let (i, j) = {
+        let a = [n[0].abs(), n[1].abs(), n[2].abs()];
+        if a[0] >= a[1] && a[0] >= a[2] {
+            (1, 2)
+        } else if a[1] >= a[2] {
+            (0, 2)
+        } else {
+            (0, 1)
+        }
+    };
+    let p1: [[f64; 2]; 3] = std::array::from_fn(|k| [v[k][i], v[k][j]]);
+    let p2: [[f64; 2]; 3] = std::array::from_fn(|k| [u[k][i], u[k][j]]);
+
+    for a in 0..3 {
+        for b in 0..3 {
+            if segments_intersect(p1[a], p1[(a + 1) % 3], p2[b], p2[(b + 1) % 3]) {
+                return true;
+            }
+        }
+    }
+    point_in_tri(p1[0], &p2) || point_in_tri(p2[0], &p1)
+}
+
+fn orient(a: [f64; 2], b: [f64; 2], c: [f64; 2]) -> f64 {
+    (b[0] - a[0]) * (c[1] - a[1]) - (b[1] - a[1]) * (c[0] - a[0])
+}
+
+fn segments_intersect(a: [f64; 2], b: [f64; 2], c: [f64; 2], d: [f64; 2]) -> bool {
+    let d1 = orient(c, d, a);
+    let d2 = orient(c, d, b);
+    let d3 = orient(a, b, c);
+    let d4 = orient(a, b, d);
+    d1 * d2 <= 0.0 && d3 * d4 <= 0.0
+}
+
+fn point_in_tri(p: [f64; 2], t: &[[f64; 2]; 3]) -> bool {
+    let s1 = orient(t[0], t[1], p);
+    let s2 = orient(t[1], t[2], p);
+    let s3 = orient(t[2], t[0], p);
+    (s1 >= 0.0 && s2 >= 0.0 && s3 >= 0.0) || (s1 <= 0.0 && s2 <= 0.0 && s3 <= 0.0)
+}
+
+impl Kernel for Jmeint {
+    fn name(&self) -> &'static str {
+        "jmeint"
+    }
+
+    fn domain(&self) -> &'static str {
+        "3D Gaming"
+    }
+
+    fn input_dim(&self) -> usize {
+        18
+    }
+
+    fn output_dim(&self) -> usize {
+        2
+    }
+
+    fn compute(&self, input: &[f64], output: &mut [f64]) {
+        let t1: [f64; 9] = input[0..9].try_into().expect("checked width");
+        let t2: [f64; 9] = input[9..18].try_into().expect("checked width");
+        let hit = tri_tri_intersect(&t1, &t2);
+        // One-hot class scores: index 0 = intersecting.
+        output[0] = if hit { 1.0 } else { 0.0 };
+        output[1] = if hit { 0.0 } else { 1.0 };
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::MissRate
+    }
+
+    fn rumba_topology(&self) -> Vec<usize> {
+        vec![18, 32, 2, 2]
+    }
+
+    fn npu_topology(&self) -> Vec<usize> {
+        vec![18, 32, 8, 2]
+    }
+
+    fn generate(&self, split: Split, seed: u64) -> NnDataset {
+        let (n, salt) = match split {
+            Split::Train => (TRAIN_N, 0x7777),
+            Split::Test => (TEST_N, 0x8888),
+        };
+        dataset_from_inputs(self, &Self::sample_inputs(n, seed ^ salt))
+    }
+
+    fn cpu_cycles(&self) -> f64 {
+        // Two plane tests, cross/dot products, interval arithmetic, branches.
+        1_450.0
+    }
+
+    fn kernel_fraction(&self) -> f64 {
+        0.9
+    }
+
+    fn train_data_desc(&self) -> &'static str {
+        "10K pairs of 3D triangles"
+    }
+
+    fn test_data_desc(&self) -> &'static str {
+        "10K pairs of 3D triangles"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T_XY: [f64; 9] = [0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0];
+
+    #[test]
+    fn piercing_triangles_intersect() {
+        let t2 = [0.2, 0.2, -0.5, 0.2, 0.2, 0.5, 0.8, 0.8, 0.0];
+        assert!(tri_tri_intersect(&T_XY, &t2));
+    }
+
+    #[test]
+    fn far_triangles_do_not_intersect() {
+        let t2 = [5.0, 5.0, 5.0, 6.0, 5.0, 5.0, 5.0, 6.0, 5.0];
+        assert!(!tri_tri_intersect(&T_XY, &t2));
+    }
+
+    #[test]
+    fn parallel_offset_planes_do_not_intersect() {
+        let t2 = [0.0, 0.0, 0.1, 1.0, 0.0, 0.1, 0.0, 1.0, 0.1];
+        assert!(!tri_tri_intersect(&T_XY, &t2));
+    }
+
+    #[test]
+    fn coplanar_overlapping_intersect() {
+        let t2 = [0.1, 0.1, 0.0, 0.9, 0.1, 0.0, 0.1, 0.9, 0.0];
+        assert!(tri_tri_intersect(&T_XY, &t2));
+    }
+
+    #[test]
+    fn coplanar_disjoint_do_not_intersect() {
+        let t2 = [2.0, 2.0, 0.0, 3.0, 2.0, 0.0, 2.0, 3.0, 0.0];
+        assert!(!tri_tri_intersect(&T_XY, &t2));
+    }
+
+    #[test]
+    fn coplanar_containment_intersects() {
+        let t2 = [0.2, 0.2, 0.0, 0.3, 0.2, 0.0, 0.2, 0.3, 0.0];
+        assert!(tri_tri_intersect(&T_XY, &t2));
+    }
+
+    #[test]
+    fn intersection_is_symmetric() {
+        let k = Jmeint::new();
+        let data = k.generate(Split::Train, 3);
+        for i in (0..data.len()).step_by(211) {
+            let x = data.input(i);
+            let t1: [f64; 9] = x[0..9].try_into().unwrap();
+            let t2: [f64; 9] = x[9..18].try_into().unwrap();
+            assert_eq!(tri_tri_intersect(&t1, &t2), tri_tri_intersect(&t2, &t1), "pair {i}");
+        }
+    }
+
+    #[test]
+    fn touching_at_shared_vertex_counts_as_intersecting() {
+        let t2 = [1.0, 0.0, 0.0, 2.0, 0.0, 1.0, 2.0, 1.0, 0.5];
+        assert!(tri_tri_intersect(&T_XY, &t2));
+    }
+
+    #[test]
+    fn class_balance_is_reasonable() {
+        // Both classes must be well represented for the NN to learn.
+        let k = Jmeint::new();
+        let data = k.generate(Split::Train, 0);
+        let hits = (0..data.len()).filter(|&i| data.target(i)[0] == 1.0).count();
+        let rate = hits as f64 / data.len() as f64;
+        assert!((0.2..0.8).contains(&rate), "intersection rate {rate}");
+    }
+
+    #[test]
+    fn dataset_sizes_match_table1() {
+        let k = Jmeint::new();
+        assert_eq!(k.generate(Split::Train, 0).len(), 10_000);
+        assert_eq!(k.generate(Split::Test, 0).len(), 10_000);
+    }
+}

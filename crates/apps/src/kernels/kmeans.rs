@@ -1,0 +1,185 @@
+//! `kmeans` — pixel-to-centroid distance (machine learning).
+//!
+//! One invocation computes the Euclidean distance between an RGB pixel and
+//! a cluster centroid (six inputs, one output) — the hot inner loop of
+//! k-means image clustering. As in the paper (and the NPU work), the kernel
+//! is tiny, so offloading it to the accelerator yields little benefit and
+//! can even cost energy; this benchmark exists to show that boundary.
+//!
+//! Datasets are (pixel, centroid) pairs drawn from synthetic images; the
+//! paper's full 220×200 / 512×512 pixel streams are subsampled to keep the
+//! harness fast, which leaves the error statistics unchanged (documented in
+//! DESIGN.md).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_nn::NnDataset;
+
+use crate::image::Image;
+use crate::{dataset_from_inputs, ErrorMetric, Kernel, Split};
+
+const TRAIN_N: usize = 6_000;
+const TEST_N: usize = 16_000;
+/// Number of centroids the clustering pass uses.
+pub const K: usize = 6;
+
+/// The `kmeans` benchmark kernel. See the module-level docs above.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::kernels::Kmeans;
+/// use rumba_apps::Kernel;
+///
+/// let d = Kmeans::new().compute_vec(&[0.0, 0.0, 0.0, 1.0, 0.0, 0.0])[0];
+/// assert!((d - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Kmeans;
+
+impl Kmeans {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    /// Builds (pixel, centroid) pairs from a synthetic image: the pixel's
+    /// three channels are derived from the grayscale intensity plus two
+    /// phase-shifted copies, and centroids are fixed per split.
+    fn sample_inputs(n: usize, image: &Image, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let centroids: Vec<[f64; 3]> =
+            (0..K).map(|_| std::array::from_fn(|_| rng.gen_range(0.0..1.0))).collect();
+        let pixels = image.pixels();
+        let mut flat = Vec::with_capacity(n * 6);
+        for i in 0..n {
+            let p = pixels[(i * 7919) % pixels.len()];
+            // Synthesize RGB from intensity with deterministic chroma.
+            let r = p;
+            let g = (p * 0.8 + 0.1).clamp(0.0, 1.0);
+            let b = (1.0 - p * 0.9).clamp(0.0, 1.0);
+            let c = centroids[i % K];
+            flat.extend_from_slice(&[r, g, b, c[0], c[1], c[2]]);
+        }
+        flat
+    }
+}
+
+/// Euclidean distance between two RGB points.
+#[must_use]
+pub fn rgb_distance(p: [f64; 3], c: [f64; 3]) -> f64 {
+    let dx = p[0] - c[0];
+    let dy = p[1] - c[1];
+    let dz = p[2] - c[2];
+    (dx * dx + dy * dy + dz * dz).sqrt()
+}
+
+impl Kernel for Kmeans {
+    fn name(&self) -> &'static str {
+        "kmeans"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Machine Learning"
+    }
+
+    fn input_dim(&self) -> usize {
+        6
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, input: &[f64], output: &mut [f64]) {
+        output[0] =
+            rgb_distance([input[0], input[1], input[2]], [input[3], input[4], input[5]]);
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        // Distances span [0, √3]; normalize output diff to that range.
+        ErrorMetric::MeanAbsoluteError { scale: 3f64.sqrt() }
+    }
+
+    fn rumba_topology(&self) -> Vec<usize> {
+        vec![6, 4, 4, 1]
+    }
+
+    fn npu_topology(&self) -> Vec<usize> {
+        vec![6, 8, 4, 1]
+    }
+
+    fn generate(&self, split: Split, seed: u64) -> NnDataset {
+        let (n, image, salt) = match split {
+            Split::Train => (TRAIN_N, Image::synthetic(220, 200, seed ^ 0xbbbb), 0xbbbb),
+            Split::Test => (TEST_N, Image::synthetic(512, 512, seed ^ 0xcccc), 0xcccc),
+        };
+        dataset_from_inputs(self, &Self::sample_inputs(n, &image, seed ^ salt))
+    }
+
+    fn cpu_cycles(&self) -> f64 {
+        // Three subtract-multiply-accumulates and one sqrt: the kernel is
+        // nearly free on the host, which is the point of this benchmark.
+        55.0
+    }
+
+    fn kernel_fraction(&self) -> f64 {
+        0.35
+    }
+
+    fn train_data_desc(&self) -> &'static str {
+        "220x200 pixel image"
+    }
+
+    fn test_data_desc(&self) -> &'static str {
+        "512x512 pixel image"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_axioms() {
+        let p = [0.2, 0.4, 0.9];
+        let c = [0.7, 0.1, 0.3];
+        assert_eq!(rgb_distance(p, p), 0.0);
+        assert_eq!(rgb_distance(p, c), rgb_distance(c, p));
+        assert!(rgb_distance(p, c) > 0.0);
+    }
+
+    #[test]
+    fn distance_triangle_inequality() {
+        let a = [0.0, 0.0, 0.0];
+        let b = [0.5, 0.5, 0.5];
+        let c = [1.0, 0.2, 0.8];
+        assert!(rgb_distance(a, c) <= rgb_distance(a, b) + rgb_distance(b, c) + 1e-12);
+    }
+
+    #[test]
+    fn outputs_bounded_by_sqrt3() {
+        let k = Kmeans::new();
+        let data = k.generate(Split::Test, 0);
+        for (_, y) in data.iter() {
+            assert!(y[0] >= 0.0 && y[0] <= 3f64.sqrt() + 1e-12);
+        }
+    }
+
+    #[test]
+    fn inputs_are_valid_colors() {
+        let k = Kmeans::new();
+        let data = k.generate(Split::Train, 5);
+        for (x, _) in data.iter() {
+            assert!(x.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn dataset_sizes() {
+        let k = Kmeans::new();
+        assert_eq!(k.generate(Split::Train, 0).len(), TRAIN_N);
+        assert_eq!(k.generate(Split::Test, 0).len(), TEST_N);
+    }
+}

@@ -1,0 +1,23 @@
+//! Exact CPU implementations of the approximable kernels.
+//!
+//! Each submodule provides one [`crate::Kernel`]: the exact computation, the
+//! Table-1 datasets, topologies, and metric, plus the timing parameters the
+//! energy model consumes.
+
+mod blackscholes;
+mod fft;
+mod gaussian;
+mod inversek2j;
+mod jmeint;
+mod jpeg;
+mod kmeans;
+mod sobel;
+
+pub use blackscholes::{call_price, normal_cdf, Blackscholes};
+pub use fft::{fft_radix2, Complex, Fft};
+pub use gaussian::{Gaussian, SIGMA};
+pub use inversek2j::{forward_kinematics, inverse_kinematics, InverseK2j, L1, L2};
+pub use jmeint::{tri_tri_intersect, Jmeint};
+pub use jpeg::{codec_block, dct2_8x8, idct2_8x8, Jpeg, QUANT_TABLE};
+pub use kmeans::{rgb_distance, Kmeans, K};
+pub use sobel::{gradient_magnitude, Sobel, GX, GY};

@@ -1,0 +1,182 @@
+//! `sobel` — 3×3 edge-detection filter (image processing).
+//!
+//! One invocation consumes a 3×3 pixel window and produces the normalized
+//! Sobel gradient magnitude of its center pixel. Windows come from
+//! synthetic 512×512 images (train and test use different images), uniformly
+//! subsampled to keep the harness fast.
+
+use rumba_nn::NnDataset;
+
+use crate::image::Image;
+use crate::{dataset_from_inputs, ErrorMetric, Kernel, Split};
+
+const TRAIN_N: usize = 8_000;
+const TEST_N: usize = 16_000;
+
+/// Horizontal Sobel stencil, row-major.
+pub const GX: [f64; 9] = [-1.0, 0.0, 1.0, -2.0, 0.0, 2.0, -1.0, 0.0, 1.0];
+/// Vertical Sobel stencil, row-major.
+pub const GY: [f64; 9] = [-1.0, -2.0, -1.0, 0.0, 0.0, 0.0, 1.0, 2.0, 1.0];
+
+/// The `sobel` benchmark kernel. See the module-level docs above.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::kernels::Sobel;
+/// use rumba_apps::Kernel;
+///
+/// // A flat window has (numerically) zero gradient.
+/// let out = Sobel::new().compute_vec(&[0.4; 9]);
+/// assert!(out[0].abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Sobel;
+
+impl Sobel {
+    /// Creates the kernel.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+
+    fn sample_inputs(n: usize, image: &Image) -> Vec<f64> {
+        let windows: Vec<[f64; 9]> = image.windows3().map(|(w, _, _)| w).collect();
+        let stride = (windows.len() / n).max(1);
+        let mut flat = Vec::with_capacity(n * 9);
+        for i in 0..n {
+            flat.extend_from_slice(&windows[(i * stride) % windows.len()]);
+        }
+        flat
+    }
+}
+
+/// Sobel gradient magnitude of a 3×3 window, clamped into `[0, 1]` — the
+/// AxBench convention, where any strong edge saturates to full intensity.
+#[must_use]
+pub fn gradient_magnitude(window: &[f64; 9]) -> f64 {
+    let mut gx = 0.0;
+    let mut gy = 0.0;
+    for i in 0..9 {
+        gx += GX[i] * window[i];
+        gy += GY[i] * window[i];
+    }
+    (gx * gx + gy * gy).sqrt().min(1.0)
+}
+
+impl Kernel for Sobel {
+    fn name(&self) -> &'static str {
+        "sobel"
+    }
+
+    fn domain(&self) -> &'static str {
+        "Image Processing"
+    }
+
+    fn input_dim(&self) -> usize {
+        9
+    }
+
+    fn output_dim(&self) -> usize {
+        1
+    }
+
+    fn compute(&self, input: &[f64], output: &mut [f64]) {
+        let window: [f64; 9] = input.try_into().expect("sobel windows are 3x3");
+        output[0] = gradient_magnitude(&window);
+    }
+
+    fn metric(&self) -> ErrorMetric {
+        ErrorMetric::MeanAbsoluteError { scale: 1.0 }
+    }
+
+    fn rumba_topology(&self) -> Vec<usize> {
+        vec![9, 8, 1]
+    }
+
+    fn npu_topology(&self) -> Vec<usize> {
+        vec![9, 8, 1]
+    }
+
+    fn generate(&self, split: Split, seed: u64) -> NnDataset {
+        // Profiling inputs are milder than what the deployed system sees
+        // (the paper's Challenge II): training uses a lightly textured
+        // image, testing a strongly textured one.
+        let (n, image) = match split {
+            Split::Train => (TRAIN_N, Image::synthetic_with_texture(512, 512, seed ^ 0xdddd, 0.2)),
+            Split::Test => (TEST_N, Image::synthetic_with_texture(512, 512, seed ^ 0xeeee, 0.5)),
+        };
+        dataset_from_inputs(self, &Self::sample_inputs(n, &image))
+    }
+
+    fn cpu_cycles(&self) -> f64 {
+        // Two 9-tap convolutions plus a square root.
+        140.0
+    }
+
+    fn kernel_fraction(&self) -> f64 {
+        0.8
+    }
+
+    fn train_data_desc(&self) -> &'static str {
+        "512x512 pixel image"
+    }
+
+    fn test_data_desc(&self) -> &'static str {
+        "512x512 pixel image"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vertical_edge_saturates() {
+        let window = [0.0, 0.5, 1.0, 0.0, 0.5, 1.0, 0.0, 0.5, 1.0];
+        // gx = 4, gy = 0 → raw magnitude 4, clamped to 1 (a full edge).
+        assert_eq!(gradient_magnitude(&window), 1.0);
+        // A faint edge stays proportional: gx = 0.4 → magnitude 0.4.
+        let faint = [0.0, 0.05, 0.1, 0.0, 0.05, 0.1, 0.0, 0.05, 0.1];
+        assert!((gradient_magnitude(&faint) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gradient_is_rotation_symmetric() {
+        let horizontal = [0.0, 0.0, 0.0, 0.5, 0.5, 0.5, 1.0, 1.0, 1.0];
+        let vertical = [0.0, 0.5, 1.0, 0.0, 0.5, 1.0, 0.0, 0.5, 1.0];
+        assert!(
+            (gradient_magnitude(&horizontal) - gradient_magnitude(&vertical)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn output_clamped_to_unit() {
+        let window = [0.0, 0.0, 1.0, 0.0, 0.0, 1.0, 0.0, 0.0, 1.0];
+        assert!(gradient_magnitude(&window) <= 1.0);
+    }
+
+    #[test]
+    fn dataset_outputs_in_range() {
+        let k = Sobel::new();
+        let data = k.generate(Split::Train, 0);
+        for (_, y) in data.iter() {
+            assert!((0.0..=1.0).contains(&y[0]));
+        }
+    }
+
+    #[test]
+    fn dataset_sizes() {
+        let k = Sobel::new();
+        assert_eq!(k.generate(Split::Train, 0).len(), TRAIN_N);
+        assert_eq!(k.generate(Split::Test, 0).len(), TEST_N);
+    }
+
+    #[test]
+    fn train_and_test_images_differ() {
+        let k = Sobel::new();
+        let a = k.generate(Split::Train, 0);
+        let b = k.generate(Split::Test, 0);
+        assert_ne!(a.input(0), b.input(0));
+    }
+}

@@ -1,0 +1,278 @@
+//! The Rumba benchmark suite: exact CPU implementations of the seven
+//! Table-1 kernels, their input generators, and their application-specific
+//! error metrics.
+//!
+//! Each benchmark is a *pure, element-wise* code region — the property Rumba
+//! relies on for safe selective re-execution. One "invocation" corresponds
+//! to one loop iteration of the approximated region (one option priced, one
+//! pixel filtered, one 8×8 block transformed, ...).
+//!
+//! | Kernel | Domain | Metric |
+//! |---|---|---|
+//! | [`kernels::Blackscholes`] | financial analysis | mean relative error |
+//! | [`kernels::Fft`] | signal processing | mean relative error |
+//! | [`kernels::InverseK2j`] | robotics | mean relative error |
+//! | [`kernels::Jmeint`] | 3-D gaming | # of mismatches |
+//! | [`kernels::Jpeg`] | compression | mean pixel diff |
+//! | [`kernels::Kmeans`] | machine learning | mean output diff |
+//! | [`kernels::Sobel`] | image processing | mean pixel diff |
+//!
+//! The crate also carries the [`mosaic`] application (Figure 3's
+//! loop-perforation study), procedural [`image`] utilities (Figure 2), and
+//! the didactic [`kernels::Gaussian`] kernel (Figure 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use rumba_apps::{all_kernels, Kernel, Split};
+//!
+//! for kernel in all_kernels() {
+//!     let data = kernel.generate(Split::Train, 42);
+//!     assert_eq!(data.input_dim(), kernel.input_dim());
+//!     assert!(!data.is_empty());
+//! }
+//! ```
+
+pub mod image;
+pub mod kernels;
+mod metric;
+pub mod mosaic;
+pub mod pipelines;
+pub mod purity;
+
+use std::fmt;
+
+pub use metric::ErrorMetric;
+use rumba_nn::NnDataset;
+
+/// Which of the paper's two datasets to generate (Table 1's "Train Data" /
+/// "Test Data" columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Split {
+    /// Data the offline trainers (accelerator + error predictor) see.
+    Train,
+    /// Unseen data the online system is evaluated on.
+    Test,
+}
+
+impl fmt::Display for Split {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Split::Train => "train",
+            Split::Test => "test",
+        })
+    }
+}
+
+/// A pure, element-wise approximable code region.
+///
+/// Implementations are stateless: `compute` may be called concurrently and
+/// re-executed freely (this is the purity property §2.2 of the paper builds
+/// recovery on).
+pub trait Kernel: fmt::Debug + Send + Sync {
+    /// Short lowercase benchmark name, e.g. `"blackscholes"`.
+    fn name(&self) -> &'static str;
+
+    /// Application domain as listed in Table 1.
+    fn domain(&self) -> &'static str;
+
+    /// Number of inputs one invocation consumes.
+    fn input_dim(&self) -> usize;
+
+    /// Number of output elements one invocation produces.
+    fn output_dim(&self) -> usize;
+
+    /// The exact (host CPU) computation for one invocation.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if the slice widths do not match
+    /// [`Kernel::input_dim`] / [`Kernel::output_dim`].
+    fn compute(&self, input: &[f64], output: &mut [f64]);
+
+    /// The application-specific output-quality metric (Table 1).
+    fn metric(&self) -> ErrorMetric;
+
+    /// Neural topology Rumba maps this kernel to (Table 1, "NN Topology
+    /// (Rumba)").
+    fn rumba_topology(&self) -> Vec<usize>;
+
+    /// Topology the unchecked NPU baseline uses (Table 1, "NN Topology
+    /// (NPU)").
+    fn npu_topology(&self) -> Vec<usize>;
+
+    /// Generates the train or test invocations, exact outputs included.
+    fn generate(&self, split: Split, seed: u64) -> NnDataset;
+
+    /// Estimated cycles one exact invocation costs on the Table-2 core.
+    fn cpu_cycles(&self) -> f64;
+
+    /// Fraction of whole-application run time spent in this kernel, used
+    /// for Amdahl composition of whole-application speedup and energy.
+    fn kernel_fraction(&self) -> f64;
+
+    /// Human-readable description of the training data (Table 1).
+    fn train_data_desc(&self) -> &'static str;
+
+    /// Human-readable description of the test data (Table 1).
+    fn test_data_desc(&self) -> &'static str;
+
+    /// Convenience wrapper around [`Kernel::compute`] that allocates the
+    /// output row.
+    fn compute_vec(&self, input: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.output_dim()];
+        self.compute(input, &mut out);
+        out
+    }
+}
+
+/// Builds an [`NnDataset`] by running the kernel's exact computation over a
+/// flat, row-major input buffer.
+///
+/// This is the shared back-end of every kernel's [`Kernel::generate`].
+///
+/// # Panics
+///
+/// Panics if `inputs.len()` is not a multiple of the kernel input width.
+#[must_use]
+pub fn dataset_from_inputs(kernel: &dyn Kernel, inputs: &[f64]) -> NnDataset {
+    let d = kernel.input_dim();
+    assert_eq!(inputs.len() % d, 0, "flat input buffer must be a whole number of rows");
+    let n = inputs.len() / d;
+    let mut out = vec![0.0; kernel.output_dim()];
+    NnDataset::from_fn(d, kernel.output_dim(), n, |i, x, y| {
+        x.copy_from_slice(&inputs[i * d..(i + 1) * d]);
+        kernel.compute(x, &mut out);
+        y.copy_from_slice(&out);
+    })
+    .expect("kernel dimensions are nonzero")
+}
+
+/// The seven Table-1 benchmarks, in the paper's order.
+#[must_use]
+pub fn all_kernels() -> Vec<Box<dyn Kernel>> {
+    vec![
+        Box::new(kernels::Blackscholes::new()),
+        Box::new(kernels::Fft::new()),
+        Box::new(kernels::InverseK2j::new()),
+        Box::new(kernels::Jmeint::new()),
+        Box::new(kernels::Jpeg::new()),
+        Box::new(kernels::Kmeans::new()),
+        Box::new(kernels::Sobel::new()),
+    ]
+}
+
+/// Looks a kernel up by its Table-1 name; also resolves `"gaussian"` (the
+/// Figure-5 didactic kernel).
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::kernel_by_name;
+///
+/// assert!(kernel_by_name("sobel").is_some());
+/// assert!(kernel_by_name("doom").is_none());
+/// ```
+#[must_use]
+pub fn kernel_by_name(name: &str) -> Option<Box<dyn Kernel>> {
+    match name {
+        "blackscholes" => Some(Box::new(kernels::Blackscholes::new())),
+        "fft" => Some(Box::new(kernels::Fft::new())),
+        "inversek2j" => Some(Box::new(kernels::InverseK2j::new())),
+        "jmeint" => Some(Box::new(kernels::Jmeint::new())),
+        "jpeg" => Some(Box::new(kernels::Jpeg::new())),
+        "kmeans" => Some(Box::new(kernels::Kmeans::new())),
+        "sobel" => Some(Box::new(kernels::Sobel::new())),
+        "gaussian" => Some(Box::new(kernels::Gaussian::new())),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_matches_table1_order() {
+        let names: Vec<_> = all_kernels().iter().map(|k| k.name()).collect();
+        assert_eq!(
+            names,
+            ["blackscholes", "fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"]
+        );
+    }
+
+    #[test]
+    fn kernel_by_name_round_trips() {
+        for k in all_kernels() {
+            let found = kernel_by_name(k.name()).unwrap();
+            assert_eq!(found.name(), k.name());
+            assert_eq!(found.input_dim(), k.input_dim());
+        }
+    }
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        for k in all_kernels() {
+            let a = k.generate(Split::Train, 9);
+            let b = k.generate(Split::Train, 9);
+            assert_eq!(a.len(), b.len(), "{}", k.name());
+            assert_eq!(a.input(0), b.input(0), "{}", k.name());
+            assert_eq!(a.target(0), b.target(0), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn train_and_test_differ() {
+        for k in all_kernels() {
+            let train = k.generate(Split::Train, 9);
+            let test = k.generate(Split::Test, 9);
+            let differs = train.len() != test.len() || train.input(0) != test.input(0);
+            assert!(differs, "{} train/test identical", k.name());
+        }
+    }
+
+    #[test]
+    fn topologies_match_kernel_io() {
+        for k in all_kernels() {
+            for topo in [k.rumba_topology(), k.npu_topology()] {
+                assert_eq!(topo[0], k.input_dim(), "{}", k.name());
+                assert_eq!(*topo.last().unwrap(), k.output_dim(), "{}", k.name());
+                assert!(topo.len() <= 4, "{}: at most 2 hidden layers", k.name());
+                assert!(topo[1..topo.len() - 1].iter().all(|&h| h <= 32), "{}", k.name());
+            }
+        }
+    }
+
+    #[test]
+    fn rumba_topology_never_larger_than_npu() {
+        // Table 1: "In all cases, Rumba's error detection capabilities make
+        // it possible to chose a smaller or equal ... NN."
+        let macs = |t: &[usize]| -> usize { t.windows(2).map(|w| w[0] * w[1]).sum() };
+        for k in all_kernels() {
+            assert!(
+                macs(&k.rumba_topology()) <= macs(&k.npu_topology()),
+                "{}: rumba {:?} vs npu {:?}",
+                k.name(),
+                k.rumba_topology(),
+                k.npu_topology()
+            );
+        }
+    }
+
+    #[test]
+    fn dataset_targets_are_exact_outputs() {
+        for k in all_kernels() {
+            let data = k.generate(Split::Train, 3);
+            let i = data.len() / 2;
+            assert_eq!(data.target(i), k.compute_vec(data.input(i)), "{}", k.name());
+        }
+    }
+
+    #[test]
+    fn cost_parameters_are_sane() {
+        for k in all_kernels() {
+            assert!(k.cpu_cycles() > 0.0, "{}", k.name());
+            assert!((0.0..=1.0).contains(&k.kernel_fraction()), "{}", k.name());
+        }
+    }
+}

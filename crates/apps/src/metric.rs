@@ -1,0 +1,187 @@
+use std::fmt;
+
+/// Application-specific output-quality metrics (Table 1, "Evaluation
+/// Metric" column).
+///
+/// A metric scores one *invocation* (one output element group) in `[0, ∞)`,
+/// where `0.0` is exact and `0.1` reads as "10 % error". Whole-application
+/// output error is the mean invocation error, matching the paper's usage
+/// (for the mismatch metric the mean of 0/1 errors *is* the mismatch rate).
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::ErrorMetric;
+///
+/// let m = ErrorMetric::MeanRelativeError { eps: 0.01 };
+/// assert_eq!(m.invocation_error(&[2.0], &[2.0]), 0.0);
+/// assert!((m.invocation_error(&[2.0], &[1.0]) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum ErrorMetric {
+    /// Mean over output elements of `|approx - exact| / max(|exact|, eps)`.
+    MeanRelativeError {
+        /// Guard for near-zero exact values.
+        eps: f64,
+    },
+    /// Classification mismatch: 1.0 if the arg-max class differs, else 0.0
+    /// (`jmeint`'s "# of mismatches" as a rate).
+    MissRate,
+    /// Mean over output elements of `|approx - exact| / scale` — the
+    /// "mean pixel diff" / "mean output diff" family, with `scale` the full
+    /// output range.
+    MeanAbsoluteError {
+        /// Full-scale output range used for normalization.
+        scale: f64,
+    },
+}
+
+impl ErrorMetric {
+    /// Scores one invocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    #[must_use]
+    pub fn invocation_error(&self, exact: &[f64], approx: &[f64]) -> f64 {
+        assert_eq!(exact.len(), approx.len(), "exact/approx width mismatch");
+        assert!(!exact.is_empty(), "invocation has no outputs");
+        match *self {
+            ErrorMetric::MeanRelativeError { eps } => {
+                let sum: f64 = exact
+                    .iter()
+                    .zip(approx)
+                    .map(|(&e, &a)| (a - e).abs() / e.abs().max(eps))
+                    .sum();
+                sum / exact.len() as f64
+            }
+            ErrorMetric::MissRate => {
+                if argmax(exact) == argmax(approx) {
+                    0.0
+                } else {
+                    1.0
+                }
+            }
+            ErrorMetric::MeanAbsoluteError { scale } => {
+                let sum: f64 = exact.iter().zip(approx).map(|(&e, &a)| (a - e).abs()).sum();
+                sum / (exact.len() as f64 * scale)
+            }
+        }
+    }
+
+    /// Mean invocation error over parallel rows of exact and approximate
+    /// outputs — the whole-application "output error".
+    ///
+    /// Returns 0.0 for empty input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two slices disagree on total length or `width` is zero.
+    #[must_use]
+    pub fn output_error(&self, exact: &[f64], approx: &[f64], width: usize) -> f64 {
+        assert!(width > 0, "output width must be nonzero");
+        assert_eq!(exact.len(), approx.len());
+        assert_eq!(exact.len() % width, 0);
+        let n = exact.len() / width;
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 0..n {
+            total +=
+                self.invocation_error(&exact[i * width..(i + 1) * width], &approx[i * width..(i + 1) * width]);
+        }
+        total / n as f64
+    }
+
+    /// The paper's name for this metric (Table 1).
+    #[must_use]
+    pub fn paper_name(&self) -> &'static str {
+        match self {
+            ErrorMetric::MeanRelativeError { .. } => "Mean Relative Error",
+            ErrorMetric::MissRate => "# of mismatches",
+            ErrorMetric::MeanAbsoluteError { scale } if *scale == 1.0 => "Mean Pixel Diff",
+            ErrorMetric::MeanAbsoluteError { .. } => "Mean Output Diff",
+        }
+    }
+}
+
+impl fmt::Display for ErrorMetric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+fn argmax(values: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &v) in values.iter().enumerate() {
+        if v > values[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_error_basic_cases() {
+        let m = ErrorMetric::MeanRelativeError { eps: 0.01 };
+        assert_eq!(m.invocation_error(&[4.0, 2.0], &[4.0, 2.0]), 0.0);
+        let e = m.invocation_error(&[4.0, 2.0], &[2.0, 2.0]);
+        assert!((e - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_eps_guards_zero_exact() {
+        let m = ErrorMetric::MeanRelativeError { eps: 0.5 };
+        let e = m.invocation_error(&[0.0], &[0.25]);
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn miss_rate_uses_argmax() {
+        let m = ErrorMetric::MissRate;
+        assert_eq!(m.invocation_error(&[0.9, 0.1], &[0.6, 0.4]), 0.0);
+        assert_eq!(m.invocation_error(&[0.9, 0.1], &[0.4, 0.6]), 1.0);
+    }
+
+    #[test]
+    fn absolute_error_normalizes_by_scale() {
+        let m = ErrorMetric::MeanAbsoluteError { scale: 2.0 };
+        let e = m.invocation_error(&[1.0, 1.0], &[2.0, 0.0]);
+        assert!((e - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_error_is_mean_of_rows() {
+        let m = ErrorMetric::MeanAbsoluteError { scale: 1.0 };
+        let exact = [0.0, 0.0, 1.0, 1.0];
+        let approx = [0.0, 0.0, 0.0, 0.0];
+        assert!((m.output_error(&exact, &approx, 2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_error_empty_is_zero() {
+        let m = ErrorMetric::MissRate;
+        assert_eq!(m.output_error(&[], &[], 2), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn invocation_error_panics_on_width_mismatch() {
+        let _ = ErrorMetric::MissRate.invocation_error(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn paper_names() {
+        assert_eq!(
+            ErrorMetric::MeanRelativeError { eps: 0.01 }.paper_name(),
+            "Mean Relative Error"
+        );
+        assert_eq!(ErrorMetric::MeanAbsoluteError { scale: 1.0 }.to_string(), "Mean Pixel Diff");
+    }
+}

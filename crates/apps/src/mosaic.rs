@@ -1,0 +1,443 @@
+//! The `mosaic` application and its loop-perforation study (Figure 3).
+//!
+//! Mosaic builds a large picture out of many small tile images; its first
+//! phase computes the average brightness of every candidate tile. The paper
+//! approximates that phase with loop perforation and shows the resulting
+//! error is strongly input-dependent: across 800 flower photographs the
+//! average error is ≈5 % but individual images reach ≈23 %.
+//!
+//! The photographs are replaced by procedural "flower" images whose
+//! brightness statistics (petal size, contrast, background level) vary
+//! widely per image, which is the property that makes perforation error
+//! input-dependent.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::Image;
+
+/// How loop perforation drops iterations (§2.1: "randomly or uniformly").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Perforation {
+    /// Keep every `stride`-th pixel.
+    Uniform {
+        /// Sampling stride; `stride = 50` keeps 2 % of iterations.
+        stride: usize,
+    },
+    /// Keep each pixel independently with probability `keep`.
+    Random {
+        /// Keep probability in `(0, 1]`.
+        keep: f64,
+        /// RNG seed for the drop pattern.
+        seed: u64,
+    },
+}
+
+/// Exact first phase of mosaic: mean brightness over all pixels.
+#[must_use]
+pub fn exact_brightness(image: &Image) -> f64 {
+    image.mean()
+}
+
+/// Perforated first phase: mean brightness over the kept subset.
+///
+/// Returns the exact mean if the perforation keeps no pixels (degenerate
+/// configurations rather than a panic, matching the benchmark's guard).
+#[must_use]
+pub fn perforated_brightness(image: &Image, perforation: Perforation) -> f64 {
+    let pixels = image.pixels();
+    let (sum, count) = match perforation {
+        Perforation::Uniform { stride } => {
+            let stride = stride.max(1);
+            let mut s = 0.0;
+            let mut c = 0usize;
+            let mut i = 0;
+            while i < pixels.len() {
+                s += pixels[i];
+                c += 1;
+                i += stride;
+            }
+            (s, c)
+        }
+        Perforation::Random { keep, seed } => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut s = 0.0;
+            let mut c = 0usize;
+            for &p in pixels {
+                if rng.gen::<f64>() < keep {
+                    s += p;
+                    c += 1;
+                }
+            }
+            (s, c)
+        }
+    };
+    if count == 0 {
+        exact_brightness(image)
+    } else {
+        sum / count as f64
+    }
+}
+
+/// Generates one procedural flower image: a background field plus petal
+/// lobes around a center disc, with per-image contrast and structure drawn
+/// from wide ranges so brightness statistics vary strongly across images.
+#[must_use]
+pub fn flower_image(size: usize, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let mut img = Image::new(size, size);
+    let background: f64 = rng.gen_range(0.05..0.6);
+    let petal_level: f64 = rng.gen_range(0.4..1.0);
+    let petals = rng.gen_range(4..9_usize);
+    let petal_len = rng.gen_range(0.25..0.48) * size as f64;
+    let petal_width = rng.gen_range(0.06..0.2) * size as f64;
+    let core = rng.gen_range(0.05..0.15) * size as f64;
+    let phase: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let texture: f64 = rng.gen_range(0.0..0.25);
+
+    let cx = size as f64 / 2.0;
+    let cy = size as f64 / 2.0;
+    for y in 0..size {
+        for x in 0..size {
+            let dx = x as f64 - cx;
+            let dy = y as f64 - cy;
+            let r = (dx * dx + dy * dy).sqrt();
+            let theta = dy.atan2(dx);
+            // Petal envelope: radial lobes.
+            let lobe = ((theta * petals as f64 + phase).cos()).max(0.0);
+            let reach = core + petal_len * lobe;
+            let mut v = background;
+            if r < reach {
+                let falloff = 1.0 - (r / reach.max(1e-9));
+                v = background + (petal_level - background) * falloff.sqrt();
+            }
+            if r < petal_width {
+                v = petal_level; // flower core
+            }
+            // High-frequency texture makes subsampling genuinely lossy.
+            v += texture * ((x as f64 * 1.7).sin() * (y as f64 * 2.3).cos());
+            img.set(x, y, v.clamp(0.0, 1.0));
+        }
+    }
+    img
+}
+
+/// One row of the Figure-3 study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosaicSample {
+    /// Index of the image in the gallery.
+    pub image_index: usize,
+    /// Exact mean brightness.
+    pub exact: f64,
+    /// Perforated mean brightness.
+    pub approximate: f64,
+    /// Relative output error in percent.
+    pub error_percent: f64,
+}
+
+/// Runs the full Figure-3 experiment: `count` flower images through the
+/// given perforation, returning per-image output errors.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::mosaic::{run_study, Perforation};
+///
+/// let rows = run_study(50, 48, Perforation::Uniform { stride: 50 }, 7);
+/// assert_eq!(rows.len(), 50);
+/// assert!(rows.iter().all(|r| r.error_percent >= 0.0));
+/// ```
+#[must_use]
+pub fn run_study(
+    count: usize,
+    image_size: usize,
+    perforation: Perforation,
+    seed: u64,
+) -> Vec<MosaicSample> {
+    (0..count)
+        .map(|i| {
+            let img = flower_image(image_size, seed.wrapping_add(i as u64));
+            let exact = exact_brightness(&img);
+            let perforation = match perforation {
+                Perforation::Random { keep, seed: s } => {
+                    Perforation::Random { keep, seed: s.wrapping_add(i as u64) }
+                }
+                other => other,
+            };
+            let approximate = perforated_brightness(&img, perforation);
+            let error_percent = (approximate - exact).abs() / exact.abs().max(1e-9) * 100.0;
+            MosaicSample { image_index: i, exact, approximate, error_percent }
+        })
+        .collect()
+}
+
+/// Summary statistics over a study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MosaicSummary {
+    /// Mean error across images, percent.
+    pub mean_percent: f64,
+    /// Worst-case image error, percent.
+    pub max_percent: f64,
+    /// Fraction of images whose error exceeds twice the mean.
+    pub above_twice_mean: f64,
+}
+
+/// Aggregates a study into the numbers the paper quotes (≈5 % average,
+/// ≈23 % max).
+#[must_use]
+pub fn summarize(samples: &[MosaicSample]) -> MosaicSummary {
+    if samples.is_empty() {
+        return MosaicSummary { mean_percent: 0.0, max_percent: 0.0, above_twice_mean: 0.0 };
+    }
+    let mean = samples.iter().map(|s| s.error_percent).sum::<f64>() / samples.len() as f64;
+    let max = samples.iter().map(|s| s.error_percent).fold(0.0, f64::max);
+    let above =
+        samples.iter().filter(|s| s.error_percent > 2.0 * mean).count() as f64 / samples.len() as f64;
+    MosaicSummary { mean_percent: mean, max_percent: max, above_twice_mean: above }
+}
+
+/// A gallery of candidate tiles with their precomputed brightness
+/// statistics (mosaic's first phase — the part Figure 3 perforates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TileGallery {
+    tiles: Vec<Image>,
+    brightness: Vec<f64>,
+}
+
+impl TileGallery {
+    /// Generates `count` flower tiles of `tile_size` pixels and records the
+    /// exact mean brightness of each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    #[must_use]
+    pub fn generate(count: usize, tile_size: usize, seed: u64) -> Self {
+        assert!(count > 0, "a gallery needs at least one tile");
+        let tiles: Vec<Image> =
+            (0..count).map(|i| flower_image(tile_size, seed.wrapping_add(i as u64))).collect();
+        let brightness = tiles.iter().map(exact_brightness).collect();
+        Self { tiles, brightness }
+    }
+
+    /// Number of tiles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tiles.len()
+    }
+
+    /// Whether the gallery is empty (never true for [`TileGallery::generate`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tiles.is_empty()
+    }
+
+    /// The tiles.
+    #[must_use]
+    pub fn tiles(&self) -> &[Image] {
+        &self.tiles
+    }
+
+    /// Mean brightness of each tile.
+    #[must_use]
+    pub fn brightness(&self) -> &[f64] {
+        &self.brightness
+    }
+}
+
+/// Derives the deterministic RGB triple the matcher compares (the same
+/// chroma synthesis the `kmeans` benchmark uses).
+fn brightness_rgb(p: f64) -> [f64; 3] {
+    [p, (p * 0.8 + 0.1).clamp(0.0, 1.0), (1.0 - p * 0.9).clamp(0.0, 1.0)]
+}
+
+/// Mosaic's second phase: for each `tile_size`-square block of `target`,
+/// pick the gallery tile whose brightness is nearest under `eval` (the
+/// kmeans-shaped 6-in/1-out distance kernel — exact, accelerated, or
+/// Rumba-managed) and assemble the result.
+///
+/// Returns the assembled image and the chosen tile index per block
+/// (row-major). Blocks that do not fit are left black.
+///
+/// # Panics
+///
+/// Panics if `tile_size` is zero, exceeds the target, or differs from the
+/// gallery's tile size.
+pub fn build_mosaic(
+    target: &Image,
+    gallery: &TileGallery,
+    tile_size: usize,
+    mut eval: impl FnMut(&[f64], &mut [f64]),
+) -> (Image, Vec<usize>) {
+    assert!(tile_size > 0, "tile size must be nonzero");
+    assert!(
+        tile_size <= target.width() && tile_size <= target.height(),
+        "tiles must fit in the target"
+    );
+    assert_eq!(
+        gallery.tiles()[0].width(),
+        tile_size,
+        "gallery tiles must match the requested tile size"
+    );
+
+    let bw = target.width() / tile_size;
+    let bh = target.height() / tile_size;
+    let mut out = Image::new(target.width(), target.height());
+    let mut choices = Vec::with_capacity(bw * bh);
+    let mut input = [0.0; 6];
+    let mut dist = [0.0];
+
+    for by in 0..bh {
+        for bx in 0..bw {
+            // Exact block brightness (the perforation study perturbs this
+            // phase; here we take it exact and approximate the matcher).
+            let mut sum = 0.0;
+            for dy in 0..tile_size {
+                for dx in 0..tile_size {
+                    sum += target.get(bx * tile_size + dx, by * tile_size + dy);
+                }
+            }
+            let block_rgb = brightness_rgb(sum / (tile_size * tile_size) as f64);
+
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (ti, &tb) in gallery.brightness().iter().enumerate() {
+                input[..3].copy_from_slice(&block_rgb);
+                input[3..].copy_from_slice(&brightness_rgb(tb));
+                eval(&input, &mut dist);
+                if dist[0] < best_d {
+                    best_d = dist[0];
+                    best = ti;
+                }
+            }
+            choices.push(best);
+
+            let tile = &gallery.tiles()[best];
+            for dy in 0..tile_size {
+                for dx in 0..tile_size {
+                    out.set(bx * tile_size + dx, by * tile_size + dy, tile.get(dx, dy));
+                }
+            }
+        }
+    }
+    (out, choices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Kmeans;
+    use crate::Kernel;
+
+    #[test]
+    fn flower_images_are_deterministic_and_diverse() {
+        assert_eq!(flower_image(32, 1), flower_image(32, 1));
+        let a = flower_image(32, 1).mean();
+        let b = flower_image(32, 2).mean();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_stride_one_is_exact() {
+        let img = flower_image(48, 3);
+        let approx = perforated_brightness(&img, Perforation::Uniform { stride: 1 });
+        assert!((approx - exact_brightness(&img)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_keep_all_is_exact() {
+        let img = flower_image(48, 4);
+        let approx = perforated_brightness(&img, Perforation::Random { keep: 1.0, seed: 0 });
+        assert!((approx - exact_brightness(&img)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_keep_degenerates_to_exact() {
+        let img = flower_image(16, 5);
+        let approx = perforated_brightness(&img, Perforation::Random { keep: 0.0, seed: 0 });
+        assert_eq!(approx, exact_brightness(&img));
+    }
+
+    #[test]
+    fn error_grows_with_aggressiveness() {
+        let rows_gentle = run_study(60, 48, Perforation::Random { keep: 0.2, seed: 9 }, 11);
+        let rows_harsh = run_study(60, 48, Perforation::Random { keep: 0.01, seed: 9 }, 11);
+        assert!(summarize(&rows_harsh).mean_percent > summarize(&rows_gentle).mean_percent);
+    }
+
+    #[test]
+    fn figure3_shape_input_dependence() {
+        // The paper's point: low average error, but a heavy tail.
+        let rows = run_study(200, 64, Perforation::Random { keep: 0.02, seed: 1 }, 42);
+        let s = summarize(&rows);
+        assert!(s.mean_percent > 0.5, "mean {}", s.mean_percent);
+        assert!(s.mean_percent < 15.0, "mean {}", s.mean_percent);
+        assert!(s.max_percent > 2.5 * s.mean_percent, "max {} mean {}", s.max_percent, s.mean_percent);
+    }
+
+    #[test]
+    fn summarize_empty_is_zero() {
+        let s = summarize(&[]);
+        assert_eq!(s.mean_percent, 0.0);
+        assert_eq!(s.max_percent, 0.0);
+    }
+
+    #[test]
+    fn gallery_is_deterministic_with_exact_brightness() {
+        let a = TileGallery::generate(8, 16, 3);
+        let b = TileGallery::generate(8, 16, 3);
+        assert_eq!(a, b);
+        for (tile, &bright) in a.tiles().iter().zip(a.brightness()) {
+            assert!((exact_brightness(tile) - bright).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mosaic_assembles_to_target_dimensions() {
+        let target = Image::synthetic(48, 32, 9);
+        let gallery = TileGallery::generate(12, 16, 5);
+        let kernel = Kmeans::new();
+        let (mosaic, choices) =
+            build_mosaic(&target, &gallery, 16, |x, out| kernel.compute(x, out));
+        assert_eq!(mosaic.width(), 48);
+        assert_eq!(mosaic.height(), 32);
+        assert_eq!(choices.len(), 3 * 2);
+        assert!(choices.iter().all(|&c| c < gallery.len()));
+    }
+
+    #[test]
+    fn exact_matcher_picks_nearest_brightness_tile() {
+        // A flat mid-gray target: every block should pick the tile whose
+        // brightness is nearest 0.5.
+        let mut target = Image::new(32, 32);
+        for p in target.pixels_mut() {
+            *p = 0.5;
+        }
+        let gallery = TileGallery::generate(16, 16, 7);
+        let kernel = Kmeans::new();
+        let (_, choices) =
+            build_mosaic(&target, &gallery, 16, |x, out| kernel.compute(x, out));
+        let nearest = gallery
+            .brightness()
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - 0.5).abs().partial_cmp(&(*b - 0.5).abs()).expect("finite")
+            })
+            .map(|(i, _)| i)
+            .expect("nonempty gallery");
+        assert!(choices.iter().all(|&c| c == nearest), "{choices:?} vs {nearest}");
+    }
+
+    #[test]
+    fn degenerate_matcher_changes_choices() {
+        let target = Image::synthetic(64, 64, 2);
+        let gallery = TileGallery::generate(10, 16, 1);
+        let kernel = Kmeans::new();
+        let (_, exact) = build_mosaic(&target, &gallery, 16, |x, out| kernel.compute(x, out));
+        // A constant distance makes every block pick tile 0.
+        let (_, constant) = build_mosaic(&target, &gallery, 16, |_, out| out[0] = 1.0);
+        assert!(constant.iter().all(|&c| c == 0));
+        assert_ne!(exact, constant);
+    }
+}

@@ -1,0 +1,161 @@
+//! Full jmeint application: broad collision culling between two triangle
+//! meshes with a pluggable intersection evaluator.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One triangle, nine coordinates (three vertices × xyz).
+pub type Triangle = [f64; 9];
+
+/// A bag of triangles (a game-engine collision mesh).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mesh {
+    triangles: Vec<Triangle>,
+}
+
+impl Mesh {
+    /// Wraps a triangle list.
+    #[must_use]
+    pub fn new(triangles: Vec<Triangle>) -> Self {
+        Self { triangles }
+    }
+
+    /// The triangles.
+    #[must_use]
+    pub fn triangles(&self) -> &[Triangle] {
+        &self.triangles
+    }
+
+    /// Number of triangles.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.triangles.len()
+    }
+
+    /// Whether the mesh has no triangles.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.triangles.is_empty()
+    }
+
+    /// Translates every vertex by `(dx, dy, dz)`.
+    #[must_use]
+    pub fn translated(&self, dx: f64, dy: f64, dz: f64) -> Self {
+        let triangles = self
+            .triangles
+            .iter()
+            .map(|t| {
+                let mut moved = *t;
+                for v in 0..3 {
+                    moved[v * 3] += dx;
+                    moved[v * 3 + 1] += dy;
+                    moved[v * 3 + 2] += dz;
+                }
+                moved
+            })
+            .collect();
+        Self { triangles }
+    }
+}
+
+/// Generates a jagged surface mesh of `n` triangles inside the unit cube.
+#[must_use]
+pub fn random_mesh(n: usize, seed: u64) -> Mesh {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let triangles = (0..n)
+        .map(|_| {
+            let cx: f64 = rng.gen_range(0.1..0.9);
+            let cy: f64 = rng.gen_range(0.1..0.9);
+            let cz: f64 = rng.gen_range(0.1..0.9);
+            let mut t = [0.0; 9];
+            for v in 0..3 {
+                t[v * 3] = cx + rng.gen_range(-0.15..0.15);
+                t[v * 3 + 1] = cy + rng.gen_range(-0.15..0.15);
+                t[v * 3 + 2] = cz + rng.gen_range(-0.15..0.15);
+            }
+            t
+        })
+        .collect();
+    Mesh::new(triangles)
+}
+
+/// Tests every triangle pair between two meshes through `eval` (the
+/// kernel-shaped evaluator: 18 inputs, 2 one-hot class scores) and returns
+/// the indices of the pairs judged intersecting.
+///
+/// The quadratic pair loop is the benchmark's structure — jmeint is the
+/// inner test the engine calls millions of times per frame.
+pub fn collision_pairs(
+    a: &Mesh,
+    b: &Mesh,
+    mut eval: impl FnMut(&[f64], &mut [f64]),
+) -> Vec<(usize, usize)> {
+    let mut input = [0.0; 18];
+    let mut verdict = [0.0; 2];
+    let mut hits = Vec::new();
+    for (i, ta) in a.triangles().iter().enumerate() {
+        input[..9].copy_from_slice(ta);
+        for (j, tb) in b.triangles().iter().enumerate() {
+            input[9..].copy_from_slice(tb);
+            eval(&input, &mut verdict);
+            if verdict[0] > verdict[1] {
+                hits.push((i, j));
+            }
+        }
+    }
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Jmeint;
+    use crate::Kernel;
+
+    fn exact_eval() -> impl FnMut(&[f64], &mut [f64]) {
+        let kernel = Jmeint::new();
+        move |x, out| kernel.compute(x, out)
+    }
+
+    #[test]
+    fn mesh_against_itself_fully_collides_on_diagonal() {
+        let mesh = random_mesh(12, 3);
+        let hits = collision_pairs(&mesh, &mesh, exact_eval());
+        for i in 0..mesh.len() {
+            assert!(hits.contains(&(i, i)), "triangle {i} must intersect itself");
+        }
+    }
+
+    #[test]
+    fn far_apart_meshes_do_not_collide() {
+        let a = random_mesh(10, 1);
+        let b = a.translated(10.0, 0.0, 0.0);
+        assert!(collision_pairs(&a, &b, exact_eval()).is_empty());
+    }
+
+    #[test]
+    fn overlapping_meshes_collide_somewhere() {
+        let a = random_mesh(20, 5);
+        let b = random_mesh(20, 6);
+        assert!(!collision_pairs(&a, &b, exact_eval()).is_empty());
+    }
+
+    #[test]
+    fn translation_preserves_triangle_count() {
+        let a = random_mesh(7, 2);
+        assert_eq!(a.translated(1.0, 2.0, 3.0).len(), 7);
+    }
+
+    #[test]
+    fn approximate_evaluator_changes_verdicts() {
+        let a = random_mesh(15, 8);
+        let b = random_mesh(15, 9);
+        let exact = collision_pairs(&a, &b, exact_eval());
+        let always_no = collision_pairs(&a, &b, |_, out| {
+            out[0] = 0.0;
+            out[1] = 1.0;
+        });
+        assert!(always_no.is_empty());
+        assert_ne!(exact.len(), always_no.len());
+    }
+}

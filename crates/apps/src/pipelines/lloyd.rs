@@ -1,0 +1,194 @@
+//! Full kmeans application: Lloyd's clustering of an image's pixels with a
+//! pluggable point-to-centroid distance evaluator (the approximable kernel).
+
+use crate::image::Image;
+
+/// Result of a clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Final centroids.
+    pub centroids: Vec<[f64; 3]>,
+    /// Per-pixel cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Number of Lloyd iterations executed (stops early on convergence).
+    pub iterations: usize,
+    /// Total distance evaluations performed (the kernel invocation count).
+    pub distance_evaluations: usize,
+}
+
+/// Derives the RGB pixel stream the `kmeans` benchmark clusters, using the
+/// same deterministic chroma synthesis as the kernel's dataset generator.
+#[must_use]
+pub fn rgb_pixels_of(image: &Image) -> Vec<[f64; 3]> {
+    image
+        .pixels()
+        .iter()
+        .map(|&p| [p, (p * 0.8 + 0.1).clamp(0.0, 1.0), (1.0 - p * 0.9).clamp(0.0, 1.0)])
+        .collect()
+}
+
+/// Lloyd's algorithm over `pixels` with `k` clusters. The distance between
+/// a pixel and a centroid is computed by `eval`, which takes the kernel's
+/// 6-wide input row (pixel rgb + centroid rgb) and writes 1 distance — so
+/// the exact kernel, the accelerator, or a managed accelerator can slot in.
+///
+/// # Panics
+///
+/// Panics if `pixels` is empty, `k` is zero, or `max_iters` is zero.
+pub fn cluster_pixels(
+    pixels: &[[f64; 3]],
+    k: usize,
+    max_iters: usize,
+    mut eval: impl FnMut(&[f64], &mut [f64]),
+) -> Clustering {
+    assert!(!pixels.is_empty(), "need at least one pixel");
+    assert!(k > 0, "need at least one cluster");
+    assert!(max_iters > 0, "need at least one iteration");
+
+    // Deterministic init: evenly spaced pixels.
+    let mut centroids: Vec<[f64; 3]> =
+        (0..k).map(|c| pixels[c * pixels.len() / k]).collect();
+    let mut assignments = vec![0usize; pixels.len()];
+    let mut distance_evaluations = 0usize;
+    let mut iterations = 0usize;
+    let mut input = [0.0; 6];
+    let mut dist = [0.0];
+
+    for _ in 0..max_iters {
+        iterations += 1;
+        let mut changed = false;
+        for (pi, p) in pixels.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (ci, c) in centroids.iter().enumerate() {
+                input[..3].copy_from_slice(p);
+                input[3..].copy_from_slice(c);
+                eval(&input, &mut dist);
+                distance_evaluations += 1;
+                if dist[0] < best_d {
+                    best_d = dist[0];
+                    best = ci;
+                }
+            }
+            if assignments[pi] != best {
+                assignments[pi] = best;
+                changed = true;
+            }
+        }
+        // Centroid update is exact host code in the benchmark.
+        let mut sums = vec![[0.0f64; 3]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in pixels.iter().zip(&assignments) {
+            for c in 0..3 {
+                sums[a][c] += p[c];
+            }
+            counts[a] += 1;
+        }
+        for (ci, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
+            if count > 0 {
+                centroids[ci] = [
+                    sum[0] / count as f64,
+                    sum[1] / count as f64,
+                    sum[2] / count as f64,
+                ];
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Clustering { centroids, assignments, iterations, distance_evaluations }
+}
+
+/// Replaces every pixel with its cluster centroid's intensity (the first
+/// channel) — the color-quantization output the benchmark produces.
+///
+/// # Panics
+///
+/// Panics if the clustering's assignment count differs from the pixel count.
+#[must_use]
+pub fn quantize_image(image: &Image, clustering: &Clustering) -> Image {
+    assert_eq!(image.pixels().len(), clustering.assignments.len());
+    let mut out = image.clone();
+    for (p, &a) in out.pixels_mut().iter_mut().zip(&clustering.assignments) {
+        *p = clustering.centroids[a][0];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Kmeans;
+    use crate::Kernel;
+
+    fn exact_eval() -> impl FnMut(&[f64], &mut [f64]) {
+        let kernel = Kmeans::new();
+        move |x, out| kernel.compute(x, out)
+    }
+
+    #[test]
+    fn separable_points_get_separated() {
+        let mut pixels = vec![[0.1, 0.1, 0.1]; 30];
+        pixels.extend(vec![[0.9, 0.9, 0.9]; 30]);
+        let result = cluster_pixels(&pixels, 2, 20, exact_eval());
+        // All of the first group share a cluster, all of the second the other.
+        let a0 = result.assignments[0];
+        assert!(result.assignments[..30].iter().all(|&a| a == a0));
+        let a1 = result.assignments[30];
+        assert_ne!(a0, a1);
+        assert!(result.assignments[30..].iter().all(|&a| a == a1));
+    }
+
+    #[test]
+    fn converges_and_counts_evaluations() {
+        let img = Image::synthetic(24, 24, 8);
+        let pixels = rgb_pixels_of(&img);
+        let result = cluster_pixels(&pixels, 4, 50, exact_eval());
+        assert!(result.iterations < 50, "should converge early");
+        assert_eq!(
+            result.distance_evaluations,
+            result.iterations * pixels.len() * 4
+        );
+    }
+
+    #[test]
+    fn quantized_image_has_at_most_k_levels() {
+        let img = Image::synthetic(16, 16, 2);
+        let pixels = rgb_pixels_of(&img);
+        let result = cluster_pixels(&pixels, 3, 30, exact_eval());
+        let quantized = quantize_image(&img, &result);
+        let mut levels: Vec<u64> = quantized.pixels().iter().map(|p| p.to_bits()).collect();
+        levels.sort_unstable();
+        levels.dedup();
+        assert!(levels.len() <= 3);
+    }
+
+    #[test]
+    fn noisy_distance_degrades_clustering() {
+        let img = Image::synthetic(24, 24, 8);
+        let pixels = rgb_pixels_of(&img);
+        let exact = cluster_pixels(&pixels, 4, 50, exact_eval());
+        // A badly biased distance metric scrambles assignments.
+        let kernel = Kmeans::new();
+        let noisy = cluster_pixels(&pixels, 4, 50, |x, out| {
+            kernel.compute(x, out);
+            // Bias depends on pixel AND centroid, so it can flip argmins.
+            out[0] = (out[0] + ((x[0] + 2.0 * x[3]) * 37.0).sin().abs() * 0.5).max(0.0);
+        });
+        let disagreement = exact
+            .assignments
+            .iter()
+            .zip(&noisy.assignments)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(disagreement > 0, "noise must change some assignments");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one cluster")]
+    fn zero_k_rejected() {
+        let _ = cluster_pixels(&[[0.0; 3]], 0, 1, exact_eval());
+    }
+}

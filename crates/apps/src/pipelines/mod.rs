@@ -1,0 +1,21 @@
+//! Whole-application drivers around the approximable kernels.
+//!
+//! The paper's benchmarks are *applications*, not isolated kernels: sobel
+//! filters whole images, jpeg transcodes them, kmeans runs Lloyd iterations
+//! over every pixel, jmeint culls collisions between meshes. These drivers
+//! run the full applications with a *pluggable kernel evaluator*, so the
+//! exact function, the raw accelerator, or a Rumba-managed accelerator can
+//! be swapped in and the end-to-end output quality compared.
+//!
+//! Each evaluator is a `FnMut(&[f64], &mut [f64])` matching
+//! [`crate::Kernel::compute`]'s shape.
+
+mod collision;
+mod edges;
+mod lloyd;
+mod transcode;
+
+pub use collision::{collision_pairs, random_mesh, Mesh, Triangle};
+pub use edges::edge_map;
+pub use lloyd::{cluster_pixels, quantize_image, rgb_pixels_of, Clustering};
+pub use transcode::transcode_image;

@@ -1,0 +1,84 @@
+//! Full jpeg application: transcode a whole image block by block through a
+//! pluggable 8×8 codec evaluator.
+
+use crate::image::Image;
+
+/// Pushes every full 8×8 block of `image` through `eval` (64 pixels in, 64
+/// reconstructed pixels out) and reassembles the result. Trailing rows or
+/// columns that do not fill a block are copied through untouched.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_apps::image::Image;
+/// use rumba_apps::kernels::Jpeg;
+/// use rumba_apps::pipelines::transcode_image;
+/// use rumba_apps::Kernel;
+///
+/// let img = Image::synthetic(40, 24, 5);
+/// let jpeg = Jpeg::new();
+/// let out = transcode_image(&img, |b, o| jpeg.compute(b, o));
+/// assert_eq!(out.width(), 40);
+/// ```
+pub fn transcode_image(image: &Image, mut eval: impl FnMut(&[f64], &mut [f64])) -> Image {
+    let mut out = image.clone();
+    let bw = image.width() / 8;
+    let bh = image.height() / 8;
+    let mut block = [0.0; 64];
+    let mut coded = [0.0; 64];
+    for by in 0..bh {
+        for bx in 0..bw {
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    block[dy * 8 + dx] = image.get(bx * 8 + dx, by * 8 + dy);
+                }
+            }
+            eval(&block, &mut coded);
+            for dy in 0..8 {
+                for dx in 0..8 {
+                    out.set(bx * 8 + dx, by * 8 + dy, coded[dy * 8 + dx].clamp(0.0, 1.0));
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::Jpeg;
+    use crate::Kernel;
+
+    #[test]
+    fn identity_codec_preserves_the_image() {
+        let img = Image::synthetic(32, 32, 9);
+        let out = transcode_image(&img, |b, o| o.copy_from_slice(b));
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    fn real_codec_is_close_but_lossy() {
+        let img = Image::synthetic(64, 64, 2);
+        let jpeg = Jpeg::new();
+        let out = transcode_image(&img, |b, o| jpeg.compute(b, o));
+        let diff: f64 = img
+            .pixels()
+            .iter()
+            .zip(out.pixels())
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / img.pixels().len() as f64;
+        assert!(diff > 0.0, "codec must be lossy");
+        assert!(diff < 0.15, "but close: {diff}");
+    }
+
+    #[test]
+    fn partial_blocks_pass_through() {
+        let img = Image::synthetic(20, 20, 4); // 2x2 blocks + 4-pixel margin
+        let out = transcode_image(&img, |_, o| o.fill(0.0));
+        // Inside the block grid: zeroed. Outside: original.
+        assert_eq!(out.get(0, 0), 0.0);
+        assert_eq!(out.get(17, 17), img.get(17, 17));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests over the benchmark kernels and metrics.
+
+use proptest::prelude::*;
+use rumba_apps::kernels::{
+    call_price, forward_kinematics, gradient_magnitude, inverse_kinematics, rgb_distance,
+    tri_tri_intersect, codec_block,
+};
+use rumba_apps::{all_kernels, dataset_from_inputs, ErrorMetric};
+
+proptest! {
+    #[test]
+    fn metric_identity_is_zero(values in proptest::collection::vec(-10.0f64..10.0, 1..8)) {
+        for metric in [
+            ErrorMetric::MeanRelativeError { eps: 0.05 },
+            ErrorMetric::MeanAbsoluteError { scale: 1.0 },
+        ] {
+            prop_assert_eq!(metric.invocation_error(&values, &values), 0.0);
+        }
+    }
+
+    #[test]
+    fn metric_is_nonnegative_and_symmetric_in_absolute_form(
+        a in proptest::collection::vec(-10.0f64..10.0, 4),
+        b in proptest::collection::vec(-10.0f64..10.0, 4),
+    ) {
+        let m = ErrorMetric::MeanAbsoluteError { scale: 2.0 };
+        let e_ab = m.invocation_error(&a, &b);
+        let e_ba = m.invocation_error(&b, &a);
+        prop_assert!(e_ab >= 0.0);
+        prop_assert!((e_ab - e_ba).abs() < 1e-12, "absolute error is symmetric");
+    }
+
+    #[test]
+    fn miss_rate_is_binary(a in -5.0f64..5.0, b in -5.0f64..5.0, c in -5.0f64..5.0, d in -5.0f64..5.0) {
+        let e = ErrorMetric::MissRate.invocation_error(&[a, b], &[c, d]);
+        prop_assert!(e == 0.0 || e == 1.0);
+    }
+
+    #[test]
+    fn blackscholes_price_within_no_arbitrage_bounds(
+        m in 0.6f64..1.4,
+        t in 0.05f64..1.0,
+        v in 0.1f64..0.6,
+    ) {
+        let c = call_price(m, t, v);
+        prop_assert!(c.is_finite());
+        prop_assert!(c >= (m - 1.0f64).max(0.0) - 0.05, "above intrinsic-ish floor: {c}");
+        prop_assert!(c <= m + 1e-9, "below the underlying: {c}");
+    }
+
+    #[test]
+    fn inverse_kinematics_round_trips_inside_workspace(
+        t1 in 0.15f64..1.5,
+        t2 in 0.1f64..3.0,
+    ) {
+        let (x, y) = forward_kinematics(t1, t2);
+        let (r1, r2) = inverse_kinematics(x, y);
+        let (fx, fy) = forward_kinematics(r1, r2);
+        prop_assert!((fx - x).abs() < 1e-6 && (fy - y).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sobel_magnitude_bounded(window in proptest::array::uniform9(0.0f64..1.0)) {
+        let g = gradient_magnitude(&window);
+        prop_assert!((0.0..=1.0).contains(&g));
+    }
+
+    #[test]
+    fn rgb_distance_is_a_metric(
+        p in proptest::array::uniform3(0.0f64..1.0),
+        q in proptest::array::uniform3(0.0f64..1.0),
+        r in proptest::array::uniform3(0.0f64..1.0),
+    ) {
+        prop_assert_eq!(rgb_distance(p, p), 0.0);
+        prop_assert!((rgb_distance(p, q) - rgb_distance(q, p)).abs() < 1e-15);
+        prop_assert!(rgb_distance(p, r) <= rgb_distance(p, q) + rgb_distance(q, r) + 1e-12);
+    }
+
+    #[test]
+    fn triangle_intersection_invariant_under_vertex_rotation(
+        t1 in proptest::array::uniform9(0.0f64..1.0),
+        t2 in proptest::array::uniform9(0.0f64..1.0),
+    ) {
+        // Rotating the vertex order of a triangle must not change the verdict.
+        let rotated: [f64; 9] = [t1[3], t1[4], t1[5], t1[6], t1[7], t1[8], t1[0], t1[1], t1[2]];
+        prop_assert_eq!(tri_tri_intersect(&t1, &t2), tri_tri_intersect(&rotated, &t2));
+    }
+
+    #[test]
+    fn jpeg_codec_outputs_valid_pixels(block in proptest::collection::vec(0.0f64..1.0, 64)) {
+        let arr: [f64; 64] = block.try_into().expect("64 entries");
+        let out = codec_block(&arr);
+        prop_assert!(out.iter().all(|p| (0.0..=1.0).contains(p)));
+    }
+}
+
+#[test]
+fn kernels_produce_finite_outputs_on_their_domains() {
+    for kernel in all_kernels() {
+        let data = kernel.generate(rumba_apps::Split::Test, 5);
+        for (x, y) in data.iter() {
+            assert!(x.iter().all(|v| v.is_finite()), "{} input", kernel.name());
+            assert!(y.iter().all(|v| v.is_finite()), "{} output", kernel.name());
+        }
+    }
+}
+
+#[test]
+fn dataset_from_inputs_reproduces_compute() {
+    for kernel in all_kernels() {
+        let data = kernel.generate(rumba_apps::Split::Train, 11);
+        let i = data.len() - 1;
+        let rebuilt = dataset_from_inputs(kernel.as_ref(), data.input(i));
+        assert_eq!(rebuilt.target(0), data.target(i), "{}", kernel.name());
+    }
+}

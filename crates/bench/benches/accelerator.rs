@@ -1,0 +1,53 @@
+//! Wall-clock cost of one accelerator invocation per Table-1 topology —
+//! the simulation-side counterpart of the NPU cycle model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumba_accel::{Npu, NpuParams};
+use rumba_nn::{Activation, NnDataset, TrainParams, TrainedModel};
+use std::hint::black_box;
+
+fn quick_model(topology: &[usize]) -> TrainedModel {
+    let data = NnDataset::from_fn(topology[0], *topology.last().expect("nonempty"), 64, |i, x, y| {
+        for (j, v) in x.iter_mut().enumerate() {
+            *v = ((i * 13 + j * 7) % 50) as f64 / 50.0;
+        }
+        for v in y.iter_mut() {
+            *v = (i % 50) as f64 / 50.0;
+        }
+    })
+    .expect("valid dims");
+    let params = TrainParams { epochs: 2, ..TrainParams::default() };
+    TrainedModel::fit(topology, Activation::Sigmoid, &data, &params, 1).expect("fits")
+}
+
+fn bench_npu(c: &mut Criterion) {
+    let topologies: [(&str, Vec<usize>); 4] = [
+        ("blackscholes 3-8-8-1", vec![3, 8, 8, 1]),
+        ("inversek2j 2-2-2", vec![2, 2, 2]),
+        ("jmeint 18-32-2-2", vec![18, 32, 2, 2]),
+        ("jpeg 64-16-64", vec![64, 16, 64]),
+    ];
+    let mut group = c.benchmark_group("npu_invoke");
+    for (name, topo) in topologies {
+        let npu = Npu::new(quick_model(&topo), NpuParams::default());
+        let input = vec![0.3; topo[0]];
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(npu.invoke(black_box(&input)).expect("width matches")));
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_npu
+}
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Wall-clock latency of one checker prediction for each light-weight
+//! error-prediction method — the software analogue of Figure 17's "the
+//! checker always finishes before the accelerator".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumba_predict::{EmaDetector, ErrorEstimator, EvpErrors, LinearErrors, TreeErrors, TreeParams};
+use std::hint::black_box;
+
+fn training_rows(dim: usize, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..dim).map(|j| ((i * 31 + j * 17) % 100) as f64 / 100.0).collect())
+        .collect();
+    let errors: Vec<f64> =
+        rows.iter().map(|r| if r[0] > 0.7 { 0.5 } else { 0.02 + r[dim - 1] * 0.01 }).collect();
+    (rows, errors)
+}
+
+fn bench_checkers(c: &mut Criterion) {
+    let dim = 9; // sobel-sized input
+    let (rows, errors) = training_rows(dim, 2_000);
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    let exact: Vec<Vec<f64>> = rows.iter().map(|r| vec![r[0] * 0.5]).collect();
+    let exact_refs: Vec<&[f64]> = exact.iter().map(Vec::as_slice).collect();
+
+    let mut linear = LinearErrors::train(&refs, &errors, 1e-6).expect("fits");
+    let mut tree = TreeErrors::train(&refs, &errors, &TreeParams::default()).expect("fits");
+    let mut ema = EmaDetector::new(8, 1).expect("valid");
+    let mut evp = EvpErrors::train(&refs, &exact_refs, 1e-6).expect("fits");
+
+    let input = rows[1_000].clone();
+    let approx = [0.4];
+
+    let mut group = c.benchmark_group("checker_predict");
+    group.bench_function("linearErrors", |b| {
+        b.iter(|| black_box(linear.estimate(black_box(&input), &approx)));
+    });
+    group.bench_function("treeErrors", |b| {
+        b.iter(|| black_box(tree.estimate(black_box(&input), &approx)));
+    });
+    group.bench_function("EMA", |b| {
+        b.iter(|| black_box(ema.estimate(black_box(&input), &approx)));
+    });
+    group.bench_function("EVP", |b| {
+        b.iter(|| black_box(evp.estimate(black_box(&input), &approx)));
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_checkers
+}
+criterion_main!(benches);

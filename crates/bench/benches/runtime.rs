@@ -1,0 +1,46 @@
+//! End-to-end throughput of the online Rumba system: 2 000 invocations of
+//! detection + selective recovery + merging + tuning on the Gaussian
+//! kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumba_accel::CheckerUnit;
+use rumba_apps::{kernel_by_name, Split};
+use rumba_core::runtime::{RumbaSystem, RuntimeConfig};
+use rumba_core::trainer::{train_app, OfflineConfig};
+use rumba_core::tuner::{Tuner, TuningMode};
+use std::hint::black_box;
+
+fn bench_runtime(c: &mut Criterion) {
+    let kernel = kernel_by_name("gaussian").expect("didactic kernel");
+    let app = train_app(kernel.as_ref(), &OfflineConfig::default()).expect("training succeeds");
+    let test = kernel.generate(Split::Test, 42);
+
+    let mut group = c.benchmark_group("online_system");
+    group.bench_function("run_2000_invocations", |b| {
+        b.iter(|| {
+            let mut system = RumbaSystem::new(
+                app.rumba_npu.clone(),
+                CheckerUnit::new(Box::new(app.tree.clone())),
+                Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.05).expect("valid"),
+                RuntimeConfig::default(),
+            )
+            .expect("valid config");
+            black_box(system.run(kernel.as_ref(), &test).expect("run succeeds"))
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_runtime
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Cost of the offline trainers: checker fitting (linear least squares and
+//! CART) and a small accelerator-network training run. These run once per
+//! application deployment, so seconds are acceptable — the bench documents
+//! the budget.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumba_nn::{Activation, Mlp, NnDataset, TrainParams, Trainer};
+use rumba_predict::{LinearErrors, TreeErrors, TreeParams};
+use std::hint::black_box;
+
+fn bench_training(c: &mut Criterion) {
+    let n = 5_000;
+    let dim = 3;
+    let rows: Vec<Vec<f64>> = (0..n)
+        .map(|i| (0..dim).map(|j| ((i * 31 + j * 17) % 100) as f64 / 100.0).collect())
+        .collect();
+    let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+    let errors: Vec<f64> = rows.iter().map(|r| (r[0] - 0.5).abs() * 0.4).collect();
+
+    let mut group = c.benchmark_group("offline_training");
+    group.bench_function("linear_checker_5k", |b| {
+        b.iter(|| black_box(LinearErrors::train(&refs, &errors, 1e-6).expect("fits")));
+    });
+    group.bench_function("tree_checker_5k_depth7", |b| {
+        b.iter(|| {
+            black_box(TreeErrors::train(&refs, &errors, &TreeParams::default()).expect("fits"))
+        });
+    });
+
+    let data = NnDataset::from_fn(1, 1, 512, |i, x, y| {
+        x[0] = i as f64 / 512.0;
+        y[0] = (x[0] * 5.0).sin() * 0.5 + 0.5;
+    })
+    .expect("valid dims");
+    group.bench_function("mlp_1_8_1_20_epochs", |b| {
+        b.iter(|| {
+            let mut mlp = Mlp::new(&[1, 8, 1], Activation::Sigmoid, 3).expect("valid");
+            let params = TrainParams { epochs: 20, ..TrainParams::default() };
+            black_box(Trainer::new(params).train(&mut mlp, &data).expect("trains"))
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_training
+}
+criterion_main!(benches);

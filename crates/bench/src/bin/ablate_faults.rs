@@ -1,0 +1,88 @@
+//! Ablation — transient faults: §6 notes Rumba's re-execution idea comes
+//! from soft-error recovery. If the accelerator also suffers *transient
+//! faults* (particle strikes, voltage droop) on top of its systematic
+//! approximation error, the checker families behave very differently:
+//! input-based predictors (linear/tree) cannot see a fault at all — the
+//! inputs look benign — while the output-based EMA flags the deviating
+//! output immediately.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_apps::{kernel_by_name, Split};
+use rumba_bench::{print_table, HARNESS_SEED};
+use rumba_core::trainer::{train_app, OfflineConfig};
+use rumba_predict::{EmaDetector, ErrorEstimator, MaxEnsemble};
+
+fn main() {
+    println!("Ablation: transient-fault coverage by checker family (fft).\n");
+    let kernel = kernel_by_name("fft").expect("known benchmark");
+    let cfg = OfflineConfig { seed: HARNESS_SEED, ..OfflineConfig::default() };
+    eprintln!("[ablate] training ...");
+    let mut app = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
+    let test = kernel.generate(Split::Test, HARNESS_SEED);
+    let out_dim = kernel.output_dim();
+
+    // Replay with fault injection: each invocation's output is struck with
+    // probability `fault_rate`, flipping it to a large wrong value.
+    let fault_rate = 0.01;
+    let mut rng = StdRng::seed_from_u64(0xfau64 << 32 | 0x17);
+    let mut approx = Vec::with_capacity(test.len() * out_dim);
+    let mut faulted = vec![false; test.len()];
+    for (i, struck) in faulted.iter_mut().enumerate() {
+        let mut out = app.rumba_npu.invoke(test.input(i)).expect("width matches").outputs;
+        if rng.gen::<f64>() < fault_rate {
+            let victim = rng.gen_range(0..out_dim);
+            out[victim] = rng.gen_range(3.0..6.0) * if rng.gen() { 1.0 } else { -1.0 };
+            *struck = true;
+        }
+        approx.extend(out);
+    }
+    let injected = faulted.iter().filter(|&&f| f).count();
+
+    // Score the stream with each checker and measure, at each checker's own
+    // 95th-percentile threshold, how many faults it flags.
+    let mut ema = EmaDetector::new(app.ema_window, out_dim).expect("valid window");
+    let mut both = MaxEnsemble::new(
+        Box::new(app.tree.clone()),
+        Box::new(EmaDetector::new(app.ema_window, out_dim).expect("valid window")),
+    );
+    let score = |est: &mut dyn ErrorEstimator| -> Vec<f64> {
+        est.reset();
+        (0..test.len())
+            .map(|i| est.estimate(test.input(i), &approx[i * out_dim..(i + 1) * out_dim]))
+            .collect()
+    };
+    let schemes: Vec<(&str, Vec<f64>)> = vec![
+        ("linearErrors (input-based)", score(&mut app.linear)),
+        ("treeErrors (input-based)", score(&mut app.tree)),
+        ("EMA (output-based)", score(&mut ema)),
+        ("tree+EMA (maxEnsemble)", score(&mut both)),
+    ];
+
+    let header: Vec<String> =
+        ["checker", "faults flagged", "coverage"].iter().map(ToString::to_string).collect();
+    let mut rows = Vec::new();
+    for (label, scores) in &schemes {
+        let mut sorted = scores.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let threshold = sorted[(sorted.len() as f64 * 0.95) as usize];
+        let caught = faulted
+            .iter()
+            .zip(scores)
+            .filter(|(&f, &s)| f && s > threshold)
+            .count();
+        rows.push(vec![
+            (*label).to_owned(),
+            format!("{caught} / {injected}"),
+            format!("{:.0}%", caught as f64 / injected.max(1) as f64 * 100.0),
+        ]);
+    }
+    print_table(&header, &rows);
+
+    println!("\nInjected {injected} transient faults ({:.1}% of invocations), each flipping one", fault_rate * 100.0);
+    println!("output to a wildly wrong value. Flagging budget: each checker's top 5%.");
+    println!("\nExpected: the input-based checkers flag faults only by coincidence (the");
+    println!("struck inputs are distributed like any others → ≈5% coverage), while EMA");
+    println!("catches nearly all of them — the niche §3.2.3's output-based method fills,");
+    println!("and why a deployment may want both detector families side by side.");
+}

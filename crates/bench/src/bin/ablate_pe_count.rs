@@ -1,0 +1,70 @@
+//! Ablation — accelerator PE count: more processing elements shorten the
+//! accelerator's invocation, which *raises* performance but *shrinks* the
+//! recovery headroom (the CPU can hide fewer re-executions behind a faster
+//! accelerator) — the tension at the heart of §3.3's keep-up argument.
+//!
+//! Uses `jmeint` (18->32->2->2), the widest Table-1 topology, where PE
+//! scaling actually changes the wave schedule.
+
+use rumba_accel::{Npu, NpuParams};
+use rumba_apps::kernel_by_name;
+use rumba_bench::{fixes_at_toq, print_table, ratio, HARNESS_SEED};
+use rumba_core::context::AppContext;
+use rumba_core::scheme::SchemeKind;
+use rumba_energy::{EnergyParams, SchemeActivity, SystemModel};
+
+fn main() {
+    println!("Ablation: NPU processing-element count (jmeint, treeErrors at 90% TOQ).\n");
+    let kernel = kernel_by_name("jmeint").expect("known benchmark");
+    let model = SystemModel::new(EnergyParams::default());
+
+    // The trained network and the checker's firing decisions do not depend
+    // on the PE count, so train once and re-derive only the cycle model.
+    eprintln!("[ablate] training jmeint once ...");
+    let ctx = AppContext::build(kernel.as_ref(), HARNESS_SEED).expect("training succeeds");
+    let fixes = fixes_at_toq(&ctx, SchemeKind::TreeErrors);
+    let workload = ctx.workload();
+    let baseline = model.cpu_baseline(&workload);
+
+    let header: Vec<String> = [
+        "PEs",
+        "npu cycles",
+        "kernel gain",
+        "keep-up cap",
+        "fires",
+        "speedup",
+        "energy red.",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+
+    let mut rows = Vec::new();
+    for pes in [1usize, 2, 4, 8, 16, 32] {
+        let params = NpuParams { pe_count: pes, ..NpuParams::default() };
+        let npu = Npu::new(ctx.trained().rumba_npu.model().clone(), params);
+        let npu_cycles = npu.cycles_per_invocation();
+        let gain = kernel.cpu_cycles() / npu_cycles as f64;
+
+        let activity = SchemeActivity {
+            npu_cycles_per_invocation: npu_cycles,
+            ..ctx.scheme_activity(SchemeKind::TreeErrors, fixes)
+        };
+        let run = model.accelerated(&workload, &activity);
+        rows.push(vec![
+            pes.to_string(),
+            npu_cycles.to_string(),
+            format!("{gain:.2}x"),
+            format!("{:.1}%", 100.0 / gain.max(1e-9)),
+            format!("{:.1}%", fixes as f64 / ctx.len() as f64 * 100.0),
+            ratio(run.speedup_vs(&baseline)),
+            ratio(run.energy_reduction_vs(&baseline)),
+        ]);
+    }
+    print_table(&header, &rows);
+
+    println!("\nkeep-up cap = fraction of iterations the CPU can re-execute without stalling");
+    println!("the pipeline (1 / kernel gain). Once the firing rate crosses it, extra PEs stop");
+    println!("helping: the CPU recovery stream becomes the bottleneck, so speedup saturates");
+    println!("even though raw accelerator cycles keep falling.");
+}

@@ -1,0 +1,77 @@
+//! Ablation — "dialing up the approximation" (§3.1: "with Rumba's error
+//! correction capabilities, it will be possible to dial up the amount of
+//! approximation ... while still producing user acceptable outputs").
+//!
+//! The accelerator datapath precision is swept from full precision down to
+//! a 4-bit grid (modeling St. Amant et al.'s limited-precision analog
+//! implementation, the paper's reference \[4\]). The unchecked output error
+//! climbs, but Rumba's treeErrors checker holds the 90 % target by fixing
+//! more — quality management converts unusable aggression into usable
+//! aggression.
+
+use rumba_accel::NpuParams;
+use rumba_apps::kernel_by_name;
+use rumba_bench::{fixes_at_toq, print_table, ratio, target_error, HARNESS_SEED};
+use rumba_core::context::AppContext;
+use rumba_core::scheme::SchemeKind;
+use rumba_core::trainer::OfflineConfig;
+use rumba_energy::{EnergyParams, SystemModel};
+
+fn main() {
+    println!("Ablation: datapath precision (blackscholes, treeErrors at 90% TOQ).\n");
+    let kernel = kernel_by_name("blackscholes").expect("known benchmark");
+    let model = SystemModel::new(EnergyParams::default());
+
+    let header: Vec<String> = [
+        "precision",
+        "unchecked err",
+        "fires",
+        "managed err",
+        "speedup",
+        "energy red.",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+
+    let mut rows = Vec::new();
+    let settings: [(String, Option<u32>); 5] = [
+        ("full".to_owned(), None),
+        ("10-bit".to_owned(), Some(10)),
+        ("8-bit".to_owned(), Some(8)),
+        ("6-bit".to_owned(), Some(6)),
+        ("4-bit".to_owned(), Some(4)),
+    ];
+    for (label, bits) in settings {
+        let cfg = OfflineConfig {
+            seed: HARNESS_SEED,
+            npu_params: NpuParams { precision_bits: bits, ..NpuParams::default() },
+            ..OfflineConfig::default()
+        };
+        eprintln!("[ablate] precision {label} ...");
+        let ctx = AppContext::build_with_config(kernel.as_ref(), &cfg)
+            .expect("training succeeds");
+        let fixes = fixes_at_toq(&ctx, SchemeKind::TreeErrors);
+        let managed = ctx.error_after_fixing(SchemeKind::TreeErrors, fixes);
+        let workload = ctx.workload();
+        let baseline = model.cpu_baseline(&workload);
+        let run =
+            model.accelerated(&workload, &ctx.scheme_activity(SchemeKind::TreeErrors, fixes));
+        rows.push(vec![
+            label,
+            format!("{:.1}%", ctx.unchecked_output_error() * 100.0),
+            format!("{:.1}%", fixes as f64 / ctx.len() as f64 * 100.0),
+            format!("{:.1}%", managed * 100.0),
+            ratio(run.speedup_vs(&baseline)),
+            ratio(run.energy_reduction_vs(&baseline)),
+        ]);
+    }
+    print_table(&header, &rows);
+
+    println!(
+        "\nEvery row ends at or below the {:.0}% error target: the checker absorbs the",
+        target_error() * 100.0
+    );
+    println!("extra approximation by re-executing more, trading energy for aggression —");
+    println!("exactly the trade §3.1 promises quality management unlocks.");
+}

@@ -1,0 +1,73 @@
+//! Ablation — decision-tree depth: the paper caps the tree at depth 7.
+//! Sweeping the cap shows the accuracy/hardware-cost trade-off: shallow
+//! trees under-fit the error landscape (more fixes for the same quality),
+//! deeper ones stop paying off while costing more comparator cycles.
+
+use rumba_apps::{kernel_by_name, Split};
+use rumba_bench::{print_table, target_error, HARNESS_SEED};
+use rumba_core::trainer::{invocation_errors, train_app, OfflineConfig};
+use rumba_predict::{ErrorEstimator, TreeErrors, TreeParams};
+
+fn main() {
+    println!("Ablation: decision-tree depth cap (fixes needed for 90% TOQ).\n");
+    let apps = ["blackscholes", "inversek2j", "sobel"];
+    let mut header = vec!["depth".to_owned()];
+    for app in apps {
+        header.push(format!("{app} fixes"));
+    }
+    header.push("tree cycles".to_owned());
+
+    // Train each app once; re-fit only the tree per depth.
+    let mut contexts = Vec::new();
+    for app in apps {
+        let kernel = kernel_by_name(app).expect("known benchmark");
+        let cfg = OfflineConfig { seed: HARNESS_SEED, ..OfflineConfig::default() };
+        eprintln!("[ablate] training {app} ...");
+        let trained = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
+        let train = kernel.generate(Split::Train, HARNESS_SEED);
+        let test = kernel.generate(Split::Test, HARNESS_SEED);
+        let test_errors =
+            invocation_errors(kernel.as_ref(), &trained.rumba_npu, &test).expect("replay");
+        contexts.push((kernel, trained, train, test, test_errors));
+    }
+
+    let mut rows = Vec::new();
+    for depth in 1..=9 {
+        let mut row = vec![depth.to_string()];
+        let mut max_cycles = 0usize;
+        for (_, trained, train, test, test_errors) in &contexts {
+            let rows_train: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+            let params = TreeParams { max_depth: depth, ..TreeParams::default() };
+            let mut tree =
+                TreeErrors::train(&rows_train, &trained.train_errors, &params).expect("fits");
+
+            // Fixes needed: sort test by predicted score, find the k
+            // reaching the error budget.
+            let scores: Vec<f64> =
+                (0..test.len()).map(|i| tree.estimate(test.input(i), &[])).collect();
+            let mut order: Vec<usize> = (0..test.len()).collect();
+            order.sort_by(|&a, &b| {
+                scores[b].partial_cmp(&scores[a]).expect("finite").then(a.cmp(&b))
+            });
+            let total: f64 = test_errors.iter().sum();
+            let mut remaining = total;
+            let mut k = test.len();
+            for (j, &i) in order.iter().enumerate() {
+                if remaining / test.len() as f64 <= target_error() {
+                    k = j;
+                    break;
+                }
+                remaining -= test_errors[i];
+            }
+            row.push(format!("{:.1}%", k as f64 / test.len() as f64 * 100.0));
+            let cost = tree.cost();
+            max_cycles = max_cycles.max(cost.comparisons + 1);
+        }
+        row.push(max_cycles.to_string());
+        rows.push(row);
+    }
+    print_table(&header, &rows);
+
+    println!("\nExpected: fixes drop steeply up to depth ~5-7 and flatten after — the paper's");
+    println!("depth-7 cap buys nearly all of the accuracy at single-digit comparator cycles.");
+}

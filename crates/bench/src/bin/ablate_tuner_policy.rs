@@ -1,0 +1,89 @@
+//! Ablation — tuner step policies: the paper's symmetric multiplicative
+//! adjustment vs an AIMD (additive-relax / multiplicative-protect) policy,
+//! in TOQ mode under a mid-stream distribution shift (the input statistics
+//! change half way through, as they do when a new image or scene arrives).
+
+use rumba_accel::CheckerUnit;
+use rumba_apps::{kernel_by_name, Split};
+use rumba_bench::{print_table, HARNESS_SEED};
+use rumba_core::runtime::{RumbaSystem, RuntimeConfig};
+use rumba_core::trainer::{train_app, OfflineConfig};
+use rumba_core::tuner::{calibrate_threshold, StepPolicy, Tuner, TuningMode};
+use rumba_nn::NnDataset;
+use rumba_predict::ErrorEstimator;
+
+fn main() {
+    println!("Ablation: tuner step policy under a mid-stream shift (inversek2j, TOQ 90%).\n");
+    let kernel = kernel_by_name("inversek2j").expect("known benchmark");
+    let cfg = OfflineConfig { seed: HARNESS_SEED, ..OfflineConfig::default() };
+    eprintln!("[ablate] training ...");
+    let app = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
+
+    // Stream: easy half (test distribution) followed by a hard half (the
+    // same inputs pulled toward the workspace boundary, where errors live).
+    let test = kernel.generate(Split::Test, HARNESS_SEED);
+    let mut stream = NnDataset::new(2, 2).expect("valid dims");
+    let half = test.len() / 2;
+    for i in 0..half {
+        stream.push(test.input(i), test.target(i)).expect("widths match");
+    }
+    for i in half..test.len() {
+        let x = test.input(i);
+        // Push targets outward radially: boundary poses are the hard cases.
+        let r = (x[0] * x[0] + x[1] * x[1]).sqrt().max(1e-9);
+        let stretch = (0.98 / r).min(1.35);
+        let moved = [x[0] * stretch, x[1] * stretch];
+        let mut exact = [0.0; 2];
+        kernel.compute(&moved, &mut exact);
+        stream.push(&moved, &exact).expect("widths match");
+    }
+
+    let train = kernel.generate(Split::Train, HARNESS_SEED);
+    let mut probe = app.tree.clone();
+    let predicted: Vec<f64> =
+        (0..train.len()).map(|i| probe.estimate(train.input(i), &[])).collect();
+    let threshold = calibrate_threshold(&predicted, &app.train_errors, 0.10);
+
+    let policies: Vec<(&str, StepPolicy)> = vec![
+        ("multiplicative 0.05", StepPolicy::Multiplicative { step: 0.05 }),
+        ("multiplicative 0.15", StepPolicy::Multiplicative { step: 0.15 }),
+        ("multiplicative 0.40", StepPolicy::Multiplicative { step: 0.40 }),
+        ("AIMD 0.05/0.40", StepPolicy::Aimd { increase: 0.05, decrease: 0.40 }),
+    ];
+
+    let header: Vec<String> =
+        ["policy", "output error", "fixes", "threshold swings*"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+
+    let mut rows = Vec::new();
+    for (label, policy) in policies {
+        let mut system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::with_policy(TuningMode::TargetQuality { toq: 0.90 }, threshold, policy)
+                .expect("valid tuner"),
+            RuntimeConfig::default(),
+        )
+        .expect("valid config");
+        let outcome = system.run(kernel.as_ref(), &stream).expect("run succeeds");
+        let swings: f64 = outcome
+            .threshold_history
+            .windows(2)
+            .map(|w| (w[1] / w[0]).ln().abs())
+            .sum();
+        rows.push(vec![
+            label.to_owned(),
+            format!("{:.2}%", outcome.output_error * 100.0),
+            format!("{:.1}%", outcome.fixes as f64 / stream.len() as f64 * 100.0),
+            format!("{swings:.2}"),
+        ]);
+    }
+    print_table(&header, &rows);
+
+    println!("\n* total |log threshold| movement — a proxy for control churn.");
+    println!("\nExpected: tiny steps adapt too slowly to the shift (quality sags mid-stream);");
+    println!("huge steps oscillate; AIMD reacts hard to the violation and relaxes gently,");
+    println!("holding quality with less churn than an equally aggressive symmetric step.");
+}

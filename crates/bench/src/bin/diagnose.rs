@@ -1,0 +1,40 @@
+//! Calibration diagnostic (not a paper figure): per benchmark, the
+//! unchecked output errors of both accelerator topologies, the fixes each
+//! scheme needs for 90 % quality, and checker agreement statistics. Used to
+//! sanity-check that the reproduction sits in the paper's operating regime
+//! (unchecked error ≈ 10–30 %, checkers ≈ Ideal, Random/Uniform far worse).
+
+use rumba_bench::{fixes_at_toq, pct, print_table, Suite};
+use rumba_core::scheme::SchemeKind;
+
+fn main() {
+    let suite = Suite::build().expect("suite trains");
+    let header: Vec<String> = [
+        "app", "unchecked", "npu-base", "n", "kIdeal", "kRandom", "kEMA", "kLinear", "kTree",
+        "s_kernel",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+
+    let mut rows = Vec::new();
+    for entry in suite.entries() {
+        let ctx = &entry.ctx;
+        let n = ctx.len();
+        let s_kernel = entry.kernel.cpu_cycles()
+            / ctx.trained().rumba_npu.cycles_per_invocation() as f64;
+        rows.push(vec![
+            ctx.name().to_owned(),
+            pct(ctx.unchecked_output_error()),
+            pct(ctx.baseline_output_error()),
+            n.to_string(),
+            pct(fixes_at_toq(ctx, SchemeKind::Ideal) as f64 / n as f64),
+            pct(fixes_at_toq(ctx, SchemeKind::Random) as f64 / n as f64),
+            pct(fixes_at_toq(ctx, SchemeKind::Ema) as f64 / n as f64),
+            pct(fixes_at_toq(ctx, SchemeKind::LinearErrors) as f64 / n as f64),
+            pct(fixes_at_toq(ctx, SchemeKind::TreeErrors) as f64 / n as f64),
+            format!("{s_kernel:.2}"),
+        ]);
+    }
+    print_table(&header, &rows);
+}

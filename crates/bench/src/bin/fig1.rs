@@ -1,0 +1,44 @@
+//! Figure 1 — typical cumulative distribution function of errors generated
+//! by approximation: most output elements have small errors, a few have
+//! large ones.
+//!
+//! Prints, per benchmark, the fraction of elements below a grid of error
+//! levels, plus the paper's headline statistic (the share of elements with
+//! errors under 10 %).
+
+use rumba_bench::{print_table, Suite};
+use rumba_core::analysis::error_cdf;
+
+fn main() {
+    let suite = Suite::build().expect("suite trains");
+
+    println!("Figure 1: CDF of per-element approximation errors (unchecked accelerator).\n");
+    let levels = [0.02, 0.05, 0.10, 0.20, 0.50];
+    let mut header = vec!["app".to_owned()];
+    header.extend(levels.iter().map(|l| format!("<= {:.0}%", l * 100.0)));
+    header.push("p95 error".to_owned());
+
+    let mut rows = Vec::new();
+    for entry in suite.entries() {
+        let errors = entry.ctx.true_errors();
+        let mut sorted = errors.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let frac_below = |level: f64| {
+            sorted.partition_point(|&e| e <= level) as f64 / sorted.len() as f64
+        };
+        let p95 = sorted[(sorted.len() as f64 * 0.95) as usize];
+        let mut row = vec![entry.ctx.name().to_owned()];
+        row.extend(levels.iter().map(|&l| format!("{:.1}%", frac_below(l) * 100.0)));
+        row.push(format!("{:.1}%", p95 * 100.0));
+        rows.push(row);
+    }
+    print_table(&header, &rows);
+
+    // The dense curve for one representative benchmark, for plotting.
+    let bs = &suite.entries()[0].ctx;
+    println!("\nDense CDF for {} (error level, cumulative fraction):", bs.name());
+    for (level, frac) in error_cdf(bs.true_errors(), 20) {
+        println!("  {:>7.3}  {:>6.3}", level, frac);
+    }
+    println!("\nPaper shape: ~80% of elements below ~10% error, a long tail of large errors.");
+}

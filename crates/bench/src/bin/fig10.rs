@@ -1,0 +1,48 @@
+//! Figure 10 — output error vs the fraction of output elements fixed, per
+//! benchmark and scheme. Techniques closer to Ideal are better; in the
+//! paper, linearErrors and treeErrors hug the Ideal curve while Random and
+//! Uniform decay linearly.
+
+use rumba_bench::{print_table, write_csv, Suite};
+use rumba_core::analysis::error_vs_fixed_curve;
+use rumba_core::scheme::SchemeKind;
+
+fn main() {
+    let suite = Suite::build().expect("suite trains");
+    let fractions: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
+
+    for entry in suite.entries() {
+        let ctx = &entry.ctx;
+        println!("\nFigure 10 ({}) — output error (%) vs fraction of elements fixed:\n", ctx.name());
+        let mut header = vec!["scheme".to_owned()];
+        header.extend(fractions.iter().map(|f| format!("{:.0}%", f * 100.0)));
+
+        let mut rows = Vec::new();
+        for kind in SchemeKind::paper_set() {
+            let curve = error_vs_fixed_curve(ctx.scores(kind), ctx.true_errors(), &fractions);
+            let mut row = vec![kind.label().to_owned()];
+            row.extend(curve.iter().map(|p| format!("{:.1}", p.output_error_percent)));
+            rows.push(row);
+        }
+        print_table(&header, &rows);
+        if let Ok(path) = write_csv(&format!("fig10_{}", ctx.name()), &header, &rows) {
+            eprintln!("[csv] {}", path.display());
+        }
+    }
+
+    // The paper's spot check: inversek2j at 30% fixed.
+    let ik = suite
+        .entries()
+        .iter()
+        .find(|e| e.ctx.name() == "inversek2j")
+        .expect("suite contains inversek2j");
+    println!("\ninversek2j at 30% fixed (paper: Ideal 2.1, Random 9.7, Uniform 9.6, EMA 5.9, linear 2.6, tree 2.7):");
+    let k = (0.3 * ik.ctx.len() as f64) as usize;
+    for kind in SchemeKind::paper_set() {
+        println!(
+            "  {:<14} {:>5.1}%",
+            kind.label(),
+            ik.ctx.error_after_fixing(kind, k) * 100.0
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! Figure 12 — the number of elements that must be re-executed to achieve
+//! the 90 % target output quality, as a percentage of all elements. Fewer
+//! is better (less recovery energy); Ideal is the floor.
+
+use rumba_bench::{fixes_at_toq, print_table, Suite};
+use rumba_core::scheme::SchemeKind;
+
+fn main() {
+    let suite = Suite::build().expect("suite trains");
+    println!("Figure 12: elements re-executed for 90% target output quality (% of total).\n");
+
+    let schemes = SchemeKind::paper_set();
+    let mut header = vec!["app".to_owned()];
+    header.extend(schemes.iter().map(|s| s.label().to_owned()));
+
+    let mut rows = Vec::new();
+    let mut sums = vec![0.0; schemes.len()];
+    for entry in suite.entries() {
+        let ctx = &entry.ctx;
+        let mut row = vec![ctx.name().to_owned()];
+        for (si, &kind) in schemes.iter().enumerate() {
+            let frac = fixes_at_toq(ctx, kind) as f64 / ctx.len() as f64;
+            sums[si] += frac;
+            row.push(format!("{:.1}%", frac * 100.0));
+        }
+        rows.push(row);
+    }
+    let n_apps = suite.entries().len() as f64;
+    let mut avg = vec!["average".to_owned()];
+    avg.extend(sums.iter().map(|s| format!("{:.1}%", s / n_apps * 100.0)));
+    rows.push(avg);
+    print_table(&header, &rows);
+
+    let ideal_avg = sums[0] / n_apps;
+    let linear_avg = sums[4] / n_apps;
+    let tree_avg = sums[5] / n_apps;
+    let random_avg = sums[1] / n_apps;
+    println!("\nExtra elements fixed vs Ideal (paper: Random +29%, linearErrors +9%, treeErrors +6%):");
+    println!("  Random       +{:.1}%", (random_avg - ideal_avg) * 100.0);
+    println!("  linearErrors +{:.1}%", (linear_avg - ideal_avg) * 100.0);
+    println!("  treeErrors   +{:.1}%", (tree_avg - ideal_avg) * 100.0);
+}

@@ -1,0 +1,51 @@
+//! Figure 13 — relative coverage of large errors (elements whose true error
+//! exceeds 20 %) at the 90 % target output quality, normalized to Ideal's
+//! coverage ratio (Ideal = 100 %).
+
+use rumba_bench::{fixes_at_toq, print_table, Suite};
+use rumba_core::analysis::relative_coverage;
+use rumba_core::scheme::SchemeKind;
+
+/// The paper's definition of a "large" error.
+const LARGE_ERROR: f64 = 0.20;
+
+fn main() {
+    let suite = Suite::build().expect("suite trains");
+    println!("Figure 13: relative coverage of large (>20%) errors at 90% TOQ (Ideal = 100%).\n");
+
+    let schemes = SchemeKind::paper_set();
+    let mut header = vec!["app".to_owned()];
+    header.extend(schemes.iter().map(|s| s.label().to_owned()));
+
+    let mut rows = Vec::new();
+    let mut sums = vec![0.0; schemes.len()];
+    let mut counted = vec![0usize; schemes.len()];
+    for entry in suite.entries() {
+        let ctx = &entry.ctx;
+        let k_ideal = fixes_at_toq(ctx, SchemeKind::Ideal);
+        let mut row = vec![ctx.name().to_owned()];
+        for (si, &kind) in schemes.iter().enumerate() {
+            let k = fixes_at_toq(ctx, kind);
+            if k_ideal == 0 {
+                row.push("n/a".to_owned());
+                continue;
+            }
+            let cov =
+                relative_coverage(ctx.scores(kind), ctx.true_errors(), k, k_ideal, LARGE_ERROR);
+            sums[si] += cov;
+            counted[si] += 1;
+            row.push(format!("{cov:.1}%"));
+        }
+        rows.push(row);
+    }
+    let mut avg = vec!["average".to_owned()];
+    avg.extend(
+        sums.iter()
+            .zip(&counted)
+            .map(|(s, &c)| if c == 0 { "n/a".to_owned() } else { format!("{:.1}%", s / c as f64) }),
+    );
+    rows.push(avg);
+    print_table(&header, &rows);
+
+    println!("\nPaper averages: linearErrors 57.6%, treeErrors 67.2% (Random ~29% on blackscholes).");
+}

@@ -1,0 +1,47 @@
+//! Figure 16 — energy consumption vs target error rate for `fft`: Ideal is
+//! the floor, treeErrors tracks it at relaxed targets, and the gap widens
+//! as the quality demand rises (false positives force extra re-execution).
+
+use rumba_apps::kernel_by_name;
+use rumba_bench::{print_table, write_csv, HARNESS_SEED};
+use rumba_core::context::AppContext;
+use rumba_core::scheme::SchemeKind;
+use rumba_energy::{EnergyParams, SystemModel};
+
+fn main() {
+    let kernel = kernel_by_name("fft").expect("fft is a Table-1 benchmark");
+    let ctx = AppContext::build(kernel.as_ref(), HARNESS_SEED).expect("training succeeds");
+    let model = SystemModel::new(EnergyParams::default());
+    let workload = ctx.workload();
+    let baseline = model.cpu_baseline(&workload);
+
+    println!("Figure 16: normalized energy vs target error rate (fft).\n");
+    let schemes = [SchemeKind::Ideal, SchemeKind::TreeErrors, SchemeKind::LinearErrors, SchemeKind::Ema];
+    let mut header = vec!["target err".to_owned(), "NPU".to_owned()];
+    header.extend(schemes.iter().map(|s| s.label().to_owned()));
+
+    let npu_run = model.accelerated(&workload, &ctx.unchecked_npu_activity());
+    let npu_norm = npu_run.energy_nj / baseline.energy_nj;
+
+    let mut rows = Vec::new();
+    for t in 1..=10 {
+        let target = t as f64 / 100.0;
+        let mut row = vec![format!("{t}%"), format!("{npu_norm:.3}")];
+        for &kind in &schemes {
+            let fixes = ctx.fixes_for_target_error(kind, target).unwrap_or(ctx.len());
+            let run = model.accelerated(&workload, &ctx.scheme_activity(kind, fixes));
+            row.push(format!("{:.3}", run.energy_nj / baseline.energy_nj));
+        }
+        rows.push(row);
+    }
+    print_table(&header, &rows);
+    if let Ok(path) = write_csv("fig16_fft", &header, &rows) {
+        eprintln!("[csv] {}", path.display());
+    }
+
+    println!("\n(NPU row is the unchecked accelerator: flat, because it never fixes anything —");
+    println!("and correspondingly it cannot actually hit the quality targets.)");
+    println!("\nPaper shape: Ideal is lowest; treeErrors is close at relaxed targets (>7% error)");
+    println!("and the gap grows as the target tightens, since prediction false positives force");
+    println!("extra re-computation.");
+}

@@ -1,0 +1,48 @@
+//! Figure 17 — time used by the error-prediction models relative to the
+//! accelerator invocation itself. Both checkers finish before the NPU for
+//! every benchmark, so error prediction never stalls the accelerator.
+
+use rumba_bench::{print_table, Suite};
+use rumba_core::scheme::SchemeKind;
+
+fn main() {
+    let suite = Suite::build().expect("suite trains");
+    println!("Figure 17: checker cycles / NPU cycles per invocation (must stay below 1.0).\n");
+
+    let header: Vec<String> =
+        ["app", "NPU cycles", "linearErrors", "treeErrors", "EMA"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
+
+    let mut rows = Vec::new();
+    let mut all_below_one = true;
+    for entry in suite.entries() {
+        let ctx = &entry.ctx;
+        let npu_cycles = ctx.trained().rumba_npu.cycles_per_invocation() as f64;
+        // Checker datapath cycles: one per MAC + one per comparison + the
+        // fire decision (matching rumba_accel::CheckerUnit).
+        let cycles_of = |kind: SchemeKind| {
+            let c = ctx.scores(kind).checker_cost();
+            (c.macs + c.comparisons + 1) as f64
+        };
+        let lin = cycles_of(SchemeKind::LinearErrors) / npu_cycles;
+        let tree = cycles_of(SchemeKind::TreeErrors) / npu_cycles;
+        let ema = cycles_of(SchemeKind::Ema) / npu_cycles;
+        all_below_one &= lin < 1.0 && tree < 1.0 && ema < 1.0;
+        rows.push(vec![
+            ctx.name().to_owned(),
+            format!("{npu_cycles:.0}"),
+            format!("{lin:.3}"),
+            format!("{tree:.3}"),
+            format!("{ema:.3}"),
+        ]);
+    }
+    print_table(&header, &rows);
+
+    println!(
+        "\nAll ratios below 1.0: {}. The predicted error is always available before the NPU",
+        if all_below_one { "yes" } else { "NO — calibration regression!" }
+    );
+    println!("finishes, so the accelerator never waits on the error predictor (paper's claim).");
+}

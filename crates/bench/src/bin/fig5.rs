@@ -1,0 +1,35 @@
+//! Figure 5 — exact output (a Gaussian), approximate accelerator output,
+//! and the relative errors: the errors concentrate on certain inputs and
+//! are easier to predict than the output itself.
+
+use rumba_apps::kernel_by_name;
+use rumba_bench::HARNESS_SEED;
+use rumba_core::trainer::{train_app, OfflineConfig};
+
+fn main() {
+    let kernel = kernel_by_name("gaussian").expect("didactic kernel exists");
+    let cfg = OfflineConfig { seed: HARNESS_SEED, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
+
+    println!("Figure 5: exact vs approximate output and relative error (Gaussian).\n");
+    println!("{:>6}  {:>8}  {:>8}  {:>8}", "x", "exact", "approx", "rel.err");
+    let mut peak_region_err = 0.0_f64;
+    let mut shoulder_err = 0.0_f64;
+    for k in 0..=60 {
+        let x = -16.0 + 32.0 * k as f64 / 60.0;
+        let exact = kernel.compute_vec(&[x])[0];
+        let approx = app.rumba_npu.invoke(&[x]).expect("width matches").outputs[0];
+        let rel = (approx - exact).abs() / exact.abs().max(0.05);
+        println!("{x:>6.2}  {exact:>8.4}  {approx:>8.4}  {rel:>8.4}");
+        if x.abs() < 2.0 {
+            peak_region_err = peak_region_err.max(rel);
+        }
+        if (4.0..8.0).contains(&x.abs()) {
+            shoulder_err = shoulder_err.max(rel);
+        }
+    }
+    println!("\nmax relative error near the peak (|x| < 2):      {peak_region_err:.3}");
+    println!("max relative error on the shoulders (4 < |x| < 8): {shoulder_err:.3}");
+    println!("\nPaper shape: errors are concentrated on specific input regions, so a simple");
+    println!("input-based model can separate high-error cases accurately.");
+}

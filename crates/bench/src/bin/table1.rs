@@ -1,0 +1,41 @@
+//! Table 1 — applications and their inputs: domain, train/test data, NN
+//! topologies (Rumba and NPU), and evaluation metric.
+
+use rumba_apps::all_kernels;
+use rumba_bench::print_table;
+
+fn topology_string(t: &[usize]) -> String {
+    t.iter().map(ToString::to_string).collect::<Vec<_>>().join("->")
+}
+
+fn main() {
+    println!("Table 1: Applications and their inputs.\n");
+    let header: Vec<String> = [
+        "Application",
+        "Domain",
+        "Train Data",
+        "Test Data",
+        "NN Topology (Rumba)",
+        "NN Topology (NPU)",
+        "Evaluation Metric",
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+
+    let rows: Vec<Vec<String>> = all_kernels()
+        .iter()
+        .map(|k| {
+            vec![
+                k.name().to_owned(),
+                k.domain().to_owned(),
+                k.train_data_desc().to_owned(),
+                k.test_data_desc().to_owned(),
+                topology_string(&k.rumba_topology()),
+                topology_string(&k.npu_topology()),
+                k.metric().paper_name().to_owned(),
+            ]
+        })
+        .collect();
+    print_table(&header, &rows);
+}

@@ -1,0 +1,18 @@
+//! Table 2 — microarchitectural parameters of the x86-64 core used by the
+//! timing and energy models.
+
+use rumba_energy::{CoreConfig, EnergyParams};
+
+fn main() {
+    println!("Table 2: Microarchitectural parameters of the X86-64 cpu used in experiments.\n");
+    print!("{}", CoreConfig::default());
+
+    let p = EnergyParams::default();
+    println!("\nDerived analytical energy constants (GEM5+McPAT substitute):");
+    println!("  core clock                 {:.1} GHz", p.cpu_freq_ghz);
+    println!("  CPU active energy          {:.2} nJ/cycle", p.cpu_active_nj_per_cycle);
+    println!("  CPU wait energy            {:.2} nJ/cycle", p.cpu_idle_nj_per_cycle);
+    println!("  NPU (8 PEs) energy         {:.2} nJ/cycle", p.npu_nj_per_cycle);
+    println!("  checker MAC / cmp / read   {:.3} / {:.3} / {:.3} nJ", p.checker_mac_nj, p.checker_cmp_nj, p.checker_read_nj);
+    println!("  queue transfer             {:.3} nJ/word", p.queue_word_nj);
+}

@@ -1,0 +1,207 @@
+//! Shared harness utilities for the per-figure evaluation binaries.
+//!
+//! Every `fig*`/`table*` binary builds [`Suite`] (one trained
+//! [`AppContext`] per Table-1 benchmark), asks it questions via
+//! `rumba_core::analysis`, and prints an aligned text table whose rows
+//! mirror the paper's figure. EXPERIMENTS.md records paper-vs-measured for
+//! each harness.
+
+use rumba_apps::{all_kernels, Kernel};
+use rumba_core::context::AppContext;
+use rumba_core::scheme::SchemeKind;
+use rumba_core::Result;
+
+/// The master seed every harness binary uses, so all reported numbers are
+/// reproducible bit-for-bit.
+pub const HARNESS_SEED: u64 = 42;
+
+/// The paper's target output quality (§4: "We target a 90% output
+/// quality").
+pub const TARGET_QUALITY: f64 = 0.90;
+
+/// Error budget implied by [`TARGET_QUALITY`].
+#[must_use]
+pub fn target_error() -> f64 {
+    1.0 - TARGET_QUALITY
+}
+
+/// One fully trained benchmark plus its kernel handle.
+pub struct SuiteEntry {
+    /// The benchmark kernel.
+    pub kernel: Box<dyn Kernel>,
+    /// Its trained, test-replayed context.
+    pub ctx: AppContext,
+}
+
+/// All seven Table-1 benchmarks, trained and replayed.
+pub struct Suite {
+    entries: Vec<SuiteEntry>,
+}
+
+impl Suite {
+    /// Trains the whole suite (prints progress to stderr; takes a few
+    /// seconds per benchmark in release mode).
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures from any benchmark.
+    pub fn build() -> Result<Self> {
+        let mut entries = Vec::new();
+        for kernel in all_kernels() {
+            eprintln!("[suite] training {} ...", kernel.name());
+            let ctx = AppContext::build(kernel.as_ref(), HARNESS_SEED)?;
+            entries.push(SuiteEntry { kernel, ctx });
+        }
+        Ok(Self { entries })
+    }
+
+    /// Trains a subset of the suite by benchmark name.
+    ///
+    /// # Errors
+    ///
+    /// Propagates training failures.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name is unknown.
+    pub fn build_subset(names: &[&str]) -> Result<Self> {
+        let mut entries = Vec::new();
+        for name in names {
+            let kernel = rumba_apps::kernel_by_name(name)
+                .unwrap_or_else(|| panic!("unknown benchmark {name}"));
+            eprintln!("[suite] training {name} ...");
+            let ctx = AppContext::build(kernel.as_ref(), HARNESS_SEED)?;
+            entries.push(SuiteEntry { kernel, ctx });
+        }
+        Ok(Self { entries })
+    }
+
+    /// The trained benchmarks, in Table-1 order.
+    #[must_use]
+    pub fn entries(&self) -> &[SuiteEntry] {
+        &self.entries
+    }
+}
+
+/// The operating point of §5: per scheme, the fixes needed to reach the
+/// 90 % target quality on this context (clamped to "fix everything" when
+/// unreachable).
+#[must_use]
+pub fn fixes_at_toq(ctx: &AppContext, kind: SchemeKind) -> usize {
+    ctx.fixes_for_target_error(kind, target_error()).unwrap_or_else(|| ctx.len())
+}
+
+/// Geometric mean (the standard summary for speedup/energy ratios).
+///
+/// # Panics
+///
+/// Panics if any value is nonpositive.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(values.iter().all(|&v| v > 0.0), "geomean needs positive values");
+    if values.is_empty() {
+        return 1.0;
+    }
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Prints an aligned table: a header row then data rows, all
+/// column-padded.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(cols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let print_row = |row: &[String]| {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(c, cell)| format!("{cell:>width$}", width = widths.get(c).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    };
+    print_row(header);
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+    for row in rows {
+        print_row(row);
+    }
+}
+
+/// Formats a ratio as the paper writes them, e.g. `3.2x`.
+#[must_use]
+pub fn ratio(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Writes a figure's data as CSV under `target/rumba-figures/<name>.csv`
+/// for external plotting, returning the path written. Cells containing
+/// commas or quotes are quoted per RFC 4180.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_csv(
+    name: &str,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("target").join("rumba-figures");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.csv"));
+    let escape = |cell: &str| -> String {
+        if cell.contains(',') || cell.contains('"') || cell.contains('\n') {
+            format!("\"{}\"", cell.replace('"', "\"\""))
+        } else {
+            cell.to_owned()
+        }
+    };
+    let mut text = String::new();
+    for row in std::iter::once(header).chain(rows.iter().map(Vec::as_slice)) {
+        let line: Vec<String> = row.iter().map(|c| escape(c)).collect();
+        text.push_str(&line.join(","));
+        text.push('\n');
+    }
+    std::fs::write(&path, text)?;
+    Ok(path)
+}
+
+/// Formats a fraction as percent with one decimal.
+#[must_use]
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_reciprocals_is_one() {
+        let g = geomean(&[2.0, 0.5, 4.0, 0.25]);
+        assert!((g - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn target_error_matches_quality() {
+        assert!((target_error() - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(3.1999), "3.20x");
+        assert_eq!(pct(0.105), "10.5%");
+    }
+
+    #[test]
+    fn csv_round_trips_through_the_filesystem() {
+        let header = vec!["a".to_owned(), "b,with comma".to_owned()];
+        let rows = vec![vec!["1".to_owned(), "quote\"inside".to_owned()]];
+        let path = write_csv("unit-test-csv", &header, &rows).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "a,\"b,with comma\"\n1,\"quote\"\"inside\"\n");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,346 @@
+//! Hand-rolled argument parsing for the `rumba` driver (no external
+//! dependencies; the grammar is small enough that explicitness beats a
+//! parser framework).
+
+use std::fmt;
+
+/// Which checker the `run` subcommand attaches to the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckerChoice {
+    /// Linear error model (§3.2.1).
+    Linear,
+    /// Decision tree (§3.2.2) — the paper's best performer and the default.
+    #[default]
+    Tree,
+    /// Exponential moving average (§3.2.3).
+    Ema,
+    /// Errors by value prediction (rejected by §3.2, kept for comparison).
+    Evp,
+    /// Extension: hashed lookup table.
+    Table,
+    /// Extension: tree + EMA max-ensemble.
+    Ensemble,
+}
+
+impl CheckerChoice {
+    fn parse(text: &str) -> Result<Self, ParseError> {
+        match text {
+            "linear" => Ok(Self::Linear),
+            "tree" => Ok(Self::Tree),
+            "ema" => Ok(Self::Ema),
+            "evp" => Ok(Self::Evp),
+            "table" => Ok(Self::Table),
+            "ensemble" => Ok(Self::Ensemble),
+            other => Err(ParseError::BadValue {
+                flag: "--checker",
+                value: other.to_owned(),
+                expected: "linear|tree|ema|evp|table|ensemble",
+            }),
+        }
+    }
+}
+
+/// Which §3.4 tuning mode the `run` subcommand uses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModeChoice {
+    /// Target output quality (default 0.9).
+    Toq(f64),
+    /// Per-window re-execution budget.
+    Energy(usize),
+    /// Best-effort quality bounded by CPU overlap capacity.
+    Quality,
+}
+
+impl Default for ModeChoice {
+    fn default() -> Self {
+        ModeChoice::Toq(0.9)
+    }
+}
+
+/// A parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `rumba list` — print the benchmark registry.
+    List,
+    /// `rumba train <kernel>` — offline training summary.
+    Train {
+        /// Benchmark name.
+        kernel: String,
+        /// Master seed.
+        seed: u64,
+    },
+    /// `rumba run <kernel> [flags]` — online managed execution.
+    Run {
+        /// Benchmark name.
+        kernel: String,
+        /// Master seed.
+        seed: u64,
+        /// Checker to deploy.
+        checker: CheckerChoice,
+        /// Tuning mode.
+        mode: ModeChoice,
+        /// Tuning-window length.
+        window: usize,
+    },
+    /// `rumba purity <kernel>` — §2.2 re-execution safety check.
+    Purity {
+        /// Benchmark name.
+        kernel: String,
+    },
+    /// `rumba help` or no arguments.
+    Help,
+}
+
+/// Why a command line failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// The first word was not a known subcommand.
+    UnknownCommand(String),
+    /// A flag that needs a value reached the end of the arguments.
+    MissingValue(&'static str),
+    /// A flag value failed validation.
+    BadValue {
+        /// The flag.
+        flag: &'static str,
+        /// The offending text.
+        value: String,
+        /// What would have been accepted.
+        expected: &'static str,
+    },
+    /// A positional argument (the kernel name) is missing.
+    MissingKernel,
+    /// An argument was not recognized in this position.
+    UnknownFlag(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownCommand(c) => write!(f, "unknown command '{c}' (try 'rumba help')"),
+            ParseError::MissingValue(flag) => write!(f, "{flag} needs a value"),
+            ParseError::BadValue { flag, value, expected } => {
+                write!(f, "{flag} got '{value}', expected {expected}")
+            }
+            ParseError::MissingKernel => write!(f, "missing benchmark name (try 'rumba list')"),
+            ParseError::UnknownFlag(a) => write!(f, "unrecognized argument '{a}'"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses the arguments after the program name.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] describing the first problem found.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_cli::args::{parse, Command};
+///
+/// let cmd = parse(&["list".to_owned()]).unwrap();
+/// assert_eq!(cmd, Command::List);
+/// ```
+pub fn parse(args: &[String]) -> Result<Command, ParseError> {
+    let mut it = args.iter().map(String::as_str);
+    match it.next() {
+        None | Some("help" | "--help" | "-h") => Ok(Command::Help),
+        Some("list") => Ok(Command::List),
+        Some("purity") => {
+            let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
+            Ok(Command::Purity { kernel })
+        }
+        Some("train") => {
+            let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
+            let mut seed = 42u64;
+            let rest: Vec<&str> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k] {
+                    "--seed" => {
+                        seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
+                        k += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Train { kernel, seed })
+        }
+        Some("run") => {
+            let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
+            let mut seed = 42u64;
+            let mut checker = CheckerChoice::default();
+            let mut mode = ModeChoice::default();
+            let mut window = 256usize;
+            let rest: Vec<&str> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k] {
+                    "--seed" => {
+                        seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
+                        k += 2;
+                    }
+                    "--checker" => {
+                        let v = rest.get(k + 1).ok_or(ParseError::MissingValue("--checker"))?;
+                        checker = CheckerChoice::parse(v)?;
+                        k += 2;
+                    }
+                    "--toq" => {
+                        let v = parse_f64(rest.get(k + 1).copied(), "--toq")?;
+                        if !(0.0 < v && v <= 1.0) {
+                            return Err(ParseError::BadValue {
+                                flag: "--toq",
+                                value: v.to_string(),
+                                expected: "a quality in (0, 1]",
+                            });
+                        }
+                        mode = ModeChoice::Toq(v);
+                        k += 2;
+                    }
+                    "--budget" => {
+                        let v = parse_u64(rest.get(k + 1).copied(), "--budget")?;
+                        mode = ModeChoice::Energy(v as usize);
+                        k += 2;
+                    }
+                    "--quality-mode" => {
+                        mode = ModeChoice::Quality;
+                        k += 1;
+                    }
+                    "--window" => {
+                        let v = parse_u64(rest.get(k + 1).copied(), "--window")?;
+                        if v == 0 {
+                            return Err(ParseError::BadValue {
+                                flag: "--window",
+                                value: "0".into(),
+                                expected: "a positive window length",
+                            });
+                        }
+                        window = v as usize;
+                        k += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Run { kernel, seed, checker, mode, window })
+        }
+        Some(other) => Err(ParseError::UnknownCommand(other.to_owned())),
+    }
+}
+
+fn parse_u64(value: Option<&str>, flag: &'static str) -> Result<u64, ParseError> {
+    let text = value.ok_or(ParseError::MissingValue(flag))?;
+    text.parse().map_err(|_| ParseError::BadValue {
+        flag,
+        value: text.to_owned(),
+        expected: "an unsigned integer",
+    })
+}
+
+fn parse_f64(value: Option<&str>, flag: &'static str) -> Result<f64, ParseError> {
+    let text = value.ok_or(ParseError::MissingValue(flag))?;
+    text.parse().map_err(|_| ParseError::BadValue {
+        flag,
+        value: text.to_owned(),
+        expected: "a number",
+    })
+}
+
+/// The help text `rumba help` prints.
+pub const HELP: &str = "\
+rumba — online quality management for approximate accelerators
+
+USAGE:
+    rumba list
+    rumba train <kernel> [--seed N]
+    rumba run <kernel> [--checker linear|tree|ema|evp|table|ensemble]
+                       [--toq Q | --budget N | --quality-mode]
+                       [--window N] [--seed N]
+    rumba purity <kernel>
+    rumba help
+
+EXAMPLES:
+    rumba run inversek2j --checker tree --toq 0.9
+    rumba run blackscholes --budget 16 --window 256
+    rumba run fft --checker ensemble --quality-mode
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(line: &str) -> Result<Command, ParseError> {
+        let args: Vec<String> = line.split_whitespace().map(str::to_owned).collect();
+        parse(&args)
+    }
+
+    #[test]
+    fn parses_simple_commands() {
+        assert_eq!(p("list").unwrap(), Command::List);
+        assert_eq!(p("help").unwrap(), Command::Help);
+        assert_eq!(p("").unwrap(), Command::Help);
+        assert_eq!(p("purity sobel").unwrap(), Command::Purity { kernel: "sobel".into() });
+    }
+
+    #[test]
+    fn parses_run_with_defaults() {
+        let cmd = p("run fft").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                kernel: "fft".into(),
+                seed: 42,
+                checker: CheckerChoice::Tree,
+                mode: ModeChoice::Toq(0.9),
+                window: 256,
+            }
+        );
+    }
+
+    #[test]
+    fn parses_run_with_all_flags() {
+        let cmd = p("run jmeint --checker ema --toq 0.95 --window 128 --seed 7").unwrap();
+        assert_eq!(
+            cmd,
+            Command::Run {
+                kernel: "jmeint".into(),
+                seed: 7,
+                checker: CheckerChoice::Ema,
+                mode: ModeChoice::Toq(0.95),
+                window: 128,
+            }
+        );
+    }
+
+    #[test]
+    fn budget_and_quality_modes() {
+        assert!(matches!(
+            p("run fft --budget 16").unwrap(),
+            Command::Run { mode: ModeChoice::Energy(16), .. }
+        ));
+        assert!(matches!(
+            p("run fft --quality-mode").unwrap(),
+            Command::Run { mode: ModeChoice::Quality, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(matches!(p("frobnicate"), Err(ParseError::UnknownCommand(_))));
+        assert!(matches!(p("run"), Err(ParseError::MissingKernel)));
+        assert!(matches!(p("run fft --seed"), Err(ParseError::MissingValue("--seed"))));
+        assert!(matches!(p("run fft --toq 1.5"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("run fft --toq abc"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("run fft --window 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("run fft --wat"), Err(ParseError::UnknownFlag(_))));
+        assert!(matches!(p("run fft --checker magic"), Err(ParseError::BadValue { .. })));
+    }
+
+    #[test]
+    fn errors_display_helpfully() {
+        let e = p("run fft --checker magic").unwrap_err();
+        assert!(e.to_string().contains("--checker"));
+        assert!(e.to_string().contains("magic"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Subcommand implementations. Each returns its output as a `String` so
+//! tests can assert on it; `main` just prints.
+
+use rumba_accel::CheckerUnit;
+use rumba_apps::{all_kernels, kernel_by_name, Kernel, Split};
+use rumba_core::report::RunReport;
+use rumba_core::runtime::{RumbaSystem, RuntimeConfig};
+use rumba_core::trainer::{train_app, OfflineConfig, TrainedApp};
+use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
+use rumba_energy::WorkloadProfile;
+use rumba_nn::encode_model;
+use rumba_predict::{
+    EmaDetector, ErrorEstimator, MaxEnsemble, TableErrors, TableParams,
+};
+
+use crate::args::{CheckerChoice, ModeChoice};
+
+/// Error type for command execution: a human-readable message.
+#[derive(Debug)]
+pub struct CommandError(pub String);
+
+impl std::fmt::Display for CommandError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+macro_rules! wrap_error {
+    ($($source:ty),+ $(,)?) => {
+        $(impl From<$source> for CommandError {
+            fn from(e: $source) -> Self {
+                CommandError(e.to_string())
+            }
+        })+
+    };
+}
+
+wrap_error!(
+    rumba_core::RumbaError,
+    rumba_nn::NnError,
+    rumba_predict::PredictError,
+    rumba_apps::purity::PurityViolation,
+);
+
+fn resolve(kernel: &str) -> Result<Box<dyn Kernel>, CommandError> {
+    kernel_by_name(kernel).ok_or_else(|| {
+        CommandError(format!("unknown benchmark '{kernel}' (try 'rumba list')"))
+    })
+}
+
+/// `rumba list`.
+#[must_use]
+pub fn list() -> String {
+    let mut out = String::from("available benchmarks (Table 1):\n");
+    for k in all_kernels() {
+        out.push_str(&format!(
+            "  {:<14} {:<20} {} -> {} | {}\n",
+            k.name(),
+            k.domain(),
+            k.input_dim(),
+            k.output_dim(),
+            k.metric().paper_name()
+        ));
+    }
+    out.push_str("  gaussian       Didactic (Figure 5)\n");
+    out
+}
+
+/// `rumba train <kernel>`.
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] for unknown benchmarks or training failures.
+pub fn train(kernel: &str, seed: u64) -> Result<String, CommandError> {
+    let kernel = resolve(kernel)?;
+    let cfg = OfflineConfig { seed, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg)?;
+    let mean_err =
+        app.train_errors.iter().sum::<f64>() / app.train_errors.len().max(1) as f64;
+    let image_words = encode_model(app.rumba_npu.model()).len();
+    Ok(format!(
+        "trained {}\n  accelerator      {} ({} cycles/invocation, {} MACs)\n  baseline (NPU)   {} ({} cycles/invocation)\n  train error      {:.2}% mean over {} invocations\n  tree checker     depth {}, {} nodes\n  config image     {} words\n",
+        app.name,
+        app.rumba_npu.model().mlp().topology_string(),
+        app.rumba_npu.cycles_per_invocation(),
+        app.rumba_npu.macs_per_invocation(),
+        app.baseline_npu.model().mlp().topology_string(),
+        app.baseline_npu.cycles_per_invocation(),
+        mean_err * 100.0,
+        app.train_errors.len(),
+        app.tree.tree().depth(),
+        app.tree.tree().node_count(),
+        image_words,
+    ))
+}
+
+fn build_checker(
+    choice: CheckerChoice,
+    app: &TrainedApp,
+    kernel: &dyn Kernel,
+    seed: u64,
+) -> Result<Box<dyn ErrorEstimator>, CommandError> {
+    Ok(match choice {
+        CheckerChoice::Linear => Box::new(app.linear.clone()),
+        CheckerChoice::Tree => Box::new(app.tree.clone()),
+        CheckerChoice::Ema => {
+            Box::new(EmaDetector::new(app.ema_window, kernel.output_dim())?)
+        }
+        CheckerChoice::Evp => Box::new(app.evp.clone()),
+        CheckerChoice::Table => {
+            let train = kernel.generate(Split::Train, seed);
+            let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+            Box::new(TableErrors::train(&rows, &app.train_errors, &TableParams::default())?)
+        }
+        CheckerChoice::Ensemble => Box::new(MaxEnsemble::new(
+            Box::new(app.tree.clone()),
+            Box::new(EmaDetector::new(app.ema_window, kernel.output_dim())?),
+        )),
+    })
+}
+
+/// `rumba run <kernel> ...`.
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] for unknown benchmarks, bad configurations,
+/// or execution failures.
+pub fn run(
+    kernel: &str,
+    seed: u64,
+    checker: CheckerChoice,
+    mode: ModeChoice,
+    window: usize,
+) -> Result<String, CommandError> {
+    let kernel = resolve(kernel)?;
+    let cfg = OfflineConfig { seed, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg)?;
+
+    // Calibrate the initial threshold on the train split with the deployed
+    // checker itself.
+    let train = kernel.generate(Split::Train, seed);
+    let mut probe = build_checker(checker, &app, kernel.as_ref(), seed)?;
+    let approx_train: Vec<Vec<f64>> = (0..train.len())
+        .map(|i| app.rumba_npu.invoke(train.input(i)).map(|r| r.outputs))
+        .collect::<Result<_, _>>()?;
+    let predicted: Vec<f64> = (0..train.len())
+        .map(|i| probe.estimate(train.input(i), &approx_train[i]))
+        .collect();
+    let target = match mode {
+        ModeChoice::Toq(q) => 1.0 - q,
+        _ => 0.10,
+    };
+    let threshold = calibrate_threshold(&predicted, &app.train_errors, target);
+
+    let tuning = match mode {
+        ModeChoice::Toq(q) => TuningMode::TargetQuality { toq: q },
+        ModeChoice::Energy(budget) => TuningMode::EnergyBudget { budget },
+        ModeChoice::Quality => TuningMode::BestQuality,
+    };
+    let mut system = RumbaSystem::new(
+        app.rumba_npu.clone(),
+        CheckerUnit::new(build_checker(checker, &app, kernel.as_ref(), seed)?),
+        Tuner::new(tuning, threshold)?,
+        RuntimeConfig { window, ..RuntimeConfig::default() },
+    )?;
+
+    let test = kernel.generate(Split::Test, seed);
+    let outcome = system.run(kernel.as_ref(), &test)?;
+    let workload = WorkloadProfile {
+        invocations: test.len(),
+        cpu_cycles_per_invocation: kernel.cpu_cycles(),
+        kernel_fraction: kernel.kernel_fraction(),
+    };
+    let unchecked: f64 = {
+        let errs =
+            rumba_core::trainer::invocation_errors(kernel.as_ref(), &app.rumba_npu, &test)?;
+        errs.iter().sum::<f64>() / errs.len() as f64
+    };
+    Ok(format!(
+        "unchecked output error: {:.2}%\n{}\n",
+        unchecked * 100.0,
+        RunReport::new(kernel.name(), &outcome, &workload)
+    ))
+}
+
+/// `rumba purity <kernel>`.
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] for unknown benchmarks or detected purity
+/// violations.
+pub fn purity(kernel: &str) -> Result<String, CommandError> {
+    let kernel = resolve(kernel)?;
+    rumba_apps::purity::verify_purity(kernel.as_ref(), 50, 42)?;
+    Ok(format!(
+        "{}: pure — safe for selective re-execution (50 probes: deterministic,\noutput-buffer independent, isolated across invocations)\n",
+        kernel.name()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_mentions_every_benchmark() {
+        let text = list();
+        for name in ["blackscholes", "fft", "inversek2j", "jmeint", "jpeg", "kmeans", "sobel"] {
+            assert!(text.contains(name), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn unknown_kernel_is_a_clean_error() {
+        let e = train("doom", 1).unwrap_err();
+        assert!(e.to_string().contains("doom"));
+    }
+
+    #[test]
+    fn train_reports_topology_and_image() {
+        let text = train("gaussian", 42).unwrap();
+        assert!(text.contains("1->2->1"));
+        assert!(text.contains("config image"));
+    }
+
+    #[test]
+    fn run_produces_a_report() {
+        let text = run(
+            "gaussian",
+            42,
+            CheckerChoice::Tree,
+            ModeChoice::Toq(0.95),
+            256,
+        )
+        .unwrap();
+        assert!(text.contains("unchecked output error"));
+        assert!(text.contains("rumba run: gaussian"));
+        assert!(text.contains("speedup"));
+    }
+
+    #[test]
+    fn run_supports_every_checker() {
+        for checker in [
+            CheckerChoice::Linear,
+            CheckerChoice::Ema,
+            CheckerChoice::Table,
+            CheckerChoice::Ensemble,
+        ] {
+            let text =
+                run("gaussian", 42, checker, ModeChoice::Quality, 128).unwrap();
+            assert!(text.contains("rumba run"), "{checker:?}");
+        }
+    }
+
+    #[test]
+    fn purity_passes_for_shipped_kernels() {
+        let text = purity("sobel").unwrap();
+        assert!(text.contains("pure"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Library half of the `rumba` command-line driver: the argument grammar
+//! ([`args`]) and the subcommand implementations ([`commands`]), separated
+//! from `main` so both are unit-testable.
+
+pub mod args;
+pub mod commands;

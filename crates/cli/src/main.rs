@@ -1,0 +1,44 @@
+//! The `rumba` command-line driver. See `rumba help`.
+
+use std::process::ExitCode;
+
+use rumba_cli::args::{parse, Command, HELP};
+use rumba_cli::commands;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let result = match command {
+        Command::Help => {
+            print!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Command::List => {
+            print!("{}", commands::list());
+            return ExitCode::SUCCESS;
+        }
+        Command::Train { kernel, seed } => commands::train(&kernel, seed),
+        Command::Run { kernel, seed, checker, mode, window } => {
+            commands::run(&kernel, seed, checker, mode, window)
+        }
+        Command::Purity { kernel } => commands::purity(&kernel),
+    };
+
+    match result {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! The §5 evaluation computations: error CDFs, error-vs-fixed curves,
+//! false positives, fix counts, and large-error coverage.
+//!
+//! All functions are pure over slices so they are trivially testable; the
+//! harness binaries in `rumba-bench` wire them to [`crate::context::AppContext`].
+
+use crate::scheme::SchemeScores;
+
+/// One point of an error-vs-fixed curve (Figure 10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CurvePoint {
+    /// Fraction of output elements fixed, in `[0, 1]`.
+    pub fixed_fraction: f64,
+    /// Whole-output error (in percent) after those fixes.
+    pub output_error_percent: f64,
+}
+
+/// Output error (mean invocation error) after fixing a set of invocations.
+///
+/// # Panics
+///
+/// Panics if any fixed index is out of bounds.
+#[must_use]
+pub fn output_error_after_fixes(true_errors: &[f64], fixed: &[usize]) -> f64 {
+    if true_errors.is_empty() {
+        return 0.0;
+    }
+    let fixed_mass: f64 = fixed.iter().map(|&i| true_errors[i]).sum();
+    let total: f64 = true_errors.iter().sum();
+    // Guard against a float-cancellation -0.0 when everything is fixed.
+    ((total - fixed_mass) / true_errors.len() as f64).max(0.0)
+}
+
+/// The Figure-10 curve for one scheme: output error at each requested fix
+/// fraction.
+#[must_use]
+pub fn error_vs_fixed_curve(
+    scores: &SchemeScores,
+    true_errors: &[f64],
+    fractions: &[f64],
+) -> Vec<CurvePoint> {
+    let n = true_errors.len();
+    fractions
+        .iter()
+        .map(|&f| {
+            let k = ((f * n as f64).round() as usize).min(n);
+            let err = output_error_after_fixes(true_errors, scores.top_k(k));
+            CurvePoint { fixed_fraction: f, output_error_percent: err * 100.0 }
+        })
+        .collect()
+}
+
+/// Empirical CDF of element errors (Figure 1): for each of `points`
+/// evenly spaced error levels up to the maximum, the fraction of elements
+/// at or below that level.
+#[must_use]
+pub fn error_cdf(errors: &[f64], points: usize) -> Vec<(f64, f64)> {
+    if errors.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let mut sorted = errors.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+    let max = *sorted.last().expect("nonempty");
+    let n = sorted.len() as f64;
+    (0..=points)
+        .map(|k| {
+            let level = max * k as f64 / points as f64;
+            let below = sorted.partition_point(|&e| e <= level) as f64;
+            (level, below / n)
+        })
+        .collect()
+}
+
+/// Figure 11's false positives, as a fraction of *all* output elements.
+///
+/// "Actually large" is defined relative to the operating point: the top-
+/// `k_ideal` true errors (the set the oracle would fix to reach the target
+/// quality). A scheme's false positives are the elements it fixes that are
+/// not in that set; Ideal therefore scores exactly zero.
+#[must_use]
+pub fn false_positive_fraction(
+    scores: &SchemeScores,
+    true_errors: &[f64],
+    k_scheme: usize,
+    k_ideal: usize,
+) -> f64 {
+    let n = true_errors.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        true_errors[b].partial_cmp(&true_errors[a]).expect("finite").then(a.cmp(&b))
+    });
+    let large: std::collections::HashSet<usize> = order[..k_ideal.min(n)].iter().copied().collect();
+    let fp = scores.top_k(k_scheme).iter().filter(|i| !large.contains(i)).count();
+    fp as f64 / n as f64
+}
+
+/// Figure 13's relative coverage of large errors.
+///
+/// Coverage ratio of a scheme = (number of fixed elements whose true error
+/// exceeds `large_threshold`) / (total fixes). The returned value is that
+/// ratio normalized by the Ideal scheme's ratio at its own operating point
+/// `k_ideal`, in percent.
+#[must_use]
+pub fn relative_coverage(
+    scores: &SchemeScores,
+    true_errors: &[f64],
+    k_scheme: usize,
+    k_ideal: usize,
+    large_threshold: f64,
+) -> f64 {
+    let covered = |fixed: &[usize], k: usize| -> f64 {
+        if k == 0 {
+            return 0.0;
+        }
+        let hits = fixed.iter().take(k).filter(|&&i| true_errors[i] > large_threshold).count();
+        hits as f64 / k as f64
+    };
+
+    let n = true_errors.len();
+    let mut ideal_order: Vec<usize> = (0..n).collect();
+    ideal_order.sort_by(|&a, &b| {
+        true_errors[b].partial_cmp(&true_errors[a]).expect("finite").then(a.cmp(&b))
+    });
+
+    let ideal_ratio = covered(&ideal_order, k_ideal.min(n));
+    if ideal_ratio == 0.0 {
+        return 0.0;
+    }
+    let scheme_ratio = covered(scores.fix_order(), k_scheme.min(n));
+    scheme_ratio / ideal_ratio * 100.0
+}
+
+/// Mean absolute distance between predicted and true errors — the §3.2
+/// statistic the paper uses to conclude EEP beats EVP (average distances 1
+/// vs 2.5 on the Gaussian example).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn mean_estimate_distance(predicted: &[f64], true_errors: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), true_errors.len(), "parallel slices required");
+    if predicted.is_empty() {
+        return 0.0;
+    }
+    predicted.iter().zip(true_errors).map(|(p, t)| (p - t).abs()).sum::<f64>()
+        / predicted.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{SchemeKind, SchemeScores};
+    use rumba_predict::CheckerCost;
+
+    fn scores_of(v: Vec<f64>) -> SchemeScores {
+        SchemeScores::new(SchemeKind::Ideal, v, CheckerCost::free())
+    }
+
+    #[test]
+    fn output_error_after_fixes_removes_mass() {
+        let errors = [0.4, 0.0, 0.2, 0.2];
+        assert!((output_error_after_fixes(&errors, &[]) - 0.2).abs() < 1e-12);
+        assert!((output_error_after_fixes(&errors, &[0]) - 0.1).abs() < 1e-12);
+        assert_eq!(output_error_after_fixes(&errors, &[0, 1, 2, 3]), 0.0);
+        assert_eq!(output_error_after_fixes(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn curve_starts_at_unchecked_and_ends_at_zero() {
+        let errors = vec![0.5, 0.1, 0.3, 0.1];
+        let scores = scores_of(errors.clone());
+        let curve = error_vs_fixed_curve(&scores, &errors, &[0.0, 0.5, 1.0]);
+        assert!((curve[0].output_error_percent - 25.0).abs() < 1e-9);
+        assert!(curve[2].output_error_percent.abs() < 1e-9);
+        assert!(curve[1].output_error_percent < curve[0].output_error_percent);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_reaches_one() {
+        let errors = vec![0.1, 0.2, 0.05, 0.9, 0.3];
+        let cdf = error_cdf(&errors, 10);
+        assert_eq!(cdf.len(), 11);
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn cdf_of_empty_is_empty() {
+        assert!(error_cdf(&[], 10).is_empty());
+    }
+
+    #[test]
+    fn ideal_has_zero_false_positives() {
+        let errors = vec![0.5, 0.1, 0.3, 0.2];
+        let ideal = scores_of(errors.clone());
+        assert_eq!(false_positive_fraction(&ideal, &errors, 2, 2), 0.0);
+    }
+
+    #[test]
+    fn bad_scheme_has_false_positives() {
+        let errors = vec![0.5, 0.0, 0.4, 0.0];
+        // Scores inverted: fixes the *smallest* errors first.
+        let bad = scores_of(vec![0.0, 0.5, 0.1, 0.4]);
+        let fp = false_positive_fraction(&bad, &errors, 2, 2);
+        assert!((fp - 0.5).abs() < 1e-12, "both fixes wrong over 4 elements");
+    }
+
+    #[test]
+    fn ideal_coverage_is_100_percent() {
+        let errors = vec![0.5, 0.1, 0.3, 0.05, 0.25];
+        let ideal = scores_of(errors.clone());
+        let c = relative_coverage(&ideal, &errors, 3, 3, 0.2);
+        assert!((c - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn anti_correlated_scheme_covers_less() {
+        let errors = vec![0.5, 0.0, 0.4, 0.0, 0.3, 0.0];
+        let bad = scores_of(vec![0.0, 0.9, 0.1, 0.8, 0.2, 0.7]);
+        let c = relative_coverage(&bad, &errors, 3, 3, 0.2);
+        assert!(c < 50.0, "coverage {c}");
+    }
+
+    #[test]
+    fn estimate_distance_basics() {
+        assert_eq!(mean_estimate_distance(&[], &[]), 0.0);
+        let d = mean_estimate_distance(&[0.1, 0.5], &[0.2, 0.2]);
+        assert!((d - 0.2).abs() < 1e-12);
+    }
+}

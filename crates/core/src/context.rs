@@ -1,0 +1,363 @@
+//! [`AppContext`] — one benchmark, fully trained and replayed on its test
+//! split, with the scores of every comparison scheme precomputed.
+//!
+//! This is the shared entry point of the evaluation harness: every figure
+//! binary builds one context per benchmark and asks it questions.
+
+use rumba_apps::{ErrorMetric, Kernel, Split};
+use rumba_energy::{SchemeActivity, WorkloadProfile};
+use rumba_nn::NnDataset;
+use rumba_predict::{CheckerCost, EmaDetector, ErrorEstimator};
+
+use crate::scheme::{random_scores, uniform_scores, SchemeKind, SchemeScores};
+use crate::trainer::{approximate_outputs, invocation_errors, train_app, OfflineConfig, TrainedApp};
+use crate::Result;
+
+/// One benchmark's trained system plus its test-split evaluation state.
+#[derive(Debug)]
+pub struct AppContext {
+    kernel_name: String,
+    metric: ErrorMetric,
+    cpu_cycles: f64,
+    kernel_fraction: f64,
+    input_dim: usize,
+    output_dim: usize,
+    trained: TrainedApp,
+    test: NnDataset,
+    approx_outputs: Vec<f64>,
+    true_errors: Vec<f64>,
+    baseline_errors: Vec<f64>,
+    schemes: Vec<SchemeScores>,
+}
+
+impl AppContext {
+    /// Trains the full system for `kernel` and replays the test split.
+    ///
+    /// # Errors
+    ///
+    /// Propagates offline-training and accelerator errors.
+    pub fn build(kernel: &dyn Kernel, seed: u64) -> Result<Self> {
+        Self::build_with_config(kernel, &OfflineConfig { seed, ..OfflineConfig::default() })
+    }
+
+    /// [`AppContext::build`] with full control over the offline settings.
+    ///
+    /// # Errors
+    ///
+    /// Propagates offline-training and accelerator errors.
+    pub fn build_with_config(kernel: &dyn Kernel, cfg: &OfflineConfig) -> Result<Self> {
+        let mut trained = train_app(kernel, cfg)?;
+        let test = kernel.generate(Split::Test, cfg.seed);
+        let approx_outputs = approximate_outputs(&trained.rumba_npu, &test)?;
+        let true_errors = invocation_errors(kernel, &trained.rumba_npu, &test)?;
+        let baseline_errors = invocation_errors(kernel, &trained.baseline_npu, &test)?;
+
+        let n = test.len();
+        let out_dim = kernel.output_dim();
+        let mut schemes = Vec::new();
+
+        schemes.push(SchemeScores::new(
+            SchemeKind::Ideal,
+            true_errors.clone(),
+            CheckerCost::free(),
+        ));
+        schemes.push(SchemeScores::new(
+            SchemeKind::Random,
+            random_scores(n, cfg.seed),
+            CheckerCost::free(),
+        ));
+        schemes.push(SchemeScores::new(
+            SchemeKind::Uniform,
+            uniform_scores(n),
+            CheckerCost::free(),
+        ));
+
+        let mut ema = EmaDetector::new(trained.ema_window, out_dim)
+            .expect("window and output width are nonzero");
+        let ema_cost = ema.cost();
+        let ema_scores: Vec<f64> = (0..n)
+            .map(|i| ema.estimate(test.input(i), &approx_outputs[i * out_dim..(i + 1) * out_dim]))
+            .collect();
+        schemes.push(SchemeScores::new(SchemeKind::Ema, ema_scores, ema_cost));
+
+        let linear_cost = trained.linear.cost();
+        let linear_scores: Vec<f64> =
+            (0..n).map(|i| trained.linear.estimate(test.input(i), &[])).collect();
+        schemes.push(SchemeScores::new(SchemeKind::LinearErrors, linear_scores, linear_cost));
+
+        let tree_cost = trained.tree.cost();
+        let tree_scores: Vec<f64> =
+            (0..n).map(|i| trained.tree.estimate(test.input(i), &[])).collect();
+        schemes.push(SchemeScores::new(SchemeKind::TreeErrors, tree_scores, tree_cost));
+
+        let evp_cost = trained.evp.cost();
+        let evp_scores: Vec<f64> = (0..n)
+            .map(|i| {
+                trained
+                    .evp
+                    .estimate(test.input(i), &approx_outputs[i * out_dim..(i + 1) * out_dim])
+            })
+            .collect();
+        schemes.push(SchemeScores::new(SchemeKind::Evp, evp_scores, evp_cost));
+
+        Ok(Self {
+            kernel_name: kernel.name().to_owned(),
+            metric: kernel.metric(),
+            cpu_cycles: kernel.cpu_cycles(),
+            kernel_fraction: kernel.kernel_fraction(),
+            input_dim: kernel.input_dim(),
+            output_dim: kernel.output_dim(),
+            trained,
+            test,
+            approx_outputs,
+            true_errors,
+            baseline_errors,
+            schemes,
+        })
+    }
+
+    /// Benchmark name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.kernel_name
+    }
+
+    /// Number of test invocations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.true_errors.len()
+    }
+
+    /// Whether the test split is empty (never true for the shipped
+    /// benchmarks).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.true_errors.is_empty()
+    }
+
+    /// The application's error metric.
+    #[must_use]
+    pub fn metric(&self) -> ErrorMetric {
+        self.metric
+    }
+
+    /// The trained accelerators and checkers.
+    #[must_use]
+    pub fn trained(&self) -> &TrainedApp {
+        &self.trained
+    }
+
+    /// The test split (inputs and exact outputs).
+    #[must_use]
+    pub fn test_data(&self) -> &NnDataset {
+        &self.test
+    }
+
+    /// Flat approximate output stream of the Rumba accelerator on the test
+    /// split.
+    #[must_use]
+    pub fn approx_outputs(&self) -> &[f64] {
+        &self.approx_outputs
+    }
+
+    /// True per-invocation errors of the Rumba accelerator.
+    #[must_use]
+    pub fn true_errors(&self) -> &[f64] {
+        &self.true_errors
+    }
+
+    /// True per-invocation errors of the unchecked-NPU-topology accelerator.
+    #[must_use]
+    pub fn baseline_errors(&self) -> &[f64] {
+        &self.baseline_errors
+    }
+
+    /// Scores for one scheme.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme was not precomputed (all seven are).
+    #[must_use]
+    pub fn scores(&self, kind: SchemeKind) -> &SchemeScores {
+        self.schemes
+            .iter()
+            .find(|s| s.kind() == kind)
+            .expect("every SchemeKind is precomputed at build time")
+    }
+
+    /// Output error of the Rumba accelerator with nothing fixed.
+    #[must_use]
+    pub fn unchecked_output_error(&self) -> f64 {
+        mean(&self.true_errors)
+    }
+
+    /// Output error of the unchecked NPU baseline (its own topology).
+    #[must_use]
+    pub fn baseline_output_error(&self) -> f64 {
+        mean(&self.baseline_errors)
+    }
+
+    /// Output error after fixing the scheme's top-`k` invocations (fixed
+    /// invocations become exact, i.e. zero error).
+    #[must_use]
+    pub fn error_after_fixing(&self, kind: SchemeKind, k: usize) -> f64 {
+        let scores = self.scores(kind);
+        let fixed_mass: f64 = scores.top_k(k).iter().map(|&i| self.true_errors[i]).sum();
+        let total: f64 = self.true_errors.iter().sum();
+        // Guard against a float-cancellation -0.0 when everything is fixed.
+        ((total - fixed_mass) / self.true_errors.len() as f64).max(0.0)
+    }
+
+    /// Minimum number of fixes (in the scheme's own order) that brings
+    /// output error to `target` or below; `None` if even fixing everything
+    /// falls short (impossible for finite targets ≥ 0, kept for safety).
+    #[must_use]
+    pub fn fixes_for_target_error(&self, kind: SchemeKind, target: f64) -> Option<usize> {
+        let scores = self.scores(kind);
+        let n = self.true_errors.len();
+        let total: f64 = self.true_errors.iter().sum();
+        let mut remaining = total;
+        if remaining / n as f64 <= target {
+            return Some(0);
+        }
+        for (k, &i) in scores.fix_order().iter().enumerate() {
+            remaining -= self.true_errors[i];
+            if remaining / n as f64 <= target {
+                return Some(k + 1);
+            }
+        }
+        None
+    }
+
+    /// The workload profile the energy model consumes.
+    #[must_use]
+    pub fn workload(&self) -> WorkloadProfile {
+        WorkloadProfile {
+            invocations: self.len(),
+            cpu_cycles_per_invocation: self.cpu_cycles,
+            kernel_fraction: self.kernel_fraction,
+        }
+    }
+
+    /// Activity of one scheme repairing `fixes` invocations, for the energy
+    /// model. `SchemeKind::Ideal`, `Random`, and `Uniform` carry no checker
+    /// hardware.
+    #[must_use]
+    pub fn scheme_activity(&self, kind: SchemeKind, fixes: usize) -> SchemeActivity {
+        let n = self.len();
+        SchemeActivity {
+            accelerator_invocations: n,
+            npu_cycles_per_invocation: self.trained.rumba_npu.cycles_per_invocation(),
+            io_words_per_invocation: self.input_dim + self.output_dim,
+            checker_invocations: if kind.has_checker() { n } else { 0 },
+            checker_cost: self.scores(kind).checker_cost(),
+            reexecutions: fixes.min(n),
+            serial_detector_cycles: 0.0,
+        }
+    }
+
+    /// Activity of the unchecked NPU baseline (its own topology, no checker,
+    /// no recovery).
+    #[must_use]
+    pub fn unchecked_npu_activity(&self) -> SchemeActivity {
+        SchemeActivity {
+            accelerator_invocations: self.len(),
+            npu_cycles_per_invocation: self.trained.baseline_npu.cycles_per_invocation(),
+            io_words_per_invocation: self.input_dim + self.output_dim,
+            checker_invocations: 0,
+            checker_cost: CheckerCost::free(),
+            reexecutions: 0,
+            serial_detector_cycles: 0.0,
+        }
+    }
+}
+
+fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rumba_apps::kernel_by_name;
+
+    fn gaussian_ctx() -> AppContext {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        AppContext::build(kernel.as_ref(), 7).unwrap()
+    }
+
+    #[test]
+    fn context_has_all_schemes() {
+        let ctx = gaussian_ctx();
+        for kind in SchemeKind::paper_set() {
+            assert_eq!(ctx.scores(kind).len(), ctx.len());
+        }
+        assert_eq!(ctx.scores(SchemeKind::Evp).len(), ctx.len());
+    }
+
+    #[test]
+    fn ideal_dominates_random_at_every_budget() {
+        let ctx = gaussian_ctx();
+        for k in [10, 100, 500, 1000] {
+            let ideal = ctx.error_after_fixing(SchemeKind::Ideal, k);
+            let random = ctx.error_after_fixing(SchemeKind::Random, k);
+            assert!(ideal <= random + 1e-12, "k={k}: ideal {ideal} random {random}");
+        }
+    }
+
+    #[test]
+    fn fixing_everything_zeroes_the_error() {
+        let ctx = gaussian_ctx();
+        let e = ctx.error_after_fixing(SchemeKind::Uniform, ctx.len());
+        assert!(e.abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_after_fixing_is_monotone_in_k() {
+        let ctx = gaussian_ctx();
+        let mut prev = f64::INFINITY;
+        for k in (0..=ctx.len()).step_by(200) {
+            let e = ctx.error_after_fixing(SchemeKind::TreeErrors, k);
+            assert!(e <= prev + 1e-12);
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn fixes_for_target_error_matches_error_after_fixing() {
+        let ctx = gaussian_ctx();
+        let target = ctx.unchecked_output_error() * 0.5;
+        let k = ctx.fixes_for_target_error(SchemeKind::Ideal, target).unwrap();
+        assert!(ctx.error_after_fixing(SchemeKind::Ideal, k) <= target);
+        if k > 0 {
+            assert!(ctx.error_after_fixing(SchemeKind::Ideal, k - 1) > target);
+        }
+    }
+
+    #[test]
+    fn ideal_needs_fewest_fixes() {
+        let ctx = gaussian_ctx();
+        let target = ctx.unchecked_output_error() * 0.5;
+        let ideal = ctx.fixes_for_target_error(SchemeKind::Ideal, target).unwrap();
+        for kind in [SchemeKind::Random, SchemeKind::Uniform, SchemeKind::TreeErrors] {
+            let k = ctx.fixes_for_target_error(kind, target).unwrap();
+            assert!(k >= ideal, "{kind}: {k} < ideal {ideal}");
+        }
+    }
+
+    #[test]
+    fn workload_and_activity_are_consistent() {
+        let ctx = gaussian_ctx();
+        let w = ctx.workload();
+        assert_eq!(w.invocations, ctx.len());
+        let a = ctx.scheme_activity(SchemeKind::TreeErrors, 100);
+        assert_eq!(a.reexecutions, 100);
+        assert!(a.checker_invocations > 0);
+        let ideal = ctx.scheme_activity(SchemeKind::Ideal, 100);
+        assert_eq!(ideal.checker_invocations, 0);
+    }
+}

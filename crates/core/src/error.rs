@@ -1,0 +1,78 @@
+use std::error::Error;
+use std::fmt;
+
+use rumba_nn::NnError;
+use rumba_predict::PredictError;
+
+/// Errors produced by the Rumba runtime and its offline trainers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RumbaError {
+    /// The neural substrate failed (topology, training, or evaluation).
+    Nn(NnError),
+    /// A checker trainer failed.
+    Predict(PredictError),
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Name of the offending setting.
+        name: &'static str,
+        /// Offending value rendered as text.
+        value: String,
+    },
+    /// A dataset was empty where invocations are required.
+    EmptyWorkload,
+}
+
+impl fmt::Display for RumbaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RumbaError::Nn(e) => write!(f, "neural substrate error: {e}"),
+            RumbaError::Predict(e) => write!(f, "checker training error: {e}"),
+            RumbaError::InvalidConfig { name, value } => {
+                write!(f, "invalid configuration {name} = {value}")
+            }
+            RumbaError::EmptyWorkload => write!(f, "workload contains no invocations"),
+        }
+    }
+}
+
+impl Error for RumbaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            RumbaError::Nn(e) => Some(e),
+            RumbaError::Predict(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for RumbaError {
+    fn from(e: NnError) -> Self {
+        RumbaError::Nn(e)
+    }
+}
+
+impl From<PredictError> for RumbaError {
+    fn from(e: PredictError) -> Self {
+        RumbaError::Predict(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_sources() {
+        let e = RumbaError::from(NnError::EmptyDataset);
+        assert!(e.source().is_some());
+        let e = RumbaError::from(PredictError::EmptyTrainingSet);
+        assert!(e.to_string().contains("checker"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<RumbaError>();
+    }
+}

@@ -1,0 +1,162 @@
+//! Human-readable summaries of online runs — what a deployment would log
+//! per accelerated region.
+
+use std::fmt;
+
+use rumba_energy::{EnergyParams, RunCost, SystemModel, WorkloadProfile};
+
+use crate::runtime::RunOutcome;
+
+/// A formatted summary of one [`RunOutcome`] against its CPU baseline.
+///
+/// # Examples
+///
+/// ```no_run
+/// use rumba_core::report::RunReport;
+/// # fn demo(outcome: rumba_core::runtime::RunOutcome,
+/// #         workload: rumba_energy::WorkloadProfile) {
+/// let report = RunReport::new("inversek2j", &outcome, &workload);
+/// println!("{report}");
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    name: String,
+    invocations: usize,
+    fixes: usize,
+    output_error: f64,
+    cpu_kept_up: bool,
+    cpu_utilization: f64,
+    final_threshold: f64,
+    baseline: RunCost,
+    accelerated: RunCost,
+}
+
+impl RunReport {
+    /// Builds a report with the default energy constants.
+    #[must_use]
+    pub fn new(name: &str, outcome: &RunOutcome, workload: &WorkloadProfile) -> Self {
+        Self::with_params(name, outcome, workload, EnergyParams::default())
+    }
+
+    /// Builds a report with explicit energy constants.
+    #[must_use]
+    pub fn with_params(
+        name: &str,
+        outcome: &RunOutcome,
+        workload: &WorkloadProfile,
+        params: EnergyParams,
+    ) -> Self {
+        let model = SystemModel::new(params);
+        Self {
+            name: name.to_owned(),
+            invocations: outcome.fired.len(),
+            fixes: outcome.fixes,
+            output_error: outcome.output_error,
+            cpu_kept_up: outcome.pipeline.cpu_kept_up(),
+            cpu_utilization: outcome.pipeline.cpu_utilization,
+            final_threshold: outcome.threshold_history.last().copied().unwrap_or(f64::NAN),
+            baseline: model.cpu_baseline(workload),
+            accelerated: model.accelerated(workload, &outcome.activity),
+        }
+    }
+
+    /// Whole-application speedup vs the exact CPU baseline.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.accelerated.speedup_vs(&self.baseline)
+    }
+
+    /// Whole-application energy-reduction factor vs the baseline.
+    #[must_use]
+    pub fn energy_reduction(&self) -> f64 {
+        self.accelerated.energy_reduction_vs(&self.baseline)
+    }
+
+    /// Fraction of invocations re-executed.
+    #[must_use]
+    pub fn fix_rate(&self) -> f64 {
+        if self.invocations == 0 {
+            0.0
+        } else {
+            self.fixes as f64 / self.invocations as f64
+        }
+    }
+
+    /// Measured output error of the merged stream.
+    #[must_use]
+    pub fn output_error(&self) -> f64 {
+        self.output_error
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "rumba run: {}", self.name)?;
+        writeln!(f, "  invocations      {}", self.invocations)?;
+        writeln!(
+            f,
+            "  re-executed      {} ({:.1}%)",
+            self.fixes,
+            self.fix_rate() * 100.0
+        )?;
+        writeln!(f, "  output error     {:.2}%", self.output_error * 100.0)?;
+        writeln!(f, "  final threshold  {:.4}", self.final_threshold)?;
+        writeln!(
+            f,
+            "  recovery overlap {} (CPU utilization {:.0}%)",
+            if self.cpu_kept_up { "hidden" } else { "overran" },
+            self.cpu_utilization * 100.0
+        )?;
+        writeln!(f, "  speedup          {:.2}x vs exact CPU", self.speedup())?;
+        write!(f, "  energy reduction {:.2}x vs exact CPU", self.energy_reduction())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::{RumbaSystem, RuntimeConfig};
+    use crate::trainer::{train_app, OfflineConfig};
+    use crate::tuner::{Tuner, TuningMode};
+    use rumba_accel::CheckerUnit;
+    use rumba_apps::{kernel_by_name, Split};
+
+    fn sample_report() -> RunReport {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let mut system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.05).unwrap(),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let test = kernel.generate(Split::Test, 42);
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+        let workload = WorkloadProfile {
+            invocations: test.len(),
+            cpu_cycles_per_invocation: kernel.cpu_cycles(),
+            kernel_fraction: kernel.kernel_fraction(),
+        };
+        RunReport::new("gaussian", &outcome, &workload)
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let r = sample_report();
+        assert!(r.fix_rate() >= 0.0 && r.fix_rate() <= 1.0);
+        assert!(r.speedup() > 0.0);
+        assert!(r.energy_reduction() > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_all_headline_numbers() {
+        let r = sample_report();
+        let text = r.to_string();
+        assert!(text.contains("rumba run: gaussian"));
+        assert!(text.contains("output error"));
+        assert!(text.contains("speedup"));
+        assert!(text.contains("energy reduction"));
+    }
+}

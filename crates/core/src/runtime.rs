@@ -1,0 +1,471 @@
+//! The online Rumba system (Figure 4's execution subsystem): accelerator +
+//! checker + recovery queue + output merger + online tuner, processing an
+//! invocation stream end to end.
+
+use rumba_accel::queue::{Fifo, OrderedF64, RecoveryBit};
+use rumba_accel::{CheckerUnit, Npu, Placement};
+use rumba_apps::Kernel;
+use rumba_energy::SchemeActivity;
+use rumba_nn::NnDataset;
+
+use crate::pipeline::{simulate, PipelineRun};
+use crate::tuner::{Tuner, WindowStats};
+use crate::{Result, RumbaError};
+
+/// Configuration of the online system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RuntimeConfig {
+    /// Iterations per tuning window (one "accelerator invocation" in the
+    /// paper's sense — e.g. one image's worth of pixels).
+    pub window: usize,
+    /// Recovery-queue capacity in iterations.
+    pub recovery_queue_capacity: usize,
+    /// Detector placement (§3.5). Output-based checkers always behave as
+    /// serialized-after-accelerator regardless of this setting.
+    pub placement: Placement,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self { window: 256, recovery_queue_capacity: 64, placement: Placement::Parallel }
+    }
+}
+
+/// Everything one online run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunOutcome {
+    /// Final merged outputs (approximate, with fixed iterations replaced by
+    /// exact re-computations), flat row-major.
+    pub merged_outputs: Vec<f64>,
+    /// Which iterations fired (and, budget permitting, were re-executed).
+    pub fired: Vec<bool>,
+    /// Number of iterations actually re-executed.
+    pub fixes: usize,
+    /// Measured output error of the merged stream against the exact
+    /// targets.
+    pub output_error: f64,
+    /// Measured error of every merged invocation (telemetry for quality-
+    /// tracking plots; its mean is `output_error`).
+    pub invocation_errors: Vec<f64>,
+    /// Activity summary for the energy model.
+    pub activity: SchemeActivity,
+    /// Timing of the kernel phase under the Figure-8 overlap.
+    pub pipeline: PipelineRun,
+    /// Threshold after each window (tuner telemetry).
+    pub threshold_history: Vec<f64>,
+}
+
+/// What [`RumbaSystem::process`] did for one streamed invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamOutcome {
+    /// Whether the check fired and the iteration was re-executed exactly.
+    pub fired: bool,
+    /// The checker's predicted error for this invocation.
+    pub predicted_error: f64,
+}
+
+impl RunOutcome {
+    /// Mean measured output error per tuning window of length `window` —
+    /// the quality trace a TOQ deployment would chart over time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn window_errors(&self, window: usize) -> Vec<f64> {
+        assert!(window > 0, "window must be nonzero");
+        self.invocation_errors
+            .chunks(window)
+            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
+            .collect()
+    }
+}
+
+/// The online system: drives one kernel's invocation stream through
+/// detection, recovery, merging, and tuning.
+#[derive(Debug)]
+pub struct RumbaSystem {
+    npu: Npu,
+    checker: CheckerUnit,
+    tuner: Tuner,
+    config: RuntimeConfig,
+    // Streaming window state (reset by `begin_stream`).
+    window_fired: usize,
+    window_pred_sum: f64,
+    window_len: usize,
+    stream_fixes: usize,
+    stream_invocations: usize,
+}
+
+impl RumbaSystem {
+    /// Assembles a system.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RumbaError::InvalidConfig`] for a zero window or queue
+    /// capacity.
+    pub fn new(
+        npu: Npu,
+        checker: CheckerUnit,
+        tuner: Tuner,
+        config: RuntimeConfig,
+    ) -> Result<Self> {
+        if config.window == 0 {
+            return Err(RumbaError::InvalidConfig { name: "window", value: "0".into() });
+        }
+        if config.recovery_queue_capacity == 0 {
+            return Err(RumbaError::InvalidConfig {
+                name: "recovery_queue_capacity",
+                value: "0".into(),
+            });
+        }
+        Ok(Self {
+            npu,
+            checker,
+            tuner,
+            config,
+            window_fired: 0,
+            window_pred_sum: 0.0,
+            window_len: 0,
+            stream_fixes: 0,
+            stream_invocations: 0,
+        })
+    }
+
+    /// The tuner (for inspecting threshold history after a run).
+    #[must_use]
+    pub fn tuner(&self) -> &Tuner {
+        &self.tuner
+    }
+
+    /// Resets streaming state for a fresh invocation stream (clears the
+    /// checker's online history and the tuning-window counters).
+    pub fn begin_stream(&mut self) {
+        self.checker.reset();
+        self.window_fired = 0;
+        self.window_pred_sum = 0.0;
+        self.window_len = 0;
+        self.stream_fixes = 0;
+        self.stream_invocations = 0;
+    }
+
+    /// Processes one invocation in streaming mode: runs the accelerator and
+    /// the checker, re-executes exactly on a fired check, writes the merged
+    /// result into `output`, and advances the tuning window.
+    ///
+    /// Call [`RumbaSystem::begin_stream`] before the first invocation of a
+    /// stream. Use this interface to slot the managed accelerator into a
+    /// whole application (see `rumba_apps::pipelines`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator dimension errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is narrower than the kernel's output width.
+    pub fn process(
+        &mut self,
+        kernel: &dyn Kernel,
+        input: &[f64],
+        output: &mut [f64],
+    ) -> Result<StreamOutcome> {
+        let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
+        let result = self.npu.invoke(input)?;
+        let predicted = self.checker.predict(input, &result.outputs);
+        let cap = self.tuner.reexec_cap(cpu_capacity_per_window);
+        let budget_left = cap.is_none_or(|c| self.window_fired < c);
+        let fired = predicted > self.tuner.threshold() && budget_left;
+
+        if fired {
+            kernel.compute(input, output);
+            self.window_fired += 1;
+            self.stream_fixes += 1;
+        } else {
+            output[..result.outputs.len()].copy_from_slice(&result.outputs);
+            self.window_pred_sum += predicted;
+        }
+        self.window_len += 1;
+        self.stream_invocations += 1;
+
+        if self.window_len == self.config.window {
+            self.flush_window(cpu_capacity_per_window);
+        }
+        Ok(StreamOutcome { fired, predicted_error: predicted })
+    }
+
+    /// Total re-executions since [`RumbaSystem::begin_stream`].
+    #[must_use]
+    pub fn stream_fixes(&self) -> usize {
+        self.stream_fixes
+    }
+
+    /// Total invocations since [`RumbaSystem::begin_stream`].
+    #[must_use]
+    pub fn stream_invocations(&self) -> usize {
+        self.stream_invocations
+    }
+
+    fn cpu_capacity_per_window(&self, kernel: &dyn Kernel) -> usize {
+        ((self.config.window as f64 * self.npu.cycles_per_invocation() as f64)
+            / kernel.cpu_cycles())
+        .floor() as usize
+    }
+
+    fn flush_window(&mut self, cpu_capacity: usize) {
+        if self.window_len == 0 {
+            return;
+        }
+        // Window quality estimate: fixed iterations are exact, so the
+        // window's predicted output error is the unfixed prediction mass
+        // over the whole window.
+        self.tuner.observe_window(WindowStats {
+            window_len: self.window_len,
+            fired: self.window_fired,
+            mean_unfixed_predicted_error: self.window_pred_sum / self.window_len as f64,
+            cpu_capacity,
+        });
+        self.window_fired = 0;
+        self.window_pred_sum = 0.0;
+        self.window_len = 0;
+    }
+
+    /// Processes every invocation in `data`, returning the merged outputs
+    /// and full telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RumbaError::EmptyWorkload`] for an empty dataset and
+    /// propagates accelerator dimension errors.
+    pub fn run(&mut self, kernel: &dyn Kernel, data: &NnDataset) -> Result<RunOutcome> {
+        if data.is_empty() {
+            return Err(RumbaError::EmptyWorkload);
+        }
+        let n = data.len();
+        let out_dim = self.npu.output_dim();
+        let metric = kernel.metric();
+        let cpu_cycles = kernel.cpu_cycles();
+        let npu_cycles = self.npu.cycles_per_invocation() as f64;
+        let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
+
+        self.begin_stream();
+        let mut recovery_queue: Fifo<RecoveryBit> =
+            Fifo::new(self.config.recovery_queue_capacity);
+        let mut merged = Vec::with_capacity(n * out_dim);
+        let mut fired = vec![false; n];
+        let mut fixes = 0usize;
+        let mut out_buf = vec![0.0; out_dim];
+
+        for (i, fired_flag) in fired.iter_mut().enumerate() {
+            let outcome = self.process(kernel, data.input(i), &mut out_buf)?;
+            if outcome.fired {
+                // Model the recovery queue the CPU drains: the recovery bit
+                // flows through the bounded FIFO (timing cost is accounted
+                // by the pipeline simulation below).
+                let bit = RecoveryBit {
+                    iteration: i,
+                    predicted_error: OrderedF64::new(outcome.predicted_error),
+                };
+                if recovery_queue.push(bit).is_err() {
+                    // Queue full: drain one (CPU consumes in FIFO order)
+                    // and retry — models back-pressure without deadlock.
+                    let _ = recovery_queue.pop();
+                    let _ = recovery_queue.push(bit);
+                }
+                let _ = recovery_queue.pop().expect("just pushed");
+                *fired_flag = true;
+                fixes += 1;
+            }
+            merged.extend_from_slice(&out_buf);
+        }
+        // Flush the final partial window.
+        self.flush_window(cpu_capacity_per_window);
+
+        // Measured quality of the merged stream.
+        let invocation_errors: Vec<f64> = (0..n)
+            .map(|i| {
+                metric.invocation_error(data.target(i), &merged[i * out_dim..(i + 1) * out_dim])
+            })
+            .collect();
+        let output_error = invocation_errors.iter().sum::<f64>() / n as f64;
+
+        let serial_detector_cycles = match (self.config.placement, self.checker.is_input_based())
+        {
+            (Placement::BeforeAccelerator, true) => {
+                n as f64 * self.checker.cycles_per_prediction() as f64
+            }
+            _ => 0.0,
+        };
+        let pipeline = simulate(n, npu_cycles, cpu_cycles, &fired);
+        let activity = SchemeActivity {
+            accelerator_invocations: n,
+            npu_cycles_per_invocation: self.npu.cycles_per_invocation(),
+            io_words_per_invocation: self.npu.input_dim() + self.npu.output_dim(),
+            checker_invocations: n,
+            checker_cost: self.checker.cost(),
+            reexecutions: fixes,
+            serial_detector_cycles,
+        };
+
+        Ok(RunOutcome {
+            merged_outputs: merged,
+            fired,
+            fixes,
+            output_error,
+            invocation_errors,
+            activity,
+            pipeline,
+            threshold_history: self.tuner.history().to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{train_app, OfflineConfig};
+    use crate::tuner::{calibrate_threshold, TuningMode};
+    use rumba_apps::{kernel_by_name, Split};
+    use rumba_predict::ErrorEstimator;
+
+    fn build_system(mode: TuningMode) -> (Box<dyn Kernel>, RumbaSystem, NnDataset) {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let train = kernel.generate(Split::Train, 42);
+        let predicted: Vec<f64> = (0..train.len())
+            .map(|i| {
+                let mut tree = app.tree.clone();
+                tree.estimate(train.input(i), &[])
+            })
+            .collect();
+        let threshold = calibrate_threshold(&predicted, &app.train_errors, 0.02);
+        let system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::new(mode, threshold).unwrap(),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        let test = kernel.generate(Split::Test, 42);
+        (kernel, system, test)
+    }
+
+    #[test]
+    fn managed_run_beats_unchecked_error() {
+        let (kernel, mut system, test) = build_system(TuningMode::TargetQuality { toq: 0.98 });
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+
+        // Unchecked error of the same accelerator.
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let unchecked = crate::trainer::invocation_errors(kernel.as_ref(), &app.rumba_npu, &test)
+            .unwrap()
+            .iter()
+            .sum::<f64>()
+            / test.len() as f64;
+
+        assert!(outcome.fixes > 0, "some checks must fire");
+        assert!(
+            outcome.output_error < unchecked,
+            "managed {} vs unchecked {unchecked}",
+            outcome.output_error
+        );
+    }
+
+    #[test]
+    fn merged_outputs_are_exact_where_fired() {
+        let (kernel, mut system, test) = build_system(TuningMode::TargetQuality { toq: 0.98 });
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+        let out_dim = kernel.output_dim();
+        for (i, &f) in outcome.fired.iter().enumerate() {
+            if f {
+                let merged = &outcome.merged_outputs[i * out_dim..(i + 1) * out_dim];
+                assert_eq!(merged, test.target(i), "iteration {i} must be exact");
+            }
+        }
+    }
+
+    #[test]
+    fn energy_mode_respects_budget_per_window() {
+        let (kernel, _, test) = build_system(TuningMode::BestQuality);
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let budget = 5usize;
+        let mut system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::new(TuningMode::EnergyBudget { budget }, 1e-6).unwrap(),
+            RuntimeConfig { window: 100, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+        let windows = test.len().div_ceil(100);
+        assert!(
+            outcome.fixes <= budget * windows,
+            "fixes {} exceed budget {budget} x {windows}",
+            outcome.fixes
+        );
+    }
+
+    #[test]
+    fn rejects_degenerate_config() {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let bad = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::new(TuningMode::BestQuality, 0.1).unwrap(),
+            RuntimeConfig { window: 0, ..RuntimeConfig::default() },
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn window_errors_average_back_to_output_error() {
+        let (kernel, mut system, test) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+        assert_eq!(outcome.invocation_errors.len(), test.len());
+        let windows = outcome.window_errors(256);
+        assert_eq!(windows.len(), test.len().div_ceil(256));
+        // Weighted mean of window means equals the overall error.
+        let weighted: f64 = outcome
+            .invocation_errors
+            .chunks(256)
+            .zip(&windows)
+            .map(|(c, &w)| w * c.len() as f64)
+            .sum::<f64>()
+            / test.len() as f64;
+        assert!((weighted - outcome.output_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_matches_batch_run() {
+        // `run` is built on `process`; an external streaming loop must
+        // reproduce it exactly.
+        let (kernel, mut batch_system, test) =
+            build_system(TuningMode::TargetQuality { toq: 0.95 });
+        let batch = batch_system.run(kernel.as_ref(), &test).unwrap();
+
+        let (_, mut stream_system, _) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        stream_system.begin_stream();
+        let out_dim = kernel.output_dim();
+        let mut merged = Vec::with_capacity(test.len() * out_dim);
+        let mut buf = vec![0.0; out_dim];
+        let mut fixes = 0usize;
+        for i in 0..test.len() {
+            let outcome = stream_system.process(kernel.as_ref(), test.input(i), &mut buf).unwrap();
+            if outcome.fired {
+                fixes += 1;
+            }
+            merged.extend_from_slice(&buf);
+        }
+        assert_eq!(merged, batch.merged_outputs);
+        assert_eq!(fixes, batch.fixes);
+        assert_eq!(stream_system.stream_fixes(), batch.fixes);
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let (kernel, mut system, _) = build_system(TuningMode::BestQuality);
+        let empty = NnDataset::new(kernel.input_dim(), kernel.output_dim()).unwrap();
+        assert!(matches!(system.run(kernel.as_ref(), &empty), Err(RumbaError::EmptyWorkload)));
+    }
+}

@@ -1,0 +1,248 @@
+//! The fix-selection schemes §5 compares.
+//!
+//! Every scheme reduces to a *score per test invocation*: to fix `K`
+//! elements, fix the `K` highest-scoring ones. This unifies the oracle
+//! (Ideal scores with the true error), the baselines (Random scores with
+//! seeded noise, Uniform with an equidistributed sequence), and Rumba's
+//! checkers (scores are predicted errors) behind one analysis pipeline.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_predict::CheckerCost;
+
+/// Which fix-selection scheme to evaluate (the legend of Figures 10–15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeKind {
+    /// Oracle: fixes the truly largest errors first. Zero false positives
+    /// by construction.
+    Ideal,
+    /// Fixes a random subset (no detection at all).
+    Random,
+    /// Fixes an evenly spaced subset (no detection at all).
+    Uniform,
+    /// Output-based exponential-moving-average checker (§3.2.3).
+    Ema,
+    /// Input-based linear error model (§3.2.1).
+    LinearErrors,
+    /// Input-based decision-tree error model (§3.2.2).
+    TreeErrors,
+    /// Errors-by-value-prediction alternative (§3.2, evaluated by the
+    /// `evp_eep` harness; not part of the headline figures).
+    Evp,
+}
+
+impl SchemeKind {
+    /// The six schemes shown in Figures 10–15, in the paper's legend order.
+    #[must_use]
+    pub fn paper_set() -> [SchemeKind; 6] {
+        [
+            SchemeKind::Ideal,
+            SchemeKind::Random,
+            SchemeKind::Uniform,
+            SchemeKind::Ema,
+            SchemeKind::LinearErrors,
+            SchemeKind::TreeErrors,
+        ]
+    }
+
+    /// The paper's label for this scheme.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeKind::Ideal => "Ideal",
+            SchemeKind::Random => "Random",
+            SchemeKind::Uniform => "Uniform",
+            SchemeKind::Ema => "EMA",
+            SchemeKind::LinearErrors => "linearErrors",
+            SchemeKind::TreeErrors => "treeErrors",
+            SchemeKind::Evp => "EVP",
+        }
+    }
+
+    /// Whether the scheme involves an actual online checker (and therefore
+    /// checker hardware energy).
+    #[must_use]
+    pub fn has_checker(self) -> bool {
+        matches!(
+            self,
+            SchemeKind::Ema | SchemeKind::LinearErrors | SchemeKind::TreeErrors | SchemeKind::Evp
+        )
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Scores for one scheme over one test set, plus the scheme's checker cost.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemeScores {
+    kind: SchemeKind,
+    scores: Vec<f64>,
+    checker_cost: CheckerCost,
+    /// Invocation indices sorted by descending score (ties broken by
+    /// index), precomputed once.
+    order: Vec<usize>,
+}
+
+impl SchemeScores {
+    /// Bundles a score vector with its scheme identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any score is NaN.
+    #[must_use]
+    pub fn new(kind: SchemeKind, scores: Vec<f64>, checker_cost: CheckerCost) -> Self {
+        assert!(scores.iter().all(|s| !s.is_nan()), "scores must not be NaN");
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b].partial_cmp(&scores[a]).expect("NaN excluded").then(a.cmp(&b))
+        });
+        Self { kind, scores, checker_cost, order }
+    }
+
+    /// The scheme these scores belong to.
+    #[must_use]
+    pub fn kind(&self) -> SchemeKind {
+        self.kind
+    }
+
+    /// Per-invocation scores (higher = fix first).
+    #[must_use]
+    pub fn scores(&self) -> &[f64] {
+        &self.scores
+    }
+
+    /// Hardware cost of one checker prediction under this scheme.
+    #[must_use]
+    pub fn checker_cost(&self) -> CheckerCost {
+        self.checker_cost
+    }
+
+    /// Number of scored invocations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// Whether the score set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Invocation indices in fix-first order.
+    #[must_use]
+    pub fn fix_order(&self) -> &[usize] {
+        &self.order
+    }
+
+    /// The indices fixed when repairing `k` elements.
+    #[must_use]
+    pub fn top_k(&self, k: usize) -> &[usize] {
+        &self.order[..k.min(self.order.len())]
+    }
+
+    /// The indices whose score strictly exceeds `threshold` — the set the
+    /// online detector would flag.
+    #[must_use]
+    pub fn fired(&self, threshold: f64) -> Vec<usize> {
+        (0..self.scores.len()).filter(|&i| self.scores[i] > threshold).collect()
+    }
+}
+
+/// Scores for the Random baseline: seeded uniform noise.
+#[must_use]
+pub fn random_scores(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x00c0_ffee);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// Scores for the Uniform baseline: the van der Corput radical-inverse
+/// sequence in base 2, whose top-`f` fraction is evenly spaced over the
+/// index range for every `f`.
+#[must_use]
+pub fn uniform_scores(n: usize) -> Vec<f64> {
+    (0..n).map(van_der_corput).collect()
+}
+
+fn van_der_corput(mut i: usize) -> f64 {
+    let mut result = 0.0;
+    let mut frac = 0.5;
+    while i > 0 {
+        if i & 1 == 1 {
+            result += frac;
+        }
+        frac *= 0.5;
+        i >>= 1;
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_set_order_matches_legend() {
+        let labels: Vec<_> = SchemeKind::paper_set().iter().map(|s| s.label()).collect();
+        assert_eq!(labels, ["Ideal", "Random", "Uniform", "EMA", "linearErrors", "treeErrors"]);
+    }
+
+    #[test]
+    fn top_k_orders_by_score_desc() {
+        let s = SchemeScores::new(
+            SchemeKind::Ideal,
+            vec![0.1, 0.9, 0.5, 0.9],
+            CheckerCost::free(),
+        );
+        assert_eq!(s.top_k(2), &[1, 3]); // tie broken by index
+        assert_eq!(s.top_k(3), &[1, 3, 2]);
+        assert_eq!(s.top_k(99).len(), 4);
+    }
+
+    #[test]
+    fn fired_uses_strict_threshold() {
+        let s = SchemeScores::new(SchemeKind::Ema, vec![0.1, 0.3, 0.3], CheckerCost::free());
+        assert_eq!(s.fired(0.3), vec![]);
+        assert_eq!(s.fired(0.2), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_rejected() {
+        let _ = SchemeScores::new(SchemeKind::Ideal, vec![f64::NAN], CheckerCost::free());
+    }
+
+    #[test]
+    fn random_scores_are_seeded() {
+        assert_eq!(random_scores(16, 7), random_scores(16, 7));
+        assert_ne!(random_scores(16, 7), random_scores(16, 8));
+    }
+
+    #[test]
+    fn uniform_top_fraction_is_evenly_spread() {
+        let n = 1024;
+        let scores = uniform_scores(n);
+        let s = SchemeScores::new(SchemeKind::Uniform, scores, CheckerCost::free());
+        // Top 1/4 of indices: gaps between sorted indices should all be ~4.
+        let mut top: Vec<usize> = s.top_k(n / 4).to_vec();
+        top.sort_unstable();
+        for w in top.windows(2) {
+            let gap = w[1] - w[0];
+            assert!((3..=5).contains(&gap), "gap {gap}");
+        }
+    }
+
+    #[test]
+    fn checker_flags() {
+        assert!(!SchemeKind::Ideal.has_checker());
+        assert!(!SchemeKind::Random.has_checker());
+        assert!(SchemeKind::TreeErrors.has_checker());
+        assert!(SchemeKind::Ema.has_checker());
+    }
+}

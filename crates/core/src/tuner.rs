@@ -1,0 +1,406 @@
+//! §3.4 — online tuning of the detection threshold.
+//!
+//! The tuning threshold decides which predicted errors fire the check. A
+//! larger threshold re-executes fewer iterations (more energy saving, lower
+//! quality); a smaller one the reverse. The tuner moves the threshold
+//! between invocation windows under one of three user-selected modes.
+
+use crate::{Result, RumbaError};
+
+/// The user's tuning objective (§3.4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TuningMode {
+    /// TOQ mode: keep (estimated) output quality at or above the target.
+    /// `toq = 0.9` means 90 % quality, i.e. a 10 % error budget.
+    TargetQuality {
+        /// Target output quality in `(0, 1]`.
+        toq: f64,
+    },
+    /// Energy mode: never re-execute more than `budget` iterations per
+    /// window; use less if quality allows.
+    EnergyBudget {
+        /// Re-execution budget per invocation window.
+        budget: usize,
+    },
+    /// Quality mode: re-execute as much as the CPU can overlap with the
+    /// accelerator (maximize quality at zero performance cost).
+    BestQuality,
+}
+
+/// Per-window feedback the tuner adapts on.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowStats {
+    /// Iterations in the window.
+    pub window_len: usize,
+    /// Iterations whose check fired (and were re-executed).
+    pub fired: usize,
+    /// Mean predicted error of the iterations that were *not* fixed — the
+    /// tuner's online quality estimate (it never sees exact results).
+    pub mean_unfixed_predicted_error: f64,
+    /// How many re-executions the CPU could have overlapped with the
+    /// accelerator in this window (capacity for [`TuningMode::BestQuality`]).
+    pub cpu_capacity: usize,
+}
+
+/// How the threshold moves on each adjustment.
+///
+/// The paper uses symmetric multiplicative steps; the AIMD alternative
+/// (additive relax, multiplicative protect — TCP's congestion shape) reacts
+/// faster to quality violations while creeping slowly back toward energy
+/// savings. `ablate_tuner_policy` compares the two.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StepPolicy {
+    /// Symmetric geometric steps: raise multiplies by `1 + step`, lower by
+    /// `1 - step`.
+    Multiplicative {
+        /// Relative step in `(0, 1)`.
+        step: f64,
+    },
+    /// Additive-increase (raise adds `increase × current`, capped small),
+    /// multiplicative-decrease (lower multiplies by `1 - decrease`).
+    Aimd {
+        /// Additive raise fraction per window.
+        increase: f64,
+        /// Multiplicative backoff in `(0, 1)`.
+        decrease: f64,
+    },
+}
+
+impl Default for StepPolicy {
+    fn default() -> Self {
+        StepPolicy::Multiplicative { step: 0.15 }
+    }
+}
+
+impl StepPolicy {
+    fn validate(&self) -> Result<()> {
+        let ok = match *self {
+            StepPolicy::Multiplicative { step } => 0.0 < step && step < 1.0,
+            StepPolicy::Aimd { increase, decrease } => {
+                increase > 0.0 && 0.0 < decrease && decrease < 1.0
+            }
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(RumbaError::InvalidConfig { name: "step_policy", value: format!("{self:?}") })
+        }
+    }
+
+    /// Threshold after a "fix fewer / save energy" adjustment.
+    fn raise(&self, threshold: f64) -> f64 {
+        match *self {
+            StepPolicy::Multiplicative { step } => threshold * (1.0 + step),
+            StepPolicy::Aimd { increase, .. } => threshold * (1.0 + increase),
+        }
+    }
+
+    /// Threshold after a "fix more / protect quality" adjustment.
+    fn lower(&self, threshold: f64) -> f64 {
+        match *self {
+            StepPolicy::Multiplicative { step } => threshold * (1.0 - step),
+            StepPolicy::Aimd { decrease, .. } => threshold * (1.0 - decrease),
+        }
+    }
+}
+
+/// The online threshold controller.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_core::tuner::{Tuner, TuningMode, WindowStats};
+///
+/// let mut tuner = Tuner::new(TuningMode::TargetQuality { toq: 0.9 }, 0.2).unwrap();
+/// let before = tuner.threshold();
+/// // Quality estimate far above the 10% budget → threshold must drop.
+/// tuner.observe_window(WindowStats {
+///     window_len: 100, fired: 5, mean_unfixed_predicted_error: 0.4, cpu_capacity: 20,
+/// });
+/// assert!(tuner.threshold() < before);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuner {
+    mode: TuningMode,
+    threshold: f64,
+    history: Vec<f64>,
+    policy: StepPolicy,
+    min_threshold: f64,
+    max_threshold: f64,
+}
+
+impl Tuner {
+    /// Creates a tuner starting from `initial_threshold` (typically the
+    /// offline calibration from [`calibrate_threshold`]) with the default
+    /// multiplicative step policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RumbaError::InvalidConfig`] for nonpositive thresholds or
+    /// an out-of-range TOQ.
+    pub fn new(mode: TuningMode, initial_threshold: f64) -> Result<Self> {
+        Self::with_policy(mode, initial_threshold, StepPolicy::default())
+    }
+
+    /// [`Tuner::new`] with an explicit [`StepPolicy`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RumbaError::InvalidConfig`] for nonpositive thresholds, an
+    /// out-of-range TOQ, or a degenerate policy.
+    pub fn with_policy(
+        mode: TuningMode,
+        initial_threshold: f64,
+        policy: StepPolicy,
+    ) -> Result<Self> {
+        if !(initial_threshold > 0.0 && initial_threshold.is_finite()) {
+            return Err(RumbaError::InvalidConfig {
+                name: "initial_threshold",
+                value: initial_threshold.to_string(),
+            });
+        }
+        if let TuningMode::TargetQuality { toq } = mode {
+            if !(0.0 < toq && toq <= 1.0) {
+                return Err(RumbaError::InvalidConfig { name: "toq", value: toq.to_string() });
+            }
+        }
+        policy.validate()?;
+        Ok(Self {
+            mode,
+            threshold: initial_threshold,
+            history: vec![initial_threshold],
+            policy,
+            min_threshold: 1e-6,
+            max_threshold: 1e6,
+        })
+    }
+
+    /// The current firing threshold.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The tuning objective.
+    #[must_use]
+    pub fn mode(&self) -> TuningMode {
+        self.mode
+    }
+
+    /// Threshold after each observed window, starting with the initial one.
+    #[must_use]
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+
+    /// Iterations the current mode allows to be re-executed in a window
+    /// (`None` = unbounded). Energy mode enforces a hard cap (§3.4: once
+    /// over budget, re-execution stops for the rest of the invocation).
+    #[must_use]
+    pub fn reexec_cap(&self, stats_cpu_capacity: usize) -> Option<usize> {
+        match self.mode {
+            TuningMode::TargetQuality { .. } => None,
+            TuningMode::EnergyBudget { budget } => Some(budget),
+            TuningMode::BestQuality => Some(stats_cpu_capacity),
+        }
+    }
+
+    /// Feeds one completed window back; the threshold moves for the next
+    /// window.
+    pub fn observe_window(&mut self, stats: WindowStats) {
+        if stats.window_len == 0 {
+            return;
+        }
+        match self.mode {
+            TuningMode::TargetQuality { toq } => {
+                let budget = 1.0 - toq;
+                if stats.mean_unfixed_predicted_error > budget {
+                    self.threshold = self.policy.lower(self.threshold); // fix more
+                } else if stats.mean_unfixed_predicted_error < 0.5 * budget {
+                    self.threshold = self.policy.raise(self.threshold); // save energy
+                }
+            }
+            TuningMode::EnergyBudget { budget } => {
+                if stats.fired > budget {
+                    self.threshold = self.policy.raise(self.threshold);
+                } else if stats.fired + stats.fired / 4 < budget {
+                    self.threshold = self.policy.lower(self.threshold);
+                }
+            }
+            TuningMode::BestQuality => {
+                if stats.fired > stats.cpu_capacity {
+                    // CPU fell behind: fix fewer next invocation.
+                    self.threshold = self.policy.raise(self.threshold);
+                } else if stats.fired < stats.cpu_capacity {
+                    // CPU under-utilized: it can fix more.
+                    self.threshold = self.policy.lower(self.threshold);
+                }
+            }
+        }
+        self.threshold = self.threshold.clamp(self.min_threshold, self.max_threshold);
+        self.history.push(self.threshold);
+    }
+}
+
+/// Offline threshold calibration: the smallest threshold on *predicted*
+/// errors such that fixing every training invocation predicted above it
+/// brings training output error within `target_error`.
+///
+/// Falls back to the smallest positive predicted error (fix everything
+/// predictable) when even that cannot reach the target.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn calibrate_threshold(predicted: &[f64], true_errors: &[f64], target_error: f64) -> f64 {
+    assert_eq!(predicted.len(), true_errors.len(), "parallel slices required");
+    let n = predicted.len();
+    if n == 0 {
+        return target_error.max(1e-6);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| predicted[b].partial_cmp(&predicted[a]).expect("finite").then(a.cmp(&b)));
+    let total: f64 = true_errors.iter().sum();
+    let mut remaining = total;
+    if remaining / n as f64 <= target_error {
+        // Already within budget: fire only above the largest prediction.
+        return (predicted[order[0]] * 1.01).max(1e-6);
+    }
+    for &i in &order {
+        remaining -= true_errors[i];
+        if remaining / n as f64 <= target_error {
+            return predicted[i].max(1e-6) * 0.999;
+        }
+    }
+    let min_pos = predicted.iter().copied().filter(|&p| p > 0.0).fold(f64::INFINITY, f64::min);
+    if min_pos.is_finite() {
+        min_pos * 0.999
+    } else {
+        1e-6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_configs() {
+        assert!(Tuner::new(TuningMode::BestQuality, 0.0).is_err());
+        assert!(Tuner::new(TuningMode::TargetQuality { toq: 1.5 }, 0.1).is_err());
+        assert!(Tuner::new(TuningMode::TargetQuality { toq: 0.9 }, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn toq_mode_raises_threshold_when_quality_is_good() {
+        let mut t = Tuner::new(TuningMode::TargetQuality { toq: 0.9 }, 0.2).unwrap();
+        t.observe_window(WindowStats {
+            window_len: 100,
+            fired: 30,
+            mean_unfixed_predicted_error: 0.01,
+            cpu_capacity: 50,
+        });
+        assert!(t.threshold() > 0.2);
+    }
+
+    #[test]
+    fn energy_mode_tracks_budget() {
+        let mut t = Tuner::new(TuningMode::EnergyBudget { budget: 10 }, 0.2).unwrap();
+        t.observe_window(WindowStats { window_len: 100, fired: 40, ..WindowStats::default() });
+        assert!(t.threshold() > 0.2, "over budget → raise");
+        let th = t.threshold();
+        t.observe_window(WindowStats { window_len: 100, fired: 2, ..WindowStats::default() });
+        assert!(t.threshold() < th, "under budget → lower");
+        assert_eq!(t.reexec_cap(99), Some(10));
+    }
+
+    #[test]
+    fn quality_mode_chases_cpu_capacity() {
+        let mut t = Tuner::new(TuningMode::BestQuality, 0.2).unwrap();
+        t.observe_window(WindowStats {
+            window_len: 100,
+            fired: 5,
+            cpu_capacity: 20,
+            ..WindowStats::default()
+        });
+        assert!(t.threshold() < 0.2, "capacity spare → fix more");
+        assert_eq!(t.reexec_cap(20), Some(20));
+    }
+
+    #[test]
+    fn threshold_stays_clamped_and_history_grows() {
+        let mut t = Tuner::new(TuningMode::EnergyBudget { budget: 0 }, 1.0).unwrap();
+        for _ in 0..200 {
+            t.observe_window(WindowStats { window_len: 10, fired: 10, ..WindowStats::default() });
+        }
+        assert!(t.threshold() <= 1e6);
+        assert_eq!(t.history().len(), 201);
+    }
+
+    #[test]
+    fn empty_window_is_ignored() {
+        let mut t = Tuner::new(TuningMode::BestQuality, 0.5).unwrap();
+        t.observe_window(WindowStats::default());
+        assert_eq!(t.threshold(), 0.5);
+        assert_eq!(t.history().len(), 1);
+    }
+
+    #[test]
+    fn aimd_policy_backs_off_harder_than_it_relaxes() {
+        let policy = StepPolicy::Aimd { increase: 0.05, decrease: 0.4 };
+        let mut t = Tuner::with_policy(TuningMode::TargetQuality { toq: 0.9 }, 0.2, policy)
+            .unwrap();
+        // Quality violation: strong multiplicative backoff.
+        t.observe_window(WindowStats {
+            window_len: 100,
+            fired: 0,
+            mean_unfixed_predicted_error: 0.5,
+            cpu_capacity: 10,
+        });
+        assert!((t.threshold() - 0.2 * 0.6).abs() < 1e-12);
+        // Headroom: gentle additive-style relax.
+        let before = t.threshold();
+        t.observe_window(WindowStats {
+            window_len: 100,
+            fired: 0,
+            mean_unfixed_predicted_error: 0.0,
+            cpu_capacity: 10,
+        });
+        assert!((t.threshold() - before * 1.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_policies_rejected() {
+        for policy in [
+            StepPolicy::Multiplicative { step: 0.0 },
+            StepPolicy::Multiplicative { step: 1.0 },
+            StepPolicy::Aimd { increase: 0.0, decrease: 0.2 },
+            StepPolicy::Aimd { increase: 0.1, decrease: 1.0 },
+        ] {
+            assert!(Tuner::with_policy(TuningMode::BestQuality, 0.1, policy).is_err());
+        }
+    }
+
+    #[test]
+    fn calibration_reaches_the_target_on_train() {
+        // Predicted == true errors (a perfect checker).
+        let errors = vec![0.5, 0.05, 0.4, 0.02, 0.3, 0.01];
+        let th = calibrate_threshold(&errors, &errors, 0.05);
+        // Fixing everything above th must bring mean error ≤ 0.05.
+        let remaining: f64 = errors.iter().filter(|&&e| e <= th).sum();
+        assert!(remaining / errors.len() as f64 <= 0.05, "threshold {th}");
+    }
+
+    #[test]
+    fn calibration_when_already_within_budget() {
+        let errors = vec![0.01, 0.02];
+        let th = calibrate_threshold(&errors, &errors, 0.5);
+        assert!(th > 0.02, "nothing should fire");
+    }
+
+    #[test]
+    fn calibration_handles_empty() {
+        assert!(calibrate_threshold(&[], &[], 0.1) > 0.0);
+    }
+}

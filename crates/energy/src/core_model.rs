@@ -1,0 +1,167 @@
+//! The Table-2 x86-64 core description.
+
+use std::fmt;
+
+/// Microarchitectural parameters of the host CPU (the paper's Table 2).
+///
+/// The struct is purely descriptive — the energy model consumes only the
+/// derived constants in [`crate::EnergyParams`] — but it is the canonical
+/// record the `table2` harness binary prints and the defaults match the
+/// paper field for field.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_energy::CoreConfig;
+///
+/// let core = CoreConfig::default();
+/// assert_eq!(core.fetch_width, 4);
+/// assert_eq!(core.l2_size_kb, 2048);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle.
+    pub fetch_width: usize,
+    /// Instructions issued per cycle.
+    pub issue_width: usize,
+    /// Integer ALUs / floating-point units.
+    pub int_alus: usize,
+    /// Floating-point units.
+    pub fpus: usize,
+    /// Load / store functional units.
+    pub load_fus: usize,
+    /// Store functional units.
+    pub store_fus: usize,
+    /// Issue queue entries.
+    pub issue_queue_entries: usize,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Integer physical registers.
+    pub int_regs: usize,
+    /// Floating-point physical registers.
+    pub fp_regs: usize,
+    /// Branch target buffer entries.
+    pub btb_entries: usize,
+    /// Return address stack entries.
+    pub ras_entries: usize,
+    /// Load queue entries.
+    pub load_queue_entries: usize,
+    /// Store queue entries.
+    pub store_queue_entries: usize,
+    /// L1 instruction cache size in KB.
+    pub l1_icache_kb: usize,
+    /// L1 data cache size in KB.
+    pub l1_dcache_kb: usize,
+    /// L1 hit latency in cycles.
+    pub l1_hit_cycles: usize,
+    /// L2 hit latency in cycles.
+    pub l2_hit_cycles: usize,
+    /// L1/L2 associativity.
+    pub cache_associativity: usize,
+    /// Instruction TLB entries.
+    pub itlb_entries: usize,
+    /// Data TLB entries.
+    pub dtlb_entries: usize,
+    /// L2 cache size in KB.
+    pub l2_size_kb: usize,
+    /// Branch predictor family.
+    pub branch_predictor: &'static str,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self {
+            fetch_width: 4,
+            issue_width: 6,
+            int_alus: 2,
+            fpus: 2,
+            load_fus: 1,
+            store_fus: 1,
+            issue_queue_entries: 32,
+            rob_entries: 96,
+            int_regs: 256,
+            fp_regs: 256,
+            btb_entries: 2048,
+            ras_entries: 16,
+            load_queue_entries: 48,
+            store_queue_entries: 48,
+            l1_icache_kb: 32,
+            l1_dcache_kb: 32,
+            l1_hit_cycles: 3,
+            l2_hit_cycles: 12,
+            cache_associativity: 8,
+            itlb_entries: 128,
+            dtlb_entries: 256,
+            l2_size_kb: 2048,
+            branch_predictor: "Tournament",
+        }
+    }
+}
+
+impl CoreConfig {
+    /// The Table-2 rows as `(parameter, value)` strings, in the paper's
+    /// layout order, for the `table2` harness.
+    #[must_use]
+    pub fn table_rows(&self) -> Vec<(String, String)> {
+        vec![
+            ("Fetch/Issue width".into(), format!("{}/{}", self.fetch_width, self.issue_width)),
+            ("INT ALUs/FPUs".into(), format!("{}/{}", self.int_alus, self.fpus)),
+            ("Load/Store FUs".into(), format!("{}/{}", self.load_fus, self.store_fus)),
+            ("Issue Queue Entries".into(), self.issue_queue_entries.to_string()),
+            ("ROB Entries".into(), self.rob_entries.to_string()),
+            ("INT/FP Physical Registers".into(), format!("{}/{}", self.int_regs, self.fp_regs)),
+            ("BTB Entries".into(), self.btb_entries.to_string()),
+            ("RAS Entries".into(), self.ras_entries.to_string()),
+            (
+                "Load/Store Queue Entries".into(),
+                format!("{}/{}", self.load_queue_entries, self.store_queue_entries),
+            ),
+            ("L1 iCache".into(), format!("{}KB", self.l1_icache_kb)),
+            ("L1 dCache".into(), format!("{}KB", self.l1_dcache_kb)),
+            (
+                "L1/L2 Hit Latency".into(),
+                format!("{}/{} cycles", self.l1_hit_cycles, self.l2_hit_cycles),
+            ),
+            ("L1/L2 Associativity".into(), self.cache_associativity.to_string()),
+            ("ITLB/DTLB Entries".into(), format!("{}/{}", self.itlb_entries, self.dtlb_entries)),
+            ("L2 Size".into(), format!("{} MB", self.l2_size_kb / 1024)),
+            ("Branch Predictor".into(), self.branch_predictor.to_string()),
+        ]
+    }
+}
+
+impl fmt::Display for CoreConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, value) in self.table_rows() {
+            writeln!(f, "{name:<28} {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_table2() {
+        let c = CoreConfig::default();
+        assert_eq!(c.issue_width, 6);
+        assert_eq!(c.rob_entries, 96);
+        assert_eq!(c.btb_entries, 2048);
+        assert_eq!(c.branch_predictor, "Tournament");
+    }
+
+    #[test]
+    fn table_has_all_sixteen_rows() {
+        assert_eq!(CoreConfig::default().table_rows().len(), 16);
+    }
+
+    #[test]
+    fn display_mentions_key_values() {
+        let text = CoreConfig::default().to_string();
+        assert!(text.contains("4/6"));
+        assert!(text.contains("2 MB"));
+        assert!(text.contains("Tournament"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Analytical timing and energy models replacing the paper's GEM5 + McPAT
+//! toolchain.
+//!
+//! The paper feeds microarchitectural activity from GEM5 into McPAT to get
+//! whole-application energy, using the Table-2 x86-64 core and an 8-PE NPU.
+//! Neither tool is reproducible here, so this crate provides a calibrated
+//! analytical substitute:
+//!
+//! - [`CoreConfig`]: the Table-2 core parameters (printed by the `table2`
+//!   harness binary),
+//! - [`EnergyParams`]: per-cycle / per-operation energy constants chosen so
+//!   the *unchecked NPU* lands near the paper's averages (≈3.2× energy
+//!   saving at ≈2.2× speedup, with `kmeans` showing a slowdown),
+//! - [`WorkloadProfile`] + [`SchemeActivity`] → [`SystemModel`]: Amdahl
+//!   composition of the kernel and non-kernel regions into
+//!   whole-application [`RunCost`]s, including checker energy and CPU
+//!   re-execution energy for Rumba schemes.
+//!
+//! Because every paper claim is a *ratio* between schemes on identical
+//! workloads, an analytical model preserves the orderings and approximate
+//! magnitudes the reproduction targets (see DESIGN.md §2).
+//!
+//! # Examples
+//!
+//! ```
+//! use rumba_energy::{EnergyParams, SchemeActivity, SystemModel, WorkloadProfile};
+//!
+//! let model = SystemModel::new(EnergyParams::default());
+//! let workload = WorkloadProfile {
+//!     invocations: 10_000,
+//!     cpu_cycles_per_invocation: 300.0,
+//!     kernel_fraction: 0.9,
+//! };
+//! let baseline = model.cpu_baseline(&workload);
+//! let npu_only = model.accelerated(&workload, &SchemeActivity {
+//!     accelerator_invocations: 10_000,
+//!     npu_cycles_per_invocation: 60,
+//!     io_words_per_invocation: 4,
+//!     ..SchemeActivity::default()
+//! });
+//! assert!(npu_only.energy_nj < baseline.energy_nj);
+//! assert!(npu_only.cycles < baseline.cycles);
+//! ```
+
+mod core_model;
+mod params;
+mod system;
+
+pub use core_model::CoreConfig;
+pub use params::EnergyParams;
+pub use system::{EnergyBreakdown, RunCost, SchemeActivity, SystemModel, WorkloadProfile};

@@ -1,0 +1,100 @@
+use rumba_predict::CheckerCost;
+
+/// Per-cycle and per-operation energy constants (nanojoules) plus the core
+/// clock.
+///
+/// Calibration: with these constants and the default accelerator timing
+/// model, the *unchecked NPU* saves ≈3.2× energy at ≈2.2× speedup averaged
+/// over the Table-1 suite, with `kmeans` slowing down — the paper's
+/// baseline operating point. All Figure 14/15/16 comparisons are ratios on
+/// top of this point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Core clock in GHz (used only to render cycle counts as time).
+    pub cpu_freq_ghz: f64,
+    /// Energy per cycle of the Table-2 core while executing.
+    pub cpu_active_nj_per_cycle: f64,
+    /// Energy per cycle of the core while it waits on the accelerator
+    /// (clock gating is imperfect; McPAT attributes substantial static
+    /// power).
+    pub cpu_idle_nj_per_cycle: f64,
+    /// Energy per cycle of the 8-PE NPU while evaluating.
+    pub npu_nj_per_cycle: f64,
+    /// Checker energy per multiply-accumulate.
+    pub checker_mac_nj: f64,
+    /// Checker energy per comparison.
+    pub checker_cmp_nj: f64,
+    /// Checker energy per coefficient-buffer read.
+    pub checker_read_nj: f64,
+    /// Energy per word moved through a core↔accelerator queue.
+    pub queue_word_nj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            cpu_freq_ghz: 3.4,
+            cpu_active_nj_per_cycle: 1.1,
+            cpu_idle_nj_per_cycle: 0.3,
+            npu_nj_per_cycle: 0.25,
+            checker_mac_nj: 0.015,
+            checker_cmp_nj: 0.008,
+            checker_read_nj: 0.004,
+            queue_word_nj: 0.02,
+        }
+    }
+}
+
+impl EnergyParams {
+    /// Energy of one checker prediction.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumba_energy::EnergyParams;
+    /// use rumba_predict::CheckerCost;
+    ///
+    /// let p = EnergyParams::default();
+    /// let free = p.checker_prediction_nj(CheckerCost::free());
+    /// assert_eq!(free, 0.0);
+    /// ```
+    #[must_use]
+    pub fn checker_prediction_nj(&self, cost: CheckerCost) -> f64 {
+        cost.macs as f64 * self.checker_mac_nj
+            + cost.comparisons as f64 * self.checker_cmp_nj
+            + cost.table_reads as f64 * self.checker_read_nj
+    }
+
+    /// Renders a cycle count as milliseconds at the configured clock.
+    #[must_use]
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.cpu_freq_ghz * 1e9) * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checker_energy_is_linear_in_ops() {
+        let p = EnergyParams::default();
+        let one = p.checker_prediction_nj(CheckerCost { macs: 1, comparisons: 0, table_reads: 0 });
+        let ten = p.checker_prediction_nj(CheckerCost { macs: 10, comparisons: 0, table_reads: 0 });
+        assert!((ten - 10.0 * one).abs() < 1e-12);
+    }
+
+    #[test]
+    fn npu_is_cheaper_per_cycle_than_cpu() {
+        let p = EnergyParams::default();
+        assert!(p.npu_nj_per_cycle < p.cpu_active_nj_per_cycle);
+        assert!(p.cpu_idle_nj_per_cycle < p.cpu_active_nj_per_cycle);
+    }
+
+    #[test]
+    fn cycles_to_ms_at_clock() {
+        let p = EnergyParams::default();
+        // 3.4e9 cycles = 1 second = 1000 ms.
+        assert!((p.cycles_to_ms(3.4e9) - 1000.0).abs() < 1e-9);
+    }
+}

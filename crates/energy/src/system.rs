@@ -1,0 +1,311 @@
+//! Whole-application roll-up: composes the kernel region (accelerator,
+//! checker, CPU re-execution) with the exact non-kernel region into total
+//! cycles and energy per scheme.
+
+use rumba_predict::CheckerCost;
+
+use crate::EnergyParams;
+
+/// Static description of one application's workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadProfile {
+    /// Number of kernel invocations (loop iterations) in one run.
+    pub invocations: usize,
+    /// Cycles one exact invocation costs on the host CPU.
+    pub cpu_cycles_per_invocation: f64,
+    /// Fraction of whole-application CPU time spent in the kernel.
+    pub kernel_fraction: f64,
+}
+
+impl WorkloadProfile {
+    /// Cycles the non-kernel (always exact, always on the CPU) region costs.
+    #[must_use]
+    pub fn non_kernel_cycles(&self) -> f64 {
+        let f = self.kernel_fraction.clamp(1e-9, 1.0);
+        self.invocations as f64 * self.cpu_cycles_per_invocation * (1.0 - f) / f
+    }
+
+    /// Cycles the kernel region costs when run exactly on the CPU.
+    #[must_use]
+    pub fn kernel_cycles(&self) -> f64 {
+        self.invocations as f64 * self.cpu_cycles_per_invocation
+    }
+}
+
+/// Dynamic activity one scheme generated while executing the workload.
+///
+/// A pure-CPU run is the default (all zeros); an unchecked NPU sets the
+/// accelerator fields; Rumba schemes additionally set checker and
+/// re-execution fields.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SchemeActivity {
+    /// Invocations actually executed on the accelerator (may be fewer than
+    /// the workload's under detector placement Configuration 1).
+    pub accelerator_invocations: usize,
+    /// Accelerator cycles per invocation.
+    pub npu_cycles_per_invocation: u64,
+    /// Words moved through the input+output queues per accelerator
+    /// invocation.
+    pub io_words_per_invocation: usize,
+    /// Checker predictions issued.
+    pub checker_invocations: usize,
+    /// Hardware work per checker prediction.
+    pub checker_cost: CheckerCost,
+    /// Iterations re-executed exactly on the CPU.
+    pub reexecutions: usize,
+    /// Extra cycles serialized into the kernel phase (e.g. detector latency
+    /// under placement Configuration 1).
+    pub serial_detector_cycles: f64,
+}
+
+/// Total cost of one application run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunCost {
+    /// Whole-application cycles (wall-clock at the core frequency).
+    pub cycles: f64,
+    /// Whole-application energy in nanojoules.
+    pub energy_nj: f64,
+}
+
+/// Where the energy of an accelerated run went, component by component.
+///
+/// Components always sum to [`EnergyBreakdown::total_nj`]; the invariant is
+/// property-tested.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// CPU-active energy of the exact non-kernel region.
+    pub non_kernel_nj: f64,
+    /// Accelerator compute energy.
+    pub accelerator_nj: f64,
+    /// Core↔accelerator queue transfer energy.
+    pub queue_nj: f64,
+    /// Checker prediction energy.
+    pub checker_nj: f64,
+    /// CPU-active energy of exact re-executions.
+    pub reexecution_nj: f64,
+    /// CPU wait energy while the accelerator runs uncovered by recovery.
+    pub idle_nj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Sum of all components.
+    #[must_use]
+    pub fn total_nj(&self) -> f64 {
+        self.non_kernel_nj
+            + self.accelerator_nj
+            + self.queue_nj
+            + self.checker_nj
+            + self.reexecution_nj
+            + self.idle_nj
+    }
+
+    /// The quality-management overhead: everything Rumba adds on top of an
+    /// unchecked accelerator (checker + re-execution energy).
+    #[must_use]
+    pub fn management_overhead_nj(&self) -> f64 {
+        self.checker_nj + self.reexecution_nj
+    }
+}
+
+impl RunCost {
+    /// Speedup of this run relative to a baseline (`baseline / self` in
+    /// time).
+    #[must_use]
+    pub fn speedup_vs(&self, baseline: &RunCost) -> f64 {
+        baseline.cycles / self.cycles
+    }
+
+    /// Energy-reduction factor relative to a baseline (`baseline / self`).
+    #[must_use]
+    pub fn energy_reduction_vs(&self, baseline: &RunCost) -> f64 {
+        baseline.energy_nj / self.energy_nj
+    }
+}
+
+/// The analytical system model: turns workload + activity into [`RunCost`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SystemModel {
+    params: EnergyParams,
+}
+
+impl SystemModel {
+    /// Creates a model with the given energy constants.
+    #[must_use]
+    pub fn new(params: EnergyParams) -> Self {
+        Self { params }
+    }
+
+    /// The energy constants in use.
+    #[must_use]
+    pub fn params(&self) -> &EnergyParams {
+        &self.params
+    }
+
+    /// Cost of running the whole application exactly on the CPU.
+    #[must_use]
+    pub fn cpu_baseline(&self, workload: &WorkloadProfile) -> RunCost {
+        let cycles = workload.non_kernel_cycles() + workload.kernel_cycles();
+        RunCost { cycles, energy_nj: cycles * self.params.cpu_active_nj_per_cycle }
+    }
+
+    /// Cost of running the application with the kernel offloaded per the
+    /// given activity.
+    ///
+    /// Timing: the accelerator stream and the CPU's re-execution stream
+    /// overlap (the paper's Figure-8 pipeline), so the kernel phase takes
+    /// `max(accelerator stream, re-execution stream)` plus any serialized
+    /// detector cycles; the non-kernel region is unchanged.
+    ///
+    /// Energy: non-kernel and re-execution cycles at CPU-active energy, the
+    /// accelerator stream at NPU energy, queue traffic per word, checker
+    /// predictions per operation, and the CPU's wait gap (accelerator time
+    /// not covered by re-execution) at CPU-idle energy.
+    #[must_use]
+    pub fn accelerated(&self, workload: &WorkloadProfile, activity: &SchemeActivity) -> RunCost {
+        let (cost, _) = self.accelerated_detailed(workload, activity);
+        cost
+    }
+
+    /// Like [`SystemModel::accelerated`], but also returns the per-component
+    /// [`EnergyBreakdown`].
+    #[must_use]
+    pub fn accelerated_detailed(
+        &self,
+        workload: &WorkloadProfile,
+        activity: &SchemeActivity,
+    ) -> (RunCost, EnergyBreakdown) {
+        let p = &self.params;
+        let accel_stream =
+            activity.accelerator_invocations as f64 * activity.npu_cycles_per_invocation as f64;
+        let reexec_stream = activity.reexecutions as f64 * workload.cpu_cycles_per_invocation;
+        let kernel_phase =
+            accel_stream.max(reexec_stream) + activity.serial_detector_cycles;
+        let cycles = workload.non_kernel_cycles() + kernel_phase;
+
+        let idle_gap = (accel_stream - reexec_stream).max(0.0);
+        let breakdown = EnergyBreakdown {
+            non_kernel_nj: workload.non_kernel_cycles() * p.cpu_active_nj_per_cycle,
+            accelerator_nj: accel_stream * p.npu_nj_per_cycle,
+            queue_nj: activity.accelerator_invocations as f64
+                * activity.io_words_per_invocation as f64
+                * p.queue_word_nj,
+            checker_nj: activity.checker_invocations as f64
+                * p.checker_prediction_nj(activity.checker_cost),
+            reexecution_nj: reexec_stream * p.cpu_active_nj_per_cycle,
+            idle_nj: (idle_gap + activity.serial_detector_cycles) * p.cpu_idle_nj_per_cycle,
+        };
+        (RunCost { cycles, energy_nj: breakdown.total_nj() }, breakdown)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn workload() -> WorkloadProfile {
+        WorkloadProfile {
+            invocations: 10_000,
+            cpu_cycles_per_invocation: 300.0,
+            kernel_fraction: 0.9,
+        }
+    }
+
+    fn npu_activity(reexec: usize) -> SchemeActivity {
+        SchemeActivity {
+            accelerator_invocations: 10_000,
+            npu_cycles_per_invocation: 50,
+            io_words_per_invocation: 4,
+            checker_invocations: 10_000,
+            checker_cost: CheckerCost { macs: 4, comparisons: 1, table_reads: 4 },
+            reexecutions: reexec,
+            serial_detector_cycles: 0.0,
+        }
+    }
+
+    #[test]
+    fn baseline_composition() {
+        let m = SystemModel::new(EnergyParams::default());
+        let b = m.cpu_baseline(&workload());
+        // kernel 3e6 cycles, non-kernel 3e6/9 ≈ 0.333e6.
+        assert!((b.cycles - (3.0e6 + 3.0e6 / 9.0)).abs() < 1.0);
+        assert!((b.energy_nj - b.cycles * 1.1).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unchecked_npu_saves_time_and_energy() {
+        let m = SystemModel::new(EnergyParams::default());
+        let w = workload();
+        let base = m.cpu_baseline(&w);
+        let npu = m.accelerated(&w, &npu_activity(0));
+        assert!(npu.speedup_vs(&base) > 2.0, "speedup {}", npu.speedup_vs(&base));
+        assert!(npu.energy_reduction_vs(&base) > 2.0);
+    }
+
+    #[test]
+    fn reexecution_costs_energy_but_hides_in_pipeline() {
+        let m = SystemModel::new(EnergyParams::default());
+        let w = workload();
+        let clean = m.accelerated(&w, &npu_activity(0));
+        // 50 npu cycles vs 300 cpu cycles per re-exec: the CPU keeps up
+        // while fixing up to 1/6 of iterations.
+        let light = m.accelerated(&w, &npu_activity(1_000));
+        assert_eq!(light.cycles, clean.cycles, "overlapped recovery adds no time");
+        assert!(light.energy_nj > clean.energy_nj);
+    }
+
+    #[test]
+    fn excess_reexecution_stalls_the_pipeline() {
+        let m = SystemModel::new(EnergyParams::default());
+        let w = workload();
+        let clean = m.accelerated(&w, &npu_activity(0));
+        let heavy = m.accelerated(&w, &npu_activity(5_000));
+        assert!(heavy.cycles > clean.cycles, "CPU became the bottleneck");
+    }
+
+    #[test]
+    fn serial_detector_cycles_add_latency() {
+        let m = SystemModel::new(EnergyParams::default());
+        let w = workload();
+        let mut a = npu_activity(0);
+        let parallel = m.accelerated(&w, &a);
+        a.serial_detector_cycles = 100_000.0;
+        let serialized = m.accelerated(&w, &a);
+        assert!(serialized.cycles > parallel.cycles);
+        assert!(serialized.energy_nj > parallel.energy_nj);
+    }
+
+    proptest! {
+        #[test]
+        fn energy_monotone_in_reexecutions(r1 in 0usize..5_000, r2 in 0usize..5_000) {
+            let m = SystemModel::new(EnergyParams::default());
+            let w = workload();
+            let (lo, hi) = if r1 <= r2 { (r1, r2) } else { (r2, r1) };
+            let e_lo = m.accelerated(&w, &npu_activity(lo)).energy_nj;
+            let e_hi = m.accelerated(&w, &npu_activity(hi)).energy_nj;
+            // Re-execution swaps idle cycles (0.3 nJ) for active ones
+            // (1.1 nJ), so energy can never decrease.
+            prop_assert!(e_hi >= e_lo - 1e-9);
+        }
+
+        #[test]
+        fn breakdown_components_sum_to_total(reexec in 0usize..20_000) {
+            let m = SystemModel::new(EnergyParams::default());
+            let w = workload();
+            let a = npu_activity(reexec.min(w.invocations));
+            let (cost, breakdown) = m.accelerated_detailed(&w, &a);
+            prop_assert!((cost.energy_nj - breakdown.total_nj()).abs() < 1e-6);
+            prop_assert!(breakdown.management_overhead_nj() <= cost.energy_nj + 1e-9);
+        }
+
+        #[test]
+        fn time_never_below_accelerator_stream(reexec in 0usize..20_000) {
+            let m = SystemModel::new(EnergyParams::default());
+            let w = workload();
+            let a = npu_activity(reexec.min(w.invocations));
+            let run = m.accelerated(&w, &a);
+            let accel_stream = a.accelerator_invocations as f64 * a.npu_cycles_per_invocation as f64;
+            prop_assert!(run.cycles >= w.non_kernel_cycles() + accel_stream - 1e-9);
+        }
+    }
+}

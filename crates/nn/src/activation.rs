@@ -1,0 +1,132 @@
+use std::fmt;
+
+/// Neuron activation functions supported by [`crate::Mlp`] layers.
+///
+/// The NPU-style accelerator in the paper uses sigmoid neurons; the other
+/// variants are provided for topology experiments and for identity output
+/// layers in regression settings.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_nn::Activation;
+///
+/// assert_eq!(Activation::Identity.apply(0.25), 0.25);
+/// assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Logistic sigmoid, `1 / (1 + e^-x)`.
+    #[default]
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Rectified linear unit, `max(0, x)`.
+    Relu,
+    /// Pass-through, `x`. Typical for regression output layers.
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to a pre-activation value.
+    #[must_use]
+    pub fn apply(self, x: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Relu => x.max(0.0),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative of the activation expressed in terms of the *activated*
+    /// output `y = apply(x)`, which is the form back-propagation needs.
+    ///
+    /// ```
+    /// use rumba_nn::Activation;
+    ///
+    /// let y = Activation::Sigmoid.apply(0.3);
+    /// let d = Activation::Sigmoid.derivative_from_output(y);
+    /// assert!((d - y * (1.0 - y)).abs() < 1e-15);
+    /// ```
+    #[must_use]
+    pub fn derivative_from_output(self, y: f64) -> f64 {
+        match self {
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// All supported activations, useful for exhaustive sweeps in tests.
+    #[must_use]
+    pub fn all() -> [Activation; 4] {
+        [Activation::Sigmoid, Activation::Tanh, Activation::Relu, Activation::Identity]
+    }
+}
+
+impl fmt::Display for Activation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Activation::Sigmoid => "sigmoid",
+            Activation::Tanh => "tanh",
+            Activation::Relu => "relu",
+            Activation::Identity => "identity",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_midpoint_and_saturation() {
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-12);
+        assert!(Activation::Sigmoid.apply(40.0) > 0.999_999);
+        assert!(Activation::Sigmoid.apply(-40.0) < 1e-6);
+    }
+
+    #[test]
+    fn relu_clamps_negative() {
+        assert_eq!(Activation::Relu.apply(-3.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let h = 1e-6;
+        for act in Activation::all() {
+            for &x in &[-1.5, -0.2, 0.1, 0.9, 2.0] {
+                let y = act.apply(x);
+                let numeric = (act.apply(x + h) - act.apply(x - h)) / (2.0 * h);
+                let analytic = act.derivative_from_output(y);
+                assert!(
+                    (numeric - analytic).abs() < 1e-4,
+                    "{act} derivative mismatch at {x}: {numeric} vs {analytic}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tanh_is_odd() {
+        for &x in &[0.3, 1.0, 2.5] {
+            assert!((Activation::Tanh.apply(x) + Activation::Tanh.apply(-x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn display_names_are_stable() {
+        assert_eq!(Activation::Sigmoid.to_string(), "sigmoid");
+        assert_eq!(Activation::Identity.to_string(), "identity");
+    }
+}

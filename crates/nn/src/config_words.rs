@@ -1,0 +1,240 @@
+//! Config-stream serialization of trained models.
+//!
+//! The paper embeds the accelerator configuration in the application binary
+//! and ships it to the NPU through the config queue (Figure 4). This module
+//! defines that wire format for [`TrainedModel`]: a self-describing stream
+//! of `f64` words —
+//!
+//! ```text
+//! [magic, input_dim, output_dim, n_layers,
+//!  layer sizes...,
+//!  hidden activation code,
+//!  flat parameters (weights then biases per layer)...,
+//!  input normalizer  (lo, hi, mins..., maxs...),
+//!  output normalizer (lo, hi, mins..., maxs...)]
+//! ```
+//!
+//! Everything is `f64` because the config queue is a word stream; counts
+//! are stored as exact small integers, which `f64` represents losslessly.
+
+use crate::{Activation, Mlp, NnError, Normalizer, Result, TrainedModel};
+
+/// Magic word marking the start of a model config stream.
+pub const MODEL_MAGIC: f64 = 0x52_4D_42_41 as f64; // "RMBA"
+
+fn activation_code(act: Activation) -> f64 {
+    match act {
+        Activation::Sigmoid => 0.0,
+        Activation::Tanh => 1.0,
+        Activation::Relu => 2.0,
+        Activation::Identity => 3.0,
+    }
+}
+
+fn activation_from_code(code: f64) -> Result<Activation> {
+    match code as i64 {
+        0 => Ok(Activation::Sigmoid),
+        1 => Ok(Activation::Tanh),
+        2 => Ok(Activation::Relu),
+        3 => Ok(Activation::Identity),
+        _ => Err(NnError::InvalidParam { name: "activation code", value: code.to_string() }),
+    }
+}
+
+/// Serializes a trained model into config words.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_nn::{encode_model, decode_model, Activation, NnDataset, TrainedModel, TrainParams};
+///
+/// # fn main() -> Result<(), rumba_nn::NnError> {
+/// let data = NnDataset::from_fn(1, 1, 64, |i, x, y| {
+///     x[0] = i as f64;
+///     y[0] = 2.0 * x[0];
+/// })?;
+/// let model = TrainedModel::fit(&[1, 2, 1], Activation::Sigmoid, &data,
+///                               &TrainParams::default(), 1)?;
+/// let words = encode_model(&model);
+/// let restored = decode_model(&words)?;
+/// assert_eq!(model.predict(&[10.0])?, restored.predict(&[10.0])?);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn encode_model(model: &TrainedModel) -> Vec<f64> {
+    let mlp = model.mlp();
+    let topo = mlp.topology();
+    let mut words = vec![MODEL_MAGIC];
+    words.push(mlp.input_dim() as f64);
+    words.push(mlp.output_dim() as f64);
+    words.push(topo.len() as f64);
+    words.extend(topo.iter().map(|&n| n as f64));
+    // Hidden activation (output layer is always identity by construction).
+    let hidden_act = mlp
+        .layers()
+        .first()
+        .map_or(Activation::Sigmoid, |l| l.activation());
+    words.push(activation_code(hidden_act));
+    words.extend(mlp.to_flat_params());
+    for norm in [model.input_norm(), model.output_norm()] {
+        let (lo, hi) = norm.range();
+        words.push(lo);
+        words.push(hi);
+        words.extend_from_slice(norm.mins());
+        words.extend_from_slice(norm.maxs());
+    }
+    words
+}
+
+/// Reconstructs a [`TrainedModel`] from [`encode_model`] output.
+///
+/// # Errors
+///
+/// Returns [`NnError::InvalidParam`] for a bad magic word or activation
+/// code, and [`NnError::DimensionMismatch`] when the stream is truncated or
+/// the parameter count disagrees with the encoded topology.
+pub fn decode_model(words: &[f64]) -> Result<TrainedModel> {
+    let mut cursor = Cursor { words, pos: 0 };
+    let magic = cursor.next()?;
+    if magic != MODEL_MAGIC {
+        return Err(NnError::InvalidParam { name: "config magic", value: magic.to_string() });
+    }
+    let input_dim = cursor.next_count()?;
+    let output_dim = cursor.next_count()?;
+    let n_layers = cursor.next_count()?;
+    let mut topo = Vec::with_capacity(n_layers);
+    for _ in 0..n_layers {
+        topo.push(cursor.next_count()?);
+    }
+    if topo.first() != Some(&input_dim) || topo.last() != Some(&output_dim) {
+        return Err(NnError::InvalidTopology { layers: topo });
+    }
+    let hidden_act = activation_from_code(cursor.next()?)?;
+
+    let mut mlp = Mlp::new(&topo, hidden_act, 0)?;
+    let params = cursor.take(mlp.param_count())?;
+    mlp.set_flat_params(params)?;
+
+    let mut norms = Vec::with_capacity(2);
+    for dim in [input_dim, output_dim] {
+        let lo = cursor.next()?;
+        let hi = cursor.next()?;
+        let mins = cursor.take(dim)?.to_vec();
+        let maxs = cursor.take(dim)?.to_vec();
+        norms.push(Normalizer::from_bounds(mins, maxs, lo, hi));
+    }
+    let output_norm = norms.pop().expect("two normalizers decoded");
+    let input_norm = norms.pop().expect("two normalizers decoded");
+    if cursor.pos != words.len() {
+        return Err(NnError::DimensionMismatch {
+            expected: cursor.pos,
+            actual: words.len(),
+            port: "config stream length",
+        });
+    }
+    Ok(TrainedModel::from_parts(mlp, input_norm, output_norm))
+}
+
+struct Cursor<'a> {
+    words: &'a [f64],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn next(&mut self) -> Result<f64> {
+        let w = self.words.get(self.pos).copied().ok_or(NnError::DimensionMismatch {
+            expected: self.pos + 1,
+            actual: self.words.len(),
+            port: "config stream (truncated)",
+        })?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    fn next_count(&mut self) -> Result<usize> {
+        let w = self.next()?;
+        if w < 0.0 || w.fract() != 0.0 || w > 1e9 {
+            return Err(NnError::InvalidParam { name: "config count", value: w.to_string() });
+        }
+        Ok(w as usize)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&[f64]> {
+        if self.pos + n > self.words.len() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.pos + n,
+                actual: self.words.len(),
+                port: "config stream (truncated)",
+            });
+        }
+        let slice = &self.words[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NnDataset, TrainParams};
+
+    fn model() -> TrainedModel {
+        let data = NnDataset::from_fn(2, 1, 64, |i, x, y| {
+            x[0] = i as f64;
+            x[1] = (i * 3 % 7) as f64;
+            y[0] = x[0] + 2.0 * x[1];
+        })
+        .unwrap();
+        TrainedModel::fit(&[2, 4, 1], Activation::Tanh, &data, &TrainParams::default(), 9)
+            .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let m = model();
+        let restored = decode_model(&encode_model(&m)).unwrap();
+        for i in 0..10 {
+            let x = [i as f64, (i * 2) as f64];
+            assert_eq!(m.predict(&x).unwrap(), restored.predict(&x).unwrap());
+        }
+    }
+
+    #[test]
+    fn round_trip_preserves_activation() {
+        let m = model();
+        let restored = decode_model(&encode_model(&m)).unwrap();
+        assert_eq!(restored.mlp().layers()[0].activation(), Activation::Tanh);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut words = encode_model(&model());
+        words[0] = 123.0;
+        assert!(matches!(decode_model(&words), Err(NnError::InvalidParam { .. })));
+    }
+
+    #[test]
+    fn truncated_stream_rejected() {
+        let words = encode_model(&model());
+        for cut in [1, 5, words.len() / 2, words.len() - 1] {
+            assert!(decode_model(&words[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut words = encode_model(&model());
+        words.push(0.0);
+        assert!(decode_model(&words).is_err());
+    }
+
+    #[test]
+    fn corrupt_count_rejected() {
+        let mut words = encode_model(&model());
+        words[1] = -3.0; // input_dim
+        assert!(decode_model(&words).is_err());
+        words[1] = 2.5;
+        assert!(decode_model(&words).is_err());
+    }
+}

@@ -1,0 +1,423 @@
+use crate::{NnError, Result};
+
+/// Row-major, flat training data: `n` rows of `input_dim` features paired
+/// with `n` rows of `output_dim` targets.
+///
+/// The flat layout keeps the hot training loop allocation-free and cache
+/// friendly.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_nn::NnDataset;
+///
+/// # fn main() -> Result<(), rumba_nn::NnError> {
+/// let data = NnDataset::from_fn(2, 1, 4, |i, x, y| {
+///     x[0] = i as f64;
+///     x[1] = 2.0 * i as f64;
+///     y[0] = x[0] + x[1];
+/// })?;
+/// assert_eq!(data.len(), 4);
+/// assert_eq!(data.input(3), &[3.0, 6.0]);
+/// assert_eq!(data.target(3), &[9.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct NnDataset {
+    input_dim: usize,
+    output_dim: usize,
+    inputs: Vec<f64>,
+    targets: Vec<f64>,
+}
+
+impl NnDataset {
+    /// Creates an empty dataset with the given row widths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParam`] if either width is zero.
+    pub fn new(input_dim: usize, output_dim: usize) -> Result<Self> {
+        if input_dim == 0 {
+            return Err(NnError::InvalidParam { name: "input_dim", value: "0".to_owned() });
+        }
+        if output_dim == 0 {
+            return Err(NnError::InvalidParam { name: "output_dim", value: "0".to_owned() });
+        }
+        Ok(Self { input_dim, output_dim, inputs: Vec::new(), targets: Vec::new() })
+    }
+
+    /// Builds a dataset of `n` rows by invoking `fill(row_index, input_row,
+    /// target_row)` for each row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidParam`] if either width is zero.
+    pub fn from_fn<F>(input_dim: usize, output_dim: usize, n: usize, mut fill: F) -> Result<Self>
+    where
+        F: FnMut(usize, &mut [f64], &mut [f64]),
+    {
+        let mut data = Self::new(input_dim, output_dim)?;
+        data.inputs = vec![0.0; n * input_dim];
+        data.targets = vec![0.0; n * output_dim];
+        for i in 0..n {
+            let (x, y) = data.row_mut(i);
+            fill(i, x, y);
+        }
+        Ok(data)
+    }
+
+    /// Builds a dataset from parallel row iterators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if any row has the wrong width
+    /// and [`NnError::InvalidParam`] if either declared width is zero.
+    pub fn from_rows(
+        input_dim: usize,
+        output_dim: usize,
+        rows: impl IntoIterator<Item = (Vec<f64>, Vec<f64>)>,
+    ) -> Result<Self> {
+        let mut data = Self::new(input_dim, output_dim)?;
+        for (x, y) in rows {
+            data.push(&x, &y)?;
+        }
+        Ok(data)
+    }
+
+    /// Appends one row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if either slice has the wrong
+    /// width.
+    pub fn push(&mut self, input: &[f64], target: &[f64]) -> Result<()> {
+        if input.len() != self.input_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: self.input_dim,
+                actual: input.len(),
+                port: "dataset input row",
+            });
+        }
+        if target.len() != self.output_dim {
+            return Err(NnError::DimensionMismatch {
+                expected: self.output_dim,
+                actual: target.len(),
+                port: "dataset target row",
+            });
+        }
+        self.inputs.extend_from_slice(input);
+        self.targets.extend_from_slice(target);
+        Ok(())
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inputs.len().checked_div(self.input_dim).unwrap_or(0)
+    }
+
+    /// Whether the dataset holds no rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Feature width of each row.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.input_dim
+    }
+
+    /// Target width of each row.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        self.output_dim
+    }
+
+    /// The `i`-th feature row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn input(&self, i: usize) -> &[f64] {
+        &self.inputs[i * self.input_dim..(i + 1) * self.input_dim]
+    }
+
+    /// The `i`-th target row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    #[must_use]
+    pub fn target(&self, i: usize) -> &[f64] {
+        &self.targets[i * self.output_dim..(i + 1) * self.output_dim]
+    }
+
+    fn row_mut(&mut self, i: usize) -> (&mut [f64], &mut [f64]) {
+        let x = &mut self.inputs[i * self.input_dim..(i + 1) * self.input_dim];
+        // Split borrows: targets and inputs are disjoint fields, but the
+        // borrow checker cannot see that through two method calls.
+        let y_ptr = &mut self.targets[i * self.output_dim..(i + 1) * self.output_dim];
+        (x, y_ptr)
+    }
+
+    /// Iterates over `(input, target)` row pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], &[f64])> + '_ {
+        (0..self.len()).map(move |i| (self.input(i), self.target(i)))
+    }
+
+    /// Returns a new dataset containing the rows whose indices are in
+    /// `indices`, in that order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let mut out = Self {
+            input_dim: self.input_dim,
+            output_dim: self.output_dim,
+            inputs: Vec::with_capacity(indices.len() * self.input_dim),
+            targets: Vec::with_capacity(indices.len() * self.output_dim),
+        };
+        for &i in indices {
+            out.inputs.extend_from_slice(self.input(i));
+            out.targets.extend_from_slice(self.target(i));
+        }
+        out
+    }
+}
+
+/// Per-feature min-max scaling into `[lo, hi]`, recorded at training time so
+/// inference applies the identical transform.
+///
+/// Constant features (min == max) are mapped to the middle of the range.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_nn::Normalizer;
+///
+/// let rows = [vec![0.0, 10.0], vec![4.0, 30.0]];
+/// let norm = Normalizer::fit(rows.iter().map(Vec::as_slice), 2, 0.0, 1.0);
+/// let mut v = vec![2.0, 20.0];
+/// norm.apply(&mut v);
+/// assert_eq!(v, vec![0.5, 0.5]);
+/// norm.invert(&mut v);
+/// assert_eq!(v, vec![2.0, 20.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    lo: f64,
+    hi: f64,
+}
+
+impl Normalizer {
+    /// Fits scaling bounds over an iterator of feature rows of width `dim`.
+    ///
+    /// Rows shorter or longer than `dim` contribute only their first `dim`
+    /// values; an empty iterator yields an identity-like normalizer over
+    /// `[0, 1]` inputs.
+    #[must_use]
+    pub fn fit<'a>(
+        rows: impl IntoIterator<Item = &'a [f64]>,
+        dim: usize,
+        lo: f64,
+        hi: f64,
+    ) -> Self {
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            for (j, &v) in row.iter().take(dim).enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        for j in 0..dim {
+            if !mins[j].is_finite() {
+                mins[j] = 0.0;
+                maxs[j] = 1.0;
+            }
+        }
+        Self { mins, maxs, lo, hi }
+    }
+
+    /// Identity normalizer of the given width (useful for already-scaled
+    /// data).
+    #[must_use]
+    pub fn identity(dim: usize) -> Self {
+        Self { mins: vec![0.0; dim], maxs: vec![1.0; dim], lo: 0.0, hi: 1.0 }
+    }
+
+    /// Feature width this normalizer was fitted on.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Per-feature minima observed at fit time.
+    #[must_use]
+    pub fn mins(&self) -> &[f64] {
+        &self.mins
+    }
+
+    /// Per-feature maxima observed at fit time.
+    #[must_use]
+    pub fn maxs(&self) -> &[f64] {
+        &self.maxs
+    }
+
+    /// The `(lo, hi)` range values are scaled into.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Reconstructs a normalizer from its recorded bounds (the inverse of
+    /// the accessors above; used by the config-stream decoder).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mins` and `maxs` have different lengths.
+    #[must_use]
+    pub fn from_bounds(mins: Vec<f64>, maxs: Vec<f64>, lo: f64, hi: f64) -> Self {
+        assert_eq!(mins.len(), maxs.len(), "bounds must be parallel");
+        Self { mins, maxs, lo, hi }
+    }
+
+    /// Scales `values` in place into `[lo, hi]`.
+    pub fn apply(&self, values: &mut [f64]) {
+        for (j, v) in values.iter_mut().enumerate().take(self.mins.len()) {
+            let span = self.maxs[j] - self.mins[j];
+            *v = if span.abs() < f64::EPSILON {
+                0.5 * (self.lo + self.hi)
+            } else {
+                self.lo + (*v - self.mins[j]) / span * (self.hi - self.lo)
+            };
+        }
+    }
+
+    /// Undoes [`Normalizer::apply`] in place.
+    pub fn invert(&self, values: &mut [f64]) {
+        for (j, v) in values.iter_mut().enumerate().take(self.mins.len()) {
+            let span = self.maxs[j] - self.mins[j];
+            let unit = (*v - self.lo) / (self.hi - self.lo);
+            *v = self.mins[j] + unit * span;
+        }
+    }
+
+    /// Returns a copy of the dataset with inputs and targets normalized by
+    /// the two supplied normalizers.
+    #[must_use]
+    pub fn normalize_dataset(
+        input_norm: &Normalizer,
+        target_norm: &Normalizer,
+        data: &NnDataset,
+    ) -> NnDataset {
+        let mut out = data.clone();
+        for i in 0..out.len() {
+            let (x, y) = out.row_mut(i);
+            input_norm.apply(x);
+            target_norm.apply(y);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_widths() {
+        assert!(NnDataset::new(0, 1).is_err());
+        assert!(NnDataset::new(1, 0).is_err());
+    }
+
+    #[test]
+    fn push_validates_row_widths() {
+        let mut d = NnDataset::new(2, 1).unwrap();
+        assert!(d.push(&[1.0], &[1.0]).is_err());
+        assert!(d.push(&[1.0, 2.0], &[]).is_err());
+        assert!(d.push(&[1.0, 2.0], &[3.0]).is_ok());
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn from_rows_round_trips() {
+        let d = NnDataset::from_rows(1, 2, vec![(vec![1.0], vec![2.0, 3.0])]).unwrap();
+        assert_eq!(d.input(0), &[1.0]);
+        assert_eq!(d.target(0), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn subset_preserves_order() {
+        let d = NnDataset::from_fn(1, 1, 5, |i, x, y| {
+            x[0] = i as f64;
+            y[0] = -(i as f64);
+        })
+        .unwrap();
+        let s = d.subset(&[4, 0, 2]);
+        assert_eq!(s.input(0), &[4.0]);
+        assert_eq!(s.input(1), &[0.0]);
+        assert_eq!(s.target(2), &[-2.0]);
+    }
+
+    #[test]
+    fn iter_yields_all_rows() {
+        let d = NnDataset::from_fn(2, 1, 3, |i, x, y| {
+            x[0] = i as f64;
+            x[1] = i as f64 + 0.5;
+            y[0] = 1.0;
+        })
+        .unwrap();
+        assert_eq!(d.iter().count(), 3);
+    }
+
+    #[test]
+    fn normalizer_handles_constant_feature() {
+        let rows = [vec![5.0, 1.0], vec![5.0, 3.0]];
+        let norm = Normalizer::fit(rows.iter().map(Vec::as_slice), 2, 0.0, 1.0);
+        let mut v = vec![5.0, 2.0];
+        norm.apply(&mut v);
+        assert_eq!(v[0], 0.5);
+        assert_eq!(v[1], 0.5);
+    }
+
+    #[test]
+    fn normalizer_custom_range() {
+        let rows = [vec![0.0], vec![2.0]];
+        let norm = Normalizer::fit(rows.iter().map(Vec::as_slice), 1, -1.0, 1.0);
+        let mut v = [0.0, 1.0, 2.0];
+        // Only first `dim` entries are scaled.
+        norm.apply(&mut v[0..1]);
+        assert_eq!(v[0], -1.0);
+    }
+
+    #[test]
+    fn normalize_dataset_scales_both_sides() {
+        let d = NnDataset::from_fn(1, 1, 3, |i, x, y| {
+            x[0] = i as f64;
+            y[0] = 10.0 * i as f64;
+        })
+        .unwrap();
+        let nx = Normalizer::fit((0..d.len()).map(|i| d.input(i)), 1, 0.0, 1.0);
+        let ny = Normalizer::fit((0..d.len()).map(|i| d.target(i)), 1, 0.0, 1.0);
+        let scaled = Normalizer::normalize_dataset(&nx, &ny, &d);
+        assert_eq!(scaled.input(2), &[1.0]);
+        assert_eq!(scaled.target(2), &[1.0]);
+        assert_eq!(scaled.input(0), &[0.0]);
+    }
+
+    #[test]
+    fn empty_fit_is_identity_like() {
+        let norm = Normalizer::fit(std::iter::empty(), 2, 0.0, 1.0);
+        let mut v = vec![0.25, 0.75];
+        norm.apply(&mut v);
+        assert_eq!(v, vec![0.25, 0.75]);
+    }
+}

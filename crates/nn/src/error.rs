@@ -1,0 +1,86 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building, training, or evaluating networks.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_nn::{Activation, Mlp, NnError};
+///
+/// let err = Mlp::new(&[3], Activation::Sigmoid, 0).unwrap_err();
+/// assert!(matches!(err, NnError::InvalidTopology { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// The requested layer sizes cannot form a network (fewer than two
+    /// layers, or a zero-width layer).
+    InvalidTopology {
+        /// The offending layer sizes.
+        layers: Vec<usize>,
+    },
+    /// An input or output slice had the wrong width for this network.
+    DimensionMismatch {
+        /// Width the network expected.
+        expected: usize,
+        /// Width the caller supplied.
+        actual: usize,
+        /// Human-readable description of which port mismatched.
+        port: &'static str,
+    },
+    /// A dataset with zero rows was supplied where training data is needed.
+    EmptyDataset,
+    /// A training hyper-parameter was outside its valid range.
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Value that was rejected, rendered as text.
+        value: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::InvalidTopology { layers } => {
+                write!(f, "invalid network topology {layers:?}: need at least an input and an output layer, all of nonzero width")
+            }
+            NnError::DimensionMismatch { expected, actual, port } => {
+                write!(f, "dimension mismatch on {port}: expected {expected}, got {actual}")
+            }
+            NnError::EmptyDataset => write!(f, "training dataset contains no rows"),
+            NnError::InvalidParam { name, value } => {
+                write!(f, "invalid training parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_nonempty() {
+        let errors = [
+            NnError::InvalidTopology { layers: vec![1] },
+            NnError::DimensionMismatch { expected: 3, actual: 2, port: "input" },
+            NnError::EmptyDataset,
+            NnError::InvalidParam { name: "lr", value: "-1".to_owned() },
+        ];
+        for e in errors {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            assert!(text.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+}

@@ -1,0 +1,411 @@
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Activation, NnError, Result};
+
+/// One dense layer: `outputs = act(W * inputs + b)` with `W` stored row-major
+/// (`out_dim × in_dim`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Layer {
+    in_dim: usize,
+    out_dim: usize,
+    weights: Vec<f64>,
+    biases: Vec<f64>,
+    activation: Activation,
+}
+
+impl Layer {
+    fn new(in_dim: usize, out_dim: usize, activation: Activation, rng: &mut StdRng) -> Self {
+        // Xavier/Glorot uniform initialization keeps sigmoid layers out of
+        // saturation at the start of training.
+        let bound = (6.0 / (in_dim + out_dim) as f64).sqrt();
+        let weights = (0..in_dim * out_dim).map(|_| rng.gen_range(-bound..bound)).collect();
+        let biases = vec![0.0; out_dim];
+        Self { in_dim, out_dim, weights, biases, activation }
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output width (number of neurons).
+    #[must_use]
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// This layer's activation function.
+    #[must_use]
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Row-major weight matrix (`out_dim × in_dim`).
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Bias vector (`out_dim`).
+    #[must_use]
+    pub fn biases(&self) -> &[f64] {
+        &self.biases
+    }
+
+    /// Number of multiply-accumulate operations one evaluation performs.
+    #[must_use]
+    pub fn mac_count(&self) -> usize {
+        self.in_dim * self.out_dim
+    }
+
+    fn forward_into(&self, input: &[f64], output: &mut [f64]) {
+        debug_assert_eq!(input.len(), self.in_dim);
+        debug_assert_eq!(output.len(), self.out_dim);
+        for (o, out) in output.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.biases[o];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            *out = self.activation.apply(acc);
+        }
+    }
+
+    /// Evaluates one layer on a limited-precision datapath: weights, biases,
+    /// and the activated outputs are all rounded to a `2^-bits` grid — the
+    /// behaviour of an analog or reduced-width digital implementation.
+    fn forward_into_quantized(&self, input: &[f64], output: &mut [f64], bits: u32) {
+        let scale = f64::from(1u32 << bits.min(30));
+        let q = |v: f64| (v * scale).round() / scale;
+        for (o, out) in output.iter_mut().enumerate() {
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = q(self.biases[o]);
+            for (w, x) in row.iter().zip(input) {
+                acc += q(*w) * x;
+            }
+            *out = q(self.activation.apply(acc));
+        }
+    }
+}
+
+/// A dense feed-forward network (multi-layer perceptron).
+///
+/// Construction is seeded; two networks built with the same topology,
+/// activation, and seed are identical.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_nn::{Activation, Mlp};
+///
+/// # fn main() -> Result<(), rumba_nn::NnError> {
+/// let mlp = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 42)?;
+/// let out = mlp.forward(&[0.1, 0.9])?;
+/// assert_eq!(out.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    topology: Vec<usize>,
+}
+
+impl Mlp {
+    /// Builds a network with the given layer sizes, e.g. `&[6, 8, 4, 1]` for
+    /// the paper's `6->8->4->1` notation. Hidden layers use `hidden_act`;
+    /// the output layer is always [`Activation::Identity`] so the network
+    /// can regress outside `(0, 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidTopology`] if fewer than two layer sizes are
+    /// given or any size is zero.
+    pub fn new(layers: &[usize], hidden_act: Activation, seed: u64) -> Result<Self> {
+        if layers.len() < 2 || layers.contains(&0) {
+            return Err(NnError::InvalidTopology { layers: layers.to_vec() });
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut built = Vec::with_capacity(layers.len() - 1);
+        for w in layers.windows(2) {
+            let is_output = built.len() == layers.len() - 2;
+            let act = if is_output { Activation::Identity } else { hidden_act };
+            built.push(Layer::new(w[0], w[1], act, &mut rng));
+        }
+        Ok(Self { layers: built, topology: layers.to_vec() })
+    }
+
+    /// The layer sizes this network was constructed with.
+    #[must_use]
+    pub fn topology(&self) -> &[usize] {
+        &self.topology
+    }
+
+    /// The paper's arrow notation for the topology, e.g. `"6->8->4->1"`.
+    #[must_use]
+    pub fn topology_string(&self) -> String {
+        self.topology.iter().map(ToString::to_string).collect::<Vec<_>>().join("->")
+    }
+
+    /// Input width.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.topology[0]
+    }
+
+    /// Output width.
+    #[must_use]
+    pub fn output_dim(&self) -> usize {
+        *self.topology.last().expect("topology has at least two entries")
+    }
+
+    /// The network's layers, input side first.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total number of trainable parameters (weights + biases).
+    #[must_use]
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.biases.len()).sum()
+    }
+
+    /// Total multiply-accumulates per evaluation; the accelerator cycle
+    /// model is built on this.
+    #[must_use]
+    pub fn mac_count(&self) -> usize {
+        self.layers.iter().map(Layer::mac_count).sum()
+    }
+
+    /// Evaluates the network on one input row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `input` has the wrong width.
+    pub fn forward(&self, input: &[f64]) -> Result<Vec<f64>> {
+        if input.len() != self.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: input.len(),
+                port: "network input",
+            });
+        }
+        let mut cur = input.to_vec();
+        for layer in &self.layers {
+            let mut next = vec![0.0; layer.out_dim];
+            layer.forward_into(&cur, &mut next);
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Evaluates the network on a limited-precision datapath: every weight,
+    /// bias, and activation is rounded to a `2^-bits` grid, modeling an
+    /// analog or reduced-width accelerator implementation (St. Amant et
+    /// al.'s limited-precision analog NPU is the paper's cited example).
+    ///
+    /// `bits = 0` collapses everything to integers; large values converge
+    /// to [`Mlp::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `input` has the wrong width.
+    pub fn forward_quantized(&self, input: &[f64], bits: u32) -> Result<Vec<f64>> {
+        if input.len() != self.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: input.len(),
+                port: "network input",
+            });
+        }
+        let mut cur = input.to_vec();
+        for layer in &self.layers {
+            let mut next = vec![0.0; layer.out_dim];
+            layer.forward_into_quantized(&cur, &mut next, bits);
+            cur = next;
+        }
+        Ok(cur)
+    }
+
+    /// Evaluates the network keeping every layer's activated output; index 0
+    /// is the input itself. Used by the trainer's backward pass.
+    pub(crate) fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
+        let mut acts = Vec::with_capacity(self.layers.len() + 1);
+        acts.push(input.to_vec());
+        for layer in &self.layers {
+            let mut next = vec![0.0; layer.out_dim];
+            layer.forward_into(acts.last().expect("nonempty"), &mut next);
+            acts.push(next);
+        }
+        acts
+    }
+
+    pub(crate) fn apply_gradients(
+        &mut self,
+        grads_w: &[Vec<f64>],
+        grads_b: &[Vec<f64>],
+        vel_w: &mut [Vec<f64>],
+        vel_b: &mut [Vec<f64>],
+        lr: f64,
+        momentum: f64,
+    ) {
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (w, (g, v)) in
+                layer.weights.iter_mut().zip(grads_w[li].iter().zip(vel_w[li].iter_mut()))
+            {
+                *v = momentum * *v - lr * g;
+                *w += *v;
+            }
+            for (b, (g, v)) in
+                layer.biases.iter_mut().zip(grads_b[li].iter().zip(vel_b[li].iter_mut()))
+            {
+                *v = momentum * *v - lr * g;
+                *b += *v;
+            }
+        }
+    }
+
+    /// Serializes all parameters into one flat vector (layer by layer,
+    /// weights then biases) — the format the accelerator's config queue and
+    /// coefficient buffers consume.
+    #[must_use]
+    pub fn to_flat_params(&self) -> Vec<f64> {
+        let mut flat = Vec::with_capacity(self.param_count());
+        for layer in &self.layers {
+            flat.extend_from_slice(&layer.weights);
+            flat.extend_from_slice(&layer.biases);
+        }
+        flat
+    }
+
+    /// Restores parameters from [`Mlp::to_flat_params`] output.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `flat` has the wrong length
+    /// for this topology.
+    pub fn set_flat_params(&mut self, flat: &[f64]) -> Result<()> {
+        if flat.len() != self.param_count() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.param_count(),
+                actual: flat.len(),
+                port: "flat parameter vector",
+            });
+        }
+        let mut off = 0;
+        for layer in &mut self.layers {
+            let wn = layer.weights.len();
+            layer.weights.copy_from_slice(&flat[off..off + wn]);
+            off += wn;
+            let bn = layer.biases.len();
+            layer.biases.copy_from_slice(&flat[off..off + bn]);
+            off += bn;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_degenerate_topologies() {
+        assert!(Mlp::new(&[], Activation::Sigmoid, 0).is_err());
+        assert!(Mlp::new(&[3], Activation::Sigmoid, 0).is_err());
+        assert!(Mlp::new(&[3, 0, 1], Activation::Sigmoid, 0).is_err());
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 9).unwrap();
+        let b = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 9).unwrap();
+        assert_eq!(a, b);
+        let c = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 10).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn forward_checks_width() {
+        let mlp = Mlp::new(&[2, 3, 1], Activation::Sigmoid, 0).unwrap();
+        assert!(mlp.forward(&[1.0]).is_err());
+        assert_eq!(mlp.forward(&[1.0, 2.0]).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn param_and_mac_counts() {
+        let mlp = Mlp::new(&[3, 8, 8, 1], Activation::Sigmoid, 0).unwrap();
+        // (3*8 + 8) + (8*8 + 8) + (8*1 + 1)
+        assert_eq!(mlp.param_count(), 32 + 72 + 9);
+        assert_eq!(mlp.mac_count(), 24 + 64 + 8);
+    }
+
+    #[test]
+    fn topology_string_uses_arrow_notation() {
+        let mlp = Mlp::new(&[6, 8, 4, 1], Activation::Sigmoid, 0).unwrap();
+        assert_eq!(mlp.topology_string(), "6->8->4->1");
+    }
+
+    #[test]
+    fn flat_params_round_trip() {
+        let src = Mlp::new(&[2, 5, 2], Activation::Tanh, 3).unwrap();
+        let mut dst = Mlp::new(&[2, 5, 2], Activation::Tanh, 99).unwrap();
+        assert_ne!(src, dst);
+        dst.set_flat_params(&src.to_flat_params()).unwrap();
+        assert_eq!(src.forward(&[0.1, 0.2]).unwrap(), dst.forward(&[0.1, 0.2]).unwrap());
+    }
+
+    #[test]
+    fn set_flat_params_checks_length() {
+        let mut mlp = Mlp::new(&[2, 2, 1], Activation::Sigmoid, 0).unwrap();
+        assert!(mlp.set_flat_params(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn output_layer_is_identity() {
+        let mlp = Mlp::new(&[1, 4, 1], Activation::Sigmoid, 1).unwrap();
+        assert_eq!(mlp.layers().last().unwrap().activation(), Activation::Identity);
+    }
+
+    #[test]
+    fn quantized_forward_converges_to_exact() {
+        let mlp = Mlp::new(&[2, 6, 2], Activation::Sigmoid, 8).unwrap();
+        let x = [0.31, -0.57];
+        let exact = mlp.forward(&x).unwrap();
+        let coarse = mlp.forward_quantized(&x, 3).unwrap();
+        let fine = mlp.forward_quantized(&x, 24).unwrap();
+        let dist = |a: &[f64], b: &[f64]| {
+            a.iter().zip(b).map(|(p, q)| (p - q).abs()).sum::<f64>()
+        };
+        assert!(dist(&fine, &exact) < dist(&coarse, &exact));
+        assert!(dist(&fine, &exact) < 1e-5, "24-bit grid is near-exact");
+        assert!(dist(&coarse, &exact) > 0.0, "3-bit grid must actually perturb");
+    }
+
+    #[test]
+    fn quantized_forward_checks_width() {
+        let mlp = Mlp::new(&[2, 3, 1], Activation::Sigmoid, 0).unwrap();
+        assert!(mlp.forward_quantized(&[1.0], 8).is_err());
+    }
+
+    #[test]
+    fn quantized_forward_is_deterministic() {
+        let mlp = Mlp::new(&[1, 4, 1], Activation::Tanh, 2).unwrap();
+        assert_eq!(
+            mlp.forward_quantized(&[0.4], 6).unwrap(),
+            mlp.forward_quantized(&[0.4], 6).unwrap()
+        );
+    }
+
+    #[test]
+    fn forward_trace_layers_match_forward() {
+        let mlp = Mlp::new(&[2, 3, 2], Activation::Sigmoid, 5).unwrap();
+        let x = [0.3, -0.4];
+        let trace = mlp.forward_trace(&x);
+        assert_eq!(trace.len(), 3);
+        assert_eq!(trace.last().unwrap(), &mlp.forward(&x).unwrap());
+    }
+}

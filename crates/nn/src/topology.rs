@@ -1,0 +1,253 @@
+use crate::{Activation, NnDataset, Result, TrainParams, TrainedModel};
+
+/// One topology evaluated during search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyCandidate {
+    /// Full layer sizes including input and output widths.
+    pub layers: Vec<usize>,
+    /// Mean relative error on the validation set.
+    pub validation_error: f64,
+    /// Multiply-accumulates per evaluation — the cost proxy the search
+    /// minimizes after accuracy.
+    pub mac_count: usize,
+}
+
+/// Outcome of a [`TopologySearch`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySearchReport {
+    /// Every candidate evaluated, in search order.
+    pub candidates: Vec<TopologyCandidate>,
+    /// Index into `candidates` of the selected topology.
+    pub selected: usize,
+}
+
+impl TopologySearchReport {
+    /// The winning candidate.
+    #[must_use]
+    pub fn best(&self) -> &TopologyCandidate {
+        &self.candidates[self.selected]
+    }
+}
+
+/// The paper's offline "accelerator trainer": searches the topology space
+/// (at most 2 hidden layers, at most 32 neurons per layer — the same
+/// restriction as the NPU work) and selects the *smallest* network whose
+/// validation error stays under a cap.
+///
+/// If no candidate meets the cap, the most accurate candidate wins.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_nn::{NnDataset, TopologySearch};
+///
+/// # fn main() -> Result<(), rumba_nn::NnError> {
+/// let data = NnDataset::from_fn(1, 1, 200, |i, x, y| {
+///     x[0] = i as f64 / 200.0;
+///     y[0] = x[0] * x[0];
+/// })?;
+/// let search = TopologySearch::new(0.05).with_hidden_sizes(&[2, 4]);
+/// let (model, report) = search.run(&data, 42)?;
+/// assert!(model.mlp().mac_count() <= report.candidates.iter().map(|c| c.mac_count).max().unwrap());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologySearch {
+    error_cap: f64,
+    hidden_sizes: Vec<usize>,
+    max_hidden_layers: usize,
+    activation: Activation,
+    params: TrainParams,
+    validation_fraction: f64,
+}
+
+impl TopologySearch {
+    /// Creates a search that accepts topologies with validation mean
+    /// relative error below `error_cap`.
+    #[must_use]
+    pub fn new(error_cap: f64) -> Self {
+        Self {
+            error_cap,
+            hidden_sizes: vec![1, 2, 4, 8, 16, 32],
+            max_hidden_layers: 2,
+            activation: Activation::Sigmoid,
+            params: TrainParams::default(),
+            validation_fraction: 0.25,
+        }
+    }
+
+    /// Restricts the per-layer neuron counts considered.
+    #[must_use]
+    pub fn with_hidden_sizes(mut self, sizes: &[usize]) -> Self {
+        self.hidden_sizes = sizes.to_vec();
+        self
+    }
+
+    /// Sets the maximum number of hidden layers (paper limit: 2).
+    #[must_use]
+    pub fn with_max_hidden_layers(mut self, n: usize) -> Self {
+        self.max_hidden_layers = n;
+        self
+    }
+
+    /// Overrides training hyper-parameters used for every candidate.
+    #[must_use]
+    pub fn with_train_params(mut self, params: TrainParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Enumerates the candidate topologies for the given I/O widths,
+    /// smallest MAC count first.
+    #[must_use]
+    pub fn enumerate(&self, input_dim: usize, output_dim: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        // Zero hidden layers: direct input->output mapping.
+        out.push(vec![input_dim, output_dim]);
+        for &h1 in &self.hidden_sizes {
+            if self.max_hidden_layers >= 1 {
+                out.push(vec![input_dim, h1, output_dim]);
+            }
+            if self.max_hidden_layers >= 2 {
+                for &h2 in &self.hidden_sizes {
+                    out.push(vec![input_dim, h1, h2, output_dim]);
+                }
+            }
+        }
+        out.sort_by_key(|t| mac_count_of(t));
+        out
+    }
+
+    /// Trains every candidate on a train split and returns the selected
+    /// model plus the full report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates dataset and training errors; an empty dataset is rejected
+    /// with [`crate::NnError::EmptyDataset`].
+    pub fn run(&self, data: &NnDataset, seed: u64) -> Result<(TrainedModel, TopologySearchReport)> {
+        if data.is_empty() {
+            return Err(crate::NnError::EmptyDataset);
+        }
+        let n = data.len();
+        let n_val = ((n as f64 * self.validation_fraction) as usize).clamp(1, n.saturating_sub(1).max(1));
+        let val_idx: Vec<usize> = (0..n_val).map(|k| k * n / n_val).collect();
+        let val_set: std::collections::BTreeSet<usize> = val_idx.iter().copied().collect();
+        let train_idx: Vec<usize> = (0..n).filter(|i| !val_set.contains(i)).collect();
+        let (train, val) = if train_idx.is_empty() {
+            (data.clone(), data.subset(&val_idx))
+        } else {
+            (data.subset(&train_idx), data.subset(&val_idx))
+        };
+
+        let mut candidates = Vec::new();
+        let mut best_model: Option<TrainedModel> = None;
+        let mut best_idx = 0usize;
+        let mut found_under_cap = false;
+
+        for (ci, topo) in self.enumerate(data.input_dim(), data.output_dim()).iter().enumerate() {
+            let model =
+                TrainedModel::fit(topo, self.activation, &train, &self.params, seed ^ ci as u64)?;
+            let err = model.mean_relative_error(&val)?;
+            candidates.push(TopologyCandidate {
+                layers: topo.clone(),
+                validation_error: err,
+                mac_count: mac_count_of(topo),
+            });
+            let better = match &best_model {
+                None => true,
+                Some(_) if !found_under_cap && err <= self.error_cap => true,
+                Some(_) if !found_under_cap => err < candidates[best_idx].validation_error,
+                Some(_) => false, // already have the smallest under-cap network
+            };
+            if better {
+                best_idx = ci;
+                best_model = Some(model);
+                if err <= self.error_cap {
+                    found_under_cap = true;
+                }
+            }
+            if found_under_cap && best_idx != ci {
+                // Candidates are MAC-sorted; once one passes the cap, no
+                // later (larger) candidate can be preferred.
+                break;
+            }
+        }
+
+        Ok((
+            best_model.expect("at least one candidate is always evaluated"),
+            TopologySearchReport { candidates, selected: best_idx },
+        ))
+    }
+}
+
+fn mac_count_of(topology: &[usize]) -> usize {
+    topology.windows(2).map(|w| w[0] * w[1]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumerate_is_mac_sorted_and_bounded() {
+        let s = TopologySearch::new(0.1).with_hidden_sizes(&[2, 8, 32]);
+        let topos = s.enumerate(3, 1);
+        assert!(topos.windows(2).all(|w| mac_count_of(&w[0]) <= mac_count_of(&w[1])));
+        for t in &topos {
+            assert!(t.len() <= 4, "at most two hidden layers: {t:?}");
+            assert!(t[1..t.len() - 1].iter().all(|&h| h <= 32));
+        }
+    }
+
+    #[test]
+    fn picks_small_network_for_easy_target() {
+        let data = NnDataset::from_fn(1, 1, 160, |i, x, y| {
+            x[0] = i as f64 / 160.0;
+            y[0] = 0.4 * x[0] + 0.2;
+        })
+        .unwrap();
+        let search = TopologySearch::new(0.05).with_hidden_sizes(&[2, 4, 8, 16]);
+        let (model, report) = search.run(&data, 1).unwrap();
+        assert!(report.best().validation_error <= 0.05);
+        // A line should not need a 2x16 hidden stack.
+        assert!(model.mlp().mac_count() <= 64, "chose {:?}", model.mlp().topology());
+    }
+
+    #[test]
+    fn falls_back_to_most_accurate_when_cap_unreachable() {
+        let data = NnDataset::from_fn(1, 1, 160, |i, x, y| {
+            x[0] = i as f64 / 160.0;
+            y[0] = (x[0] * 40.0).sin();
+        })
+        .unwrap();
+        // Impossible cap: selection must still return something sensible.
+        let search = TopologySearch::new(1e-9).with_hidden_sizes(&[2, 4]);
+        let (_, report) = search.run(&data, 1).unwrap();
+        let min_err = report
+            .candidates
+            .iter()
+            .map(|c| c.validation_error)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(report.best().validation_error, min_err);
+    }
+
+    #[test]
+    fn empty_dataset_is_rejected() {
+        let data = NnDataset::new(1, 1).unwrap();
+        assert!(TopologySearch::new(0.1).run(&data, 0).is_err());
+    }
+
+    #[test]
+    fn report_selected_in_bounds() {
+        let data = NnDataset::from_fn(1, 1, 64, |i, x, y| {
+            x[0] = i as f64 / 64.0;
+            y[0] = x[0];
+        })
+        .unwrap();
+        let (_, report) =
+            TopologySearch::new(0.05).with_hidden_sizes(&[2]).run(&data, 0).unwrap();
+        assert!(report.selected < report.candidates.len());
+    }
+}

@@ -1,0 +1,370 @@
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::{Mlp, NnDataset, NnError, Result};
+
+/// Hyper-parameters for [`Trainer`].
+///
+/// The defaults are tuned to train the small Table-1 topologies to
+/// convergence in well under a second.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainParams {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// SGD learning rate.
+    pub learning_rate: f64,
+    /// Classical momentum coefficient in `[0, 1)`.
+    pub momentum: f64,
+    /// Mini-batch size (clamped to the dataset length).
+    pub batch_size: usize,
+    /// Shuffle seed; the same seed reproduces the same parameter trajectory.
+    pub seed: u64,
+}
+
+impl Default for TrainParams {
+    fn default() -> Self {
+        Self { epochs: 120, learning_rate: 0.2, momentum: 0.9, batch_size: 16, seed: 0x5eed }
+    }
+}
+
+impl TrainParams {
+    fn validate(&self) -> Result<()> {
+        if self.epochs == 0 {
+            return Err(NnError::InvalidParam { name: "epochs", value: "0".to_owned() });
+        }
+        if !(self.learning_rate > 0.0 && self.learning_rate.is_finite()) {
+            return Err(NnError::InvalidParam {
+                name: "learning_rate",
+                value: self.learning_rate.to_string(),
+            });
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(NnError::InvalidParam {
+                name: "momentum",
+                value: self.momentum.to_string(),
+            });
+        }
+        if self.batch_size == 0 {
+            return Err(NnError::InvalidParam { name: "batch_size", value: "0".to_owned() });
+        }
+        Ok(())
+    }
+}
+
+/// Summary of one training run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TrainReport {
+    epoch_losses: Vec<f64>,
+}
+
+impl TrainReport {
+    /// Mean-squared-error loss after each epoch, first epoch first.
+    #[must_use]
+    pub fn epoch_losses(&self) -> &[f64] {
+        &self.epoch_losses
+    }
+
+    /// Loss after the final epoch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report is empty (zero epochs), which [`Trainer::train`]
+    /// never produces.
+    #[must_use]
+    pub fn final_loss(&self) -> f64 {
+        *self.epoch_losses.last().expect("training always runs at least one epoch")
+    }
+}
+
+/// Mini-batch SGD/momentum trainer for [`Mlp`] networks.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_nn::{Activation, Mlp, NnDataset, TrainParams, Trainer};
+///
+/// # fn main() -> Result<(), rumba_nn::NnError> {
+/// // Learn y = 2x on [0, 1].
+/// let data = NnDataset::from_fn(1, 1, 64, |i, x, y| {
+///     x[0] = i as f64 / 64.0;
+///     y[0] = 2.0 * x[0];
+/// })?;
+/// let mut mlp = Mlp::new(&[1, 4, 1], Activation::Sigmoid, 1)?;
+/// let report = Trainer::new(TrainParams::default()).train(&mut mlp, &data)?;
+/// assert!(report.final_loss() < 0.01);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trainer {
+    params: TrainParams,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyper-parameters.
+    #[must_use]
+    pub fn new(params: TrainParams) -> Self {
+        Self { params }
+    }
+
+    /// The hyper-parameters this trainer runs with.
+    #[must_use]
+    pub fn params(&self) -> &TrainParams {
+        &self.params
+    }
+
+    /// Trains `mlp` in place on `data`, returning per-epoch losses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::EmptyDataset`] for empty data,
+    /// [`NnError::DimensionMismatch`] if the dataset widths do not match the
+    /// network, and [`NnError::InvalidParam`] for bad hyper-parameters.
+    pub fn train(&self, mlp: &mut Mlp, data: &NnDataset) -> Result<TrainReport> {
+        self.params.validate()?;
+        if data.is_empty() {
+            return Err(NnError::EmptyDataset);
+        }
+        if data.input_dim() != mlp.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: mlp.input_dim(),
+                actual: data.input_dim(),
+                port: "training inputs",
+            });
+        }
+        if data.output_dim() != mlp.output_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: mlp.output_dim(),
+                actual: data.output_dim(),
+                port: "training targets",
+            });
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.params.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let batch = self.params.batch_size.min(data.len());
+
+        let shape_w: Vec<usize> = mlp.layers().iter().map(|l| l.weights().len()).collect();
+        let shape_b: Vec<usize> = mlp.layers().iter().map(|l| l.biases().len()).collect();
+        let mut vel_w: Vec<Vec<f64>> = shape_w.iter().map(|&n| vec![0.0; n]).collect();
+        let mut vel_b: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
+
+        let mut report = TrainReport::default();
+        for _ in 0..self.params.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                let mut grads_w: Vec<Vec<f64>> = shape_w.iter().map(|&n| vec![0.0; n]).collect();
+                let mut grads_b: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
+                for &i in chunk {
+                    epoch_loss += accumulate_example(
+                        mlp,
+                        data.input(i),
+                        data.target(i),
+                        &mut grads_w,
+                        &mut grads_b,
+                    );
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                for g in grads_w.iter_mut().chain(grads_b.iter_mut()) {
+                    for v in g.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+                mlp.apply_gradients(
+                    &grads_w,
+                    &grads_b,
+                    &mut vel_w,
+                    &mut vel_b,
+                    self.params.learning_rate,
+                    self.params.momentum,
+                );
+            }
+            report.epoch_losses.push(epoch_loss / data.len() as f64);
+        }
+        Ok(report)
+    }
+}
+
+/// Runs one forward/backward pass, adding this example's gradients into the
+/// accumulators and returning its squared-error loss.
+fn accumulate_example(
+    mlp: &Mlp,
+    input: &[f64],
+    target: &[f64],
+    grads_w: &mut [Vec<f64>],
+    grads_b: &mut [Vec<f64>],
+) -> f64 {
+    let acts = mlp.forward_trace(input);
+    let output = acts.last().expect("trace is nonempty");
+
+    // Output-layer delta for MSE loss: (y_hat - y) * act'(y_hat).
+    let mut delta: Vec<f64> = output
+        .iter()
+        .zip(target)
+        .map(|(&yh, &y)| {
+            let act = mlp.layers().last().expect("at least one layer").activation();
+            (yh - y) * act.derivative_from_output(yh)
+        })
+        .collect();
+    let loss: f64 =
+        output.iter().zip(target).map(|(&yh, &y)| 0.5 * (yh - y) * (yh - y)).sum::<f64>();
+
+    for li in (0..mlp.layers().len()).rev() {
+        let layer = &mlp.layers()[li];
+        let layer_input = &acts[li];
+        for o in 0..layer.out_dim() {
+            grads_b[li][o] += delta[o];
+            let row = o * layer.in_dim();
+            for (j, &x) in layer_input.iter().enumerate() {
+                grads_w[li][row + j] += delta[o] * x;
+            }
+        }
+        if li > 0 {
+            let prev_act = mlp.layers()[li - 1].activation();
+            let mut prev_delta = vec![0.0; layer.in_dim()];
+            for (j, pd) in prev_delta.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (o, &d) in delta.iter().enumerate() {
+                    acc += layer.weights()[o * layer.in_dim() + j] * d;
+                }
+                *pd = acc * prev_act.derivative_from_output(layer_input[j]);
+            }
+            delta = prev_delta;
+        }
+    }
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Activation;
+
+    fn xor_data() -> NnDataset {
+        NnDataset::from_rows(
+            2,
+            1,
+            vec![
+                (vec![0.0, 0.0], vec![0.0]),
+                (vec![0.0, 1.0], vec![1.0]),
+                (vec![1.0, 0.0], vec![1.0]),
+                (vec![1.0, 1.0], vec![0.0]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn learns_xor() {
+        let data = xor_data();
+        let mut mlp = Mlp::new(&[2, 6, 1], Activation::Tanh, 11).unwrap();
+        let params = TrainParams { epochs: 800, learning_rate: 0.3, batch_size: 4, ..TrainParams::default() };
+        let report = Trainer::new(params).train(&mut mlp, &data).unwrap();
+        assert!(report.final_loss() < 0.01, "loss {}", report.final_loss());
+        for (x, y) in data.iter() {
+            let out = mlp.forward(x).unwrap()[0];
+            assert!((out - y[0]).abs() < 0.25, "xor({x:?}) = {out}, want {}", y[0]);
+        }
+    }
+
+    #[test]
+    fn loss_decreases_on_smooth_target() {
+        let data = NnDataset::from_fn(1, 1, 128, |i, x, y| {
+            x[0] = i as f64 / 128.0;
+            y[0] = (x[0] * 6.0).sin() * 0.5 + 0.5;
+        })
+        .unwrap();
+        let mut mlp = Mlp::new(&[1, 8, 1], Activation::Sigmoid, 2).unwrap();
+        let report = Trainer::new(TrainParams::default()).train(&mut mlp, &data).unwrap();
+        let first = report.epoch_losses()[0];
+        assert!(report.final_loss() < first * 0.5, "{first} -> {}", report.final_loss());
+    }
+
+    #[test]
+    fn rejects_mismatched_dataset() {
+        let data = xor_data();
+        let mut mlp = Mlp::new(&[3, 4, 1], Activation::Sigmoid, 0).unwrap();
+        assert!(matches!(
+            Trainer::new(TrainParams::default()).train(&mut mlp, &data),
+            Err(NnError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let data = NnDataset::new(2, 1).unwrap();
+        let mut mlp = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 0).unwrap();
+        assert!(matches!(
+            Trainer::new(TrainParams::default()).train(&mut mlp, &data),
+            Err(NnError::EmptyDataset)
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_hyper_parameters() {
+        let data = xor_data();
+        let mut mlp = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 0).unwrap();
+        for params in [
+            TrainParams { epochs: 0, ..TrainParams::default() },
+            TrainParams { learning_rate: 0.0, ..TrainParams::default() },
+            TrainParams { learning_rate: f64::NAN, ..TrainParams::default() },
+            TrainParams { momentum: 1.0, ..TrainParams::default() },
+            TrainParams { batch_size: 0, ..TrainParams::default() },
+        ] {
+            assert!(matches!(
+                Trainer::new(params).train(&mut mlp, &data),
+                Err(NnError::InvalidParam { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = xor_data();
+        let run = || {
+            let mut mlp = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 7).unwrap();
+            Trainer::new(TrainParams::default()).train(&mut mlp, &data).unwrap();
+            mlp.to_flat_params()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // Numerical check of the backward pass on a tiny network.
+        let mlp = Mlp::new(&[2, 3, 1], Activation::Sigmoid, 4).unwrap();
+        let input = [0.3, -0.7];
+        let target = [0.9];
+
+        let shape_w: Vec<usize> = mlp.layers().iter().map(|l| l.weights().len()).collect();
+        let shape_b: Vec<usize> = mlp.layers().iter().map(|l| l.biases().len()).collect();
+        let mut gw: Vec<Vec<f64>> = shape_w.iter().map(|&n| vec![0.0; n]).collect();
+        let mut gb: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
+        accumulate_example(&mlp, &input, &target, &mut gw, &mut gb);
+
+        let loss_at = |flat: &[f64]| {
+            let mut m = mlp.clone();
+            m.set_flat_params(flat).unwrap();
+            let out = m.forward(&input).unwrap();
+            0.5 * (out[0] - target[0]) * (out[0] - target[0])
+        };
+        let base = mlp.to_flat_params();
+        let h = 1e-6;
+        // Flat layout is layer0 weights, layer0 biases, layer1 weights, ...
+        let mut flat_grad = Vec::new();
+        for li in 0..gw.len() {
+            flat_grad.extend_from_slice(&gw[li]);
+            flat_grad.extend_from_slice(&gb[li]);
+        }
+        for (k, &g) in flat_grad.iter().enumerate() {
+            let mut plus = base.clone();
+            plus[k] += h;
+            let mut minus = base.clone();
+            minus[k] -= h;
+            let numeric = (loss_at(&plus) - loss_at(&minus)) / (2.0 * h);
+            assert!((numeric - g).abs() < 1e-4, "param {k}: numeric {numeric} vs analytic {g}");
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Config-stream serialization of the trained checkers.
+//!
+//! The paper transfers checker coefficients to the accelerator's
+//! coefficient buffers "via a config queue (the same queue used to transfer
+//! accelerator configuration)" (§3.2). This module defines that wire format
+//! for the two trainable checkers:
+//!
+//! - linear: `[LINEAR_MAGIC, n_weights, weights..., bias]`
+//! - tree: `[TREE_MAGIC, n_nodes, nodes...]` with each node either
+//!   `[0, value]` (leaf) or `[1, feature, threshold]` (decision), in
+//!   preorder.
+
+use crate::tree::{DecisionTree, TreeNodeWord};
+use crate::{LinearErrors, LinearModel, PredictError, Result, TreeErrors};
+
+/// Magic word marking a linear-checker stream.
+pub const LINEAR_MAGIC: f64 = 0x4C_49_4E as f64; // "LIN"
+/// Magic word marking a tree-checker stream.
+pub const TREE_MAGIC: f64 = 0x54_52_45 as f64; // "TRE"
+
+/// Serializes a linear checker.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_predict::{decode_linear, encode_linear, ErrorEstimator, LinearErrors};
+///
+/// let rows = [vec![0.0], vec![1.0]];
+/// let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+/// let le = LinearErrors::train(&refs, &[0.0, 0.5], 1e-9).unwrap();
+/// let mut restored = decode_linear(&encode_linear(&le)).unwrap();
+/// assert!((restored.estimate(&[0.5], &[]) - 0.25).abs() < 1e-6);
+/// ```
+#[must_use]
+pub fn encode_linear(checker: &LinearErrors) -> Vec<f64> {
+    let model = checker.model();
+    let mut words = vec![LINEAR_MAGIC, model.weights().len() as f64];
+    words.extend_from_slice(model.weights());
+    words.push(model.bias());
+    words
+}
+
+/// Reconstructs a linear checker from [`encode_linear`] output.
+///
+/// # Errors
+///
+/// Returns [`PredictError::ShapeMismatch`] for a truncated or oversized
+/// stream and [`PredictError::InvalidParam`] for a bad magic word.
+pub fn decode_linear(words: &[f64]) -> Result<LinearErrors> {
+    if words.first() != Some(&LINEAR_MAGIC) {
+        return Err(PredictError::InvalidParam {
+            name: "linear magic",
+            value: words.first().map_or("<empty>".into(), |w| w.to_string()),
+        });
+    }
+    let n = count(words.get(1))?;
+    if words.len() != 2 + n + 1 {
+        return Err(PredictError::ShapeMismatch {
+            detail: format!("linear stream length {} for {n} weights", words.len()),
+        });
+    }
+    let weights = words[2..2 + n].to_vec();
+    let bias = words[2 + n];
+    Ok(LinearErrors::from_model(LinearModel::from_parts(weights, bias)))
+}
+
+/// Serializes a tree checker: preorder node stream.
+#[must_use]
+pub fn encode_tree(checker: &TreeErrors) -> Vec<f64> {
+    let node_words = checker.tree().to_node_words();
+    let mut words = vec![TREE_MAGIC, node_words.len() as f64];
+    for node in node_words {
+        match node {
+            TreeNodeWord::Leaf { value } => {
+                words.push(0.0);
+                words.push(value);
+            }
+            TreeNodeWord::Split { feature, threshold } => {
+                words.push(1.0);
+                words.push(feature as f64);
+                words.push(threshold);
+            }
+        }
+    }
+    words
+}
+
+/// Reconstructs a tree checker from [`encode_tree`] output.
+///
+/// # Errors
+///
+/// Returns [`PredictError::InvalidParam`] for bad magic/tags and
+/// [`PredictError::ShapeMismatch`] for malformed streams.
+pub fn decode_tree(words: &[f64]) -> Result<TreeErrors> {
+    if words.first() != Some(&TREE_MAGIC) {
+        return Err(PredictError::InvalidParam {
+            name: "tree magic",
+            value: words.first().map_or("<empty>".into(), |w| w.to_string()),
+        });
+    }
+    let n_nodes = count(words.get(1))?;
+    let mut nodes = Vec::with_capacity(n_nodes);
+    let mut pos = 2usize;
+    for _ in 0..n_nodes {
+        let tag = *words.get(pos).ok_or_else(|| truncated(words.len()))?;
+        pos += 1;
+        match tag as i64 {
+            0 => {
+                let value = *words.get(pos).ok_or_else(|| truncated(words.len()))?;
+                pos += 1;
+                nodes.push(TreeNodeWord::Leaf { value });
+            }
+            1 => {
+                let feature = count(words.get(pos))?;
+                let threshold = *words.get(pos + 1).ok_or_else(|| truncated(words.len()))?;
+                pos += 2;
+                nodes.push(TreeNodeWord::Split { feature, threshold });
+            }
+            _ => {
+                return Err(PredictError::InvalidParam {
+                    name: "tree node tag",
+                    value: tag.to_string(),
+                })
+            }
+        }
+    }
+    if pos != words.len() {
+        return Err(PredictError::ShapeMismatch {
+            detail: format!("tree stream has {} trailing words", words.len() - pos),
+        });
+    }
+    Ok(TreeErrors::from_tree(DecisionTree::from_node_words(&nodes)?))
+}
+
+fn count(word: Option<&f64>) -> Result<usize> {
+    match word {
+        Some(&w) if w >= 0.0 && w.fract() == 0.0 && w < 1e9 => Ok(w as usize),
+        Some(&w) => {
+            Err(PredictError::InvalidParam { name: "config count", value: w.to_string() })
+        }
+        None => Err(PredictError::ShapeMismatch { detail: "missing count word".into() }),
+    }
+}
+
+fn truncated(len: usize) -> PredictError {
+    PredictError::ShapeMismatch { detail: format!("tree stream truncated at {len} words") }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ErrorEstimator, TreeParams};
+
+    fn trained_pair() -> (LinearErrors, TreeErrors) {
+        let rows: Vec<Vec<f64>> =
+            (0..200).map(|i| vec![i as f64 / 200.0, (i % 13) as f64 / 13.0]).collect();
+        let errors: Vec<f64> =
+            rows.iter().map(|r| if r[0] > 0.6 { 0.4 + r[1] * 0.1 } else { 0.02 }).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        (
+            LinearErrors::train(&refs, &errors, 1e-6).unwrap(),
+            TreeErrors::train(&refs, &errors, &TreeParams::default()).unwrap(),
+        )
+    }
+
+    #[test]
+    fn linear_round_trip_is_exact() {
+        let (linear, _) = trained_pair();
+        let mut restored = decode_linear(&encode_linear(&linear)).unwrap();
+        let mut original = linear.clone();
+        for i in 0..20 {
+            let x = [i as f64 / 20.0, (i % 3) as f64 / 3.0];
+            assert_eq!(original.estimate(&x, &[]), restored.estimate(&x, &[]));
+        }
+    }
+
+    #[test]
+    fn tree_round_trip_is_exact() {
+        let (_, tree) = trained_pair();
+        let mut restored = decode_tree(&encode_tree(&tree)).unwrap();
+        let mut original = tree.clone();
+        for i in 0..50 {
+            let x = [i as f64 / 50.0, (i % 7) as f64 / 7.0];
+            assert_eq!(original.estimate(&x, &[]), restored.estimate(&x, &[]));
+        }
+        assert_eq!(original.tree().depth(), restored.tree().depth());
+        assert_eq!(original.tree().node_count(), restored.tree().node_count());
+    }
+
+    #[test]
+    fn wrong_magic_rejected() {
+        let (linear, tree) = trained_pair();
+        // Each decoder must reject the other's stream.
+        assert!(decode_linear(&encode_tree(&tree)).is_err());
+        assert!(decode_tree(&encode_linear(&linear)).is_err());
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let (linear, tree) = trained_pair();
+        let lw = encode_linear(&linear);
+        let tw = encode_tree(&tree);
+        assert!(decode_linear(&lw[..lw.len() - 1]).is_err());
+        assert!(decode_tree(&tw[..tw.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn trailing_words_rejected() {
+        let (_, tree) = trained_pair();
+        let mut tw = encode_tree(&tree);
+        tw.push(0.5);
+        assert!(decode_tree(&tw).is_err());
+    }
+}

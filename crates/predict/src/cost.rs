@@ -1,0 +1,71 @@
+use std::ops::Add;
+
+/// Hardware work one checker prediction performs.
+///
+/// The accelerator model turns this into cycles (Figure 17) and the energy
+/// model into joules (Figure 14), using per-operation constants of the
+/// Table-2 technology node.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_predict::CheckerCost;
+///
+/// let linear = CheckerCost { macs: 4, comparisons: 1, table_reads: 5 };
+/// let combined = linear + CheckerCost { macs: 0, comparisons: 7, table_reads: 15 };
+/// assert_eq!(combined.comparisons, 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CheckerCost {
+    /// Multiply-accumulate operations.
+    pub macs: usize,
+    /// Comparison operations.
+    pub comparisons: usize,
+    /// Coefficient-buffer reads.
+    pub table_reads: usize,
+}
+
+impl CheckerCost {
+    /// A zero-cost checker (the Ideal oracle, Random/Uniform selectors).
+    #[must_use]
+    pub fn free() -> Self {
+        Self::default()
+    }
+
+    /// Total primitive operations — a quick magnitude proxy used in tests
+    /// and reports.
+    #[must_use]
+    pub fn total_ops(&self) -> usize {
+        self.macs + self.comparisons + self.table_reads
+    }
+}
+
+impl Add for CheckerCost {
+    type Output = CheckerCost;
+
+    fn add(self, rhs: CheckerCost) -> CheckerCost {
+        CheckerCost {
+            macs: self.macs + rhs.macs,
+            comparisons: self.comparisons + rhs.comparisons,
+            table_reads: self.table_reads + rhs.table_reads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_is_zero() {
+        assert_eq!(CheckerCost::free().total_ops(), 0);
+    }
+
+    #[test]
+    fn add_is_componentwise() {
+        let a = CheckerCost { macs: 1, comparisons: 2, table_reads: 3 };
+        let b = CheckerCost { macs: 10, comparisons: 20, table_reads: 30 };
+        let c = a + b;
+        assert_eq!(c, CheckerCost { macs: 11, comparisons: 22, table_reads: 33 });
+    }
+}

@@ -1,0 +1,199 @@
+//! §3.2.3 — error prediction using an exponential moving average.
+//!
+//! The only *output-based* method: it watches the stream of approximate
+//! outputs and flags elements that deviate sharply from the recent trend,
+//! `EMA = e·α + EMA·(1-α)` with `α = 2/(1+N)` (Equation 2). It needs no
+//! offline training, but it can only run after the accelerator produces its
+//! output (§3.5).
+
+use crate::{CheckerCost, ErrorEstimator, PredictError, Result};
+
+/// The `EMA` checker.
+///
+/// One average is tracked per output element position so multi-output
+/// kernels (e.g. `fft`'s cos/sin pair) don't smear unrelated channels
+/// together. The estimate for an invocation is the mean relative deviation
+/// of its outputs from their averages.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_predict::{EmaDetector, ErrorEstimator};
+///
+/// let mut ema = EmaDetector::new(8, 1).unwrap();
+/// // Warm up on a steady stream...
+/// for _ in 0..20 {
+///     let _ = ema.estimate(&[], &[1.0]);
+/// }
+/// // ...then an outlier scores far higher than the steady state.
+/// let steady = ema.estimate(&[], &[1.0]);
+/// let outlier = ema.estimate(&[], &[3.0]);
+/// assert!(outlier > 10.0 * steady.max(1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmaDetector {
+    alpha: f64,
+    history_len: usize,
+    state: Vec<Option<f64>>,
+    eps: f64,
+}
+
+impl EmaDetector {
+    /// Creates a detector with an `N`-element history window
+    /// (`α = 2 / (1 + N)`) tracking `output_dim` element positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::InvalidParam`] if `history_len` or
+    /// `output_dim` is zero.
+    pub fn new(history_len: usize, output_dim: usize) -> Result<Self> {
+        if history_len == 0 {
+            return Err(PredictError::InvalidParam { name: "history_len", value: "0".into() });
+        }
+        if output_dim == 0 {
+            return Err(PredictError::InvalidParam { name: "output_dim", value: "0".into() });
+        }
+        Ok(Self {
+            alpha: 2.0 / (1.0 + history_len as f64),
+            history_len,
+            state: vec![None; output_dim],
+            eps: 0.05,
+        })
+    }
+
+    /// The smoothing factor `α`.
+    #[must_use]
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The history window length `N` this detector was built with.
+    #[must_use]
+    pub fn history_len(&self) -> usize {
+        self.history_len
+    }
+
+    /// Current moving average for output position `i`, if one element has
+    /// been seen.
+    #[must_use]
+    pub fn current(&self, i: usize) -> Option<f64> {
+        self.state.get(i).copied().flatten()
+    }
+}
+
+impl ErrorEstimator for EmaDetector {
+    fn name(&self) -> &'static str {
+        "EMA"
+    }
+
+    fn estimate(&mut self, _input: &[f64], approx_output: &[f64]) -> f64 {
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for (slot, &e) in self.state.iter_mut().zip(approx_output) {
+            match slot {
+                Some(ema) => {
+                    total += (e - *ema).abs() / ema.abs().max(self.eps);
+                    counted += 1;
+                    *ema = e * self.alpha + *ema * (1.0 - self.alpha);
+                }
+                None => {
+                    // First sample: no history yet, deviation defined as 0.
+                    *slot = Some(e);
+                    counted += 1;
+                }
+            }
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        }
+    }
+
+    fn cost(&self) -> CheckerCost {
+        // Per element: one multiply-add to update the average, one
+        // subtract/compare against the threshold.
+        CheckerCost {
+            macs: 2 * self.state.len(),
+            comparisons: self.state.len(),
+            table_reads: 1,
+        }
+    }
+
+    fn reset(&mut self) {
+        for slot in &mut self.state {
+            *slot = None;
+        }
+    }
+
+    fn is_input_based(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alpha_follows_equation_2() {
+        let ema = EmaDetector::new(9, 1).unwrap();
+        assert!((ema.alpha() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_zero_parameters() {
+        assert!(EmaDetector::new(0, 1).is_err());
+        assert!(EmaDetector::new(4, 0).is_err());
+    }
+
+    #[test]
+    fn first_sample_scores_zero() {
+        let mut ema = EmaDetector::new(4, 2).unwrap();
+        assert_eq!(ema.estimate(&[], &[0.7, -0.3]), 0.0);
+    }
+
+    #[test]
+    fn constant_stream_scores_zero() {
+        let mut ema = EmaDetector::new(4, 1).unwrap();
+        for _ in 0..10 {
+            assert!(ema.estimate(&[], &[2.5]) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn update_follows_the_recurrence() {
+        let mut ema = EmaDetector::new(3, 1).unwrap(); // α = 0.5
+        let _ = ema.estimate(&[], &[1.0]);
+        let _ = ema.estimate(&[], &[3.0]);
+        // EMA = 3*0.5 + 1*0.5 = 2.0
+        assert!((ema.current(0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut ema = EmaDetector::new(4, 1).unwrap();
+        let _ = ema.estimate(&[], &[5.0]);
+        ema.reset();
+        assert_eq!(ema.current(0), None);
+        assert_eq!(ema.estimate(&[], &[100.0]), 0.0);
+    }
+
+    #[test]
+    fn per_channel_averages_are_independent() {
+        let mut ema = EmaDetector::new(8, 2).unwrap();
+        for _ in 0..20 {
+            let _ = ema.estimate(&[], &[1.0, -1.0]);
+        }
+        // Channel 0 jumps, channel 1 steady: score reflects only the jump.
+        let score = ema.estimate(&[], &[2.0, -1.0]);
+        assert!(score > 0.4 && score < 0.6, "score {score}");
+    }
+
+    #[test]
+    fn is_output_based() {
+        let ema = EmaDetector::new(4, 1).unwrap();
+        assert!(!ema.is_input_based());
+        assert_eq!(ema.name(), "EMA");
+    }
+}

@@ -1,0 +1,146 @@
+//! Extension checker: ensemble of detector families.
+//!
+//! The fault-injection ablation shows the two checker families are
+//! complementary — input-based models predict the *systematic*
+//! approximation error, the output-based EMA catches *transient* output
+//! anomalies the inputs cannot reveal. [`MaxEnsemble`] runs both and fires
+//! on the worse verdict, covering both failure classes for the summed
+//! hardware cost.
+
+use crate::{CheckerCost, ErrorEstimator};
+
+/// Fires on the maximum of two estimators' scores.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_predict::{EmaDetector, ErrorEstimator, LinearErrors, MaxEnsemble};
+///
+/// let rows = [vec![0.0], vec![1.0]];
+/// let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+/// let linear = LinearErrors::train(&refs, &[0.0, 0.4], 1e-9).unwrap();
+/// let ema = EmaDetector::new(8, 1).unwrap();
+/// let mut both = MaxEnsemble::new(Box::new(linear), Box::new(ema));
+/// // Scores at least as high as either member would alone.
+/// assert!(both.estimate(&[1.0], &[0.5]) >= 0.39);
+/// ```
+#[derive(Debug)]
+pub struct MaxEnsemble {
+    first: Box<dyn ErrorEstimator>,
+    second: Box<dyn ErrorEstimator>,
+}
+
+impl MaxEnsemble {
+    /// Combines two estimators (typically one input-based, one
+    /// output-based).
+    #[must_use]
+    pub fn new(first: Box<dyn ErrorEstimator>, second: Box<dyn ErrorEstimator>) -> Self {
+        Self { first, second }
+    }
+
+    /// The first member.
+    #[must_use]
+    pub fn first(&self) -> &dyn ErrorEstimator {
+        self.first.as_ref()
+    }
+
+    /// The second member.
+    #[must_use]
+    pub fn second(&self) -> &dyn ErrorEstimator {
+        self.second.as_ref()
+    }
+}
+
+impl ErrorEstimator for MaxEnsemble {
+    fn name(&self) -> &'static str {
+        "maxEnsemble"
+    }
+
+    fn estimate(&mut self, input: &[f64], approx_output: &[f64]) -> f64 {
+        self.first.estimate(input, approx_output).max(self.second.estimate(input, approx_output))
+    }
+
+    fn cost(&self) -> CheckerCost {
+        // Both datapaths run every prediction, plus the final max compare.
+        self.first.cost()
+            + self.second.cost()
+            + CheckerCost { macs: 0, comparisons: 1, table_reads: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.first.reset();
+        self.second.reset();
+    }
+
+    fn is_input_based(&self) -> bool {
+        // Conservative: the ensemble needs the output if either member does,
+        // so it can only run input-side when both members can.
+        self.first.is_input_based() && self.second.is_input_based()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{EmaDetector, LinearErrors, TreeErrors, TreeParams};
+
+    fn members() -> (LinearErrors, EmaDetector) {
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 64.0]).collect();
+        let errors: Vec<f64> = rows.iter().map(|r| r[0] * 0.2).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        (LinearErrors::train(&refs, &errors, 1e-9).unwrap(), EmaDetector::new(4, 1).unwrap())
+    }
+
+    #[test]
+    fn score_is_elementwise_max() {
+        let (linear, ema) = members();
+        let mut l_alone = linear.clone();
+        let mut both = MaxEnsemble::new(Box::new(linear), Box::new(ema));
+        // Stable output: EMA stays near zero, so the ensemble tracks the
+        // linear member.
+        let _ = both.estimate(&[0.5], &[1.0]);
+        let a = both.estimate(&[0.5], &[1.0]);
+        let b = l_alone.estimate(&[0.5], &[]);
+        assert!((a - b).abs() < 1e-12);
+        // An output spike: EMA dominates.
+        let spike = both.estimate(&[0.5], &[50.0]);
+        assert!(spike > b * 10.0);
+    }
+
+    #[test]
+    fn cost_sums_members_plus_compare() {
+        let (linear, ema) = members();
+        let lc = linear.cost();
+        let ec = ema.cost();
+        let both = MaxEnsemble::new(Box::new(linear), Box::new(ema));
+        let bc = both.cost();
+        assert_eq!(bc.macs, lc.macs + ec.macs);
+        assert_eq!(bc.comparisons, lc.comparisons + ec.comparisons + 1);
+    }
+
+    #[test]
+    fn placement_is_conservative() {
+        let (linear, ema) = members();
+        let mixed = MaxEnsemble::new(Box::new(linear.clone()), Box::new(ema));
+        assert!(!mixed.is_input_based(), "EMA member forces output-side placement");
+
+        let rows: Vec<Vec<f64>> = (0..64).map(|i| vec![i as f64 / 64.0]).collect();
+        let errors: Vec<f64> = rows.iter().map(|r| r[0] * 0.2).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let tree = TreeErrors::train(&refs, &errors, &TreeParams::default()).unwrap();
+        let pure_input = MaxEnsemble::new(Box::new(linear), Box::new(tree));
+        assert!(pure_input.is_input_based());
+    }
+
+    #[test]
+    fn reset_propagates_to_members() {
+        let (linear, ema) = members();
+        let mut both = MaxEnsemble::new(Box::new(linear), Box::new(ema));
+        let _ = both.estimate(&[0.1], &[5.0]);
+        both.reset();
+        // After reset the EMA member has no history: a fresh sample scores
+        // only the linear part.
+        let fresh = both.estimate(&[0.0], &[100.0]);
+        assert!(fresh < 0.05, "fresh {fresh}");
+    }
+}

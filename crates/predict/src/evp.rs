@@ -1,0 +1,149 @@
+//! Errors by Value Prediction (EVP) — the alternative §3.2 evaluates and
+//! rejects in favor of direct error prediction (EEP).
+//!
+//! EVP predicts the *output* with a model, then derives the error estimate
+//! by differencing the prediction against the accelerator's approximate
+//! output. The paper measures EVP's estimates to be ~2.5× farther from the
+//! true errors than EEP's on the Gaussian example; the `evp_eep` harness
+//! binary reproduces that comparison.
+
+use crate::{CheckerCost, ErrorEstimator, LinearModel, PredictError, Result};
+
+/// An input-based estimator that predicts each output element with a linear
+/// model and scores an invocation by the mean relative distance between the
+/// predicted and the approximate outputs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvpErrors {
+    models: Vec<LinearModel>,
+    eps: f64,
+}
+
+impl EvpErrors {
+    /// Trains one value model per output element from `(input row, exact
+    /// output row)` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::EmptyTrainingSet`] / shape errors from the
+    /// underlying solver, and [`PredictError::ShapeMismatch`] if output rows
+    /// are ragged.
+    pub fn train(rows: &[&[f64]], exact_outputs: &[&[f64]], ridge: f64) -> Result<Self> {
+        if rows.is_empty() {
+            return Err(PredictError::EmptyTrainingSet);
+        }
+        if rows.len() != exact_outputs.len() {
+            return Err(PredictError::ShapeMismatch {
+                detail: format!("{} rows vs {} output rows", rows.len(), exact_outputs.len()),
+            });
+        }
+        let out_dim = exact_outputs[0].len();
+        if out_dim == 0 || exact_outputs.iter().any(|r| r.len() != out_dim) {
+            return Err(PredictError::ShapeMismatch { detail: "ragged output rows".into() });
+        }
+        let mut models = Vec::with_capacity(out_dim);
+        for j in 0..out_dim {
+            let targets: Vec<f64> = exact_outputs.iter().map(|r| r[j]).collect();
+            models.push(LinearModel::fit(rows, &targets, ridge)?);
+        }
+        Ok(Self { models, eps: 0.05 })
+    }
+
+    /// The per-output value models.
+    #[must_use]
+    pub fn models(&self) -> &[LinearModel] {
+        &self.models
+    }
+}
+
+impl ErrorEstimator for EvpErrors {
+    fn name(&self) -> &'static str {
+        "EVP"
+    }
+
+    fn estimate(&mut self, input: &[f64], approx_output: &[f64]) -> f64 {
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for (model, &a) in self.models.iter().zip(approx_output) {
+            let predicted = model.predict(input);
+            total += (a - predicted).abs() / predicted.abs().max(self.eps);
+            counted += 1;
+        }
+        if counted == 0 {
+            0.0
+        } else {
+            total / counted as f64
+        }
+    }
+
+    fn cost(&self) -> CheckerCost {
+        let per_model = self.models.first().map_or(0, |m| m.weights().len() + 1);
+        CheckerCost {
+            // Value MACs plus the differencing subtract per output.
+            macs: self.models.len() * (per_model + 1),
+            comparisons: 1,
+            table_reads: self.models.len() * per_model,
+        }
+    }
+
+    fn is_input_based(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_world() -> (Vec<Vec<f64>>, Vec<Vec<f64>>) {
+        let rows: Vec<Vec<f64>> = (0..80).map(|i| vec![i as f64 / 80.0]).collect();
+        let outs: Vec<Vec<f64>> = rows.iter().map(|r| vec![2.0 * r[0], 1.0 - r[0]]).collect();
+        (rows, outs)
+    }
+
+    #[test]
+    fn perfect_value_model_scores_exact_output_as_zero() {
+        let (rows, outs) = linear_world();
+        let r: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let o: Vec<&[f64]> = outs.iter().map(Vec::as_slice).collect();
+        let mut evp = EvpErrors::train(&r, &o, 1e-9).unwrap();
+        // The accelerator output equals the true (linear) output: EVP sees
+        // almost no deviation.
+        let score = evp.estimate(&[0.5], &[1.0, 0.5]);
+        assert!(score < 1e-6, "score {score}");
+    }
+
+    #[test]
+    fn deviating_output_scores_high() {
+        let (rows, outs) = linear_world();
+        let r: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let o: Vec<&[f64]> = outs.iter().map(Vec::as_slice).collect();
+        let mut evp = EvpErrors::train(&r, &o, 1e-9).unwrap();
+        let good = evp.estimate(&[0.5], &[1.0, 0.5]);
+        let bad = evp.estimate(&[0.5], &[2.0, 0.5]);
+        assert!(bad > good + 0.3);
+    }
+
+    #[test]
+    fn validates_shapes() {
+        let rows: Vec<&[f64]> = vec![&[1.0]];
+        let outs: Vec<&[f64]> = vec![&[1.0], &[2.0]];
+        assert!(matches!(
+            EvpErrors::train(&rows, &outs, 1e-6),
+            Err(PredictError::ShapeMismatch { .. })
+        ));
+        assert!(matches!(EvpErrors::train(&[], &[], 1e-6), Err(PredictError::EmptyTrainingSet)));
+    }
+
+    #[test]
+    fn cost_exceeds_plain_linear_checker() {
+        let (rows, outs) = linear_world();
+        let r: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let o: Vec<&[f64]> = outs.iter().map(Vec::as_slice).collect();
+        let evp = EvpErrors::train(&r, &o, 1e-9).unwrap();
+        // Two output models of width 1: EVP costs more MACs than one EEP
+        // linear model would (2 weights + bias = 3 MACs there).
+        assert!(evp.cost().macs > 3);
+        assert!(evp.is_input_based());
+        assert_eq!(evp.name(), "EVP");
+    }
+}

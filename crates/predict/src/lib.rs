@@ -1,0 +1,153 @@
+//! Light-weight approximation-error predictors — Rumba's "checkers" (§3.2).
+//!
+//! A dynamic checker never sees the exact result; it must predict, for every
+//! accelerator invocation, how large the approximation error will be, using
+//! either the accelerator's *inputs* (input-based methods) or its
+//! approximate *outputs* (output-based methods):
+//!
+//! - [`LinearErrors`] — §3.2.1's linear model over the inputs (EEP),
+//! - [`TreeErrors`] — §3.2.2's decision tree of depth ≤ 7 (EEP),
+//! - [`EmaDetector`] — §3.2.3's exponential moving average (output-based),
+//! - [`EvpErrors`] — the Errors-by-Value-Prediction alternative (predict the
+//!   output, then difference it against the accelerator output) the paper
+//!   evaluates against EEP and rejects.
+//!
+//! All checkers expose a [`CheckerCost`] describing the hardware work one
+//! prediction costs (multiply-accumulates, comparisons, table reads), which
+//! the accelerator and energy models consume.
+//!
+//! # Examples
+//!
+//! Train a decision-tree checker on observed errors and query it:
+//!
+//! ```
+//! use rumba_predict::{ErrorEstimator, TreeErrors, TreeParams};
+//!
+//! // Error is high exactly when the (single) input is negative.
+//! let inputs: Vec<Vec<f64>> = (0..200).map(|i| vec![i as f64 / 100.0 - 1.0]).collect();
+//! let errors: Vec<f64> = inputs.iter().map(|x| if x[0] < 0.0 { 0.8 } else { 0.05 }).collect();
+//! let rows: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+//! let mut tree = TreeErrors::train(&rows, &errors, &TreeParams::default()).unwrap();
+//! assert!(tree.estimate(&[-0.5], &[]) > 0.5);
+//! assert!(tree.estimate(&[0.5], &[]) < 0.2);
+//! ```
+
+mod config_words;
+mod cost;
+mod ema;
+mod ensemble;
+mod evp;
+mod linear;
+pub mod linalg;
+mod table;
+mod tree;
+
+use std::error::Error;
+use std::fmt;
+
+pub use config_words::{decode_linear, decode_tree, encode_linear, encode_tree, LINEAR_MAGIC, TREE_MAGIC};
+pub use cost::CheckerCost;
+pub use ema::EmaDetector;
+pub use ensemble::MaxEnsemble;
+pub use evp::EvpErrors;
+pub use linear::{LinearErrors, LinearModel};
+pub use table::{TableErrors, TableParams};
+pub use tree::{DecisionTree, TreeErrors, TreeNodeWord, TreeParams};
+
+/// Errors produced while training predictors.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PredictError {
+    /// No training rows were supplied.
+    EmptyTrainingSet,
+    /// Training rows disagree on feature width, or targets have a different
+    /// length than the inputs.
+    ShapeMismatch {
+        /// Description of the disagreement.
+        detail: String,
+    },
+    /// The normal-equations system was singular even after ridge damping.
+    SingularSystem,
+    /// A hyper-parameter was out of range.
+    InvalidParam {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Offending value rendered as text.
+        value: String,
+    },
+}
+
+impl fmt::Display for PredictError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredictError::EmptyTrainingSet => write!(f, "training set contains no rows"),
+            PredictError::ShapeMismatch { detail } => write!(f, "shape mismatch: {detail}"),
+            PredictError::SingularSystem => {
+                write!(f, "normal equations are singular; increase the ridge term")
+            }
+            PredictError::InvalidParam { name, value } => {
+                write!(f, "invalid parameter {name} = {value}")
+            }
+        }
+    }
+}
+
+impl Error for PredictError {}
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, PredictError>;
+
+/// A dynamic checker: predicts the approximation error of one invocation.
+///
+/// Input-based estimators (linear, tree, EVP) look only at `input`;
+/// output-based estimators (EMA) look only at `approx_output`. The estimate
+/// is on the same scale as the application's invocation error metric, so
+/// the detection module can compare it directly against the tuning
+/// threshold.
+///
+/// Estimators take `&mut self` because output-based methods carry online
+/// state (the moving average); [`ErrorEstimator::reset`] clears that state
+/// between runs.
+pub trait ErrorEstimator: fmt::Debug + Send {
+    /// Short scheme name as used in the paper's figures, e.g.
+    /// `"linearErrors"`.
+    fn name(&self) -> &'static str;
+
+    /// Predicts the invocation's approximation error.
+    fn estimate(&mut self, input: &[f64], approx_output: &[f64]) -> f64;
+
+    /// Hardware work one prediction costs.
+    fn cost(&self) -> CheckerCost;
+
+    /// Clears any online state. Stateless estimators need not override.
+    fn reset(&mut self) {}
+
+    /// Whether the estimator reads accelerator inputs (true) or approximate
+    /// outputs (false) — §3.5's placement constraint: only input-based
+    /// detectors can run before/parallel to the accelerator.
+    fn is_input_based(&self) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase() {
+        for e in [
+            PredictError::EmptyTrainingSet,
+            PredictError::ShapeMismatch { detail: "x".into() },
+            PredictError::SingularSystem,
+            PredictError::InvalidParam { name: "depth", value: "0".into() },
+        ] {
+            let s = e.to_string();
+            assert!(s.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync>() {}
+        check::<PredictError>();
+    }
+}

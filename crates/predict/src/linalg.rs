@@ -1,0 +1,223 @@
+//! Minimal dense linear algebra for the offline predictor trainers: a
+//! column-major-free, `Vec<f64>`-backed square solver and the ridge
+//! least-squares normal equations.
+//!
+//! Dimensions here are tiny (at most the 64 JPEG features plus a bias), so
+//! straightforward Gaussian elimination with partial pivoting is both
+//! adequate and dependency-free.
+
+use crate::{PredictError, Result};
+
+/// Solves the square system `A x = b` in place via Gaussian elimination with
+/// partial pivoting. `a` is row-major `n × n`.
+///
+/// # Errors
+///
+/// Returns [`PredictError::SingularSystem`] if a pivot collapses below
+/// `1e-12`.
+///
+/// # Panics
+///
+/// Panics if `a.len() != n * n` or `b.len() != n`.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_predict::linalg::solve;
+///
+/// // 2x + y = 5, x - y = 1  =>  x = 2, y = 1
+/// let x = solve(vec![2.0, 1.0, 1.0, -1.0], vec![5.0, 1.0]).unwrap();
+/// assert!((x[0] - 2.0).abs() < 1e-12 && (x[1] - 1.0).abs() < 1e-12);
+/// ```
+pub fn solve(mut a: Vec<f64>, mut b: Vec<f64>) -> Result<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n * n, "matrix must be n x n");
+
+    for col in 0..n {
+        // Partial pivot: move the largest |entry| in this column up.
+        let mut pivot_row = col;
+        for row in col + 1..n {
+            if a[row * n + col].abs() > a[pivot_row * n + col].abs() {
+                pivot_row = row;
+            }
+        }
+        if a[pivot_row * n + col].abs() < 1e-12 {
+            return Err(PredictError::SingularSystem);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+
+        let pivot = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    Ok(x)
+}
+
+/// Ridge least squares: finds `w` (length `dim + 1`, bias last) minimizing
+/// `Σ (w·[x,1] - y)² + ridge ‖w‖²` over the training rows.
+///
+/// # Errors
+///
+/// Returns [`PredictError::EmptyTrainingSet`] for no rows,
+/// [`PredictError::ShapeMismatch`] for inconsistent widths, and
+/// [`PredictError::SingularSystem`] if the damped system still degenerates.
+pub fn ridge_fit(rows: &[&[f64]], targets: &[f64], ridge: f64) -> Result<Vec<f64>> {
+    if rows.is_empty() {
+        return Err(PredictError::EmptyTrainingSet);
+    }
+    if rows.len() != targets.len() {
+        return Err(PredictError::ShapeMismatch {
+            detail: format!("{} rows vs {} targets", rows.len(), targets.len()),
+        });
+    }
+    let dim = rows[0].len();
+    if rows.iter().any(|r| r.len() != dim) {
+        return Err(PredictError::ShapeMismatch { detail: "ragged feature rows".to_owned() });
+    }
+
+    // Augmented width: features plus a constant-1 bias column.
+    let d = dim + 1;
+    let mut xtx = vec![0.0; d * d];
+    let mut xty = vec![0.0; d];
+    let mut aug = vec![0.0; d];
+    for (row, &y) in rows.iter().zip(targets) {
+        aug[..dim].copy_from_slice(row);
+        aug[dim] = 1.0;
+        for i in 0..d {
+            xty[i] += aug[i] * y;
+            for j in i..d {
+                xtx[i * d + j] += aug[i] * aug[j];
+            }
+        }
+    }
+    // Mirror the upper triangle and damp the diagonal.
+    for i in 0..d {
+        for j in 0..i {
+            xtx[i * d + j] = xtx[j * d + i];
+        }
+        xtx[i * d + i] += ridge.max(0.0);
+    }
+    solve(xtx, xty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solve_identity() {
+        let x = solve(vec![1.0, 0.0, 0.0, 1.0], vec![3.0, -4.0]).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Leading zero forces a row swap.
+        let x = solve(vec![0.0, 1.0, 1.0, 0.0], vec![2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12 && (x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let r = solve(vec![1.0, 2.0, 2.0, 4.0], vec![1.0, 2.0]);
+        assert_eq!(r.unwrap_err(), PredictError::SingularSystem);
+    }
+
+    #[test]
+    fn ridge_fit_recovers_exact_line() {
+        let rows: Vec<Vec<f64>> = (0..50).map(|i| vec![i as f64]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 7.0).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = ridge_fit(&refs, &targets, 1e-9).unwrap();
+        assert!((w[0] - 3.0).abs() < 1e-6);
+        assert!((w[1] + 7.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn ridge_fit_validates_shapes() {
+        assert!(matches!(ridge_fit(&[], &[], 0.1), Err(PredictError::EmptyTrainingSet)));
+        let row: &[f64] = &[1.0];
+        assert!(matches!(
+            ridge_fit(&[row], &[1.0, 2.0], 0.1),
+            Err(PredictError::ShapeMismatch { .. })
+        ));
+        let ragged: Vec<&[f64]> = vec![&[1.0], &[1.0, 2.0]];
+        assert!(matches!(
+            ridge_fit(&ragged, &[1.0, 2.0], 0.1),
+            Err(PredictError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ridge_fit_handles_constant_feature() {
+        // A constant column is collinear with the bias; ridge keeps it
+        // solvable.
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 1.0]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 5.0).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let w = ridge_fit(&refs, &targets, 1e-6).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-3);
+    }
+
+    proptest! {
+        #[test]
+        fn solve_random_spd_systems(seed in 0u64..500) {
+            // Build A = M Mᵀ + I (symmetric positive definite) from a seeded
+            // pseudo-random M, pick x, verify solve(A, A x) ≈ x.
+            let n = 4;
+            let mut state = seed.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 500.0 - 1.0
+            };
+            let m: Vec<f64> = (0..n * n).map(|_| next()).collect();
+            let mut a = vec![0.0; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    let mut acc = if i == j { 1.0 } else { 0.0 };
+                    for k in 0..n {
+                        acc += m[i * n + k] * m[j * n + k];
+                    }
+                    a[i * n + j] = acc;
+                }
+            }
+            let x_true: Vec<f64> = (0..n).map(|_| next()).collect();
+            let mut b = vec![0.0; n];
+            for i in 0..n {
+                for j in 0..n {
+                    b[i] += a[i * n + j] * x_true[j];
+                }
+            }
+            let x = solve(a, b).unwrap();
+            for (xs, xt) in x.iter().zip(&x_true) {
+                prop_assert!((xs - xt).abs() < 1e-6);
+            }
+        }
+    }
+}

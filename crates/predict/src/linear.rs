@@ -1,0 +1,183 @@
+//! §3.2.1 — error prediction using a linear model.
+//!
+//! `err = w0*x0 + w1*x1 + ... + w(N-1)*x(N-1) + c` (Equation 1), with the
+//! weights and constant determined by offline ridge least squares on
+//! training errors. One online prediction costs `N` multiply-adds plus one
+//! threshold comparison.
+
+use crate::linalg::ridge_fit;
+use crate::{CheckerCost, ErrorEstimator, Result};
+
+/// A plain affine function `w · x + c`, reusable for value prediction (EVP)
+/// as well as error prediction (EEP).
+///
+/// # Examples
+///
+/// ```
+/// use rumba_predict::LinearModel;
+///
+/// let rows: Vec<Vec<f64>> = (0..32).map(|i| vec![i as f64]).collect();
+/// let ys: Vec<f64> = rows.iter().map(|r| 2.0 * r[0] + 1.0).collect();
+/// let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+/// let m = LinearModel::fit(&refs, &ys, 1e-9).unwrap();
+/// assert!((m.predict(&[10.0]) - 21.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearModel {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl LinearModel {
+    /// Fits the model by ridge least squares.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and singularity errors from the solver.
+    pub fn fit(rows: &[&[f64]], targets: &[f64], ridge: f64) -> Result<Self> {
+        let w = ridge_fit(rows, targets, ridge)?;
+        let (bias, weights) = w.split_last().expect("solver output is dim+1 wide");
+        Ok(Self { weights: weights.to_vec(), bias: *bias })
+    }
+
+    /// Evaluates `w · x + c`. Extra trailing features are ignored; missing
+    /// ones are treated as zero, mirroring a fixed-width hardware MAC chain.
+    #[must_use]
+    pub fn predict(&self, input: &[f64]) -> f64 {
+        let mut acc = self.bias;
+        for (w, x) in self.weights.iter().zip(input) {
+            acc += w * x;
+        }
+        acc
+    }
+
+    /// Rebuilds a model from raw coefficients (the config-stream decoder's
+    /// constructor).
+    #[must_use]
+    pub fn from_parts(weights: Vec<f64>, bias: f64) -> Self {
+        Self { weights, bias }
+    }
+
+    /// Fitted feature weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted constant term.
+    #[must_use]
+    pub fn bias(&self) -> f64 {
+        self.bias
+    }
+}
+
+/// The `linearErrors` checker: an input-based EEP estimator backed by one
+/// [`LinearModel`] trained directly on observed invocation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearErrors {
+    model: LinearModel,
+}
+
+impl LinearErrors {
+    /// Trains on `(input row, observed invocation error)` pairs gathered by
+    /// the offline trainer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape and singularity errors from the solver.
+    pub fn train(rows: &[&[f64]], errors: &[f64], ridge: f64) -> Result<Self> {
+        Ok(Self { model: LinearModel::fit(rows, errors, ridge)? })
+    }
+
+    /// Wraps an already-built model (the config-stream decoder's
+    /// constructor).
+    #[must_use]
+    pub fn from_model(model: LinearModel) -> Self {
+        Self { model }
+    }
+
+    /// The underlying affine model (weights feed the coefficient buffer).
+    #[must_use]
+    pub fn model(&self) -> &LinearModel {
+        &self.model
+    }
+}
+
+impl ErrorEstimator for LinearErrors {
+    fn name(&self) -> &'static str {
+        "linearErrors"
+    }
+
+    fn estimate(&mut self, input: &[f64], _approx_output: &[f64]) -> f64 {
+        // Errors are nonnegative by definition; clamp the affine output.
+        self.model.predict(input).max(0.0)
+    }
+
+    fn cost(&self) -> CheckerCost {
+        CheckerCost {
+            macs: self.model.weights().len() + 1,
+            comparisons: 1,
+            table_reads: self.model.weights().len() + 1,
+        }
+    }
+
+    fn is_input_based(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn affine_rows(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|i| vec![i as f64 / n as f64, ((i * 37) % n) as f64 / n as f64]).collect();
+        let ys = rows.iter().map(|r| 0.3 * r[0] - 0.1 * r[1] + 0.5).collect();
+        (rows, ys)
+    }
+
+    #[test]
+    fn recovers_affine_coefficients() {
+        let (rows, ys) = affine_rows(64);
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let m = LinearModel::fit(&refs, &ys, 1e-9).unwrap();
+        assert!((m.weights()[0] - 0.3).abs() < 1e-6);
+        assert!((m.weights()[1] + 0.1).abs() < 1e-6);
+        assert!((m.bias() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn estimate_is_clamped_nonnegative() {
+        let rows = [vec![0.0], vec![1.0]];
+        let errors = [0.0, -0.0];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut le = LinearErrors::train(&refs, &errors, 1e-6).unwrap();
+        assert!(le.estimate(&[-100.0], &[]) >= 0.0);
+    }
+
+    #[test]
+    fn cost_scales_with_input_width() {
+        let rows: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64; 5]).collect();
+        let errors: Vec<f64> = (0..10).map(|i| i as f64 * 0.01).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let le = LinearErrors::train(&refs, &errors, 1e-3).unwrap();
+        assert_eq!(le.cost().macs, 6);
+        assert!(le.is_input_based());
+    }
+
+    #[test]
+    fn name_matches_paper_label() {
+        let rows = [vec![0.0], vec![1.0]];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let le = LinearErrors::train(&refs, &[0.1, 0.2], 1e-6).unwrap();
+        assert_eq!(le.name(), "linearErrors");
+    }
+
+    #[test]
+    fn predict_tolerates_width_mismatch() {
+        let m = LinearModel { weights: vec![1.0, 2.0], bias: 0.0 };
+        assert_eq!(m.predict(&[1.0]), 1.0);
+        assert_eq!(m.predict(&[1.0, 1.0, 9.0]), 3.0);
+    }
+}

@@ -1,0 +1,277 @@
+//! Extension checker (not in the paper): error prediction by hashed lookup
+//! table.
+//!
+//! §3.2 notes that "a variety of prediction techniques can be used to
+//! predict these errors". This module adds the cheapest hardware shape of
+//! all — a direct-mapped table indexed by the quantized, hash-folded inputs
+//! (the same structure as a branch predictor's pattern table): zero MACs,
+//! one table read, one comparison per prediction. Training is a single
+//! averaging pass. Accuracy sits between the linear model and the decision
+//! tree on low-dimensional kernels and degrades through aliasing as the
+//! input width grows; the `ablate_checkers` harness quantifies the
+//! trade-off.
+
+use crate::{CheckerCost, ErrorEstimator, PredictError, Result};
+
+/// Hyper-parameters for [`TableErrors`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableParams {
+    /// Quantization resolution per input dimension, in bits.
+    pub bits_per_dim: u32,
+    /// log2 of the table size (e.g. 12 → 4096 entries).
+    pub table_bits: u32,
+}
+
+impl Default for TableParams {
+    fn default() -> Self {
+        Self { bits_per_dim: 4, table_bits: 12 }
+    }
+}
+
+impl TableParams {
+    fn validate(&self) -> Result<()> {
+        if self.bits_per_dim == 0 || self.bits_per_dim > 16 {
+            return Err(PredictError::InvalidParam {
+                name: "bits_per_dim",
+                value: self.bits_per_dim.to_string(),
+            });
+        }
+        if self.table_bits == 0 || self.table_bits > 24 {
+            return Err(PredictError::InvalidParam {
+                name: "table_bits",
+                value: self.table_bits.to_string(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The `tableErrors` checker: input-based EEP by hashed-table lookup.
+///
+/// # Examples
+///
+/// ```
+/// use rumba_predict::{ErrorEstimator, TableErrors, TableParams};
+///
+/// let rows: Vec<Vec<f64>> = (0..400).map(|i| vec![i as f64 / 400.0]).collect();
+/// let errors: Vec<f64> = rows.iter().map(|r| if r[0] > 0.75 { 0.6 } else { 0.05 }).collect();
+/// let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+/// let mut table = TableErrors::train(&refs, &errors, &TableParams::default()).unwrap();
+/// assert!(table.estimate(&[0.9], &[]) > 0.4);
+/// assert!(table.estimate(&[0.2], &[]) < 0.2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableErrors {
+    params: TableParams,
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    table: Vec<f64>,
+    default_value: f64,
+}
+
+impl TableErrors {
+    /// Trains the table on `(input row, observed invocation error)` pairs:
+    /// one averaging pass per occupied cell; unoccupied cells fall back to
+    /// the global mean error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PredictError::EmptyTrainingSet`] / shape errors, and
+    /// parameter errors from [`TableParams`].
+    pub fn train(rows: &[&[f64]], errors: &[f64], params: &TableParams) -> Result<Self> {
+        params.validate()?;
+        if rows.is_empty() {
+            return Err(PredictError::EmptyTrainingSet);
+        }
+        if rows.len() != errors.len() {
+            return Err(PredictError::ShapeMismatch {
+                detail: format!("{} rows vs {} errors", rows.len(), errors.len()),
+            });
+        }
+        let dim = rows[0].len();
+        if dim == 0 || rows.iter().any(|r| r.len() != dim) {
+            return Err(PredictError::ShapeMismatch { detail: "ragged feature rows".into() });
+        }
+
+        let mut mins = vec![f64::INFINITY; dim];
+        let mut maxs = vec![f64::NEG_INFINITY; dim];
+        for row in rows {
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+
+        let size = 1usize << params.table_bits;
+        let mut sums = vec![0.0; size];
+        let mut counts = vec![0u64; size];
+        let mut this = Self {
+            params: *params,
+            mins,
+            maxs,
+            // Placeholder of the final size so index_of masks correctly
+            // during the accumulation pass.
+            table: vec![0.0; size],
+            default_value: 0.0,
+        };
+        for (row, &e) in rows.iter().zip(errors) {
+            let idx = this.index_of(row);
+            sums[idx] += e;
+            counts[idx] += 1;
+        }
+        let global_mean = errors.iter().sum::<f64>() / errors.len() as f64;
+        this.default_value = global_mean;
+        this.table = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c == 0 { global_mean } else { s / c as f64 })
+            .collect();
+        Ok(this)
+    }
+
+    /// Number of table entries.
+    #[must_use]
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Quantizes and hash-folds an input row into a table index.
+    fn index_of(&self, input: &[f64]) -> usize {
+        let levels = (1u64 << self.params.bits_per_dim) - 1;
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+        for (j, &v) in input.iter().enumerate().take(self.mins.len()) {
+            let span = self.maxs[j] - self.mins[j];
+            let unit = if span.abs() < f64::EPSILON {
+                0.0
+            } else {
+                ((v - self.mins[j]) / span).clamp(0.0, 1.0)
+            };
+            let q = (unit * levels as f64).round() as u64;
+            hash ^= q.wrapping_add(0x9e37_79b9_7f4a_7c15).rotate_left((j as u32 * 7) % 61);
+            hash = hash.wrapping_mul(0x100_0000_01b3); // FNV prime
+        }
+        (hash as usize) & (self.table.len().max(1) - 1)
+    }
+}
+
+impl ErrorEstimator for TableErrors {
+    fn name(&self) -> &'static str {
+        "tableErrors"
+    }
+
+    fn estimate(&mut self, input: &[f64], _approx_output: &[f64]) -> f64 {
+        if self.table.is_empty() {
+            return self.default_value;
+        }
+        let idx = self.index_of(input);
+        self.table[idx].max(0.0)
+    }
+
+    fn cost(&self) -> CheckerCost {
+        // Quantization is wiring, hashing a XOR tree: one table read and
+        // the fire comparison dominate.
+        CheckerCost { macs: 0, comparisons: 1, table_reads: 1 }
+    }
+
+    fn is_input_based(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn step_world(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let errors = rows.iter().map(|r| if r[0] > 0.5 { 0.8 } else { 0.1 }).collect();
+        (rows, errors)
+    }
+
+    #[test]
+    fn learns_a_step_in_one_dimension() {
+        let (rows, errors) = step_world(512);
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut t = TableErrors::train(&refs, &errors, &TableParams::default()).unwrap();
+        assert!(t.estimate(&[0.9], &[]) > 0.6);
+        assert!(t.estimate(&[0.1], &[]) < 0.3);
+    }
+
+    #[test]
+    fn unseen_inputs_fall_back_to_global_mean() {
+        let (rows, errors) = step_world(8); // sparse: most cells empty
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let params = TableParams { bits_per_dim: 8, table_bits: 16 };
+        let mut t = TableErrors::train(&refs, &errors, &params).unwrap();
+        let global = errors.iter().sum::<f64>() / errors.len() as f64;
+        // An input far from every training cell reads the fallback.
+        let probe = t.estimate(&[0.123_456_7], &[]);
+        assert!((0.1..=0.8).contains(&probe));
+        let _ = global;
+    }
+
+    #[test]
+    fn validates_parameters_and_shapes() {
+        let (rows, errors) = step_world(16);
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        assert!(TableErrors::train(&[], &[], &TableParams::default()).is_err());
+        assert!(TableErrors::train(&refs, &errors[..8], &TableParams::default()).is_err());
+        assert!(TableErrors::train(
+            &refs,
+            &errors,
+            &TableParams { bits_per_dim: 0, ..TableParams::default() }
+        )
+        .is_err());
+        assert!(TableErrors::train(
+            &refs,
+            &errors,
+            &TableParams { table_bits: 30, ..TableParams::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cheapest_checker_of_all() {
+        let (rows, errors) = step_world(64);
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let t = TableErrors::train(&refs, &errors, &TableParams::default()).unwrap();
+        assert_eq!(t.cost().total_ops(), 2);
+        assert!(t.is_input_based());
+        assert_eq!(t.name(), "tableErrors");
+    }
+
+    proptest! {
+        #[test]
+        fn estimates_bounded_by_training_errors(seed in 0u64..100) {
+            let mut state = seed.wrapping_mul(0x9e37_79b9).wrapping_add(1);
+            let mut next = || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 1000) as f64 / 1000.0
+            };
+            let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![next(), next()]).collect();
+            let errors: Vec<f64> = (0..200).map(|_| next()).collect();
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let mut t = TableErrors::train(&refs, &errors, &TableParams::default()).unwrap();
+            let lo = errors.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = errors.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for _ in 0..20 {
+                let e = t.estimate(&[next(), next()], &[]);
+                // Cell averages and the global mean both live inside the
+                // training error range.
+                prop_assert!(e >= lo - 1e-12 && e <= hi + 1e-12);
+            }
+        }
+
+        #[test]
+        fn deterministic_lookup(seed in 0u64..50) {
+            let (rows, errors) = step_world(128);
+            let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+            let mut t = TableErrors::train(&refs, &errors, &TableParams::default()).unwrap();
+            let x = [seed as f64 / 50.0];
+            prop_assert_eq!(t.estimate(&x, &[]), t.estimate(&x, &[]));
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: train a Rumba-managed approximate accelerator for one
+//! benchmark and run it online with a target output quality.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rumba::accel::CheckerUnit;
+use rumba::apps::{kernel_by_name, Split};
+use rumba::core::report::RunReport;
+use rumba::core::runtime::{RumbaSystem, RuntimeConfig};
+use rumba::core::trainer::{invocation_errors, train_app, OfflineConfig};
+use rumba::core::tuner::{calibrate_threshold, Tuner, TuningMode};
+use rumba::energy::WorkloadProfile;
+use rumba::predict::ErrorEstimator;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick an approximable kernel (pure, element-wise — Table 1).
+    let kernel = kernel_by_name("inversek2j").expect("built-in benchmark");
+    println!("kernel: {} ({})", kernel.name(), kernel.domain());
+
+    // 2. Offline: train the accelerator network and the error checkers.
+    let cfg = OfflineConfig { seed: 42, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg)?;
+    println!(
+        "accelerator: topology {}, {} cycles/invocation",
+        app.rumba_npu.model().mlp().topology_string(),
+        app.rumba_npu.cycles_per_invocation()
+    );
+
+    // 3. Calibrate the detection threshold for a 90% target quality.
+    let train = kernel.generate(Split::Train, 42);
+    let mut tree = app.tree.clone();
+    let predicted: Vec<f64> =
+        (0..train.len()).map(|i| tree.estimate(train.input(i), &[])).collect();
+    let threshold = calibrate_threshold(&predicted, &app.train_errors, 0.10);
+    println!("calibrated threshold: {threshold:.3}");
+
+    // 4. Online: detection + selective re-execution + tuning.
+    let mut system = RumbaSystem::new(
+        app.rumba_npu.clone(),
+        CheckerUnit::new(Box::new(app.tree.clone())),
+        Tuner::new(TuningMode::TargetQuality { toq: 0.90 }, threshold)?,
+        RuntimeConfig::default(),
+    )?;
+    let test = kernel.generate(Split::Test, 42);
+    let outcome = system.run(kernel.as_ref(), &test)?;
+
+    // 5. Compare with the unchecked accelerator and print the run report.
+    let unchecked = invocation_errors(kernel.as_ref(), &app.rumba_npu, &test)?;
+    let unchecked_error = unchecked.iter().sum::<f64>() / unchecked.len() as f64;
+    println!("\nunchecked output error: {:.1}%", unchecked_error * 100.0);
+
+    let workload = WorkloadProfile {
+        invocations: test.len(),
+        cpu_cycles_per_invocation: kernel.cpu_cycles(),
+        kernel_fraction: kernel.kernel_fraction(),
+    };
+    println!("{}", RunReport::new(kernel.name(), &outcome, &workload));
+    Ok(())
+}

@@ -1,0 +1,21 @@
+//! Rumba — online quality management for approximate accelerators.
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! - [`nn`]: from-scratch MLP and trainer (the accelerator's function),
+//! - [`apps`]: the Table-1 benchmark kernels, datasets, and error metrics,
+//! - [`predict`]: light-weight error predictors (linear, tree, EMA),
+//! - [`accel`]: cycle-level NPU model with checker hardware and queues,
+//! - [`energy`]: analytical timing/energy models (Table-2 core, NPU),
+//! - [`core`]: the Rumba runtime — detection, recovery, tuning, pipeline.
+//!
+//! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
+//! the paper-to-module map.
+
+pub use rumba_accel as accel;
+pub use rumba_apps as apps;
+pub use rumba_core as core;
+pub use rumba_energy as energy;
+pub use rumba_nn as nn;
+pub use rumba_predict as predict;

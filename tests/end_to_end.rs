@@ -1,0 +1,120 @@
+//! End-to-end integration: offline training → online detection/recovery →
+//! merged output, across crates, asserting the paper-shape outcomes.
+
+use rumba::accel::CheckerUnit;
+use rumba::apps::{kernel_by_name, Split};
+use rumba::core::runtime::{RumbaSystem, RuntimeConfig};
+use rumba::core::trainer::{invocation_errors, train_app, OfflineConfig};
+use rumba::core::tuner::{calibrate_threshold, Tuner, TuningMode};
+use rumba::predict::ErrorEstimator;
+
+fn managed_run(
+    name: &str,
+    mode: TuningMode,
+) -> (f64, f64, rumba::core::runtime::RunOutcome, usize) {
+    let kernel = kernel_by_name(name).expect("known benchmark");
+    let cfg = OfflineConfig { seed: 42, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
+    let train = kernel.generate(Split::Train, 42);
+    let mut tree = app.tree.clone();
+    let predicted: Vec<f64> =
+        (0..train.len()).map(|i| tree.estimate(train.input(i), &[])).collect();
+    let threshold = calibrate_threshold(&predicted, &app.train_errors, 0.10);
+
+    let test = kernel.generate(Split::Test, 42);
+    let unchecked = invocation_errors(kernel.as_ref(), &app.rumba_npu, &test)
+        .expect("replay succeeds");
+    let unchecked_error = unchecked.iter().sum::<f64>() / unchecked.len() as f64;
+
+    let mut system = RumbaSystem::new(
+        app.rumba_npu.clone(),
+        CheckerUnit::new(Box::new(app.tree.clone())),
+        Tuner::new(mode, threshold).expect("valid tuner"),
+        RuntimeConfig::default(),
+    )
+    .expect("valid config");
+    let outcome = system.run(kernel.as_ref(), &test).expect("run succeeds");
+    (unchecked_error, outcome.output_error, outcome, test.len())
+}
+
+#[test]
+fn rumba_reduces_error_on_inversek2j() {
+    let (unchecked, managed, outcome, n) =
+        managed_run("inversek2j", TuningMode::TargetQuality { toq: 0.90 });
+    assert!(managed <= 0.105, "TOQ missed: {managed}");
+    assert!(managed < unchecked, "managed {managed} vs unchecked {unchecked}");
+    assert!(outcome.fixes > 0 && outcome.fixes < n, "selective, not all-or-nothing");
+}
+
+#[test]
+fn rumba_reduces_error_on_fft() {
+    let (unchecked, managed, _, _) =
+        managed_run("fft", TuningMode::TargetQuality { toq: 0.90 });
+    assert!(managed <= 0.105, "TOQ missed: {managed}");
+    assert!(managed < unchecked * 0.75, "expected a clear reduction");
+}
+
+#[test]
+fn quality_mode_keeps_accelerator_speed_on_gaussian() {
+    let (_, managed, outcome, n) = managed_run("gaussian", TuningMode::BestQuality);
+    // Quality mode caps recovery at the CPU's overlap capacity: the fix
+    // rate stays at or below ~1/kernel-gain per window, give or take the
+    // adaptation transient.
+    let kernel = kernel_by_name("gaussian").unwrap();
+    let cfg = OfflineConfig { seed: 42, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg).unwrap();
+    let cap = app.rumba_npu.cycles_per_invocation() as f64 / kernel.cpu_cycles();
+    let fix_rate = outcome.fixes as f64 / n as f64;
+    assert!(fix_rate <= cap * 1.3 + 0.02, "fix rate {fix_rate} vs cap {cap}");
+    assert!(managed.is_finite());
+}
+
+#[test]
+fn energy_mode_bounds_reexecution() {
+    let kernel = kernel_by_name("blackscholes").expect("known benchmark");
+    let cfg = OfflineConfig { seed: 42, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
+    let test = kernel.generate(Split::Test, 42);
+    let budget = 10usize;
+    let window = 250usize;
+    let mut system = RumbaSystem::new(
+        app.rumba_npu.clone(),
+        CheckerUnit::new(Box::new(app.linear.clone())),
+        Tuner::new(TuningMode::EnergyBudget { budget }, 1e-4).expect("valid tuner"),
+        RuntimeConfig { window, ..RuntimeConfig::default() },
+    )
+    .expect("valid config");
+    let outcome = system.run(kernel.as_ref(), &test).expect("run succeeds");
+    let windows = test.len().div_ceil(window);
+    assert!(outcome.fixes <= budget * windows, "budget violated: {}", outcome.fixes);
+}
+
+#[test]
+fn merged_stream_is_exact_exactly_where_fired() {
+    let (_, _, outcome, _) = managed_run("gaussian", TuningMode::TargetQuality { toq: 0.95 });
+    let kernel = kernel_by_name("gaussian").unwrap();
+    let test = kernel.generate(Split::Test, 42);
+    let out_dim = kernel.output_dim();
+    let cfg = OfflineConfig { seed: 42, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg).unwrap();
+    for (i, &f) in outcome.fired.iter().enumerate() {
+        let merged = &outcome.merged_outputs[i * out_dim..(i + 1) * out_dim];
+        if f {
+            assert_eq!(merged, test.target(i), "fired iteration {i} must be exact");
+        } else {
+            let approx = app.rumba_npu.invoke(test.input(i)).unwrap().outputs;
+            assert_eq!(merged, &approx[..], "unfired iteration {i} must be approximate");
+        }
+    }
+}
+
+#[test]
+fn whole_stack_is_deterministic() {
+    let run = || managed_run("fft", TuningMode::TargetQuality { toq: 0.92 });
+    let (u1, m1, o1, _) = run();
+    let (u2, m2, o2, _) = run();
+    assert_eq!(u1, u2);
+    assert_eq!(m1, m2);
+    assert_eq!(o1.merged_outputs, o2.merged_outputs);
+    assert_eq!(o1.threshold_history, o2.threshold_history);
+}

@@ -1,0 +1,151 @@
+//! Whole-application integration: the managed accelerator slotted into the
+//! full pipelines (edge mapping, Lloyd clustering, block transcoding) via
+//! the streaming API, compared against exact and unchecked-approximate
+//! runs.
+
+use rumba::accel::CheckerUnit;
+use rumba::apps::image::Image;
+use rumba::apps::pipelines::{cluster_pixels, edge_map, rgb_pixels_of, transcode_image};
+use rumba::apps::{kernel_by_name, Kernel};
+use rumba::core::runtime::{RumbaSystem, RuntimeConfig};
+use rumba::core::trainer::{train_app, OfflineConfig, TrainedApp};
+use rumba::core::tuner::{Tuner, TuningMode};
+
+fn trained(name: &str) -> (Box<dyn Kernel>, TrainedApp) {
+    let kernel = kernel_by_name(name).expect("known benchmark");
+    let app = train_app(kernel.as_ref(), &OfflineConfig { seed: 42, ..OfflineConfig::default() })
+        .expect("training succeeds");
+    (kernel, app)
+}
+
+fn managed_system(app: &TrainedApp, toq: f64) -> RumbaSystem {
+    let mut system = RumbaSystem::new(
+        app.rumba_npu.clone(),
+        CheckerUnit::new(Box::new(app.tree.clone())),
+        Tuner::new(TuningMode::TargetQuality { toq }, 0.05).expect("valid tuner"),
+        RuntimeConfig::default(),
+    )
+    .expect("valid config");
+    system.begin_stream();
+    system
+}
+
+fn mean_abs_diff(a: &Image, b: &Image) -> f64 {
+    a.pixels().iter().zip(b.pixels()).map(|(x, y)| (x - y).abs()).sum::<f64>()
+        / a.pixels().len() as f64
+}
+
+#[test]
+fn managed_edge_map_beats_unchecked() {
+    let (kernel, app) = trained("sobel");
+    let image = Image::synthetic_with_texture(96, 96, 0xface, 0.5);
+
+    let exact = edge_map(&image, |w, out| kernel.compute(w, out));
+    let unchecked = edge_map(&image, |w, out| {
+        let r = app.rumba_npu.invoke(w).expect("width matches");
+        out[0] = r.outputs[0];
+    });
+    let mut system = managed_system(&app, 0.92);
+    let managed = edge_map(&image, |w, out| {
+        system.process(kernel.as_ref(), w, out).expect("process succeeds");
+    });
+
+    let err_unchecked = mean_abs_diff(&exact, &unchecked);
+    let err_managed = mean_abs_diff(&exact, &managed);
+    assert!(
+        err_managed < err_unchecked,
+        "managed {err_managed} vs unchecked {err_unchecked}"
+    );
+    assert!(system.stream_fixes() > 0, "recovery must engage");
+    assert!(
+        system.stream_fixes() < system.stream_invocations(),
+        "but not fix everything"
+    );
+}
+
+#[test]
+fn managed_clustering_assignment_pass_tracks_exact() {
+    // One Lloyd assignment pass over identical (deterministic) initial
+    // centroids: all three evaluators see the same pixel/centroid pairs, so
+    // cluster labels are directly comparable. (Full multi-iteration runs
+    // diverge through feedback — different centroid trajectories — and are
+    // not label-comparable; the distance *stream* quality is what Rumba's
+    // contract covers.)
+    let (kernel, app) = trained("kmeans");
+    let image = Image::synthetic(48, 48, 0xc0de);
+    let pixels = rgb_pixels_of(&image);
+    let k = 5;
+
+    let exact = cluster_pixels(&pixels, k, 1, |x, out| kernel.compute(x, out));
+    let unchecked = cluster_pixels(&pixels, k, 1, |x, out| {
+        out[0] = app.rumba_npu.invoke(x).expect("width matches").outputs[0];
+    });
+    let mut system = managed_system(&app, 0.98);
+    let managed = cluster_pixels(&pixels, k, 1, |x, out| {
+        system.process(kernel.as_ref(), x, out).expect("process succeeds");
+    });
+    // Cranking the quality knob to its extreme must recover (almost) the
+    // exact assignment pass — Challenge IV's tunability, end to end.
+    let mut strict = managed_system(&app, 0.9999);
+    let managed_strict = cluster_pixels(&pixels, k, 1, |x, out| {
+        strict.process(kernel.as_ref(), x, out).expect("process succeeds");
+    });
+
+    let agreement = |c: &rumba::apps::pipelines::Clustering| {
+        exact.assignments.iter().zip(&c.assignments).filter(|(a, b)| a == b).count() as f64
+            / pixels.len() as f64
+    };
+    let ag_unchecked = agreement(&unchecked);
+    let ag_managed = agreement(&managed);
+    let ag_strict = agreement(&managed_strict);
+    // Argmins between near-tied centroids flip on tiny distance errors (the
+    // pixel population lies on a 1-D color curve), so absolute agreement is
+    // modest — but it must be monotone in the quality knob.
+    assert!(
+        ag_managed >= ag_unchecked,
+        "managed {ag_managed} vs unchecked {ag_unchecked}"
+    );
+    assert!(
+        ag_strict >= ag_managed,
+        "strict {ag_strict} vs managed {ag_managed}"
+    );
+    assert!(ag_unchecked < 1.0, "the approximation must actually flip some assignments");
+    assert!(ag_strict > 0.9, "the extreme setting must recover the exact pass: {ag_strict}");
+}
+
+#[test]
+fn managed_transcode_is_closer_to_the_real_codec() {
+    let (kernel, app) = trained("jpeg");
+    let image = Image::synthetic_with_texture(64, 64, 0xdeed, 0.6);
+
+    let exact = transcode_image(&image, |b, out| kernel.compute(b, out));
+    let unchecked = transcode_image(&image, |b, out| {
+        out.copy_from_slice(&app.rumba_npu.invoke(b).expect("width matches").outputs);
+    });
+    let mut system = managed_system(&app, 0.95);
+    let managed = transcode_image(&image, |b, out| {
+        system.process(kernel.as_ref(), b, out).expect("process succeeds");
+    });
+
+    let err_unchecked = mean_abs_diff(&exact, &unchecked);
+    let err_managed = mean_abs_diff(&exact, &managed);
+    assert!(
+        err_managed < err_unchecked,
+        "managed {err_managed} vs unchecked {err_unchecked}"
+    );
+}
+
+#[test]
+fn stream_counters_reset_between_streams() {
+    let (kernel, app) = trained("gaussian");
+    let mut system = managed_system(&app, 0.95);
+    let mut out = [0.0];
+    for i in 0..100 {
+        let x = [-16.0 + i as f64 * 0.32];
+        system.process(kernel.as_ref(), &x, &mut out).expect("process succeeds");
+    }
+    assert_eq!(system.stream_invocations(), 100);
+    system.begin_stream();
+    assert_eq!(system.stream_invocations(), 0);
+    assert_eq!(system.stream_fixes(), 0);
+}

@@ -1,0 +1,124 @@
+//! Cross-crate assertions of the paper's qualitative claims on fast-to-
+//! train benchmarks (the full Table-1 sweep lives in the `rumba-bench`
+//! harness binaries; see EXPERIMENTS.md).
+
+use rumba::apps::kernel_by_name;
+use rumba::core::analysis::{false_positive_fraction, relative_coverage};
+use rumba::core::context::AppContext;
+use rumba::core::scheme::SchemeKind;
+use rumba::energy::{EnergyParams, SystemModel};
+
+fn ctx(name: &str) -> AppContext {
+    let kernel = kernel_by_name(name).expect("known benchmark");
+    AppContext::build(kernel.as_ref(), 42).expect("training succeeds")
+}
+
+fn fixes_at(ctx: &AppContext, kind: SchemeKind) -> usize {
+    ctx.fixes_for_target_error(kind, 0.10).unwrap_or_else(|| ctx.len())
+}
+
+#[test]
+fn checkers_beat_blind_baselines_at_the_operating_point() {
+    // Figure 12's ordering: Ideal <= tree <= Random on the fixes needed
+    // for 90% quality.
+    let ctx = ctx("inversek2j");
+    let ideal = fixes_at(&ctx, SchemeKind::Ideal);
+    let tree = fixes_at(&ctx, SchemeKind::TreeErrors);
+    let random = fixes_at(&ctx, SchemeKind::Random);
+    let uniform = fixes_at(&ctx, SchemeKind::Uniform);
+    assert!(ideal <= tree, "ideal {ideal} > tree {tree}");
+    assert!(tree < random, "tree {tree} >= random {random}");
+    assert!(tree < uniform, "tree {tree} >= uniform {uniform}");
+    // And the checker is close to the oracle (paper: within a few percent
+    // of the elements).
+    assert!(
+        (tree - ideal) as f64 / ctx.len() as f64 <= 0.05,
+        "tree needs {} extra fixes over ideal",
+        tree - ideal
+    );
+}
+
+#[test]
+fn ideal_has_zero_false_positives_and_full_coverage() {
+    // Figures 11 and 13 by construction.
+    let ctx = ctx("fft");
+    let k_ideal = fixes_at(&ctx, SchemeKind::Ideal);
+    let fp = false_positive_fraction(
+        ctx.scores(SchemeKind::Ideal),
+        ctx.true_errors(),
+        k_ideal,
+        k_ideal,
+    );
+    assert_eq!(fp, 0.0);
+    let cov = relative_coverage(
+        ctx.scores(SchemeKind::Ideal),
+        ctx.true_errors(),
+        k_ideal,
+        k_ideal,
+        0.20,
+    );
+    assert!((cov - 100.0).abs() < 1e-9);
+}
+
+#[test]
+fn tree_checker_has_fewer_false_positives_than_random() {
+    let ctx = ctx("blackscholes");
+    let k_ideal = fixes_at(&ctx, SchemeKind::Ideal);
+    let fp_of = |kind: SchemeKind| {
+        false_positive_fraction(ctx.scores(kind), ctx.true_errors(), fixes_at(&ctx, kind), k_ideal)
+    };
+    assert!(fp_of(SchemeKind::TreeErrors) < 0.5 * fp_of(SchemeKind::Random));
+}
+
+#[test]
+fn rumba_trades_some_energy_for_quality_but_keeps_speed() {
+    // The abstract's headline: quality management costs part of the energy
+    // saving, not the speedup.
+    let ctx = ctx("inversek2j");
+    let model = SystemModel::new(EnergyParams::default());
+    let workload = ctx.workload();
+    let baseline = model.cpu_baseline(&workload);
+    let npu = model.accelerated(&workload, &ctx.unchecked_npu_activity());
+    let fixes = fixes_at(&ctx, SchemeKind::TreeErrors);
+    let rumba = model.accelerated(&workload, &ctx.scheme_activity(SchemeKind::TreeErrors, fixes));
+
+    let npu_energy = npu.energy_reduction_vs(&baseline);
+    let rumba_energy = rumba.energy_reduction_vs(&baseline);
+    assert!(rumba_energy < npu_energy, "recovery must cost energy");
+    assert!(rumba_energy > 0.5 * npu_energy, "but not cripple the savings");
+
+    let npu_speed = npu.speedup_vs(&baseline);
+    let rumba_speed = rumba.speedup_vs(&baseline);
+    assert!(rumba_speed > 0.85 * npu_speed, "{rumba_speed} vs {npu_speed}");
+}
+
+#[test]
+fn checker_latency_always_hides_behind_the_accelerator() {
+    // Figure 17 as an invariant, on two differently shaped benchmarks.
+    for name in ["fft", "kmeans"] {
+        let ctx = ctx(name);
+        let npu = ctx.trained().rumba_npu.cycles_per_invocation();
+        for kind in [SchemeKind::LinearErrors, SchemeKind::TreeErrors, SchemeKind::Ema] {
+            let c = ctx.scores(kind).checker_cost();
+            let cycles = (c.macs + c.comparisons + 1) as u64;
+            assert!(cycles < npu, "{name}/{kind}: checker {cycles} vs npu {npu}");
+        }
+    }
+}
+
+#[test]
+fn error_reduction_headline_on_the_fast_subset() {
+    // Abstract: "2.1x reduction in output error" vs the unchecked
+    // accelerator. Check that fixing the tree scheme's TOQ set at least
+    // halves the error on a couple of benchmarks.
+    for name in ["inversek2j", "fft"] {
+        let ctx = ctx(name);
+        let unchecked = ctx.unchecked_output_error();
+        let fixes = fixes_at(&ctx, SchemeKind::TreeErrors);
+        let managed = ctx.error_after_fixing(SchemeKind::TreeErrors, fixes);
+        assert!(
+            managed <= unchecked / 1.5,
+            "{name}: {managed} vs unchecked {unchecked}"
+        );
+    }
+}
