@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Repository gate: formatting, lints, build + tests (tier 1), and the
+# deterministic-parallelism smoke check (a 2-thread harness run must be
+# byte-identical to the serial run). Run from the workspace root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy (-D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test"
+cargo build --release
+cargo test -q
+
+echo "==> determinism smoke: fig10 with 1 vs 2 threads"
+# The trained-model cache would hide a nondeterministic training path
+# (both runs would just reload the first run's models), so it is disabled;
+# stdout must match byte for byte anyway.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+RUMBA_CACHE=0 RUMBA_THREADS=1 cargo run --release -q -p rumba-bench --bin fig10 \
+    >"$smoke_dir/fig10.t1" 2>/dev/null
+RUMBA_CACHE=0 RUMBA_THREADS=2 cargo run --release -q -p rumba-bench --bin fig10 \
+    >"$smoke_dir/fig10.t2" 2>/dev/null
+if ! cmp -s "$smoke_dir/fig10.t1" "$smoke_dir/fig10.t2"; then
+    echo "FAIL: fig10 stdout differs between RUMBA_THREADS=1 and 2" >&2
+    diff "$smoke_dir/fig10.t1" "$smoke_dir/fig10.t2" | head -20 >&2
+    exit 1
+fi
+echo "    fig10 byte-identical at 1 and 2 threads"
+
+echo "==> ci.sh: all checks passed"

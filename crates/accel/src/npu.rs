@@ -88,6 +88,19 @@ impl Npu {
         Ok(NpuResult { outputs, cycles: self.cycles_per_invocation })
     }
 
+    /// Evaluates many invocations, fanning them out over the deterministic
+    /// pool. Invocations are independent and pure, so the result is
+    /// bit-identical to calling [`Npu::invoke`] element by element — at any
+    /// thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if any input row does not match the
+    /// configured topology.
+    pub fn invoke_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<NpuResult>, NnError> {
+        rumba_parallel::par_map_indexed(inputs, |_i, x| self.invoke(x)).into_iter().collect()
+    }
+
     /// Cycles every invocation costs (the model is static, so this is a
     /// constant per configuration).
     #[must_use]
@@ -133,8 +146,7 @@ impl Npu {
 fn cycle_model(model: &TrainedModel, params: &NpuParams) -> u64 {
     let mlp = model.mlp();
     let mut cycles = params.invocation_overhead;
-    cycles += params.io_cycles_per_word
-        * (mlp.input_dim() as u64 + mlp.output_dim() as u64);
+    cycles += params.io_cycles_per_word * (mlp.input_dim() as u64 + mlp.output_dim() as u64);
     for layer in mlp.layers() {
         let waves = layer.out_dim().div_ceil(params.pe_count) as u64;
         cycles += waves * (layer.in_dim() as u64 + params.wave_overhead);
@@ -204,10 +216,7 @@ mod tests {
     fn limited_precision_perturbs_outputs() {
         let model = toy_model(&[2, 8, 1]);
         let exact = Npu::new(model.clone(), NpuParams::default());
-        let analog = Npu::new(
-            model,
-            NpuParams { precision_bits: Some(3), ..NpuParams::default() },
-        );
+        let analog = Npu::new(model, NpuParams { precision_bits: Some(3), ..NpuParams::default() });
         let x = [0.31, 0.77];
         let a = exact.invoke(&x).unwrap().outputs[0];
         let b = analog.invoke(&x).unwrap().outputs[0];

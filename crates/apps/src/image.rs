@@ -415,12 +415,7 @@ mod tests {
     fn sparse_corruption_hits_roughly_the_requested_fraction() {
         let img = Image::synthetic(64, 64, 2);
         let bad = corrupt(&img, Corruption::SparseLarge { fraction: 0.1 }, 7);
-        let changed = img
-            .pixels()
-            .iter()
-            .zip(bad.pixels())
-            .filter(|(a, b)| a != b)
-            .count() as f64
+        let changed = img.pixels().iter().zip(bad.pixels()).filter(|(a, b)| a != b).count() as f64
             / img.pixels().len() as f64;
         assert!((changed - 0.1).abs() < 0.03, "changed {changed}");
     }

@@ -123,16 +123,8 @@ fn interval(p: Vec3, d: Vec3) -> Option<(f64, f64)> {
 /// triangles' dominant plane.
 #[must_use]
 pub fn tri_tri_intersect(t1: &[f64; 9], t2: &[f64; 9]) -> bool {
-    let v: [Vec3; 3] = [
-        [t1[0], t1[1], t1[2]],
-        [t1[3], t1[4], t1[5]],
-        [t1[6], t1[7], t1[8]],
-    ];
-    let u: [Vec3; 3] = [
-        [t2[0], t2[1], t2[2]],
-        [t2[3], t2[4], t2[5]],
-        [t2[6], t2[7], t2[8]],
-    ];
+    let v: [Vec3; 3] = [[t1[0], t1[1], t1[2]], [t1[3], t1[4], t1[5]], [t1[6], t1[7], t1[8]]];
+    let u: [Vec3; 3] = [[t2[0], t2[1], t2[2]], [t2[3], t2[4], t2[5]], [t2[6], t2[7], t2[8]]];
 
     // Plane of T2: n2 · x + d2 = 0.
     let n2 = cross(sub(u[1], u[0]), sub(u[2], u[0]));

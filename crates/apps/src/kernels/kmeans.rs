@@ -93,8 +93,7 @@ impl Kernel for Kmeans {
     }
 
     fn compute(&self, input: &[f64], output: &mut [f64]) {
-        output[0] =
-            rgb_distance([input[0], input[1], input[2]], [input[3], input[4], input[5]]);
+        output[0] = rgb_distance([input[0], input[1], input[2]], [input[3], input[4], input[5]]);
     }
 
     fn metric(&self) -> ErrorMetric {

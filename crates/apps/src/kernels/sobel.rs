@@ -145,9 +145,7 @@ mod tests {
     fn gradient_is_rotation_symmetric() {
         let horizontal = [0.0, 0.0, 0.0, 0.5, 0.5, 0.5, 1.0, 1.0, 1.0];
         let vertical = [0.0, 0.5, 1.0, 0.0, 0.5, 1.0, 0.0, 0.5, 1.0];
-        assert!(
-            (gradient_magnitude(&horizontal) - gradient_magnitude(&vertical)).abs() < 1e-12
-        );
+        assert!((gradient_magnitude(&horizontal) - gradient_magnitude(&vertical)).abs() < 1e-12);
     }
 
     #[test]

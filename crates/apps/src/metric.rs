@@ -49,11 +49,8 @@ impl ErrorMetric {
         assert!(!exact.is_empty(), "invocation has no outputs");
         match *self {
             ErrorMetric::MeanRelativeError { eps } => {
-                let sum: f64 = exact
-                    .iter()
-                    .zip(approx)
-                    .map(|(&e, &a)| (a - e).abs() / e.abs().max(eps))
-                    .sum();
+                let sum: f64 =
+                    exact.iter().zip(approx).map(|(&e, &a)| (a - e).abs() / e.abs().max(eps)).sum();
                 sum / exact.len() as f64
             }
             ErrorMetric::MissRate => {
@@ -89,8 +86,10 @@ impl ErrorMetric {
         }
         let mut total = 0.0;
         for i in 0..n {
-            total +=
-                self.invocation_error(&exact[i * width..(i + 1) * width], &approx[i * width..(i + 1) * width]);
+            total += self.invocation_error(
+                &exact[i * width..(i + 1) * width],
+                &approx[i * width..(i + 1) * width],
+            );
         }
         total / n as f64
     }

@@ -154,21 +154,22 @@ pub fn run_study(
     perforation: Perforation,
     seed: u64,
 ) -> Vec<MosaicSample> {
-    (0..count)
-        .map(|i| {
-            let img = flower_image(image_size, seed.wrapping_add(i as u64));
-            let exact = exact_brightness(&img);
-            let perforation = match perforation {
-                Perforation::Random { keep, seed: s } => {
-                    Perforation::Random { keep, seed: s.wrapping_add(i as u64) }
-                }
-                other => other,
-            };
-            let approximate = perforated_brightness(&img, perforation);
-            let error_percent = (approximate - exact).abs() / exact.abs().max(1e-9) * 100.0;
-            MosaicSample { image_index: i, exact, approximate, error_percent }
-        })
-        .collect()
+    // Every image derives its own RNG stream from `seed + index`, so the
+    // study fans out over the deterministic pool with results identical to
+    // the serial loop at any thread count.
+    rumba_parallel::par_map_range(count, |i| {
+        let img = flower_image(image_size, seed.wrapping_add(i as u64));
+        let exact = exact_brightness(&img);
+        let perforation = match perforation {
+            Perforation::Random { keep, seed: s } => {
+                Perforation::Random { keep, seed: s.wrapping_add(i as u64) }
+            }
+            other => other,
+        };
+        let approximate = perforated_brightness(&img, perforation);
+        let error_percent = (approximate - exact).abs() / exact.abs().max(1e-9) * 100.0;
+        MosaicSample { image_index: i, exact, approximate, error_percent }
+    })
 }
 
 /// Summary statistics over a study.
@@ -191,8 +192,8 @@ pub fn summarize(samples: &[MosaicSample]) -> MosaicSummary {
     }
     let mean = samples.iter().map(|s| s.error_percent).sum::<f64>() / samples.len() as f64;
     let max = samples.iter().map(|s| s.error_percent).fold(0.0, f64::max);
-    let above =
-        samples.iter().filter(|s| s.error_percent > 2.0 * mean).count() as f64 / samples.len() as f64;
+    let above = samples.iter().filter(|s| s.error_percent > 2.0 * mean).count() as f64
+        / samples.len() as f64;
     MosaicSummary { mean_percent: mean, max_percent: max, above_twice_mean: above }
 }
 
@@ -214,8 +215,11 @@ impl TileGallery {
     #[must_use]
     pub fn generate(count: usize, tile_size: usize, seed: u64) -> Self {
         assert!(count > 0, "a gallery needs at least one tile");
-        let tiles: Vec<Image> =
-            (0..count).map(|i| flower_image(tile_size, seed.wrapping_add(i as u64))).collect();
+        // Per-tile RNG streams (`seed + index`) make generation order-free,
+        // so tiles render concurrently with bit-identical pixels.
+        let tiles: Vec<Image> = rumba_parallel::par_map_range(count, |i| {
+            flower_image(tile_size, seed.wrapping_add(i as u64))
+        });
         let brightness = tiles.iter().map(exact_brightness).collect();
         Self { tiles, brightness }
     }
@@ -372,7 +376,12 @@ mod tests {
         let s = summarize(&rows);
         assert!(s.mean_percent > 0.5, "mean {}", s.mean_percent);
         assert!(s.mean_percent < 15.0, "mean {}", s.mean_percent);
-        assert!(s.max_percent > 2.5 * s.mean_percent, "max {} mean {}", s.max_percent, s.mean_percent);
+        assert!(
+            s.max_percent > 2.5 * s.mean_percent,
+            "max {} mean {}",
+            s.max_percent,
+            s.mean_percent
+        );
     }
 
     #[test]
@@ -415,8 +424,7 @@ mod tests {
         }
         let gallery = TileGallery::generate(16, 16, 7);
         let kernel = Kmeans::new();
-        let (_, choices) =
-            build_mosaic(&target, &gallery, 16, |x, out| kernel.compute(x, out));
+        let (_, choices) = build_mosaic(&target, &gallery, 16, |x, out| kernel.compute(x, out));
         let nearest = gallery
             .brightness()
             .iter()

@@ -46,8 +46,7 @@ pub fn cluster_pixels(
     assert!(max_iters > 0, "need at least one iteration");
 
     // Deterministic init: evenly spaced pixels.
-    let mut centroids: Vec<[f64; 3]> =
-        (0..k).map(|c| pixels[c * pixels.len() / k]).collect();
+    let mut centroids: Vec<[f64; 3]> = (0..k).map(|c| pixels[c * pixels.len() / k]).collect();
     let mut assignments = vec![0usize; pixels.len()];
     let mut distance_evaluations = 0usize;
     let mut iterations = 0usize;
@@ -86,11 +85,8 @@ pub fn cluster_pixels(
         }
         for (ci, (sum, &count)) in sums.iter().zip(&counts).enumerate() {
             if count > 0 {
-                centroids[ci] = [
-                    sum[0] / count as f64,
-                    sum[1] / count as f64,
-                    sum[2] / count as f64,
-                ];
+                centroids[ci] =
+                    [sum[0] / count as f64, sum[1] / count as f64, sum[2] / count as f64];
             }
         }
         if !changed {
@@ -147,10 +143,7 @@ mod tests {
         let pixels = rgb_pixels_of(&img);
         let result = cluster_pixels(&pixels, 4, 50, exact_eval());
         assert!(result.iterations < 50, "should converge early");
-        assert_eq!(
-            result.distance_evaluations,
-            result.iterations * pixels.len() * 4
-        );
+        assert_eq!(result.distance_evaluations, result.iterations * pixels.len() * 4);
     }
 
     #[test]
@@ -177,12 +170,8 @@ mod tests {
             // Bias depends on pixel AND centroid, so it can flip argmins.
             out[0] = (out[0] + ((x[0] + 2.0 * x[3]) * 37.0).sin().abs() * 0.5).max(0.0);
         });
-        let disagreement = exact
-            .assignments
-            .iter()
-            .zip(&noisy.assignments)
-            .filter(|(a, b)| a != b)
-            .count();
+        let disagreement =
+            exact.assignments.iter().zip(&noisy.assignments).filter(|(a, b)| a != b).count();
         assert!(disagreement > 0, "noise must change some assignments");
     }
 

@@ -62,13 +62,9 @@ mod tests {
         let img = Image::synthetic(64, 64, 2);
         let jpeg = Jpeg::new();
         let out = transcode_image(&img, |b, o| jpeg.compute(b, o));
-        let diff: f64 = img
-            .pixels()
-            .iter()
-            .zip(out.pixels())
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
-            / img.pixels().len() as f64;
+        let diff: f64 =
+            img.pixels().iter().zip(out.pixels()).map(|(a, b)| (a - b).abs()).sum::<f64>()
+                / img.pixels().len() as f64;
         assert!(diff > 0.0, "codec must be lossy");
         assert!(diff < 0.15, "but close: {diff}");
     }

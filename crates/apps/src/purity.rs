@@ -71,7 +71,11 @@ impl std::error::Error for PurityViolation {}
 /// # Errors
 ///
 /// Returns the first [`PurityViolation`] found.
-pub fn verify_purity(kernel: &dyn Kernel, samples: usize, seed: u64) -> Result<(), PurityViolation> {
+pub fn verify_purity(
+    kernel: &dyn Kernel,
+    samples: usize,
+    seed: u64,
+) -> Result<(), PurityViolation> {
     let data = kernel.generate(Split::Test, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15);
     let out_dim = kernel.output_dim();

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use rumba_apps::kernels::{
-    call_price, forward_kinematics, gradient_magnitude, inverse_kinematics, rgb_distance,
-    tri_tri_intersect, codec_block,
+    call_price, codec_block, forward_kinematics, gradient_magnitude, inverse_kinematics,
+    rgb_distance, tri_tri_intersect,
 };
 use rumba_apps::{all_kernels, dataset_from_inputs, ErrorMetric};
 

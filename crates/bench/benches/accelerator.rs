@@ -7,15 +7,16 @@ use rumba_nn::{Activation, NnDataset, TrainParams, TrainedModel};
 use std::hint::black_box;
 
 fn quick_model(topology: &[usize]) -> TrainedModel {
-    let data = NnDataset::from_fn(topology[0], *topology.last().expect("nonempty"), 64, |i, x, y| {
-        for (j, v) in x.iter_mut().enumerate() {
-            *v = ((i * 13 + j * 7) % 50) as f64 / 50.0;
-        }
-        for v in y.iter_mut() {
-            *v = (i % 50) as f64 / 50.0;
-        }
-    })
-    .expect("valid dims");
+    let data =
+        NnDataset::from_fn(topology[0], *topology.last().expect("nonempty"), 64, |i, x, y| {
+            for (j, v) in x.iter_mut().enumerate() {
+                *v = ((i * 13 + j * 7) % 50) as f64 / 50.0;
+            }
+            for v in y.iter_mut() {
+                *v = (i % 50) as f64 / 50.0;
+            }
+        })
+        .expect("valid dims");
     let params = TrainParams { epochs: 2, ..TrainParams::default() };
     TrainedModel::fit(topology, Activation::Sigmoid, &data, &params, 1).expect("fits")
 }

@@ -1,0 +1,183 @@
+//! Scaling of the deterministic thread pool on the two hottest harness
+//! workloads: candidate-topology training and the Figure-10 error-vs-fixed
+//! sweep. Each workload is measured at 1/2/4/8 worker threads; outputs are
+//! bit-identical at every setting, so the bench asserts that too before
+//! timing. Besides the Criterion report, the run writes wall-clock
+//! speedups to `BENCH_parallel.json` at the workspace root so the perf
+//! trajectory is machine-readable across commits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumba_core::analysis::error_vs_fixed_curve;
+use rumba_core::scheme::{SchemeKind, SchemeScores};
+use rumba_nn::{NnDataset, TopologySearch, TrainParams};
+use rumba_predict::CheckerCost;
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Training set for the topology-search workload: a smooth 2-in/1-out
+/// surface with enough rows that each candidate trains for a measurable
+/// time.
+fn search_dataset() -> NnDataset {
+    NnDataset::from_fn(2, 1, 768, |i, x, y| {
+        x[0] = (i % 97) as f64 / 97.0;
+        x[1] = (i % 41) as f64 / 41.0;
+        y[0] = ((x[0] * 4.0).sin() * (x[1] * 3.0).cos()).mul_add(0.4, 0.5);
+    })
+    .expect("valid dims")
+}
+
+/// The search itself: error cap 0 means no candidate is ever "good
+/// enough", so the serial path trains every candidate too and the
+/// comparison measures pure scaling, not speculation waste.
+fn run_search(data: &NnDataset) -> f64 {
+    let params = TrainParams { epochs: 25, ..TrainParams::default() };
+    let (_model, report) = TopologySearch::new(0.0)
+        .with_hidden_sizes(&[4, 6, 8])
+        .with_max_hidden_layers(2)
+        .with_train_params(params)
+        .run(data, 42)
+        .expect("search succeeds");
+    report.best().validation_error
+}
+
+/// Inputs for the Figure-10 sweep workload: a deterministic error vector
+/// and an Ideal scoring of it, swept over a dense fix-fraction grid.
+fn sweep_inputs() -> (SchemeScores, Vec<f64>, Vec<f64>) {
+    let n = 120_000usize;
+    let errors: Vec<f64> = (0..n)
+        .map(|i| {
+            // Cheap deterministic noise (SplitMix64 finalizer).
+            let mut z = (i as u64).wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            (z ^ (z >> 31)) as f64 / u64::MAX as f64 * 0.3
+        })
+        .collect();
+    let scores = SchemeScores::new(SchemeKind::Ideal, errors.clone(), CheckerCost::free());
+    let fractions: Vec<f64> = (0..=256).map(|k| k as f64 / 256.0).collect();
+    (scores, errors, fractions)
+}
+
+fn run_sweep(scores: &SchemeScores, errors: &[f64], fractions: &[f64]) -> f64 {
+    let curve = error_vs_fixed_curve(scores, errors, fractions);
+    curve.iter().map(|p| p.output_error_percent).sum()
+}
+
+/// Runs `work` under a fixed worker-thread count and returns the best
+/// wall-clock of `reps` runs (best-of filters scheduler noise).
+fn wall_clock<R>(threads: usize, reps: usize, mut work: impl FnMut() -> R) -> f64 {
+    rumba_parallel::set_thread_override(Some(threads));
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(work());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    rumba_parallel::set_thread_override(None);
+    best
+}
+
+fn bench_topology_search(c: &mut Criterion) {
+    let data = search_dataset();
+
+    // The determinism contract the pool guarantees: identical selection at
+    // every thread count. Assert it before timing anything.
+    rumba_parallel::set_thread_override(Some(1));
+    let serial = run_search(&data);
+    for threads in THREAD_COUNTS {
+        rumba_parallel::set_thread_override(Some(threads));
+        assert_eq!(run_search(&data).to_bits(), serial.to_bits(), "threads={threads}");
+    }
+    rumba_parallel::set_thread_override(None);
+
+    let mut group = c.benchmark_group("topology_search");
+    for threads in THREAD_COUNTS {
+        group.bench_function(&format!("{threads}_threads"), |b| {
+            rumba_parallel::set_thread_override(Some(threads));
+            b.iter(|| black_box(run_search(&data)));
+            rumba_parallel::set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig10_sweep(c: &mut Criterion) {
+    let (scores, errors, fractions) = sweep_inputs();
+
+    rumba_parallel::set_thread_override(Some(1));
+    let serial = run_sweep(&scores, &errors, &fractions);
+    for threads in THREAD_COUNTS {
+        rumba_parallel::set_thread_override(Some(threads));
+        let got = run_sweep(&scores, &errors, &fractions);
+        assert_eq!(got.to_bits(), serial.to_bits(), "threads={threads}");
+    }
+    rumba_parallel::set_thread_override(None);
+
+    let mut group = c.benchmark_group("fig10_sweep");
+    for threads in THREAD_COUNTS {
+        group.bench_function(&format!("{threads}_threads"), |b| {
+            rumba_parallel::set_thread_override(Some(threads));
+            b.iter(|| black_box(run_sweep(&scores, &errors, &fractions)));
+            rumba_parallel::set_thread_override(None);
+        });
+    }
+    group.finish();
+}
+
+/// One workload's wall-clock row for the JSON artifact.
+fn json_workload(name: &str, seconds: &[(usize, f64)]) -> String {
+    let serial = seconds.iter().find(|(t, _)| *t == 1).map_or(f64::NAN, |&(_, s)| s);
+    let secs: Vec<String> = seconds.iter().map(|(t, s)| format!("\"{t}\": {s:.6}")).collect();
+    let speedups: Vec<String> = seconds
+        .iter()
+        .filter(|(t, _)| *t != 1)
+        .map(|(t, s)| format!("\"{t}\": {:.3}", serial / s))
+        .collect();
+    format!(
+        "    {{\"name\": \"{name}\", \"wall_clock_seconds\": {{{}}}, \"speedup_vs_serial\": {{{}}}}}",
+        secs.join(", "),
+        speedups.join(", ")
+    )
+}
+
+/// Measures both workloads at each thread count with plain `Instant`
+/// timing and writes `BENCH_parallel.json` at the workspace root.
+fn emit_json(_c: &mut Criterion) {
+    let data = search_dataset();
+    let search_times: Vec<(usize, f64)> =
+        THREAD_COUNTS.iter().map(|&t| (t, wall_clock(t, 3, || run_search(&data)))).collect();
+
+    let (scores, errors, fractions) = sweep_inputs();
+    let sweep_times: Vec<(usize, f64)> = THREAD_COUNTS
+        .iter()
+        .map(|&t| (t, wall_clock(t, 5, || run_sweep(&scores, &errors, &fractions))))
+        .collect();
+
+    let json = format!(
+        "{{\n  \"bench\": \"parallel\",\n  \"available_parallelism\": {},\n  \"workloads\": [\n{},\n{}\n  ]\n}}\n",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        json_workload("topology_search", &search_times),
+        json_workload("fig10_sweep", &sweep_times),
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_parallel.json");
+    std::fs::write(&path, &json).expect("write BENCH_parallel.json");
+    println!("wrote {}", path.display());
+    print!("{json}");
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_topology_search, bench_fig10_sweep, emit_json
+}
+criterion_main!(benches);

@@ -5,9 +5,7 @@
 use rumba_apps::{all_kernels, Split};
 use rumba_bench::{print_table, target_error, HARNESS_SEED};
 use rumba_core::trainer::{invocation_errors, train_app, OfflineConfig};
-use rumba_predict::{
-    EmaDetector, ErrorEstimator, EvpErrors, TableErrors, TableParams,
-};
+use rumba_predict::{EmaDetector, ErrorEstimator, EvpErrors, TableErrors, TableParams};
 
 fn fixes_needed(scores: &[f64], errors: &[f64]) -> f64 {
     let mut order: Vec<usize> = (0..errors.len()).collect();
@@ -24,12 +22,8 @@ fn fixes_needed(scores: &[f64], errors: &[f64]) -> f64 {
 
 fn main() {
     println!("Ablation: checker design space (fixes for 90% TOQ; ops = work per prediction).\n");
-    let header: Vec<String> = [
-        "app", "linear", "tree", "EMA", "EVP", "table",
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .collect();
+    let header: Vec<String> =
+        ["app", "linear", "tree", "EMA", "EVP", "table"].iter().map(ToString::to_string).collect();
 
     let mut rows = Vec::new();
     let mut cost_row: Option<Vec<String>> = None;
@@ -39,14 +33,12 @@ fn main() {
         let mut app = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
         let train = kernel.generate(Split::Train, HARNESS_SEED);
         let test = kernel.generate(Split::Test, HARNESS_SEED);
-        let errors =
-            invocation_errors(kernel.as_ref(), &app.rumba_npu, &test).expect("replay");
+        let errors = invocation_errors(kernel.as_ref(), &app.rumba_npu, &test).expect("replay");
 
         // Extension checker, trained on the same observed errors.
         let train_rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
-        let mut table =
-            TableErrors::train(&train_rows, &app.train_errors, &TableParams::default())
-                .expect("fits");
+        let mut table = TableErrors::train(&train_rows, &app.train_errors, &TableParams::default())
+            .expect("fits");
         let mut ema = EmaDetector::new(app.ema_window, kernel.output_dim()).expect("valid");
         let exact_rows: Vec<&[f64]> = (0..train.len()).map(|i| train.target(i)).collect();
         let mut evp = EvpErrors::train(&train_rows, &exact_rows, cfg.ridge).expect("fits");

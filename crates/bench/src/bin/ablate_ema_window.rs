@@ -24,16 +24,14 @@ fn main() {
         let trained = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
         let test = kernel.generate(Split::Test, HARNESS_SEED);
         let approx = approximate_outputs(&trained.rumba_npu, &test).expect("replay");
-        let errors =
-            invocation_errors(kernel.as_ref(), &trained.rumba_npu, &test).expect("replay");
+        let errors = invocation_errors(kernel.as_ref(), &trained.rumba_npu, &test).expect("replay");
         let out_dim = kernel.output_dim();
         contexts.push((test, approx, errors, out_dim));
     }
 
     let mut rows = Vec::new();
     for window in [2usize, 4, 8, 16, 32, 64] {
-        let mut row =
-            vec![window.to_string(), format!("{:.3}", 2.0 / (1.0 + window as f64))];
+        let mut row = vec![window.to_string(), format!("{:.3}", 2.0 / (1.0 + window as f64))];
         for (test, approx, errors, out_dim) in &contexts {
             let mut ema = EmaDetector::new(window, *out_dim).expect("valid window");
             let scores: Vec<f64> = (0..test.len())

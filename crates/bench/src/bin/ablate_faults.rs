@@ -66,11 +66,7 @@ fn main() {
         let mut sorted = scores.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let threshold = sorted[(sorted.len() as f64 * 0.95) as usize];
-        let caught = faulted
-            .iter()
-            .zip(scores)
-            .filter(|(&f, &s)| f && s > threshold)
-            .count();
+        let caught = faulted.iter().zip(scores).filter(|(&f, &s)| f && s > threshold).count();
         rows.push(vec![
             (*label).to_owned(),
             format!("{caught} / {injected}"),
@@ -79,7 +75,10 @@ fn main() {
     }
     print_table(&header, &rows);
 
-    println!("\nInjected {injected} transient faults ({:.1}% of invocations), each flipping one", fault_rate * 100.0);
+    println!(
+        "\nInjected {injected} transient faults ({:.1}% of invocations), each flipping one",
+        fault_rate * 100.0
+    );
     println!("output to a wildly wrong value. Flagging budget: each checker's top 5%.");
     println!("\nExpected: the input-based checkers flag faults only by coincidence (the");
     println!("struck inputs are distributed like any others → ≈5% coverage), while EMA");

@@ -26,18 +26,11 @@ fn main() {
     let workload = ctx.workload();
     let baseline = model.cpu_baseline(&workload);
 
-    let header: Vec<String> = [
-        "PEs",
-        "npu cycles",
-        "kernel gain",
-        "keep-up cap",
-        "fires",
-        "speedup",
-        "energy red.",
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .collect();
+    let header: Vec<String> =
+        ["PEs", "npu cycles", "kernel gain", "keep-up cap", "fires", "speedup", "energy red."]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
 
     let mut rows = Vec::new();
     for pes in [1usize, 2, 4, 8, 16, 32] {

@@ -13,17 +13,11 @@ fn main() {
     let model = SystemModel::new(EnergyParams::default());
     println!("Ablation: detector placement (treeErrors at 90% TOQ).\n");
 
-    let header: Vec<String> = [
-        "app",
-        "fires",
-        "cfg2 speedup",
-        "cfg1 speedup",
-        "cfg2 energy",
-        "cfg1 energy",
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .collect();
+    let header: Vec<String> =
+        ["app", "fires", "cfg2 speedup", "cfg1 speedup", "cfg2 energy", "cfg1 energy"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
 
     let mut rows = Vec::new();
     for entry in suite.entries() {
@@ -34,7 +28,8 @@ fn main() {
 
         // Configuration 2 (paper default): all invocations hit the
         // accelerator; detector fully hidden.
-        let cfg2 = model.accelerated(&workload, &ctx.scheme_activity(SchemeKind::TreeErrors, fixes));
+        let cfg2 =
+            model.accelerated(&workload, &ctx.scheme_activity(SchemeKind::TreeErrors, fixes));
 
         // Configuration 1: fired invocations never reach the accelerator,
         // but every invocation pays the detector latency serially.

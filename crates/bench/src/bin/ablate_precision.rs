@@ -22,17 +22,11 @@ fn main() {
     let kernel = kernel_by_name("blackscholes").expect("known benchmark");
     let model = SystemModel::new(EnergyParams::default());
 
-    let header: Vec<String> = [
-        "precision",
-        "unchecked err",
-        "fires",
-        "managed err",
-        "speedup",
-        "energy red.",
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .collect();
+    let header: Vec<String> =
+        ["precision", "unchecked err", "fires", "managed err", "speedup", "energy red."]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
 
     let mut rows = Vec::new();
     let settings: [(String, Option<u32>); 5] = [
@@ -49,14 +43,12 @@ fn main() {
             ..OfflineConfig::default()
         };
         eprintln!("[ablate] precision {label} ...");
-        let ctx = AppContext::build_with_config(kernel.as_ref(), &cfg)
-            .expect("training succeeds");
+        let ctx = AppContext::build_with_config(kernel.as_ref(), &cfg).expect("training succeeds");
         let fixes = fixes_at_toq(&ctx, SchemeKind::TreeErrors);
         let managed = ctx.error_after_fixing(SchemeKind::TreeErrors, fixes);
         let workload = ctx.workload();
         let baseline = model.cpu_baseline(&workload);
-        let run =
-            model.accelerated(&workload, &ctx.scheme_activity(SchemeKind::TreeErrors, fixes));
+        let run = model.accelerated(&workload, &ctx.scheme_activity(SchemeKind::TreeErrors, fixes));
         rows.push(vec![
             label,
             format!("{:.1}%", ctx.unchecked_output_error() * 100.0),

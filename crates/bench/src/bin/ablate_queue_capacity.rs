@@ -29,16 +29,11 @@ fn main() {
     let npu_cycles = ctx.trained().rumba_npu.cycles_per_invocation() as f64;
     let cpu_cycles = kernel.cpu_cycles();
 
-    let header: Vec<String> = [
-        "capacity",
-        "total cycles",
-        "accel stall",
-        "high water",
-        "slowdown vs deep",
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .collect();
+    let header: Vec<String> =
+        ["capacity", "total cycles", "accel stall", "high water", "slowdown vs deep"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
 
     let deep = simulate_detailed(
         ctx.len(),

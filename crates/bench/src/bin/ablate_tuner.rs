@@ -33,17 +33,11 @@ fn main() {
         ("Quality (CPU-bound)", TuningMode::BestQuality),
     ];
 
-    let header: Vec<String> = [
-        "mode",
-        "output error",
-        "fixes",
-        "fix rate",
-        "final threshold",
-        "CPU kept up",
-    ]
-    .iter()
-    .map(ToString::to_string)
-    .collect();
+    let header: Vec<String> =
+        ["mode", "output error", "fixes", "fix rate", "final threshold", "CPU kept up"]
+            .iter()
+            .map(ToString::to_string)
+            .collect();
 
     let mut rows = Vec::new();
     for (label, mode) in modes {

@@ -51,11 +51,10 @@ fn main() {
         ("AIMD 0.05/0.40", StepPolicy::Aimd { increase: 0.05, decrease: 0.40 }),
     ];
 
-    let header: Vec<String> =
-        ["policy", "output error", "fixes", "threshold swings*"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+    let header: Vec<String> = ["policy", "output error", "fixes", "threshold swings*"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
 
     let mut rows = Vec::new();
     for (label, policy) in policies {
@@ -68,11 +67,8 @@ fn main() {
         )
         .expect("valid config");
         let outcome = system.run(kernel.as_ref(), &stream).expect("run succeeds");
-        let swings: f64 = outcome
-            .threshold_history
-            .windows(2)
-            .map(|w| (w[1] / w[0]).ln().abs())
-            .sum();
+        let swings: f64 =
+            outcome.threshold_history.windows(2).map(|w| (w[1] / w[0]).ln().abs()).sum();
         rows.push(vec![
             label.to_owned(),
             format!("{:.2}%", outcome.output_error * 100.0),

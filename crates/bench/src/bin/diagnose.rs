@@ -10,7 +10,15 @@ use rumba_core::scheme::SchemeKind;
 fn main() {
     let suite = Suite::build().expect("suite trains");
     let header: Vec<String> = [
-        "app", "unchecked", "npu-base", "n", "kIdeal", "kRandom", "kEMA", "kLinear", "kTree",
+        "app",
+        "unchecked",
+        "npu-base",
+        "n",
+        "kIdeal",
+        "kRandom",
+        "kEMA",
+        "kLinear",
+        "kTree",
         "s_kernel",
     ]
     .iter()
@@ -21,8 +29,8 @@ fn main() {
     for entry in suite.entries() {
         let ctx = &entry.ctx;
         let n = ctx.len();
-        let s_kernel = entry.kernel.cpu_cycles()
-            / ctx.trained().rumba_npu.cycles_per_invocation() as f64;
+        let s_kernel =
+            entry.kernel.cpu_cycles() / ctx.trained().rumba_npu.cycles_per_invocation() as f64;
         rows.push(vec![
             ctx.name().to_owned(),
             pct(ctx.unchecked_output_error()),

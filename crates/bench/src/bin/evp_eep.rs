@@ -14,9 +14,11 @@ fn main() {
     let ctx = AppContext::build(kernel.as_ref(), HARNESS_SEED).expect("training succeeds");
     let _ = kernel.generate(Split::Test, HARNESS_SEED); // same split the ctx replayed
 
-    let eep = mean_estimate_distance(ctx.scores(SchemeKind::LinearErrors).scores(), ctx.true_errors());
+    let eep =
+        mean_estimate_distance(ctx.scores(SchemeKind::LinearErrors).scores(), ctx.true_errors());
     let evp = mean_estimate_distance(ctx.scores(SchemeKind::Evp).scores(), ctx.true_errors());
-    let tree = mean_estimate_distance(ctx.scores(SchemeKind::TreeErrors).scores(), ctx.true_errors());
+    let tree =
+        mean_estimate_distance(ctx.scores(SchemeKind::TreeErrors).scores(), ctx.true_errors());
 
     println!("EVP vs EEP on the Gaussian example (mean |estimate - true error|):\n");
     println!("  EEP (linear model on errors):   {eep:.4}");

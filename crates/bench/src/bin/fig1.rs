@@ -23,9 +23,8 @@ fn main() {
         let errors = entry.ctx.true_errors();
         let mut sorted = errors.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-        let frac_below = |level: f64| {
-            sorted.partition_point(|&e| e <= level) as f64 / sorted.len() as f64
-        };
+        let frac_below =
+            |level: f64| sorted.partition_point(|&e| e <= level) as f64 / sorted.len() as f64;
         let p95 = sorted[(sorted.len() as f64 * 0.95) as usize];
         let mut row = vec![entry.ctx.name().to_owned()];
         row.extend(levels.iter().map(|&l| format!("{:.1}%", frac_below(l) * 100.0)));

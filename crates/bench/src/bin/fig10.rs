@@ -13,7 +13,10 @@ fn main() {
 
     for entry in suite.entries() {
         let ctx = &entry.ctx;
-        println!("\nFigure 10 ({}) — output error (%) vs fraction of elements fixed:\n", ctx.name());
+        println!(
+            "\nFigure 10 ({}) — output error (%) vs fraction of elements fixed:\n",
+            ctx.name()
+        );
         let mut header = vec!["scheme".to_owned()];
         header.extend(fractions.iter().map(|f| format!("{:.0}%", f * 100.0)));
 
@@ -39,10 +42,6 @@ fn main() {
     println!("\ninversek2j at 30% fixed (paper: Ideal 2.1, Random 9.7, Uniform 9.6, EMA 5.9, linear 2.6, tree 2.7):");
     let k = (0.3 * ik.ctx.len() as f64) as usize;
     for kind in SchemeKind::paper_set() {
-        println!(
-            "  {:<14} {:>5.1}%",
-            kind.label(),
-            ik.ctx.error_after_fixing(kind, k) * 100.0
-        );
+        println!("  {:<14} {:>5.1}%", kind.label(), ik.ctx.error_after_fixing(kind, k) * 100.0);
     }
 }

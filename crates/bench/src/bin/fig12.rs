@@ -35,7 +35,9 @@ fn main() {
     let linear_avg = sums[4] / n_apps;
     let tree_avg = sums[5] / n_apps;
     let random_avg = sums[1] / n_apps;
-    println!("\nExtra elements fixed vs Ideal (paper: Random +29%, linearErrors +9%, treeErrors +6%):");
+    println!(
+        "\nExtra elements fixed vs Ideal (paper: Random +29%, linearErrors +9%, treeErrors +6%):"
+    );
     println!("  Random       +{:.1}%", (random_avg - ideal_avg) * 100.0);
     println!("  linearErrors +{:.1}%", (linear_avg - ideal_avg) * 100.0);
     println!("  treeErrors   +{:.1}%", (tree_avg - ideal_avg) * 100.0);

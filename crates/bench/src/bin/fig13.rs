@@ -39,13 +39,17 @@ fn main() {
         rows.push(row);
     }
     let mut avg = vec!["average".to_owned()];
-    avg.extend(
-        sums.iter()
-            .zip(&counted)
-            .map(|(s, &c)| if c == 0 { "n/a".to_owned() } else { format!("{:.1}%", s / c as f64) }),
-    );
+    avg.extend(sums.iter().zip(&counted).map(|(s, &c)| {
+        if c == 0 {
+            "n/a".to_owned()
+        } else {
+            format!("{:.1}%", s / c as f64)
+        }
+    }));
     rows.push(avg);
     print_table(&header, &rows);
 
-    println!("\nPaper averages: linearErrors 57.6%, treeErrors 67.2% (Random ~29% on blackscholes).");
+    println!(
+        "\nPaper averages: linearErrors 57.6%, treeErrors 67.2% (Random ~29% on blackscholes)."
+    );
 }

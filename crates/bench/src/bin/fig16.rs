@@ -16,7 +16,8 @@ fn main() {
     let baseline = model.cpu_baseline(&workload);
 
     println!("Figure 16: normalized energy vs target error rate (fft).\n");
-    let schemes = [SchemeKind::Ideal, SchemeKind::TreeErrors, SchemeKind::LinearErrors, SchemeKind::Ema];
+    let schemes =
+        [SchemeKind::Ideal, SchemeKind::TreeErrors, SchemeKind::LinearErrors, SchemeKind::Ema];
     let mut header = vec!["target err".to_owned(), "NPU".to_owned()];
     header.extend(schemes.iter().map(|s| s.label().to_owned()));
 

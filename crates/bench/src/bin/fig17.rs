@@ -9,11 +9,10 @@ fn main() {
     let suite = Suite::build().expect("suite trains");
     println!("Figure 17: checker cycles / NPU cycles per invocation (must stay below 1.0).\n");
 
-    let header: Vec<String> =
-        ["app", "NPU cycles", "linearErrors", "treeErrors", "EMA"]
-            .iter()
-            .map(ToString::to_string)
-            .collect();
+    let header: Vec<String> = ["app", "NPU cycles", "linearErrors", "treeErrors", "EMA"]
+        .iter()
+        .map(ToString::to_string)
+        .collect();
 
     let mut rows = Vec::new();
     let mut all_below_one = true;

@@ -18,11 +18,7 @@ fn main() {
     let ctx = AppContext::build(kernel.as_ref(), HARNESS_SEED).expect("training succeeds");
 
     let scores = ctx.scores(SchemeKind::TreeErrors);
-    let threshold = calibrate_threshold(
-        &scores.scores()[..ctx.len()],
-        ctx.true_errors(),
-        0.10,
-    );
+    let threshold = calibrate_threshold(&scores.scores()[..ctx.len()], ctx.true_errors(), 0.10);
 
     let window = &scores.scores()[..ELEMENTS];
     let fired: Vec<bool> = window.iter().map(|&s| s > threshold).collect();

@@ -34,17 +34,10 @@ fn main() {
     ];
     print_table(&header, &rows);
 
-    println!(
-        "\nBoth corruptions have the same quantitative quality (~90%), but (b)'s errors are"
-    );
+    println!("\nBoth corruptions have the same quantitative quality (~90%), but (b)'s errors are");
     let contrast_ratio = qs.error_contrast / qu.error_contrast.max(1e-12);
-    let ratio_text = if contrast_ratio > 100.0 {
-        ">100".to_owned()
-    } else {
-        format!("{contrast_ratio:.0}")
-    };
-    println!(
-        "isolated and large — {ratio_text}x more conspicuous by local error contrast — which"
-    );
+    let ratio_text =
+        if contrast_ratio > 100.0 { ">100".to_owned() } else { format!("{contrast_ratio:.0}") };
+    println!("isolated and large — {ratio_text}x more conspicuous by local error contrast — which");
     println!("is why a quality manager must hunt the long tail, not the average.");
 }

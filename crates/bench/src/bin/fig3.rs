@@ -13,10 +13,7 @@ fn main() {
     println!("perforation:          keep 2% of pixels (random)");
     println!("average output error: {:.1}%", summary.mean_percent);
     println!("maximum output error: {:.1}%", summary.max_percent);
-    println!(
-        "images above 2x mean: {:.1}%",
-        summary.above_twice_mean * 100.0
-    );
+    println!("images above 2x mean: {:.1}%", summary.above_twice_mean * 100.0);
 
     // Histogram of per-image errors, mirroring the scatter of Figure 3.
     println!("\nerror histogram (1%-wide bins):");

@@ -13,6 +13,9 @@ fn main() {
     println!("  CPU active energy          {:.2} nJ/cycle", p.cpu_active_nj_per_cycle);
     println!("  CPU wait energy            {:.2} nJ/cycle", p.cpu_idle_nj_per_cycle);
     println!("  NPU (8 PEs) energy         {:.2} nJ/cycle", p.npu_nj_per_cycle);
-    println!("  checker MAC / cmp / read   {:.3} / {:.3} / {:.3} nJ", p.checker_mac_nj, p.checker_cmp_nj, p.checker_read_nj);
+    println!(
+        "  checker MAC / cmp / read   {:.3} / {:.3} / {:.3} nJ",
+        p.checker_mac_nj, p.checker_cmp_nj, p.checker_read_nj
+    );
     println!("  queue transfer             {:.3} nJ/word", p.queue_word_nj);
 }

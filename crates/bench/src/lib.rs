@@ -46,11 +46,18 @@ impl Suite {
     ///
     /// Propagates training failures from any benchmark.
     pub fn build() -> Result<Self> {
-        let mut entries = Vec::new();
-        for kernel in all_kernels() {
+        // Benchmarks are independent training problems, so they fan out
+        // over the deterministic pool; the suite order (and every number
+        // each context produces) is identical at any thread count. Only
+        // stderr progress lines may interleave.
+        let kernels = all_kernels();
+        let contexts = rumba_parallel::par_map_indexed(&kernels, |_i, kernel| {
             eprintln!("[suite] training {} ...", kernel.name());
-            let ctx = AppContext::build(kernel.as_ref(), HARNESS_SEED)?;
-            entries.push(SuiteEntry { kernel, ctx });
+            AppContext::build(kernel.as_ref(), HARNESS_SEED)
+        });
+        let mut entries = Vec::new();
+        for (kernel, ctx) in kernels.into_iter().zip(contexts) {
+            entries.push(SuiteEntry { kernel, ctx: ctx? });
         }
         Ok(Self { entries })
     }
@@ -65,13 +72,20 @@ impl Suite {
     ///
     /// Panics if a name is unknown.
     pub fn build_subset(names: &[&str]) -> Result<Self> {
+        let kernels: Vec<Box<dyn Kernel>> = names
+            .iter()
+            .map(|name| {
+                rumba_apps::kernel_by_name(name)
+                    .unwrap_or_else(|| panic!("unknown benchmark {name}"))
+            })
+            .collect();
+        let contexts = rumba_parallel::par_map_indexed(&kernels, |_i, kernel| {
+            eprintln!("[suite] training {} ...", kernel.name());
+            AppContext::build(kernel.as_ref(), HARNESS_SEED)
+        });
         let mut entries = Vec::new();
-        for name in names {
-            let kernel = rumba_apps::kernel_by_name(name)
-                .unwrap_or_else(|| panic!("unknown benchmark {name}"));
-            eprintln!("[suite] training {name} ...");
-            let ctx = AppContext::build(kernel.as_ref(), HARNESS_SEED)?;
-            entries.push(SuiteEntry { kernel, ctx });
+        for (kernel, ctx) in kernels.into_iter().zip(contexts) {
+            entries.push(SuiteEntry { kernel, ctx: ctx? });
         }
         Ok(Self { entries })
     }

@@ -68,6 +68,9 @@ pub enum Command {
         kernel: String,
         /// Master seed.
         seed: u64,
+        /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
+        /// charge). Results are identical at any setting.
+        threads: Option<usize>,
     },
     /// `rumba run <kernel> [flags]` — online managed execution.
     Run {
@@ -81,6 +84,9 @@ pub enum Command {
         mode: ModeChoice,
         /// Tuning-window length.
         window: usize,
+        /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
+        /// charge). Results are identical at any setting.
+        threads: Option<usize>,
     },
     /// `rumba purity <kernel>` — §2.2 re-execution safety check.
     Purity {
@@ -155,6 +161,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         Some("train") => {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
             let mut seed = 42u64;
+            let mut threads = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
             while k < rest.len() {
@@ -163,10 +170,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
                         k += 2;
                     }
+                    "--threads" => {
+                        threads = Some(parse_threads(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Train { kernel, seed })
+            Ok(Command::Train { kernel, seed, threads })
         }
         Some("run") => {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
@@ -174,6 +185,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut checker = CheckerChoice::default();
             let mut mode = ModeChoice::default();
             let mut window = 256usize;
+            let mut threads = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
             while k < rest.len() {
@@ -220,10 +232,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         window = v as usize;
                         k += 2;
                     }
+                    "--threads" => {
+                        threads = Some(parse_threads(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Run { kernel, seed, checker, mode, window })
+            Ok(Command::Run { kernel, seed, checker, mode, window, threads })
         }
         Some(other) => Err(ParseError::UnknownCommand(other.to_owned())),
     }
@@ -236,6 +252,18 @@ fn parse_u64(value: Option<&str>, flag: &'static str) -> Result<u64, ParseError>
         value: text.to_owned(),
         expected: "an unsigned integer",
     })
+}
+
+fn parse_threads(value: Option<&str>) -> Result<usize, ParseError> {
+    let v = parse_u64(value, "--threads")?;
+    if v == 0 {
+        return Err(ParseError::BadValue {
+            flag: "--threads",
+            value: "0".into(),
+            expected: "a positive worker-thread count",
+        });
+    }
+    Ok(v as usize)
 }
 
 fn parse_f64(value: Option<&str>, flag: &'static str) -> Result<f64, ParseError> {
@@ -253,17 +281,24 @@ rumba — online quality management for approximate accelerators
 
 USAGE:
     rumba list
-    rumba train <kernel> [--seed N]
+    rumba train <kernel> [--seed N] [--threads N]
     rumba run <kernel> [--checker linear|tree|ema|evp|table|ensemble]
                        [--toq Q | --budget N | --quality-mode]
-                       [--window N] [--seed N]
+                       [--window N] [--seed N] [--threads N]
     rumba purity <kernel>
     rumba help
+
+THREADS:
+    --threads N sets the worker-thread count for training and batch
+    evaluation, overriding the RUMBA_THREADS environment variable (the
+    default is the machine's available parallelism). Output is
+    bit-identical at every thread count; --threads 1 runs fully serial.
 
 EXAMPLES:
     rumba run inversek2j --checker tree --toq 0.9
     rumba run blackscholes --budget 16 --window 256
     rumba run fft --checker ensemble --quality-mode
+    rumba train kmeans --threads 4
 ";
 
 #[cfg(test)]
@@ -294,13 +329,15 @@ mod tests {
                 checker: CheckerChoice::Tree,
                 mode: ModeChoice::Toq(0.9),
                 window: 256,
+                threads: None,
             }
         );
     }
 
     #[test]
     fn parses_run_with_all_flags() {
-        let cmd = p("run jmeint --checker ema --toq 0.95 --window 128 --seed 7").unwrap();
+        let cmd =
+            p("run jmeint --checker ema --toq 0.95 --window 128 --seed 7 --threads 4").unwrap();
         assert_eq!(
             cmd,
             Command::Run {
@@ -309,8 +346,30 @@ mod tests {
                 checker: CheckerChoice::Ema,
                 mode: ModeChoice::Toq(0.95),
                 window: 128,
+                threads: Some(4),
             }
         );
+    }
+
+    #[test]
+    fn parses_threads_on_train_and_rejects_zero() {
+        assert_eq!(
+            p("train kmeans --threads 8").unwrap(),
+            Command::Train { kernel: "kmeans".into(), seed: 42, threads: Some(8) }
+        );
+        assert_eq!(
+            p("train kmeans").unwrap(),
+            Command::Train { kernel: "kmeans".into(), seed: 42, threads: None }
+        );
+        assert!(matches!(p("run fft --threads 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("train fft --threads"), Err(ParseError::MissingValue("--threads"))));
+        assert!(matches!(p("run fft --threads two"), Err(ParseError::BadValue { .. })));
+    }
+
+    #[test]
+    fn help_documents_threads_flag() {
+        assert!(HELP.contains("--threads N"));
+        assert!(HELP.contains("RUMBA_THREADS"));
     }
 
     #[test]

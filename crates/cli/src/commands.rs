@@ -9,9 +9,7 @@ use rumba_core::trainer::{train_app, OfflineConfig, TrainedApp};
 use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
 use rumba_energy::WorkloadProfile;
 use rumba_nn::encode_model;
-use rumba_predict::{
-    EmaDetector, ErrorEstimator, MaxEnsemble, TableErrors, TableParams,
-};
+use rumba_predict::{EmaDetector, ErrorEstimator, MaxEnsemble, TableErrors, TableParams};
 
 use crate::args::{CheckerChoice, ModeChoice};
 
@@ -45,9 +43,8 @@ wrap_error!(
 );
 
 fn resolve(kernel: &str) -> Result<Box<dyn Kernel>, CommandError> {
-    kernel_by_name(kernel).ok_or_else(|| {
-        CommandError(format!("unknown benchmark '{kernel}' (try 'rumba list')"))
-    })
+    kernel_by_name(kernel)
+        .ok_or_else(|| CommandError(format!("unknown benchmark '{kernel}' (try 'rumba list')")))
 }
 
 /// `rumba list`.
@@ -77,8 +74,7 @@ pub fn train(kernel: &str, seed: u64) -> Result<String, CommandError> {
     let kernel = resolve(kernel)?;
     let cfg = OfflineConfig { seed, ..OfflineConfig::default() };
     let app = train_app(kernel.as_ref(), &cfg)?;
-    let mean_err =
-        app.train_errors.iter().sum::<f64>() / app.train_errors.len().max(1) as f64;
+    let mean_err = app.train_errors.iter().sum::<f64>() / app.train_errors.len().max(1) as f64;
     let image_words = encode_model(app.rumba_npu.model()).len();
     Ok(format!(
         "trained {}\n  accelerator      {} ({} cycles/invocation, {} MACs)\n  baseline (NPU)   {} ({} cycles/invocation)\n  train error      {:.2}% mean over {} invocations\n  tree checker     depth {}, {} nodes\n  config image     {} words\n",
@@ -105,9 +101,7 @@ fn build_checker(
     Ok(match choice {
         CheckerChoice::Linear => Box::new(app.linear.clone()),
         CheckerChoice::Tree => Box::new(app.tree.clone()),
-        CheckerChoice::Ema => {
-            Box::new(EmaDetector::new(app.ema_window, kernel.output_dim())?)
-        }
+        CheckerChoice::Ema => Box::new(EmaDetector::new(app.ema_window, kernel.output_dim())?),
         CheckerChoice::Evp => Box::new(app.evp.clone()),
         CheckerChoice::Table => {
             let train = kernel.generate(Split::Train, seed);
@@ -145,9 +139,8 @@ pub fn run(
     let approx_train: Vec<Vec<f64>> = (0..train.len())
         .map(|i| app.rumba_npu.invoke(train.input(i)).map(|r| r.outputs))
         .collect::<Result<_, _>>()?;
-    let predicted: Vec<f64> = (0..train.len())
-        .map(|i| probe.estimate(train.input(i), &approx_train[i]))
-        .collect();
+    let predicted: Vec<f64> =
+        (0..train.len()).map(|i| probe.estimate(train.input(i), &approx_train[i])).collect();
     let target = match mode {
         ModeChoice::Toq(q) => 1.0 - q,
         _ => 0.10,
@@ -174,8 +167,7 @@ pub fn run(
         kernel_fraction: kernel.kernel_fraction(),
     };
     let unchecked: f64 = {
-        let errs =
-            rumba_core::trainer::invocation_errors(kernel.as_ref(), &app.rumba_npu, &test)?;
+        let errs = rumba_core::trainer::invocation_errors(kernel.as_ref(), &app.rumba_npu, &test)?;
         errs.iter().sum::<f64>() / errs.len() as f64
     };
     Ok(format!(
@@ -227,14 +219,7 @@ mod tests {
 
     #[test]
     fn run_produces_a_report() {
-        let text = run(
-            "gaussian",
-            42,
-            CheckerChoice::Tree,
-            ModeChoice::Toq(0.95),
-            256,
-        )
-        .unwrap();
+        let text = run("gaussian", 42, CheckerChoice::Tree, ModeChoice::Toq(0.95), 256).unwrap();
         assert!(text.contains("unchecked output error"));
         assert!(text.contains("rumba run: gaussian"));
         assert!(text.contains("speedup"));
@@ -248,8 +233,7 @@ mod tests {
             CheckerChoice::Table,
             CheckerChoice::Ensemble,
         ] {
-            let text =
-                run("gaussian", 42, checker, ModeChoice::Quality, 128).unwrap();
+            let text = run("gaussian", 42, checker, ModeChoice::Quality, 128).unwrap();
             assert!(text.contains("rumba run"), "{checker:?}");
         }
     }

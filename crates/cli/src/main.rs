@@ -24,8 +24,12 @@ fn main() -> ExitCode {
             print!("{}", commands::list());
             return ExitCode::SUCCESS;
         }
-        Command::Train { kernel, seed } => commands::train(&kernel, seed),
-        Command::Run { kernel, seed, checker, mode, window } => {
+        Command::Train { kernel, seed, threads } => {
+            rumba_parallel::set_thread_override(threads);
+            commands::train(&kernel, seed)
+        }
+        Command::Run { kernel, seed, checker, mode, window, threads } => {
+            rumba_parallel::set_thread_override(threads);
             commands::run(&kernel, seed, checker, mode, window)
         }
         Command::Purity { kernel } => commands::purity(&kernel),

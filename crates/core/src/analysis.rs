@@ -40,14 +40,13 @@ pub fn error_vs_fixed_curve(
     fractions: &[f64],
 ) -> Vec<CurvePoint> {
     let n = true_errors.len();
-    fractions
-        .iter()
-        .map(|&f| {
-            let k = ((f * n as f64).round() as usize).min(n);
-            let err = output_error_after_fixes(true_errors, scores.top_k(k));
-            CurvePoint { fixed_fraction: f, output_error_percent: err * 100.0 }
-        })
-        .collect()
+    // Each grid point is independent and pure, so the sweep fans out over
+    // the deterministic pool with output identical to the serial map.
+    rumba_parallel::par_map_indexed(fractions, |_i, &f| {
+        let k = ((f * n as f64).round() as usize).min(n);
+        let err = output_error_after_fixes(true_errors, scores.top_k(k));
+        CurvePoint { fixed_fraction: f, output_error_percent: err * 100.0 }
+    })
 }
 
 /// Empirical CDF of element errors (Figure 1): for each of `points`
@@ -62,13 +61,12 @@ pub fn error_cdf(errors: &[f64], points: usize) -> Vec<(f64, f64)> {
     sorted.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
     let max = *sorted.last().expect("nonempty");
     let n = sorted.len() as f64;
-    (0..=points)
-        .map(|k| {
-            let level = max * k as f64 / points as f64;
-            let below = sorted.partition_point(|&e| e <= level) as f64;
-            (level, below / n)
-        })
-        .collect()
+    let sorted = &sorted;
+    rumba_parallel::par_map_range(points + 1, |k| {
+        let level = max * k as f64 / points as f64;
+        let below = sorted.partition_point(|&e| e <= level) as f64;
+        (level, below / n)
+    })
 }
 
 /// Figure 11's false positives, as a fraction of *all* output elements.

@@ -1,0 +1,295 @@
+//! [`TrainedModelCache`] — persistent storage for offline training results.
+//!
+//! Every figure binary in the evaluation harness trains the same per-kernel
+//! accelerators and checkers from scratch. Since the offline pipeline is a
+//! pure function of the kernel and the [`OfflineConfig`](crate::trainer::OfflineConfig),
+//! its outputs can be cached on disk and shared across binaries: the first
+//! run trains and stores, every later run decodes.
+//!
+//! The cache stores exactly what the paper embeds in an application binary —
+//! the accelerator and checker **config-words** — as plain text, with each
+//! `f64` word written as the hex of its bit pattern so a round-trip is
+//! bit-exact. A cache hit therefore produces byte-identical downstream
+//! results to a fresh training run.
+//!
+//! Keys combine the kernel name, its accelerator topologies, the full
+//! offline configuration (seed included), and the per-kernel training
+//! hyper-parameters; changing any of these — most importantly the seed —
+//! misses the cache and retrains.
+//!
+//! Controls:
+//! - `RUMBA_CACHE=0` disables the cache entirely.
+//! - `RUMBA_CACHE_DIR` overrides the default `target/rumba-cache` location.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use rumba_nn::{decode_model, encode_model, TrainParams, TrainedModel};
+use rumba_predict::{
+    decode_linear, decode_tree, encode_linear, encode_tree, LinearErrors, TreeErrors,
+};
+
+use crate::trainer::OfflineConfig;
+
+const FORMAT_HEADER: &str = "rumba-trained-model-cache v1";
+
+/// The decoded contents of one cache entry: everything `train_app` fits
+/// with a neural network or a closed-form solver, minus the EVP checker
+/// (which has no config-word form and re-solves in milliseconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedModels {
+    /// The Rumba-topology accelerator model.
+    pub rumba_model: TrainedModel,
+    /// The unchecked-NPU-topology baseline model.
+    pub baseline_model: TrainedModel,
+    /// The trained linear checker.
+    pub linear: LinearErrors,
+    /// The trained decision-tree checker.
+    pub tree: TreeErrors,
+    /// Per-invocation accelerator errors on the train split.
+    pub train_errors: Vec<f64>,
+}
+
+/// A directory of plain-text config-word files keyed by kernel, topology,
+/// seed, and training configuration.
+#[derive(Debug, Clone)]
+pub struct TrainedModelCache {
+    dir: PathBuf,
+    enabled: bool,
+}
+
+impl TrainedModelCache {
+    /// The environment-configured cache: `target/rumba-cache` (or
+    /// `RUMBA_CACHE_DIR`), disabled entirely by `RUMBA_CACHE=0`.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let enabled = std::env::var("RUMBA_CACHE").map_or(true, |v| v.trim() != "0");
+        let dir = std::env::var("RUMBA_CACHE_DIR")
+            .map_or_else(|_| PathBuf::from("target/rumba-cache"), PathBuf::from);
+        Self { dir, enabled }
+    }
+
+    /// A cache rooted at an explicit directory (used by tests).
+    #[must_use]
+    pub fn with_dir(dir: impl Into<PathBuf>) -> Self {
+        Self { dir: dir.into(), enabled: true }
+    }
+
+    /// A cache that never hits and never stores.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { dir: PathBuf::new(), enabled: false }
+    }
+
+    /// Whether this cache participates at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The file a given training problem would be cached under.
+    #[must_use]
+    pub fn entry_path(
+        &self,
+        kernel_name: &str,
+        topologies: (&[usize], &[usize]),
+        cfg: &OfflineConfig,
+        nn_params: &TrainParams,
+    ) -> PathBuf {
+        let key = cache_key(kernel_name, topologies, cfg, nn_params);
+        self.dir.join(format!("{kernel_name}-s{}-{key:016x}.words", cfg.seed))
+    }
+
+    /// Loads and decodes the entry for this training problem, if present
+    /// and well-formed. Any malformed or stale file reads as a miss.
+    #[must_use]
+    pub fn load(
+        &self,
+        kernel_name: &str,
+        topologies: (&[usize], &[usize]),
+        cfg: &OfflineConfig,
+        nn_params: &TrainParams,
+    ) -> Option<CachedModels> {
+        if !self.enabled {
+            return None;
+        }
+        let path = self.entry_path(kernel_name, topologies, cfg, nn_params);
+        let text = fs::read_to_string(&path).ok()?;
+        let models = parse_entry(&text)?;
+        eprintln!("[cache] hit: {kernel_name} (seed {}) from {}", cfg.seed, path.display());
+        Some(models)
+    }
+
+    /// Encodes and persists one training result. Failures (e.g. a read-only
+    /// disk) are reported on stderr but never fail the caller: the cache is
+    /// an accelerator, not a dependency.
+    pub fn store(
+        &self,
+        kernel_name: &str,
+        topologies: (&[usize], &[usize]),
+        cfg: &OfflineConfig,
+        nn_params: &TrainParams,
+        models: &CachedModels,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let path = self.entry_path(kernel_name, topologies, cfg, nn_params);
+        if let Err(e) = write_entry(&path, kernel_name, models) {
+            eprintln!("[cache] store failed for {kernel_name}: {e}");
+        }
+    }
+}
+
+/// FNV-1a over every ingredient that affects the training result.
+fn cache_key(
+    kernel_name: &str,
+    topologies: (&[usize], &[usize]),
+    cfg: &OfflineConfig,
+    nn_params: &TrainParams,
+) -> u64 {
+    // Debug formatting covers every field of both config structs; any new
+    // field automatically invalidates old entries.
+    let ingredients =
+        format!("{kernel_name}|{:?}|{:?}|{cfg:?}|{nn_params:?}", topologies.0, topologies.1);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in ingredients.bytes() {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn push_section(out: &mut String, name: &str, words: &[f64]) {
+    let _ = writeln!(out, "section {name} {}", words.len());
+    for chunk in words.chunks(16) {
+        let line: Vec<String> = chunk.iter().map(|w| format!("{:016x}", w.to_bits())).collect();
+        let _ = writeln!(out, "{}", line.join(" "));
+    }
+}
+
+fn write_entry(path: &Path, kernel_name: &str, models: &CachedModels) -> std::io::Result<()> {
+    let mut text = String::new();
+    let _ = writeln!(text, "{FORMAT_HEADER}");
+    let _ = writeln!(text, "kernel {kernel_name}");
+    push_section(&mut text, "rumba_model", &encode_model(&models.rumba_model));
+    push_section(&mut text, "baseline_model", &encode_model(&models.baseline_model));
+    push_section(&mut text, "linear", &encode_linear(&models.linear));
+    push_section(&mut text, "tree", &encode_tree(&models.tree));
+    push_section(&mut text, "train_errors", &models.train_errors);
+
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    // Write-then-rename so a concurrently reading binary never sees a
+    // half-written entry; the counter keeps concurrent writers within one
+    // process (test threads) off each other's temp files.
+    static WRITE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = WRITE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{serial}", std::process::id()));
+    fs::write(&tmp, &text)?;
+    fs::rename(&tmp, path)
+}
+
+fn parse_entry(text: &str) -> Option<CachedModels> {
+    let mut lines = text.lines();
+    if lines.next()? != FORMAT_HEADER {
+        return None;
+    }
+    let _kernel = lines.next()?.strip_prefix("kernel ")?;
+
+    let mut sections: Vec<(String, Vec<f64>)> = Vec::new();
+    let mut current: Option<(String, usize, Vec<f64>)> = None;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("section ") {
+            if let Some((name, expected, words)) = current.take() {
+                if words.len() != expected {
+                    return None;
+                }
+                sections.push((name, words));
+            }
+            let (name, count) = rest.split_once(' ')?;
+            current = Some((name.to_owned(), count.parse().ok()?, Vec::new()));
+        } else if let Some((_, _, words)) = current.as_mut() {
+            for tok in line.split_whitespace() {
+                words.push(f64::from_bits(u64::from_str_radix(tok, 16).ok()?));
+            }
+        } else if !line.trim().is_empty() {
+            return None;
+        }
+    }
+    if let Some((name, expected, words)) = current.take() {
+        if words.len() != expected {
+            return None;
+        }
+        sections.push((name, words));
+    }
+
+    let find = |name: &str| sections.iter().find(|(n, _)| n == name).map(|(_, w)| w.as_slice());
+    Some(CachedModels {
+        rumba_model: decode_model(find("rumba_model")?).ok()?,
+        baseline_model: decode_model(find("baseline_model")?).ok()?,
+        linear: decode_linear(find("linear")?).ok()?,
+        tree: decode_tree(find("tree")?).ok()?,
+        train_errors: find("train_errors")?.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::{nn_params_for, train_app_with_cache};
+    use rumba_apps::kernel_by_name;
+
+    fn temp_cache(tag: &str) -> TrainedModelCache {
+        let dir =
+            std::env::temp_dir().join(format!("rumba-cache-test-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        TrainedModelCache::with_dir(dir)
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact_and_invalidates_on_seed_change() {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let cache = temp_cache("roundtrip");
+        let cfg = OfflineConfig::default();
+        let rumba_topo = kernel.rumba_topology();
+        let npu_topo = kernel.npu_topology();
+        let topologies = (rumba_topo.as_slice(), npu_topo.as_slice());
+        let nn_params = nn_params_for(kernel.as_ref());
+
+        let trained = train_app_with_cache(kernel.as_ref(), &cfg, &cache).unwrap();
+        let loaded =
+            cache.load(kernel.name(), topologies, &cfg, &nn_params).expect("entry was just stored");
+
+        // Bit-exact: the persisted config-words decode to models whose
+        // encodings (and error lists) match the fresh ones word for word.
+        let bits = |words: &[f64]| words.iter().map(|w| w.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&encode_model(&loaded.rumba_model)),
+            bits(&encode_model(trained.rumba_npu.model())),
+        );
+        assert_eq!(
+            bits(&encode_model(&loaded.baseline_model)),
+            bits(&encode_model(trained.baseline_npu.model())),
+        );
+        assert_eq!(bits(&encode_linear(&loaded.linear)), bits(&encode_linear(&trained.linear)));
+        assert_eq!(bits(&encode_tree(&loaded.tree)), bits(&encode_tree(&trained.tree)));
+        assert_eq!(bits(&loaded.train_errors), bits(&trained.train_errors));
+
+        // A different seed must miss.
+        let other = OfflineConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        assert!(cache.load(kernel.name(), topologies, &other, &nn_params).is_none());
+        let _ = fs::remove_dir_all(cache.dir);
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let cache = TrainedModelCache::disabled();
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let cfg = OfflineConfig::default();
+        let _ = train_app_with_cache(kernel.as_ref(), &cfg, &cache).unwrap();
+        assert!(!cache.is_enabled());
+    }
+}

@@ -10,7 +10,9 @@ use rumba_nn::NnDataset;
 use rumba_predict::{CheckerCost, EmaDetector, ErrorEstimator};
 
 use crate::scheme::{random_scores, uniform_scores, SchemeKind, SchemeScores};
-use crate::trainer::{approximate_outputs, invocation_errors, train_app, OfflineConfig, TrainedApp};
+use crate::trainer::{
+    approximate_outputs, invocation_errors, train_app, OfflineConfig, TrainedApp,
+};
 use crate::Result;
 
 /// One benchmark's trained system plus its test-split evaluation state.
@@ -46,7 +48,7 @@ impl AppContext {
     ///
     /// Propagates offline-training and accelerator errors.
     pub fn build_with_config(kernel: &dyn Kernel, cfg: &OfflineConfig) -> Result<Self> {
-        let mut trained = train_app(kernel, cfg)?;
+        let trained = train_app(kernel, cfg)?;
         let test = kernel.generate(Split::Test, cfg.seed);
         let approx_outputs = approximate_outputs(&trained.rumba_npu, &test)?;
         let true_errors = invocation_errors(kernel, &trained.rumba_npu, &test)?;
@@ -72,6 +74,8 @@ impl AppContext {
             CheckerCost::free(),
         ));
 
+        // The EMA detector is genuinely stateful (its estimate depends on
+        // the history of previous invocations), so it replays serially.
         let mut ema = EmaDetector::new(trained.ema_window, out_dim)
             .expect("window and output width are nonzero");
         let ema_cost = ema.cost();
@@ -80,24 +84,34 @@ impl AppContext {
             .collect();
         schemes.push(SchemeScores::new(SchemeKind::Ema, ema_scores, ema_cost));
 
+        // The trained checkers take `&mut self` for trait uniformity but
+        // their estimates are pure functions of the input, so each chunk
+        // scores on its own clone and the output is bit-identical to the
+        // serial loop at any thread count.
+        let pool = rumba_parallel::ThreadPool::new();
         let linear_cost = trained.linear.cost();
-        let linear_scores: Vec<f64> =
-            (0..n).map(|i| trained.linear.estimate(test.input(i), &[])).collect();
+        let linear_scores: Vec<f64> = pool.par_map_chunked(n, |_c, range| {
+            let mut linear = trained.linear.clone();
+            range.map(|i| linear.estimate(test.input(i), &[])).collect::<Vec<_>>()
+        });
         schemes.push(SchemeScores::new(SchemeKind::LinearErrors, linear_scores, linear_cost));
 
         let tree_cost = trained.tree.cost();
-        let tree_scores: Vec<f64> =
-            (0..n).map(|i| trained.tree.estimate(test.input(i), &[])).collect();
+        let tree_scores: Vec<f64> = pool.par_map_chunked(n, |_c, range| {
+            let mut tree = trained.tree.clone();
+            range.map(|i| tree.estimate(test.input(i), &[])).collect::<Vec<_>>()
+        });
         schemes.push(SchemeScores::new(SchemeKind::TreeErrors, tree_scores, tree_cost));
 
         let evp_cost = trained.evp.cost();
-        let evp_scores: Vec<f64> = (0..n)
-            .map(|i| {
-                trained
-                    .evp
-                    .estimate(test.input(i), &approx_outputs[i * out_dim..(i + 1) * out_dim])
-            })
-            .collect();
+        let evp_scores: Vec<f64> = pool.par_map_chunked(n, |_c, range| {
+            let mut evp = trained.evp.clone();
+            range
+                .map(|i| {
+                    evp.estimate(test.input(i), &approx_outputs[i * out_dim..(i + 1) * out_dim])
+                })
+                .collect::<Vec<_>>()
+        });
         schemes.push(SchemeScores::new(SchemeKind::Evp, evp_scores, evp_cost));
 
         Ok(Self {

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod analysis;
+pub mod cache;
 pub mod context;
 pub mod event_sim;
 pub mod pipeline;

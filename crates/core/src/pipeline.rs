@@ -84,13 +84,13 @@ pub fn simulate(n: usize, npu_cycles: f64, cpu_cycles: f64, fired: &[bool]) -> P
         while interval_idx < intervals.len() && intervals[interval_idx].1 <= t {
             interval_idx += 1;
         }
-        let cpu_busy =
-            interval_idx < intervals.len() && intervals[interval_idx].0 <= t && t < intervals[interval_idx].1;
+        let cpu_busy = interval_idx < intervals.len()
+            && intervals[interval_idx].0 <= t
+            && t < intervals[interval_idx].1;
         trace.push(TraceSample { iteration: i, fired: f, accel_end: t, cpu_busy });
     }
 
-    let cpu_utilization =
-        if total_cycles > 0.0 { cpu_busy_cycles / total_cycles } else { 0.0 };
+    let cpu_utilization = if total_cycles > 0.0 { cpu_busy_cycles / total_cycles } else { 0.0 };
     PipelineRun {
         total_cycles,
         accel_busy_cycles,

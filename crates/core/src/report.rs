@@ -94,12 +94,7 @@ impl fmt::Display for RunReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "rumba run: {}", self.name)?;
         writeln!(f, "  invocations      {}", self.invocations)?;
-        writeln!(
-            f,
-            "  re-executed      {} ({:.1}%)",
-            self.fixes,
-            self.fix_rate() * 100.0
-        )?;
+        writeln!(f, "  re-executed      {} ({:.1}%)", self.fixes, self.fix_rate() * 100.0)?;
         writeln!(f, "  output error     {:.2}%", self.output_error * 100.0)?;
         writeln!(f, "  final threshold  {:.4}", self.final_threshold)?;
         writeln!(

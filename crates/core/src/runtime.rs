@@ -170,8 +170,23 @@ impl RumbaSystem {
         input: &[f64],
         output: &mut [f64],
     ) -> Result<StreamOutcome> {
-        let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
         let result = self.npu.invoke(input)?;
+        self.process_result(kernel, input, &result, output)
+    }
+
+    /// The stateful half of [`RumbaSystem::process`], taking an already-
+    /// computed accelerator result. [`RumbaSystem::run`] precomputes the
+    /// pure accelerator outputs in a parallel batch and replays this
+    /// decision path serially, which keeps the checker/tuner state
+    /// evolution — and therefore the output — identical to streaming.
+    fn process_result(
+        &mut self,
+        kernel: &dyn Kernel,
+        input: &[f64],
+        result: &rumba_accel::NpuResult,
+        output: &mut [f64],
+    ) -> Result<StreamOutcome> {
+        let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
         let predicted = self.checker.predict(input, &result.outputs);
         let cap = self.tuner.reexec_cap(cpu_capacity_per_window);
         let budget_left = cap.is_none_or(|c| self.window_fired < c);
@@ -249,15 +264,26 @@ impl RumbaSystem {
         let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
 
         self.begin_stream();
-        let mut recovery_queue: Fifo<RecoveryBit> =
-            Fifo::new(self.config.recovery_queue_capacity);
+        // The accelerator is pure, so its outputs for the whole stream can
+        // be precomputed as one deterministic parallel batch; the stateful
+        // decision loop below (checker history, tuner, recovery queue)
+        // then replays serially over the results, which keeps every
+        // decision — and the merged stream — bit-identical to streaming
+        // the invocations one at a time.
+        let npu = &self.npu;
+        let npu_results = rumba_parallel::par_map_range(n, |i| npu.invoke(data.input(i)))
+            .into_iter()
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+
+        let mut recovery_queue: Fifo<RecoveryBit> = Fifo::new(self.config.recovery_queue_capacity);
         let mut merged = Vec::with_capacity(n * out_dim);
         let mut fired = vec![false; n];
         let mut fixes = 0usize;
         let mut out_buf = vec![0.0; out_dim];
 
         for (i, fired_flag) in fired.iter_mut().enumerate() {
-            let outcome = self.process(kernel, data.input(i), &mut out_buf)?;
+            let outcome =
+                self.process_result(kernel, data.input(i), &npu_results[i], &mut out_buf)?;
             if outcome.fired {
                 // Model the recovery queue the CPU drains: the recovery bit
                 // flows through the bounded FIFO (timing cost is accounted
@@ -281,16 +307,15 @@ impl RumbaSystem {
         // Flush the final partial window.
         self.flush_window(cpu_capacity_per_window);
 
-        // Measured quality of the merged stream.
-        let invocation_errors: Vec<f64> = (0..n)
-            .map(|i| {
-                metric.invocation_error(data.target(i), &merged[i * out_dim..(i + 1) * out_dim])
-            })
-            .collect();
+        // Measured quality of the merged stream (pure per invocation, so
+        // the scoring also fans out).
+        let merged_ref = &merged;
+        let invocation_errors: Vec<f64> = rumba_parallel::par_map_range(n, |i| {
+            metric.invocation_error(data.target(i), &merged_ref[i * out_dim..(i + 1) * out_dim])
+        });
         let output_error = invocation_errors.iter().sum::<f64>() / n as f64;
 
-        let serial_detector_cycles = match (self.config.placement, self.checker.is_input_based())
-        {
+        let serial_detector_cycles = match (self.config.placement, self.checker.is_input_based()) {
             (Placement::BeforeAccelerator, true) => {
                 n as f64 * self.checker.cycles_per_prediction() as f64
             }

@@ -195,11 +195,7 @@ mod tests {
 
     #[test]
     fn top_k_orders_by_score_desc() {
-        let s = SchemeScores::new(
-            SchemeKind::Ideal,
-            vec![0.1, 0.9, 0.5, 0.9],
-            CheckerCost::free(),
-        );
+        let s = SchemeScores::new(SchemeKind::Ideal, vec![0.1, 0.9, 0.5, 0.9], CheckerCost::free());
         assert_eq!(s.top_k(2), &[1, 3]); // tie broken by index
         assert_eq!(s.top_k(3), &[1, 3, 2]);
         assert_eq!(s.top_k(99).len(), 4);

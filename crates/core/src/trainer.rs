@@ -14,6 +14,7 @@ use rumba_apps::Kernel;
 use rumba_nn::{Activation, NnDataset, TrainParams, TrainedModel};
 use rumba_predict::{EvpErrors, LinearErrors, TreeErrors, TreeParams};
 
+use crate::cache::TrainedModelCache;
 use crate::{Result, RumbaError};
 
 /// Settings for the offline pipeline.
@@ -75,31 +76,85 @@ pub struct TrainedApp {
 pub fn nn_params_for(kernel: &dyn Kernel) -> TrainParams {
     match kernel.name() {
         // Classification over 18 inputs: bigger batches, gentler steps.
-        "jmeint" => TrainParams { epochs: 120, learning_rate: 0.15, batch_size: 32, ..TrainParams::default() },
+        "jmeint" => TrainParams {
+            epochs: 120,
+            learning_rate: 0.15,
+            batch_size: 32,
+            ..TrainParams::default()
+        },
         // 64->16->64 autoencoder shape: few epochs suffice and keep the
         // harness fast.
-        "jpeg" => TrainParams { epochs: 2, learning_rate: 0.05, batch_size: 32, ..TrainParams::default() },
+        "jpeg" => {
+            TrainParams { epochs: 2, learning_rate: 0.05, batch_size: 32, ..TrainParams::default() }
+        }
         // The image kernels converge fast on their own training images;
         // modest epoch counts land the accelerators in the paper's
         // approximate-but-useful regime.
         "sobel" => TrainParams { epochs: 2, ..TrainParams::default() },
         "kmeans" => TrainParams { epochs: 6, ..TrainParams::default() },
+        // The arm kernel's loss surface is noisy under the harness init
+        // stream; this point keeps the surrogate in the paper's ~15-20 %
+        // unchecked-error regime with a well-ranked tree checker.
+        "inversek2j" => TrainParams { epochs: 40, learning_rate: 0.11, ..TrainParams::default() },
         _ => TrainParams { epochs: 60, ..TrainParams::default() },
     }
 }
 
-/// Runs the full offline pipeline for one kernel.
+/// Runs the full offline pipeline for one kernel, consulting the
+/// environment-configured [`TrainedModelCache`] so repeated harness
+/// binaries train each kernel at most once (set `RUMBA_CACHE=0` to force
+/// retraining).
 ///
 /// # Errors
 ///
 /// Propagates network-training and checker-training failures; an empty
 /// generated train split yields [`RumbaError::EmptyWorkload`].
 pub fn train_app(kernel: &dyn Kernel, cfg: &OfflineConfig) -> Result<TrainedApp> {
+    train_app_with_cache(kernel, cfg, &TrainedModelCache::from_env())
+}
+
+/// [`train_app`] with an explicit cache (tests inject temp directories and
+/// [`TrainedModelCache::disabled`]).
+///
+/// # Errors
+///
+/// Propagates network-training and checker-training failures; an empty
+/// generated train split yields [`RumbaError::EmptyWorkload`].
+pub fn train_app_with_cache(
+    kernel: &dyn Kernel,
+    cfg: &OfflineConfig,
+    cache: &TrainedModelCache,
+) -> Result<TrainedApp> {
     let train = kernel.generate(rumba_apps::Split::Train, cfg.seed);
     if train.is_empty() {
         return Err(RumbaError::EmptyWorkload);
     }
     let nn_params = nn_params_for(kernel);
+    let rumba_topo = kernel.rumba_topology();
+    let npu_topo = kernel.npu_topology();
+    let topologies = (rumba_topo.as_slice(), npu_topo.as_slice());
+
+    if let Some(cached) = cache.load(kernel.name(), topologies, cfg, &nn_params) {
+        // The cached config-words are bit-exact, so everything derived
+        // from them below matches a fresh training run exactly. Only the
+        // EVP checker re-fits: it has no config-word form, and its
+        // closed-form ridge solve costs milliseconds.
+        let rumba_npu = Npu::new(cached.rumba_model, cfg.npu_params);
+        let baseline_npu = Npu::new(cached.baseline_model, cfg.npu_params);
+        let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+        let exact_rows: Vec<&[f64]> = (0..train.len()).map(|i| train.target(i)).collect();
+        let evp = EvpErrors::train(&rows, &exact_rows, cfg.ridge)?;
+        return Ok(TrainedApp {
+            name: kernel.name().to_owned(),
+            rumba_npu,
+            baseline_npu,
+            linear: cached.linear,
+            tree: cached.tree,
+            evp,
+            ema_window: cfg.ema_window,
+            train_errors: cached.train_errors,
+        });
+    }
 
     let rumba_model = TrainedModel::fit(
         &kernel.rumba_topology(),
@@ -126,6 +181,20 @@ pub fn train_app(kernel: &dyn Kernel, cfg: &OfflineConfig) -> Result<TrainedApp>
     let tree = TreeErrors::train(&rows, &train_errors, &cfg.tree_params)?;
     let evp = EvpErrors::train(&rows, &exact_rows, cfg.ridge)?;
 
+    cache.store(
+        kernel.name(),
+        topologies,
+        cfg,
+        &nn_params,
+        &crate::cache::CachedModels {
+            rumba_model: rumba_npu.model().clone(),
+            baseline_model: baseline_npu.model().clone(),
+            linear: linear.clone(),
+            tree: tree.clone(),
+            train_errors: train_errors.clone(),
+        },
+    );
+
     Ok(TrainedApp {
         name: kernel.name().to_owned(),
         rumba_npu,
@@ -144,18 +213,16 @@ pub fn train_app(kernel: &dyn Kernel, cfg: &OfflineConfig) -> Result<TrainedApp>
 /// # Errors
 ///
 /// Propagates accelerator dimension errors.
-pub fn invocation_errors(
-    kernel: &dyn Kernel,
-    npu: &Npu,
-    data: &NnDataset,
-) -> Result<Vec<f64>> {
+pub fn invocation_errors(kernel: &dyn Kernel, npu: &Npu, data: &NnDataset) -> Result<Vec<f64>> {
     let metric = kernel.metric();
-    let mut errors = Vec::with_capacity(data.len());
-    for (input, exact) in data.iter() {
-        let result = npu.invoke(input)?;
-        errors.push(metric.invocation_error(exact, &result.outputs));
-    }
-    Ok(errors)
+    // Invocations are pure, so the replay fans out over the deterministic
+    // pool with output identical to the serial loop.
+    rumba_parallel::par_map_range(data.len(), |i| {
+        npu.invoke(data.input(i)).map(|r| metric.invocation_error(data.target(i), &r.outputs))
+    })
+    .into_iter()
+    .collect::<std::result::Result<Vec<_>, _>>()
+    .map_err(Into::into)
 }
 
 /// Replays an accelerator over a dataset, returning the flat approximate
@@ -165,9 +232,11 @@ pub fn invocation_errors(
 ///
 /// Propagates accelerator dimension errors.
 pub fn approximate_outputs(npu: &Npu, data: &NnDataset) -> Result<Vec<f64>> {
+    let rows =
+        rumba_parallel::par_map_range(data.len(), |i| npu.invoke(data.input(i)).map(|r| r.outputs));
     let mut out = Vec::with_capacity(data.len() * npu.output_dim());
-    for (input, _) in data.iter() {
-        out.extend(npu.invoke(input)?.outputs);
+    for row in rows {
+        out.extend(row?);
     }
     Ok(out)
 }
@@ -193,9 +262,7 @@ mod tests {
     fn rumba_accelerator_is_never_slower_than_baseline() {
         let kernel = kernel_by_name("inversek2j").unwrap();
         let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
-        assert!(
-            app.rumba_npu.cycles_per_invocation() <= app.baseline_npu.cycles_per_invocation()
-        );
+        assert!(app.rumba_npu.cycles_per_invocation() <= app.baseline_npu.cycles_per_invocation());
     }
 
     #[test]

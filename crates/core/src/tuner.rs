@@ -260,7 +260,8 @@ pub fn calibrate_threshold(predicted: &[f64], true_errors: &[f64], target_error:
         return target_error.max(1e-6);
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| predicted[b].partial_cmp(&predicted[a]).expect("finite").then(a.cmp(&b)));
+    order
+        .sort_by(|&a, &b| predicted[b].partial_cmp(&predicted[a]).expect("finite").then(a.cmp(&b)));
     let total: f64 = true_errors.iter().sum();
     let mut remaining = total;
     if remaining / n as f64 <= target_error {
@@ -349,8 +350,8 @@ mod tests {
     #[test]
     fn aimd_policy_backs_off_harder_than_it_relaxes() {
         let policy = StepPolicy::Aimd { increase: 0.05, decrease: 0.4 };
-        let mut t = Tuner::with_policy(TuningMode::TargetQuality { toq: 0.9 }, 0.2, policy)
-            .unwrap();
+        let mut t =
+            Tuner::with_policy(TuningMode::TargetQuality { toq: 0.9 }, 0.2, policy).unwrap();
         // Quality violation: strong multiplicative backoff.
         t.observe_window(WindowStats {
             window_len: 100,

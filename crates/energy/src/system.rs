@@ -178,8 +178,7 @@ impl SystemModel {
         let accel_stream =
             activity.accelerator_invocations as f64 * activity.npu_cycles_per_invocation as f64;
         let reexec_stream = activity.reexecutions as f64 * workload.cpu_cycles_per_invocation;
-        let kernel_phase =
-            accel_stream.max(reexec_stream) + activity.serial_detector_cycles;
+        let kernel_phase = accel_stream.max(reexec_stream) + activity.serial_detector_cycles;
         let cycles = workload.non_kernel_cycles() + kernel_phase;
 
         let idle_gap = (accel_stream - reexec_stream).max(0.0);

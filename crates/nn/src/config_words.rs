@@ -71,10 +71,7 @@ pub fn encode_model(model: &TrainedModel) -> Vec<f64> {
     words.push(topo.len() as f64);
     words.extend(topo.iter().map(|&n| n as f64));
     // Hidden activation (output layer is always identity by construction).
-    let hidden_act = mlp
-        .layers()
-        .first()
-        .map_or(Activation::Sigmoid, |l| l.activation());
+    let hidden_act = mlp.layers().first().map_or(Activation::Sigmoid, |l| l.activation());
     words.push(activation_code(hidden_act));
     words.extend(mlp.to_flat_params());
     for norm in [model.input_norm(), model.output_norm()] {
@@ -186,8 +183,7 @@ mod tests {
             y[0] = x[0] + 2.0 * x[1];
         })
         .unwrap();
-        TrainedModel::fit(&[2, 4, 1], Activation::Tanh, &data, &TrainParams::default(), 9)
-            .unwrap()
+        TrainedModel::fit(&[2, 4, 1], Activation::Tanh, &data, &TrainParams::default(), 9).unwrap()
     }
 
     #[test]

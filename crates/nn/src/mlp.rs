@@ -202,6 +202,19 @@ impl Mlp {
         Ok(cur)
     }
 
+    /// Evaluates the network on many input rows, fanning the rows out over
+    /// the deterministic pool. The forward pass is pure, so the result is
+    /// bit-identical to calling [`Mlp::forward`] row by row — at any thread
+    /// count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if any row has the wrong
+    /// width.
+    pub fn forward_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        rumba_parallel::par_map_indexed(inputs, |_i, x| self.forward(x)).into_iter().collect()
+    }
+
     /// Evaluates the network on a limited-precision datapath: every weight,
     /// bias, and activation is rounded to a `2^-bits` grid, modeling an
     /// analog or reduced-width accelerator implementation (St. Amant et
@@ -377,9 +390,7 @@ mod tests {
         let exact = mlp.forward(&x).unwrap();
         let coarse = mlp.forward_quantized(&x, 3).unwrap();
         let fine = mlp.forward_quantized(&x, 24).unwrap();
-        let dist = |a: &[f64], b: &[f64]| {
-            a.iter().zip(b).map(|(p, q)| (p - q).abs()).sum::<f64>()
-        };
+        let dist = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(p, q)| (p - q).abs()).sum::<f64>();
         assert!(dist(&fine, &exact) < dist(&coarse, &exact));
         assert!(dist(&fine, &exact) < 1e-5, "24-bit grid is near-exact");
         assert!(dist(&coarse, &exact) > 0.0, "3-bit grid must actually perturb");

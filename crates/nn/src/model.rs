@@ -63,7 +63,8 @@ impl TrainedModel {
         params: &TrainParams,
         seed: u64,
     ) -> Result<(Self, TrainReport)> {
-        let input_norm = Normalizer::fit((0..data.len()).map(|i| data.input(i)), data.input_dim(), 0.0, 1.0);
+        let input_norm =
+            Normalizer::fit((0..data.len()).map(|i| data.input(i)), data.input_dim(), 0.0, 1.0);
         let output_norm =
             Normalizer::fit((0..data.len()).map(|i| data.target(i)), data.output_dim(), 0.0, 1.0);
         let scaled = Normalizer::normalize_dataset(&input_norm, &output_norm, data);
@@ -85,6 +86,19 @@ impl TrainedModel {
         let mut y = self.mlp.forward(&x)?;
         self.output_norm.invert(&mut y);
         Ok(y)
+    }
+
+    /// Evaluates the model on many input rows in application units, fanning
+    /// the rows out over the deterministic pool. Prediction is pure, so the
+    /// output is bit-identical to calling [`TrainedModel::predict`] row by
+    /// row — at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::DimensionMismatch`] if any row has the
+    /// wrong width.
+    pub fn predict_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
+        rumba_parallel::par_map_indexed(inputs, |_i, x| self.predict(x)).into_iter().collect()
     }
 
     /// Rebuilds a model from its components (the config-stream decoder's

@@ -131,7 +131,8 @@ impl TopologySearch {
             return Err(crate::NnError::EmptyDataset);
         }
         let n = data.len();
-        let n_val = ((n as f64 * self.validation_fraction) as usize).clamp(1, n.saturating_sub(1).max(1));
+        let n_val =
+            ((n as f64 * self.validation_fraction) as usize).clamp(1, n.saturating_sub(1).max(1));
         let val_idx: Vec<usize> = (0..n_val).map(|k| k * n / n_val).collect();
         let val_set: std::collections::BTreeSet<usize> = val_idx.iter().copied().collect();
         let train_idx: Vec<usize> = (0..n).filter(|i| !val_set.contains(i)).collect();
@@ -141,15 +142,55 @@ impl TopologySearch {
             (data.subset(&train_idx), data.subset(&val_idx))
         };
 
+        let topos = self.enumerate(data.input_dim(), data.output_dim());
+        let pool = rumba_parallel::ThreadPool::new();
+
+        // Speculative parallel training: each candidate's RNG stream is
+        // `seed ^ index`, independent of every other candidate, so all of
+        // them can train concurrently. Selection (including the legacy
+        // early exit) is then replayed serially over the results, which
+        // makes the report and the chosen model bit-identical to the
+        // serial walk for every thread count. With one thread nothing is
+        // speculated — candidates past the stopping point never train.
+        let mut trained: Vec<Option<Result<(TrainedModel, f64)>>> = if pool.threads() > 1 {
+            pool.par_map_indexed(&topos, |ci, topo| {
+                let model = TrainedModel::fit(
+                    topo,
+                    self.activation,
+                    &train,
+                    &self.params,
+                    seed ^ ci as u64,
+                )?;
+                let err = model.mean_relative_error(&val)?;
+                Ok((model, err))
+            })
+            .into_iter()
+            .map(Some)
+            .collect()
+        } else {
+            std::iter::repeat_with(|| None).take(topos.len()).collect()
+        };
+
         let mut candidates = Vec::new();
         let mut best_model: Option<TrainedModel> = None;
         let mut best_idx = 0usize;
         let mut found_under_cap = false;
 
-        for (ci, topo) in self.enumerate(data.input_dim(), data.output_dim()).iter().enumerate() {
-            let model =
-                TrainedModel::fit(topo, self.activation, &train, &self.params, seed ^ ci as u64)?;
-            let err = model.mean_relative_error(&val)?;
+        for (ci, topo) in topos.iter().enumerate() {
+            let (model, err) = match trained[ci].take() {
+                Some(result) => result?,
+                None => {
+                    let model = TrainedModel::fit(
+                        topo,
+                        self.activation,
+                        &train,
+                        &self.params,
+                        seed ^ ci as u64,
+                    )?;
+                    let err = model.mean_relative_error(&val)?;
+                    (model, err)
+                }
+            };
             candidates.push(TopologyCandidate {
                 layers: topo.clone(),
                 validation_error: err,
@@ -225,11 +266,8 @@ mod tests {
         // Impossible cap: selection must still return something sensible.
         let search = TopologySearch::new(1e-9).with_hidden_sizes(&[2, 4]);
         let (_, report) = search.run(&data, 1).unwrap();
-        let min_err = report
-            .candidates
-            .iter()
-            .map(|c| c.validation_error)
-            .fold(f64::INFINITY, f64::min);
+        let min_err =
+            report.candidates.iter().map(|c| c.validation_error).fold(f64::INFINITY, f64::min);
         assert_eq!(report.best().validation_error, min_err);
     }
 
@@ -246,8 +284,7 @@ mod tests {
             y[0] = x[0];
         })
         .unwrap();
-        let (_, report) =
-            TopologySearch::new(0.05).with_hidden_sizes(&[2]).run(&data, 0).unwrap();
+        let (_, report) = TopologySearch::new(0.05).with_hidden_sizes(&[2]).run(&data, 0).unwrap();
         assert!(report.selected < report.candidates.len());
     }
 }

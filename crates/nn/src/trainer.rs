@@ -260,7 +260,12 @@ mod tests {
     fn learns_xor() {
         let data = xor_data();
         let mut mlp = Mlp::new(&[2, 6, 1], Activation::Tanh, 11).unwrap();
-        let params = TrainParams { epochs: 800, learning_rate: 0.3, batch_size: 4, ..TrainParams::default() };
+        let params = TrainParams {
+            epochs: 800,
+            learning_rate: 0.3,
+            batch_size: 4,
+            ..TrainParams::default()
+        };
         let report = Trainer::new(params).train(&mut mlp, &data).unwrap();
         assert!(report.final_loss() < 0.01, "loss {}", report.final_loss());
         for (x, y) in data.iter() {

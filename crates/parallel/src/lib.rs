@@ -1,0 +1,394 @@
+//! Deterministic parallel execution for the Rumba workspace.
+//!
+//! Every evaluation layer in this repository (topology search, batched
+//! accelerator replay, figure sweeps, dataset generation) is a map over an
+//! index range. This crate parallelizes those maps on plain `std::thread`
+//! workers while keeping one hard guarantee:
+//!
+//! > **The output is bit-for-bit identical to the serial path, for every
+//! > thread count.**
+//!
+//! Three rules make that hold:
+//!
+//! 1. **Fixed chunk layout.** Work is split into chunks whose boundaries
+//!    are a pure function of the item count (never of the thread count),
+//!    see [`chunk_size`]. Workers claim chunks dynamically, so scheduling
+//!    is nondeterministic — but *what* each chunk computes is not.
+//! 2. **Ordered merge.** Per-chunk results are merged back in chunk index
+//!    order, so the output vector is independent of completion order.
+//! 3. **Seed-per-chunk randomness.** Work that needs randomness derives an
+//!    RNG stream from an explicit `u64` seed and the chunk (or item) index
+//!    via [`seed_for_chunk`] — never from shared mutable state.
+//!
+//! Thread count comes from, in priority order: an explicit
+//! [`ThreadPool::with_threads`], the process-wide [`set_thread_override`]
+//! (the CLI's `--threads` flag), the `RUMBA_THREADS` environment variable,
+//! and finally [`std::thread::available_parallelism`]. A count of 1 takes
+//! the exact legacy serial path (no worker threads are spawned at all).
+//!
+//! # Examples
+//!
+//! ```
+//! let squares = rumba_parallel::par_map_range(1_000, |i| i * i);
+//! assert_eq!(squares[999], 999 * 999);
+//!
+//! let pool = rumba_parallel::ThreadPool::with_threads(4);
+//! let doubled = pool.par_map_indexed(&[1, 2, 3], |_i, x| x * 2);
+//! assert_eq!(doubled, vec![2, 4, 6]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread-count override (0 = unset). Set by the CLI's
+/// `--threads` flag; takes precedence over `RUMBA_THREADS`.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides the thread count for every subsequent pool constructed without
+/// an explicit count. `None` restores environment-based selection.
+pub fn set_thread_override(threads: Option<usize>) {
+    THREAD_OVERRIDE.store(threads.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolves the effective thread count: override, then `RUMBA_THREADS`,
+/// then available parallelism (minimum 1 everywhere).
+#[must_use]
+pub fn max_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    let env = std::env::var("RUMBA_THREADS").ok();
+    threads_from_parts(env.as_deref(), default_parallelism())
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Pure helper behind [`max_threads`]: parses the `RUMBA_THREADS` value,
+/// falling back to `available` when absent or malformed.
+#[must_use]
+pub fn threads_from_parts(env: Option<&str>, available: usize) -> usize {
+    match env.map(str::trim).and_then(|v| v.parse::<usize>().ok()) {
+        Some(n) if n >= 1 => n,
+        _ => available.max(1),
+    }
+}
+
+/// The chunk width used for `n` items — a pure function of `n` only, so
+/// chunk boundaries (and therefore any per-chunk RNG stream) are identical
+/// for every thread count.
+///
+/// The layout targets enough chunks for dynamic load balancing across any
+/// sane worker count without drowning small workloads in scheduling
+/// overhead.
+#[must_use]
+pub fn chunk_size(n: usize) -> usize {
+    n.div_ceil(64).max(1)
+}
+
+/// Mixes an explicit seed with a chunk (or item) index into an independent
+/// RNG stream seed (SplitMix64 finalizer). This is the workspace contract
+/// for randomness inside parallel maps: never draw from shared state.
+#[must_use]
+pub fn seed_for_chunk(seed: u64, chunk_index: u64) -> u64 {
+    let mut z = seed ^ chunk_index.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic pool of `std::thread` workers.
+///
+/// The pool is a thread-count policy plus the chunked map primitives; the
+/// worker threads themselves are scoped to each map call, so a pool is
+/// trivially cheap to construct and carries no shutdown obligations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl Default for ThreadPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadPool {
+    /// A pool sized by [`max_threads`] (override → env → hardware).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { threads: max_threads() }
+    }
+
+    /// A pool with an explicit worker count (minimum 1).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads: threads.max(1) }
+    }
+
+    /// The worker count this pool runs with.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Maps `f` over `items` with the item index, in parallel, returning
+    /// outputs in index order. Bit-identical to
+    /// `items.iter().enumerate().map(|(i, t)| f(i, t)).collect()` for every
+    /// thread count; with 1 thread that exact serial loop *is* the
+    /// implementation.
+    pub fn par_map_indexed<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_chunked(items.len(), |_chunk, range| {
+            range.map(|i| f(i, &items[i])).collect::<Vec<R>>()
+        })
+    }
+
+    /// Maps `f` over `0..n` in parallel, outputs in index order.
+    pub fn par_map_range<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.par_map_chunked(n, |_chunk, range| range.map(&f).collect::<Vec<R>>())
+    }
+
+    /// The chunked primitive everything builds on: splits `0..n` into the
+    /// fixed layout of [`chunk_size`] chunks, hands `(chunk_index, index
+    /// range)` pairs to workers, and concatenates the per-chunk output
+    /// vectors in chunk order.
+    ///
+    /// `f` must be chunk-local: its output for a chunk may depend on the
+    /// chunk index (e.g. through [`seed_for_chunk`]) but not on which
+    /// worker ran it or in what order. The chunk layout never depends on
+    /// the thread count, so this is exactly as deterministic as running
+    /// the chunks back-to-back serially — which is what a 1-thread pool
+    /// does.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f` (the scope joins all workers first).
+    pub fn par_map_chunked<R, F>(&self, n: usize, f: F) -> Vec<R::Item>
+    where
+        R: IntoIterator + Send,
+        R::Item: Send,
+        F: Fn(usize, std::ops::Range<usize>) -> R + Sync,
+    {
+        let chunk = chunk_size(n);
+        let n_chunks = n.div_ceil(chunk);
+        let workers = self.threads.min(n_chunks.max(1));
+
+        if workers <= 1 || n_chunks <= 1 {
+            // Exact legacy serial path: same chunks, same order, no threads.
+            let mut merged = Vec::with_capacity(n);
+            for c in 0..n_chunks {
+                let lo = c * chunk;
+                merged.extend(f(c, lo..(lo + chunk).min(n)));
+            }
+            return merged;
+        }
+
+        let next = AtomicUsize::new(0);
+        let parts: Mutex<Vec<(usize, Vec<R::Item>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let c = next.fetch_add(1, Ordering::Relaxed);
+                    if c >= n_chunks {
+                        break;
+                    }
+                    let lo = c * chunk;
+                    let out: Vec<R::Item> = f(c, lo..(lo + chunk).min(n)).into_iter().collect();
+                    parts.lock().expect("worker panicked holding results lock").push((c, out));
+                });
+            }
+        });
+
+        let mut parts = parts.into_inner().expect("workers joined");
+        parts.sort_unstable_by_key(|&(c, _)| c);
+        debug_assert_eq!(parts.len(), n_chunks);
+        let mut merged = Vec::with_capacity(n);
+        for (_, mut part) in parts {
+            merged.append(&mut part);
+        }
+        merged
+    }
+}
+
+/// [`ThreadPool::par_map_indexed`] on a pool sized by [`max_threads`].
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    ThreadPool::new().par_map_indexed(items, f)
+}
+
+/// [`ThreadPool::par_map_range`] on a pool sized by [`max_threads`].
+pub fn par_map_range<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    ThreadPool::new().par_map_range(n, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn serial_and_parallel_agree_on_simple_map() {
+        let items: Vec<u64> = (0..10_000).collect();
+        let serial: Vec<u64> =
+            items.iter().enumerate().map(|(i, x)| x.wrapping_mul(i as u64)).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            let pool = ThreadPool::with_threads(threads);
+            let par = pool.par_map_indexed(&items, |i, x| x.wrapping_mul(i as u64));
+            assert_eq!(par, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn float_results_are_bit_identical_across_thread_counts() {
+        // Per-item seeded RNG work: the archetypal workload of the repo.
+        let work = |i: usize| -> f64 {
+            let mut rng = StdRng::seed_from_u64(seed_for_chunk(42, i as u64));
+            (0..50).map(|_| rng.gen::<f64>().sin()).sum()
+        };
+        let serial: Vec<u64> = (0..3_000).map(|i| work(i).to_bits()).collect();
+        for threads in [2, 4, 7] {
+            let par = ThreadPool::with_threads(threads).par_map_range(3_000, work);
+            let par_bits: Vec<u64> = par.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(par_bits, serial, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_layout_is_a_pure_function_of_n() {
+        for n in [0, 1, 2, 63, 64, 65, 1_000, 65_536] {
+            let a = chunk_size(n);
+            let b = chunk_size(n);
+            assert_eq!(a, b);
+            assert!(a >= 1);
+            if n > 0 {
+                assert!(n.div_ceil(a) <= 64, "n = {n} makes {} chunks", n.div_ceil(a));
+            }
+        }
+    }
+
+    #[test]
+    fn chunked_map_passes_fixed_chunk_indices() {
+        // Chunk indices and ranges must tile 0..n exactly, independent of
+        // thread count.
+        for threads in [1, 4] {
+            let pool = ThreadPool::with_threads(threads);
+            let n = 1_000;
+            let mut pairs = pool.par_map_chunked(n, |c, range| vec![(c, range.start, range.end)]);
+            pairs.sort_unstable();
+            let chunk = chunk_size(n);
+            for (k, &(c, lo, hi)) in pairs.iter().enumerate() {
+                assert_eq!(c, k);
+                assert_eq!(lo, k * chunk);
+                assert_eq!(hi, (lo + chunk).min(n));
+            }
+            assert_eq!(pairs.last().unwrap().2, n);
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_work() {
+        let pool = ThreadPool::with_threads(8);
+        assert_eq!(pool.par_map_range(0, |i| i), Vec::<usize>::new());
+        assert_eq!(pool.par_map_range(1, |i| i), vec![0]);
+        let empty: Vec<u8> = Vec::new();
+        assert_eq!(pool.par_map_indexed(&empty, |_, &x| x), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn seed_for_chunk_separates_streams() {
+        let s: Vec<u64> = (0..100).map(|c| seed_for_chunk(7, c)).collect();
+        let mut dedup = s.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), s.len(), "chunk seeds must not collide");
+        assert_ne!(seed_for_chunk(7, 0), seed_for_chunk(8, 0));
+    }
+
+    #[test]
+    fn override_takes_precedence() {
+        set_thread_override(Some(3));
+        assert_eq!(max_threads(), 3);
+        assert_eq!(ThreadPool::new().threads(), 3);
+        set_thread_override(None);
+        assert!(max_threads() >= 1);
+    }
+
+    #[test]
+    fn env_parsing_rules() {
+        assert_eq!(threads_from_parts(None, 6), 6);
+        assert_eq!(threads_from_parts(Some("4"), 6), 4);
+        assert_eq!(threads_from_parts(Some(" 2 "), 6), 2);
+        assert_eq!(threads_from_parts(Some("0"), 6), 6, "0 is invalid, fall back");
+        assert_eq!(threads_from_parts(Some("lots"), 6), 6);
+        assert_eq!(threads_from_parts(None, 0), 1, "minimum is always 1");
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            ThreadPool::with_threads(4).par_map_range(500, |i| {
+                assert!(i != 250, "boom");
+                i
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn par_map_is_bit_identical_to_serial_map(
+            n in 0usize..2_000,
+            threads in 1usize..12,
+            seed in 0u64..1_000,
+        ) {
+            let work = |i: usize| -> f64 {
+                let mut rng = StdRng::seed_from_u64(seed_for_chunk(seed, i as u64));
+                rng.gen_range(-1.0e6..1.0e6)
+            };
+            let serial: Vec<f64> = (0..n).map(work).collect();
+            let par = ThreadPool::with_threads(threads).par_map_range(n, work);
+            let serial_bits: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+            let par_bits: Vec<u64> = par.iter().map(|x| x.to_bits()).collect();
+            prop_assert_eq!(par_bits, serial_bits);
+        }
+
+        #[test]
+        fn chunked_rng_streams_are_thread_count_invariant(
+            n in 1usize..1_500,
+            t1 in 1usize..10,
+            t2 in 1usize..10,
+            seed in 0u64..500,
+        ) {
+            // Chunk-level RNG (one stream per chunk, not per item): the
+            // strongest form of the determinism contract.
+            let work = move |c: usize, range: std::ops::Range<usize>| -> Vec<u64> {
+                let mut rng = StdRng::seed_from_u64(seed_for_chunk(seed, c as u64));
+                range.map(|_| rng.gen::<u64>()).collect()
+            };
+            let a = ThreadPool::with_threads(t1).par_map_chunked(n, work);
+            let b = ThreadPool::with_threads(t2).par_map_chunked(n, work);
+            prop_assert_eq!(a, b);
+        }
+    }
+}

@@ -135,9 +135,7 @@ pub fn decode_tree(words: &[f64]) -> Result<TreeErrors> {
 fn count(word: Option<&f64>) -> Result<usize> {
     match word {
         Some(&w) if w >= 0.0 && w.fract() == 0.0 && w < 1e9 => Ok(w as usize),
-        Some(&w) => {
-            Err(PredictError::InvalidParam { name: "config count", value: w.to_string() })
-        }
+        Some(&w) => Err(PredictError::InvalidParam { name: "config count", value: w.to_string() }),
         None => Err(PredictError::ShapeMismatch { detail: "missing count word".into() }),
     }
 }

@@ -113,11 +113,7 @@ impl ErrorEstimator for EmaDetector {
     fn cost(&self) -> CheckerCost {
         // Per element: one multiply-add to update the average, one
         // subtract/compare against the threshold.
-        CheckerCost {
-            macs: 2 * self.state.len(),
-            comparisons: self.state.len(),
-            table_reads: 1,
-        }
+        CheckerCost { macs: 2 * self.state.len(), comparisons: self.state.len(), table_reads: 1 }
     }
 
     fn reset(&mut self) {

@@ -37,15 +37,17 @@ mod cost;
 mod ema;
 mod ensemble;
 mod evp;
-mod linear;
 pub mod linalg;
+mod linear;
 mod table;
 mod tree;
 
 use std::error::Error;
 use std::fmt;
 
-pub use config_words::{decode_linear, decode_tree, encode_linear, encode_tree, LINEAR_MAGIC, TREE_MAGIC};
+pub use config_words::{
+    decode_linear, decode_tree, encode_linear, encode_tree, LINEAR_MAGIC, TREE_MAGIC,
+};
 pub use cost::CheckerCost;
 pub use ema::EmaDetector;
 pub use ensemble::MaxEnsemble;

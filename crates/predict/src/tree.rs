@@ -30,10 +30,7 @@ impl TreeParams {
             return Err(PredictError::InvalidParam { name: "max_depth", value: "0".into() });
         }
         if self.min_samples_leaf == 0 {
-            return Err(PredictError::InvalidParam {
-                name: "min_samples_leaf",
-                value: "0".into(),
-            });
+            return Err(PredictError::InvalidParam { name: "min_samples_leaf", value: "0".into() });
         }
         if self.candidate_splits < 2 {
             return Err(PredictError::InvalidParam {
@@ -47,15 +44,8 @@ impl TreeParams {
 
 #[derive(Debug, Clone, PartialEq)]
 enum Node {
-    Leaf {
-        value: f64,
-    },
-    Split {
-        feature: usize,
-        threshold: f64,
-        left: Box<Node>,
-        right: Box<Node>,
-    },
+    Leaf { value: f64 },
+    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
 }
 
 /// A regression tree trained by variance-reduction CART.
@@ -406,7 +396,11 @@ mod tests {
             Err(PredictError::ShapeMismatch { .. })
         ));
         assert!(matches!(
-            DecisionTree::fit(&[row], &[1.0], &TreeParams { max_depth: 0, ..TreeParams::default() }),
+            DecisionTree::fit(
+                &[row],
+                &[1.0],
+                &TreeParams { max_depth: 0, ..TreeParams::default() }
+            ),
             Err(PredictError::InvalidParam { .. })
         ));
     }

@@ -49,11 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nreconstituted system on {}:", kernel.name());
     println!("  output error: {:.1}%", outcome.output_error * 100.0);
-    println!(
-        "  re-executed:  {} / {} iterations",
-        outcome.fixes,
-        test.len()
-    );
+    println!("  re-executed:  {} / {} iterations", outcome.fixes, test.len());
 
     // Sanity: identical to running the original (never-serialized) system.
     let mut original = RumbaSystem::new(

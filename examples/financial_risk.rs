@@ -14,16 +14,13 @@ use rumba::core::tuner::{Tuner, TuningMode};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = kernel_by_name("blackscholes").expect("built-in benchmark");
-    let app =
-        train_app(kernel.as_ref(), &OfflineConfig { seed: 42, ..OfflineConfig::default() })?;
+    let app = train_app(kernel.as_ref(), &OfflineConfig { seed: 42, ..OfflineConfig::default() })?;
     let portfolio = kernel.generate(Split::Test, 42); // 5 000 options
 
     // Risk engines care about absolute pricing error (per unit strike):
     // mispricing in money, not in percent of a near-zero premium.
     let abs_errors = |outputs: &dyn Fn(usize) -> f64| -> Vec<f64> {
-        (0..portfolio.len())
-            .map(|i| (outputs(i) - portfolio.target(i)[0]).abs())
-            .collect()
+        (0..portfolio.len()).map(|i| (outputs(i) - portfolio.target(i)[0]).abs()).collect()
     };
     let unchecked = abs_errors(&|i| {
         app.rumba_npu.invoke(portfolio.input(i)).expect("width matches").outputs[0]
@@ -38,13 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("pricing {} options on the approximate accelerator", portfolio.len());
     println!("(errors in price units per unit strike; exact premiums span ~0 to 0.45)\n");
     println!("{:<22} {:>10} {:>12} {:>8}", "configuration", "mean err", "p99 err", "fixes");
-    println!(
-        "{:<22} {:>10.4} {:>12.4} {:>8}",
-        "unchecked",
-        mean(&unchecked),
-        p99(&unchecked),
-        0
-    );
+    println!("{:<22} {:>10.4} {:>12.4} {:>8}", "unchecked", mean(&unchecked), p99(&unchecked), 0);
 
     // Sweep the per-window re-execution budget (the §3.4 Energy mode).
     for budget in [4usize, 16, 64] {

@@ -22,8 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The distance kernel is kmeans' pixel↔centroid distance — mosaic's
     // tile matcher is the same 6-in/1-out computation.
     let kernel = kernel_by_name("kmeans").expect("built-in benchmark");
-    let app =
-        train_app(kernel.as_ref(), &OfflineConfig { seed: 42, ..OfflineConfig::default() })?;
+    let app = train_app(kernel.as_ref(), &OfflineConfig { seed: 42, ..OfflineConfig::default() })?;
 
     let target = Image::synthetic(192, 128, 0x0031c);
     let tile_size = 16;
@@ -56,8 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (img, choices) = build_mosaic(&target, &gallery, tile_size, |x, out| {
             system.process(kernel.as_ref(), x, out).expect("process succeeds");
         });
-        let fix_rate =
-            system.stream_fixes() as f64 / system.stream_invocations().max(1) as f64;
+        let fix_rate = system.stream_fixes() as f64 / system.stream_invocations().max(1) as f64;
         managed_runs.push((toq, img, choices, fix_rate));
     }
 
@@ -102,13 +100,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let (_, strict_img, _, _) = managed_runs.last().expect("three runs");
-    let drift = reference
-        .pixels()
-        .iter()
-        .zip(strict_img.pixels())
-        .map(|(a, b)| (a - b).abs())
-        .sum::<f64>()
-        / reference.pixels().len() as f64;
+    let drift =
+        reference.pixels().iter().zip(strict_img.pixels()).map(|(a, b)| (a - b).abs()).sum::<f64>()
+            / reference.pixels().len() as f64;
     println!("  pixel drift of the strictest mosaic vs the exact assembly: {drift:.4}");
     println!("\nMosaic is Figure 3's cautionary tale. Picking among 96 near-tied tiles");
     println!("demands distances far more accurate than the raw accelerator provides; the");

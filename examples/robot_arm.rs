@@ -8,8 +8,8 @@
 //! ```
 
 use rumba::accel::CheckerUnit;
-use rumba::apps::kernels::forward_kinematics;
 use rumba::apps::kernel_by_name;
+use rumba::apps::kernels::forward_kinematics;
 use rumba::core::runtime::{RumbaSystem, RuntimeConfig};
 use rumba::core::trainer::{train_app, OfflineConfig};
 use rumba::core::tuner::{Tuner, TuningMode};
@@ -17,8 +17,7 @@ use rumba::nn::NnDataset;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let kernel = kernel_by_name("inversek2j").expect("built-in benchmark");
-    let app =
-        train_app(kernel.as_ref(), &OfflineConfig { seed: 42, ..OfflineConfig::default() })?;
+    let app = train_app(kernel.as_ref(), &OfflineConfig { seed: 42, ..OfflineConfig::default() })?;
 
     // Trajectory: an arc through the arm's front workspace.
     let waypoints = 2_000;

@@ -22,8 +22,8 @@ fn managed_run(
     let threshold = calibrate_threshold(&predicted, &app.train_errors, 0.10);
 
     let test = kernel.generate(Split::Test, 42);
-    let unchecked = invocation_errors(kernel.as_ref(), &app.rumba_npu, &test)
-        .expect("replay succeeds");
+    let unchecked =
+        invocation_errors(kernel.as_ref(), &app.rumba_npu, &test).expect("replay succeeds");
     let unchecked_error = unchecked.iter().sum::<f64>() / unchecked.len() as f64;
 
     let mut system = RumbaSystem::new(
@@ -48,8 +48,7 @@ fn rumba_reduces_error_on_inversek2j() {
 
 #[test]
 fn rumba_reduces_error_on_fft() {
-    let (unchecked, managed, _, _) =
-        managed_run("fft", TuningMode::TargetQuality { toq: 0.90 });
+    let (unchecked, managed, _, _) = managed_run("fft", TuningMode::TargetQuality { toq: 0.90 });
     assert!(managed <= 0.105, "TOQ missed: {managed}");
     assert!(managed < unchecked * 0.75, "expected a clear reduction");
 }

@@ -52,15 +52,9 @@ fn managed_edge_map_beats_unchecked() {
 
     let err_unchecked = mean_abs_diff(&exact, &unchecked);
     let err_managed = mean_abs_diff(&exact, &managed);
-    assert!(
-        err_managed < err_unchecked,
-        "managed {err_managed} vs unchecked {err_unchecked}"
-    );
+    assert!(err_managed < err_unchecked, "managed {err_managed} vs unchecked {err_unchecked}");
     assert!(system.stream_fixes() > 0, "recovery must engage");
-    assert!(
-        system.stream_fixes() < system.stream_invocations(),
-        "but not fix everything"
-    );
+    assert!(system.stream_fixes() < system.stream_invocations(), "but not fix everything");
 }
 
 #[test]
@@ -101,14 +95,8 @@ fn managed_clustering_assignment_pass_tracks_exact() {
     // Argmins between near-tied centroids flip on tiny distance errors (the
     // pixel population lies on a 1-D color curve), so absolute agreement is
     // modest — but it must be monotone in the quality knob.
-    assert!(
-        ag_managed >= ag_unchecked,
-        "managed {ag_managed} vs unchecked {ag_unchecked}"
-    );
-    assert!(
-        ag_strict >= ag_managed,
-        "strict {ag_strict} vs managed {ag_managed}"
-    );
+    assert!(ag_managed >= ag_unchecked, "managed {ag_managed} vs unchecked {ag_unchecked}");
+    assert!(ag_strict >= ag_managed, "strict {ag_strict} vs managed {ag_managed}");
     assert!(ag_unchecked < 1.0, "the approximation must actually flip some assignments");
     assert!(ag_strict > 0.9, "the extreme setting must recover the exact pass: {ag_strict}");
 }
@@ -129,10 +117,7 @@ fn managed_transcode_is_closer_to_the_real_codec() {
 
     let err_unchecked = mean_abs_diff(&exact, &unchecked);
     let err_managed = mean_abs_diff(&exact, &managed);
-    assert!(
-        err_managed < err_unchecked,
-        "managed {err_managed} vs unchecked {err_unchecked}"
-    );
+    assert!(err_managed < err_unchecked, "managed {err_managed} vs unchecked {err_unchecked}");
 }
 
 #[test]

@@ -43,20 +43,11 @@ fn ideal_has_zero_false_positives_and_full_coverage() {
     // Figures 11 and 13 by construction.
     let ctx = ctx("fft");
     let k_ideal = fixes_at(&ctx, SchemeKind::Ideal);
-    let fp = false_positive_fraction(
-        ctx.scores(SchemeKind::Ideal),
-        ctx.true_errors(),
-        k_ideal,
-        k_ideal,
-    );
+    let fp =
+        false_positive_fraction(ctx.scores(SchemeKind::Ideal), ctx.true_errors(), k_ideal, k_ideal);
     assert_eq!(fp, 0.0);
-    let cov = relative_coverage(
-        ctx.scores(SchemeKind::Ideal),
-        ctx.true_errors(),
-        k_ideal,
-        k_ideal,
-        0.20,
-    );
+    let cov =
+        relative_coverage(ctx.scores(SchemeKind::Ideal), ctx.true_errors(), k_ideal, k_ideal, 0.20);
     assert!((cov - 100.0).abs() < 1e-9);
 }
 
@@ -116,9 +107,6 @@ fn error_reduction_headline_on_the_fast_subset() {
         let unchecked = ctx.unchecked_output_error();
         let fixes = fixes_at(&ctx, SchemeKind::TreeErrors);
         let managed = ctx.error_after_fixing(SchemeKind::TreeErrors, fixes);
-        assert!(
-            managed <= unchecked / 1.5,
-            "{name}: {managed} vs unchecked {unchecked}"
-        );
+        assert!(managed <= unchecked / 1.5, "{name}: {managed} vs unchecked {unchecked}");
     }
 }

@@ -1,0 +1,247 @@
+//! Vendored, std-only subset of the `criterion` benchmarking API.
+//!
+//! The Rumba workspace builds fully offline, so the harness surface its
+//! benches use is provided in-tree: [`Criterion`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros (both invocation forms). Measurement is a straightforward
+//! warm-up + timed-samples loop reporting min/mean/max wall-clock per
+//! iteration — enough to track relative performance across commits without
+//! the statistical machinery of the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Untimed warm-up budget before sampling starts.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total timed budget across all samples of one benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, group: name.to_owned() }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(self, name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing the parent configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let qualified = format!("{}/{name}", self.group);
+        run_benchmark(self.criterion, &qualified, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure under measurement; call [`Bencher::iter`] with the
+/// code to time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, first warming up, then collecting the configured
+    /// number of samples.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: also calibrates how many iterations one sample needs so
+        // each sample is long enough to time reliably.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter =
+            warm_start.elapsed() / u32::try_from(warm_iters.min(u64::from(u32::MAX))).unwrap_or(1);
+        let per_sample =
+            self.measurement_time / u32::try_from(self.sample_size.max(1)).unwrap_or(1);
+        let iters = if per_iter.is_zero() {
+            1_000
+        } else {
+            (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        self.iters_per_sample = iters;
+
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn run_benchmark(config: &Criterion, name: &str, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 0,
+        warm_up_time: config.warm_up_time,
+        measurement_time: config.measurement_time,
+        sample_size: config.sample_size,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() || bencher.iters_per_sample == 0 {
+        println!("{name:<40} (no measurement: Bencher::iter was not called)");
+        return;
+    }
+    let per_iter_ns: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|s| s.as_nanos() as f64 / bencher.iters_per_sample as f64)
+        .collect();
+    let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+    let min = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = per_iter_ns.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    println!("{name:<40} time: [{} {} {}]", format_ns(min), format_ns(mean), format_ns(max));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a group of benchmark functions, optionally with a custom
+/// configuration (both upstream invocation forms are supported).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` passes harness flags (e.g. `--bench`); this
+            // minimal harness has no tunables, so arguments are ignored.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_config() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_measures_something() {
+        let mut c = fast_config();
+        c.bench_function("spin", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+    }
+
+    #[test]
+    fn groups_run_and_finish() {
+        let mut c = fast_config();
+        let mut group = c.benchmark_group("group");
+        group.bench_function("a", |b| b.iter(|| 1 + 1));
+        group.bench_function("b", |b| b.iter(|| 2 + 2));
+        group.finish();
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(12.0).ends_with("ns"));
+        assert!(format_ns(12_000.0).ends_with("µs"));
+        assert!(format_ns(12_000_000.0).ends_with("ms"));
+        assert!(format_ns(12_000_000_000.0).ends_with('s'));
+    }
+
+    criterion_group!(plain_group, noop_bench);
+    criterion_group! {
+        name = configured_group;
+        config = fast_config();
+        targets = noop_bench
+    }
+
+    fn noop_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| ()));
+    }
+
+    #[test]
+    fn both_group_forms_expand() {
+        plain_group();
+        configured_group();
+    }
+}

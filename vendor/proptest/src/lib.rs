@@ -1,0 +1,323 @@
+//! Vendored, std-only subset of the `proptest` API.
+//!
+//! Provides exactly the surface the Rumba workspace's property tests use:
+//! the [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], range
+//! strategies, [`collection::vec`], [`array::uniform3`]/[`array::uniform9`],
+//! and [`bool::ANY`]. Case generation is deterministic: every test derives
+//! its RNG stream from a stable hash of the test's name, so failures
+//! reproduce without a persistence file.
+
+use std::fmt;
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of generated cases per property test.
+pub const CASES: u32 = 96;
+
+/// A failed property-test assertion.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Creates a failure with the given explanation.
+    #[must_use]
+    pub fn fail(message: String) -> Self {
+        Self { message }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// A reusable generator of test-case values.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: fmt::Debug;
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.start..self.end)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u64, u32, u16, u8, i64, i32, i16, i8);
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy drawing a fair coin.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The fair-coin strategy value.
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut StdRng) -> bool {
+            rng.gen()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use std::ops::Range;
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use super::Strategy;
+
+    /// Length specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Strategy producing a `Vec` of values drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod array {
+    //! Fixed-size array strategies.
+
+    use rand::rngs::StdRng;
+
+    use super::Strategy;
+
+    macro_rules! uniform_array {
+        ($name:ident, $n:literal) => {
+            /// Strategy producing an array with every element drawn from
+            /// the same element strategy.
+            pub fn $name<S: Strategy>(element: S) -> UniformArray<S, $n> {
+                UniformArray { element }
+            }
+        };
+    }
+
+    uniform_array!(uniform3, 3);
+    uniform_array!(uniform9, 9);
+
+    /// See [`uniform3`]/[`uniform9`].
+    #[derive(Debug, Clone)]
+    pub struct UniformArray<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        fn generate(&self, rng: &mut StdRng) -> [S::Value; N] {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+}
+
+/// Runs `case` for [`CASES`] deterministic cases; `case` returns the
+/// rendered argument list (for diagnostics) plus the assertion outcome.
+///
+/// # Panics
+///
+/// Panics with the failing case's arguments on the first failed case.
+pub fn run_cases(
+    test_name: &str,
+    mut case: impl FnMut(&mut StdRng) -> (String, Result<(), TestCaseError>),
+) {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        seed ^= u64::from(b);
+        seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    for case_index in 0..CASES {
+        let (args, outcome) = case(&mut rng);
+        if let Err(e) = outcome {
+            panic!(
+                "property '{test_name}' failed at case {case_index}/{CASES}: {e}\n  inputs: {args}"
+            );
+        }
+    }
+}
+
+/// Defines deterministic property tests over strategy-drawn inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(stringify!($name), |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), __rng);)+
+                    let __args = [$(format!("{} = {:?}", stringify!($arg), $arg)),+].join(", ");
+                    let __outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                        $body
+                        Ok(())
+                    })();
+                    (__args, __outcome)
+                });
+            }
+        )*
+    };
+}
+
+/// Fails the enclosing property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the enclosing property case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = $left;
+        let r = $right;
+        if l != r {
+            return Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {l:?}\n right: {r:?}",
+                stringify!($left),
+                stringify!($right)
+            )));
+        }
+    }};
+}
+
+pub mod prelude {
+    //! The glob import the tests use.
+    pub use crate::{prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -2.0f64..3.0, n in 1usize..10) {
+            prop_assert!((-2.0..3.0).contains(&x));
+            prop_assert!((1..10).contains(&n), "n = {n}");
+        }
+
+        #[test]
+        fn vec_lengths_respect_size_range(
+            v in collection::vec(0.0f64..1.0, 2..6),
+            w in collection::vec(0u32..10, 4),
+        ) {
+            prop_assert!((2..6).contains(&v.len()));
+            prop_assert_eq!(w.len(), 4);
+        }
+
+        #[test]
+        fn arrays_have_fixed_shape(a in array::uniform9(0.0f64..1.0)) {
+            prop_assert_eq!(a.len(), 9);
+            prop_assert!(a.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        #[allow(clippy::overly_complex_bool_expr)] // tautology on purpose: exercises the macro
+        fn bools_generate(b in crate::bool::ANY) {
+            prop_assert!(b || !b);
+        }
+    }
+
+    #[test]
+    fn failures_report_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            run_cases("doomed", |rng| {
+                let x = Strategy::generate(&(0u32..10), rng);
+                let outcome =
+                    if x < 100 { Err(TestCaseError::fail("always fails".into())) } else { Ok(()) };
+                (format!("x = {x:?}"), outcome)
+            });
+        });
+        let payload = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(payload.contains("doomed"), "{payload}");
+        assert!(payload.contains("inputs: x ="), "{payload}");
+    }
+
+    #[test]
+    fn case_streams_are_deterministic_per_test_name() {
+        let collect = |name: &str| {
+            let mut seen = Vec::new();
+            run_cases(name, |rng| {
+                seen.push(Strategy::generate(&(0u64..1_000_000), rng));
+                (String::new(), Ok(()))
+            });
+            seen
+        };
+        assert_eq!(collect("alpha"), collect("alpha"));
+        assert_ne!(collect("alpha"), collect("beta"));
+    }
+}
