@@ -2,7 +2,7 @@
 //! MLP per invocation, with a cycle model derived from how neurons schedule
 //! onto processing elements.
 
-use rumba_nn::{NnError, TrainedModel};
+use rumba_nn::{Matrix, MatrixView, NnError, Scratch, TrainedModel};
 
 /// Microarchitectural parameters of the accelerator.
 ///
@@ -88,17 +88,29 @@ impl Npu {
         Ok(NpuResult { outputs, cycles: self.cycles_per_invocation })
     }
 
-    /// Evaluates many invocations, fanning them out over the deterministic
-    /// pool. Invocations are independent and pure, so the result is
-    /// bit-identical to calling [`Npu::invoke`] element by element — at any
-    /// thread count.
+    /// Evaluates many invocations through the cache-blocked batched model
+    /// path, writing row `i`'s outputs into `out.row(i)` and returning the
+    /// per-invocation cycle cost (a constant of the configuration, so one
+    /// number covers the whole batch). Row chunks fan out over the
+    /// deterministic pool; each row is bit-identical to [`Npu::invoke`] at
+    /// any thread count, and with a reused `scratch`/`out` pair the
+    /// single-thread path allocates nothing in steady state.
     ///
     /// # Errors
     ///
-    /// Returns a dimension error if any input row does not match the
-    /// configured topology.
-    pub fn invoke_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<NpuResult>, NnError> {
-        rumba_parallel::par_map_indexed(inputs, |_i, x| self.invoke(x)).into_iter().collect()
+    /// Returns a dimension error if `inputs` does not match the configured
+    /// topology.
+    pub fn invoke_batch(
+        &self,
+        inputs: MatrixView<'_>,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<u64, NnError> {
+        match self.params.precision_bits {
+            Some(bits) => self.model.predict_batch_quantized(inputs, bits, scratch, out)?,
+            None => self.model.predict_batch(inputs, scratch, out)?,
+        }
+        Ok(self.cycles_per_invocation)
     }
 
     /// Cycles every invocation costs (the model is static, so this is a
@@ -221,6 +233,25 @@ mod tests {
         let a = exact.invoke(&x).unwrap().outputs[0];
         let b = analog.invoke(&x).unwrap().outputs[0];
         assert_ne!(a, b, "3-bit datapath must deviate from full precision");
+    }
+
+    #[test]
+    fn invoke_batch_matches_invoke_bitwise() {
+        for precision in [None, Some(4)] {
+            let params = NpuParams { precision_bits: precision, ..NpuParams::default() };
+            let npu = Npu::new(toy_model(&[2, 6, 2]), params);
+            let flat: Vec<f64> = (0..40).map(|i| i as f64 / 7.0).collect();
+            let inputs = MatrixView::new(&flat, 20, 2);
+            let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+            let cycles = npu.invoke_batch(inputs, &mut scratch, &mut out).unwrap();
+            assert_eq!(cycles, npu.cycles_per_invocation());
+            for i in 0..20 {
+                let serial = npu.invoke(inputs.row(i)).unwrap();
+                let batch_bits: Vec<u64> = out.row(i).iter().map(|x| x.to_bits()).collect();
+                let row_bits: Vec<u64> = serial.outputs.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(batch_bits, row_bits, "precision {precision:?} row {i}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,206 @@
+//! The flat matrix engine vs the per-sample path: forward throughput at
+//! batch sizes 1/16/64/256 plus the zero-allocation steady-state probe.
+//! Before timing anything the bench asserts the batched rows are
+//! bit-identical to per-sample invocations, then measures both paths with
+//! wall-clock timing and counts heap allocations across reused-workspace
+//! batch invocations (the contract is zero after warmup on the serial
+//! path). Results land in `BENCH_matrix.json` at the workspace root.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumba_accel::{Npu, NpuParams};
+use rumba_nn::{Activation, Matrix, MatrixView, NnDataset, Scratch, TrainParams, TrainedModel};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Wraps the system allocator with an allocation counter so the
+/// zero-allocation claim is measured, not asserted on faith.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const BATCH_SIZES: [usize; 4] = [1, 16, 64, 256];
+// Paper-scale topology (the benchmark kernels run 1->2->1 up to 9->8->1):
+// at these sizes the per-sample path's allocations are the dominant cost,
+// which is exactly what the flat engine removes.
+const TOPOLOGY: [usize; 3] = [2, 4, 1];
+
+fn accelerator() -> Npu {
+    let data = NnDataset::from_fn(TOPOLOGY[0], TOPOLOGY[2], 256, |i, x, y| {
+        x[0] = (i % 89) as f64 / 89.0;
+        x[1] = (i % 31) as f64 / 31.0;
+        y[0] = ((x[0] * 5.0).sin() * x[1]).mul_add(0.4, 0.5);
+    })
+    .expect("valid dims");
+    let params = TrainParams { epochs: 4, ..TrainParams::default() };
+    let model = TrainedModel::fit(&TOPOLOGY, Activation::Sigmoid, &data, &params, 42)
+        .expect("training succeeds");
+    Npu::new(model, NpuParams::default())
+}
+
+fn inputs(n: usize) -> Vec<f64> {
+    (0..n * TOPOLOGY[0]).map(|i| (i % 101) as f64 / 101.0 - 0.3).collect()
+}
+
+fn run_per_sample(npu: &Npu, view: MatrixView<'_>, sink: &mut Vec<f64>) {
+    sink.clear();
+    for i in 0..view.rows() {
+        sink.extend(npu.invoke(view.row(i)).expect("width matches").outputs);
+    }
+}
+
+fn run_batched(npu: &Npu, view: MatrixView<'_>, scratch: &mut Scratch, out: &mut Matrix) {
+    npu.invoke_batch(view, scratch, out).expect("width matches");
+}
+
+/// The bit-exactness gate: every batched row must equal its per-sample
+/// invocation exactly, at every benchmarked batch size.
+fn assert_bit_identical(npu: &Npu) {
+    let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+    for &n in &BATCH_SIZES {
+        let flat = inputs(n);
+        let view = MatrixView::new(&flat, n, TOPOLOGY[0]);
+        run_batched(npu, view, &mut scratch, &mut out);
+        for i in 0..n {
+            let serial = npu.invoke(view.row(i)).expect("width matches").outputs;
+            let batch: Vec<u64> = out.row(i).iter().map(|x| x.to_bits()).collect();
+            let row: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(batch, row, "batch {n} row {i}");
+        }
+    }
+}
+
+/// Allocations per `invoke_batch` with reused workspaces after warmup, on
+/// the serial path (the steady state the runtime's hot loop sits in).
+fn steady_state_allocations(npu: &Npu) -> u64 {
+    rumba_parallel::set_thread_override(Some(1));
+    let flat = inputs(256);
+    let view = MatrixView::new(&flat, 256, TOPOLOGY[0]);
+    let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+    run_batched(npu, view, &mut scratch, &mut out); // warmup: buffers grow once
+    let reps = 64u64;
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..reps {
+        run_batched(npu, view, &mut scratch, &mut out);
+        black_box(out.as_slice());
+    }
+    let total = ALLOCATIONS.load(Ordering::Relaxed) - before;
+    rumba_parallel::set_thread_override(None);
+    total / reps
+}
+
+fn best_of<R>(reps: usize, mut work: impl FnMut() -> R) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        black_box(work());
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn bench_forward_paths(c: &mut Criterion) {
+    let npu = accelerator();
+    assert_bit_identical(&npu);
+
+    rumba_parallel::set_thread_override(Some(1));
+    let mut group = c.benchmark_group("matrix_forward");
+    for &n in &BATCH_SIZES {
+        let flat = inputs(n);
+        let view = MatrixView::new(&flat, n, TOPOLOGY[0]);
+        let mut sink = Vec::new();
+        group.bench_function(&format!("per_sample_{n}"), |b| {
+            b.iter(|| run_per_sample(&npu, view, &mut sink));
+        });
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        group.bench_function(&format!("batched_{n}"), |b| {
+            b.iter(|| run_batched(&npu, view, &mut scratch, &mut out));
+        });
+    }
+    group.finish();
+    rumba_parallel::set_thread_override(None);
+}
+
+/// Wall-clock comparison plus the allocation probe, written to
+/// `BENCH_matrix.json`.
+fn emit_json(_c: &mut Criterion) {
+    let npu = accelerator();
+    assert_bit_identical(&npu);
+    let allocs = steady_state_allocations(&npu);
+    assert_eq!(allocs, 0, "steady-state invoke_batch must not allocate");
+
+    rumba_parallel::set_thread_override(Some(1));
+    let mut rows = Vec::new();
+    for &n in &BATCH_SIZES {
+        let flat = inputs(n);
+        let view = MatrixView::new(&flat, n, TOPOLOGY[0]);
+        // Repeat each measured call enough times that tiny batches are
+        // timed above clock resolution.
+        let inner = (4096 / n.max(1)).max(1);
+        let mut sink = Vec::new();
+        let per_sample = best_of(30, || {
+            for _ in 0..inner {
+                run_per_sample(&npu, view, &mut sink);
+            }
+        }) / inner as f64;
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        run_batched(&npu, view, &mut scratch, &mut out);
+        let batched = best_of(30, || {
+            for _ in 0..inner {
+                run_batched(&npu, view, &mut scratch, &mut out);
+            }
+        }) / inner as f64;
+        rows.push(format!(
+            "    {{\"batch_size\": {n}, \"per_sample_seconds\": {per_sample:.9}, \
+             \"batched_seconds\": {batched:.9}, \"speedup\": {:.3}}}",
+            per_sample / batched
+        ));
+    }
+    rumba_parallel::set_thread_override(None);
+
+    let json = format!(
+        "{{\n  \"bench\": \"matrix\",\n  \"topology\": {:?},\n  \
+         \"steady_state_allocations_per_invoke_batch\": {allocs},\n  \"batch\": [\n{}\n  ]\n}}\n",
+        TOPOLOGY,
+        rows.join(",\n"),
+    );
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_matrix.json");
+    std::fs::write(&path, &json).expect("write BENCH_matrix.json");
+    println!("wrote {}", path.display());
+    print!("{json}");
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_forward_paths, emit_json
+}
+criterion_main!(benches);

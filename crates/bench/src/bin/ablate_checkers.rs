@@ -5,6 +5,7 @@
 use rumba_apps::{all_kernels, Split};
 use rumba_bench::{print_table, target_error, HARNESS_SEED};
 use rumba_core::trainer::{invocation_errors, train_app, OfflineConfig};
+use rumba_nn::{Matrix, Scratch};
 use rumba_predict::{EmaDetector, ErrorEstimator, EvpErrors, TableErrors, TableParams};
 
 fn fixes_needed(scores: &[f64], errors: &[f64]) -> f64 {
@@ -44,16 +45,19 @@ fn main() {
         let mut evp = EvpErrors::train(&train_rows, &exact_rows, cfg.ridge).expect("fits");
 
         let out_dim = kernel.output_dim();
-        let mut approx = Vec::with_capacity(test.len() * out_dim);
-        for i in 0..test.len() {
-            approx.extend(app.rumba_npu.invoke(test.input(i)).expect("width").outputs);
-        }
+        let mut batch = Matrix::default();
+        app.rumba_npu
+            .invoke_batch(test.inputs_view(), &mut Scratch::new(), &mut batch)
+            .expect("width");
+        let approx = batch.into_flat();
 
+        let in_dim = kernel.input_dim();
         let score_all = |est: &mut dyn ErrorEstimator| -> Vec<f64> {
             est.reset();
-            (0..test.len())
-                .map(|i| est.estimate(test.input(i), &approx[i * out_dim..(i + 1) * out_dim]))
-                .collect()
+            let mut scores = Vec::new();
+            let flat = test.inputs_view();
+            est.estimate_batch(test.len(), flat.as_slice(), in_dim, &approx, out_dim, &mut scores);
+            scores
         };
         let estimators: Vec<(&str, Vec<f64>, usize)> = vec![
             ("linear", score_all(&mut app.linear), app.linear.cost().total_ops()),

@@ -11,6 +11,7 @@ use rand::{Rng, SeedableRng};
 use rumba_apps::{kernel_by_name, Split};
 use rumba_bench::{print_table, HARNESS_SEED};
 use rumba_core::trainer::{train_app, OfflineConfig};
+use rumba_nn::{Matrix, Scratch};
 use rumba_predict::{EmaDetector, ErrorEstimator, MaxEnsemble};
 
 fn main() {
@@ -26,16 +27,19 @@ fn main() {
     // probability `fault_rate`, flipping it to a large wrong value.
     let fault_rate = 0.01;
     let mut rng = StdRng::seed_from_u64(0xfau64 << 32 | 0x17);
-    let mut approx = Vec::with_capacity(test.len() * out_dim);
+    let mut batch = Matrix::default();
+    app.rumba_npu
+        .invoke_batch(test.inputs_view(), &mut Scratch::new(), &mut batch)
+        .expect("width matches");
+    let mut approx = batch.into_flat();
     let mut faulted = vec![false; test.len()];
     for (i, struck) in faulted.iter_mut().enumerate() {
-        let mut out = app.rumba_npu.invoke(test.input(i)).expect("width matches").outputs;
         if rng.gen::<f64>() < fault_rate {
             let victim = rng.gen_range(0..out_dim);
-            out[victim] = rng.gen_range(3.0..6.0) * if rng.gen() { 1.0 } else { -1.0 };
+            approx[i * out_dim + victim] =
+                rng.gen_range(3.0..6.0) * if rng.gen() { 1.0 } else { -1.0 };
             *struck = true;
         }
-        approx.extend(out);
     }
     let injected = faulted.iter().filter(|&&f| f).count();
 
@@ -46,11 +50,13 @@ fn main() {
         Box::new(app.tree.clone()),
         Box::new(EmaDetector::new(app.ema_window, out_dim).expect("valid window")),
     );
+    let in_dim = kernel.input_dim();
     let score = |est: &mut dyn ErrorEstimator| -> Vec<f64> {
         est.reset();
-        (0..test.len())
-            .map(|i| est.estimate(test.input(i), &approx[i * out_dim..(i + 1) * out_dim]))
-            .collect()
+        let mut scores = Vec::new();
+        let flat = test.inputs_view();
+        est.estimate_batch(test.len(), flat.as_slice(), in_dim, &approx, out_dim, &mut scores);
+        scores
     };
     let schemes: Vec<(&str, Vec<f64>)> = vec![
         ("linearErrors (input-based)", score(&mut app.linear)),

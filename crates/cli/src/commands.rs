@@ -136,11 +136,11 @@ pub fn run(
     // checker itself.
     let train = kernel.generate(Split::Train, seed);
     let mut probe = build_checker(checker, &app, kernel.as_ref(), seed)?;
-    let approx_train: Vec<Vec<f64>> = (0..train.len())
-        .map(|i| app.rumba_npu.invoke(train.input(i)).map(|r| r.outputs))
-        .collect::<Result<_, _>>()?;
+    let mut scratch = rumba_nn::Scratch::new();
+    let mut approx_train = rumba_nn::Matrix::default();
+    app.rumba_npu.invoke_batch(train.inputs_view(), &mut scratch, &mut approx_train)?;
     let predicted: Vec<f64> =
-        (0..train.len()).map(|i| probe.estimate(train.input(i), &approx_train[i])).collect();
+        (0..train.len()).map(|i| probe.estimate(train.input(i), approx_train.row(i))).collect();
     let target = match mode {
         ModeChoice::Toq(q) => 1.0 - q,
         _ => 0.10,

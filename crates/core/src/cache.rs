@@ -27,7 +27,8 @@ use std::path::{Path, PathBuf};
 
 use rumba_nn::{decode_model, encode_model, TrainParams, TrainedModel};
 use rumba_predict::{
-    decode_linear, decode_tree, encode_linear, encode_tree, LinearErrors, TreeErrors,
+    decode_evp, decode_linear, decode_tree, encode_evp, encode_linear, encode_tree, EvpErrors,
+    LinearErrors, TreeErrors,
 };
 
 use crate::trainer::OfflineConfig;
@@ -35,8 +36,9 @@ use crate::trainer::OfflineConfig;
 const FORMAT_HEADER: &str = "rumba-trained-model-cache v1";
 
 /// The decoded contents of one cache entry: everything `train_app` fits
-/// with a neural network or a closed-form solver, minus the EVP checker
-/// (which has no config-word form and re-solves in milliseconds).
+/// with a neural network or a closed-form solver. Entries written before
+/// the EVP section existed simply miss (a missing section is a malformed
+/// entry) and retrain.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CachedModels {
     /// The Rumba-topology accelerator model.
@@ -47,6 +49,8 @@ pub struct CachedModels {
     pub linear: LinearErrors,
     /// The trained decision-tree checker.
     pub tree: TreeErrors,
+    /// The trained value-prediction (EVP) checker.
+    pub evp: EvpErrors,
     /// Per-invocation accelerator errors on the train split.
     pub train_errors: Vec<f64>,
 }
@@ -177,6 +181,7 @@ fn write_entry(path: &Path, kernel_name: &str, models: &CachedModels) -> std::io
     push_section(&mut text, "baseline_model", &encode_model(&models.baseline_model));
     push_section(&mut text, "linear", &encode_linear(&models.linear));
     push_section(&mut text, "tree", &encode_tree(&models.tree));
+    push_section(&mut text, "evp", &encode_evp(&models.evp));
     push_section(&mut text, "train_errors", &models.train_errors);
 
     if let Some(parent) = path.parent() {
@@ -232,6 +237,7 @@ fn parse_entry(text: &str) -> Option<CachedModels> {
         baseline_model: decode_model(find("baseline_model")?).ok()?,
         linear: decode_linear(find("linear")?).ok()?,
         tree: decode_tree(find("tree")?).ok()?,
+        evp: decode_evp(find("evp")?).ok()?,
         train_errors: find("train_errors")?.to_vec(),
     })
 }
@@ -276,10 +282,11 @@ mod tests {
         );
         assert_eq!(bits(&encode_linear(&loaded.linear)), bits(&encode_linear(&trained.linear)));
         assert_eq!(bits(&encode_tree(&loaded.tree)), bits(&encode_tree(&trained.tree)));
+        assert_eq!(bits(&encode_evp(&loaded.evp)), bits(&encode_evp(&trained.evp)));
         assert_eq!(bits(&loaded.train_errors), bits(&trained.train_errors));
 
         // A different seed must miss.
-        let other = OfflineConfig { seed: cfg.seed + 1, ..cfg.clone() };
+        let other = OfflineConfig { seed: cfg.seed + 1, ..cfg };
         assert!(cache.load(kernel.name(), topologies, &other, &nn_params).is_none());
         let _ = fs::remove_dir_all(cache.dir);
     }

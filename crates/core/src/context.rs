@@ -74,43 +74,60 @@ impl AppContext {
             CheckerCost::free(),
         ));
 
+        let flat_inputs = test.inputs_view();
+        let in_dim = kernel.input_dim();
+
         // The EMA detector is genuinely stateful (its estimate depends on
-        // the history of previous invocations), so it replays serially.
+        // the history of previous invocations), so it scores the whole
+        // stream as one serial batch over the flat buffers.
         let mut ema = EmaDetector::new(trained.ema_window, out_dim)
             .expect("window and output width are nonzero");
         let ema_cost = ema.cost();
-        let ema_scores: Vec<f64> = (0..n)
-            .map(|i| ema.estimate(test.input(i), &approx_outputs[i * out_dim..(i + 1) * out_dim]))
-            .collect();
+        let mut ema_scores = Vec::new();
+        ema.estimate_batch(
+            n,
+            flat_inputs.as_slice(),
+            in_dim,
+            &approx_outputs,
+            out_dim,
+            &mut ema_scores,
+        );
         schemes.push(SchemeScores::new(SchemeKind::Ema, ema_scores, ema_cost));
 
         // The trained checkers take `&mut self` for trait uniformity but
-        // their estimates are pure functions of the input, so each chunk
-        // scores on its own clone and the output is bit-identical to the
-        // serial loop at any thread count.
+        // their estimates are pure functions of their row, so each chunk
+        // batch-scores its window of the flat input buffer on its own
+        // clone and the output is bit-identical to the serial loop at any
+        // thread count.
         let pool = rumba_parallel::ThreadPool::new();
         let linear_cost = trained.linear.cost();
         let linear_scores: Vec<f64> = pool.par_map_chunked(n, |_c, range| {
             let mut linear = trained.linear.clone();
-            range.map(|i| linear.estimate(test.input(i), &[])).collect::<Vec<_>>()
+            let rows = flat_inputs.rows_range(range.start, range.end);
+            let mut scores = Vec::new();
+            linear.estimate_batch(rows.rows(), rows.as_slice(), in_dim, &[], 0, &mut scores);
+            scores
         });
         schemes.push(SchemeScores::new(SchemeKind::LinearErrors, linear_scores, linear_cost));
 
         let tree_cost = trained.tree.cost();
         let tree_scores: Vec<f64> = pool.par_map_chunked(n, |_c, range| {
             let mut tree = trained.tree.clone();
-            range.map(|i| tree.estimate(test.input(i), &[])).collect::<Vec<_>>()
+            let rows = flat_inputs.rows_range(range.start, range.end);
+            let mut scores = Vec::new();
+            tree.estimate_batch(rows.rows(), rows.as_slice(), in_dim, &[], 0, &mut scores);
+            scores
         });
         schemes.push(SchemeScores::new(SchemeKind::TreeErrors, tree_scores, tree_cost));
 
         let evp_cost = trained.evp.cost();
         let evp_scores: Vec<f64> = pool.par_map_chunked(n, |_c, range| {
             let mut evp = trained.evp.clone();
-            range
-                .map(|i| {
-                    evp.estimate(test.input(i), &approx_outputs[i * out_dim..(i + 1) * out_dim])
-                })
-                .collect::<Vec<_>>()
+            let rows = flat_inputs.rows_range(range.start, range.end);
+            let approx = &approx_outputs[range.start * out_dim..range.end * out_dim];
+            let mut scores = Vec::new();
+            evp.estimate_batch(rows.rows(), rows.as_slice(), in_dim, approx, out_dim, &mut scores);
+            scores
         });
         schemes.push(SchemeScores::new(SchemeKind::Evp, evp_scores, evp_cost));
 

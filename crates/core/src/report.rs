@@ -122,7 +122,7 @@ mod tests {
         let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
         let mut system = RumbaSystem::new(
             app.rumba_npu.clone(),
-            CheckerUnit::new(Box::new(app.tree.clone())),
+            CheckerUnit::new(Box::new(app.tree)),
             Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.05).unwrap(),
             RuntimeConfig::default(),
         )

@@ -6,7 +6,7 @@ use rumba_accel::queue::{Fifo, OrderedF64, RecoveryBit};
 use rumba_accel::{CheckerUnit, Npu, Placement};
 use rumba_apps::Kernel;
 use rumba_energy::SchemeActivity;
-use rumba_nn::NnDataset;
+use rumba_nn::{Matrix, NnDataset, Scratch};
 
 use crate::pipeline::{simulate, PipelineRun};
 use crate::tuner::{Tuner, WindowStats};
@@ -171,23 +171,24 @@ impl RumbaSystem {
         output: &mut [f64],
     ) -> Result<StreamOutcome> {
         let result = self.npu.invoke(input)?;
-        self.process_result(kernel, input, &result, output)
+        self.process_result(kernel, input, &result.outputs, output)
     }
 
     /// The stateful half of [`RumbaSystem::process`], taking an already-
-    /// computed accelerator result. [`RumbaSystem::run`] precomputes the
-    /// pure accelerator outputs in a parallel batch and replays this
-    /// decision path serially, which keeps the checker/tuner state
-    /// evolution — and therefore the output — identical to streaming.
+    /// computed approximate output row. [`RumbaSystem::run`] precomputes
+    /// the pure accelerator outputs in one batched invocation and replays
+    /// this decision path serially over the rows, which keeps the
+    /// checker/tuner state evolution — and therefore the output —
+    /// identical to streaming.
     fn process_result(
         &mut self,
         kernel: &dyn Kernel,
         input: &[f64],
-        result: &rumba_accel::NpuResult,
+        approx_output: &[f64],
         output: &mut [f64],
     ) -> Result<StreamOutcome> {
         let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
-        let predicted = self.checker.predict(input, &result.outputs);
+        let predicted = self.checker.predict(input, approx_output);
         let cap = self.tuner.reexec_cap(cpu_capacity_per_window);
         let budget_left = cap.is_none_or(|c| self.window_fired < c);
         let fired = predicted > self.tuner.threshold() && budget_left;
@@ -197,7 +198,7 @@ impl RumbaSystem {
             self.window_fired += 1;
             self.stream_fixes += 1;
         } else {
-            output[..result.outputs.len()].copy_from_slice(&result.outputs);
+            output[..approx_output.len()].copy_from_slice(approx_output);
             self.window_pred_sum += predicted;
         }
         self.window_len += 1;
@@ -264,16 +265,16 @@ impl RumbaSystem {
         let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
 
         self.begin_stream();
-        // The accelerator is pure, so its outputs for the whole stream can
-        // be precomputed as one deterministic parallel batch; the stateful
-        // decision loop below (checker history, tuner, recovery queue)
-        // then replays serially over the results, which keeps every
-        // decision — and the merged stream — bit-identical to streaming
-        // the invocations one at a time.
-        let npu = &self.npu;
-        let npu_results = rumba_parallel::par_map_range(n, |i| npu.invoke(data.input(i)))
-            .into_iter()
-            .collect::<std::result::Result<Vec<_>, _>>()?;
+        // The accelerator is pure, so its outputs for the whole stream are
+        // precomputed as one cache-blocked batched invocation (rows fan
+        // out over the deterministic pool); the stateful decision loop
+        // below (checker history, tuner, recovery queue) then replays
+        // serially over the rows, which keeps every decision — and the
+        // merged stream — bit-identical to streaming the invocations one
+        // at a time.
+        let mut scratch = Scratch::new();
+        let mut approx = Matrix::default();
+        self.npu.invoke_batch(data.inputs_view(), &mut scratch, &mut approx)?;
 
         let mut recovery_queue: Fifo<RecoveryBit> = Fifo::new(self.config.recovery_queue_capacity);
         let mut merged = Vec::with_capacity(n * out_dim);
@@ -283,7 +284,7 @@ impl RumbaSystem {
 
         for (i, fired_flag) in fired.iter_mut().enumerate() {
             let outcome =
-                self.process_result(kernel, data.input(i), &npu_results[i], &mut out_buf)?;
+                self.process_result(kernel, data.input(i), approx.row(i), &mut out_buf)?;
             if outcome.fired {
                 // Model the recovery queue the CPU drains: the recovery bit
                 // flows through the bounded FIFO (timing cost is accounted
@@ -357,16 +358,15 @@ mod tests {
         let kernel = kernel_by_name("gaussian").unwrap();
         let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
         let train = kernel.generate(Split::Train, 42);
-        let predicted: Vec<f64> = (0..train.len())
-            .map(|i| {
-                let mut tree = app.tree.clone();
-                tree.estimate(train.input(i), &[])
-            })
-            .collect();
+        // One probe serves the whole sweep: the tree checker is stateless,
+        // and cloning per row would rebuild the boxed checker each time.
+        let mut probe = app.tree.clone();
+        let predicted: Vec<f64> =
+            (0..train.len()).map(|i| probe.estimate(train.input(i), &[])).collect();
         let threshold = calibrate_threshold(&predicted, &app.train_errors, 0.02);
         let system = RumbaSystem::new(
             app.rumba_npu.clone(),
-            CheckerUnit::new(Box::new(app.tree.clone())),
+            CheckerUnit::new(Box::new(app.tree)),
             Tuner::new(mode, threshold).unwrap(),
             RuntimeConfig::default(),
         )
@@ -416,7 +416,7 @@ mod tests {
         let budget = 5usize;
         let mut system = RumbaSystem::new(
             app.rumba_npu.clone(),
-            CheckerUnit::new(Box::new(app.tree.clone())),
+            CheckerUnit::new(Box::new(app.tree)),
             Tuner::new(TuningMode::EnergyBudget { budget }, 1e-6).unwrap(),
             RuntimeConfig { window: 100, ..RuntimeConfig::default() },
         )
@@ -436,7 +436,7 @@ mod tests {
         let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
         let bad = RumbaSystem::new(
             app.rumba_npu.clone(),
-            CheckerUnit::new(Box::new(app.tree.clone())),
+            CheckerUnit::new(Box::new(app.tree)),
             Tuner::new(TuningMode::BestQuality, 0.1).unwrap(),
             RuntimeConfig { window: 0, ..RuntimeConfig::default() },
         );

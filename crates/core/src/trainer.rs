@@ -11,7 +11,7 @@
 
 use rumba_accel::{Npu, NpuParams};
 use rumba_apps::Kernel;
-use rumba_nn::{Activation, NnDataset, TrainParams, TrainedModel};
+use rumba_nn::{Activation, Matrix, NnDataset, Scratch, TrainParams, TrainedModel};
 use rumba_predict::{EvpErrors, LinearErrors, TreeErrors, TreeParams};
 
 use crate::cache::TrainedModelCache;
@@ -136,21 +136,16 @@ pub fn train_app_with_cache(
 
     if let Some(cached) = cache.load(kernel.name(), topologies, cfg, &nn_params) {
         // The cached config-words are bit-exact, so everything derived
-        // from them below matches a fresh training run exactly. Only the
-        // EVP checker re-fits: it has no config-word form, and its
-        // closed-form ridge solve costs milliseconds.
+        // from them below matches a fresh training run exactly.
         let rumba_npu = Npu::new(cached.rumba_model, cfg.npu_params);
         let baseline_npu = Npu::new(cached.baseline_model, cfg.npu_params);
-        let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
-        let exact_rows: Vec<&[f64]> = (0..train.len()).map(|i| train.target(i)).collect();
-        let evp = EvpErrors::train(&rows, &exact_rows, cfg.ridge)?;
         return Ok(TrainedApp {
             name: kernel.name().to_owned(),
             rumba_npu,
             baseline_npu,
             linear: cached.linear,
             tree: cached.tree,
-            evp,
+            evp: cached.evp,
             ema_window: cfg.ema_window,
             train_errors: cached.train_errors,
         });
@@ -191,6 +186,7 @@ pub fn train_app_with_cache(
             baseline_model: baseline_npu.model().clone(),
             linear: linear.clone(),
             tree: tree.clone(),
+            evp: evp.clone(),
             train_errors: train_errors.clone(),
         },
     );
@@ -215,14 +211,12 @@ pub fn train_app_with_cache(
 /// Propagates accelerator dimension errors.
 pub fn invocation_errors(kernel: &dyn Kernel, npu: &Npu, data: &NnDataset) -> Result<Vec<f64>> {
     let metric = kernel.metric();
-    // Invocations are pure, so the replay fans out over the deterministic
-    // pool with output identical to the serial loop.
-    rumba_parallel::par_map_range(data.len(), |i| {
-        npu.invoke(data.input(i)).map(|r| metric.invocation_error(data.target(i), &r.outputs))
-    })
-    .into_iter()
-    .collect::<std::result::Result<Vec<_>, _>>()
-    .map_err(Into::into)
+    // One batched invocation replaces the per-row loop; each row is
+    // bit-identical to `Npu::invoke` at any thread count.
+    let mut scratch = Scratch::new();
+    let mut approx = Matrix::default();
+    npu.invoke_batch(data.inputs_view(), &mut scratch, &mut approx)?;
+    Ok((0..data.len()).map(|i| metric.invocation_error(data.target(i), approx.row(i))).collect())
 }
 
 /// Replays an accelerator over a dataset, returning the flat approximate
@@ -232,13 +226,10 @@ pub fn invocation_errors(kernel: &dyn Kernel, npu: &Npu, data: &NnDataset) -> Re
 ///
 /// Propagates accelerator dimension errors.
 pub fn approximate_outputs(npu: &Npu, data: &NnDataset) -> Result<Vec<f64>> {
-    let rows =
-        rumba_parallel::par_map_range(data.len(), |i| npu.invoke(data.input(i)).map(|r| r.outputs));
-    let mut out = Vec::with_capacity(data.len() * npu.output_dim());
-    for row in rows {
-        out.extend(row?);
-    }
-    Ok(out)
+    let mut scratch = Scratch::new();
+    let mut out = Matrix::default();
+    npu.invoke_batch(data.inputs_view(), &mut scratch, &mut out)?;
+    Ok(out.into_flat())
 }
 
 #[cfg(test)]

@@ -155,6 +155,19 @@ impl NnDataset {
         &self.targets[i * self.output_dim..(i + 1) * self.output_dim]
     }
 
+    /// All feature rows as one borrowed `len × input_dim` matrix view — the
+    /// zero-copy entry point into the batched evaluation paths.
+    #[must_use]
+    pub fn inputs_view(&self) -> crate::MatrixView<'_> {
+        crate::MatrixView::new(&self.inputs, self.len(), self.input_dim)
+    }
+
+    /// All target rows as one borrowed `len × output_dim` matrix view.
+    #[must_use]
+    pub fn targets_view(&self) -> crate::MatrixView<'_> {
+        crate::MatrixView::new(&self.targets, self.len(), self.output_dim)
+    }
+
     fn row_mut(&mut self, i: usize) -> (&mut [f64], &mut [f64]) {
         let x = &mut self.inputs[i * self.input_dim..(i + 1) * self.input_dim];
         // Split borrows: targets and inputs are disjoint fields, but the

@@ -9,6 +9,8 @@
 //! - [`Trainer`]: mini-batch stochastic gradient descent with momentum,
 //! - [`NnDataset`]: flat, row-major training data container,
 //! - [`Normalizer`]: min-max feature scaling recorded at training time,
+//! - [`Matrix`]/[`Scratch`]: contiguous row-major batches plus reusable
+//!   workspaces backing the zero-allocation, cache-blocked batched paths,
 //! - [`TrainedModel`]: normalizing wrapper bundling the above,
 //! - [`TopologySearch`]: the paper's "accelerator trainer" that picks the
 //!   smallest topology meeting an error cap (at most two hidden layers of at
@@ -41,6 +43,7 @@ mod activation;
 mod config_words;
 mod dataset;
 mod error;
+mod matrix;
 mod mlp;
 mod model;
 mod topology;
@@ -50,6 +53,7 @@ pub use activation::Activation;
 pub use config_words::{decode_model, encode_model, MODEL_MAGIC};
 pub use dataset::{NnDataset, Normalizer};
 pub use error::NnError;
+pub use matrix::{Matrix, MatrixView, MatrixViewMut, Scratch};
 pub use mlp::{Layer, Mlp};
 pub use model::TrainedModel;
 pub use topology::{TopologyCandidate, TopologySearch, TopologySearchReport};

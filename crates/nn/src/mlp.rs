@@ -1,7 +1,13 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::{Activation, NnError, Result};
+use crate::{Activation, Matrix, MatrixView, NnError, Result, Scratch};
+
+/// Cache-block tile sizes for the batched layer kernel: `ROW_BLOCK` batch
+/// rows × `COL_BLOCK` output neurons per tile, sized so one tile's weight
+/// rows and input rows stay resident in L1 while they are reused.
+const ROW_BLOCK: usize = 32;
+const COL_BLOCK: usize = 16;
 
 /// One dense layer: `outputs = act(W * inputs + b)` with `W` stored row-major
 /// (`out_dim × in_dim`).
@@ -61,31 +67,76 @@ impl Layer {
     }
 
     fn forward_into(&self, input: &[f64], output: &mut [f64]) {
-        debug_assert_eq!(input.len(), self.in_dim);
-        debug_assert_eq!(output.len(), self.out_dim);
-        for (o, out) in output.iter_mut().enumerate() {
-            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = self.biases[o];
-            for (w, x) in row.iter().zip(input) {
-                acc += w * x;
-            }
-            *out = self.activation.apply(acc);
-        }
+        self.forward_batch_into(1, input, output);
     }
 
     /// Evaluates one layer on a limited-precision datapath: weights, biases,
     /// and the activated outputs are all rounded to a `2^-bits` grid — the
     /// behaviour of an analog or reduced-width digital implementation.
     fn forward_into_quantized(&self, input: &[f64], output: &mut [f64], bits: u32) {
+        self.forward_batch_into_quantized(1, input, output, bits);
+    }
+
+    /// Cache-blocked batched evaluation of `n` rows (`input` is flat
+    /// row-major `n × in_dim`, `output` `n × out_dim`).
+    ///
+    /// Blocking only reorders *which* `(row, neuron)` output element is
+    /// produced when; each element's inner dot product is the exact serial
+    /// loop (bias first, then ascending input index), so every output is
+    /// bit-identical to the per-sample path regardless of tile shape.
+    pub(crate) fn forward_batch_into(&self, n: usize, input: &[f64], output: &mut [f64]) {
+        debug_assert_eq!(input.len(), n * self.in_dim);
+        debug_assert_eq!(output.len(), n * self.out_dim);
+        for r0 in (0..n).step_by(ROW_BLOCK) {
+            let r1 = (r0 + ROW_BLOCK).min(n);
+            for o0 in (0..self.out_dim).step_by(COL_BLOCK) {
+                let o1 = (o0 + COL_BLOCK).min(self.out_dim);
+                for r in r0..r1 {
+                    let input_row = &input[r * self.in_dim..(r + 1) * self.in_dim];
+                    let output_row = &mut output[r * self.out_dim..(r + 1) * self.out_dim];
+                    for (o, out_val) in (o0..).zip(output_row[o0..o1].iter_mut()) {
+                        let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                        let mut acc = self.biases[o];
+                        for (w, x) in row.iter().zip(input_row) {
+                            acc += w * x;
+                        }
+                        *out_val = self.activation.apply(acc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Quantized counterpart of [`Layer::forward_batch_into`]; same tiling,
+    /// same per-element rounding as the serial quantized path.
+    pub(crate) fn forward_batch_into_quantized(
+        &self,
+        n: usize,
+        input: &[f64],
+        output: &mut [f64],
+        bits: u32,
+    ) {
+        debug_assert_eq!(input.len(), n * self.in_dim);
+        debug_assert_eq!(output.len(), n * self.out_dim);
         let scale = f64::from(1u32 << bits.min(30));
         let q = |v: f64| (v * scale).round() / scale;
-        for (o, out) in output.iter_mut().enumerate() {
-            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = q(self.biases[o]);
-            for (w, x) in row.iter().zip(input) {
-                acc += q(*w) * x;
+        for r0 in (0..n).step_by(ROW_BLOCK) {
+            let r1 = (r0 + ROW_BLOCK).min(n);
+            for o0 in (0..self.out_dim).step_by(COL_BLOCK) {
+                let o1 = (o0 + COL_BLOCK).min(self.out_dim);
+                for r in r0..r1 {
+                    let input_row = &input[r * self.in_dim..(r + 1) * self.in_dim];
+                    let output_row = &mut output[r * self.out_dim..(r + 1) * self.out_dim];
+                    for (o, out_val) in (o0..).zip(output_row[o0..o1].iter_mut()) {
+                        let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+                        let mut acc = q(self.biases[o]);
+                        for (w, x) in row.iter().zip(input_row) {
+                            acc += q(*w) * x;
+                        }
+                        *out_val = q(self.activation.apply(acc));
+                    }
+                }
             }
-            *out = q(self.activation.apply(acc));
         }
     }
 }
@@ -202,17 +253,141 @@ impl Mlp {
         Ok(cur)
     }
 
-    /// Evaluates the network on many input rows, fanning the rows out over
-    /// the deterministic pool. The forward pass is pure, so the result is
-    /// bit-identical to calling [`Mlp::forward`] row by row — at any thread
-    /// count.
+    /// Evaluates the network on many input rows through the cache-blocked
+    /// batched kernel, fanning row chunks out over the deterministic pool.
+    ///
+    /// `scratch` holds the reusable activation workspaces: after the first
+    /// call at a given batch shape, repeated calls perform no heap
+    /// allocation (on the single-thread path; the threaded path allocates
+    /// one bounded workspace per chunk). Each row's result is bit-identical
+    /// to [`Mlp::forward`] — at any thread count.
     ///
     /// # Errors
     ///
-    /// Returns [`NnError::DimensionMismatch`] if any row has the wrong
+    /// Returns [`NnError::DimensionMismatch`] if `inputs` has the wrong
     /// width.
-    pub fn forward_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
-        rumba_parallel::par_map_indexed(inputs, |_i, x| self.forward(x)).into_iter().collect()
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rumba_nn::{Activation, Matrix, MatrixView, Mlp, Scratch};
+    ///
+    /// # fn main() -> Result<(), rumba_nn::NnError> {
+    /// let mlp = Mlp::new(&[2, 4, 1], Activation::Sigmoid, 42)?;
+    /// let rows = [0.1, 0.9, 0.5, 0.5];
+    /// let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+    /// mlp.forward_batch(MatrixView::new(&rows, 2, 2), &mut scratch, &mut out)?;
+    /// assert_eq!(out.row(0), mlp.forward(&rows[..2])?.as_slice());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn forward_batch(
+        &self,
+        inputs: MatrixView<'_>,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        self.forward_batch_with(inputs, None, scratch, out)
+    }
+
+    /// Batched counterpart of [`Mlp::forward_quantized`]; bit-identical to
+    /// the per-row quantized path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::DimensionMismatch`] if `inputs` has the wrong
+    /// width.
+    pub fn forward_batch_quantized(
+        &self,
+        inputs: MatrixView<'_>,
+        bits: u32,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        self.forward_batch_with(inputs, Some(bits), scratch, out)
+    }
+
+    fn forward_batch_with(
+        &self,
+        inputs: MatrixView<'_>,
+        quant: Option<u32>,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        if inputs.cols() != self.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.input_dim(),
+                actual: inputs.cols(),
+                port: "network input",
+            });
+        }
+        let n = inputs.rows();
+        let out_dim = self.output_dim();
+        out.resize(n, out_dim);
+        let pool = rumba_parallel::ThreadPool::new();
+        if pool.threads() <= 1 {
+            let Scratch { a, b, .. } = scratch;
+            self.forward_rows_flat(n, inputs.as_slice(), quant, a, b, out.as_mut_slice());
+        } else {
+            // Rows are independent, so chunking over them is bit-exact at
+            // any thread count; each chunk gets a private workspace.
+            pool.par_chunks_mut(out.as_mut_slice(), out_dim, |_c, range, chunk_out| {
+                let mut local = Scratch::new();
+                let sub = inputs.rows_range(range.start, range.end);
+                self.forward_rows_flat(
+                    sub.rows(),
+                    sub.as_slice(),
+                    quant,
+                    &mut local.a,
+                    &mut local.b,
+                    chunk_out,
+                );
+            });
+        }
+        Ok(())
+    }
+
+    /// Serial whole-network batched forward over a flat `n × input_dim`
+    /// buffer, writing the flat `n × output_dim` result into `out`.
+    /// `a`/`b` are the grow-only ping-pong activation workspaces.
+    pub(crate) fn forward_rows_flat(
+        &self,
+        n: usize,
+        input: &[f64],
+        quant: Option<u32>,
+        a: &mut Matrix,
+        b: &mut Matrix,
+        out: &mut [f64],
+    ) {
+        let run = |layer: &Layer, src: &[f64], dst: &mut [f64]| match quant {
+            None => layer.forward_batch_into(n, src, dst),
+            Some(bits) => layer.forward_batch_into_quantized(n, src, dst, bits),
+        };
+        let last = self.layers.len() - 1;
+        for (li, layer) in self.layers.iter().enumerate() {
+            // Layer li reads the previous layer's workspace and writes the
+            // other one (the final layer writes straight into `out`); each
+            // branch borrows the two workspaces disjointly.
+            if li == last {
+                let src: &[f64] = if li == 0 {
+                    input
+                } else if li % 2 == 1 {
+                    a.as_slice()
+                } else {
+                    b.as_slice()
+                };
+                run(layer, src, out);
+            } else if li == 0 {
+                a.resize(n, layer.out_dim());
+                run(layer, input, a.as_mut_slice());
+            } else if li % 2 == 1 {
+                b.resize(n, layer.out_dim());
+                run(layer, a.as_slice(), b.as_mut_slice());
+            } else {
+                a.resize(n, layer.out_dim());
+                run(layer, b.as_slice(), a.as_mut_slice());
+            }
+        }
     }
 
     /// Evaluates the network on a limited-precision datapath: every weight,
@@ -244,7 +419,10 @@ impl Mlp {
     }
 
     /// Evaluates the network keeping every layer's activated output; index 0
-    /// is the input itself. Used by the trainer's backward pass.
+    /// is the input itself. The production trainer traces whole batches
+    /// through the blocked kernel; this per-sample version remains the
+    /// reference implementation the bit-exactness tests compare against.
+    #[cfg(test)]
     pub(crate) fn forward_trace(&self, input: &[f64]) -> Vec<Vec<f64>> {
         let mut acts = Vec::with_capacity(self.layers.len() + 1);
         acts.push(input.to_vec());

@@ -1,4 +1,7 @@
-use crate::{Activation, Mlp, NnDataset, Normalizer, Result, TrainParams, TrainReport, Trainer};
+use crate::{
+    Activation, Matrix, MatrixView, Mlp, NnDataset, NnError, Normalizer, Result, Scratch,
+    TrainParams, TrainReport, Trainer,
+};
 
 /// A trained network bundled with the input/output normalizers fitted on its
 /// training data, so callers evaluate it in *application units*.
@@ -88,17 +91,95 @@ impl TrainedModel {
         Ok(y)
     }
 
-    /// Evaluates the model on many input rows in application units, fanning
-    /// the rows out over the deterministic pool. Prediction is pure, so the
-    /// output is bit-identical to calling [`TrainedModel::predict`] row by
-    /// row — at any thread count.
+    /// Evaluates the model on many input rows in application units through
+    /// the cache-blocked batched kernel, fanning row chunks out over the
+    /// deterministic pool. Each row's result is bit-identical to
+    /// [`TrainedModel::predict`] — at any thread count — and with a reused
+    /// `scratch`/`out` pair the single-thread path allocates nothing in
+    /// steady state.
     ///
     /// # Errors
     ///
-    /// Returns [`crate::NnError::DimensionMismatch`] if any row has the
+    /// Returns [`crate::NnError::DimensionMismatch`] if `inputs` has the
     /// wrong width.
-    pub fn predict_batch(&self, inputs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>> {
-        rumba_parallel::par_map_indexed(inputs, |_i, x| self.predict(x)).into_iter().collect()
+    pub fn predict_batch(
+        &self,
+        inputs: MatrixView<'_>,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        self.predict_batch_with(inputs, None, scratch, out)
+    }
+
+    /// Batched counterpart of [`TrainedModel::predict_quantized`];
+    /// bit-identical to the per-row quantized path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::DimensionMismatch`] if `inputs` has the
+    /// wrong width.
+    pub fn predict_batch_quantized(
+        &self,
+        inputs: MatrixView<'_>,
+        bits: u32,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        self.predict_batch_with(inputs, Some(bits), scratch, out)
+    }
+
+    fn predict_batch_with(
+        &self,
+        inputs: MatrixView<'_>,
+        quant: Option<u32>,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<()> {
+        if inputs.cols() != self.mlp.input_dim() {
+            return Err(NnError::DimensionMismatch {
+                expected: self.mlp.input_dim(),
+                actual: inputs.cols(),
+                port: "network input",
+            });
+        }
+        let n = inputs.rows();
+        out.resize(n, self.mlp.output_dim());
+        let pool = rumba_parallel::ThreadPool::new();
+        if pool.threads() <= 1 {
+            self.predict_rows_into(inputs, quant, scratch, out.as_mut_slice());
+        } else {
+            let out_dim = self.mlp.output_dim();
+            pool.par_chunks_mut(out.as_mut_slice(), out_dim, |_c, range, chunk_out| {
+                let mut local = Scratch::new();
+                let sub = inputs.rows_range(range.start, range.end);
+                self.predict_rows_into(sub, quant, &mut local, chunk_out);
+            });
+        }
+        Ok(())
+    }
+
+    /// Serial batched predict: stage normalized inputs, run the blocked
+    /// forward, invert the output normalizer in place. Per row this is the
+    /// exact arithmetic of [`TrainedModel::predict`].
+    fn predict_rows_into(
+        &self,
+        inputs: MatrixView<'_>,
+        quant: Option<u32>,
+        scratch: &mut Scratch,
+        out: &mut [f64],
+    ) {
+        let n = inputs.rows();
+        let Scratch { a, b, staged } = scratch;
+        staged.resize(n, inputs.cols());
+        staged.as_mut_slice().copy_from_slice(inputs.as_slice());
+        for r in 0..n {
+            self.input_norm.apply(staged.row_mut(r));
+        }
+        self.mlp.forward_rows_flat(n, staged.as_slice(), quant, a, b, out);
+        let out_dim = self.mlp.output_dim();
+        for row in out.chunks_mut(out_dim) {
+            self.output_norm.invert(row);
+        }
     }
 
     /// Rebuilds a model from its components (the config-stream decoder's

@@ -2,7 +2,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::{Mlp, NnDataset, NnError, Result};
+use crate::{Matrix, Mlp, NnDataset, NnError, Result};
 
 /// Hyper-parameters for [`Trainer`].
 ///
@@ -149,23 +149,30 @@ impl Trainer {
         let shape_b: Vec<usize> = mlp.layers().iter().map(|l| l.biases().len()).collect();
         let mut vel_w: Vec<Vec<f64>> = shape_w.iter().map(|&n| vec![0.0; n]).collect();
         let mut vel_b: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
+        // Gradient accumulators and the batch workspaces are allocated once
+        // and zero-filled per mini-batch, so the epoch loop runs
+        // allocation-free once every buffer has seen its peak shape.
+        let mut grads_w: Vec<Vec<f64>> = shape_w.iter().map(|&n| vec![0.0; n]).collect();
+        let mut grads_b: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
+        let mut scratch = BatchScratch::new(mlp.layers().len());
 
         let mut report = TrainReport::default();
         for _ in 0..self.params.epochs {
             order.shuffle(&mut rng);
             let mut epoch_loss = 0.0;
             for chunk in order.chunks(batch) {
-                let mut grads_w: Vec<Vec<f64>> = shape_w.iter().map(|&n| vec![0.0; n]).collect();
-                let mut grads_b: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
-                for &i in chunk {
-                    epoch_loss += accumulate_example(
-                        mlp,
-                        data.input(i),
-                        data.target(i),
-                        &mut grads_w,
-                        &mut grads_b,
-                    );
+                for g in grads_w.iter_mut().chain(grads_b.iter_mut()) {
+                    g.fill(0.0);
                 }
+                accumulate_batch(
+                    mlp,
+                    data,
+                    chunk,
+                    &mut scratch,
+                    &mut grads_w,
+                    &mut grads_b,
+                    &mut epoch_loss,
+                );
                 let scale = 1.0 / chunk.len() as f64;
                 for g in grads_w.iter_mut().chain(grads_b.iter_mut()) {
                     for v in g.iter_mut() {
@@ -187,8 +194,133 @@ impl Trainer {
     }
 }
 
+/// Reusable workspaces for the batched forward/backward pass. Every buffer
+/// is a grow-only [`Matrix`], so a scratch reused across mini-batches stops
+/// allocating once it has seen the largest batch shape.
+#[derive(Debug)]
+struct BatchScratch {
+    batch_in: Matrix,
+    batch_tgt: Matrix,
+    acts: Vec<Matrix>,
+    delta: Matrix,
+    prev_delta: Matrix,
+}
+
+impl BatchScratch {
+    fn new(n_layers: usize) -> Self {
+        Self {
+            batch_in: Matrix::default(),
+            batch_tgt: Matrix::default(),
+            acts: vec![Matrix::default(); n_layers],
+            delta: Matrix::default(),
+            prev_delta: Matrix::default(),
+        }
+    }
+}
+
+/// Runs one batched forward/backward pass over the samples in `chunk`,
+/// adding gradients into the accumulators and per-sample losses into
+/// `epoch_loss`.
+///
+/// Bit-exactness contract: the forward trace goes through the cache-blocked
+/// kernel (per-row identical to the serial forward), and every gradient and
+/// loss accumulator receives its per-sample contributions with the
+/// innermost loop over samples in `chunk` order — the exact summation
+/// sequence of the per-sample trainer. The resulting parameter trajectory
+/// is therefore bit-identical to running `accumulate_example` sample by
+/// sample.
+fn accumulate_batch(
+    mlp: &Mlp,
+    data: &NnDataset,
+    chunk: &[usize],
+    scratch: &mut BatchScratch,
+    grads_w: &mut [Vec<f64>],
+    grads_b: &mut [Vec<f64>],
+    epoch_loss: &mut f64,
+) {
+    let bsz = chunk.len();
+    let layers = mlp.layers();
+    let BatchScratch { batch_in, batch_tgt, acts, delta, prev_delta } = scratch;
+
+    // Gather the shuffled samples into contiguous rows.
+    batch_in.resize(bsz, mlp.input_dim());
+    batch_tgt.resize(bsz, mlp.output_dim());
+    for (r, &i) in chunk.iter().enumerate() {
+        batch_in.row_mut(r).copy_from_slice(data.input(i));
+        batch_tgt.row_mut(r).copy_from_slice(data.target(i));
+    }
+
+    // Batched forward trace: acts[li] holds layer li's activated outputs
+    // for every sample in the batch.
+    for li in 0..layers.len() {
+        let (done, todo) = acts.split_at_mut(li);
+        let src: &[f64] = if li == 0 { batch_in.as_slice() } else { done[li - 1].as_slice() };
+        let dst = &mut todo[0];
+        dst.resize(bsz, layers[li].out_dim());
+        layers[li].forward_batch_into(bsz, src, dst.as_mut_slice());
+    }
+
+    // Output-layer deltas and losses, samples in chunk order.
+    let last = layers.len() - 1;
+    let out_act = layers[last].activation();
+    delta.resize(bsz, layers[last].out_dim());
+    for r in 0..bsz {
+        let yh_row = acts[last].row(r);
+        let y_row = batch_tgt.row(r);
+        let d_row = delta.row_mut(r);
+        for (o, (&yh, &y)) in yh_row.iter().zip(y_row).enumerate() {
+            d_row[o] = (yh - y) * out_act.derivative_from_output(yh);
+        }
+        *epoch_loss +=
+            yh_row.iter().zip(y_row).map(|(&yh, &y)| 0.5 * (yh - y) * (yh - y)).sum::<f64>();
+    }
+
+    // Backward, output layer first; within each layer the sample loop is
+    // innermost-major so each accumulator cell sees contributions in the
+    // per-sample trainer's order.
+    for li in (0..layers.len()).rev() {
+        let layer = &layers[li];
+        let in_dim = layer.in_dim();
+        let layer_input: &Matrix = if li == 0 { batch_in } else { &acts[li - 1] };
+        let gw = &mut grads_w[li];
+        let gb = &mut grads_b[li];
+        for r in 0..bsz {
+            let d = delta.row(r);
+            let x = layer_input.row(r);
+            for (o, &dv) in d.iter().enumerate() {
+                gb[o] += dv;
+                let row = o * in_dim;
+                for (j, &xv) in x.iter().enumerate() {
+                    gw[row + j] += dv * xv;
+                }
+            }
+        }
+        if li > 0 {
+            let prev_act = layers[li - 1].activation();
+            prev_delta.resize(bsz, in_dim);
+            for r in 0..bsz {
+                let d = delta.row(r);
+                let x = layer_input.row(r);
+                let pd = prev_delta.row_mut(r);
+                for (j, pd_j) in pd.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (o, &dv) in d.iter().enumerate() {
+                        acc += layer.weights()[o * in_dim + j] * dv;
+                    }
+                    *pd_j = acc * prev_act.derivative_from_output(x[j]);
+                }
+            }
+            std::mem::swap(delta, prev_delta);
+        }
+    }
+}
+
 /// Runs one forward/backward pass, adding this example's gradients into the
 /// accumulators and returning its squared-error loss.
+///
+/// This is the pre-batching reference implementation; the tests pin
+/// [`accumulate_batch`]'s trajectory bit-exactly against it.
+#[cfg(test)]
 fn accumulate_example(
     mlp: &Mlp,
     input: &[f64],
@@ -323,6 +455,76 @@ mod tests {
                 Err(NnError::InvalidParam { .. })
             ));
         }
+    }
+
+    #[test]
+    fn batched_backprop_matches_per_sample_trainer_bitwise() {
+        // Reference: the pre-batching per-sample training loop, reproduced
+        // verbatim on top of `accumulate_example`. The batched trainer must
+        // follow the exact same parameter trajectory, bit for bit.
+        let data = NnDataset::from_fn(3, 2, 57, |i, x, y| {
+            let t = i as f64 / 57.0;
+            x[0] = t;
+            x[1] = (t * 3.0).sin();
+            x[2] = 1.0 - t;
+            y[0] = t * t;
+            y[1] = (t * 5.0).cos() * 0.5;
+        })
+        .unwrap();
+        let params = TrainParams { epochs: 3, batch_size: 8, ..TrainParams::default() };
+        let mut batched = Mlp::new(&[3, 7, 5, 2], Activation::Sigmoid, 21).unwrap();
+        let mut reference = batched.clone();
+
+        let report = Trainer::new(params.clone()).train(&mut batched, &data).unwrap();
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut order: Vec<usize> = (0..data.len()).collect();
+        let batch = params.batch_size.min(data.len());
+        let shape_w: Vec<usize> = reference.layers().iter().map(|l| l.weights().len()).collect();
+        let shape_b: Vec<usize> = reference.layers().iter().map(|l| l.biases().len()).collect();
+        let mut vel_w: Vec<Vec<f64>> = shape_w.iter().map(|&n| vec![0.0; n]).collect();
+        let mut vel_b: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
+        let mut ref_losses = Vec::new();
+        for _ in 0..params.epochs {
+            order.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            for chunk in order.chunks(batch) {
+                let mut grads_w: Vec<Vec<f64>> = shape_w.iter().map(|&n| vec![0.0; n]).collect();
+                let mut grads_b: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
+                for &i in chunk {
+                    epoch_loss += accumulate_example(
+                        &reference,
+                        data.input(i),
+                        data.target(i),
+                        &mut grads_w,
+                        &mut grads_b,
+                    );
+                }
+                let scale = 1.0 / chunk.len() as f64;
+                for g in grads_w.iter_mut().chain(grads_b.iter_mut()) {
+                    for v in g.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+                reference.apply_gradients(
+                    &grads_w,
+                    &grads_b,
+                    &mut vel_w,
+                    &mut vel_b,
+                    params.learning_rate,
+                    params.momentum,
+                );
+            }
+            ref_losses.push(epoch_loss / data.len() as f64);
+        }
+
+        let batched_bits: Vec<u64> = batched.to_flat_params().iter().map(|x| x.to_bits()).collect();
+        let reference_bits: Vec<u64> =
+            reference.to_flat_params().iter().map(|x| x.to_bits()).collect();
+        assert_eq!(batched_bits, reference_bits, "weights must match the per-sample trainer");
+        let loss_bits: Vec<u64> = report.epoch_losses().iter().map(|x| x.to_bits()).collect();
+        let ref_loss_bits: Vec<u64> = ref_losses.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(loss_bits, ref_loss_bits, "per-epoch losses must match bitwise");
     }
 
     #[test]

@@ -1,0 +1,167 @@
+//! Property tests pinning the batched matrix paths bit-exact against the
+//! per-sample reference loops, across random topologies, batch sizes,
+//! seeds, quantization grids, and thread counts.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rumba_nn::{Activation, Matrix, MatrixView, Mlp, Normalizer, Scratch, TrainedModel};
+
+fn random_inputs(n: usize, dim: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n * dim).map(|_| rng.gen_range(-5.0..5.0)).collect()
+}
+
+fn topology(in_dim: usize, hidden: &[usize], out_dim: usize) -> Vec<usize> {
+    let mut t = vec![in_dim];
+    t.extend_from_slice(hidden);
+    t.push(out_dim);
+    t
+}
+
+fn row_bits(row: &[f64]) -> Vec<u64> {
+    row.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Builds a model whose normalizers were fitted on real value ranges, so
+/// the batched staging + inversion paths do nontrivial arithmetic.
+fn model_for(topo: &[usize], seed: u64) -> TrainedModel {
+    let mlp = Mlp::new(topo, Activation::Sigmoid, seed).unwrap();
+    let in_dim = topo[0];
+    let out_dim = *topo.last().unwrap();
+    let in_rows = random_inputs(16, in_dim, seed ^ 0x11);
+    let out_rows = random_inputs(16, out_dim, seed ^ 0x22);
+    let input_norm = Normalizer::fit(in_rows.chunks(in_dim), in_dim, 0.0, 1.0);
+    let output_norm = Normalizer::fit(out_rows.chunks(out_dim), out_dim, 0.0, 1.0);
+    TrainedModel::from_parts(mlp, input_norm, output_norm)
+}
+
+proptest! {
+    #[test]
+    fn forward_batch_matches_per_row_forward_bitwise(
+        in_dim in 1usize..5,
+        hidden in proptest::collection::vec(1usize..7, 1..3),
+        out_dim in 1usize..4,
+        n in 0usize..48,
+        seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let topo = topology(in_dim, &hidden, out_dim);
+        let mlp = Mlp::new(&topo, Activation::Sigmoid, seed).unwrap();
+        let flat = random_inputs(n, in_dim, seed ^ 0xbeef);
+        let inputs = MatrixView::new(&flat, n, in_dim);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        rumba_parallel::set_thread_override(Some(threads));
+        let result = mlp.forward_batch(inputs, &mut scratch, &mut out);
+        rumba_parallel::set_thread_override(None);
+        result.unwrap();
+        prop_assert_eq!(out.rows(), n);
+        for i in 0..n {
+            let serial = mlp.forward(inputs.row(i)).unwrap();
+            prop_assert_eq!(row_bits(out.row(i)), row_bits(&serial));
+        }
+    }
+
+    #[test]
+    fn quantized_batch_matches_per_row_quantized_bitwise(
+        in_dim in 1usize..5,
+        hidden in proptest::collection::vec(1usize..7, 1..3),
+        out_dim in 1usize..4,
+        n in 0usize..48,
+        seed in 0u64..1_000,
+        bits in 0u32..12,
+        threads in 1usize..5,
+    ) {
+        let topo = topology(in_dim, &hidden, out_dim);
+        let mlp = Mlp::new(&topo, Activation::Tanh, seed).unwrap();
+        let flat = random_inputs(n, in_dim, seed ^ 0x5151);
+        let inputs = MatrixView::new(&flat, n, in_dim);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        rumba_parallel::set_thread_override(Some(threads));
+        let result = mlp.forward_batch_quantized(inputs, bits, &mut scratch, &mut out);
+        rumba_parallel::set_thread_override(None);
+        result.unwrap();
+        for i in 0..n {
+            let serial = mlp.forward_quantized(inputs.row(i), bits).unwrap();
+            prop_assert_eq!(row_bits(out.row(i)), row_bits(&serial));
+        }
+    }
+
+    #[test]
+    fn predict_batch_matches_per_row_predict_bitwise(
+        in_dim in 1usize..5,
+        hidden in proptest::collection::vec(1usize..7, 1..3),
+        out_dim in 1usize..4,
+        n in 0usize..48,
+        seed in 0u64..1_000,
+        threads in 1usize..5,
+    ) {
+        let topo = topology(in_dim, &hidden, out_dim);
+        let model = model_for(&topo, seed);
+        let flat = random_inputs(n, in_dim, seed ^ 0x77);
+        let inputs = MatrixView::new(&flat, n, in_dim);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        rumba_parallel::set_thread_override(Some(threads));
+        let result = model.predict_batch(inputs, &mut scratch, &mut out);
+        rumba_parallel::set_thread_override(None);
+        result.unwrap();
+        for i in 0..n {
+            let serial = model.predict(inputs.row(i)).unwrap();
+            prop_assert_eq!(row_bits(out.row(i)), row_bits(&serial));
+        }
+    }
+
+    #[test]
+    fn quantized_predict_batch_matches_per_row_bitwise(
+        in_dim in 1usize..5,
+        hidden in proptest::collection::vec(1usize..7, 1..3),
+        out_dim in 1usize..4,
+        n in 0usize..32,
+        seed in 0u64..1_000,
+        bits in 0u32..12,
+        threads in 1usize..5,
+    ) {
+        let topo = topology(in_dim, &hidden, out_dim);
+        let model = model_for(&topo, seed);
+        let flat = random_inputs(n, in_dim, seed ^ 0x99);
+        let inputs = MatrixView::new(&flat, n, in_dim);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        rumba_parallel::set_thread_override(Some(threads));
+        let result = model.predict_batch_quantized(inputs, bits, &mut scratch, &mut out);
+        rumba_parallel::set_thread_override(None);
+        result.unwrap();
+        for i in 0..n {
+            let serial = model.predict_quantized(inputs.row(i), bits).unwrap();
+            prop_assert_eq!(row_bits(out.row(i)), row_bits(&serial));
+        }
+    }
+}
+
+#[test]
+fn batch_apis_reject_wrong_width() {
+    let mlp = Mlp::new(&[3, 4, 2], Activation::Sigmoid, 1).unwrap();
+    let flat = vec![0.0; 8];
+    let inputs = MatrixView::new(&flat, 4, 2);
+    let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+    assert!(mlp.forward_batch(inputs, &mut scratch, &mut out).is_err());
+    let model = model_for(&[3, 4, 2], 1);
+    assert!(model.predict_batch(inputs, &mut scratch, &mut out).is_err());
+}
+
+#[test]
+fn reused_scratch_survives_shape_changes() {
+    // Shrinking then growing the batch must stay correct (grow-only
+    // buffers are an internal detail, not a correctness hazard).
+    let mlp = Mlp::new(&[2, 5, 1], Activation::Sigmoid, 3).unwrap();
+    let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+    for &n in &[64usize, 1, 17, 64, 0, 33] {
+        let flat = random_inputs(n, 2, n as u64);
+        let inputs = MatrixView::new(&flat, n, 2);
+        mlp.forward_batch(inputs, &mut scratch, &mut out).unwrap();
+        assert_eq!(out.rows(), n);
+        for i in 0..n {
+            let serial = mlp.forward(inputs.row(i)).unwrap();
+            assert_eq!(row_bits(out.row(i)), row_bits(&serial));
+        }
+    }
+}

@@ -219,6 +219,74 @@ impl ThreadPool {
         }
         merged
     }
+
+    /// Splits a flat row-major buffer (`stride` elements per logical item)
+    /// into the same fixed chunk layout as [`ThreadPool::par_map_chunked`]
+    /// and hands each worker `(chunk_index, item range, mutable sub-slice)`.
+    /// The side-effect counterpart of the map primitives: batched kernels
+    /// write results in place instead of returning vectors.
+    ///
+    /// Chunks are disjoint sub-slices, so as long as `f` is chunk-local
+    /// (writes only through the slice it is handed, deriving nothing from
+    /// worker identity or completion order) the buffer contents are
+    /// bit-identical to running the chunks serially — which is what a
+    /// 1-thread pool does, allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `stride` (with
+    /// `stride == 0` only allowed for empty data); propagates panics from
+    /// `f`.
+    pub fn par_chunks_mut<T, F>(&self, data: &mut [T], stride: usize, f: F)
+    where
+        T: Send,
+        F: Fn(usize, std::ops::Range<usize>, &mut [T]) + Sync,
+    {
+        if data.is_empty() {
+            return;
+        }
+        assert!(stride > 0, "stride must be positive for nonempty data");
+        assert_eq!(data.len() % stride, 0, "data length must be a multiple of stride");
+        let n = data.len() / stride;
+        let chunk = chunk_size(n);
+        let n_chunks = n.div_ceil(chunk);
+        let workers = self.threads.min(n_chunks);
+
+        if workers <= 1 || n_chunks <= 1 {
+            // Exact serial path: same chunks, same order, zero allocation.
+            let mut rest = data;
+            for c in 0..n_chunks {
+                let lo = c * chunk;
+                let hi = (lo + chunk).min(n);
+                let (head, tail) = rest.split_at_mut((hi - lo) * stride);
+                f(c, lo..hi, head);
+                rest = tail;
+            }
+            return;
+        }
+
+        let mut jobs: Vec<(usize, std::ops::Range<usize>, &mut [T])> = Vec::with_capacity(n_chunks);
+        let mut rest = data;
+        for c in 0..n_chunks {
+            let lo = c * chunk;
+            let hi = (lo + chunk).min(n);
+            let (head, tail) = rest.split_at_mut((hi - lo) * stride);
+            jobs.push((c, lo..hi, head));
+            rest = tail;
+        }
+        let jobs = Mutex::new(jobs);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let job = jobs.lock().expect("worker panicked holding job lock").pop();
+                    match job {
+                        Some((c, range, slice)) => f(c, range, slice),
+                        None => break,
+                    }
+                });
+            }
+        });
+    }
 }
 
 /// [`ThreadPool::par_map_indexed`] on a pool sized by [`max_threads`].
@@ -353,6 +421,41 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_are_bit_identical_across_thread_counts() {
+        let stride = 3;
+        let n = 500;
+        let fill = |c: usize, range: std::ops::Range<usize>, slice: &mut [f64]| {
+            let mut rng = StdRng::seed_from_u64(seed_for_chunk(9, c as u64));
+            for (k, i) in range.enumerate() {
+                for j in 0..stride {
+                    slice[k * stride + j] = (i * stride + j) as f64 + rng.gen::<f64>();
+                }
+            }
+        };
+        let mut serial = vec![0.0f64; n * stride];
+        ThreadPool::with_threads(1).par_chunks_mut(&mut serial, stride, fill);
+        let serial_bits: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+        for threads in [2, 4, 9] {
+            let mut par = vec![0.0f64; n * stride];
+            ThreadPool::with_threads(threads).par_chunks_mut(&mut par, stride, fill);
+            let par_bits: Vec<u64> = par.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(par_bits, serial_bits, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_handles_empty_and_rejects_ragged_strides() {
+        let pool = ThreadPool::with_threads(4);
+        let mut empty: Vec<f64> = Vec::new();
+        pool.par_chunks_mut(&mut empty, 0, |_, _, _| {});
+        let ragged = std::panic::catch_unwind(|| {
+            let mut data = vec![0.0f64; 7];
+            ThreadPool::with_threads(1).par_chunks_mut(&mut data, 2, |_, _, _| {});
+        });
+        assert!(ragged.is_err());
     }
 
     proptest! {

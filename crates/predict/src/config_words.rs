@@ -9,14 +9,18 @@
 //! - tree: `[TREE_MAGIC, n_nodes, nodes...]` with each node either
 //!   `[0, value]` (leaf) or `[1, feature, threshold]` (decision), in
 //!   preorder.
+//! - EVP: `[EVP_MAGIC, n_models, eps, models...]` with each value model as
+//!   `[n_weights, weights..., bias]`.
 
 use crate::tree::{DecisionTree, TreeNodeWord};
-use crate::{LinearErrors, LinearModel, PredictError, Result, TreeErrors};
+use crate::{EvpErrors, LinearErrors, LinearModel, PredictError, Result, TreeErrors};
 
 /// Magic word marking a linear-checker stream.
 pub const LINEAR_MAGIC: f64 = 0x4C_49_4E as f64; // "LIN"
 /// Magic word marking a tree-checker stream.
 pub const TREE_MAGIC: f64 = 0x54_52_45 as f64; // "TRE"
+/// Magic word marking an EVP-checker stream.
+pub const EVP_MAGIC: f64 = 0x45_56_50 as f64; // "EVP"
 
 /// Serializes a linear checker.
 ///
@@ -132,6 +136,56 @@ pub fn decode_tree(words: &[f64]) -> Result<TreeErrors> {
     Ok(TreeErrors::from_tree(DecisionTree::from_node_words(&nodes)?))
 }
 
+/// Serializes an EVP checker: one value model per output element plus the
+/// relative-error denominator guard.
+#[must_use]
+pub fn encode_evp(checker: &EvpErrors) -> Vec<f64> {
+    let mut words = vec![EVP_MAGIC, checker.models().len() as f64, checker.eps()];
+    for model in checker.models() {
+        words.push(model.weights().len() as f64);
+        words.extend_from_slice(model.weights());
+        words.push(model.bias());
+    }
+    words
+}
+
+/// Reconstructs an EVP checker from [`encode_evp`] output.
+///
+/// # Errors
+///
+/// Returns [`PredictError::InvalidParam`] for a bad magic word and
+/// [`PredictError::ShapeMismatch`] for truncated or oversized streams.
+pub fn decode_evp(words: &[f64]) -> Result<EvpErrors> {
+    if words.first() != Some(&EVP_MAGIC) {
+        return Err(PredictError::InvalidParam {
+            name: "evp magic",
+            value: words.first().map_or("<empty>".into(), |w| w.to_string()),
+        });
+    }
+    let n_models = count(words.get(1))?;
+    let eps = *words.get(2).ok_or_else(|| truncated(words.len()))?;
+    let mut models = Vec::with_capacity(n_models);
+    let mut pos = 3usize;
+    for _ in 0..n_models {
+        let n = count(words.get(pos))?;
+        pos += 1;
+        let end = pos + n + 1;
+        if words.len() < end {
+            return Err(truncated(words.len()));
+        }
+        let weights = words[pos..pos + n].to_vec();
+        let bias = words[pos + n];
+        models.push(LinearModel::from_parts(weights, bias));
+        pos = end;
+    }
+    if pos != words.len() {
+        return Err(PredictError::ShapeMismatch {
+            detail: format!("evp stream has {} trailing words", words.len() - pos),
+        });
+    }
+    Ok(EvpErrors::from_parts(models, eps))
+}
+
 fn count(word: Option<&f64>) -> Result<usize> {
     match word {
         Some(&w) if w >= 0.0 && w.fract() == 0.0 && w < 1e9 => Ok(w as usize),
@@ -141,7 +195,7 @@ fn count(word: Option<&f64>) -> Result<usize> {
 }
 
 fn truncated(len: usize) -> PredictError {
-    PredictError::ShapeMismatch { detail: format!("tree stream truncated at {len} words") }
+    PredictError::ShapeMismatch { detail: format!("config stream truncated at {len} words") }
 }
 
 #[cfg(test)]
@@ -165,7 +219,7 @@ mod tests {
     fn linear_round_trip_is_exact() {
         let (linear, _) = trained_pair();
         let mut restored = decode_linear(&encode_linear(&linear)).unwrap();
-        let mut original = linear.clone();
+        let mut original = linear;
         for i in 0..20 {
             let x = [i as f64 / 20.0, (i % 3) as f64 / 3.0];
             assert_eq!(original.estimate(&x, &[]), restored.estimate(&x, &[]));
@@ -176,7 +230,7 @@ mod tests {
     fn tree_round_trip_is_exact() {
         let (_, tree) = trained_pair();
         let mut restored = decode_tree(&encode_tree(&tree)).unwrap();
-        let mut original = tree.clone();
+        let mut original = tree;
         for i in 0..50 {
             let x = [i as f64 / 50.0, (i % 7) as f64 / 7.0];
             assert_eq!(original.estimate(&x, &[]), restored.estimate(&x, &[]));
@@ -185,12 +239,44 @@ mod tests {
         assert_eq!(original.tree().node_count(), restored.tree().node_count());
     }
 
+    fn trained_evp() -> EvpErrors {
+        let rows: Vec<Vec<f64>> =
+            (0..120).map(|i| vec![i as f64 / 120.0, (i % 5) as f64 / 5.0]).collect();
+        let outs: Vec<Vec<f64>> =
+            rows.iter().map(|r| vec![2.0 * r[0] + r[1], 1.0 - r[0], r[1] * 0.5]).collect();
+        let r: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let o: Vec<&[f64]> = outs.iter().map(Vec::as_slice).collect();
+        EvpErrors::train(&r, &o, 1e-9).unwrap()
+    }
+
+    #[test]
+    fn evp_round_trip_is_exact() {
+        let evp = trained_evp();
+        let mut restored = decode_evp(&encode_evp(&evp)).unwrap();
+        let mut original = evp;
+        assert_eq!(restored.models().len(), original.models().len());
+        assert_eq!(restored.eps().to_bits(), original.eps().to_bits());
+        for i in 0..30 {
+            let x = [i as f64 / 30.0, (i % 4) as f64 / 4.0];
+            let a = [x[0] * 1.9, 1.0 - x[0] * 1.1, x[1] * 0.4];
+            assert_eq!(
+                original.estimate(&x, &a).to_bits(),
+                restored.estimate(&x, &a).to_bits(),
+                "row {i}"
+            );
+        }
+    }
+
     #[test]
     fn wrong_magic_rejected() {
         let (linear, tree) = trained_pair();
-        // Each decoder must reject the other's stream.
+        let evp = trained_evp();
+        // Each decoder must reject the others' streams.
         assert!(decode_linear(&encode_tree(&tree)).is_err());
         assert!(decode_tree(&encode_linear(&linear)).is_err());
+        assert!(decode_evp(&encode_linear(&linear)).is_err());
+        assert!(decode_linear(&encode_evp(&evp)).is_err());
+        assert!(decode_tree(&encode_evp(&evp)).is_err());
     }
 
     #[test]
@@ -200,6 +286,13 @@ mod tests {
         let tw = encode_tree(&tree);
         assert!(decode_linear(&lw[..lw.len() - 1]).is_err());
         assert!(decode_tree(&tw[..tw.len() - 1]).is_err());
+        let ew = encode_evp(&trained_evp());
+        for cut in [ew.len() - 1, 2, 3] {
+            assert!(decode_evp(&ew[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut trailing = ew;
+        trailing.push(0.25);
+        assert!(decode_evp(&trailing).is_err());
     }
 
     #[test]

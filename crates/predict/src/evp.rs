@@ -53,6 +53,19 @@ impl EvpErrors {
     pub fn models(&self) -> &[LinearModel] {
         &self.models
     }
+
+    /// Rebuilds a checker from its components (the config-stream decoder's
+    /// constructor).
+    #[must_use]
+    pub fn from_parts(models: Vec<LinearModel>, eps: f64) -> Self {
+        Self { models, eps }
+    }
+
+    /// The relative-error denominator guard.
+    #[must_use]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
 }
 
 impl ErrorEstimator for EvpErrors {

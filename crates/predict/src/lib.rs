@@ -46,7 +46,8 @@ use std::error::Error;
 use std::fmt;
 
 pub use config_words::{
-    decode_linear, decode_tree, encode_linear, encode_tree, LINEAR_MAGIC, TREE_MAGIC,
+    decode_evp, decode_linear, decode_tree, encode_evp, encode_linear, encode_tree, EVP_MAGIC,
+    LINEAR_MAGIC, TREE_MAGIC,
 };
 pub use cost::CheckerCost;
 pub use ema::EmaDetector;
@@ -117,6 +118,39 @@ pub trait ErrorEstimator: fmt::Debug + Send {
 
     /// Predicts the invocation's approximation error.
     fn estimate(&mut self, input: &[f64], approx_output: &[f64]) -> f64;
+
+    /// Scores `n` invocations from flat row-major buffers, appending one
+    /// estimate per row to `scores` (cleared first). `inputs` is
+    /// `n × input_dim` and `approx_outputs` is `n × output_dim`; a width of
+    /// zero means "no data on that port" and hands every row an empty
+    /// slice. Rows are scored in ascending order, so stateful estimators
+    /// see the same sequence as a per-row loop — the default implementation
+    /// *is* that loop, and implementors must preserve its bit-exact
+    /// behaviour.
+    fn estimate_batch(
+        &mut self,
+        n: usize,
+        inputs: &[f64],
+        input_dim: usize,
+        approx_outputs: &[f64],
+        output_dim: usize,
+        scores: &mut Vec<f64>,
+    ) {
+        debug_assert_eq!(inputs.len(), n * input_dim);
+        debug_assert_eq!(approx_outputs.len(), n * output_dim);
+        scores.clear();
+        scores.reserve(n);
+        for i in 0..n {
+            let x =
+                if input_dim == 0 { &[][..] } else { &inputs[i * input_dim..(i + 1) * input_dim] };
+            let a = if output_dim == 0 {
+                &[][..]
+            } else {
+                &approx_outputs[i * output_dim..(i + 1) * output_dim]
+            };
+            scores.push(self.estimate(x, a));
+        }
+    }
 
     /// Hardware work one prediction costs.
     fn cost(&self) -> CheckerCost;

@@ -5,6 +5,8 @@
 //! predicted error. Only comparisons are needed online, so the checker is
 //! cheap; the paper caps the depth at 7 and so does [`TreeParams::default`].
 
+use std::sync::Arc;
+
 use crate::{CheckerCost, ErrorEstimator, PredictError, Result};
 
 /// Training hyper-parameters for [`DecisionTree`].
@@ -290,9 +292,13 @@ fn measure(node: &Node) -> (usize, usize) {
 
 /// The `treeErrors` checker: an input-based EEP estimator backed by a
 /// [`DecisionTree`] trained directly on observed invocation errors.
+///
+/// The tree lives behind an [`Arc`], so cloning a trained checker — which
+/// the runtime does whenever it stamps out per-scheme probes — shares the
+/// node structure instead of deep-copying it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TreeErrors {
-    tree: DecisionTree,
+    tree: Arc<DecisionTree>,
 }
 
 impl TreeErrors {
@@ -302,14 +308,14 @@ impl TreeErrors {
     ///
     /// Propagates [`DecisionTree::fit`] errors.
     pub fn train(rows: &[&[f64]], errors: &[f64], params: &TreeParams) -> Result<Self> {
-        Ok(Self { tree: DecisionTree::fit(rows, errors, params)? })
+        Ok(Self::from_tree(DecisionTree::fit(rows, errors, params)?))
     }
 
     /// Wraps an already-built tree (the config-stream decoder's
     /// constructor).
     #[must_use]
     pub fn from_tree(tree: DecisionTree) -> Self {
-        Self { tree }
+        Self { tree: Arc::new(tree) }
     }
 
     /// The trained tree (structure feeds the coefficient buffer).

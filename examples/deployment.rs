@@ -54,7 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sanity: identical to running the original (never-serialized) system.
     let mut original = RumbaSystem::new(
         app.rumba_npu.clone(),
-        CheckerUnit::new(Box::new(app.tree.clone())),
+        CheckerUnit::new(Box::new(app.tree)),
         Tuner::new(TuningMode::TargetQuality { toq: 0.90 }, 0.05)?,
         RuntimeConfig::default(),
     )?;

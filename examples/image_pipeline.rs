@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Managed pass: best-effort quality while the CPU keeps up.
     let mut system = RumbaSystem::new(
         app.rumba_npu.clone(),
-        CheckerUnit::new(Box::new(app.tree.clone())),
+        CheckerUnit::new(Box::new(app.tree)),
         Tuner::new(TuningMode::BestQuality, 0.1)?,
         RuntimeConfig::default(),
     )?;

@@ -46,7 +46,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut system = RumbaSystem::new(
         app.rumba_npu.clone(),
-        CheckerUnit::new(Box::new(app.tree.clone())),
+        CheckerUnit::new(Box::new(app.tree)),
         Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.05)?,
         RuntimeConfig::default(),
     )?;

@@ -28,7 +28,7 @@ fn managed_run(
 
     let mut system = RumbaSystem::new(
         app.rumba_npu.clone(),
-        CheckerUnit::new(Box::new(app.tree.clone())),
+        CheckerUnit::new(Box::new(app.tree)),
         Tuner::new(mode, threshold).expect("valid tuner"),
         RuntimeConfig::default(),
     )
@@ -78,7 +78,7 @@ fn energy_mode_bounds_reexecution() {
     let window = 250usize;
     let mut system = RumbaSystem::new(
         app.rumba_npu.clone(),
-        CheckerUnit::new(Box::new(app.linear.clone())),
+        CheckerUnit::new(Box::new(app.linear)),
         Tuner::new(TuningMode::EnergyBudget { budget }, 1e-4).expect("valid tuner"),
         RuntimeConfig { window, ..RuntimeConfig::default() },
     )
