@@ -46,6 +46,41 @@ if ! cmp -s "$smoke_dir/fig10.t1" ci/fig10.golden; then
 fi
 echo "    fig10 byte-identical to the golden transcript"
 
+echo "==> telemetry gate: metrics on must not move a bit, and must parse"
+# fig10 with a live JSONL sink must still match the golden transcript
+# byte for byte (telemetry is purely observational), and the stream it
+# writes must be machine-readable.
+RUMBA_CACHE=0 RUMBA_THREADS=1 RUMBA_METRICS_OUT="$smoke_dir/fig10.jsonl" \
+    cargo run --release -q -p rumba-bench --bin fig10 \
+    >"$smoke_dir/fig10.obs" 2>/dev/null
+if ! cmp -s "$smoke_dir/fig10.obs" ci/fig10.golden; then
+    echo "FAIL: fig10 stdout changed when telemetry was enabled" >&2
+    diff ci/fig10.golden "$smoke_dir/fig10.obs" | head -20 >&2
+    exit 1
+fi
+if [ ! -s "$smoke_dir/fig10.jsonl" ]; then
+    echo "FAIL: RUMBA_METRICS_OUT produced no telemetry" >&2
+    exit 1
+fi
+# A run-level stream exercises every event path; `rumba report` parses
+# both files and rejects malformed lines.
+cargo run --release -q -p rumba-cli --bin rumba -- \
+    run gaussian --toq 0.95 --metrics-out "$smoke_dir/run.jsonl" >/dev/null
+for stream in "$smoke_dir/fig10.jsonl" "$smoke_dir/run.jsonl"; do
+    summary=$(cargo run --release -q -p rumba-cli --bin rumba -- report "$stream")
+    if ! echo "$summary" | grep -q ", 0 malformed"; then
+        echo "FAIL: $stream contains malformed telemetry lines" >&2
+        echo "$summary" | head -10 >&2
+        exit 1
+    fi
+done
+if ! cargo run --release -q -p rumba-cli --bin rumba -- report "$smoke_dir/run.jsonl" \
+    | grep -q "windows:"; then
+    echo "FAIL: run stream is missing window_end events" >&2
+    exit 1
+fi
+echo "    telemetry streams parse clean; golden output unchanged"
+
 echo "==> matrix bench smoke (bit-exactness gate + allocation probe)"
 # The bench asserts batched == per-sample bitwise and zero steady-state
 # allocations before it times anything, so a short run is a real check.

@@ -8,6 +8,9 @@ use rumba_core::analysis::error_vs_fixed_curve;
 use rumba_core::scheme::SchemeKind;
 
 fn main() {
+    // Honors RUMBA_METRICS_OUT (training cache probes, pool usage) and
+    // flushes the telemetry stream on exit; stdout is unaffected.
+    let _obs = rumba_obs::guard();
     let suite = Suite::build().expect("suite trains");
     let fractions: Vec<f64> = (0..=10).map(|k| k as f64 / 10.0).collect();
 

@@ -71,6 +71,9 @@ pub enum Command {
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). Results are identical at any setting.
         threads: Option<usize>,
+        /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
+        /// `RUMBA_METRICS_OUT` environment variable in charge.
+        metrics_out: Option<String>,
     },
     /// `rumba run <kernel> [flags]` — online managed execution.
     Run {
@@ -87,6 +90,14 @@ pub enum Command {
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). Results are identical at any setting.
         threads: Option<usize>,
+        /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
+        /// `RUMBA_METRICS_OUT` environment variable in charge.
+        metrics_out: Option<String>,
+    },
+    /// `rumba report <path.jsonl>` — summarize a telemetry stream.
+    Report {
+        /// Path to a JSONL file written via `--metrics-out`.
+        path: String,
     },
     /// `rumba purity <kernel>` — §2.2 re-execution safety check.
     Purity {
@@ -158,10 +169,18 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
             Ok(Command::Purity { kernel })
         }
+        Some("report") => {
+            let path = it.next().ok_or(ParseError::MissingValue("report <path.jsonl>"))?.to_owned();
+            if let Some(extra) = it.next() {
+                return Err(ParseError::UnknownFlag(extra.to_owned()));
+            }
+            Ok(Command::Report { path })
+        }
         Some("train") => {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
             let mut seed = 42u64;
             let mut threads = None;
+            let mut metrics_out = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
             while k < rest.len() {
@@ -174,10 +193,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         threads = Some(parse_threads(rest.get(k + 1).copied())?);
                         k += 2;
                     }
+                    "--metrics-out" => {
+                        metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
+                        k += 2;
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Train { kernel, seed, threads })
+            Ok(Command::Train { kernel, seed, threads, metrics_out })
         }
         Some("run") => {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
@@ -186,6 +209,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut mode = ModeChoice::default();
             let mut window = 256usize;
             let mut threads = None;
+            let mut metrics_out = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
             while k < rest.len() {
@@ -236,10 +260,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         threads = Some(parse_threads(rest.get(k + 1).copied())?);
                         k += 2;
                     }
+                    "--metrics-out" => {
+                        metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
+                        k += 2;
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Run { kernel, seed, checker, mode, window, threads })
+            Ok(Command::Run { kernel, seed, checker, mode, window, threads, metrics_out })
         }
         Some(other) => Err(ParseError::UnknownCommand(other.to_owned())),
     }
@@ -266,6 +294,14 @@ fn parse_threads(value: Option<&str>) -> Result<usize, ParseError> {
     Ok(v as usize)
 }
 
+fn parse_path(value: Option<&str>, flag: &'static str) -> Result<String, ParseError> {
+    let text = value.ok_or(ParseError::MissingValue(flag))?;
+    if text.trim().is_empty() {
+        return Err(ParseError::BadValue { flag, value: text.to_owned(), expected: "a file path" });
+    }
+    Ok(text.to_owned())
+}
+
 fn parse_f64(value: Option<&str>, flag: &'static str) -> Result<f64, ParseError> {
     let text = value.ok_or(ParseError::MissingValue(flag))?;
     text.parse().map_err(|_| ParseError::BadValue {
@@ -281,10 +317,12 @@ rumba — online quality management for approximate accelerators
 
 USAGE:
     rumba list
-    rumba train <kernel> [--seed N] [--threads N]
+    rumba train <kernel> [--seed N] [--threads N] [--metrics-out PATH]
     rumba run <kernel> [--checker linear|tree|ema|evp|table|ensemble]
                        [--toq Q | --budget N | --quality-mode]
                        [--window N] [--seed N] [--threads N]
+                       [--metrics-out PATH]
+    rumba report <path.jsonl>
     rumba purity <kernel>
     rumba help
 
@@ -294,11 +332,20 @@ THREADS:
     default is the machine's available parallelism). Output is
     bit-identical at every thread count; --threads 1 runs fully serial.
 
+TELEMETRY:
+    --metrics-out PATH streams control-loop telemetry (per-window
+    threshold/quality/fire-rate events, cache probes, pool usage) to PATH
+    as JSON lines, overriding the RUMBA_METRICS_OUT environment variable.
+    Telemetry is purely observational: command output is byte-identical
+    with it on or off. 'rumba report <path.jsonl>' summarizes a stream.
+
 EXAMPLES:
     rumba run inversek2j --checker tree --toq 0.9
     rumba run blackscholes --budget 16 --window 256
     rumba run fft --checker ensemble --quality-mode
     rumba train kmeans --threads 4
+    rumba run gaussian --toq 0.95 --metrics-out run.jsonl
+    rumba report run.jsonl
 ";
 
 #[cfg(test)]
@@ -330,14 +377,15 @@ mod tests {
                 mode: ModeChoice::Toq(0.9),
                 window: 256,
                 threads: None,
+                metrics_out: None,
             }
         );
     }
 
     #[test]
     fn parses_run_with_all_flags() {
-        let cmd =
-            p("run jmeint --checker ema --toq 0.95 --window 128 --seed 7 --threads 4").unwrap();
+        let cmd = p("run jmeint --checker ema --toq 0.95 --window 128 --seed 7 --threads 4 --metrics-out m.jsonl")
+            .unwrap();
         assert_eq!(
             cmd,
             Command::Run {
@@ -347,6 +395,7 @@ mod tests {
                 mode: ModeChoice::Toq(0.95),
                 window: 128,
                 threads: Some(4),
+                metrics_out: Some("m.jsonl".into()),
             }
         );
     }
@@ -355,11 +404,16 @@ mod tests {
     fn parses_threads_on_train_and_rejects_zero() {
         assert_eq!(
             p("train kmeans --threads 8").unwrap(),
-            Command::Train { kernel: "kmeans".into(), seed: 42, threads: Some(8) }
+            Command::Train {
+                kernel: "kmeans".into(),
+                seed: 42,
+                threads: Some(8),
+                metrics_out: None
+            }
         );
         assert_eq!(
             p("train kmeans").unwrap(),
-            Command::Train { kernel: "kmeans".into(), seed: 42, threads: None }
+            Command::Train { kernel: "kmeans".into(), seed: 42, threads: None, metrics_out: None }
         );
         assert!(matches!(p("run fft --threads 0"), Err(ParseError::BadValue { .. })));
         assert!(matches!(p("train fft --threads"), Err(ParseError::MissingValue("--threads"))));
@@ -370,6 +424,28 @@ mod tests {
     fn help_documents_threads_flag() {
         assert!(HELP.contains("--threads N"));
         assert!(HELP.contains("RUMBA_THREADS"));
+    }
+
+    #[test]
+    fn parses_report_and_metrics_out() {
+        assert_eq!(p("report m.jsonl").unwrap(), Command::Report { path: "m.jsonl".into() });
+        assert!(matches!(p("report"), Err(ParseError::MissingValue(_))));
+        assert!(matches!(p("report a.jsonl extra"), Err(ParseError::UnknownFlag(_))));
+        assert!(matches!(
+            p("train fft --metrics-out out.jsonl").unwrap(),
+            Command::Train { metrics_out: Some(_), .. }
+        ));
+        assert!(matches!(
+            p("run fft --metrics-out"),
+            Err(ParseError::MissingValue("--metrics-out"))
+        ));
+    }
+
+    #[test]
+    fn help_documents_telemetry() {
+        assert!(HELP.contains("--metrics-out"));
+        assert!(HELP.contains("RUMBA_METRICS_OUT"));
+        assert!(HELP.contains("rumba report"));
     }
 
     #[test]

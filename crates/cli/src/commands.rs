@@ -177,6 +177,19 @@ pub fn run(
     ))
 }
 
+/// `rumba report <path.jsonl>` — summarize a telemetry stream produced
+/// with `--metrics-out` (or `RUMBA_METRICS_OUT`).
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] when the file cannot be read.
+pub fn report(path: &str) -> Result<String, CommandError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CommandError(format!("cannot read {path}: {e}")))?;
+    let report = rumba_obs::Report::from_lines(&text);
+    Ok(format!("telemetry: {path}\n{report}"))
+}
+
 /// `rumba purity <kernel>`.
 ///
 /// # Errors
@@ -242,5 +255,36 @@ mod tests {
     fn purity_passes_for_shipped_kernels() {
         let text = purity("sobel").unwrap();
         assert!(text.contains("pure"));
+    }
+
+    #[test]
+    fn report_summarizes_a_jsonl_file() {
+        use rumba_obs::Event;
+        let path = std::env::temp_dir().join(format!("rumba-report-{}.jsonl", std::process::id()));
+        let lines = [
+            Event::WindowEnd {
+                window: 0,
+                threshold: 0.1,
+                fired: 7,
+                suppressed_by_budget: 0,
+                mean_unfixed_pred: 0.01,
+                cpu_capacity: 12,
+                queue_depth_max: 1,
+            }
+            .to_jsonl(),
+            Event::Cache { hit: true, key: "gaussian-s42".into() }.to_jsonl(),
+        ]
+        .join("\n");
+        std::fs::write(&path, lines).unwrap();
+        let text = report(path.to_str().unwrap()).unwrap();
+        assert!(text.contains("windows: 1"), "{text}");
+        assert!(text.contains("cache: 1 hits, 0 misses"), "{text}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn report_on_missing_file_is_a_clean_error() {
+        let e = report("/nonexistent/rumba.jsonl").unwrap_err();
+        assert!(e.to_string().contains("cannot read"));
     }
 }

@@ -5,7 +5,25 @@ use std::process::ExitCode;
 use rumba_cli::args::{parse, Command, HELP};
 use rumba_cli::commands;
 
+/// Points the global telemetry sink at `path`, failing the command early
+/// when the file cannot be created.
+fn install_metrics_sink(path: &str) -> Result<(), ExitCode> {
+    match rumba_obs::JsonlSink::create(path) {
+        Ok(sink) => {
+            rumba_obs::set_global_sink(std::sync::Arc::new(sink));
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("error: cannot open --metrics-out {path}: {e}");
+            Err(ExitCode::FAILURE)
+        }
+    }
+}
+
 fn main() -> ExitCode {
+    // Initializes telemetry from RUMBA_METRICS_OUT and flushes the final
+    // pool-usage event when main returns.
+    let _obs = rumba_obs::guard();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match parse(&args) {
         Ok(c) => c,
@@ -24,14 +42,25 @@ fn main() -> ExitCode {
             print!("{}", commands::list());
             return ExitCode::SUCCESS;
         }
-        Command::Train { kernel, seed, threads } => {
+        Command::Train { kernel, seed, threads, metrics_out } => {
             rumba_parallel::set_thread_override(threads);
+            if let Some(path) = metrics_out {
+                if let Err(code) = install_metrics_sink(&path) {
+                    return code;
+                }
+            }
             commands::train(&kernel, seed)
         }
-        Command::Run { kernel, seed, checker, mode, window, threads } => {
+        Command::Run { kernel, seed, checker, mode, window, threads, metrics_out } => {
             rumba_parallel::set_thread_override(threads);
+            if let Some(path) = metrics_out {
+                if let Err(code) = install_metrics_sink(&path) {
+                    return code;
+                }
+            }
             commands::run(&kernel, seed, checker, mode, window)
         }
+        Command::Report { path } => commands::report(&path),
         Command::Purity { kernel } => commands::purity(&kernel),
     };
 

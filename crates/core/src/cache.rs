@@ -64,13 +64,22 @@ pub struct TrainedModelCache {
 }
 
 impl TrainedModelCache {
-    /// The environment-configured cache: `target/rumba-cache` (or
-    /// `RUMBA_CACHE_DIR`), disabled entirely by `RUMBA_CACHE=0`.
+    /// The environment-configured cache: `<workspace root>/target/rumba-cache`
+    /// (or `RUMBA_CACHE_DIR`), disabled entirely by `RUMBA_CACHE=0`.
+    ///
+    /// The default directory used to be the *cwd-relative* path
+    /// `target/rumba-cache`, so every binary invoked from a different
+    /// working directory silently kept its own cold cache (and `rumba` run
+    /// from `/tmp` would scatter `target/` directories around the
+    /// filesystem). It is now anchored to the workspace root — the nearest
+    /// ancestor of the executable, the build-time manifest directory, or
+    /// the cwd that contains a `Cargo.lock` — falling back to the old
+    /// cwd-relative behavior only when no root is found.
     #[must_use]
     pub fn from_env() -> Self {
         let enabled = std::env::var("RUMBA_CACHE").map_or(true, |v| v.trim() != "0");
-        let dir = std::env::var("RUMBA_CACHE_DIR")
-            .map_or_else(|_| PathBuf::from("target/rumba-cache"), PathBuf::from);
+        let dir =
+            std::env::var("RUMBA_CACHE_DIR").map_or_else(|_| default_cache_dir(), PathBuf::from);
         Self { dir, enabled }
     }
 
@@ -119,10 +128,13 @@ impl TrainedModelCache {
             return None;
         }
         let path = self.entry_path(kernel_name, topologies, cfg, nn_params);
-        let text = fs::read_to_string(&path).ok()?;
-        let models = parse_entry(&text)?;
-        eprintln!("[cache] hit: {kernel_name} (seed {}) from {}", cfg.seed, path.display());
-        Some(models)
+        let key = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let models = fs::read_to_string(&path).ok().as_deref().and_then(parse_entry);
+        emit_cache_event(models.is_some(), &key);
+        if models.is_some() {
+            eprintln!("[cache] hit: {kernel_name} (seed {}) from {}", cfg.seed, path.display());
+        }
+        models
     }
 
     /// Encodes and persists one training result. Failures (e.g. a read-only
@@ -143,6 +155,40 @@ impl TrainedModelCache {
         if let Err(e) = write_entry(&path, kernel_name, models) {
             eprintln!("[cache] store failed for {kernel_name}: {e}");
         }
+    }
+}
+
+/// The default cache directory: `target/rumba-cache` under the workspace
+/// root when one can be found, otherwise the legacy cwd-relative path.
+fn default_cache_dir() -> PathBuf {
+    workspace_root().unwrap_or_else(|| PathBuf::from(".")).join("target").join("rumba-cache")
+}
+
+/// Locates the workspace root as the nearest `Cargo.lock`-bearing ancestor
+/// of (in priority order) the running executable, the compile-time
+/// manifest directory, and the current working directory.
+fn workspace_root() -> Option<PathBuf> {
+    if let Ok(exe) = std::env::current_exe() {
+        if let Some(root) = root_above(&exe) {
+            return Some(root);
+        }
+    }
+    if let Some(root) = root_above(Path::new(env!("CARGO_MANIFEST_DIR"))) {
+        return Some(root);
+    }
+    std::env::current_dir().ok().and_then(|cwd| root_above(&cwd))
+}
+
+/// The nearest ancestor of `start` (inclusive) containing a `Cargo.lock`.
+fn root_above(start: &Path) -> Option<PathBuf> {
+    start.ancestors().find(|dir| dir.join("Cargo.lock").is_file()).map(Path::to_path_buf)
+}
+
+/// Reports a cache probe to telemetry (event stream + hit/miss counters).
+fn emit_cache_event(hit: bool, key: &str) {
+    if rumba_obs::enabled() {
+        rumba_obs::global_sink().emit(&rumba_obs::Event::Cache { hit, key: key.to_owned() });
+        rumba_obs::metrics().inc(if hit { "cache.hits" } else { "cache.misses" });
     }
 }
 
@@ -298,5 +344,31 @@ mod tests {
         let cfg = OfflineConfig::default();
         let _ = train_app_with_cache(kernel.as_ref(), &cfg, &cache).unwrap();
         assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn root_above_finds_the_nearest_lockfile_ancestor() {
+        let base = std::env::temp_dir().join(format!("rumba-root-test-{}", std::process::id()));
+        let nested = base.join("a").join("b").join("c");
+        fs::create_dir_all(&nested).unwrap();
+        fs::write(base.join("Cargo.lock"), "").unwrap();
+        // An inner lockfile shadows the outer one (nearest wins).
+        fs::write(base.join("a").join("Cargo.lock"), "").unwrap();
+        assert_eq!(root_above(&nested), Some(base.join("a")));
+        assert_eq!(root_above(&base), Some(base.clone()));
+        // Files walk up through their parent directory.
+        let file = nested.join("rumba");
+        fs::write(&file, "").unwrap();
+        assert_eq!(root_above(&file), Some(base.join("a")));
+        let _ = fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn default_cache_dir_is_anchored_under_a_workspace_root() {
+        let dir = default_cache_dir();
+        assert!(dir.ends_with(Path::new("target").join("rumba-cache")), "{}", dir.display());
+        // Running under cargo, some anchor (manifest dir at minimum) must
+        // resolve, so the path is absolute rather than cwd-relative.
+        assert!(dir.is_absolute(), "{}", dir.display());
     }
 }

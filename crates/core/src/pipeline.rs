@@ -91,6 +91,12 @@ pub fn simulate(n: usize, npu_cycles: f64, cpu_cycles: f64, fired: &[bool]) -> P
     }
 
     let cpu_utilization = if total_cycles > 0.0 { cpu_busy_cycles / total_cycles } else { 0.0 };
+    if rumba_obs::enabled() {
+        let m = rumba_obs::metrics();
+        m.set_gauge("pipeline.cpu_utilization", cpu_utilization);
+        m.set_gauge("pipeline.total_cycles", total_cycles);
+        m.set_gauge("pipeline.overrun_cycles", overrun_cycles);
+    }
     PipelineRun {
         total_cycles,
         accel_busy_cycles,

@@ -91,8 +91,11 @@ pub struct RumbaSystem {
     config: RuntimeConfig,
     // Streaming window state (reset by `begin_stream`).
     window_fired: usize,
+    window_suppressed: usize,
     window_pred_sum: f64,
     window_len: usize,
+    window_queue_depth: u64,
+    windows_flushed: u64,
     stream_fixes: usize,
     stream_invocations: usize,
 }
@@ -125,8 +128,11 @@ impl RumbaSystem {
             tuner,
             config,
             window_fired: 0,
+            window_suppressed: 0,
             window_pred_sum: 0.0,
             window_len: 0,
+            window_queue_depth: 0,
+            windows_flushed: 0,
             stream_fixes: 0,
             stream_invocations: 0,
         })
@@ -143,8 +149,11 @@ impl RumbaSystem {
     pub fn begin_stream(&mut self) {
         self.checker.reset();
         self.window_fired = 0;
+        self.window_suppressed = 0;
         self.window_pred_sum = 0.0;
         self.window_len = 0;
+        self.window_queue_depth = 0;
+        self.windows_flushed = 0;
         self.stream_fixes = 0;
         self.stream_invocations = 0;
     }
@@ -191,13 +200,19 @@ impl RumbaSystem {
         let predicted = self.checker.predict(input, approx_output);
         let cap = self.tuner.reexec_cap(cpu_capacity_per_window);
         let budget_left = cap.is_none_or(|c| self.window_fired < c);
-        let fired = predicted > self.tuner.threshold() && budget_left;
+        let wants_fire = predicted > self.tuner.threshold();
+        let fired = wants_fire && budget_left;
 
         if fired {
             kernel.compute(input, output);
             self.window_fired += 1;
             self.stream_fixes += 1;
         } else {
+            if wants_fire {
+                // Check fired but the re-execution budget for this window
+                // is spent (§3.4's hard cap) — telemetry only.
+                self.window_suppressed += 1;
+            }
             output[..approx_output.len()].copy_from_slice(approx_output);
             self.window_pred_sum += predicted;
         }
@@ -228,6 +243,18 @@ impl RumbaSystem {
         .floor() as usize
     }
 
+    /// Folds the recovery-queue depth observed after an enqueue into the
+    /// current window's telemetry high-water mark.
+    fn note_queue_depth(&mut self, depth: usize) {
+        self.window_queue_depth = self.window_queue_depth.max(depth as u64);
+    }
+
+    /// Tuning windows completed since [`RumbaSystem::begin_stream`].
+    #[must_use]
+    pub fn windows_flushed(&self) -> u64 {
+        self.windows_flushed
+    }
+
     fn flush_window(&mut self, cpu_capacity: usize) {
         if self.window_len == 0 {
             return;
@@ -235,15 +262,32 @@ impl RumbaSystem {
         // Window quality estimate: fixed iterations are exact, so the
         // window's predicted output error is the unfixed prediction mass
         // over the whole window.
+        let mean_unfixed_pred = self.window_pred_sum / self.window_len as f64;
         self.tuner.observe_window(WindowStats {
             window_len: self.window_len,
             fired: self.window_fired,
-            mean_unfixed_predicted_error: self.window_pred_sum / self.window_len as f64,
+            mean_unfixed_predicted_error: mean_unfixed_pred,
             cpu_capacity,
         });
+        if rumba_obs::enabled() {
+            // The threshold reported is the post-adjustment one, matching
+            // the entries `Tuner::history` records per window.
+            rumba_obs::global_sink().emit(&rumba_obs::Event::WindowEnd {
+                window: self.windows_flushed,
+                threshold: self.tuner.threshold(),
+                fired: self.window_fired as u64,
+                suppressed_by_budget: self.window_suppressed as u64,
+                mean_unfixed_pred,
+                cpu_capacity: cpu_capacity as u64,
+                queue_depth_max: self.window_queue_depth,
+            });
+        }
+        self.windows_flushed += 1;
         self.window_fired = 0;
+        self.window_suppressed = 0;
         self.window_pred_sum = 0.0;
         self.window_len = 0;
+        self.window_queue_depth = 0;
     }
 
     /// Processes every invocation in `data`, returning the merged outputs
@@ -257,6 +301,7 @@ impl RumbaSystem {
         if data.is_empty() {
             return Err(RumbaError::EmptyWorkload);
         }
+        let _span = rumba_obs::span("core.run");
         let n = data.len();
         let out_dim = self.npu.output_dim();
         let metric = kernel.metric();
@@ -299,6 +344,7 @@ impl RumbaSystem {
                     let _ = recovery_queue.pop();
                     let _ = recovery_queue.push(bit);
                 }
+                self.note_queue_depth(recovery_queue.len());
                 let _ = recovery_queue.pop().expect("just pushed");
                 *fired_flag = true;
                 fixes += 1;
@@ -323,6 +369,17 @@ impl RumbaSystem {
             _ => 0.0,
         };
         let pipeline = simulate(n, npu_cycles, cpu_cycles, &fired);
+        if rumba_obs::enabled() {
+            rumba_obs::global_sink().emit(&rumba_obs::Event::RunSummary {
+                kernel: kernel.name().to_owned(),
+                invocations: n as u64,
+                fixes: fixes as u64,
+                output_error,
+                windows: self.windows_flushed,
+                cpu_utilization: pipeline.cpu_utilization,
+                final_threshold: self.tuner.threshold(),
+            });
+        }
         let activity = SchemeActivity {
             accelerator_invocations: n,
             npu_cycles_per_invocation: self.npu.cycles_per_invocation(),

@@ -27,6 +27,18 @@ pub enum TuningMode {
     BestQuality,
 }
 
+/// What [`Tuner::observe_window`] did to the threshold (telemetry; the
+/// runtime folds it into the `window_end` event stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThresholdAction {
+    /// Threshold moved up (fix fewer, save energy).
+    Raised,
+    /// Threshold moved down (fix more, protect quality).
+    Lowered,
+    /// Feedback landed inside the dead-band; the threshold held still.
+    Held,
+}
+
 /// Per-window feedback the tuner adapts on.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct WindowStats {
@@ -124,10 +136,19 @@ pub struct Tuner {
     mode: TuningMode,
     threshold: f64,
     history: Vec<f64>,
+    history_capacity: usize,
+    history_evictions: u64,
     policy: StepPolicy,
     min_threshold: f64,
     max_threshold: f64,
 }
+
+/// Default bound on [`Tuner::history`]. Before this cap existed the
+/// history grew one `f64` per window forever — an unbounded leak in the
+/// long-running streaming deployment path (`rumba_apps::pipelines`); the
+/// bounded figure-sweep runs never come close, so their
+/// `RunOutcome::threshold_history` keeps full fidelity.
+pub const DEFAULT_HISTORY_CAPACITY: usize = 4096;
 
 impl Tuner {
     /// Creates a tuner starting from `initial_threshold` (typically the
@@ -169,10 +190,23 @@ impl Tuner {
             mode,
             threshold: initial_threshold,
             history: vec![initial_threshold],
+            history_capacity: DEFAULT_HISTORY_CAPACITY,
+            history_evictions: 0,
             policy,
             min_threshold: 1e-6,
             max_threshold: 1e6,
         })
+    }
+
+    /// Bounds the retained threshold history to the most recent `capacity`
+    /// entries (minimum 1). Older entries are evicted oldest-first and
+    /// counted in [`Tuner::history_evictions`] and the
+    /// `tuner.history_evictions` metrics counter.
+    #[must_use]
+    pub fn with_history_capacity(mut self, capacity: usize) -> Self {
+        self.history_capacity = capacity.max(1);
+        self.trim_history();
+        self
     }
 
     /// The current firing threshold.
@@ -187,10 +221,24 @@ impl Tuner {
         self.mode
     }
 
-    /// Threshold after each observed window, starting with the initial one.
+    /// Threshold after each observed window, starting with the initial
+    /// one — bounded to the most recent
+    /// [`Tuner::history_capacity`](Self::history_capacity) entries.
     #[must_use]
     pub fn history(&self) -> &[f64] {
         &self.history
+    }
+
+    /// The bound on retained history entries.
+    #[must_use]
+    pub fn history_capacity(&self) -> usize {
+        self.history_capacity
+    }
+
+    /// How many history entries have been evicted by the capacity bound.
+    #[must_use]
+    pub fn history_evictions(&self) -> u64 {
+        self.history_evictions
     }
 
     /// Iterations the current mode allows to be re-executed in a window
@@ -206,11 +254,19 @@ impl Tuner {
     }
 
     /// Feeds one completed window back; the threshold moves for the next
-    /// window.
-    pub fn observe_window(&mut self, stats: WindowStats) {
+    /// window. Returns what happened, for telemetry.
+    ///
+    /// The count-driven modes keep a hysteresis dead-band of at least one
+    /// fire on the lowering side: lowering the threshold fires *more*
+    /// checks, so a zero-width band (the pre-fix integer-division margin
+    /// `fired / 4`, which vanishes whenever `fired < 4`) made the
+    /// threshold raise and lower on alternating windows without ever
+    /// settling.
+    pub fn observe_window(&mut self, stats: WindowStats) -> ThresholdAction {
         if stats.window_len == 0 {
-            return;
+            return ThresholdAction::Held;
         }
+        let before = self.threshold;
         match self.mode {
             TuningMode::TargetQuality { toq } => {
                 let budget = 1.0 - toq;
@@ -223,7 +279,7 @@ impl Tuner {
             TuningMode::EnergyBudget { budget } => {
                 if stats.fired > budget {
                     self.threshold = self.policy.raise(self.threshold);
-                } else if stats.fired + stats.fired / 4 < budget {
+                } else if stats.fired + (stats.fired / 4).max(1) < budget {
                     self.threshold = self.policy.lower(self.threshold);
                 }
             }
@@ -231,15 +287,54 @@ impl Tuner {
                 if stats.fired > stats.cpu_capacity {
                     // CPU fell behind: fix fewer next invocation.
                     self.threshold = self.policy.raise(self.threshold);
-                } else if stats.fired < stats.cpu_capacity {
-                    // CPU under-utilized: it can fix more.
+                } else if stats.fired + (stats.fired / 4).max(1) < stats.cpu_capacity {
+                    // CPU meaningfully under-utilized: it can fix more.
+                    // (Chasing capacity exactly — any `fired !=
+                    // cpu_capacity` — oscillated whenever no threshold
+                    // produced the exact count.)
                     self.threshold = self.policy.lower(self.threshold);
                 }
             }
         }
         self.threshold = self.threshold.clamp(self.min_threshold, self.max_threshold);
-        self.history.push(self.threshold);
+        self.push_history(self.threshold);
+        if self.threshold > before {
+            ThresholdAction::Raised
+        } else if self.threshold < before {
+            ThresholdAction::Lowered
+        } else {
+            ThresholdAction::Held
+        }
     }
+
+    fn push_history(&mut self, threshold: f64) {
+        self.history.push(threshold);
+        self.trim_history();
+    }
+
+    fn trim_history(&mut self) {
+        if self.history.len() > self.history_capacity {
+            let excess = self.history.len() - self.history_capacity;
+            self.history.drain(..excess);
+            self.history_evictions += excess as u64;
+            if rumba_obs::enabled() {
+                rumba_obs::metrics().add("tuner.history_evictions", excess as u64);
+            }
+        }
+    }
+}
+
+/// What [`calibrate_threshold_detailed`] produced, including the
+/// sanitization telemetry the `calibration` event carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// The calibrated initial threshold (always finite and positive).
+    pub threshold: f64,
+    /// Training samples calibrated over.
+    pub samples: usize,
+    /// Predictions that were non-finite (NaN/±inf) and were ranked as
+    /// "always fire" instead of crashing the calibration sort.
+    pub sanitized: usize,
 }
 
 /// Offline threshold calibration: the smallest threshold on *predicted*
@@ -249,34 +344,101 @@ impl Tuner {
 /// Falls back to the smallest positive predicted error (fix everything
 /// predictable) when even that cannot reach the target.
 ///
+/// Non-finite predictions (a degenerate checker emitting NaN/inf — this
+/// used to panic the whole CLI through a `partial_cmp(..).expect`) are
+/// treated as +∞, i.e. ranked as the first invocations to fix; the
+/// returned threshold is always finite so it remains a valid
+/// [`Tuner::new`] starting point.
+///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 #[must_use]
 pub fn calibrate_threshold(predicted: &[f64], true_errors: &[f64], target_error: f64) -> f64 {
+    calibrate_threshold_detailed(predicted, true_errors, target_error).threshold
+}
+
+/// [`calibrate_threshold`] with the full [`Calibration`] record; emits a
+/// `calibration` telemetry event to the global sink when telemetry is
+/// enabled.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn calibrate_threshold_detailed(
+    predicted: &[f64],
+    true_errors: &[f64],
+    target_error: f64,
+) -> Calibration {
     assert_eq!(predicted.len(), true_errors.len(), "parallel slices required");
     let n = predicted.len();
+    let mut sanitized = 0usize;
+    let sane: Vec<f64> = predicted
+        .iter()
+        .map(|&p| {
+            if p.is_finite() {
+                p
+            } else {
+                sanitized += 1;
+                f64::INFINITY
+            }
+        })
+        .collect();
+    let threshold = finite_threshold(raw_threshold(&sane, true_errors, target_error), &sane);
+    let calibration = Calibration { threshold, samples: n, sanitized };
+    if rumba_obs::enabled() {
+        rumba_obs::global_sink().emit(&rumba_obs::Event::Calibration {
+            samples: n as u64,
+            sanitized: sanitized as u64,
+            threshold,
+        });
+    }
+    calibration
+}
+
+/// The calibration scan over sanitized (NaN-free) predictions; may return
+/// +∞ when the decisive prediction was itself sanitized.
+fn raw_threshold(sane: &[f64], true_errors: &[f64], target_error: f64) -> f64 {
+    let n = sane.len();
     if n == 0 {
         return target_error.max(1e-6);
     }
     let mut order: Vec<usize> = (0..n).collect();
-    order
-        .sort_by(|&a, &b| predicted[b].partial_cmp(&predicted[a]).expect("finite").then(a.cmp(&b)));
+    order.sort_by(|&a, &b| sane[b].partial_cmp(&sane[a]).expect("sanitized").then(a.cmp(&b)));
     let total: f64 = true_errors.iter().sum();
     let mut remaining = total;
     if remaining / n as f64 <= target_error {
         // Already within budget: fire only above the largest prediction.
-        return (predicted[order[0]] * 1.01).max(1e-6);
+        return (sane[order[0]] * 1.01).max(1e-6);
     }
     for &i in &order {
         remaining -= true_errors[i];
         if remaining / n as f64 <= target_error {
-            return predicted[i].max(1e-6) * 0.999;
+            return sane[i].max(1e-6) * 0.999;
         }
     }
-    let min_pos = predicted.iter().copied().filter(|&p| p > 0.0).fold(f64::INFINITY, f64::min);
+    let min_pos =
+        sane.iter().copied().filter(|&p| p > 0.0 && p.is_finite()).fold(f64::INFINITY, f64::min);
     if min_pos.is_finite() {
         min_pos * 0.999
+    } else {
+        1e-6
+    }
+}
+
+/// Clamps a possibly-infinite calibration result back to a usable finite
+/// threshold: just above the largest *finite* prediction (the sanitized
+/// always-fire entries sit above any threshold by definition), or the
+/// 1e-6 floor when no finite prediction exists.
+fn finite_threshold(threshold: f64, sane: &[f64]) -> f64 {
+    if threshold.is_finite() {
+        return threshold;
+    }
+    let max_finite =
+        sane.iter().copied().filter(|p| p.is_finite()).fold(f64::NEG_INFINITY, f64::max);
+    if max_finite.is_finite() {
+        (max_finite * 1.01).max(1e-6)
     } else {
         1e-6
     }
@@ -403,5 +565,138 @@ mod tests {
     #[test]
     fn calibration_handles_empty() {
         assert!(calibrate_threshold(&[], &[], 0.1) > 0.0);
+    }
+
+    /// Drives a tuner against a steady synthetic stream where the fired
+    /// count is a pure function of the threshold over a fixed prediction
+    /// population, and returns the threshold after each window.
+    fn steady_stream(mut tuner: Tuner, preds: &[f64], capacity: usize, windows: usize) -> Vec<f64> {
+        let mut trace = Vec::with_capacity(windows);
+        for _ in 0..windows {
+            let fired = preds.iter().filter(|&&p| p > tuner.threshold()).count();
+            tuner.observe_window(WindowStats {
+                window_len: preds.len(),
+                fired,
+                mean_unfixed_predicted_error: 0.0,
+                cpu_capacity: capacity,
+            });
+            trace.push(tuner.threshold());
+        }
+        trace
+    }
+
+    #[test]
+    fn energy_mode_reaches_a_fixed_point_on_a_steady_stream() {
+        // Regression for the zero-width hysteresis dead-band: predictions
+        // are spaced so that no threshold fires exactly `budget` checks —
+        // the count jumps 4 -> 2 across every candidate threshold. The
+        // old `fired + fired / 4 < budget` margin is zero for fired < 4,
+        // so the tuner raised and lowered on alternating windows forever.
+        let preds = [0.1, 0.1, 0.3, 0.3, 0.5, 0.5];
+        let budget = 3;
+        let tuner = Tuner::new(TuningMode::EnergyBudget { budget }, 0.2).unwrap();
+        let trace = steady_stream(tuner, &preds, 0, 300);
+        let fixed_point = trace[trace.len() - 1];
+        assert!(
+            trace[trace.len() - 50..].iter().all(|&t| t == fixed_point),
+            "threshold still moving at the tail: {:?}",
+            &trace[trace.len() - 6..],
+        );
+        // And the settled point respects the budget on the firing side.
+        assert!(preds.iter().filter(|&&p| p > fixed_point).count() <= budget + 1);
+    }
+
+    #[test]
+    fn quality_mode_reaches_a_fixed_point_on_a_steady_stream() {
+        // Same oscillation through the BestQuality branch: the old code
+        // moved on *any* `fired != cpu_capacity`, so a capacity no
+        // threshold can hit exactly (counts jump 4 -> 2) never settled.
+        let preds = [0.1, 0.1, 0.3, 0.3, 0.5, 0.5];
+        let tuner = Tuner::new(TuningMode::BestQuality, 0.2).unwrap();
+        let trace = steady_stream(tuner, &preds, 3, 300);
+        let fixed_point = trace[trace.len() - 1];
+        assert!(
+            trace[trace.len() - 50..].iter().all(|&t| t == fixed_point),
+            "threshold still moving at the tail: {:?}",
+            &trace[trace.len() - 6..],
+        );
+    }
+
+    #[test]
+    fn observe_window_reports_its_action() {
+        let mut t = Tuner::new(TuningMode::EnergyBudget { budget: 10 }, 0.2).unwrap();
+        let raised =
+            t.observe_window(WindowStats { window_len: 10, fired: 40, ..WindowStats::default() });
+        assert_eq!(raised, ThresholdAction::Raised);
+        let lowered =
+            t.observe_window(WindowStats { window_len: 10, fired: 0, ..WindowStats::default() });
+        assert_eq!(lowered, ThresholdAction::Lowered);
+        let held =
+            t.observe_window(WindowStats { window_len: 10, fired: 10, ..WindowStats::default() });
+        assert_eq!(held, ThresholdAction::Held);
+        assert_eq!(
+            t.observe_window(WindowStats::default()),
+            ThresholdAction::Held,
+            "empty window is ignored"
+        );
+    }
+
+    #[test]
+    fn history_is_bounded_with_eviction_accounting() {
+        let mut t = Tuner::new(TuningMode::EnergyBudget { budget: 0 }, 1.0)
+            .unwrap()
+            .with_history_capacity(8);
+        assert_eq!(t.history_capacity(), 8);
+        for _ in 0..100 {
+            t.observe_window(WindowStats { window_len: 10, fired: 10, ..WindowStats::default() });
+        }
+        // 1 initial entry + 100 windows = 101 recorded, 8 kept.
+        assert_eq!(t.history().len(), 8);
+        assert_eq!(t.history_evictions(), 93);
+        // The retained tail is the most recent run of thresholds.
+        assert_eq!(t.history()[7], t.threshold());
+    }
+
+    #[test]
+    fn default_history_capacity_preserves_fig_sweep_fidelity() {
+        let t = Tuner::new(TuningMode::BestQuality, 0.5).unwrap();
+        assert_eq!(t.history_capacity(), DEFAULT_HISTORY_CAPACITY);
+        assert_eq!(t.history_evictions(), 0);
+    }
+
+    #[test]
+    fn calibration_sanitizes_nan_and_inf_predictions() {
+        // A degenerate checker: half the predictions are NaN/inf. The old
+        // `.partial_cmp(..).expect("finite")` panicked here.
+        let predicted = [f64::NAN, 0.5, f64::INFINITY, 0.05, f64::NEG_INFINITY, 0.3];
+        let true_errors = [0.5, 0.5, 0.4, 0.02, 0.3, 0.01];
+        let cal = calibrate_threshold_detailed(&predicted, &true_errors, 0.05);
+        assert_eq!(cal.samples, 6);
+        assert_eq!(cal.sanitized, 3);
+        assert!(cal.threshold.is_finite() && cal.threshold > 0.0, "threshold {}", cal.threshold);
+    }
+
+    #[test]
+    fn calibration_with_all_non_finite_predictions_fires_everything() {
+        let predicted = [f64::NAN, f64::INFINITY, f64::NAN];
+        let true_errors = [0.9, 0.9, 0.9];
+        let cal = calibrate_threshold_detailed(&predicted, &true_errors, 0.05);
+        assert_eq!(cal.sanitized, 3);
+        // No finite prediction to anchor on: the floor threshold means
+        // every prediction above it fires.
+        assert_eq!(cal.threshold, 1e-6);
+    }
+
+    #[test]
+    fn finite_inputs_calibrate_identically_to_the_pre_sanitization_path() {
+        // The sanitization pass must be a no-op for finite inputs: same
+        // ordering semantics, same tiebreak, bit-identical threshold.
+        let errors = vec![0.5, 0.05, 0.4, 0.02, 0.3, 0.01];
+        let th = calibrate_threshold(&errors, &errors, 0.05);
+        let remaining: f64 = errors.iter().filter(|&&e| e <= th).sum();
+        assert!(remaining / errors.len() as f64 <= 0.05, "threshold {th}");
+        let detailed = calibrate_threshold_detailed(&errors, &errors, 0.05);
+        assert_eq!(detailed.threshold.to_bits(), th.to_bits());
+        assert_eq!(detailed.sanitized, 0);
     }
 }

@@ -1,0 +1,300 @@
+//! Typed telemetry events and their JSONL codec.
+//!
+//! Every event serializes to exactly one JSON object per line with a
+//! `type` tag; [`Event::parse`] is the exact inverse of [`Event::to_jsonl`]
+//! (float fields round-trip bit-for-bit). The schema is the contract the
+//! `rumba report` summarizer and the CI validation step rely on — extend
+//! it by adding variants, never by changing the meaning of shipped fields.
+
+use crate::json::{parse_object, JsonWriter, ObjectExt};
+
+/// One telemetry event on the control path.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One tuning window completed ([`flush_window`] in the runtime).
+    ///
+    /// `threshold` is the value the tuner chose *for the next window*
+    /// (i.e. after the window's feedback was observed), so the sequence of
+    /// `window_end` events is the threshold trajectory.
+    WindowEnd {
+        /// Zero-based window index within the stream.
+        window: u64,
+        /// Firing threshold after this window's tuner update.
+        threshold: f64,
+        /// Iterations whose check fired and were re-executed.
+        fired: u64,
+        /// Iterations predicted above threshold but not re-executed
+        /// because the window's re-execution budget was exhausted.
+        suppressed_by_budget: u64,
+        /// Mean predicted error over the iterations left approximate —
+        /// the tuner's online quality estimate for the window.
+        mean_unfixed_pred: f64,
+        /// Re-executions the CPU could overlap with the accelerator.
+        cpu_capacity: u64,
+        /// Deepest the recovery queue got during the window.
+        queue_depth_max: u64,
+    },
+    /// One trained-model cache lookup resolved.
+    Cache {
+        /// Whether the entry was found and decoded.
+        hit: bool,
+        /// The entry's file name (kernel, seed, and content key).
+        key: String,
+    },
+    /// Thread-pool usage summary (from the metrics registry, emitted once
+    /// per process by [`crate::finish_run`]).
+    Pool {
+        /// Parallel map invocations.
+        maps: u64,
+        /// Total chunks executed across all maps.
+        chunks: u64,
+        /// Worker-thread count of the most recent map.
+        threads: u64,
+    },
+    /// Offline threshold calibration completed.
+    Calibration {
+        /// Training samples calibrated over.
+        samples: u64,
+        /// Predictions that were non-finite and sanitized to "always
+        /// fire" before ranking.
+        sanitized: u64,
+        /// The calibrated initial threshold.
+        threshold: f64,
+    },
+    /// One full [`RumbaSystem::run`] completed.
+    RunSummary {
+        /// Kernel/benchmark name.
+        kernel: String,
+        /// Invocations processed.
+        invocations: u64,
+        /// Iterations re-executed.
+        fixes: u64,
+        /// Measured mean output error of the merged stream.
+        output_error: f64,
+        /// Tuning windows observed.
+        windows: u64,
+        /// CPU recovery utilization from the Figure-8 pipeline model.
+        cpu_utilization: f64,
+        /// Threshold at end of run.
+        final_threshold: f64,
+    },
+}
+
+impl Event {
+    /// The `type` tag this event serializes under.
+    #[must_use]
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Event::WindowEnd { .. } => "window_end",
+            Event::Cache { .. } => "cache",
+            Event::Pool { .. } => "pool",
+            Event::Calibration { .. } => "calibration",
+            Event::RunSummary { .. } => "run_summary",
+        }
+    }
+
+    /// Serializes to one JSON line (no trailing newline).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut w = JsonWriter::object(self.tag());
+        match self {
+            Event::WindowEnd {
+                window,
+                threshold,
+                fired,
+                suppressed_by_budget,
+                mean_unfixed_pred,
+                cpu_capacity,
+                queue_depth_max,
+            } => {
+                w.count("window", *window)
+                    .float("threshold", *threshold)
+                    .count("fired", *fired)
+                    .count("suppressed_by_budget", *suppressed_by_budget)
+                    .float("mean_unfixed_pred", *mean_unfixed_pred)
+                    .count("cpu_capacity", *cpu_capacity)
+                    .count("queue_depth_max", *queue_depth_max);
+            }
+            Event::Cache { hit, key } => {
+                w.boolean("hit", *hit).string("key", key);
+            }
+            Event::Pool { maps, chunks, threads } => {
+                w.count("maps", *maps).count("chunks", *chunks).count("threads", *threads);
+            }
+            Event::Calibration { samples, sanitized, threshold } => {
+                w.count("samples", *samples)
+                    .count("sanitized", *sanitized)
+                    .float("threshold", *threshold);
+            }
+            Event::RunSummary {
+                kernel,
+                invocations,
+                fixes,
+                output_error,
+                windows,
+                cpu_utilization,
+                final_threshold,
+            } => {
+                w.string("kernel", kernel)
+                    .count("invocations", *invocations)
+                    .count("fixes", *fixes)
+                    .float("output_error", *output_error)
+                    .count("windows", *windows)
+                    .float("cpu_utilization", *cpu_utilization)
+                    .float("final_threshold", *final_threshold);
+            }
+        }
+        w.finish()
+    }
+
+    /// Parses one JSONL line back into a typed event.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the syntax error, unknown `type` tag, or
+    /// missing/mistyped field.
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let obj = parse_object(line)?;
+        let tag = obj.string("type").ok_or("missing 'type' field")?;
+        let field = |name: &'static str| format!("{tag}: missing or mistyped field '{name}'");
+        match tag {
+            "window_end" => Ok(Event::WindowEnd {
+                window: obj.count("window").ok_or_else(|| field("window"))?,
+                threshold: obj.number("threshold").ok_or_else(|| field("threshold"))?,
+                fired: obj.count("fired").ok_or_else(|| field("fired"))?,
+                suppressed_by_budget: obj
+                    .count("suppressed_by_budget")
+                    .ok_or_else(|| field("suppressed_by_budget"))?,
+                mean_unfixed_pred: obj
+                    .number("mean_unfixed_pred")
+                    .ok_or_else(|| field("mean_unfixed_pred"))?,
+                cpu_capacity: obj.count("cpu_capacity").ok_or_else(|| field("cpu_capacity"))?,
+                queue_depth_max: obj
+                    .count("queue_depth_max")
+                    .ok_or_else(|| field("queue_depth_max"))?,
+            }),
+            "cache" => Ok(Event::Cache {
+                hit: obj.boolean("hit").ok_or_else(|| field("hit"))?,
+                key: obj.string("key").ok_or_else(|| field("key"))?.to_owned(),
+            }),
+            "pool" => Ok(Event::Pool {
+                maps: obj.count("maps").ok_or_else(|| field("maps"))?,
+                chunks: obj.count("chunks").ok_or_else(|| field("chunks"))?,
+                threads: obj.count("threads").ok_or_else(|| field("threads"))?,
+            }),
+            "calibration" => Ok(Event::Calibration {
+                samples: obj.count("samples").ok_or_else(|| field("samples"))?,
+                sanitized: obj.count("sanitized").ok_or_else(|| field("sanitized"))?,
+                threshold: obj.number("threshold").ok_or_else(|| field("threshold"))?,
+            }),
+            "run_summary" => Ok(Event::RunSummary {
+                kernel: obj.string("kernel").ok_or_else(|| field("kernel"))?.to_owned(),
+                invocations: obj.count("invocations").ok_or_else(|| field("invocations"))?,
+                fixes: obj.count("fixes").ok_or_else(|| field("fixes"))?,
+                output_error: obj.number("output_error").ok_or_else(|| field("output_error"))?,
+                windows: obj.count("windows").ok_or_else(|| field("windows"))?,
+                cpu_utilization: obj
+                    .number("cpu_utilization")
+                    .ok_or_else(|| field("cpu_utilization"))?,
+                final_threshold: obj
+                    .number("final_threshold")
+                    .ok_or_else(|| field("final_threshold"))?,
+            }),
+            other => Err(format!("unknown event type '{other}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::WindowEnd {
+                window: 3,
+                threshold: 0.012_345_678_9,
+                fired: 17,
+                suppressed_by_budget: 2,
+                mean_unfixed_pred: 1.0 / 3.0,
+                cpu_capacity: 40,
+                queue_depth_max: 5,
+            },
+            Event::Cache { hit: true, key: "gaussian-s42-0123456789abcdef.words".into() },
+            Event::Cache { hit: false, key: "fft-s7-fedcba9876543210.words".into() },
+            Event::Pool { maps: 120, chunks: 4096, threads: 4 },
+            Event::Calibration { samples: 2048, sanitized: 3, threshold: 1e-6 },
+            Event::RunSummary {
+                kernel: "inversek2j".into(),
+                invocations: 10_000,
+                fixes: 731,
+                output_error: 0.0231,
+                windows: 40,
+                cpu_utilization: 0.412,
+                final_threshold: 0.05,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_type_round_trips_exactly() {
+        // The schema test the ISSUE asks for: serialize → parse → field
+        // check, for every variant.
+        for event in samples() {
+            let line = event.to_jsonl();
+            assert!(!line.contains('\n'), "one line per event: {line}");
+            let parsed = Event::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed, event, "{line}");
+        }
+    }
+
+    #[test]
+    fn float_fields_round_trip_bitwise() {
+        let event = Event::Calibration {
+            samples: 1,
+            sanitized: 0,
+            threshold: 0.1 + 0.2, // 0.30000000000000004 — needs full precision
+        };
+        match Event::parse(&event.to_jsonl()).unwrap() {
+            Event::Calibration { threshold, .. } => {
+                assert_eq!(threshold.to_bits(), (0.1f64 + 0.2).to_bits());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_quality_estimate_survives_as_nan() {
+        let event = Event::WindowEnd {
+            window: 0,
+            threshold: 0.1,
+            fired: 0,
+            suppressed_by_budget: 0,
+            mean_unfixed_pred: f64::NAN,
+            cpu_capacity: 1,
+            queue_depth_max: 0,
+        };
+        let line = event.to_jsonl();
+        assert!(line.contains("\"mean_unfixed_pred\":null"), "{line}");
+        match Event::parse(&line).unwrap() {
+            Event::WindowEnd { mean_unfixed_pred, .. } => assert!(mean_unfixed_pred.is_nan()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_and_incomplete_events() {
+        assert!(Event::parse("{\"type\":\"martian\"}").is_err());
+        assert!(Event::parse("{\"type\":\"cache\",\"hit\":true}").is_err(), "missing key");
+        assert!(Event::parse("not json").is_err());
+        assert!(Event::parse("{\"hit\":true}").is_err(), "missing type");
+    }
+
+    #[test]
+    fn tags_match_the_documented_schema() {
+        let tags: Vec<&str> = samples().iter().map(Event::tag).collect();
+        for want in ["window_end", "cache", "pool", "calibration", "run_summary"] {
+            assert!(tags.contains(&want), "missing {want}");
+        }
+    }
+}

@@ -1,0 +1,339 @@
+//! The minimal flat-JSON dialect the event codec speaks: one object per
+//! line, values limited to strings, finite numbers, booleans, and `null`.
+//! Hand-rolled so the workspace stays std-only; the writer and parser are
+//! exact inverses for everything [`crate::Event`] emits (`f64` fields use
+//! Rust's shortest round-trip formatting, so `write → parse` is bit-exact).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed flat JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A string.
+    Str(String),
+    /// A number (JSON has one numeric type; `null` also parses here as NaN
+    /// when read through [`JsonObject::number`]).
+    Num(f64),
+    /// A boolean.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+/// A parsed single-level JSON object, field order normalized.
+pub type JsonObject = BTreeMap<String, JsonValue>;
+
+/// Field accessors used by the event decoder.
+pub trait ObjectExt {
+    /// The string field `key`, if present and a string.
+    fn string(&self, key: &str) -> Option<&str>;
+    /// The numeric field `key`; `null` reads as NaN (the writer encodes
+    /// non-finite floats as `null`).
+    fn number(&self, key: &str) -> Option<f64>;
+    /// The numeric field `key`, truncated to an integer count.
+    fn count(&self, key: &str) -> Option<u64>;
+    /// The boolean field `key`, if present and a boolean.
+    fn boolean(&self, key: &str) -> Option<bool>;
+}
+
+impl ObjectExt for JsonObject {
+    fn string(&self, key: &str) -> Option<&str> {
+        match self.get(key)? {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn number(&self, key: &str) -> Option<f64> {
+        match self.get(key)? {
+            JsonValue::Num(v) => Some(*v),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    fn count(&self, key: &str) -> Option<u64> {
+        match self.get(key)? {
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    fn boolean(&self, key: &str) -> Option<bool> {
+        match self.get(key)? {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Incremental writer for one flat JSON object.
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+}
+
+impl JsonWriter {
+    /// Starts an object with its `type` tag as the first field.
+    #[must_use]
+    pub fn object(tag: &str) -> Self {
+        let mut w = Self { out: String::with_capacity(128) };
+        w.out.push('{');
+        w.raw_key("type");
+        w.raw_string(tag);
+        w
+    }
+
+    fn raw_key(&mut self, key: &str) {
+        if !self.out.ends_with('{') {
+            self.out.push(',');
+        }
+        self.raw_string(key);
+        self.out.push(':');
+    }
+
+    fn raw_string(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(self.out, "\\u{:04x}", c as u32);
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Appends a string field.
+    pub fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw_key(key);
+        self.raw_string(value);
+        self
+    }
+
+    /// Appends a float field. Finite values use Rust's shortest
+    /// round-trip formatting (bit-exact through the parser); non-finite
+    /// values become `null` (JSON has no NaN/inf).
+    pub fn float(&mut self, key: &str, value: f64) -> &mut Self {
+        self.raw_key(key);
+        if value.is_finite() {
+            let _ = write!(self.out, "{value:?}");
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    /// Appends an integer count field.
+    pub fn count(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw_key(key);
+        let _ = write!(self.out, "{value}");
+        self
+    }
+
+    /// Appends a boolean field.
+    pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw_key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the JSON text (no trailing newline).
+    #[must_use]
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+/// Parses one flat JSON object (as written by [`JsonWriter`], but accepts
+/// arbitrary whitespace and field order). Nested objects/arrays are not in
+/// the event dialect and are rejected.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first syntax problem.
+pub fn parse_object(text: &str) -> Result<JsonObject, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut obj = JsonObject::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            obj.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => {}
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing content at byte {}", p.pos));
+    }
+    Ok(obj)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected '{}', got {other:?}", want as char)),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("malformed literal at byte {}", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        text.parse::<f64>().map(JsonValue::Num).map_err(|e| format!("bad number '{text}': {e}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Collect raw bytes, decoding escapes; the input is valid UTF-8
+        // (it came from &str), so multi-byte sequences pass through.
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => break,
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => buf.push(b'"'),
+                    Some(b'\\') => buf.push(b'\\'),
+                    Some(b'/') => buf.push(b'/'),
+                    Some(b'n') => buf.push(b'\n'),
+                    Some(b'r') => buf.push(b'\r'),
+                    Some(b't') => buf.push(b'\t'),
+                    Some(b'u') => {
+                        let hex =
+                            self.bytes.get(self.pos..self.pos + 4).ok_or("truncated \\u escape")?;
+                        self.pos += 4;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        let c = char::from_u32(code).ok_or("invalid \\u code point")?;
+                        out.push_str(std::str::from_utf8(&buf).map_err(|e| e.to_string())?);
+                        buf.clear();
+                        out.push(c);
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) => buf.push(b),
+            }
+        }
+        out.push_str(std::str::from_utf8(&buf).map_err(|e| e.to_string())?);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_and_parses_every_value_kind() {
+        let mut w = JsonWriter::object("demo");
+        w.string("s", "a \"quoted\"\nline")
+            .float("x", 0.1)
+            .float("nan", f64::NAN)
+            .count("n", 42)
+            .boolean("b", true);
+        let line = w.finish();
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj.string("type"), Some("demo"));
+        assert_eq!(obj.string("s"), Some("a \"quoted\"\nline"));
+        assert_eq!(obj.number("x"), Some(0.1));
+        assert!(obj.number("nan").unwrap().is_nan());
+        assert_eq!(obj.count("n"), Some(42));
+        assert_eq!(obj.boolean("b"), Some(true));
+    }
+
+    #[test]
+    fn float_round_trip_is_bit_exact() {
+        for v in [0.1, 1.0 / 3.0, 1e-6, 123456.789, f64::MIN_POSITIVE, -0.0] {
+            let mut w = JsonWriter::object("t");
+            w.float("v", v);
+            let obj = parse_object(&w.finish()).unwrap();
+            assert_eq!(obj.number("v").unwrap().to_bits(), v.to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in ["", "{", "{\"a\":}", "{\"a\":1,}", "{\"a\":1}x", "[1,2]", "{\"a\":{}}"] {
+            assert!(parse_object(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_whitespace_and_unicode_escapes() {
+        let obj = parse_object("  { \"k\" : \"\\u00e9\\u0001\" , \"n\" : -2.5e3 }  ").unwrap();
+        assert_eq!(obj.string("k"), Some("é\u{1}"));
+        assert_eq!(obj.number("n"), Some(-2500.0));
+    }
+}

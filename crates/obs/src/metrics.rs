@@ -1,0 +1,190 @@
+//! The metrics registry: named counters, gauges, and summary histograms.
+//!
+//! Unlike [`crate::Event`]s (a stream), the registry is cumulative state:
+//! the pool bumps `pool.maps` on every parallel map, the tuner counts
+//! history evictions, span timers feed duration histograms. Names are
+//! dotted paths (`pool.chunks`, `span.cli.train.ms`); snapshots come back
+//! sorted by name, so rendering is deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Summary statistics for one histogram (no buckets — the workspace needs
+/// count/sum/min/max, and those merge trivially).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistogramSummary {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+}
+
+impl HistogramSummary {
+    fn observe(&mut self, value: f64) {
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the observed values (NaN when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.sum / self.count as f64
+    }
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// A point-in-time copy of the registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Summary histograms.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// The counter `name`, defaulting to 0.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The gauge `name`, if ever set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<Inner>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `by` to the counter `name` (created at zero).
+    pub fn add(&self, name: &str, by: u64) {
+        let mut inner = self.lock();
+        *inner.counters.entry(name.to_owned()).or_insert(0) += by;
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        self.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.lock()
+            .histograms
+            .entry(name.to_owned())
+            .or_insert(HistogramSummary {
+                count: 0,
+                sum: 0.0,
+                min: f64::INFINITY,
+                max: f64::NEG_INFINITY,
+            })
+            .observe(value);
+    }
+
+    /// A sorted copy of everything recorded so far.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.lock();
+        MetricsSnapshot {
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner.histograms.clone(),
+        }
+    }
+
+    /// Clears every metric (tests).
+    pub fn reset(&self) {
+        let mut inner = self.lock();
+        inner.counters.clear();
+        inner.gauges.clear();
+        inner.histograms.clear();
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("metrics lock poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let m = MetricsRegistry::new();
+        m.inc("a");
+        m.add("a", 4);
+        m.inc("b");
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("a"), 5);
+        assert_eq!(snap.counter("b"), 1);
+        assert_eq!(snap.counter("missing"), 0);
+    }
+
+    #[test]
+    fn gauges_take_the_last_write() {
+        let m = MetricsRegistry::new();
+        assert_eq!(m.snapshot().gauge("t"), None);
+        m.set_gauge("t", 2.0);
+        m.set_gauge("t", 8.0);
+        assert_eq!(m.snapshot().gauge("t"), Some(8.0));
+    }
+
+    #[test]
+    fn histograms_summarize() {
+        let m = MetricsRegistry::new();
+        for v in [3.0, 1.0, 2.0] {
+            m.observe("h", v);
+        }
+        let h = m.snapshot().histograms["h"];
+        assert_eq!(h.count, 3);
+        assert_eq!(h.sum, 6.0);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 3.0);
+        assert!((h.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_reset_clears() {
+        let m = MetricsRegistry::new();
+        m.inc("z.last");
+        m.inc("a.first");
+        let snap = m.snapshot();
+        let names: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(names, ["a.first", "z.last"]);
+        m.reset();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+    }
+}

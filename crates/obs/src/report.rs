@@ -1,0 +1,270 @@
+//! The `rumba report` summarizer: folds a JSONL event stream back into a
+//! human-readable picture of the control loop — per-window quality trace,
+//! threshold trajectory, fire/suppression rates, cache and pool stats.
+
+use std::fmt;
+
+use crate::event::Event;
+
+/// Everything a JSONL metrics file folds down to.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Parsed events, in file order.
+    pub events: Vec<Event>,
+    /// Lines that failed to parse, with their 1-based line number and
+    /// error.
+    pub malformed: Vec<(usize, String)>,
+}
+
+impl Report {
+    /// Parses every non-empty line of a JSONL stream.
+    #[must_use]
+    pub fn from_lines(text: &str) -> Self {
+        let mut report = Report::default();
+        for (idx, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            match Event::parse(line) {
+                Ok(event) => report.events.push(event),
+                Err(e) => report.malformed.push((idx + 1, e)),
+            }
+        }
+        report
+    }
+
+    /// The `window_end` events, in stream order.
+    #[must_use]
+    pub fn windows(&self) -> Vec<&Event> {
+        self.events.iter().filter(|e| matches!(e, Event::WindowEnd { .. })).collect()
+    }
+
+    fn count_tag(&self, tag: &str) -> usize {
+        self.events.iter().filter(|e| e.tag() == tag).count()
+    }
+}
+
+/// Maps a series onto the eight unicode block characters (the classic
+/// terminal sparkline). Empty input gives an empty string; a flat series
+/// renders as the lowest block.
+#[must_use]
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (lo, hi) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() {
+                return '·';
+            }
+            if hi <= lo {
+                return BLOCKS[0];
+            }
+            let t = (v - lo) / (hi - lo);
+            BLOCKS[((t * 7.0).round() as usize).min(7)]
+        })
+        .collect()
+}
+
+fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+impl fmt::Display for Report {
+    #[allow(clippy::too_many_lines)]
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "events: {} total ({} window_end, {} calibration, {} cache, {} pool, {} run_summary), {} malformed",
+            self.events.len(),
+            self.count_tag("window_end"),
+            self.count_tag("calibration"),
+            self.count_tag("cache"),
+            self.count_tag("pool"),
+            self.count_tag("run_summary"),
+            self.malformed.len(),
+        )?;
+        for (line, err) in self.malformed.iter().take(5) {
+            writeln!(f, "  malformed line {line}: {err}")?;
+        }
+
+        for event in &self.events {
+            if let Event::Calibration { samples, sanitized, threshold } = event {
+                writeln!(
+                    f,
+                    "calibration: threshold {threshold:.6} over {samples} samples ({sanitized} non-finite sanitized)"
+                )?;
+            }
+        }
+
+        let mut thresholds = Vec::new();
+        let mut quality = Vec::new();
+        let mut fired_total = 0u64;
+        let mut suppressed_total = 0u64;
+        let mut queue_max = 0u64;
+        for event in &self.events {
+            if let Event::WindowEnd {
+                threshold,
+                fired,
+                suppressed_by_budget,
+                mean_unfixed_pred,
+                queue_depth_max,
+                ..
+            } = event
+            {
+                thresholds.push(*threshold);
+                quality.push(*mean_unfixed_pred);
+                fired_total += fired;
+                suppressed_total += suppressed_by_budget;
+                queue_max = queue_max.max(*queue_depth_max);
+            }
+        }
+        if !thresholds.is_empty() {
+            let n = thresholds.len();
+            let (lo, hi) = thresholds
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+            writeln!(f, "windows: {n}")?;
+            writeln!(
+                f,
+                "  threshold:  {:.6} -> {:.6}  (min {lo:.6}, max {hi:.6})",
+                thresholds[0],
+                thresholds[n - 1],
+            )?;
+            writeln!(f, "  trajectory: {}", sparkline(&thresholds))?;
+            let finite_quality: Vec<f64> =
+                quality.iter().copied().filter(|v| v.is_finite()).collect();
+            if !finite_quality.is_empty() {
+                let mean = finite_quality.iter().sum::<f64>() / finite_quality.len() as f64;
+                writeln!(
+                    f,
+                    "  quality est (mean unfixed pred): mean {mean:.6}, last {:.6}",
+                    quality[n - 1],
+                )?;
+                writeln!(f, "  quality:    {}", sparkline(&quality))?;
+            }
+            writeln!(
+                f,
+                "  fired: {fired_total} total ({:.1}/window), suppressed by budget: {suppressed_total}",
+                fired_total as f64 / n as f64,
+            )?;
+            writeln!(f, "  recovery queue depth max: {queue_max}")?;
+        }
+
+        let hits =
+            self.events.iter().filter(|e| matches!(e, Event::Cache { hit: true, .. })).count();
+        let misses = self.count_tag("cache") - hits;
+        if hits + misses > 0 {
+            writeln!(f, "cache: {hits} hits, {misses} misses")?;
+        }
+
+        for event in &self.events {
+            if let Event::Pool { maps, chunks, threads } = event {
+                writeln!(f, "pool: {maps} parallel maps, {chunks} chunks, {threads} threads")?;
+            }
+        }
+
+        for event in &self.events {
+            if let Event::RunSummary {
+                kernel,
+                invocations,
+                fixes,
+                output_error,
+                windows,
+                cpu_utilization,
+                final_threshold,
+            } = event
+            {
+                writeln!(
+                    f,
+                    "run: {kernel} — {invocations} invocations, {fixes} fixes ({}), output error {}, {windows} windows, cpu utilization {}, final threshold {final_threshold:.6}",
+                    pct(*fixes as f64 / (*invocations).max(1) as f64),
+                    pct(*output_error),
+                    pct(*cpu_utilization),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window(i: u64, threshold: f64, fired: u64) -> String {
+        Event::WindowEnd {
+            window: i,
+            threshold,
+            fired,
+            suppressed_by_budget: i,
+            mean_unfixed_pred: 0.01 * i as f64,
+            cpu_capacity: 9,
+            queue_depth_max: i,
+        }
+        .to_jsonl()
+    }
+
+    #[test]
+    fn summarizes_a_full_stream() {
+        let mut text = String::new();
+        text.push_str(
+            &(Event::Calibration { samples: 100, sanitized: 2, threshold: 0.05 }.to_jsonl() + "\n"),
+        );
+        for i in 0..4 {
+            text.push_str(&(window(i, 0.05 + 0.01 * i as f64, 10 + i) + "\n"));
+        }
+        text.push_str(&(Event::Cache { hit: true, key: "a".into() }.to_jsonl() + "\n"));
+        text.push_str(&(Event::Cache { hit: false, key: "b".into() }.to_jsonl() + "\n"));
+        text.push_str(&(Event::Pool { maps: 7, chunks: 11, threads: 2 }.to_jsonl() + "\n"));
+        text.push_str(
+            &(Event::RunSummary {
+                kernel: "gaussian".into(),
+                invocations: 1024,
+                fixes: 46,
+                output_error: 0.021,
+                windows: 4,
+                cpu_utilization: 0.5,
+                final_threshold: 0.08,
+            }
+            .to_jsonl()
+                + "\n"),
+        );
+        text.push_str("this line is garbage\n\n");
+
+        let report = Report::from_lines(&text);
+        assert_eq!(report.events.len(), 9);
+        assert_eq!(report.windows().len(), 4);
+        assert_eq!(report.malformed.len(), 1);
+
+        let rendered = report.to_string();
+        assert!(rendered.contains("windows: 4"), "{rendered}");
+        assert!(rendered.contains("fired: 46 total"), "{rendered}");
+        assert!(rendered.contains("suppressed by budget: 6"), "{rendered}");
+        assert!(rendered.contains("cache: 1 hits, 1 misses"), "{rendered}");
+        assert!(rendered.contains("pool: 7 parallel maps"), "{rendered}");
+        assert!(rendered.contains("run: gaussian"), "{rendered}");
+        assert!(rendered.contains("2 non-finite sanitized"), "{rendered}");
+        assert!(rendered.contains("1 malformed"), "{rendered}");
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[1.0, 1.0, 1.0]), "▁▁▁");
+        let line = sparkline(&[0.0, 0.5, 1.0]);
+        assert_eq!(line.chars().count(), 3);
+        assert!(line.starts_with('▁') && line.ends_with('█'), "{line}");
+        assert_eq!(sparkline(&[0.0, f64::NAN, 1.0]).chars().nth(1), Some('·'));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_report() {
+        let report = Report::from_lines("");
+        assert!(report.events.is_empty() && report.malformed.is_empty());
+        assert!(report.to_string().contains("events: 0 total"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Lightweight span timers: scoped wall-clock measurements feeding the
+//! metrics registry.
+//!
+//! Durations are inherently nondeterministic, so spans record **only**
+//! into registry histograms (`span.<name>.ms`) — never into the JSONL
+//! event stream, whose content must be a pure function of the computation.
+//! When telemetry is disabled a span takes no clock reading at all.
+
+use std::time::Instant;
+
+use crate::{enabled, metrics};
+
+/// A running span; records its elapsed milliseconds on drop.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it is bound to — bind it to a variable"]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Milliseconds elapsed so far (`None` when telemetry is disabled).
+    #[must_use]
+    pub fn elapsed_ms(&self) -> Option<f64> {
+        self.start.map(|s| s.elapsed().as_secs_f64() * 1e3)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(ms) = self.elapsed_ms() {
+            metrics().observe(&format!("span.{}.ms", self.name), ms);
+        }
+    }
+}
+
+/// Starts a span named `name`. The returned guard records one observation
+/// into the `span.<name>.ms` histogram when it goes out of scope.
+pub fn span(name: &'static str) -> Span {
+    Span { name, start: if enabled() { Some(Instant::now()) } else { None } }
+}
+
+// Span behavior is covered by the serialized global-state test in
+// `lib.rs` (`global_sink_spans_and_finish_run`): every span assertion
+// depends on the process-wide enabled flag, which parallel unit tests
+// would race on.

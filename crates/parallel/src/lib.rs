@@ -99,6 +99,19 @@ pub fn seed_for_chunk(seed: u64, chunk_index: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Feeds one chunked-map dispatch into the telemetry registry (`pool.maps`
+/// / `pool.chunks` counters, `pool.threads` gauge — surfaced as the `pool`
+/// event by `rumba_obs::finish_run`). Purely observational, and skipped
+/// entirely (one relaxed atomic load) when telemetry is disabled.
+fn note_pool_usage(n_chunks: usize, workers: usize) {
+    if rumba_obs::enabled() {
+        let m = rumba_obs::metrics();
+        m.inc("pool.maps");
+        m.add("pool.chunks", n_chunks as u64);
+        m.set_gauge("pool.threads", workers as f64);
+    }
+}
+
 /// A deterministic pool of `std::thread` workers.
 ///
 /// The pool is a thread-count policy plus the chunked map primitives; the
@@ -183,6 +196,7 @@ impl ThreadPool {
         let chunk = chunk_size(n);
         let n_chunks = n.div_ceil(chunk);
         let workers = self.threads.min(n_chunks.max(1));
+        note_pool_usage(n_chunks, workers);
 
         if workers <= 1 || n_chunks <= 1 {
             // Exact legacy serial path: same chunks, same order, no threads.
@@ -251,6 +265,7 @@ impl ThreadPool {
         let chunk = chunk_size(n);
         let n_chunks = n.div_ceil(chunk);
         let workers = self.threads.min(n_chunks);
+        note_pool_usage(n_chunks, workers);
 
         if workers <= 1 || n_chunks <= 1 {
             // Exact serial path: same chunks, same order, zero allocation.
