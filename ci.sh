@@ -36,9 +36,11 @@ if ! cmp -s "$smoke_dir/fig10.t1" "$smoke_dir/fig10.t2"; then
 fi
 echo "    fig10 byte-identical at 1 and 2 threads"
 
-echo "==> golden check: fig10 output vs ci/fig10.golden"
+echo "==> golden check: fig10 output vs ci/fig10.golden (fault-off gate)"
 # The batched accelerator path must not move a single output bit relative
-# to the committed pre-batching golden transcript.
+# to the committed pre-batching golden transcript. With the fault-injection
+# hooks now compiled into the accelerator and runtime, this doubles as the
+# fault-off gate: no attached FaultPlan means bit-for-bit legacy behavior.
 if ! cmp -s "$smoke_dir/fig10.t1" ci/fig10.golden; then
     echo "FAIL: fig10 stdout differs from ci/fig10.golden" >&2
     diff ci/fig10.golden "$smoke_dir/fig10.t1" | head -20 >&2
@@ -80,6 +82,29 @@ if ! cargo run --release -q -p rumba-cli --bin rumba -- report "$smoke_dir/run.j
     exit 1
 fi
 echo "    telemetry streams parse clean; golden output unchanged"
+
+echo "==> fault-injection smoke: NaN corruption must be quarantined"
+# 'rumba faults' fails its own exit code if a managed NaN-injection run
+# leaks a non-finite merged output, so success here is the quarantine
+# proof; the telemetry stream must record the injections it survived.
+cargo run --release -q -p rumba-cli --bin rumba -- \
+    faults --kernels gaussian --rate 0.002 --metrics-out "$smoke_dir/faults.jsonl" \
+    >"$smoke_dir/faults.txt"
+if ! grep -q "merged outputs: all finite" "$smoke_dir/faults.txt"; then
+    echo "FAIL: rumba faults did not confirm finite merged outputs" >&2
+    head -20 "$smoke_dir/faults.txt" >&2
+    exit 1
+fi
+if ! grep -q '"type":"fault"' "$smoke_dir/faults.jsonl"; then
+    echo "FAIL: fault-injection run emitted no fault events" >&2
+    exit 1
+fi
+if ! cargo run --release -q -p rumba-cli --bin rumba -- report "$smoke_dir/faults.jsonl" \
+    | grep -q ", 0 malformed"; then
+    echo "FAIL: fault telemetry stream contains malformed lines" >&2
+    exit 1
+fi
+echo "    NaN injection quarantined; fault events present and parse clean"
 
 echo "==> matrix bench smoke (bit-exactness gate + allocation probe)"
 # The bench asserts batched == per-sample bitwise and zero steady-state

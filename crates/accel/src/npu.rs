@@ -2,6 +2,7 @@
 //! MLP per invocation, with a cycle model derived from how neurons schedule
 //! onto processing elements.
 
+use rumba_faults::FaultPlan;
 use rumba_nn::{Matrix, MatrixView, NnError, Scratch, TrainedModel};
 
 /// Microarchitectural parameters of the accelerator.
@@ -59,6 +60,7 @@ pub struct Npu {
     model: TrainedModel,
     params: NpuParams,
     cycles_per_invocation: u64,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Npu {
@@ -71,20 +73,71 @@ impl Npu {
     pub fn new(model: TrainedModel, params: NpuParams) -> Self {
         assert!(params.pe_count > 0, "accelerator needs at least one PE");
         let cycles_per_invocation = cycle_model(&model, &params);
-        Self { model, params, cycles_per_invocation }
+        Self { model, params, cycles_per_invocation, fault_plan: None }
+    }
+
+    /// Attaches a fault-injection plan (builder style). With a plan
+    /// attached, [`Npu::invoke_at`] and [`Npu::invoke_batch`] corrupt the
+    /// datapath exactly as the plan dictates; without one, the hooks are
+    /// never consulted and the fault-off path is byte-identical to a build
+    /// that has no fault support at all.
+    #[must_use]
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(Some(plan));
+        self
+    }
+
+    /// Attaches or detaches the fault-injection plan. Empty plans are
+    /// normalized to `None` so the hot path needs only one check.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault_plan = plan.filter(|p| !p.is_empty());
+    }
+
+    /// The attached fault-injection plan, if any.
+    #[must_use]
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault_plan.as_ref()
     }
 
     /// Evaluates one invocation.
+    ///
+    /// With a fault plan attached this is invocation index 0; streams that
+    /// care about per-invocation fault positions use [`Npu::invoke_at`].
     ///
     /// # Errors
     ///
     /// Returns a dimension error if `input` does not match the configured
     /// topology.
     pub fn invoke(&self, input: &[f64]) -> Result<NpuResult, NnError> {
-        let outputs = match self.params.precision_bits {
-            Some(bits) => self.model.predict_quantized(input, bits)?,
-            None => self.model.predict(input)?,
+        self.invoke_at(0, input)
+    }
+
+    /// Evaluates one invocation at stream position `invocation` — the
+    /// coordinate fault decisions are keyed on, so a streaming caller
+    /// passing its running index gets bit-identical corruption to a
+    /// batched [`Npu::invoke_batch`] run over the same rows.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `input` does not match the configured
+    /// topology.
+    pub fn invoke_at(&self, invocation: usize, input: &[f64]) -> Result<NpuResult, NnError> {
+        let mut drifted;
+        let effective: &[f64] = match &self.fault_plan {
+            Some(plan) if plan.has_input_faults() => {
+                drifted = input.to_vec();
+                plan.drift_input(invocation, &mut drifted);
+                &drifted
+            }
+            _ => input,
         };
+        let mut outputs = match self.params.precision_bits {
+            Some(bits) => self.model.predict_quantized(effective, bits)?,
+            None => self.model.predict(effective)?,
+        };
+        if let Some(plan) = &self.fault_plan {
+            plan.corrupt_output(invocation, &mut outputs);
+        }
         Ok(NpuResult { outputs, cycles: self.cycles_per_invocation })
     }
 
@@ -106,9 +159,34 @@ impl Npu {
         scratch: &mut Scratch,
         out: &mut Matrix,
     ) -> Result<u64, NnError> {
+        // Input drift corrupts the accelerator's input-FIFO view, so the
+        // drifted copy is built before the (parallel) batch compute; output
+        // corruption is applied serially afterwards. Both are pure
+        // functions of (seed, row, element), so the result is bit-identical
+        // to per-row `invoke_at` calls at any thread count.
+        let drifted;
+        let effective = match &self.fault_plan {
+            Some(plan) if plan.has_input_faults() => {
+                let mut flat = inputs.as_slice().to_vec();
+                let cols = inputs.cols().max(1);
+                for (row, chunk) in flat.chunks_mut(cols).enumerate() {
+                    plan.drift_input(row, chunk);
+                }
+                drifted = flat;
+                MatrixView::new(&drifted, inputs.rows(), inputs.cols())
+            }
+            _ => inputs,
+        };
         match self.params.precision_bits {
-            Some(bits) => self.model.predict_batch_quantized(inputs, bits, scratch, out)?,
-            None => self.model.predict_batch(inputs, scratch, out)?,
+            Some(bits) => self.model.predict_batch_quantized(effective, bits, scratch, out)?,
+            None => self.model.predict_batch(effective, scratch, out)?,
+        }
+        if let Some(plan) = &self.fault_plan {
+            if plan.has_output_faults() {
+                for row in 0..out.rows() {
+                    plan.corrupt_output(row, out.row_mut(row));
+                }
+            }
         }
         Ok(self.cycles_per_invocation)
     }
@@ -260,5 +338,58 @@ mod tests {
         let a = npu.invoke(&[0.25, 0.75]).unwrap();
         let b = npu.invoke(&[0.25, 0.75]).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_normalized_away() {
+        let clean = Npu::new(toy_model(&[2, 4, 1]), NpuParams::default());
+        let hooked = clean.clone().with_fault_plan(rumba_faults::FaultPlan::new(1));
+        assert!(hooked.fault_plan().is_none(), "empty plans must not arm the hooks");
+        assert_eq!(clean, hooked);
+    }
+
+    #[test]
+    fn faulted_batch_matches_faulted_serial_invocations_bitwise() {
+        use rumba_faults::{FaultModel, FaultPlan};
+        let plan = FaultPlan::new(0xfa17)
+            .with(FaultModel::BitFlip { rate: 0.1 })
+            .with(FaultModel::NonFinite { rate: 0.05 })
+            .with(FaultModel::StuckAt { start: 4, value: 0.5 })
+            .with(FaultModel::InputDrift { start: 6, ramp: 4, magnitude: 0.2 });
+        let npu = Npu::new(toy_model(&[2, 6, 2]), NpuParams::default()).with_fault_plan(plan);
+        let flat: Vec<f64> = (0..40).map(|i| i as f64 / 7.0).collect();
+        let inputs = MatrixView::new(&flat, 20, 2);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        npu.invoke_batch(inputs, &mut scratch, &mut out).unwrap();
+        let mut any_corruption = false;
+        for i in 0..20 {
+            let serial = npu.invoke_at(i, inputs.row(i)).unwrap();
+            let batch_bits: Vec<u64> = out.row(i).iter().map(|x| x.to_bits()).collect();
+            let row_bits: Vec<u64> = serial.outputs.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(batch_bits, row_bits, "row {i}");
+            let clean = {
+                let mut bare = npu.clone();
+                bare.set_fault_plan(None);
+                bare.invoke(inputs.row(i)).unwrap().outputs
+            };
+            any_corruption |=
+                clean.iter().map(|x| x.to_bits()).ne(serial.outputs.iter().map(|x| x.to_bits()));
+        }
+        assert!(any_corruption, "the plan must actually corrupt something over 20 rows");
+    }
+
+    #[test]
+    fn fault_off_batch_is_byte_identical_with_hooks_compiled_in() {
+        let npu = Npu::new(toy_model(&[2, 6, 2]), NpuParams::default());
+        let flat: Vec<f64> = (0..40).map(|i| i as f64 / 7.0).collect();
+        let inputs = MatrixView::new(&flat, 20, 2);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        npu.invoke_batch(inputs, &mut scratch, &mut out).unwrap();
+        let mut hooked = npu.clone().with_fault_plan(rumba_faults::FaultPlan::new(3));
+        hooked.set_fault_plan(None);
+        let (mut scratch2, mut out2) = (Scratch::new(), Matrix::default());
+        hooked.invoke_batch(inputs, &mut scratch2, &mut out2).unwrap();
+        let bits = |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out), bits(&out2));
     }
 }

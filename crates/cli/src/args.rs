@@ -94,6 +94,24 @@ pub enum Command {
         /// `RUMBA_METRICS_OUT` environment variable in charge.
         metrics_out: Option<String>,
     },
+    /// `rumba faults [flags]` — fault-injection sweep: per-checker
+    /// detection-coverage table plus a managed NaN-injection run.
+    Faults {
+        /// Benchmarks to sweep (default gaussian + fft).
+        kernels: Vec<String>,
+        /// Master seed (training *and* fault-plan seed).
+        seed: u64,
+        /// Per-element injection rate for the rate-based fault models.
+        rate: f64,
+        /// Tuning-window length for the managed run.
+        window: usize,
+        /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
+        /// charge). Results are identical at any setting.
+        threads: Option<usize>,
+        /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
+        /// `RUMBA_METRICS_OUT` environment variable in charge.
+        metrics_out: Option<String>,
+    },
     /// `rumba report <path.jsonl>` — summarize a telemetry stream.
     Report {
         /// Path to a JSONL file written via `--metrics-out`.
@@ -201,6 +219,71 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
             }
             Ok(Command::Train { kernel, seed, threads, metrics_out })
+        }
+        Some("faults") => {
+            let mut kernels = Vec::new();
+            let mut seed = 42u64;
+            let mut rate = 1e-3;
+            let mut window = 128usize;
+            let mut threads = None;
+            let mut metrics_out = None;
+            let rest: Vec<&str> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k] {
+                    "--kernels" => {
+                        let v = rest.get(k + 1).ok_or(ParseError::MissingValue("--kernels"))?;
+                        kernels =
+                            v.split(',').filter(|s| !s.is_empty()).map(str::to_owned).collect();
+                        if kernels.is_empty() {
+                            return Err(ParseError::BadValue {
+                                flag: "--kernels",
+                                value: (*v).to_owned(),
+                                expected: "a comma-separated benchmark list",
+                            });
+                        }
+                        k += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
+                        k += 2;
+                    }
+                    "--rate" => {
+                        let v = parse_f64(rest.get(k + 1).copied(), "--rate")?;
+                        if !(v > 0.0 && v <= 1.0) {
+                            return Err(ParseError::BadValue {
+                                flag: "--rate",
+                                value: v.to_string(),
+                                expected: "an injection rate in (0, 1]",
+                            });
+                        }
+                        rate = v;
+                        k += 2;
+                    }
+                    "--window" => {
+                        let v = parse_u64(rest.get(k + 1).copied(), "--window")?;
+                        if v == 0 {
+                            return Err(ParseError::BadValue {
+                                flag: "--window",
+                                value: "0".into(),
+                                expected: "a positive window length",
+                            });
+                        }
+                        window = v as usize;
+                        k += 2;
+                    }
+                    "--threads" => {
+                        threads = Some(parse_threads(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
+                        k += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Faults { kernels, seed, rate, window, threads, metrics_out })
         }
         Some("run") => {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
@@ -322,6 +405,8 @@ USAGE:
                        [--toq Q | --budget N | --quality-mode]
                        [--window N] [--seed N] [--threads N]
                        [--metrics-out PATH]
+    rumba faults [--kernels a,b,...] [--seed N] [--rate R] [--window N]
+                 [--threads N] [--metrics-out PATH]
     rumba report <path.jsonl>
     rumba purity <kernel>
     rumba help
@@ -338,6 +423,14 @@ TELEMETRY:
     as JSON lines, overriding the RUMBA_METRICS_OUT environment variable.
     Telemetry is purely observational: command output is byte-identical
     with it on or off. 'rumba report <path.jsonl>' summarizes a stream.
+
+FAULTS:
+    rumba faults injects seed-deterministic transient faults (datapath
+    bit-flips, NaN/Inf corruption, stuck-at outputs, input drift) into the
+    accelerator and reports a detection-coverage table per checker, then
+    runs the managed loop under NaN injection at --rate (default 1e-3) to
+    demonstrate quarantine + watchdog degradation: merged outputs must
+    stay finite or the command fails. --kernels defaults to gaussian,fft.
 
 EXAMPLES:
     rumba run inversek2j --checker tree --toq 0.9
@@ -458,6 +551,45 @@ mod tests {
             p("run fft --quality-mode").unwrap(),
             Command::Run { mode: ModeChoice::Quality, .. }
         ));
+    }
+
+    #[test]
+    fn parses_faults_with_defaults_and_flags() {
+        assert_eq!(
+            p("faults").unwrap(),
+            Command::Faults {
+                kernels: vec![],
+                seed: 42,
+                rate: 1e-3,
+                window: 128,
+                threads: None,
+                metrics_out: None,
+            }
+        );
+        assert_eq!(
+            p("faults --kernels gaussian,fft --seed 7 --rate 0.01 --window 64 --threads 2 --metrics-out f.jsonl")
+                .unwrap(),
+            Command::Faults {
+                kernels: vec!["gaussian".into(), "fft".into()],
+                seed: 7,
+                rate: 0.01,
+                window: 64,
+                threads: Some(2),
+                metrics_out: Some("f.jsonl".into()),
+            }
+        );
+        assert!(matches!(p("faults --rate 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("faults --rate 1.5"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("faults --kernels"), Err(ParseError::MissingValue("--kernels"))));
+        assert!(matches!(p("faults --kernels ,"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("faults --wat"), Err(ParseError::UnknownFlag(_))));
+    }
+
+    #[test]
+    fn help_documents_faults() {
+        assert!(HELP.contains("rumba faults"));
+        assert!(HELP.contains("--rate"));
+        assert!(HELP.contains("detection-coverage"));
     }
 
     #[test]

@@ -4,10 +4,11 @@
 use rumba_accel::CheckerUnit;
 use rumba_apps::{all_kernels, kernel_by_name, Kernel, Split};
 use rumba_core::report::RunReport;
-use rumba_core::runtime::{RumbaSystem, RuntimeConfig};
+use rumba_core::runtime::{RumbaSystem, RuntimeConfig, WatchdogConfig};
 use rumba_core::trainer::{train_app, OfflineConfig, TrainedApp};
 use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
 use rumba_energy::WorkloadProfile;
+use rumba_faults::{FaultModel, FaultPlan};
 use rumba_nn::encode_model;
 use rumba_predict::{EmaDetector, ErrorEstimator, MaxEnsemble, TableErrors, TableParams};
 
@@ -177,6 +178,165 @@ pub fn run(
     ))
 }
 
+/// Checkers the coverage table evaluates (the §3.2 taxonomy heads:
+/// input-based linear/tree, output-based EMA).
+const COVERAGE_CHECKERS: [CheckerChoice; 3] =
+    [CheckerChoice::Linear, CheckerChoice::Tree, CheckerChoice::Ema];
+
+/// Per-element injection rate for the coverage table. Fixed (rather than
+/// tied to `--rate`) so the table always has enough strikes to report a
+/// meaningful fraction; `--rate` governs the managed run below it.
+const TABLE_RATE: f64 = 2e-2;
+
+/// 95th percentile of the finite values (the clean-stream firing point
+/// each checker is held to in the coverage table).
+fn percentile95(values: &[f64]) -> f64 {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return 0.0;
+    }
+    v.sort_by(f64::total_cmp);
+    v[(v.len() * 95 / 100).min(v.len() - 1)]
+}
+
+/// One kernel's section of the `rumba faults` sweep: clean thresholds,
+/// the detection-coverage table, and a managed NaN-injection run.
+fn sweep_kernel(name: &str, seed: u64, rate: f64, window: usize) -> Result<String, CommandError> {
+    let kernel = resolve(name)?;
+    let cfg = OfflineConfig { seed, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg)?;
+    let test = kernel.generate(Split::Test, seed);
+    let n = test.len();
+    let out_dim = kernel.output_dim();
+
+    // Clean accelerator outputs and, per checker, the clean 95th-percentile
+    // prediction — the threshold the coverage table holds each checker to.
+    let mut scratch = rumba_nn::Scratch::new();
+    let mut clean = rumba_nn::Matrix::default();
+    app.rumba_npu.invoke_batch(test.inputs_view(), &mut scratch, &mut clean)?;
+    let mut thresholds = Vec::new();
+    for choice in COVERAGE_CHECKERS {
+        let mut checker = build_checker(choice, &app, kernel.as_ref(), seed)?;
+        let preds: Vec<f64> =
+            (0..n).map(|i| checker.estimate(test.input(i), clean.row(i))).collect();
+        thresholds.push(percentile95(&preds));
+    }
+
+    let mut out = format!("== {name} ({n} test invocations, output dim {out_dim}) ==\n");
+    out.push_str(&format!(
+        "  clean 95th-pct thresholds: linear {:.4}  tree {:.4}  ema {:.4}\n",
+        thresholds[0], thresholds[1], thresholds[2]
+    ));
+    out.push_str(&format!("  detection coverage (injection rate {TABLE_RATE}):\n"));
+    out.push_str("    model          injected    linear      tree       ema\n");
+
+    let models = [
+        ("bit_flip", FaultModel::BitFlip { rate: TABLE_RATE }),
+        ("non_finite", FaultModel::NonFinite { rate: TABLE_RATE }),
+        ("stuck_at", FaultModel::StuckAt { start: n / 2, value: 0.0 }),
+        ("input_drift", FaultModel::InputDrift { start: n / 2, ramp: 128, magnitude: 0.5 }),
+    ];
+    for (label, model) in models {
+        let plan = FaultPlan::new(seed).with(model);
+        let npu = app.rumba_npu.clone().with_fault_plan(plan.clone());
+        let mut faulted = rumba_nn::Matrix::default();
+        npu.invoke_batch(test.inputs_view(), &mut scratch, &mut faulted)?;
+
+        // Which invocations were actually struck (pure replay of the
+        // plan's decisions — no dependence on the data).
+        let mut log = Vec::new();
+        let injected: Vec<bool> = (0..n)
+            .map(|i| {
+                if plan.has_output_faults() {
+                    plan.output_fault_events(i, out_dim, &mut log) > 0
+                } else {
+                    plan.drift_input(i, &mut [])
+                }
+            })
+            .collect();
+        let struck = injected.iter().filter(|&&s| s).count();
+
+        out.push_str(&format!("    {label:<14} {struck:>8}"));
+        for (c, choice) in COVERAGE_CHECKERS.into_iter().enumerate() {
+            let mut checker = build_checker(choice, &app, kernel.as_ref(), seed)?;
+            let mut detected = 0usize;
+            for (i, &struck_here) in injected.iter().enumerate() {
+                let pred = checker.estimate(test.input(i), faulted.row(i));
+                if struck_here && pred > thresholds[c] {
+                    detected += 1;
+                }
+            }
+            if struck == 0 {
+                out.push_str("        --");
+            } else {
+                out.push_str(&format!("   {:>6.1}%", 100.0 * detected as f64 / struck as f64));
+            }
+        }
+        out.push('\n');
+    }
+
+    // Managed NaN-injection run: the full online loop (tree checker,
+    // watchdog armed) under `--rate` NaN corruption. Quarantine must keep
+    // the merged stream finite — a non-finite output is a hard failure so
+    // CI can gate on the exit code.
+    let plan = FaultPlan::new(seed).with(FaultModel::NonFinite { rate });
+    let mut system = RumbaSystem::new(
+        app.rumba_npu.clone(),
+        CheckerUnit::new(build_checker(CheckerChoice::Tree, &app, kernel.as_ref(), seed)?),
+        Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, thresholds[1].max(1e-9))?,
+        RuntimeConfig {
+            window,
+            watchdog: Some(WatchdogConfig::default()),
+            ..RuntimeConfig::default()
+        },
+    )?;
+    system.set_fault_plan(Some(plan));
+    let outcome = system.run(kernel.as_ref(), &test)?;
+    if !outcome.merged_outputs.iter().all(|v| v.is_finite()) {
+        return Err(CommandError(format!(
+            "{name}: managed run leaked a non-finite merged output (quarantine failed)"
+        )));
+    }
+    let s = &outcome.fault_stats;
+    out.push_str(&format!(
+        "  managed NaN run (tree checker, watchdog on, rate {rate:e}):\n    fixes {}  quarantined {}  detected {}  escaped {}  recalibrations {}  fallbacks {}  stage {:?}\n    output error {:.2}%  merged outputs: all finite\n",
+        outcome.fixes,
+        s.quarantined,
+        s.detected,
+        s.escaped,
+        s.recalibrations,
+        s.fallbacks,
+        outcome.degrade_stage,
+        outcome.output_error * 100.0,
+    ));
+    Ok(out)
+}
+
+/// `rumba faults [flags]` — fault-injection sweep: a Fig.-13-style
+/// detection-coverage table (checker x fault model) per kernel, then a
+/// managed NaN-injection run demonstrating quarantine and the degradation
+/// watchdog. Fails if any managed run leaks a non-finite merged output.
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] for unknown benchmarks, training or
+/// execution failures, or a leaked non-finite output.
+pub fn faults(
+    kernels: &[String],
+    seed: u64,
+    rate: f64,
+    window: usize,
+) -> Result<String, CommandError> {
+    let names: Vec<String> =
+        if kernels.is_empty() { vec!["gaussian".into(), "fft".into()] } else { kernels.to_vec() };
+    let mut out = format!("rumba faults: seed {seed}, managed-run rate {rate:e}\n\n");
+    for name in &names {
+        out.push_str(&sweep_kernel(name, seed, rate, window)?);
+        out.push('\n');
+    }
+    Ok(out)
+}
+
 /// `rumba report <path.jsonl>` — summarize a telemetry stream produced
 /// with `--metrics-out` (or `RUMBA_METRICS_OUT`).
 ///
@@ -252,6 +412,23 @@ mod tests {
     }
 
     #[test]
+    fn faults_sweep_reports_coverage_and_stays_finite() {
+        let text = faults(&["gaussian".into()], 42, 1e-3, 128).unwrap();
+        assert!(text.contains("detection coverage"), "{text}");
+        for model in ["bit_flip", "non_finite", "stuck_at", "input_drift"] {
+            assert!(text.contains(model), "missing {model} row:\n{text}");
+        }
+        assert!(text.contains("managed NaN run"), "{text}");
+        assert!(text.contains("all finite"), "{text}");
+    }
+
+    #[test]
+    fn faults_rejects_unknown_kernels() {
+        let e = faults(&["doom".into()], 1, 1e-3, 128).unwrap_err();
+        assert!(e.to_string().contains("doom"));
+    }
+
+    #[test]
     fn purity_passes_for_shipped_kernels() {
         let text = purity("sobel").unwrap();
         assert!(text.contains("pure"));
@@ -270,6 +447,8 @@ mod tests {
                 mean_unfixed_pred: 0.01,
                 cpu_capacity: 12,
                 queue_depth_max: 1,
+                quarantined: 0,
+                capacity_clamped: false,
             }
             .to_jsonl(),
             Event::Cache { hit: true, key: "gaussian-s42".into() }.to_jsonl(),

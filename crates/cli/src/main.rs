@@ -60,6 +60,15 @@ fn main() -> ExitCode {
             }
             commands::run(&kernel, seed, checker, mode, window)
         }
+        Command::Faults { kernels, seed, rate, window, threads, metrics_out } => {
+            rumba_parallel::set_thread_override(threads);
+            if let Some(path) = metrics_out {
+                if let Err(code) = install_metrics_sink(&path) {
+                    return code;
+                }
+            }
+            commands::faults(&kernels, seed, rate, window)
+        }
         Command::Report { path } => commands::report(&path),
         Command::Purity { kernel } => commands::purity(&kernel),
     };

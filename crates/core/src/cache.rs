@@ -128,13 +128,47 @@ impl TrainedModelCache {
             return None;
         }
         let path = self.entry_path(kernel_name, topologies, cfg, nn_params);
-        let key = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        // `entry_path` always produces a well-formed name, so the key is
+        // always present — but going through `entry_key` (instead of the
+        // old `file_stem().unwrap_or_default()`) guarantees a degenerate
+        // path can never masquerade as the empty-string key.
+        let key = entry_key(&path).expect("entry_path produces a keyed .words name");
         let models = fs::read_to_string(&path).ok().as_deref().and_then(parse_entry);
         emit_cache_event(models.is_some(), &key);
         if models.is_some() {
             eprintln!("[cache] hit: {kernel_name} (seed {}) from {}", cfg.seed, path.display());
         }
         models
+    }
+
+    /// Enumerates the cache directory: entry keys for every well-formed
+    /// `.words` file, and a count of stray files that were skipped.
+    ///
+    /// Before `entry_key` existed, a stemless file (e.g. a literal
+    /// `.words`, or an editor's dotfile) mapped to the empty-string key via
+    /// `unwrap_or_default`, so any number of strays silently collided onto
+    /// one phantom entry. Strays are now skipped, counted here, and
+    /// reported on the `cache.skipped_files` metrics counter.
+    #[must_use]
+    pub fn scan(&self) -> CacheScan {
+        let mut scan = CacheScan::default();
+        if !self.enabled {
+            return scan;
+        }
+        let Ok(dir) = fs::read_dir(&self.dir) else {
+            return scan;
+        };
+        for entry in dir.flatten() {
+            match entry_key(&entry.path()) {
+                Some(key) => scan.entries.push(key),
+                None => scan.skipped += 1,
+            }
+        }
+        scan.entries.sort_unstable();
+        if scan.skipped > 0 && rumba_obs::enabled() {
+            rumba_obs::metrics().add("cache.skipped_files", scan.skipped as u64);
+        }
+        scan
     }
 
     /// Encodes and persists one training result. Failures (e.g. a read-only
@@ -156,6 +190,31 @@ impl TrainedModelCache {
             eprintln!("[cache] store failed for {kernel_name}: {e}");
         }
     }
+}
+
+/// What [`TrainedModelCache::scan`] found in the cache directory.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheScan {
+    /// Keys (file stems) of well-formed `.words` entries, sorted.
+    pub entries: Vec<String>,
+    /// Files skipped for not being keyed `.words` entries (wrong
+    /// extension, or no stem to key on).
+    pub skipped: usize,
+}
+
+/// The cache key a file would be loaded under: its non-empty stem, and
+/// only for `.words` files. Everything else — a stemless `.words` dotfile
+/// (whose "stem" is the literal `.words`), temp files, READMEs — is not a
+/// cache entry and yields `None` instead of a colliding default key.
+fn entry_key(path: &Path) -> Option<String> {
+    if path.extension()?.to_str()? != "words" {
+        return None;
+    }
+    let stem = path.file_stem()?.to_str()?;
+    if stem.is_empty() {
+        return None;
+    }
+    Some(stem.to_owned())
 }
 
 /// The default cache directory: `target/rumba-cache` under the workspace
@@ -344,6 +403,39 @@ mod tests {
         let cfg = OfflineConfig::default();
         let _ = train_app_with_cache(kernel.as_ref(), &cfg, &cache).unwrap();
         assert!(!cache.is_enabled());
+    }
+
+    #[test]
+    fn stray_files_are_skipped_not_collided_onto_the_empty_key() {
+        // Regression: `file_stem().unwrap_or_default()` keyed every
+        // stemless stray as "" — two unrelated files were one phantom
+        // entry. `entry_key` must reject everything that isn't a keyed
+        // `.words` file.
+        assert_eq!(
+            entry_key(Path::new("gaussian-s42-0123.words")).as_deref(),
+            Some("gaussian-s42-0123")
+        );
+        assert_eq!(entry_key(Path::new(".words")), None, "stemless dotfile");
+        assert_eq!(entry_key(Path::new("README.txt")), None, "wrong extension");
+        assert_eq!(entry_key(Path::new("noext")), None, "no extension");
+        assert_eq!(entry_key(Path::new("entry.tmp.123.4")), None, "in-flight temp file");
+
+        let cache = temp_cache("scan");
+        fs::create_dir_all(&cache.dir).unwrap();
+        fs::write(cache.dir.join("fft-s7-abcd.words"), "x").unwrap();
+        fs::write(cache.dir.join("gaussian-s42-1234.words"), "x").unwrap();
+        fs::write(cache.dir.join(".words"), "stray one").unwrap();
+        fs::write(cache.dir.join("README.txt"), "stray two").unwrap();
+        let scan = cache.scan();
+        assert_eq!(scan.entries, vec!["fft-s7-abcd".to_owned(), "gaussian-s42-1234".to_owned()]);
+        assert_eq!(scan.skipped, 2, "both strays counted, neither keyed");
+        let _ = fs::remove_dir_all(cache.dir);
+    }
+
+    #[test]
+    fn scan_of_missing_or_disabled_cache_is_empty() {
+        assert_eq!(TrainedModelCache::disabled().scan(), CacheScan::default());
+        assert_eq!(temp_cache("scan-missing").scan(), CacheScan::default());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! agree exactly when queues are deep enough).
 
 use rumba_accel::queue::Fifo;
+use rumba_faults::FaultPlan;
 
 /// Finite capacities of the Figure-4 queues.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -73,6 +74,27 @@ pub fn simulate_detailed(
     fired: &[bool],
     queues: QueueConfig,
 ) -> DetailedRun {
+    simulate_detailed_with_faults(n, npu_cycles, cpu_cycles, fired, queues, None)
+}
+
+/// [`simulate_detailed`] with an optional fault plan: `QueuePressure`
+/// models make `slots` recovery-queue entries behave as permanently
+/// occupied from their start iteration (a stuck consumer), so the
+/// accelerator hits back-pressure earlier. Other fault models do not
+/// affect timing and are ignored here.
+///
+/// # Panics
+///
+/// Same contract as [`simulate_detailed`].
+#[must_use]
+pub fn simulate_detailed_with_faults(
+    n: usize,
+    npu_cycles: f64,
+    cpu_cycles: f64,
+    fired: &[bool],
+    queues: QueueConfig,
+    plan: Option<&FaultPlan>,
+) -> DetailedRun {
     assert_eq!(fired.len(), n, "one fired flag per iteration");
     assert!(npu_cycles > 0.0 && cpu_cycles > 0.0, "cycle costs must be positive");
 
@@ -91,7 +113,7 @@ pub fn simulate_detailed(
 
     // Pending recovery completion times, kept implicitly: the CPU serves
     // FIFO, so each bit's service start is max(enqueue time, cpu_free).
-    for &f in fired.iter() {
+    for (i, &f) in fired.iter().enumerate() {
         // Drain every recovery bit the CPU has finished by `now`.
         while let Some(&done_at) = recovery.peek() {
             if done_at <= now {
@@ -105,9 +127,13 @@ pub fn simulate_detailed(
         let mut finish = now + npu_cycles;
 
         if f {
+            // Phantom-occupied slots from a queue-pressure fault shrink
+            // the capacity the producer can actually use.
+            let pressure = plan.map_or(0, |p| p.queue_pressure(i));
+            let usable = queues.recovery_capacity.saturating_sub(pressure).max(1);
             // The recovery bit must be enqueued at completion; stall the
             // accelerator until a slot frees if the queue is full.
-            while recovery.is_full() {
+            while recovery.len() >= usable {
                 let head_done = *recovery.peek().expect("full queue has a head");
                 let stall = (head_done - finish).max(0.0);
                 accel_stall_cycles += stall;
@@ -203,6 +229,40 @@ mod tests {
         );
         assert!(!deep.back_pressured());
         assert!(deep.total_cycles <= tight.total_cycles + 1e-9);
+    }
+
+    #[test]
+    fn queue_pressure_forces_earlier_back_pressure() {
+        use rumba_faults::FaultModel;
+        // A hot stream against an 8-deep queue: squeezing 6 of the 8 slots
+        // with a stuck consumer must stall the accelerator harder, while
+        // the work done (fixes) is unchanged.
+        let fired = vec![true; 200];
+        let queues = QueueConfig { recovery_capacity: 8, ..QueueConfig::default() };
+        let clean = simulate_detailed_with_faults(200, 50.0, 300.0, &fired, queues, None);
+        let plan = FaultPlan::new(5).with(FaultModel::QueuePressure { start: 0, slots: 6 });
+        let squeezed = simulate_detailed_with_faults(200, 50.0, 300.0, &fired, queues, Some(&plan));
+        assert!(squeezed.accel_stall_cycles >= clean.accel_stall_cycles);
+        assert!(squeezed.recovery_high_water <= 2, "only 2 usable slots remain");
+        assert_eq!(squeezed.fixes, clean.fixes, "pressure delays, never drops, recovery");
+        assert!(squeezed.total_cycles >= clean.total_cycles - 1e-9);
+    }
+
+    #[test]
+    fn pressure_to_zero_slots_still_makes_progress() {
+        use rumba_faults::FaultModel;
+        let fired = vec![true; 50];
+        let plan =
+            FaultPlan::new(2).with(FaultModel::QueuePressure { start: 0, slots: usize::MAX });
+        let run = simulate_detailed_with_faults(
+            50,
+            50.0,
+            300.0,
+            &fired,
+            QueueConfig::default(),
+            Some(&plan),
+        );
+        assert_eq!(run.fixes, 50, "the clamp to one usable slot avoids deadlock");
     }
 
     #[test]

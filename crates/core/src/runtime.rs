@@ -6,6 +6,7 @@ use rumba_accel::queue::{Fifo, OrderedF64, RecoveryBit};
 use rumba_accel::{CheckerUnit, Npu, Placement};
 use rumba_apps::Kernel;
 use rumba_energy::SchemeActivity;
+use rumba_faults::{FaultKind, FaultPlan, FaultStats};
 use rumba_nn::{Matrix, NnDataset, Scratch};
 
 use crate::pipeline::{simulate, PipelineRun};
@@ -23,12 +24,55 @@ pub struct RuntimeConfig {
     /// Detector placement (§3.5). Output-based checkers always behave as
     /// serialized-after-accelerator regardless of this setting.
     pub placement: Placement,
+    /// Quality watchdog for graceful degradation under sustained drift;
+    /// `None` (the default) disables the watchdog entirely, keeping the
+    /// fault-off control loop byte-identical to builds without it.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl Default for RuntimeConfig {
     fn default() -> Self {
-        Self { window: 256, recovery_queue_capacity: 64, placement: Placement::Parallel }
+        Self {
+            window: 256,
+            recovery_queue_capacity: 64,
+            placement: Placement::Parallel,
+            watchdog: None,
+        }
     }
+}
+
+/// Thresholds of the degradation watchdog. A window is *dirty* when its
+/// online quality estimate exceeds `quality_limit` or at least a quarter
+/// of its invocations were quarantined for non-finite accelerator output.
+/// `patience` consecutive dirty windows trigger a recalibration (checker
+/// state cleared, threshold snapped back to its calibrated starting
+/// point); if the streak continues to `fallback_patience` the accelerator
+/// is abandoned and every remaining invocation runs on the CPU.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WatchdogConfig {
+    /// Mean-unfixed-prediction level above which a window counts as dirty.
+    pub quality_limit: f64,
+    /// Consecutive dirty windows before recalibration.
+    pub patience: u32,
+    /// Consecutive dirty windows before full-CPU fallback.
+    pub fallback_patience: u32,
+}
+
+impl Default for WatchdogConfig {
+    fn default() -> Self {
+        Self { quality_limit: 0.2, patience: 3, fallback_patience: 6 }
+    }
+}
+
+/// Where the degradation ladder currently stands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradeStage {
+    /// Accelerator in use, no intervention.
+    Normal,
+    /// Checker state and threshold were reset after sustained drift.
+    Recalibrated,
+    /// Accelerator abandoned; every invocation runs exactly on the CPU.
+    CpuFallback,
 }
 
 /// Everything one online run produces.
@@ -53,6 +97,13 @@ pub struct RunOutcome {
     pub pipeline: PipelineRun,
     /// Threshold after each window (tuner telemetry).
     pub threshold_history: Vec<f64>,
+    /// Invocations quarantined for non-finite accelerator output.
+    pub quarantined: usize,
+    /// Fault-injection/degradation accounting (all zeros when no
+    /// [`FaultPlan`] is attached and the watchdog never acted).
+    pub fault_stats: FaultStats,
+    /// Degradation stage at end of run.
+    pub degrade_stage: DegradeStage,
 }
 
 /// What [`RumbaSystem::process`] did for one streamed invocation.
@@ -89,15 +140,27 @@ pub struct RumbaSystem {
     checker: CheckerUnit,
     tuner: Tuner,
     config: RuntimeConfig,
+    // The runtime's view of the fault plan (mirrors the NPU's copy) for
+    // checker blinding, queue pressure, and fault-event attribution.
+    fault_plan: Option<FaultPlan>,
+    // Calibrated starting threshold, the recalibration target.
+    initial_threshold: f64,
     // Streaming window state (reset by `begin_stream`).
     window_fired: usize,
     window_suppressed: usize,
     window_pred_sum: f64,
     window_len: usize,
     window_queue_depth: u64,
+    window_quarantined: usize,
     windows_flushed: u64,
     stream_fixes: usize,
     stream_invocations: usize,
+    // Degradation-ladder state.
+    stage: DegradeStage,
+    dirty_windows: u32,
+    fault_stats: FaultStats,
+    // Reusable scratch for replaying the plan's per-invocation strikes.
+    fault_log: Vec<rumba_faults::InjectedFault>,
 }
 
 impl RumbaSystem {
@@ -122,20 +185,52 @@ impl RumbaSystem {
                 value: "0".into(),
             });
         }
+        let initial_threshold = tuner.threshold();
+        let fault_plan = npu.fault_plan().cloned();
         Ok(Self {
             npu,
             checker,
             tuner,
             config,
+            fault_plan,
+            initial_threshold,
             window_fired: 0,
             window_suppressed: 0,
             window_pred_sum: 0.0,
             window_len: 0,
             window_queue_depth: 0,
+            window_quarantined: 0,
             windows_flushed: 0,
             stream_fixes: 0,
             stream_invocations: 0,
+            stage: DegradeStage::Normal,
+            dirty_windows: 0,
+            fault_stats: FaultStats::default(),
+            fault_log: Vec::new(),
         })
+    }
+
+    /// Attaches or detaches a fault-injection plan, arming both the
+    /// accelerator's datapath hooks and the runtime's detection
+    /// attribution. Passing `None` (or an empty plan) restores the
+    /// fault-off path exactly.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        let plan = plan.filter(|p| !p.is_empty());
+        self.npu.set_fault_plan(plan.clone());
+        self.fault_plan = plan;
+    }
+
+    /// Cumulative fault/degradation accounting since
+    /// [`RumbaSystem::begin_stream`].
+    #[must_use]
+    pub fn fault_stats(&self) -> &FaultStats {
+        &self.fault_stats
+    }
+
+    /// Where the degradation ladder currently stands.
+    #[must_use]
+    pub fn degrade_stage(&self) -> DegradeStage {
+        self.stage
     }
 
     /// The tuner (for inspecting threshold history after a run).
@@ -153,9 +248,13 @@ impl RumbaSystem {
         self.window_pred_sum = 0.0;
         self.window_len = 0;
         self.window_queue_depth = 0;
+        self.window_quarantined = 0;
         self.windows_flushed = 0;
         self.stream_fixes = 0;
         self.stream_invocations = 0;
+        self.stage = DegradeStage::Normal;
+        self.dirty_windows = 0;
+        self.fault_stats = FaultStats::default();
     }
 
     /// Processes one invocation in streaming mode: runs the accelerator and
@@ -179,7 +278,9 @@ impl RumbaSystem {
         input: &[f64],
         output: &mut [f64],
     ) -> Result<StreamOutcome> {
-        let result = self.npu.invoke(input)?;
+        // The stream index keys the fault decisions, so a streaming run is
+        // corrupted bit-identically to a batched `run` over the same rows.
+        let result = self.npu.invoke_at(self.stream_invocations, input)?;
         self.process_result(kernel, input, &result.outputs, output)
     }
 
@@ -196,33 +297,118 @@ impl RumbaSystem {
         approx_output: &[f64],
         output: &mut [f64],
     ) -> Result<StreamOutcome> {
-        let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
-        let predicted = self.checker.predict(input, approx_output);
-        let cap = self.tuner.reexec_cap(cpu_capacity_per_window);
-        let budget_left = cap.is_none_or(|c| self.window_fired < c);
-        let wants_fire = predicted > self.tuner.threshold();
-        let fired = wants_fire && budget_left;
+        let invocation = self.stream_invocations;
+        let (cpu_capacity_per_window, capacity_clamped) = self.cpu_capacity_per_window(kernel);
 
-        if fired {
+        // Non-finite screen, *before* the checker runs: a NaN/Inf row must
+        // never reach the checker state, the tuner mean, or the merged
+        // stream. Quarantine forces an exact CPU re-execution outside the
+        // re-execution budget (correctness is not negotiable on overflow).
+        let quarantined = !approx_output.iter().all(|v| v.is_finite());
+        // Past the fallback rung of the ladder, the accelerator is
+        // abandoned entirely.
+        let cpu_forced = quarantined || self.stage == DegradeStage::CpuFallback;
+
+        let (fired, predicted) = if cpu_forced {
             kernel.compute(input, output);
-            self.window_fired += 1;
             self.stream_fixes += 1;
-        } else {
-            if wants_fire {
-                // Check fired but the re-execution budget for this window
-                // is spent (§3.4's hard cap) — telemetry only.
-                self.window_suppressed += 1;
+            if quarantined {
+                self.window_quarantined += 1;
+                self.fault_stats.quarantined += 1;
             }
-            output[..approx_output.len()].copy_from_slice(approx_output);
-            self.window_pred_sum += predicted;
-        }
+            (true, f64::INFINITY)
+        } else {
+            let mut predicted = self.checker.predict(input, approx_output);
+            let blinded =
+                self.fault_plan.as_ref().is_some_and(|plan| plan.blind_checker(invocation));
+            if blinded {
+                self.fault_stats.checker_blinded += 1;
+                predicted = 0.0;
+            }
+            let cap = self.tuner.reexec_cap(cpu_capacity_per_window);
+            let budget_left = cap.is_none_or(|c| self.window_fired < c);
+            let wants_fire = predicted > self.tuner.threshold();
+            let fired = wants_fire && budget_left;
+            if fired {
+                kernel.compute(input, output);
+                self.window_fired += 1;
+                self.stream_fixes += 1;
+            } else {
+                if wants_fire {
+                    // Check fired but the re-execution budget for this window
+                    // is spent (§3.4's hard cap) — telemetry only.
+                    self.window_suppressed += 1;
+                }
+                output[..approx_output.len()].copy_from_slice(approx_output);
+                self.window_pred_sum += predicted;
+            }
+            (fired, predicted)
+        };
+
+        self.note_faults(invocation, approx_output.len(), quarantined, fired);
         self.window_len += 1;
         self.stream_invocations += 1;
 
         if self.window_len == self.config.window {
-            self.flush_window(cpu_capacity_per_window);
+            self.flush_window(cpu_capacity_per_window, capacity_clamped);
         }
         Ok(StreamOutcome { fired, predicted_error: predicted })
+    }
+
+    /// Replays the plan's decisions for one invocation to attribute every
+    /// injected fault to a detection outcome and emit `fault` telemetry.
+    /// Runs only on the serial decision path, so event order is
+    /// deterministic.
+    fn note_faults(&mut self, invocation: usize, out_dim: usize, quarantined: bool, fired: bool) {
+        let Some(plan) = self.fault_plan.take() else {
+            return;
+        };
+        let mut log = std::mem::take(&mut self.fault_log);
+        let injected = plan.output_fault_events(invocation, out_dim, &mut log);
+        if plan.drift_input(invocation, &mut []) {
+            self.fault_stats.drifted_inputs += 1;
+        }
+        if injected > 0 {
+            self.fault_stats.injected_outputs += injected as u64;
+            if quarantined {
+                // Counted once per quarantined invocation in `process_result`.
+            } else if fired {
+                self.fault_stats.detected += 1;
+            } else {
+                self.fault_stats.escaped += 1;
+            }
+        }
+        if rumba_obs::enabled() {
+            let outcome = if quarantined {
+                "quarantined"
+            } else if fired {
+                "detected"
+            } else {
+                "escaped"
+            };
+            let sink = rumba_obs::global_sink();
+            for fault in &log {
+                sink.emit(&rumba_obs::Event::Fault {
+                    invocation: invocation as u64,
+                    kind: fault.kind.label().to_owned(),
+                    element: fault.element as u64,
+                    outcome: outcome.to_owned(),
+                });
+            }
+            if !quarantined
+                && self.stage != DegradeStage::CpuFallback
+                && plan.blind_checker(invocation)
+            {
+                sink.emit(&rumba_obs::Event::Fault {
+                    invocation: invocation as u64,
+                    kind: FaultKind::CheckerBlind.label().to_owned(),
+                    element: 0,
+                    outcome: "injected".to_owned(),
+                });
+            }
+        }
+        self.fault_log = log;
+        self.fault_plan = Some(plan);
     }
 
     /// Total re-executions since [`RumbaSystem::begin_stream`].
@@ -237,10 +423,17 @@ impl RumbaSystem {
         self.stream_invocations
     }
 
-    fn cpu_capacity_per_window(&self, kernel: &dyn Kernel) -> usize {
-        ((self.config.window as f64 * self.npu.cycles_per_invocation() as f64)
+    /// Re-executions the CPU can overlap with one window of accelerator
+    /// time, and whether the raw figure floored to zero. A zero capacity
+    /// would permanently suppress all recovery in the capacity-driven
+    /// modes with no signal, so it is clamped up to 1 (one fix per window
+    /// always fits — the invocation simply waits) and the clamp is
+    /// surfaced in `window_end` telemetry.
+    fn cpu_capacity_per_window(&self, kernel: &dyn Kernel) -> (usize, bool) {
+        let raw = ((self.config.window as f64 * self.npu.cycles_per_invocation() as f64)
             / kernel.cpu_cycles())
-        .floor() as usize
+        .floor() as usize;
+        (raw.max(1), raw == 0)
     }
 
     /// Folds the recovery-queue depth observed after an enqueue into the
@@ -255,13 +448,14 @@ impl RumbaSystem {
         self.windows_flushed
     }
 
-    fn flush_window(&mut self, cpu_capacity: usize) {
+    fn flush_window(&mut self, cpu_capacity: usize, capacity_clamped: bool) {
         if self.window_len == 0 {
             return;
         }
         // Window quality estimate: fixed iterations are exact, so the
         // window's predicted output error is the unfixed prediction mass
-        // over the whole window.
+        // over the whole window. Quarantined iterations were re-executed
+        // exactly and never contributed to `window_pred_sum`.
         let mean_unfixed_pred = self.window_pred_sum / self.window_len as f64;
         self.tuner.observe_window(WindowStats {
             window_len: self.window_len,
@@ -280,14 +474,70 @@ impl RumbaSystem {
                 mean_unfixed_pred,
                 cpu_capacity: cpu_capacity as u64,
                 queue_depth_max: self.window_queue_depth,
+                quarantined: self.window_quarantined as u64,
+                capacity_clamped,
             });
         }
+        self.observe_watchdog(mean_unfixed_pred);
         self.windows_flushed += 1;
         self.window_fired = 0;
         self.window_suppressed = 0;
         self.window_pred_sum = 0.0;
         self.window_len = 0;
         self.window_queue_depth = 0;
+        self.window_quarantined = 0;
+    }
+
+    /// The degradation ladder, evaluated once per completed window:
+    /// `patience` consecutive dirty windows → recalibrate (clear checker
+    /// state, snap the threshold back to its calibrated start); a streak
+    /// reaching `fallback_patience` → abandon the accelerator for the rest
+    /// of the stream; one clean window after a recalibration → recovered.
+    fn observe_watchdog(&mut self, mean_unfixed_pred: f64) {
+        let Some(wd) = self.config.watchdog else {
+            return;
+        };
+        if self.stage == DegradeStage::CpuFallback {
+            return;
+        }
+        let dirty =
+            mean_unfixed_pred > wd.quality_limit || self.window_quarantined * 4 >= self.window_len;
+        if !dirty {
+            if self.stage == DegradeStage::Recalibrated {
+                self.stage = DegradeStage::Normal;
+                self.emit_degrade("recovered", "clean window after recalibration");
+            }
+            self.dirty_windows = 0;
+            return;
+        }
+        self.dirty_windows += 1;
+        let detail = format!(
+            "{} consecutive dirty windows, quality est {:.4}, quarantined {}/{}",
+            self.dirty_windows, mean_unfixed_pred, self.window_quarantined, self.window_len
+        );
+        if self.stage == DegradeStage::Normal && self.dirty_windows >= wd.patience {
+            self.checker.reset();
+            self.tuner.reset_to(self.initial_threshold);
+            self.stage = DegradeStage::Recalibrated;
+            self.fault_stats.recalibrations += 1;
+            self.emit_degrade("recalibrate", &detail);
+        } else if self.stage == DegradeStage::Recalibrated
+            && self.dirty_windows >= wd.fallback_patience
+        {
+            self.stage = DegradeStage::CpuFallback;
+            self.fault_stats.fallbacks += 1;
+            self.emit_degrade("cpu_fallback", &detail);
+        }
+    }
+
+    fn emit_degrade(&self, action: &str, detail: &str) {
+        if rumba_obs::enabled() {
+            rumba_obs::global_sink().emit(&rumba_obs::Event::Degrade {
+                window: self.windows_flushed,
+                action: action.to_owned(),
+                detail: detail.to_owned(),
+            });
+        }
     }
 
     /// Processes every invocation in `data`, returning the merged outputs
@@ -307,7 +557,7 @@ impl RumbaSystem {
         let metric = kernel.metric();
         let cpu_cycles = kernel.cpu_cycles();
         let npu_cycles = self.npu.cycles_per_invocation() as f64;
-        let cpu_capacity_per_window = self.cpu_capacity_per_window(kernel);
+        let (cpu_capacity_per_window, capacity_clamped) = self.cpu_capacity_per_window(kernel);
 
         self.begin_stream();
         // The accelerator is pure, so its outputs for the whole stream are
@@ -333,18 +583,23 @@ impl RumbaSystem {
             if outcome.fired {
                 // Model the recovery queue the CPU drains: the recovery bit
                 // flows through the bounded FIFO (timing cost is accounted
-                // by the pipeline simulation below).
+                // by the pipeline simulation below). A queue-pressure fault
+                // model shrinks the effective capacity with phantom-occupied
+                // slots, forcing earlier back-pressure.
+                let pressure = self.fault_plan.as_ref().map_or(0, |plan| plan.queue_pressure(i));
+                let effective_cap =
+                    self.config.recovery_queue_capacity.saturating_sub(pressure).max(1);
                 let bit = RecoveryBit {
                     iteration: i,
                     predicted_error: OrderedF64::new(outcome.predicted_error),
                 };
-                if recovery_queue.push(bit).is_err() {
-                    // Queue full: drain one (CPU consumes in FIFO order)
-                    // and retry — models back-pressure without deadlock.
+                while recovery_queue.len() >= effective_cap {
+                    // Queue full: drain (CPU consumes in FIFO order) before
+                    // enqueueing — models back-pressure without deadlock.
                     let _ = recovery_queue.pop();
-                    let _ = recovery_queue.push(bit);
                 }
-                self.note_queue_depth(recovery_queue.len());
+                recovery_queue.push(bit).expect("drained below capacity");
+                self.note_queue_depth(recovery_queue.len() + pressure);
                 let _ = recovery_queue.pop().expect("just pushed");
                 *fired_flag = true;
                 fixes += 1;
@@ -352,7 +607,7 @@ impl RumbaSystem {
             merged.extend_from_slice(&out_buf);
         }
         // Flush the final partial window.
-        self.flush_window(cpu_capacity_per_window);
+        self.flush_window(cpu_capacity_per_window, capacity_clamped);
 
         // Measured quality of the merged stream (pure per invocation, so
         // the scoring also fans out).
@@ -399,6 +654,9 @@ impl RumbaSystem {
             activity,
             pipeline,
             threshold_history: self.tuner.history().to_vec(),
+            quarantined: self.fault_stats.quarantined as usize,
+            fault_stats: self.fault_stats,
+            degrade_stage: self.stage,
         })
     }
 }
@@ -549,5 +807,118 @@ mod tests {
         let (kernel, mut system, _) = build_system(TuningMode::BestQuality);
         let empty = NnDataset::new(kernel.input_dim(), kernel.output_dim()).unwrap();
         assert!(matches!(system.run(kernel.as_ref(), &empty), Err(RumbaError::EmptyWorkload)));
+    }
+
+    #[test]
+    fn cpu_capacity_never_floors_to_zero() {
+        // Regression: gaussian's CPU kernel costs ~90 cycles and its NPU
+        // ~35, so a 2-iteration window has a raw capacity of
+        // floor(2*35/90) = 0 — before the clamp, capacity-driven modes
+        // could then never re-execute anything, silently, forever.
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::new(TuningMode::BestQuality, 0.1).unwrap(),
+            RuntimeConfig { window: 2, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let (capacity, clamped) = system.cpu_capacity_per_window(kernel.as_ref());
+        assert_eq!(capacity, 1, "zero capacity must clamp to one fix per window");
+        assert!(clamped, "the clamp must be surfaced for telemetry");
+
+        // A fired check can therefore actually fix something: with a
+        // near-zero threshold every check wants to fire, and the clamped
+        // capacity admits one fix per 2-iteration window.
+        let mut system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree)),
+            Tuner::new(TuningMode::BestQuality, 1e-6).unwrap(),
+            RuntimeConfig { window: 2, ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        let test = kernel.generate(Split::Test, 42);
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+        assert!(outcome.fixes > 0, "clamped capacity must permit recovery");
+    }
+
+    #[test]
+    fn non_finite_outputs_are_quarantined_and_merged_stream_stays_finite() {
+        use rumba_faults::{FaultModel, FaultPlan};
+        let (kernel, mut system, test) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        system
+            .set_fault_plan(Some(FaultPlan::new(0xbad).with(FaultModel::NonFinite { rate: 1e-2 })));
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+        assert!(outcome.quarantined > 0, "1% NaN rate over {} rows must strike", test.len());
+        assert!(
+            outcome.merged_outputs.iter().all(|v| v.is_finite()),
+            "every quarantined row must be re-executed exactly"
+        );
+        assert_eq!(outcome.fault_stats.quarantined as usize, outcome.quarantined);
+        assert!(outcome.fixes <= test.len());
+    }
+
+    #[test]
+    fn quarantine_outranks_the_energy_budget() {
+        // Even with a zero-fire budget the non-finite screen must force
+        // CPU re-execution: correctness is not subject to the energy cap.
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let mut system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree)),
+            Tuner::new(TuningMode::EnergyBudget { budget: 0 }, 1e6).unwrap(),
+            RuntimeConfig::default(),
+        )
+        .unwrap();
+        system.set_fault_plan(Some(
+            rumba_faults::FaultPlan::new(7)
+                .with(rumba_faults::FaultModel::NonFinite { rate: 5e-3 }),
+        ));
+        let test = kernel.generate(Split::Test, 42);
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+        assert!(outcome.quarantined > 0);
+        assert!(outcome.merged_outputs.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn watchdog_escalates_recalibration_then_cpu_fallback() {
+        use rumba_faults::{FaultModel, FaultPlan};
+        let (kernel, _, test) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let watchdog = WatchdogConfig { quality_limit: 0.05, patience: 2, fallback_patience: 4 };
+        let mut system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree)),
+            Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.05).unwrap(),
+            RuntimeConfig { window: 64, watchdog: Some(watchdog), ..RuntimeConfig::default() },
+        )
+        .unwrap();
+        // Saturate every window with quarantines: all-NaN outputs make
+        // every window dirty, so the ladder must walk Normal →
+        // Recalibrated → CpuFallback.
+        system.set_fault_plan(Some(FaultPlan::new(1).with(FaultModel::NonFinite { rate: 1.0 })));
+        let outcome = system.run(kernel.as_ref(), &test).unwrap();
+        assert_eq!(outcome.degrade_stage, DegradeStage::CpuFallback);
+        assert_eq!(outcome.fault_stats.recalibrations, 1);
+        assert_eq!(outcome.fault_stats.fallbacks, 1);
+        assert_eq!(outcome.fixes, test.len(), "fallback runs everything on the CPU");
+        assert!(outcome.merged_outputs.iter().all(|v| v.is_finite()));
+        assert!((outcome.output_error).abs() < 1e-12, "all-CPU stream is exact");
+    }
+
+    #[test]
+    fn fault_off_run_is_bit_identical_with_hooks_armed_then_disarmed() {
+        let (kernel, mut baseline, test) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        let clean = baseline.run(kernel.as_ref(), &test).unwrap();
+        let (_, mut hooked, _) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        hooked.set_fault_plan(Some(rumba_faults::FaultPlan::new(9)));
+        assert!(hooked.fault_plan.is_none(), "empty plan must normalize to off");
+        let rerun = hooked.run(kernel.as_ref(), &test).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&clean.merged_outputs), bits(&rerun.merged_outputs));
+        assert_eq!(clean.fixes, rerun.fixes);
+        assert!(!rerun.fault_stats.any());
     }
 }

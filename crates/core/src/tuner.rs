@@ -307,6 +307,18 @@ impl Tuner {
         }
     }
 
+    /// Snaps the threshold back to `threshold` (clamped to the tuner's
+    /// bounds), recording the jump in the history. The degradation
+    /// watchdog uses this to recalibrate after sustained drift: the
+    /// adapted threshold may have walked arbitrarily far from a sane
+    /// operating point while the checker was being fed corrupted outputs.
+    pub fn reset_to(&mut self, threshold: f64) {
+        let sane =
+            if threshold.is_finite() && threshold > 0.0 { threshold } else { self.min_threshold };
+        self.threshold = sane.clamp(self.min_threshold, self.max_threshold);
+        self.push_history(self.threshold);
+    }
+
     fn push_history(&mut self, threshold: f64) {
         self.history.push(threshold);
         self.trim_history();

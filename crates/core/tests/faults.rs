@@ -1,0 +1,119 @@
+//! Property tests for the fault-injection + graceful-degradation contract:
+//! under *every* fault model the runtime's merged outputs stay finite,
+//! fixes never exceed invocations, and an injected run is bit-identical
+//! across thread counts (the `rumba-parallel` determinism contract
+//! extends to corrupted datapaths).
+//!
+//! Lives in its own integration-test binary because it overrides the
+//! process-wide worker-thread count.
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rumba_accel::CheckerUnit;
+use rumba_apps::{kernel_by_name, Split};
+use rumba_core::runtime::{RumbaSystem, RunOutcome, RuntimeConfig, WatchdogConfig};
+use rumba_core::trainer::{train_app, OfflineConfig, TrainedApp};
+use rumba_core::tuner::{Tuner, TuningMode};
+use rumba_faults::{FaultModel, FaultPlan};
+use rumba_nn::NnDataset;
+
+fn trained() -> &'static TrainedApp {
+    static APP: OnceLock<TrainedApp> = OnceLock::new();
+    APP.get_or_init(|| {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap()
+    })
+}
+
+fn workload() -> &'static NnDataset {
+    static DATA: OnceLock<NnDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let full = kernel.generate(Split::Test, 42);
+        // A few windows' worth keeps 96 proptest cases fast while still
+        // exercising the tuner and the watchdog across window boundaries.
+        let indices: Vec<usize> = (0..full.len().min(640)).collect();
+        full.subset(&indices)
+    })
+}
+
+/// One managed run over the shared workload with the given plan and
+/// worker-thread count.
+fn run_with(plan: &FaultPlan, threads: usize) -> RunOutcome {
+    let kernel = kernel_by_name("gaussian").unwrap();
+    let app = trained();
+    let mut system = RumbaSystem::new(
+        app.rumba_npu.clone(),
+        CheckerUnit::new(Box::new(app.tree.clone())),
+        Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.05).unwrap(),
+        RuntimeConfig {
+            window: 128,
+            watchdog: Some(WatchdogConfig::default()),
+            ..RuntimeConfig::default()
+        },
+    )
+    .unwrap();
+    system.set_fault_plan(Some(plan.clone()));
+    rumba_parallel::set_thread_override(Some(threads));
+    let outcome = system.run(kernel.as_ref(), workload());
+    rumba_parallel::set_thread_override(None);
+    outcome.unwrap()
+}
+
+/// Every fault model the plan can compose, parameterized by the proptest
+/// case so the space is actually explored.
+fn model_for(selector: usize, seed: u64) -> FaultModel {
+    let rate = 1e-3 + (seed % 50) as f64 * 2e-4; // 1e-3 ..= ~1.1e-2
+    let start = (seed % 400) as usize;
+    match selector % 6 {
+        0 => FaultModel::BitFlip { rate },
+        1 => FaultModel::NonFinite { rate },
+        2 => FaultModel::StuckAt { start, value: f64::NAN },
+        3 => FaultModel::InputDrift { start, ramp: 64, magnitude: 0.3 },
+        4 => FaultModel::CheckerBlind { rate: 0.2 },
+        _ => FaultModel::QueuePressure { start, slots: 48 },
+    }
+}
+
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #[test]
+    fn every_fault_model_keeps_outputs_finite_and_runs_thread_invariant(
+        seed in 0u64..100_000,
+        selector in 0usize..6,
+    ) {
+        let plan = FaultPlan::new(seed).with(model_for(selector, seed));
+        let single = run_with(&plan, 1);
+        prop_assert!(
+            single.merged_outputs.iter().all(|v| v.is_finite()),
+            "model {selector} seed {seed}: merged stream must stay finite"
+        );
+        prop_assert!(single.fixes <= workload().len());
+
+        let parallel = run_with(&plan, 4);
+        // RUMBA_THREADS=1 vs 4 must be bit-identical under injection.
+        prop_assert_eq!(bits(&single.merged_outputs), bits(&parallel.merged_outputs));
+        prop_assert_eq!(single.fixes, parallel.fixes);
+        prop_assert_eq!(single.fault_stats, parallel.fault_stats);
+        prop_assert_eq!(single.degrade_stage, parallel.degrade_stage);
+    }
+
+    #[test]
+    fn composed_plans_keep_outputs_finite(seed in 0u64..100_000) {
+        let plan = FaultPlan::new(seed)
+            .with(FaultModel::NonFinite { rate: 2e-3 })
+            .with(FaultModel::BitFlip { rate: 2e-3 })
+            .with(FaultModel::CheckerBlind { rate: 0.1 });
+        let outcome = run_with(&plan, 1);
+        prop_assert!(outcome.merged_outputs.iter().all(|v| v.is_finite()));
+        prop_assert!(outcome.fixes <= workload().len());
+        prop_assert!(
+            outcome.fault_stats.quarantined <= outcome.fixes as u64,
+            "every quarantine is a fix"
+        );
+    }
+}

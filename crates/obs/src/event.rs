@@ -33,6 +33,39 @@ pub enum Event {
         cpu_capacity: u64,
         /// Deepest the recovery queue got during the window.
         queue_depth_max: u64,
+        /// Invocations quarantined for non-finite accelerator output
+        /// (forced to CPU re-execution, kept out of the tuner mean).
+        quarantined: u64,
+        /// Whether `cpu_capacity` was clamped up to 1 because the raw
+        /// window budget floored to zero (recovery would otherwise be
+        /// silently impossible).
+        capacity_clamped: bool,
+    },
+    /// One fault was injected into (or detected on) the accelerator
+    /// datapath. `outcome` is the runtime's verdict: `"detected"` (the
+    /// checker fired on the faulty invocation), `"quarantined"` (caught
+    /// by the non-finite screen before the checker ran), or `"escaped"`
+    /// (the corrupted output reached the merged stream unfixed).
+    Fault {
+        /// Zero-based invocation index the fault struck.
+        invocation: u64,
+        /// Fault-taxonomy label (`bit_flip`, `non_finite`, `stuck_at`,
+        /// `input_drift`, `checker_blind`, `queue_pressure`).
+        kind: String,
+        /// Output-element index the strike landed on (0 for
+        /// whole-invocation faults).
+        element: u64,
+        /// `detected` | `quarantined` | `escaped` | `injected`.
+        outcome: String,
+    },
+    /// The graceful-degradation watchdog changed stage.
+    Degrade {
+        /// Window index at which the action was taken.
+        window: u64,
+        /// `recalibrate` | `cpu_fallback` | `recovered`.
+        action: String,
+        /// Human-readable trigger description (strike counts, quality).
+        detail: String,
     },
     /// One trained-model cache lookup resolved.
     Cache {
@@ -86,6 +119,8 @@ impl Event {
     pub fn tag(&self) -> &'static str {
         match self {
             Event::WindowEnd { .. } => "window_end",
+            Event::Fault { .. } => "fault",
+            Event::Degrade { .. } => "degrade",
             Event::Cache { .. } => "cache",
             Event::Pool { .. } => "pool",
             Event::Calibration { .. } => "calibration",
@@ -106,6 +141,8 @@ impl Event {
                 mean_unfixed_pred,
                 cpu_capacity,
                 queue_depth_max,
+                quarantined,
+                capacity_clamped,
             } => {
                 w.count("window", *window)
                     .float("threshold", *threshold)
@@ -113,7 +150,18 @@ impl Event {
                     .count("suppressed_by_budget", *suppressed_by_budget)
                     .float("mean_unfixed_pred", *mean_unfixed_pred)
                     .count("cpu_capacity", *cpu_capacity)
-                    .count("queue_depth_max", *queue_depth_max);
+                    .count("queue_depth_max", *queue_depth_max)
+                    .count("quarantined", *quarantined)
+                    .boolean("capacity_clamped", *capacity_clamped);
+            }
+            Event::Fault { invocation, kind, element, outcome } => {
+                w.count("invocation", *invocation)
+                    .string("kind", kind)
+                    .count("element", *element)
+                    .string("outcome", outcome);
+            }
+            Event::Degrade { window, action, detail } => {
+                w.count("window", *window).string("action", action).string("detail", detail);
             }
             Event::Cache { hit, key } => {
                 w.boolean("hit", *hit).string("key", key);
@@ -172,6 +220,21 @@ impl Event {
                 queue_depth_max: obj
                     .count("queue_depth_max")
                     .ok_or_else(|| field("queue_depth_max"))?,
+                quarantined: obj.count("quarantined").ok_or_else(|| field("quarantined"))?,
+                capacity_clamped: obj
+                    .boolean("capacity_clamped")
+                    .ok_or_else(|| field("capacity_clamped"))?,
+            }),
+            "fault" => Ok(Event::Fault {
+                invocation: obj.count("invocation").ok_or_else(|| field("invocation"))?,
+                kind: obj.string("kind").ok_or_else(|| field("kind"))?.to_owned(),
+                element: obj.count("element").ok_or_else(|| field("element"))?,
+                outcome: obj.string("outcome").ok_or_else(|| field("outcome"))?.to_owned(),
+            }),
+            "degrade" => Ok(Event::Degrade {
+                window: obj.count("window").ok_or_else(|| field("window"))?,
+                action: obj.string("action").ok_or_else(|| field("action"))?.to_owned(),
+                detail: obj.string("detail").ok_or_else(|| field("detail"))?.to_owned(),
             }),
             "cache" => Ok(Event::Cache {
                 hit: obj.boolean("hit").ok_or_else(|| field("hit"))?,
@@ -219,6 +282,19 @@ mod tests {
                 mean_unfixed_pred: 1.0 / 3.0,
                 cpu_capacity: 40,
                 queue_depth_max: 5,
+                quarantined: 4,
+                capacity_clamped: true,
+            },
+            Event::Fault {
+                invocation: 812,
+                kind: "non_finite".into(),
+                element: 2,
+                outcome: "quarantined".into(),
+            },
+            Event::Degrade {
+                window: 9,
+                action: "recalibrate".into(),
+                detail: "3 dirty windows, quality 0.31".into(),
             },
             Event::Cache { hit: true, key: "gaussian-s42-0123456789abcdef.words".into() },
             Event::Cache { hit: false, key: "fft-s7-fedcba9876543210.words".into() },
@@ -273,6 +349,8 @@ mod tests {
             mean_unfixed_pred: f64::NAN,
             cpu_capacity: 1,
             queue_depth_max: 0,
+            quarantined: 0,
+            capacity_clamped: false,
         };
         let line = event.to_jsonl();
         assert!(line.contains("\"mean_unfixed_pred\":null"), "{line}");
@@ -293,7 +371,9 @@ mod tests {
     #[test]
     fn tags_match_the_documented_schema() {
         let tags: Vec<&str> = samples().iter().map(Event::tag).collect();
-        for want in ["window_end", "cache", "pool", "calibration", "run_summary"] {
+        for want in
+            ["window_end", "fault", "degrade", "cache", "pool", "calibration", "run_summary"]
+        {
             assert!(tags.contains(&want), "missing {want}");
         }
     }

@@ -78,13 +78,15 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "events: {} total ({} window_end, {} calibration, {} cache, {} pool, {} run_summary), {} malformed",
+            "events: {} total ({} window_end, {} calibration, {} cache, {} pool, {} run_summary, {} fault, {} degrade), {} malformed",
             self.events.len(),
             self.count_tag("window_end"),
             self.count_tag("calibration"),
             self.count_tag("cache"),
             self.count_tag("pool"),
             self.count_tag("run_summary"),
+            self.count_tag("fault"),
+            self.count_tag("degrade"),
             self.malformed.len(),
         )?;
         for (line, err) in self.malformed.iter().take(5) {
@@ -105,6 +107,8 @@ impl fmt::Display for Report {
         let mut fired_total = 0u64;
         let mut suppressed_total = 0u64;
         let mut queue_max = 0u64;
+        let mut quarantined_total = 0u64;
+        let mut clamped_windows = 0usize;
         for event in &self.events {
             if let Event::WindowEnd {
                 threshold,
@@ -112,6 +116,8 @@ impl fmt::Display for Report {
                 suppressed_by_budget,
                 mean_unfixed_pred,
                 queue_depth_max,
+                quarantined,
+                capacity_clamped,
                 ..
             } = event
             {
@@ -120,6 +126,8 @@ impl fmt::Display for Report {
                 fired_total += fired;
                 suppressed_total += suppressed_by_budget;
                 queue_max = queue_max.max(*queue_depth_max);
+                quarantined_total += quarantined;
+                clamped_windows += usize::from(*capacity_clamped);
             }
         }
         if !thresholds.is_empty() {
@@ -152,6 +160,36 @@ impl fmt::Display for Report {
                 fired_total as f64 / n as f64,
             )?;
             writeln!(f, "  recovery queue depth max: {queue_max}")?;
+            if quarantined_total > 0 {
+                writeln!(f, "  quarantined (non-finite NPU output): {quarantined_total}")?;
+            }
+            if clamped_windows > 0 {
+                writeln!(f, "  cpu capacity clamped to 1 in {clamped_windows} window(s)")?;
+            }
+        }
+
+        let mut fault_outcomes: Vec<(String, u64)> = Vec::new();
+        for event in &self.events {
+            if let Event::Fault { kind, outcome, .. } = event {
+                let label = format!("{kind}/{outcome}");
+                match fault_outcomes.iter_mut().find(|(k, _)| *k == label) {
+                    Some((_, n)) => *n += 1,
+                    None => fault_outcomes.push((label, 1)),
+                }
+            }
+        }
+        if !fault_outcomes.is_empty() {
+            let total: u64 = fault_outcomes.iter().map(|(_, n)| n).sum();
+            writeln!(f, "faults: {total} events")?;
+            for (label, n) in &fault_outcomes {
+                writeln!(f, "  {label}: {n}")?;
+            }
+        }
+
+        for event in &self.events {
+            if let Event::Degrade { window, action, detail } = event {
+                writeln!(f, "degrade: window {window} -> {action} ({detail})")?;
+            }
         }
 
         let hits =
@@ -204,6 +242,8 @@ mod tests {
             mean_unfixed_pred: 0.01 * i as f64,
             cpu_capacity: 9,
             queue_depth_max: i,
+            quarantined: i,
+            capacity_clamped: i == 0,
         }
         .to_jsonl()
     }
@@ -233,10 +273,29 @@ mod tests {
             .to_jsonl()
                 + "\n"),
         );
+        text.push_str(
+            &(Event::Fault {
+                invocation: 31,
+                kind: "non_finite".into(),
+                element: 0,
+                outcome: "quarantined".into(),
+            }
+            .to_jsonl()
+                + "\n"),
+        );
+        text.push_str(
+            &(Event::Degrade {
+                window: 2,
+                action: "recalibrate".into(),
+                detail: "2 dirty windows".into(),
+            }
+            .to_jsonl()
+                + "\n"),
+        );
         text.push_str("this line is garbage\n\n");
 
         let report = Report::from_lines(&text);
-        assert_eq!(report.events.len(), 9);
+        assert_eq!(report.events.len(), 11);
         assert_eq!(report.windows().len(), 4);
         assert_eq!(report.malformed.len(), 1);
 
@@ -244,6 +303,10 @@ mod tests {
         assert!(rendered.contains("windows: 4"), "{rendered}");
         assert!(rendered.contains("fired: 46 total"), "{rendered}");
         assert!(rendered.contains("suppressed by budget: 6"), "{rendered}");
+        assert!(rendered.contains("quarantined (non-finite NPU output): 6"), "{rendered}");
+        assert!(rendered.contains("cpu capacity clamped to 1 in 1 window(s)"), "{rendered}");
+        assert!(rendered.contains("non_finite/quarantined: 1"), "{rendered}");
+        assert!(rendered.contains("degrade: window 2 -> recalibrate"), "{rendered}");
         assert!(rendered.contains("cache: 1 hits, 1 misses"), "{rendered}");
         assert!(rendered.contains("pool: 7 parallel maps"), "{rendered}");
         assert!(rendered.contains("run: gaussian"), "{rendered}");

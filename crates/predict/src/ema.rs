@@ -36,6 +36,7 @@ pub struct EmaDetector {
     history_len: usize,
     state: Vec<Option<f64>>,
     eps: f64,
+    skipped_non_finite: u64,
 }
 
 impl EmaDetector {
@@ -58,7 +59,15 @@ impl EmaDetector {
             history_len,
             state: vec![None; output_dim],
             eps: 0.05,
+            skipped_non_finite: 0,
         })
+    }
+
+    /// Non-finite output samples skipped (never folded into the moving
+    /// average) since construction or the last [`ErrorEstimator::reset`].
+    #[must_use]
+    pub fn skipped_non_finite(&self) -> u64 {
+        self.skipped_non_finite
     }
 
     /// The smoothing factor `α`.
@@ -89,7 +98,16 @@ impl ErrorEstimator for EmaDetector {
     fn estimate(&mut self, _input: &[f64], approx_output: &[f64]) -> f64 {
         let mut total = 0.0;
         let mut counted = 0usize;
+        let mut poisoned = false;
         for (slot, &e) in self.state.iter_mut().zip(approx_output) {
+            if !e.is_finite() {
+                // A NaN/Inf sample must never reach the recurrence: folding
+                // it in makes the average NaN forever, and every later
+                // estimate for this element silently stops firing.
+                self.skipped_non_finite += 1;
+                poisoned = true;
+                continue;
+            }
             match slot {
                 Some(ema) => {
                     total += (e - *ema).abs() / ema.abs().max(self.eps);
@@ -103,7 +121,11 @@ impl ErrorEstimator for EmaDetector {
                 }
             }
         }
-        if counted == 0 {
+        if poisoned {
+            // A non-finite output is the largest possible deviation: fire
+            // unconditionally (matches the calibrator's sanitization rule).
+            f64::INFINITY
+        } else if counted == 0 {
             0.0
         } else {
             total / counted as f64
@@ -120,6 +142,7 @@ impl ErrorEstimator for EmaDetector {
         for slot in &mut self.state {
             *slot = None;
         }
+        self.skipped_non_finite = 0;
     }
 
     fn is_input_based(&self) -> bool {
@@ -184,6 +207,46 @@ mod tests {
         // Channel 0 jumps, channel 1 steady: score reflects only the jump.
         let score = ema.estimate(&[], &[2.0, -1.0]);
         assert!(score > 0.4 && score < 0.6, "score {score}");
+    }
+
+    #[test]
+    fn non_finite_sample_never_poisons_the_state() {
+        // Regression: before the fix, one NaN made `state[0]` NaN forever —
+        // every later estimate was NaN, so the element never fired again.
+        let mut ema = EmaDetector::new(4, 1).unwrap();
+        for _ in 0..10 {
+            let _ = ema.estimate(&[], &[1.0]);
+        }
+        let steady_state = ema.current(0).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let score = ema.estimate(&[], &[bad]);
+            assert_eq!(score, f64::INFINITY, "non-finite sample must fire unconditionally");
+        }
+        assert_eq!(ema.skipped_non_finite(), 3);
+        assert_eq!(ema.current(0), Some(steady_state), "state untouched by bad samples");
+        // The detector still works: a steady sample scores near zero, an
+        // outlier still scores high and finite.
+        assert!(ema.estimate(&[], &[1.0]) < 1e-9);
+        let outlier = ema.estimate(&[], &[5.0]);
+        assert!(outlier.is_finite() && outlier > 1.0, "outlier {outlier}");
+    }
+
+    #[test]
+    fn non_finite_first_sample_leaves_slot_unseeded() {
+        let mut ema = EmaDetector::new(4, 2).unwrap();
+        let score = ema.estimate(&[], &[f64::NAN, 2.0]);
+        assert_eq!(score, f64::INFINITY);
+        assert_eq!(ema.current(0), None, "NaN must not seed the average");
+        assert_eq!(ema.current(1), Some(2.0));
+    }
+
+    #[test]
+    fn reset_clears_the_skip_counter() {
+        let mut ema = EmaDetector::new(4, 1).unwrap();
+        let _ = ema.estimate(&[], &[f64::NAN]);
+        assert_eq!(ema.skipped_non_finite(), 1);
+        ema.reset();
+        assert_eq!(ema.skipped_non_finite(), 0);
     }
 
     #[test]
