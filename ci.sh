@@ -106,6 +106,31 @@ if ! cargo run --release -q -p rumba-cli --bin rumba -- report "$smoke_dir/fault
 fi
 echo "    NaN injection quarantined; fault events present and parse clean"
 
+echo "==> serving layer: isolation + backpressure suites at 1 and 4 threads"
+# The multiplexed scheduler's determinism contract is thread-count
+# independence; the same suites must pass serial and parallel.
+RUMBA_THREADS=1 cargo test -q -p rumba-serve >/dev/null
+RUMBA_THREADS=4 cargo test -q -p rumba-serve >/dev/null
+echo "    rumba-serve suites green at RUMBA_THREADS=1 and 4"
+
+echo "==> golden check: bench-serve trace vs ci/serve_trace.golden"
+# The conformance trace is shortest-round-trip formatted JSONL, so a byte
+# diff is a bitwise check of the whole serving layer — session state,
+# batched NPU offsets, admission control, and fault isolation. It must
+# match the committed golden at both thread counts.
+RUMBA_CACHE=0 RUMBA_THREADS=1 cargo run --release -q -p rumba-cli --bin rumba -- \
+    bench-serve --seed 7 >"$smoke_dir/serve.t1" 2>/dev/null
+RUMBA_CACHE=0 RUMBA_THREADS=4 cargo run --release -q -p rumba-cli --bin rumba -- \
+    bench-serve --seed 7 >"$smoke_dir/serve.t4" 2>/dev/null
+for t in 1 4; do
+    if ! cmp -s "$smoke_dir/serve.t$t" ci/serve_trace.golden; then
+        echo "FAIL: bench-serve trace (RUMBA_THREADS=$t) differs from ci/serve_trace.golden" >&2
+        diff ci/serve_trace.golden "$smoke_dir/serve.t$t" | head -20 >&2
+        exit 1
+    fi
+done
+echo "    serve trace byte-identical to the golden at 1 and 4 threads"
+
 echo "==> matrix bench smoke (bit-exactness gate + allocation probe)"
 # The bench asserts batched == per-sample bitwise and zero steady-state
 # allocations before it times anything, so a short run is a real check.

@@ -159,18 +159,38 @@ impl Npu {
         scratch: &mut Scratch,
         out: &mut Matrix,
     ) -> Result<u64, NnError> {
+        self.invoke_batch_at(0, inputs, scratch, out)
+    }
+
+    /// [`Npu::invoke_batch`] for a batch starting at stream position
+    /// `base`: row `i` is treated as invocation `base + i` for every fault
+    /// decision, so a mid-stream drain batch (the serving scheduler's case)
+    /// is corrupted bit-identically to per-row [`Npu::invoke_at`] calls at
+    /// the same stream positions.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `inputs` does not match the configured
+    /// topology.
+    pub fn invoke_batch_at(
+        &self,
+        base: usize,
+        inputs: MatrixView<'_>,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<u64, NnError> {
         // Input drift corrupts the accelerator's input-FIFO view, so the
         // drifted copy is built before the (parallel) batch compute; output
         // corruption is applied serially afterwards. Both are pure
-        // functions of (seed, row, element), so the result is bit-identical
-        // to per-row `invoke_at` calls at any thread count.
+        // functions of (seed, invocation, element), so the result is
+        // bit-identical to per-row `invoke_at` calls at any thread count.
         let drifted;
         let effective = match &self.fault_plan {
             Some(plan) if plan.has_input_faults() => {
                 let mut flat = inputs.as_slice().to_vec();
                 let cols = inputs.cols().max(1);
                 for (row, chunk) in flat.chunks_mut(cols).enumerate() {
-                    plan.drift_input(row, chunk);
+                    plan.drift_input(base + row, chunk);
                 }
                 drifted = flat;
                 MatrixView::new(&drifted, inputs.rows(), inputs.cols())
@@ -184,7 +204,7 @@ impl Npu {
         if let Some(plan) = &self.fault_plan {
             if plan.has_output_faults() {
                 for row in 0..out.rows() {
-                    plan.corrupt_output(row, out.row_mut(row));
+                    plan.corrupt_output(base + row, out.row_mut(row));
                 }
             }
         }
@@ -376,6 +396,30 @@ mod tests {
                 clean.iter().map(|x| x.to_bits()).ne(serial.outputs.iter().map(|x| x.to_bits()));
         }
         assert!(any_corruption, "the plan must actually corrupt something over 20 rows");
+    }
+
+    #[test]
+    fn offset_batch_matches_serial_invocations_at_the_same_stream_positions() {
+        use rumba_faults::{FaultModel, FaultPlan};
+        // A drain batch starting mid-stream must key every fault decision
+        // on the stream position, not the batch-local row index.
+        let plan = FaultPlan::new(0x5e55)
+            .with(FaultModel::BitFlip { rate: 0.15 })
+            .with(FaultModel::StuckAt { start: 10, value: 0.25 })
+            .with(FaultModel::InputDrift { start: 8, ramp: 6, magnitude: 0.3 });
+        let npu = Npu::new(toy_model(&[2, 6, 2]), NpuParams::default()).with_fault_plan(plan);
+        let flat: Vec<f64> = (0..24).map(|i| i as f64 / 5.0).collect();
+        let inputs = MatrixView::new(&flat, 12, 2);
+        for base in [0usize, 7, 13] {
+            let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+            npu.invoke_batch_at(base, inputs, &mut scratch, &mut out).unwrap();
+            for i in 0..12 {
+                let serial = npu.invoke_at(base + i, inputs.row(i)).unwrap();
+                let batch_bits: Vec<u64> = out.row(i).iter().map(|x| x.to_bits()).collect();
+                let row_bits: Vec<u64> = serial.outputs.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(batch_bits, row_bits, "base {base} row {i}");
+            }
+        }
     }
 
     #[test]

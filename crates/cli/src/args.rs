@@ -122,6 +122,31 @@ pub enum Command {
         /// Benchmark name.
         kernel: String,
     },
+    /// `rumba serve` — multi-tenant NDJSON serving loop over
+    /// stdin/stdout or a Unix socket.
+    Serve {
+        /// Unix socket path (`None` serves stdin/stdout).
+        socket: Option<String>,
+        /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
+        /// charge). Results are identical at any setting.
+        threads: Option<usize>,
+    },
+    /// `rumba bench-serve` — replay the seeded multi-tenant workload
+    /// trace (the serving conformance artifact).
+    BenchServe {
+        /// Workload seed.
+        seed: u64,
+        /// Tenant count.
+        tenants: usize,
+        /// Requests per tenant.
+        requests: usize,
+        /// Where to write the tenant-sweep throughput report
+        /// (`BENCH_serve.json`); `None` skips the sweep.
+        json_out: Option<String>,
+        /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
+        /// charge). The trace is identical at any setting.
+        threads: Option<usize>,
+    },
     /// `rumba help` or no arguments.
     Help,
 }
@@ -285,6 +310,77 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Faults { kernels, seed, rate, window, threads, metrics_out })
         }
+        Some("serve") => {
+            let mut socket = None;
+            let mut threads = None;
+            let rest: Vec<&str> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k] {
+                    "--socket" => {
+                        socket = Some(parse_path(rest.get(k + 1).copied(), "--socket")?);
+                        k += 2;
+                    }
+                    "--threads" => {
+                        threads = Some(parse_threads(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Serve { socket, threads })
+        }
+        Some("bench-serve") => {
+            let mut seed = 7u64;
+            let mut tenants = 3usize;
+            let mut requests = 40usize;
+            let mut json_out = None;
+            let mut threads = None;
+            let rest: Vec<&str> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k] {
+                    "--seed" => {
+                        seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
+                        k += 2;
+                    }
+                    "--tenants" => {
+                        let v = parse_u64(rest.get(k + 1).copied(), "--tenants")?;
+                        if v == 0 {
+                            return Err(ParseError::BadValue {
+                                flag: "--tenants",
+                                value: "0".into(),
+                                expected: "a positive tenant count",
+                            });
+                        }
+                        tenants = v as usize;
+                        k += 2;
+                    }
+                    "--requests" => {
+                        let v = parse_u64(rest.get(k + 1).copied(), "--requests")?;
+                        if v == 0 {
+                            return Err(ParseError::BadValue {
+                                flag: "--requests",
+                                value: "0".into(),
+                                expected: "a positive request count",
+                            });
+                        }
+                        requests = v as usize;
+                        k += 2;
+                    }
+                    "--json-out" => {
+                        json_out = Some(parse_path(rest.get(k + 1).copied(), "--json-out")?);
+                        k += 2;
+                    }
+                    "--threads" => {
+                        threads = Some(parse_threads(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::BenchServe { seed, tenants, requests, json_out, threads })
+        }
         Some("run") => {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
             let mut seed = 42u64;
@@ -409,6 +505,9 @@ USAGE:
                  [--threads N] [--metrics-out PATH]
     rumba report <path.jsonl>
     rumba purity <kernel>
+    rumba serve [--socket PATH] [--threads N]
+    rumba bench-serve [--seed N] [--tenants N] [--requests N]
+                      [--json-out PATH] [--threads N]
     rumba help
 
 THREADS:
@@ -431,6 +530,19 @@ FAULTS:
     runs the managed loop under NaN injection at --rate (default 1e-3) to
     demonstrate quarantine + watchdog degradation: merged outputs must
     stay finite or the command fails. --kernels defaults to gaussian,fft.
+
+SERVING:
+    rumba serve runs a long-lived multi-tenant serving loop: clients open
+    named sessions (each with its own kernel, checker, tuning mode, fault
+    plan and quality state), submit requests, and drain results over a
+    newline-delimited JSON protocol on stdin/stdout (or --socket PATH, a
+    Unix domain socket). Per-session bounded queues apply shed (503-style
+    rejection) or block admission when full. One tenant's faults never
+    move another tenant's threshold. rumba bench-serve replays a seeded
+    interleaved workload and prints the canonical response trace; the
+    trace is byte-identical at every thread count (ci/serve_trace.golden
+    gates this). --json-out additionally sweeps the tenant count and
+    writes a throughput/queue-depth report.
 
 EXAMPLES:
     rumba run inversek2j --checker tree --toq 0.9
@@ -590,6 +702,47 @@ mod tests {
         assert!(HELP.contains("rumba faults"));
         assert!(HELP.contains("--rate"));
         assert!(HELP.contains("detection-coverage"));
+    }
+
+    #[test]
+    fn parses_serve_and_bench_serve() {
+        assert_eq!(p("serve").unwrap(), Command::Serve { socket: None, threads: None });
+        assert_eq!(
+            p("serve --socket /tmp/rumba.sock --threads 2").unwrap(),
+            Command::Serve { socket: Some("/tmp/rumba.sock".into()), threads: Some(2) }
+        );
+        assert_eq!(
+            p("bench-serve").unwrap(),
+            Command::BenchServe {
+                seed: 7,
+                tenants: 3,
+                requests: 40,
+                json_out: None,
+                threads: None
+            }
+        );
+        assert_eq!(
+            p("bench-serve --seed 9 --tenants 2 --requests 12 --json-out b.json --threads 4")
+                .unwrap(),
+            Command::BenchServe {
+                seed: 9,
+                tenants: 2,
+                requests: 12,
+                json_out: Some("b.json".into()),
+                threads: Some(4),
+            }
+        );
+        assert!(matches!(p("serve --socket"), Err(ParseError::MissingValue("--socket"))));
+        assert!(matches!(p("bench-serve --tenants 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("bench-serve --requests 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("serve --wat"), Err(ParseError::UnknownFlag(_))));
+    }
+
+    #[test]
+    fn help_documents_serving() {
+        assert!(HELP.contains("rumba serve"));
+        assert!(HELP.contains("rumba bench-serve"));
+        assert!(HELP.contains("serve_trace.golden"));
     }
 
     #[test]

@@ -365,6 +365,79 @@ pub fn purity(kernel: &str) -> Result<String, CommandError> {
     ))
 }
 
+/// `rumba serve [--socket PATH]`: runs the multi-tenant NDJSON loop over
+/// stdin/stdout, or accepts Unix-socket connections sequentially (one
+/// shared session registry across connections) until a client sends the
+/// `shutdown` op.
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] for socket or stream I/O failures.
+pub fn serve(socket: Option<&str>) -> Result<String, CommandError> {
+    let mut rt = rumba_serve::ServeRuntime::new();
+    match socket {
+        None => {
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let mut out = stdout.lock();
+            rumba_serve::protocol::serve_loop(&mut rt, stdin.lock(), &mut out)
+                .map_err(|e| CommandError(format!("serve: {e}")))?;
+            Ok(String::new())
+        }
+        Some(path) => {
+            // Re-binding over a stale socket file from a previous run.
+            let _ = std::fs::remove_file(path);
+            let listener = std::os::unix::net::UnixListener::bind(path)
+                .map_err(|e| CommandError(format!("cannot bind {path}: {e}")))?;
+            eprintln!("serving on {path}");
+            let mut served = 0u64;
+            loop {
+                let (stream, _) = listener
+                    .accept()
+                    .map_err(|e| CommandError(format!("accept on {path}: {e}")))?;
+                served += 1;
+                let reader = std::io::BufReader::new(stream.try_clone().map_err(|e| {
+                    CommandError(format!("cannot clone connection on {path}: {e}"))
+                })?);
+                let mut writer = stream;
+                let shutdown = rumba_serve::protocol::serve_loop(&mut rt, reader, &mut writer)
+                    .map_err(|e| CommandError(format!("serve: {e}")))?;
+                if shutdown {
+                    break;
+                }
+            }
+            let _ = std::fs::remove_file(path);
+            Ok(format!("served {served} connection(s) on {path}\n"))
+        }
+    }
+}
+
+/// `rumba bench-serve`: replays the seeded multi-tenant workload and
+/// returns the canonical protocol response trace (the serving
+/// conformance artifact). With `json_out`, additionally sweeps the
+/// tenant count and writes the throughput/queue-depth report there.
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] if the workload cannot be opened or the
+/// report cannot be written.
+pub fn bench_serve(
+    seed: u64,
+    tenants: usize,
+    requests: usize,
+    json_out: Option<&str>,
+) -> Result<String, CommandError> {
+    let cfg = rumba_serve::bench::BenchConfig { seed, tenants, requests };
+    let (trace, _) = rumba_serve::bench::run_trace(cfg).map_err(|e| CommandError(e.to_string()))?;
+    if let Some(path) = json_out {
+        let report =
+            rumba_serve::bench::bench_report(cfg).map_err(|e| CommandError(e.to_string()))?;
+        std::fs::write(path, format!("{report}\n"))
+            .map_err(|e| CommandError(format!("cannot write {path}: {e}")))?;
+    }
+    Ok(trace)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +522,7 @@ mod tests {
                 queue_depth_max: 1,
                 quarantined: 0,
                 capacity_clamped: false,
+                session: String::new(),
             }
             .to_jsonl(),
             Event::Cache { hit: true, key: "gaussian-s42".into() }.to_jsonl(),
@@ -465,5 +539,15 @@ mod tests {
     fn report_on_missing_file_is_a_clean_error() {
         let e = report("/nonexistent/rumba.jsonl").unwrap_err();
         assert!(e.to_string().contains("cannot read"));
+    }
+
+    #[test]
+    fn bench_serve_trace_is_reproducible_and_clean() {
+        let a = bench_serve(7, 2, 6, None).unwrap();
+        let b = bench_serve(7, 2, 6, None).unwrap();
+        assert_eq!(a, b);
+        assert!(a.contains("\"op\":\"open\""));
+        assert!(a.contains("\"type\":\"closed\""));
+        assert!(!a.contains("\"type\":\"error\""), "trace must be clean:\n{a}");
     }
 }

@@ -71,6 +71,14 @@ fn main() -> ExitCode {
         }
         Command::Report { path } => commands::report(&path),
         Command::Purity { kernel } => commands::purity(&kernel),
+        Command::Serve { socket, threads } => {
+            rumba_parallel::set_thread_override(threads);
+            commands::serve(socket.as_deref())
+        }
+        Command::BenchServe { seed, tenants, requests, json_out, threads } => {
+            rumba_parallel::set_thread_override(threads);
+            commands::bench_serve(seed, tenants, requests, json_out.as_deref())
+        }
     };
 
     match result {

@@ -125,10 +125,19 @@ impl RunOutcome {
     #[must_use]
     pub fn window_errors(&self, window: usize) -> Vec<f64> {
         assert!(window > 0, "window must be nonzero");
-        self.invocation_errors
-            .chunks(window)
-            .map(|c| c.iter().sum::<f64>() / c.len() as f64)
-            .collect()
+        let n = self.invocation_errors.len();
+        let mut errors = Vec::with_capacity(n.div_ceil(window));
+        let mut start = 0;
+        while start < n {
+            // Clamp the final partial window instead of indexing past the
+            // end: a 7-element stream with window 4 has windows [0,4) and
+            // [4,7), never [4,8).
+            let end = (start + window).min(n);
+            let slice = &self.invocation_errors[start..end];
+            errors.push(slice.iter().sum::<f64>() / slice.len() as f64);
+            start = end;
+        }
+        errors
     }
 }
 
@@ -161,6 +170,10 @@ pub struct RumbaSystem {
     fault_stats: FaultStats,
     // Reusable scratch for replaying the plan's per-invocation strikes.
     fault_log: Vec<rumba_faults::InjectedFault>,
+    // Serving-session label stamped on every emitted telemetry event;
+    // empty (the default) keeps single-tenant streams on the pre-serving
+    // wire format exactly.
+    session_label: String,
 }
 
 impl RumbaSystem {
@@ -207,7 +220,30 @@ impl RumbaSystem {
             dirty_windows: 0,
             fault_stats: FaultStats::default(),
             fault_log: Vec::new(),
+            session_label: String::new(),
         })
+    }
+
+    /// Labels every telemetry event this system emits with a serving
+    /// session name (the multi-tenant attribution the serving layer needs
+    /// to keep per-tenant event streams separable). An empty label — the
+    /// default — leaves the wire format byte-identical to the
+    /// single-tenant schema.
+    pub fn set_session_label(&mut self, label: impl Into<String>) {
+        self.session_label = label.into();
+    }
+
+    /// The serving-session label (empty outside the serving layer).
+    #[must_use]
+    pub fn session_label(&self) -> &str {
+        &self.session_label
+    }
+
+    /// The accelerator this system drives — the serving scheduler invokes
+    /// it directly for mid-stream drain batches.
+    #[must_use]
+    pub fn npu(&self) -> &Npu {
+        &self.npu
     }
 
     /// Attaches or detaches a fault-injection plan, arming both the
@@ -281,7 +317,7 @@ impl RumbaSystem {
         // The stream index keys the fault decisions, so a streaming run is
         // corrupted bit-identically to a batched `run` over the same rows.
         let result = self.npu.invoke_at(self.stream_invocations, input)?;
-        self.process_result(kernel, input, &result.outputs, output)
+        self.process_approx(kernel, input, &result.outputs, output)
     }
 
     /// The stateful half of [`RumbaSystem::process`], taking an already-
@@ -289,8 +325,26 @@ impl RumbaSystem {
     /// the pure accelerator outputs in one batched invocation and replays
     /// this decision path serially over the rows, which keeps the
     /// checker/tuner state evolution — and therefore the output —
-    /// identical to streaming.
-    fn process_result(
+    /// identical to streaming. The serving scheduler uses the same split:
+    /// it batches many sessions' pending requests through shared
+    /// [`Npu::invoke_batch_at`] calls and replays each session's rows
+    /// serially here, so multiplexed outputs are bit-identical to running
+    /// each session alone.
+    ///
+    /// `approx_output` must be the accelerator's output for stream
+    /// position [`RumbaSystem::stream_invocations`] (i.e. rows are
+    /// replayed in arrival order with no gaps), or fault attribution and
+    /// the determinism contract break.
+    ///
+    /// # Errors
+    ///
+    /// This path itself cannot fail today; the `Result` mirrors
+    /// [`RumbaSystem::process`] so callers handle both identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is narrower than the kernel's output width.
+    pub fn process_approx(
         &mut self,
         kernel: &dyn Kernel,
         input: &[f64],
@@ -393,6 +447,7 @@ impl RumbaSystem {
                     kind: fault.kind.label().to_owned(),
                     element: fault.element as u64,
                     outcome: outcome.to_owned(),
+                    session: self.session_label.clone(),
                 });
             }
             if !quarantined
@@ -404,6 +459,7 @@ impl RumbaSystem {
                     kind: FaultKind::CheckerBlind.label().to_owned(),
                     element: 0,
                     outcome: "injected".to_owned(),
+                    session: self.session_label.clone(),
                 });
             }
         }
@@ -448,6 +504,16 @@ impl RumbaSystem {
         self.windows_flushed
     }
 
+    /// Ends a streaming run: flushes the final partial tuning window (if
+    /// any), exactly as [`RumbaSystem::run`] does for batch runs. Long-
+    /// running streaming deployments (the serving layer's session close)
+    /// call this so the tail of the stream still reaches the tuner and the
+    /// `window_end` telemetry.
+    pub fn end_stream(&mut self, kernel: &dyn Kernel) {
+        let (cpu_capacity, capacity_clamped) = self.cpu_capacity_per_window(kernel);
+        self.flush_window(cpu_capacity, capacity_clamped);
+    }
+
     fn flush_window(&mut self, cpu_capacity: usize, capacity_clamped: bool) {
         if self.window_len == 0 {
             return;
@@ -476,6 +542,7 @@ impl RumbaSystem {
                 queue_depth_max: self.window_queue_depth,
                 quarantined: self.window_quarantined as u64,
                 capacity_clamped,
+                session: self.session_label.clone(),
             });
         }
         self.observe_watchdog(mean_unfixed_pred);
@@ -536,6 +603,7 @@ impl RumbaSystem {
                 window: self.windows_flushed,
                 action: action.to_owned(),
                 detail: detail.to_owned(),
+                session: self.session_label.clone(),
             });
         }
     }
@@ -579,7 +647,7 @@ impl RumbaSystem {
 
         for (i, fired_flag) in fired.iter_mut().enumerate() {
             let outcome =
-                self.process_result(kernel, data.input(i), approx.row(i), &mut out_buf)?;
+                self.process_approx(kernel, data.input(i), approx.row(i), &mut out_buf)?;
             if outcome.fired {
                 // Model the recovery queue the CPU drains: the recovery bit
                 // flows through the bounded FIFO (timing cost is accounted
@@ -633,6 +701,7 @@ impl RumbaSystem {
                 windows: self.windows_flushed,
                 cpu_utilization: pipeline.cpu_utilization,
                 final_threshold: self.tuner.threshold(),
+                session: self.session_label.clone(),
             });
         }
         let activity = SchemeActivity {
@@ -774,6 +843,34 @@ mod tests {
             .sum::<f64>()
             / test.len() as f64;
         assert!((weighted - outcome.output_error).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_errors_clamps_the_final_partial_window() {
+        // Regression: a 7-element stream with window 4 must yield exactly
+        // two windows — [0,4) and the clamped [4,7) — instead of reading
+        // past the end of the stream.
+        let outcome = RunOutcome {
+            merged_outputs: vec![0.0; 7],
+            fired: vec![false; 7],
+            fixes: 0,
+            output_error: 4.0,
+            invocation_errors: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
+            activity: SchemeActivity::default(),
+            pipeline: simulate(7, 1.0, 1.0, &[false; 7]),
+            threshold_history: vec![0.1],
+            quarantined: 0,
+            fault_stats: FaultStats::default(),
+            degrade_stage: DegradeStage::Normal,
+        };
+        let windows = outcome.window_errors(4);
+        assert_eq!(windows.len(), 2);
+        assert!((windows[0] - 2.5).abs() < 1e-12, "{windows:?}");
+        assert!((windows[1] - 6.0).abs() < 1e-12, "mean of the 3-element tail: {windows:?}");
+        // Window longer than the stream: one clamped window, the plain mean.
+        let whole = outcome.window_errors(100);
+        assert_eq!(whole.len(), 1);
+        assert!((whole[0] - 4.0).abs() < 1e-12);
     }
 
     #[test]

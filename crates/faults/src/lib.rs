@@ -121,6 +121,90 @@ impl FaultPlan {
         self
     }
 
+    /// Parses a compact fault-spec string into a plan — the wire format of
+    /// the serving protocol's `"faults"` field and the bench drivers.
+    ///
+    /// The spec is a comma-separated list of `kind=params` entries, where
+    /// multi-value params are `:`-separated:
+    ///
+    /// | entry | model |
+    /// |---|---|
+    /// | `bit_flip=RATE` | [`FaultModel::BitFlip`] |
+    /// | `non_finite=RATE` | [`FaultModel::NonFinite`] |
+    /// | `stuck_at=START:VALUE` | [`FaultModel::StuckAt`] |
+    /// | `input_drift=START:RAMP:MAGNITUDE` | [`FaultModel::InputDrift`] |
+    /// | `checker_blind=RATE` | [`FaultModel::CheckerBlind`] |
+    /// | `queue_pressure=START:SLOTS` | [`FaultModel::QueuePressure`] |
+    ///
+    /// An empty (or all-whitespace) spec parses to an empty plan, which
+    /// every attachment point normalizes to "no plan".
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed entry.
+    pub fn parse(seed: u64, spec: &str) -> Result<Self, String> {
+        let mut plan = Self::new(seed);
+        for entry in spec.split(',').map(str::trim).filter(|e| !e.is_empty()) {
+            let (kind, params) =
+                entry.split_once('=').ok_or_else(|| format!("'{entry}': expected kind=params"))?;
+            let parts: Vec<&str> = params.split(':').map(str::trim).collect();
+            let arity = |n: usize| {
+                if parts.len() == n {
+                    Ok(())
+                } else {
+                    Err(format!("'{entry}': expected {n} ':'-separated parameter(s)"))
+                }
+            };
+            let rate = |s: &str| -> Result<f64, String> {
+                let v: f64 = s.parse().map_err(|e| format!("'{entry}': bad rate '{s}' ({e})"))?;
+                if (0.0..=1.0).contains(&v) {
+                    Ok(v)
+                } else {
+                    Err(format!("'{entry}': rate {v} outside [0, 1]"))
+                }
+            };
+            let num = |s: &str| -> Result<f64, String> {
+                s.parse().map_err(|e| format!("'{entry}': bad number '{s}' ({e})"))
+            };
+            let index = |s: &str| -> Result<usize, String> {
+                s.parse().map_err(|e| format!("'{entry}': bad index '{s}' ({e})"))
+            };
+            let model = match kind.trim() {
+                "bit_flip" => {
+                    arity(1)?;
+                    FaultModel::BitFlip { rate: rate(parts[0])? }
+                }
+                "non_finite" => {
+                    arity(1)?;
+                    FaultModel::NonFinite { rate: rate(parts[0])? }
+                }
+                "stuck_at" => {
+                    arity(2)?;
+                    FaultModel::StuckAt { start: index(parts[0])?, value: num(parts[1])? }
+                }
+                "input_drift" => {
+                    arity(3)?;
+                    FaultModel::InputDrift {
+                        start: index(parts[0])?,
+                        ramp: index(parts[1])?,
+                        magnitude: num(parts[2])?,
+                    }
+                }
+                "checker_blind" => {
+                    arity(1)?;
+                    FaultModel::CheckerBlind { rate: rate(parts[0])? }
+                }
+                "queue_pressure" => {
+                    arity(2)?;
+                    FaultModel::QueuePressure { start: index(parts[0])?, slots: index(parts[1])? }
+                }
+                other => return Err(format!("unknown fault kind '{other}'")),
+            };
+            plan = plan.with(model);
+        }
+        Ok(plan)
+    }
+
     /// The plan's seed.
     #[must_use]
     pub fn seed(&self) -> u64 {
@@ -294,6 +378,43 @@ mod tests {
             FaultModel::CheckerBlind { rate: 0.1 },
             FaultModel::QueuePressure { start: 5, slots: 3 },
         ]
+    }
+
+    #[test]
+    fn parses_the_full_spec_grammar() {
+        let plan = FaultPlan::parse(
+            9,
+            "bit_flip=0.05, non_finite=0.05, stuck_at=10:-1.0, \
+             input_drift=20:8:0.25, checker_blind=0.1, queue_pressure=5:3",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.models(), all_models().as_slice());
+    }
+
+    #[test]
+    fn empty_spec_is_an_empty_plan() {
+        for spec in ["", "   ", ",", " , "] {
+            let plan = FaultPlan::parse(1, spec).unwrap();
+            assert!(plan.is_empty(), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "martian=0.1",
+            "bit_flip",
+            "bit_flip=1.5",
+            "bit_flip=-0.1",
+            "bit_flip=x",
+            "stuck_at=10",
+            "stuck_at=10:1:2",
+            "input_drift=1:2",
+            "queue_pressure=1:-3",
+        ] {
+            assert!(FaultPlan::parse(0, bad).is_err(), "accepted {bad:?}");
+        }
     }
 
     #[test]

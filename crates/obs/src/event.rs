@@ -40,6 +40,10 @@ pub enum Event {
         /// window budget floored to zero (recovery would otherwise be
         /// silently impossible).
         capacity_clamped: bool,
+        /// Serving-session label (empty outside the multi-tenant serving
+        /// layer; empty labels are omitted from the JSON so single-tenant
+        /// streams stay byte-identical to the pre-serving schema).
+        session: String,
     },
     /// One fault was injected into (or detected on) the accelerator
     /// datapath. `outcome` is the runtime's verdict: `"detected"` (the
@@ -57,6 +61,8 @@ pub enum Event {
         element: u64,
         /// `detected` | `quarantined` | `escaped` | `injected`.
         outcome: String,
+        /// Serving-session label (empty outside the serving layer).
+        session: String,
     },
     /// The graceful-degradation watchdog changed stage.
     Degrade {
@@ -66,6 +72,8 @@ pub enum Event {
         action: String,
         /// Human-readable trigger description (strike counts, quality).
         detail: String,
+        /// Serving-session label (empty outside the serving layer).
+        session: String,
     },
     /// One trained-model cache lookup resolved.
     Cache {
@@ -110,6 +118,43 @@ pub enum Event {
         cpu_utilization: f64,
         /// Threshold at end of run.
         final_threshold: f64,
+        /// Serving-session label (empty outside the serving layer; the
+        /// serving runtime emits one tagged `run_summary` per session at
+        /// close, so a multi-tenant stream carries one summary per tenant).
+        session: String,
+    },
+    /// A serving-layer session opened or closed (`rumba serve`). On
+    /// `close` the counters cover the session's whole request stream.
+    Session {
+        /// The session's label (unique within the serving runtime).
+        session: String,
+        /// `open` | `close`.
+        action: String,
+        /// Kernel the session runs.
+        kernel: String,
+        /// Requests processed so far (0 on `open`).
+        invocations: u64,
+        /// Requests re-executed exactly on the CPU so far.
+        fixes: u64,
+        /// Requests rejected by admission control so far.
+        shed: u64,
+        /// The session tuner's current firing threshold.
+        threshold: f64,
+    },
+    /// An admission-control decision on a full session queue: a `shed`
+    /// policy rejected the request (the 503 path), a `block` policy forced
+    /// a synchronous drain before accepting it.
+    Admission {
+        /// The session whose queue was full.
+        session: String,
+        /// `shed` | `block`.
+        policy: String,
+        /// Queue depth observed at the decision.
+        queue_depth: u64,
+        /// Configured queue capacity.
+        capacity: u64,
+        /// Cumulative requests shed from this session so far.
+        shed_total: u64,
     },
 }
 
@@ -125,10 +170,33 @@ impl Event {
             Event::Pool { .. } => "pool",
             Event::Calibration { .. } => "calibration",
             Event::RunSummary { .. } => "run_summary",
+            Event::Session { .. } => "session",
+            Event::Admission { .. } => "admission",
         }
     }
 
+    /// The serving-session label, for variants that carry one (`None`
+    /// for untagged events and for tagged events outside any session).
+    #[must_use]
+    pub fn session(&self) -> Option<&str> {
+        let label = match self {
+            Event::WindowEnd { session, .. }
+            | Event::Fault { session, .. }
+            | Event::Degrade { session, .. }
+            | Event::RunSummary { session, .. }
+            | Event::Session { session, .. }
+            | Event::Admission { session, .. } => session.as_str(),
+            _ => return None,
+        };
+        (!label.is_empty()).then_some(label)
+    }
+
     /// Serializes to one JSON line (no trailing newline).
+    ///
+    /// The `session` tag of the serving-layer variants is appended last
+    /// and only when non-empty, so every event emitted outside a serving
+    /// session is byte-identical to the pre-serving schema (the
+    /// `ci/fig10.golden` contract).
     #[must_use]
     pub fn to_jsonl(&self) -> String {
         let mut w = JsonWriter::object(self.tag());
@@ -143,6 +211,7 @@ impl Event {
                 queue_depth_max,
                 quarantined,
                 capacity_clamped,
+                session,
             } => {
                 w.count("window", *window)
                     .float("threshold", *threshold)
@@ -153,15 +222,24 @@ impl Event {
                     .count("queue_depth_max", *queue_depth_max)
                     .count("quarantined", *quarantined)
                     .boolean("capacity_clamped", *capacity_clamped);
+                if !session.is_empty() {
+                    w.string("session", session);
+                }
             }
-            Event::Fault { invocation, kind, element, outcome } => {
+            Event::Fault { invocation, kind, element, outcome, session } => {
                 w.count("invocation", *invocation)
                     .string("kind", kind)
                     .count("element", *element)
                     .string("outcome", outcome);
+                if !session.is_empty() {
+                    w.string("session", session);
+                }
             }
-            Event::Degrade { window, action, detail } => {
+            Event::Degrade { window, action, detail, session } => {
                 w.count("window", *window).string("action", action).string("detail", detail);
+                if !session.is_empty() {
+                    w.string("session", session);
+                }
             }
             Event::Cache { hit, key } => {
                 w.boolean("hit", *hit).string("key", key);
@@ -182,6 +260,7 @@ impl Event {
                 windows,
                 cpu_utilization,
                 final_threshold,
+                session,
             } => {
                 w.string("kernel", kernel)
                     .count("invocations", *invocations)
@@ -190,6 +269,25 @@ impl Event {
                     .count("windows", *windows)
                     .float("cpu_utilization", *cpu_utilization)
                     .float("final_threshold", *final_threshold);
+                if !session.is_empty() {
+                    w.string("session", session);
+                }
+            }
+            Event::Session { session, action, kernel, invocations, fixes, shed, threshold } => {
+                w.string("session", session)
+                    .string("action", action)
+                    .string("kernel", kernel)
+                    .count("invocations", *invocations)
+                    .count("fixes", *fixes)
+                    .count("shed", *shed)
+                    .float("threshold", *threshold);
+            }
+            Event::Admission { session, policy, queue_depth, capacity, shed_total } => {
+                w.string("session", session)
+                    .string("policy", policy)
+                    .count("queue_depth", *queue_depth)
+                    .count("capacity", *capacity)
+                    .count("shed_total", *shed_total);
             }
         }
         w.finish()
@@ -224,17 +322,20 @@ impl Event {
                 capacity_clamped: obj
                     .boolean("capacity_clamped")
                     .ok_or_else(|| field("capacity_clamped"))?,
+                session: obj.string("session").unwrap_or_default().to_owned(),
             }),
             "fault" => Ok(Event::Fault {
                 invocation: obj.count("invocation").ok_or_else(|| field("invocation"))?,
                 kind: obj.string("kind").ok_or_else(|| field("kind"))?.to_owned(),
                 element: obj.count("element").ok_or_else(|| field("element"))?,
                 outcome: obj.string("outcome").ok_or_else(|| field("outcome"))?.to_owned(),
+                session: obj.string("session").unwrap_or_default().to_owned(),
             }),
             "degrade" => Ok(Event::Degrade {
                 window: obj.count("window").ok_or_else(|| field("window"))?,
                 action: obj.string("action").ok_or_else(|| field("action"))?.to_owned(),
                 detail: obj.string("detail").ok_or_else(|| field("detail"))?.to_owned(),
+                session: obj.string("session").unwrap_or_default().to_owned(),
             }),
             "cache" => Ok(Event::Cache {
                 hit: obj.boolean("hit").ok_or_else(|| field("hit"))?,
@@ -262,6 +363,23 @@ impl Event {
                 final_threshold: obj
                     .number("final_threshold")
                     .ok_or_else(|| field("final_threshold"))?,
+                session: obj.string("session").unwrap_or_default().to_owned(),
+            }),
+            "session" => Ok(Event::Session {
+                session: obj.string("session").ok_or_else(|| field("session"))?.to_owned(),
+                action: obj.string("action").ok_or_else(|| field("action"))?.to_owned(),
+                kernel: obj.string("kernel").ok_or_else(|| field("kernel"))?.to_owned(),
+                invocations: obj.count("invocations").ok_or_else(|| field("invocations"))?,
+                fixes: obj.count("fixes").ok_or_else(|| field("fixes"))?,
+                shed: obj.count("shed").ok_or_else(|| field("shed"))?,
+                threshold: obj.number("threshold").ok_or_else(|| field("threshold"))?,
+            }),
+            "admission" => Ok(Event::Admission {
+                session: obj.string("session").ok_or_else(|| field("session"))?.to_owned(),
+                policy: obj.string("policy").ok_or_else(|| field("policy"))?.to_owned(),
+                queue_depth: obj.count("queue_depth").ok_or_else(|| field("queue_depth"))?,
+                capacity: obj.count("capacity").ok_or_else(|| field("capacity"))?,
+                shed_total: obj.count("shed_total").ok_or_else(|| field("shed_total"))?,
             }),
             other => Err(format!("unknown event type '{other}'")),
         }
@@ -284,17 +402,32 @@ mod tests {
                 queue_depth_max: 5,
                 quarantined: 4,
                 capacity_clamped: true,
+                session: String::new(),
+            },
+            Event::WindowEnd {
+                window: 0,
+                threshold: 0.08,
+                fired: 3,
+                suppressed_by_budget: 0,
+                mean_unfixed_pred: 0.01,
+                cpu_capacity: 12,
+                queue_depth_max: 1,
+                quarantined: 0,
+                capacity_clamped: false,
+                session: "tenant-1".into(),
             },
             Event::Fault {
                 invocation: 812,
                 kind: "non_finite".into(),
                 element: 2,
                 outcome: "quarantined".into(),
+                session: String::new(),
             },
             Event::Degrade {
                 window: 9,
                 action: "recalibrate".into(),
                 detail: "3 dirty windows, quality 0.31".into(),
+                session: "tenant-2".into(),
             },
             Event::Cache { hit: true, key: "gaussian-s42-0123456789abcdef.words".into() },
             Event::Cache { hit: false, key: "fft-s7-fedcba9876543210.words".into() },
@@ -308,6 +441,23 @@ mod tests {
                 windows: 40,
                 cpu_utilization: 0.412,
                 final_threshold: 0.05,
+                session: String::new(),
+            },
+            Event::Session {
+                session: "tenant-1".into(),
+                action: "close".into(),
+                kernel: "gaussian".into(),
+                invocations: 512,
+                fixes: 31,
+                shed: 4,
+                threshold: 0.071,
+            },
+            Event::Admission {
+                session: "tenant-3".into(),
+                policy: "shed".into(),
+                queue_depth: 16,
+                capacity: 16,
+                shed_total: 9,
             },
         ]
     }
@@ -351,6 +501,7 @@ mod tests {
             queue_depth_max: 0,
             quarantined: 0,
             capacity_clamped: false,
+            session: String::new(),
         };
         let line = event.to_jsonl();
         assert!(line.contains("\"mean_unfixed_pred\":null"), "{line}");
@@ -371,10 +522,42 @@ mod tests {
     #[test]
     fn tags_match_the_documented_schema() {
         let tags: Vec<&str> = samples().iter().map(Event::tag).collect();
-        for want in
-            ["window_end", "fault", "degrade", "cache", "pool", "calibration", "run_summary"]
-        {
+        for want in [
+            "window_end",
+            "fault",
+            "degrade",
+            "cache",
+            "pool",
+            "calibration",
+            "run_summary",
+            "session",
+            "admission",
+        ] {
             assert!(tags.contains(&want), "missing {want}");
         }
+    }
+
+    #[test]
+    fn empty_session_labels_are_omitted_from_the_wire() {
+        // The fig10 golden contract: single-tenant streams must serialize
+        // exactly as they did before the serving layer added the tag.
+        for event in samples() {
+            let line = event.to_jsonl();
+            match event.session() {
+                Some(label) => {
+                    assert!(line.contains(&format!("\"session\":\"{label}\"")), "{line}");
+                }
+                None => assert!(!line.contains("\"session\""), "{line}"),
+            }
+        }
+        let tagged = Event::Fault {
+            invocation: 1,
+            kind: "bit_flip".into(),
+            element: 0,
+            outcome: "detected".into(),
+            session: "t".into(),
+        };
+        // The tag is appended after every legacy field.
+        assert!(tagged.to_jsonl().ends_with("\"session\":\"t\"}"), "{}", tagged.to_jsonl());
     }
 }

@@ -1,8 +1,10 @@
 //! The minimal flat-JSON dialect the event codec speaks: one object per
-//! line, values limited to strings, finite numbers, booleans, and `null`.
-//! Hand-rolled so the workspace stays std-only; the writer and parser are
-//! exact inverses for everything [`crate::Event`] emits (`f64` fields use
-//! Rust's shortest round-trip formatting, so `write → parse` is bit-exact).
+//! line, values limited to strings, finite numbers, booleans, `null`, and
+//! flat arrays of those scalars (the serving protocol's `"input":[...]`
+//! payloads; arrays never nest). Hand-rolled so the workspace stays
+//! std-only; the writer and parser are exact inverses for everything
+//! [`crate::Event`] emits (`f64` fields use Rust's shortest round-trip
+//! formatting, so `write → parse` is bit-exact).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -19,6 +21,9 @@ pub enum JsonValue {
     Bool(bool),
     /// `null`.
     Null,
+    /// A flat array of scalars (no nesting — the serving protocol only
+    /// ever ships number vectors).
+    Arr(Vec<JsonValue>),
 }
 
 /// A parsed single-level JSON object, field order normalized.
@@ -35,6 +40,9 @@ pub trait ObjectExt {
     fn count(&self, key: &str) -> Option<u64>;
     /// The boolean field `key`, if present and a boolean.
     fn boolean(&self, key: &str) -> Option<bool>;
+    /// The array field `key` decoded as an `f64` vector; `null` elements
+    /// read as NaN (the writer encodes non-finite floats as `null`).
+    fn numbers(&self, key: &str) -> Option<Vec<f64>>;
 }
 
 impl ObjectExt for JsonObject {
@@ -63,6 +71,20 @@ impl ObjectExt for JsonObject {
     fn boolean(&self, key: &str) -> Option<bool> {
         match self.get(key)? {
             JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn numbers(&self, key: &str) -> Option<Vec<f64>> {
+        match self.get(key)? {
+            JsonValue::Arr(items) => items
+                .iter()
+                .map(|v| match v {
+                    JsonValue::Num(x) => Some(*x),
+                    JsonValue::Null => Some(f64::NAN),
+                    _ => None,
+                })
+                .collect(),
             _ => None,
         }
     }
@@ -142,6 +164,26 @@ impl JsonWriter {
     pub fn boolean(&mut self, key: &str, value: bool) -> &mut Self {
         self.raw_key(key);
         self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Appends a flat number-array field. Elements follow the same
+    /// formatting contract as [`JsonWriter::float`]: shortest round-trip
+    /// for finite values, `null` for non-finite ones.
+    pub fn floats(&mut self, key: &str, values: &[f64]) -> &mut Self {
+        self.raw_key(key);
+        self.out.push('[');
+        for (i, value) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            if value.is_finite() {
+                let _ = write!(self.out, "{value:?}");
+            } else {
+                self.out.push_str("null");
+            }
+        }
+        self.out.push(']');
         self
     }
 
@@ -228,8 +270,35 @@ impl Parser<'_> {
             Some(b'f') => self.parse_literal("false", JsonValue::Bool(false)),
             Some(b'n') => self.parse_literal("null", JsonValue::Null),
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b'[') => self.parse_array(),
             other => Err(format!("unexpected value start {other:?}")),
         }
+    }
+
+    /// A flat array of scalar values; nested arrays/objects stay outside
+    /// the dialect and are rejected.
+    fn parse_array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() == Some(b'[') {
+                return Err("nested arrays are not in the event dialect".into());
+            }
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.next() {
+                Some(b',') => {}
+                Some(b']') => break,
+                other => return Err(format!("expected ',' or ']', got {other:?}")),
+            }
+        }
+        Ok(JsonValue::Arr(items))
     }
 
     fn parse_literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
@@ -328,6 +397,36 @@ mod tests {
         for bad in ["", "{", "{\"a\":}", "{\"a\":1,}", "{\"a\":1}x", "[1,2]", "{\"a\":{}}"] {
             assert!(parse_object(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn number_arrays_round_trip_bit_exactly() {
+        let values = [0.1, -2.5e3, 1.0 / 3.0, f64::NAN, 0.0];
+        let mut w = JsonWriter::object("t");
+        w.floats("input", &values).floats("empty", &[]);
+        let line = w.finish();
+        assert!(line.contains("\"empty\":[]"), "{line}");
+        let obj = parse_object(&line).unwrap();
+        let parsed = obj.numbers("input").unwrap();
+        assert_eq!(parsed.len(), values.len());
+        for (a, b) in parsed.iter().zip(&values) {
+            assert!(a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()), "{a} vs {b}");
+        }
+        assert_eq!(obj.numbers("empty"), Some(Vec::new()));
+        assert_eq!(obj.numbers("type"), None, "scalars are not arrays");
+    }
+
+    #[test]
+    fn rejects_nested_containers_inside_arrays() {
+        for bad in ["{\"a\":[[1]]}", "{\"a\":[{\"b\":1}]}", "{\"a\":[1,]}", "{\"a\":[1"] {
+            assert!(parse_object(bad).is_err(), "accepted {bad:?}");
+        }
+        let obj = parse_object("{\"a\":[ 1 , null , \"s\" , true ]}").unwrap();
+        match obj.get("a") {
+            Some(JsonValue::Arr(items)) => assert_eq!(items.len(), 4),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(obj.numbers("a"), None, "strings/bools poison a numbers() read");
     }
 
     #[test]

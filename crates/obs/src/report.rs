@@ -78,7 +78,7 @@ impl fmt::Display for Report {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "events: {} total ({} window_end, {} calibration, {} cache, {} pool, {} run_summary, {} fault, {} degrade), {} malformed",
+            "events: {} total ({} window_end, {} calibration, {} cache, {} pool, {} run_summary, {} fault, {} degrade, {} session, {} admission), {} malformed",
             self.events.len(),
             self.count_tag("window_end"),
             self.count_tag("calibration"),
@@ -87,6 +87,8 @@ impl fmt::Display for Report {
             self.count_tag("run_summary"),
             self.count_tag("fault"),
             self.count_tag("degrade"),
+            self.count_tag("session"),
+            self.count_tag("admission"),
             self.malformed.len(),
         )?;
         for (line, err) in self.malformed.iter().take(5) {
@@ -187,8 +189,10 @@ impl fmt::Display for Report {
         }
 
         for event in &self.events {
-            if let Event::Degrade { window, action, detail } = event {
-                writeln!(f, "degrade: window {window} -> {action} ({detail})")?;
+            if let Event::Degrade { window, action, detail, session } = event {
+                let scope =
+                    if session.is_empty() { String::new() } else { format!("[{session}] ") };
+                writeln!(f, "degrade: {scope}window {window} -> {action} ({detail})")?;
             }
         }
 
@@ -214,16 +218,56 @@ impl fmt::Display for Report {
                 windows,
                 cpu_utilization,
                 final_threshold,
+                session,
             } = event
             {
+                let scope =
+                    if session.is_empty() { String::new() } else { format!("[{session}] ") };
                 writeln!(
                     f,
-                    "run: {kernel} — {invocations} invocations, {fixes} fixes ({}), output error {}, {windows} windows, cpu utilization {}, final threshold {final_threshold:.6}",
+                    "run: {scope}{kernel} — {invocations} invocations, {fixes} fixes ({}), output error {}, {windows} windows, cpu utilization {}, final threshold {final_threshold:.6}",
                     pct(*fixes as f64 / (*invocations).max(1) as f64),
                     pct(*output_error),
                     pct(*cpu_utilization),
                 )?;
             }
+        }
+
+        let opened = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Session { action, .. } if action == "open"))
+            .count();
+        if opened > 0 {
+            writeln!(f, "sessions: {opened} opened")?;
+            for event in &self.events {
+                if let Event::Session {
+                    session,
+                    action,
+                    kernel,
+                    invocations,
+                    fixes,
+                    shed,
+                    threshold,
+                } = event
+                {
+                    if action == "close" {
+                        writeln!(
+                            f,
+                            "  {session}: {kernel} — {invocations} requests, {fixes} fixes, {shed} shed, final threshold {threshold:.6}"
+                        )?;
+                    }
+                }
+            }
+        }
+        let shed_events = self
+            .events
+            .iter()
+            .filter(|e| matches!(e, Event::Admission { policy, .. } if policy == "shed"))
+            .count();
+        let blocked_events = self.count_tag("admission") - shed_events;
+        if shed_events + blocked_events > 0 {
+            writeln!(f, "admission: {shed_events} shed, {blocked_events} blocked")?;
         }
         Ok(())
     }
@@ -244,6 +288,7 @@ mod tests {
             queue_depth_max: i,
             quarantined: i,
             capacity_clamped: i == 0,
+            session: String::new(),
         }
         .to_jsonl()
     }
@@ -269,6 +314,7 @@ mod tests {
                 windows: 4,
                 cpu_utilization: 0.5,
                 final_threshold: 0.08,
+                session: String::new(),
             }
             .to_jsonl()
                 + "\n"),
@@ -279,6 +325,7 @@ mod tests {
                 kind: "non_finite".into(),
                 element: 0,
                 outcome: "quarantined".into(),
+                session: String::new(),
             }
             .to_jsonl()
                 + "\n"),
@@ -288,6 +335,33 @@ mod tests {
                 window: 2,
                 action: "recalibrate".into(),
                 detail: "2 dirty windows".into(),
+                session: String::new(),
+            }
+            .to_jsonl()
+                + "\n"),
+        );
+        for action in ["open", "close"] {
+            text.push_str(
+                &(Event::Session {
+                    session: "tenant-1".into(),
+                    action: action.into(),
+                    kernel: "sobel".into(),
+                    invocations: if action == "open" { 0 } else { 64 },
+                    fixes: if action == "open" { 0 } else { 5 },
+                    shed: if action == "open" { 0 } else { 2 },
+                    threshold: 0.03,
+                }
+                .to_jsonl()
+                    + "\n"),
+            );
+        }
+        text.push_str(
+            &(Event::Admission {
+                session: "tenant-1".into(),
+                policy: "shed".into(),
+                queue_depth: 8,
+                capacity: 8,
+                shed_total: 2,
             }
             .to_jsonl()
                 + "\n"),
@@ -295,7 +369,7 @@ mod tests {
         text.push_str("this line is garbage\n\n");
 
         let report = Report::from_lines(&text);
-        assert_eq!(report.events.len(), 11);
+        assert_eq!(report.events.len(), 14);
         assert_eq!(report.windows().len(), 4);
         assert_eq!(report.malformed.len(), 1);
 
@@ -312,6 +386,9 @@ mod tests {
         assert!(rendered.contains("run: gaussian"), "{rendered}");
         assert!(rendered.contains("2 non-finite sanitized"), "{rendered}");
         assert!(rendered.contains("1 malformed"), "{rendered}");
+        assert!(rendered.contains("sessions: 1 opened"), "{rendered}");
+        assert!(rendered.contains("tenant-1: sobel — 64 requests, 5 fixes, 2 shed"), "{rendered}");
+        assert!(rendered.contains("admission: 1 shed, 0 blocked"), "{rendered}");
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Seeded multi-tenant workload replay behind `rumba bench-serve`.
+//!
+//! [`run_trace`] drives the full NDJSON protocol with a deterministic
+//! interleaved workload and returns the response stream verbatim — that
+//! stream is the conformance artifact (`ci/serve_trace.golden`): every
+//! float in it is shortest-round-trip formatted, so a byte-diff against
+//! the golden file is a bitwise conformance check of the whole serving
+//! layer at any thread count.
+//!
+//! [`bench_report`] additionally sweeps the tenant count and reports
+//! wall-clock throughput plus tail queue depth (`BENCH_serve.json`);
+//! timing is intentionally kept out of the golden trace.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use rumba_apps::{kernel_by_name, Split};
+use rumba_obs::json::JsonWriter;
+
+use crate::protocol::handle_line;
+use crate::registry::ServeRuntime;
+use crate::ServeError;
+
+/// Workload shape for one trace replay.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Master seed: datasets, schedule shuffle and injected faults.
+    pub seed: u64,
+    /// Number of concurrent tenants (sessions).
+    pub tenants: usize,
+    /// Requests submitted per tenant.
+    pub requests: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self { seed: 7, tenants: 3, requests: 40 }
+    }
+}
+
+/// Deterministic side-channel counters collected while replaying a trace
+/// (the trace itself stays the source of truth for conformance).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceStats {
+    /// Requests submitted across all tenants.
+    pub submitted: u64,
+    /// Requests that completed the pipeline.
+    pub processed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests that forced a blocking drain.
+    pub blocked: u64,
+    /// Queue depth sampled after every submission, in order.
+    pub depth_samples: Vec<u64>,
+}
+
+impl TraceStats {
+    /// p99 of the sampled queue depths (0 when nothing was sampled).
+    #[must_use]
+    pub fn p99_queue_depth(&self) -> u64 {
+        if self.depth_samples.is_empty() {
+            return 0;
+        }
+        let mut sorted = self.depth_samples.clone();
+        sorted.sort_unstable();
+        sorted[(sorted.len() - 1) * 99 / 100]
+    }
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The benchmark's tenant profiles: three deliberately different
+/// configurations so the trace exercises shed and block admission, both
+/// tuning families, distinct checkers, and per-session fault isolation
+/// (only the third profile injects faults).
+fn open_line(tenant: usize, seed: u64) -> String {
+    let name = format!("tenant-{tenant}");
+    match tenant % 3 {
+        0 => format!(
+            "{{\"op\":\"open\",\"session\":\"{name}\",\"kernel\":\"gaussian\",\"seed\":{seed},\
+             \"checker\":\"tree\",\"mode\":\"toq\",\"toq\":0.95,\"window\":16,\"queue\":12,\
+             \"admission\":\"shed\"}}"
+        ),
+        1 => format!(
+            "{{\"op\":\"open\",\"session\":\"{name}\",\"kernel\":\"gaussian\",\"seed\":{seed},\
+             \"checker\":\"linear\",\"mode\":\"energy\",\"budget\":6,\"window\":16,\"queue\":4,\
+             \"admission\":\"block\"}}"
+        ),
+        // The third profile's queue-pressure fault collapses its queue
+        // bound mid-stream, so 503-style sheds deterministically appear
+        // in the conformance trace.
+        _ => format!(
+            "{{\"op\":\"open\",\"session\":\"{name}\",\"kernel\":\"gaussian\",\"seed\":{seed},\
+             \"checker\":\"ema\",\"mode\":\"toq\",\"toq\":0.9,\"window\":16,\"queue\":6,\
+             \"admission\":\"shed\",\"faults\":\"non_finite=0.05,queue_pressure=16:5\",\
+             \"fault_seed\":{seed}}}"
+        ),
+    }
+}
+
+fn invoke_line(tenant: usize, input: &[f64]) -> String {
+    let mut w = JsonWriter::object("request");
+    w.string("op", "invoke").string("session", &format!("tenant-{tenant}")).floats("input", input);
+    w.finish().replacen("\"type\":\"request\",", "", 1)
+}
+
+/// Replays the seeded workload through the protocol layer, appending every
+/// response line to the returned trace.
+///
+/// # Errors
+///
+/// Fails only if a tenant cannot be opened (trace-level errors surface as
+/// `error` response lines instead, so they land in the golden diff).
+pub fn run_trace(cfg: BenchConfig) -> Result<(String, TraceStats), ServeError> {
+    let kernel = kernel_by_name("gaussian")
+        .ok_or_else(|| ServeError::UnknownKernel("gaussian".to_owned()))?;
+    let dataset = kernel.generate(Split::Test, cfg.seed);
+    let n = dataset.len();
+
+    let mut rt = ServeRuntime::new();
+    let mut trace = String::new();
+    let mut stats = TraceStats::default();
+    let emit = |trace: &mut String, lines: Vec<String>| {
+        for line in lines {
+            trace.push_str(&line);
+            trace.push('\n');
+        }
+    };
+
+    for t in 0..cfg.tenants {
+        let (lines, _) = handle_line(&mut rt, &open_line(t, cfg.seed));
+        if lines.first().is_some_and(|l| l.starts_with("{\"type\":\"error\"")) {
+            return Err(ServeError::InvalidConfig(lines[0].clone()));
+        }
+        emit(&mut trace, lines);
+    }
+
+    // Deterministic interleave: each tenant appears exactly `requests`
+    // times; Fisher–Yates over the schedule keyed off the seed.
+    let mut schedule: Vec<usize> =
+        (0..cfg.tenants * cfg.requests).map(|i| i % cfg.tenants).collect();
+    for i in (1..schedule.len()).rev() {
+        let j = (splitmix(cfg.seed ^ (i as u64).wrapping_mul(0x9E37)) % (i as u64 + 1)) as usize;
+        schedule.swap(i, j);
+    }
+
+    let mut next_row = vec![0usize; cfg.tenants];
+    for (step, &tenant) in schedule.iter().enumerate() {
+        let row = (tenant * 997 + next_row[tenant]) % n.max(1);
+        next_row[tenant] += 1;
+        let (lines, _) = handle_line(&mut rt, &invoke_line(tenant, dataset.input(row)));
+        emit(&mut trace, lines);
+        stats.submitted += 1;
+        let name = format!("tenant-{tenant}");
+        if let Some(session) = rt.session(&name) {
+            stats.depth_samples.push(session.queue_depth() as u64);
+        }
+        // Multiplexed scheduling round every nine submissions — slow
+        // enough that bursts fill the smaller tenant queues, so shed and
+        // block admission both appear in the conformance trace — plus a
+        // solo drain of tenant 0 on a coprime cadence so both scheduler
+        // paths stay covered.
+        if step % 9 == 8 {
+            let (lines, _) = handle_line(&mut rt, "{\"op\":\"drain\"}");
+            emit(&mut trace, lines);
+        } else if step % 13 == 12 {
+            let (lines, _) = handle_line(&mut rt, "{\"op\":\"drain\",\"session\":\"tenant-0\"}");
+            emit(&mut trace, lines);
+        }
+    }
+
+    for t in 0..cfg.tenants {
+        let line = format!("{{\"op\":\"stats\",\"session\":\"tenant-{t}\"}}");
+        let (lines, _) = handle_line(&mut rt, &line);
+        emit(&mut trace, lines);
+        if let Some(session) = rt.session(&format!("tenant-{t}")) {
+            let s = session.stats();
+            stats.processed += s.processed;
+            stats.shed += s.shed;
+            stats.blocked += s.blocked;
+        }
+    }
+    // Shutdown drains the remainder; fold those into `processed` so the
+    // side-channel counters match the closed lines in the trace.
+    let queued: u64 = (0..cfg.tenants)
+        .filter_map(|t| rt.session(&format!("tenant-{t}")))
+        .map(|s| s.queue_depth() as u64)
+        .sum();
+    stats.processed += queued;
+    let (lines, _) = handle_line(&mut rt, "{\"op\":\"shutdown\"}");
+    emit(&mut trace, lines);
+
+    Ok((trace, stats))
+}
+
+/// Sweeps the tenant count from 1 to `cfg.tenants` and reports wall-clock
+/// throughput and p99 queue depth per point — the `BENCH_serve.json`
+/// payload. Never golden-gated (it contains timing).
+///
+/// # Errors
+///
+/// Propagates [`run_trace`] failures.
+pub fn bench_report(cfg: BenchConfig) -> Result<String, ServeError> {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"bench\":\"serve\",\"seed\":{},\"requests_per_tenant\":{},\"points\":[",
+        cfg.seed, cfg.requests
+    );
+    for tenants in 1..=cfg.tenants.max(1) {
+        let point = BenchConfig { tenants, ..cfg };
+        let start = Instant::now();
+        let (_, stats) = run_trace(point)?;
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let throughput = stats.submitted as f64 / secs;
+        if tenants > 1 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"tenants\":{tenants},\"throughput_rps\":{throughput:.1},\
+             \"p99_queue_depth\":{},\"processed\":{},\"shed\":{},\"blocked\":{}}}",
+            stats.p99_queue_depth(),
+            stats.processed,
+            stats.shed,
+            stats.blocked
+        );
+    }
+    out.push_str("]}");
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_are_reproducible_for_a_seed() {
+        let cfg = BenchConfig { seed: 11, tenants: 2, requests: 8 };
+        let (a, stats_a) = run_trace(cfg).unwrap();
+        let (b, stats_b) = run_trace(cfg).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(stats_a, stats_b);
+        assert!(a.lines().all(|l| l.starts_with('{') && l.ends_with('}')), "JSONL shape");
+        assert!(!a.contains("\"type\":\"error\""), "clean trace:\n{a}");
+    }
+
+    #[test]
+    fn different_seeds_change_the_trace() {
+        let (a, _) = run_trace(BenchConfig { seed: 1, tenants: 2, requests: 6 }).unwrap();
+        let (b, _) = run_trace(BenchConfig { seed: 2, tenants: 2, requests: 6 }).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn every_submitted_request_is_processed_or_shed() {
+        let cfg = BenchConfig { seed: 7, tenants: 3, requests: 20 };
+        let (trace, stats) = run_trace(cfg).unwrap();
+        assert_eq!(stats.submitted, (cfg.tenants * cfg.requests) as u64);
+        assert_eq!(stats.processed + stats.shed, stats.submitted, "trace:\n{trace}");
+        assert!(trace.contains("\"type\":\"closed\""));
+    }
+
+    #[test]
+    fn bench_report_sweeps_tenant_counts() {
+        let report = bench_report(BenchConfig { seed: 3, tenants: 2, requests: 4 }).unwrap();
+        assert!(report.starts_with("{\"bench\":\"serve\""), "{report}");
+        assert!(report.contains("\"tenants\":1"), "{report}");
+        assert!(report.contains("\"tenants\":2"), "{report}");
+    }
+}

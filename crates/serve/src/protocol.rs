@@ -1,0 +1,348 @@
+//! Newline-delimited JSON request/response protocol for `rumba serve`.
+//!
+//! Requests are flat JSON objects with an `"op"` field; every request
+//! produces one or more flat JSON response lines whose `"type"` field
+//! names the response kind (`ack`, `result`, `shed`, `stats`, `closed`,
+//! `error`). The dialect reuses the observability crate's codec, so the
+//! wire format shares its bit-exact float round-trip guarantees.
+//!
+//! Operations:
+//!
+//! | op         | fields                                                            |
+//! |------------|-------------------------------------------------------------------|
+//! | `open`     | `session` (required), `kernel`, `seed`, `checker`, `mode` (`toq`/`energy`/`best`), `toq`, `budget`, `window`, `queue`, `admission` (`shed`/`block`), `faults` (spec string), `fault_seed`, `watchdog` (bool) |
+//! | `invoke`   | `session`, `input` (number array)                                 |
+//! | `drain`    | `session` (optional — omitted drains **all** sessions through one multiplexed scheduling round) |
+//! | `stats`    | `session`                                                         |
+//! | `close`    | `session`                                                         |
+//! | `shutdown` | —                                                                 |
+
+use std::io::{BufRead, Write};
+
+use rumba_core::runtime::WatchdogConfig;
+use rumba_core::tuner::TuningMode;
+use rumba_faults::FaultPlan;
+use rumba_obs::json::{parse_object, JsonObject, JsonWriter, ObjectExt};
+
+use crate::registry::{ServeRuntime, Submit};
+use crate::session::{AdmissionPolicy, CheckerKind, SessionConfig, SessionResult, SessionStats};
+use crate::ServeError;
+
+fn error_line(op: &str, message: &str) -> String {
+    let mut w = JsonWriter::object("error");
+    w.string("op", op).string("message", message);
+    w.finish()
+}
+
+fn result_line(session: &str, r: &SessionResult) -> String {
+    let mut w = JsonWriter::object("result");
+    w.string("session", session)
+        .count("index", r.index as u64)
+        .boolean("fired", r.fired)
+        .float("predicted", r.predicted_error)
+        .float("error", r.measured_error)
+        .floats("output", &r.output);
+    w.finish()
+}
+
+fn closed_line(session: &str, stats: &SessionStats) -> String {
+    let mut w = JsonWriter::object("closed");
+    w.string("session", session)
+        .count("processed", stats.processed)
+        .count("fixes", stats.fixes)
+        .count("shed", stats.shed)
+        .count("blocked", stats.blocked)
+        .float("mean_error", stats.mean_error())
+        .float("cpu_utilization", stats.cpu_utilization())
+        .float("threshold", stats.final_threshold);
+    w.finish()
+}
+
+fn parse_config(obj: &JsonObject) -> Result<SessionConfig, ServeError> {
+    let mut config = SessionConfig::default();
+    if let Some(kernel) = obj.string("kernel") {
+        config.kernel = kernel.to_owned();
+    }
+    if let Some(seed) = obj.count("seed") {
+        config.seed = seed;
+    }
+    if let Some(checker) = obj.string("checker") {
+        config.checker = CheckerKind::parse(checker)?;
+    }
+    let mode = obj.string("mode").unwrap_or("toq");
+    config.mode = match mode {
+        "toq" => {
+            let toq = obj.number("toq").unwrap_or(0.9);
+            TuningMode::TargetQuality { toq }
+        }
+        "energy" => {
+            let budget = obj.count("budget").unwrap_or(8) as usize;
+            TuningMode::EnergyBudget { budget }
+        }
+        "best" => TuningMode::BestQuality,
+        other => {
+            return Err(ServeError::InvalidConfig(format!(
+                "unknown mode {other:?} (expected toq, energy or best)"
+            )))
+        }
+    };
+    if let Some(window) = obj.count("window") {
+        config.window = window as usize;
+    }
+    if let Some(queue) = obj.count("queue") {
+        config.queue.input_capacity = queue as usize;
+    }
+    if let Some(admission) = obj.string("admission") {
+        config.admission = AdmissionPolicy::parse(admission)?;
+    }
+    if let Some(spec) = obj.string("faults") {
+        let fault_seed = obj.count("fault_seed").unwrap_or(config.seed);
+        let plan = FaultPlan::parse(fault_seed, spec).map_err(ServeError::InvalidConfig)?;
+        config.faults = (!plan.is_empty()).then_some(plan);
+    }
+    if obj.boolean("watchdog").unwrap_or(false) {
+        config.watchdog = Some(WatchdogConfig::default());
+    }
+    Ok(config)
+}
+
+fn required_session<'a>(obj: &'a JsonObject, op: &str) -> Result<&'a str, String> {
+    obj.string("session")
+        .filter(|s| !s.is_empty())
+        .ok_or_else(|| format!("op {op:?} requires a \"session\" field"))
+}
+
+/// Handles one request line against the runtime. Returns the response
+/// lines plus a flag that is true when the request asked for shutdown
+/// (all sessions are closed before the flag is returned).
+pub fn handle_line(rt: &mut ServeRuntime, line: &str) -> (Vec<String>, bool) {
+    let obj = match parse_object(line) {
+        Ok(obj) => obj,
+        Err(msg) => return (vec![error_line("parse", &msg)], false),
+    };
+    let Some(op) = obj.string("op").map(str::to_owned) else {
+        return (vec![error_line("none", "request is missing the \"op\" field")], false);
+    };
+    match handle_op(rt, &op, &obj) {
+        Ok((lines, shutdown)) => (lines, shutdown),
+        Err(msg) => (vec![error_line(&op, &msg)], false),
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn handle_op(
+    rt: &mut ServeRuntime,
+    op: &str,
+    obj: &JsonObject,
+) -> Result<(Vec<String>, bool), String> {
+    match op {
+        "open" => {
+            let name = required_session(obj, op)?;
+            let config = parse_config(obj).map_err(|e| e.to_string())?;
+            let kernel = config.kernel.clone();
+            let checker = config.checker.label();
+            let threshold = rt.open(name, config).map_err(|e| e.to_string())?;
+            let mut w = JsonWriter::object("ack");
+            w.string("op", "open")
+                .string("session", name)
+                .string("kernel", &kernel)
+                .string("checker", checker)
+                .float("threshold", threshold);
+            Ok((vec![w.finish()], false))
+        }
+        "invoke" => {
+            let name = required_session(obj, op)?;
+            let input = obj
+                .numbers("input")
+                .ok_or_else(|| "op \"invoke\" requires an \"input\" number array".to_owned())?;
+            match rt.submit(name, &input).map_err(|e| e.to_string())? {
+                Submit::Accepted { depth, blocked } => {
+                    let mut w = JsonWriter::object("ack");
+                    w.string("op", "invoke")
+                        .string("session", name)
+                        .count("queued", depth as u64)
+                        .boolean("blocked", blocked);
+                    Ok((vec![w.finish()], false))
+                }
+                Submit::Shed => {
+                    let shed_total = rt.session(name).map_or(0, |s| s.stats().shed);
+                    let mut w = JsonWriter::object("shed");
+                    w.string("session", name).count("code", 503).count("shed_total", shed_total);
+                    Ok((vec![w.finish()], false))
+                }
+            }
+        }
+        "drain" => {
+            let mut lines = Vec::new();
+            let mut total = 0u64;
+            if let Some(name) = obj.string("session").filter(|s| !s.is_empty()) {
+                let results = rt.drain(name).map_err(|e| e.to_string())?;
+                total += results.len() as u64;
+                lines.extend(results.iter().map(|r| result_line(name, r)));
+            } else {
+                rt.drain_all().map_err(|e| e.to_string())?;
+                for (name, results) in rt.take_all_results() {
+                    total += results.len() as u64;
+                    lines.extend(results.iter().map(|r| result_line(&name, r)));
+                }
+            }
+            let mut w = JsonWriter::object("ack");
+            w.string("op", "drain").count("results", total);
+            lines.push(w.finish());
+            Ok((lines, false))
+        }
+        "stats" => {
+            let name = required_session(obj, op)?;
+            let session = rt
+                .session(name)
+                .ok_or_else(|| ServeError::UnknownSession(name.to_owned()).to_string())?;
+            let stats = session.stats();
+            let mut w = JsonWriter::object("stats");
+            w.string("session", name)
+                .string("kernel", session.kernel_name())
+                .count("queue_depth", session.queue_depth() as u64)
+                .count("capacity", session.effective_capacity() as u64)
+                .count("processed", stats.processed)
+                .count("fixes", stats.fixes)
+                .count("shed", stats.shed)
+                .count("blocked", stats.blocked)
+                .count("queue_high_water", stats.queue_high_water as u64)
+                .float("mean_error", stats.mean_error())
+                .float("threshold", session.threshold())
+                .boolean("back_pressured", stats.back_pressured_drains > 0);
+            Ok((vec![w.finish()], false))
+        }
+        "close" => {
+            let name = required_session(obj, op)?;
+            let (stats, results) = rt.close(name).map_err(|e| e.to_string())?;
+            let mut lines: Vec<String> = results.iter().map(|r| result_line(name, r)).collect();
+            lines.push(closed_line(name, &stats));
+            Ok((lines, false))
+        }
+        "shutdown" => {
+            let closed = rt.close_all().map_err(|e| e.to_string())?;
+            let mut lines = Vec::new();
+            for (name, stats, results) in &closed {
+                lines.extend(results.iter().map(|r| result_line(name, r)));
+                lines.push(closed_line(name, stats));
+            }
+            let mut w = JsonWriter::object("ack");
+            w.string("op", "shutdown").count("sessions", closed.len() as u64);
+            lines.push(w.finish());
+            Ok((lines, true))
+        }
+        other => Err(format!("unknown op {other:?}")),
+    }
+}
+
+/// Runs the request/response loop until EOF or a `shutdown` op. Responses
+/// are flushed after every request line so interactive clients see them
+/// immediately. Returns `true` when the loop ended because of a
+/// `shutdown` op (socket servers use this to stop accepting).
+///
+/// # Errors
+///
+/// Propagates I/O failures from the reader or writer.
+pub fn serve_loop(
+    rt: &mut ServeRuntime,
+    reader: impl BufRead,
+    writer: &mut impl Write,
+) -> std::io::Result<bool> {
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (responses, shutdown) = handle_line(rt, &line);
+        for response in &responses {
+            writeln!(writer, "{response}")?;
+        }
+        writer.flush()?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_line(name: &str) -> String {
+        format!(
+            "{{\"op\":\"open\",\"session\":\"{name}\",\"kernel\":\"gaussian\",\"seed\":7,\"window\":16,\"queue\":4}}"
+        )
+    }
+
+    fn invoke_line(name: &str, input: &[f64]) -> String {
+        let mut w = JsonWriter::object("ignored");
+        w.string("op", "invoke").string("session", name).floats("input", input);
+        // Strip the writer's mandatory type tag: requests carry "op" only.
+        w.finish().replacen("\"type\":\"ignored\",", "", 1)
+    }
+
+    #[test]
+    fn open_invoke_drain_close_round_trip() {
+        let mut rt = ServeRuntime::new();
+        let (lines, _) = handle_line(&mut rt, &open_line("t0"));
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].starts_with("{\"type\":\"ack\",\"op\":\"open\""), "{}", lines[0]);
+
+        let dim = rt.session("t0").unwrap().input_dim();
+        let (lines, _) = handle_line(&mut rt, &invoke_line("t0", &vec![0.25; dim]));
+        assert!(lines[0].contains("\"queued\":1"), "{}", lines[0]);
+
+        let (lines, _) = handle_line(&mut rt, "{\"op\":\"drain\",\"session\":\"t0\"}");
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        assert!(lines[0].starts_with("{\"type\":\"result\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"results\":1"), "{}", lines[1]);
+
+        let (lines, shutdown) = handle_line(&mut rt, "{\"op\":\"close\",\"session\":\"t0\"}");
+        assert!(!shutdown);
+        assert!(lines.last().unwrap().starts_with("{\"type\":\"closed\""));
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_yield_error_responses() {
+        let mut rt = ServeRuntime::new();
+        let (lines, _) = handle_line(&mut rt, "not json");
+        assert!(lines[0].starts_with("{\"type\":\"error\""), "{}", lines[0]);
+        let (lines, _) = handle_line(&mut rt, "{\"session\":\"x\"}");
+        assert!(lines[0].contains("missing the \\\"op\\\" field"), "{}", lines[0]);
+        let (lines, _) =
+            handle_line(&mut rt, "{\"op\":\"invoke\",\"session\":\"ghost\",\"input\":[1]}");
+        assert!(lines[0].contains("no open session"), "{}", lines[0]);
+        let (lines, _) = handle_line(&mut rt, "{\"op\":\"warp\"}");
+        assert!(lines[0].contains("unknown op"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn shed_responses_carry_the_503_code() {
+        let mut rt = ServeRuntime::new();
+        handle_line(&mut rt, &open_line("t0"));
+        let dim = rt.session("t0").unwrap().input_dim();
+        let payload = vec![0.5; dim];
+        for _ in 0..4 {
+            let (lines, _) = handle_line(&mut rt, &invoke_line("t0", &payload));
+            assert!(lines[0].starts_with("{\"type\":\"ack\""), "{}", lines[0]);
+        }
+        let (lines, _) = handle_line(&mut rt, &invoke_line("t0", &payload));
+        assert!(lines[0].contains("\"code\":503"), "{}", lines[0]);
+        assert!(lines[0].contains("\"shed_total\":1"), "{}", lines[0]);
+    }
+
+    #[test]
+    fn serve_loop_stops_at_shutdown_and_flushes_responses() {
+        let mut rt = ServeRuntime::new();
+        let script = format!("{}\n{}\n", open_line("t0"), "{\"op\":\"shutdown\"}");
+        let mut out = Vec::new();
+        assert!(serve_loop(&mut rt, script.as_bytes(), &mut out).unwrap());
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines[0].contains("\"op\":\"open\""), "{text}");
+        assert!(lines.last().unwrap().contains("\"op\":\"shutdown\""), "{text}");
+        assert!(rt.is_empty());
+    }
+}

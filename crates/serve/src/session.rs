@@ -1,0 +1,650 @@
+//! One tenant of the serving layer: a calibrated Rumba pipeline behind a
+//! bounded request queue.
+
+use std::collections::VecDeque;
+
+use rumba_accel::{CheckerUnit, Npu};
+use rumba_apps::{kernel_by_name, Kernel, Split};
+use rumba_core::event_sim::{simulate_detailed_with_faults, QueueConfig};
+use rumba_core::runtime::{RumbaSystem, RuntimeConfig, WatchdogConfig};
+use rumba_core::trainer::{train_app, OfflineConfig, TrainedApp};
+use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
+use rumba_faults::FaultPlan;
+use rumba_nn::{Matrix, MatrixView, NnError, Scratch};
+use rumba_obs::Event;
+use rumba_predict::{EmaDetector, ErrorEstimator};
+
+use crate::ServeError;
+
+/// Which online checker a session runs. Mirrors the CLI's checker choice,
+/// restricted to the schemes that need no extra training pass at session
+/// open (the serving layer opens sessions on the request path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckerKind {
+    /// Linear per-output error model.
+    Linear,
+    /// Decision-tree error model (the paper's default).
+    #[default]
+    Tree,
+    /// Exponential-moving-average output-drift detector.
+    Ema,
+    /// Error value prediction (EVP).
+    Evp,
+}
+
+impl CheckerKind {
+    /// Parses the protocol spelling (`"linear"`, `"tree"`, `"ema"`,
+    /// `"evp"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted spellings.
+    pub fn parse(text: &str) -> Result<Self, ServeError> {
+        match text {
+            "linear" => Ok(Self::Linear),
+            "tree" => Ok(Self::Tree),
+            "ema" => Ok(Self::Ema),
+            "evp" => Ok(Self::Evp),
+            other => Err(ServeError::InvalidConfig(format!(
+                "unknown checker {other:?} (expected linear, tree, ema or evp)"
+            ))),
+        }
+    }
+
+    /// Protocol spelling of this checker.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Linear => "linear",
+            Self::Tree => "tree",
+            Self::Ema => "ema",
+            Self::Evp => "evp",
+        }
+    }
+}
+
+/// What happens when a request arrives and the session's bounded queue is
+/// full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// Reject the request (503-style). The caller is told and the
+    /// rejection is counted; nothing enters the pipeline.
+    #[default]
+    Shed,
+    /// Drain the session's queue through the pipeline first, then admit.
+    /// Trades latency for completeness; the queue bound still holds.
+    Block,
+}
+
+impl AdmissionPolicy {
+    /// Parses the protocol spelling (`"shed"` or `"block"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted spellings.
+    pub fn parse(text: &str) -> Result<Self, ServeError> {
+        match text {
+            "shed" => Ok(Self::Shed),
+            "block" => Ok(Self::Block),
+            other => Err(ServeError::InvalidConfig(format!(
+                "unknown admission policy {other:?} (expected shed or block)"
+            ))),
+        }
+    }
+
+    /// Protocol spelling of this policy.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Shed => "shed",
+            Self::Block => "block",
+        }
+    }
+}
+
+/// Everything needed to open a session. The calibration flow mirrors
+/// `rumba run`: train (or cache-load) the app, probe the checker on the
+/// train split, calibrate the firing threshold against the mode's error
+/// target.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Benchmark kernel name (Table 1 of the paper).
+    pub kernel: String,
+    /// Master seed for training, calibration and fault injection.
+    pub seed: u64,
+    /// Online checker scheme.
+    pub checker: CheckerKind,
+    /// Tuning mode (TOQ / energy budget / best quality).
+    pub mode: TuningMode,
+    /// Iterations per tuning window.
+    pub window: usize,
+    /// Pipeline queue bounds; `input_capacity` is also the session's
+    /// request-queue bound for admission control.
+    pub queue: QueueConfig,
+    /// Full-queue behaviour.
+    pub admission: AdmissionPolicy,
+    /// Optional deterministic fault plan, scoped to this session only.
+    pub faults: Option<FaultPlan>,
+    /// Optional quality watchdog for graceful degradation.
+    pub watchdog: Option<WatchdogConfig>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self {
+            kernel: "gaussian".to_owned(),
+            seed: 42,
+            checker: CheckerKind::default(),
+            mode: TuningMode::TargetQuality { toq: 0.9 },
+            window: 64,
+            queue: QueueConfig::default(),
+            admission: AdmissionPolicy::default(),
+            faults: None,
+            watchdog: None,
+        }
+    }
+}
+
+/// One completed request, in submission order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionResult {
+    /// Stream position (0-based invocation index within the session).
+    pub index: usize,
+    /// Merged output: accelerator result, or the exact CPU re-execution
+    /// when the check fired.
+    pub output: Vec<f64>,
+    /// Whether the check fired and the invocation was re-executed.
+    pub fired: bool,
+    /// The checker's predicted error for this invocation.
+    pub predicted_error: f64,
+    /// True error of the merged output against the exact computation —
+    /// the conformance harness's oracle.
+    pub measured_error: f64,
+}
+
+/// Running counters for one session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SessionStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests that went through the pipeline.
+    pub processed: u64,
+    /// Invocations re-executed on the CPU.
+    pub fixes: u64,
+    /// Requests rejected by the shed policy.
+    pub shed: u64,
+    /// Requests that forced a blocking drain before admission.
+    pub blocked: u64,
+    /// Highest request-queue depth observed.
+    pub queue_high_water: usize,
+    /// Sum of measured output errors over processed requests.
+    pub error_sum: f64,
+    /// Pipeline drains executed.
+    pub drains: u64,
+    /// Drains whose event-level simulation saw accelerator back-pressure.
+    pub back_pressured_drains: u64,
+    /// Highest recovery-queue occupancy across all drains.
+    pub recovery_high_water: usize,
+    /// Total simulated pipeline cycles across all drains.
+    pub total_cycles: f64,
+    /// Simulated CPU re-execution cycles across all drains.
+    pub cpu_busy_cycles: f64,
+    /// Tuner threshold after the final window flush (set at close; 0
+    /// while the session is live — read [`Session::threshold`] instead).
+    pub final_threshold: f64,
+}
+
+impl SessionStats {
+    /// Mean measured output error over processed requests (NaN before the
+    /// first request completes).
+    #[must_use]
+    pub fn mean_error(&self) -> f64 {
+        if self.processed == 0 {
+            f64::NAN
+        } else {
+            self.error_sum / self.processed as f64
+        }
+    }
+
+    /// Simulated CPU utilization across all drains (0 before the first).
+    #[must_use]
+    pub fn cpu_utilization(&self) -> f64 {
+        if self.total_cycles > 0.0 {
+            self.cpu_busy_cycles / self.total_cycles
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Outcome of a submission attempt (see [`AdmissionPolicy`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Admit {
+    /// Queued; the payload is the new queue depth.
+    Accepted(usize),
+    /// Rejected under the shed policy.
+    Shed,
+    /// Queue full under the block policy — the caller must drain this
+    /// session and retry.
+    MustDrain,
+}
+
+/// A session's pending requests, detached for batch compute. `base` is the
+/// stream position of row 0, so offset batch invocation reproduces the
+/// per-row fault stream bit-exactly.
+#[derive(Debug)]
+pub(crate) struct PendingBatch {
+    pub(crate) base: usize,
+    pub(crate) rows: usize,
+    pub(crate) inputs: Vec<f64>,
+}
+
+/// Pure accelerator compute for one pending batch. Free-standing (rather
+/// than a `Session` method) so the scheduler's parallel phase can run it
+/// from `&Npu` alone — `Session` itself is deliberately not `Sync`.
+pub(crate) fn compute_batch(
+    npu: &Npu,
+    input_dim: usize,
+    batch: &PendingBatch,
+    scratch: &mut Scratch,
+    out: &mut Matrix,
+) -> Result<(), NnError> {
+    let view = MatrixView::new(&batch.inputs, batch.rows, input_dim);
+    npu.invoke_batch_at(batch.base, view, scratch, out)?;
+    Ok(())
+}
+
+/// One tenant: calibrated pipeline, bounded request queue, completed
+/// results, counters.
+#[derive(Debug)]
+pub struct Session {
+    name: String,
+    kernel: Box<dyn Kernel>,
+    system: RumbaSystem,
+    admission: AdmissionPolicy,
+    queue: QueueConfig,
+    fault_plan: Option<FaultPlan>,
+    cpu_cycles: f64,
+    /// Flat row-major request queue (depth = `pending_rows`).
+    pending_inputs: Vec<f64>,
+    pending_rows: usize,
+    completed: VecDeque<SessionResult>,
+    scratch: Scratch,
+    batch_out: Matrix,
+    out_buf: Vec<f64>,
+    exact_buf: Vec<f64>,
+    stats: SessionStats,
+}
+
+impl Session {
+    /// Opens a session: trains (or cache-loads) the app, calibrates the
+    /// checker threshold exactly as `rumba run` does, and arms the
+    /// per-session fault plan and watchdog.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown kernels, invalid configuration, or offline
+    /// training failures.
+    pub fn open(name: &str, config: SessionConfig) -> Result<Self, ServeError> {
+        let kernel = kernel_by_name(&config.kernel)
+            .ok_or_else(|| ServeError::UnknownKernel(config.kernel.clone()))?;
+        if config.window == 0 {
+            return Err(ServeError::InvalidConfig("window must be positive".into()));
+        }
+        if config.queue.input_capacity == 0 {
+            return Err(ServeError::InvalidConfig("queue capacity must be positive".into()));
+        }
+
+        let offline = OfflineConfig { seed: config.seed, ..OfflineConfig::default() };
+        let app = train_app(kernel.as_ref(), &offline)?;
+        let checker = build_checker(config.checker, &app, kernel.as_ref())?;
+        let threshold = calibrate(&app, config.checker, kernel.as_ref(), config.seed, config.mode)?;
+
+        let runtime = RuntimeConfig {
+            window: config.window,
+            recovery_queue_capacity: config.queue.recovery_capacity,
+            watchdog: config.watchdog,
+            ..RuntimeConfig::default()
+        };
+        let mut system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(checker),
+            Tuner::new(config.mode, threshold)?,
+            runtime,
+        )?;
+        system.set_session_label(name);
+        system.set_fault_plan(config.faults.clone());
+        system.begin_stream();
+
+        let (input_dim, output_dim) = (kernel.input_dim(), kernel.output_dim());
+        let cpu_cycles = kernel.cpu_cycles();
+        let session = Self {
+            name: name.to_owned(),
+            kernel,
+            system,
+            admission: config.admission,
+            queue: config.queue,
+            fault_plan: config.faults,
+            cpu_cycles,
+            pending_inputs: Vec::with_capacity(config.queue.input_capacity * input_dim),
+            pending_rows: 0,
+            completed: VecDeque::new(),
+            scratch: Scratch::new(),
+            batch_out: Matrix::default(),
+            out_buf: vec![0.0; output_dim],
+            exact_buf: vec![0.0; output_dim],
+            stats: SessionStats::default(),
+        };
+        if rumba_obs::enabled() {
+            rumba_obs::global_sink().emit(&Event::Session {
+                session: session.name.clone(),
+                action: "open".to_owned(),
+                kernel: config.kernel,
+                invocations: 0,
+                fixes: 0,
+                shed: 0,
+                threshold,
+            });
+        }
+        Ok(session)
+    }
+
+    /// Session name (the telemetry label).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Kernel name served by this session.
+    #[must_use]
+    pub fn kernel_name(&self) -> &str {
+        self.kernel.name()
+    }
+
+    /// Request payload width.
+    #[must_use]
+    pub fn input_dim(&self) -> usize {
+        self.kernel.input_dim()
+    }
+
+    /// Current request-queue depth.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.pending_rows
+    }
+
+    /// Configured request-queue bound (before fault-induced pressure).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.queue.input_capacity
+    }
+
+    /// Completed results waiting to be collected.
+    #[must_use]
+    pub fn results_ready(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Running counters.
+    #[must_use]
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Current firing threshold of the session's tuner.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.system.tuner().threshold()
+    }
+
+    /// Admission policy.
+    #[must_use]
+    pub fn admission(&self) -> AdmissionPolicy {
+        self.admission
+    }
+
+    /// This drain's NPU (shared-topology accelerator state is immutable
+    /// during serving, so the scheduler can borrow it across threads).
+    #[must_use]
+    pub(crate) fn npu(&self) -> &Npu {
+        self.system.npu()
+    }
+
+    /// Queue bound after `QueuePressure` faults shrink it — never below 1,
+    /// so a pressured session degrades to request-at-a-time service
+    /// instead of deadlocking.
+    #[must_use]
+    pub fn effective_capacity(&self) -> usize {
+        let cap = self.queue.input_capacity;
+        match &self.fault_plan {
+            Some(plan) => {
+                let pressured = cap.saturating_sub(
+                    plan.queue_pressure(self.system.stream_invocations() + self.pending_rows),
+                );
+                pressured.max(1)
+            }
+            None => cap,
+        }
+    }
+
+    /// Attempts to queue one request. Does not run the pipeline; the
+    /// `Block` full-queue case is reported as [`Admit::MustDrain`] for the
+    /// registry to resolve (draining needs the scheduler).
+    pub(crate) fn try_submit(&mut self, input: &[f64]) -> Result<Admit, ServeError> {
+        let dim = self.kernel.input_dim();
+        if input.len() != dim {
+            return Err(ServeError::InvalidInput(format!(
+                "kernel {} expects {dim} inputs, got {}",
+                self.kernel.name(),
+                input.len()
+            )));
+        }
+        if self.pending_rows >= self.effective_capacity() {
+            return match self.admission {
+                AdmissionPolicy::Shed => {
+                    self.stats.shed += 1;
+                    self.emit_admission();
+                    Ok(Admit::Shed)
+                }
+                AdmissionPolicy::Block => Ok(Admit::MustDrain),
+            };
+        }
+        self.pending_inputs.extend_from_slice(input);
+        self.pending_rows += 1;
+        self.stats.submitted += 1;
+        self.stats.queue_high_water = self.stats.queue_high_water.max(self.pending_rows);
+        Ok(Admit::Accepted(self.pending_rows))
+    }
+
+    /// Counts a blocking admission and emits its telemetry; the registry
+    /// calls this right before the forced drain.
+    pub(crate) fn note_blocked(&mut self) {
+        self.stats.blocked += 1;
+        self.emit_admission();
+    }
+
+    fn emit_admission(&self) {
+        if rumba_obs::enabled() {
+            rumba_obs::global_sink().emit(&Event::Admission {
+                session: self.name.clone(),
+                policy: self.admission.label().to_owned(),
+                queue_depth: self.pending_rows as u64,
+                capacity: self.effective_capacity() as u64,
+                shed_total: self.stats.shed,
+            });
+        }
+    }
+
+    /// Detaches the pending queue as a batch for compute, stamped with its
+    /// stream base position.
+    pub(crate) fn take_pending(&mut self) -> Option<PendingBatch> {
+        if self.pending_rows == 0 {
+            return None;
+        }
+        let batch = PendingBatch {
+            base: self.system.stream_invocations(),
+            rows: self.pending_rows,
+            inputs: std::mem::take(&mut self.pending_inputs),
+        };
+        self.pending_rows = 0;
+        Some(batch)
+    }
+
+    /// Replays a computed batch through the stateful decision path —
+    /// checker, threshold, recovery, merge, window tuning — in arrival
+    /// order, exactly as a solo stream would, and accounts the drain's
+    /// event-level pipeline timing.
+    pub(crate) fn absorb(
+        &mut self,
+        batch: PendingBatch,
+        approx: Matrix,
+    ) -> Result<usize, ServeError> {
+        let dim = self.kernel.input_dim();
+        let out_dim = self.kernel.output_dim();
+        let metric = self.kernel.metric();
+        let mut fired = vec![false; batch.rows];
+        for (i, fired_slot) in fired.iter_mut().enumerate() {
+            let input = &batch.inputs[i * dim..(i + 1) * dim];
+            let outcome = self.system.process_approx(
+                &*self.kernel,
+                input,
+                approx.row(i),
+                &mut self.out_buf,
+            )?;
+            self.kernel.compute(input, &mut self.exact_buf);
+            let err = metric.invocation_error(&self.exact_buf, &self.out_buf[..out_dim]);
+            *fired_slot = outcome.fired;
+            self.stats.processed += 1;
+            self.stats.error_sum += err;
+            self.completed.push_back(SessionResult {
+                index: batch.base + i,
+                output: self.out_buf[..out_dim].to_vec(),
+                fired: outcome.fired,
+                predicted_error: outcome.predicted_error,
+                measured_error: err,
+            });
+        }
+        self.stats.fixes = self.system.stream_fixes() as u64;
+
+        let run = simulate_detailed_with_faults(
+            batch.rows,
+            self.system.npu().cycles_per_invocation() as f64,
+            self.cpu_cycles,
+            &fired,
+            self.queue,
+            self.fault_plan.as_ref(),
+        );
+        self.stats.drains += 1;
+        if run.back_pressured() {
+            self.stats.back_pressured_drains += 1;
+        }
+        self.stats.recovery_high_water =
+            self.stats.recovery_high_water.max(run.recovery_high_water);
+        self.stats.total_cycles += run.total_cycles;
+        self.stats.cpu_busy_cycles += run.cpu_busy_cycles;
+
+        // Hand the (now larger-capacity) buffers back for reuse.
+        if self.pending_inputs.capacity() < batch.inputs.capacity() {
+            self.pending_inputs = batch.inputs;
+            self.pending_inputs.clear();
+        }
+        self.batch_out = approx;
+        Ok(batch.rows)
+    }
+
+    /// Drains this session's queue through the pipeline serially (the
+    /// single-tenant path; the registry's `drain_all` fans compute out
+    /// instead).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures.
+    pub fn drain(&mut self) -> Result<usize, ServeError> {
+        let Some(batch) = self.take_pending() else { return Ok(0) };
+        let mut out = std::mem::take(&mut self.batch_out);
+        {
+            let (scratch, npu) = (&mut self.scratch, self.system.npu());
+            compute_batch(npu, self.kernel.input_dim(), &batch, scratch, &mut out)?;
+        }
+        self.absorb(batch, out)
+    }
+
+    /// Collects all completed results in submission order.
+    pub fn take_results(&mut self) -> Vec<SessionResult> {
+        self.completed.drain(..).collect()
+    }
+
+    /// Closes the session: drains whatever is still queued, flushes the
+    /// final partial tuning window, and emits the session-tagged run
+    /// summary plus the close marker.
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline failures from the final drain.
+    pub fn finish(mut self) -> Result<(SessionStats, Vec<SessionResult>), ServeError> {
+        self.drain()?;
+        self.system.end_stream(&*self.kernel);
+        self.stats.final_threshold = self.system.tuner().threshold();
+        if rumba_obs::enabled() {
+            let sink = rumba_obs::global_sink();
+            sink.emit(&Event::RunSummary {
+                kernel: self.kernel.name().to_owned(),
+                invocations: self.stats.processed,
+                fixes: self.stats.fixes,
+                output_error: self.stats.mean_error(),
+                windows: self.system.windows_flushed(),
+                cpu_utilization: self.stats.cpu_utilization(),
+                final_threshold: self.system.tuner().threshold(),
+                session: self.name.clone(),
+            });
+            sink.emit(&Event::Session {
+                session: self.name.clone(),
+                action: "close".to_owned(),
+                kernel: self.kernel.name().to_owned(),
+                invocations: self.stats.processed,
+                fixes: self.stats.fixes,
+                shed: self.stats.shed,
+                threshold: self.system.tuner().threshold(),
+            });
+        }
+        let results = self.completed.into_iter().collect();
+        Ok((self.stats, results))
+    }
+}
+
+fn build_checker(
+    kind: CheckerKind,
+    app: &TrainedApp,
+    kernel: &dyn Kernel,
+) -> Result<Box<dyn ErrorEstimator>, ServeError> {
+    Ok(match kind {
+        CheckerKind::Linear => Box::new(app.linear.clone()),
+        CheckerKind::Tree => Box::new(app.tree.clone()),
+        CheckerKind::Ema => Box::new(EmaDetector::new(app.ema_window, kernel.output_dim())?),
+        CheckerKind::Evp => Box::new(app.evp.clone()),
+    })
+}
+
+/// Threshold calibration, identical to `rumba run`: probe the checker over
+/// the train split's accelerator outputs, then pick the threshold whose
+/// firing rate meets the mode's error target on the training errors.
+fn calibrate(
+    app: &TrainedApp,
+    kind: CheckerKind,
+    kernel: &dyn Kernel,
+    seed: u64,
+    mode: TuningMode,
+) -> Result<f64, ServeError> {
+    let train = kernel.generate(Split::Train, seed);
+    let mut probe = build_checker(kind, app, kernel)?;
+    let mut scratch = Scratch::new();
+    let mut approx = Matrix::default();
+    app.rumba_npu.invoke_batch(train.inputs_view(), &mut scratch, &mut approx)?;
+    let predicted: Vec<f64> =
+        (0..train.len()).map(|i| probe.estimate(train.input(i), approx.row(i))).collect();
+    let target = match mode {
+        TuningMode::TargetQuality { toq } => 1.0 - toq,
+        _ => 0.10,
+    };
+    Ok(calibrate_threshold(&predicted, &app.train_errors, target))
+}

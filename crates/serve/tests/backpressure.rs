@@ -1,0 +1,196 @@
+//! Admission control and backpressure: bounded queues, shed-vs-block
+//! policy behaviour, rejection accounting, and the invariant that the
+//! observed queue depth never exceeds the configured bound — even when
+//! `QueuePressure` faults shrink the effective capacity underneath the
+//! tenant.
+
+use proptest::prelude::*;
+use rumba_apps::{kernel_by_name, Split};
+use rumba_core::event_sim::QueueConfig;
+use rumba_core::tuner::TuningMode;
+use rumba_faults::{FaultModel, FaultPlan};
+use rumba_serve::{AdmissionPolicy, ServeRuntime, SessionConfig, Submit};
+
+fn config(capacity: usize, admission: AdmissionPolicy) -> SessionConfig {
+    SessionConfig {
+        seed: 42,
+        window: 8,
+        queue: QueueConfig { input_capacity: capacity, ..QueueConfig::default() },
+        admission,
+        mode: TuningMode::TargetQuality { toq: 0.9 },
+        ..SessionConfig::default()
+    }
+}
+
+fn payloads(n: usize) -> Vec<Vec<f64>> {
+    let kernel = kernel_by_name("gaussian").unwrap();
+    let data = kernel.generate(Split::Test, 42);
+    (0..n).map(|i| data.input(i % data.len()).to_vec()).collect()
+}
+
+#[test]
+fn shed_policy_rejects_exactly_the_overflow_and_counts_it() {
+    let mut rt = ServeRuntime::new();
+    rt.open("t", config(4, AdmissionPolicy::Shed)).unwrap();
+    let inputs = payloads(7);
+
+    let mut accepted = 0;
+    let mut shed = 0;
+    for input in &inputs {
+        match rt.submit("t", input).unwrap() {
+            Submit::Accepted { depth, blocked } => {
+                accepted += 1;
+                assert!(!blocked, "shed policy never blocks");
+                assert!(depth <= 4, "depth {depth} exceeded the bound");
+            }
+            Submit::Shed => shed += 1,
+        }
+    }
+    assert_eq!((accepted, shed), (4, 3));
+
+    let stats = rt.session("t").unwrap().stats();
+    assert_eq!(stats.shed, 3, "every rejection is counted");
+    assert_eq!(stats.submitted, 4);
+    assert_eq!(stats.queue_high_water, 4);
+
+    // The accepted requests still flow through untouched.
+    let results = rt.drain("t").unwrap();
+    assert_eq!(results.len(), 4);
+    assert!(results.iter().all(|r| r.output.iter().all(|v| v.is_finite())));
+    // Capacity is available again after the drain.
+    assert!(matches!(rt.submit("t", &inputs[0]).unwrap(), Submit::Accepted { depth: 1, .. }));
+}
+
+#[test]
+fn block_policy_drains_instead_of_rejecting_and_never_exceeds_the_bound() {
+    let mut rt = ServeRuntime::new();
+    rt.open("t", config(3, AdmissionPolicy::Block)).unwrap();
+
+    for input in &payloads(10) {
+        match rt.submit("t", input).unwrap() {
+            Submit::Accepted { depth, .. } => assert!(depth <= 3),
+            Submit::Shed => panic!("block policy must never shed"),
+        }
+    }
+    let stats = rt.session("t").unwrap().stats();
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.submitted, 10, "every request is eventually admitted");
+    assert_eq!(stats.blocked, 3, "each full queue forces one blocking drain (at 3, 6 and 9)");
+    assert!(stats.queue_high_water <= 3, "the bound held throughout");
+
+    let (final_stats, results) = rt.close("t").unwrap();
+    assert_eq!(final_stats.processed, 10);
+    assert_eq!(results.len(), 10);
+    // Blocking drains preserve stream order.
+    let indices: Vec<usize> = results.iter().map(|r| r.index).collect();
+    assert_eq!(indices, (0..10).collect::<Vec<_>>());
+}
+
+#[test]
+fn queue_pressure_faults_shrink_capacity_but_never_break_the_bound() {
+    let capacity = 8;
+    let mut cfg = config(capacity, AdmissionPolicy::Shed);
+    // From invocation 0, pressure steals 6 of the 8 slots.
+    cfg.faults = Some(FaultPlan::new(7).with(FaultModel::QueuePressure { start: 0, slots: 6 }));
+    let mut rt = ServeRuntime::new();
+    rt.open("t", cfg).unwrap();
+
+    let mut accepted = 0;
+    for input in &payloads(6) {
+        let depth = rt.session("t").unwrap().queue_depth();
+        let effective = rt.session("t").unwrap().effective_capacity();
+        assert_eq!(effective, 2, "8-slot queue under 6 slots of pressure");
+        assert!(depth <= effective, "observed depth {depth} above the pressured bound");
+        if matches!(rt.submit("t", input).unwrap(), Submit::Accepted { .. }) {
+            accepted += 1;
+        }
+    }
+    assert_eq!(accepted, 2, "pressure sheds what no longer fits");
+    let stats = rt.session("t").unwrap().stats();
+    assert_eq!(stats.shed, 4);
+    assert!(stats.queue_high_water <= capacity);
+}
+
+#[test]
+fn pressured_block_sessions_degrade_to_lockstep_service_not_deadlock() {
+    let mut cfg = config(4, AdmissionPolicy::Block);
+    // Pressure exceeding the capacity clamps the effective bound to 1.
+    cfg.faults = Some(FaultPlan::new(7).with(FaultModel::QueuePressure { start: 0, slots: 99 }));
+    let mut rt = ServeRuntime::new();
+    rt.open("t", cfg).unwrap();
+
+    for input in &payloads(5) {
+        assert!(matches!(rt.submit("t", input).unwrap(), Submit::Accepted { depth: 1, .. }));
+    }
+    let (stats, results) = rt.close("t").unwrap();
+    assert_eq!(stats.processed, 5);
+    assert_eq!(stats.blocked, 4, "every submission after the first forces a drain");
+    assert_eq!(results.len(), 5);
+}
+
+#[test]
+fn back_pressured_drains_are_deterministic() {
+    // A tiny recovery queue plus a fault plan aggressive enough to fire
+    // the checker constantly makes the event-level pipeline stall; two
+    // identical runs must agree on every counter bit.
+    let run = || {
+        let mut cfg = config(32, AdmissionPolicy::Shed);
+        cfg.queue.recovery_capacity = 2;
+        cfg.faults = Some(FaultPlan::new(3).with(FaultModel::NonFinite { rate: 0.6 }));
+        let mut rt = ServeRuntime::new();
+        rt.open("t", cfg).unwrap();
+        for input in &payloads(32) {
+            rt.submit("t", input).unwrap();
+        }
+        rt.close("t").unwrap()
+    };
+    let (a_stats, a_results) = run();
+    let (b_stats, b_results) = run();
+    assert!(a_stats.back_pressured_drains > 0, "the stall scenario must actually stall");
+    assert!(a_stats.recovery_high_water >= 2, "the recovery queue must actually fill");
+    assert_eq!(a_stats, b_stats);
+    let bits = |rs: &[rumba_serve::SessionResult]| -> Vec<u64> {
+        rs.iter().flat_map(|r| r.output.iter().map(|v| v.to_bits())).collect::<Vec<_>>()
+    };
+    assert_eq!(bits(&a_results), bits(&b_results));
+}
+
+proptest! {
+    /// For every capacity, request volume, policy and pressure level: the
+    /// queue bound holds at all times, and accounting is conserved —
+    /// every request is either admitted (and eventually processed) or
+    /// counted as shed.
+    #[test]
+    fn admission_accounting_is_conserved_and_bounded(
+        capacity in 1usize..10,
+        requests in 0usize..24,
+        block in proptest::bool::ANY,
+        pressure in 0usize..12,
+    ) {
+        let policy = if block { AdmissionPolicy::Block } else { AdmissionPolicy::Shed };
+        let mut cfg = config(capacity, policy);
+        if pressure > 0 {
+            cfg.faults =
+                Some(FaultPlan::new(11).with(FaultModel::QueuePressure { start: 0, slots: pressure }));
+        }
+        let mut rt = ServeRuntime::new();
+        rt.open("t", cfg).unwrap();
+        let mut shed = 0u64;
+        for input in &payloads(requests) {
+            match rt.submit("t", input).unwrap() {
+                Submit::Accepted { depth, .. } => prop_assert!(depth <= capacity),
+                Submit::Shed => {
+                    prop_assert!(!block, "block never sheds");
+                    shed += 1;
+                }
+            }
+            let depth = rt.session("t").unwrap().queue_depth();
+            prop_assert!(depth <= capacity, "depth {} above configured bound {}", depth, capacity);
+        }
+        let (stats, results) = rt.close("t").unwrap();
+        prop_assert_eq!(stats.shed, shed);
+        prop_assert_eq!(stats.processed + stats.shed, requests as u64);
+        prop_assert_eq!(results.len() as u64, stats.processed);
+        prop_assert!(stats.queue_high_water <= capacity);
+    }
+}

@@ -8,7 +8,8 @@
 //! - [`predict`]: light-weight error predictors (linear, tree, EMA),
 //! - [`accel`]: cycle-level NPU model with checker hardware and queues,
 //! - [`energy`]: analytical timing/energy models (Table-2 core, NPU),
-//! - [`core`]: the Rumba runtime — detection, recovery, tuning, pipeline.
+//! - [`core`]: the Rumba runtime — detection, recovery, tuning, pipeline,
+//! - [`serve`]: the multi-tenant serving layer behind `rumba serve`.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour and `DESIGN.md` for
 //! the paper-to-module map.
@@ -19,3 +20,4 @@ pub use rumba_core as core;
 pub use rumba_energy as energy;
 pub use rumba_nn as nn;
 pub use rumba_predict as predict;
+pub use rumba_serve as serve;
