@@ -131,6 +131,32 @@ for t in 1 4; do
 done
 echo "    serve trace byte-identical to the golden at 1 and 4 threads"
 
+echo "==> SIMD gate: goldens byte-identical with RUMBA_SIMD=0 and 1 at 1 and 4 threads"
+# The lane-reduction contract (DESIGN.md §11) promises the vector kernels
+# reproduce the scalar reduction bit for bit, so both committed goldens
+# must survive every SIMD x thread-count combination unchanged.
+for simd in 0 1; do
+    for t in 1 4; do
+        RUMBA_CACHE=0 RUMBA_THREADS=$t RUMBA_SIMD=$simd \
+            cargo run --release -q -p rumba-bench --bin fig10 \
+            >"$smoke_dir/fig10.s$simd.t$t" 2>/dev/null
+        if ! cmp -s "$smoke_dir/fig10.s$simd.t$t" ci/fig10.golden; then
+            echo "FAIL: fig10 (RUMBA_SIMD=$simd, RUMBA_THREADS=$t) differs from ci/fig10.golden" >&2
+            diff ci/fig10.golden "$smoke_dir/fig10.s$simd.t$t" | head -20 >&2
+            exit 1
+        fi
+        RUMBA_CACHE=0 RUMBA_THREADS=$t RUMBA_SIMD=$simd \
+            cargo run --release -q -p rumba-cli --bin rumba -- \
+            bench-serve --seed 7 >"$smoke_dir/serve.s$simd.t$t" 2>/dev/null
+        if ! cmp -s "$smoke_dir/serve.s$simd.t$t" ci/serve_trace.golden; then
+            echo "FAIL: bench-serve trace (RUMBA_SIMD=$simd, RUMBA_THREADS=$t) differs from ci/serve_trace.golden" >&2
+            diff ci/serve_trace.golden "$smoke_dir/serve.s$simd.t$t" | head -20 >&2
+            exit 1
+        fi
+    done
+done
+echo "    fig10 + serve trace byte-identical under RUMBA_SIMD=0 and 1 at 1 and 4 threads"
+
 echo "==> matrix bench smoke (bit-exactness gate + allocation probe)"
 # The bench asserts batched == per-sample bitwise and zero steady-state
 # allocations before it times anything, so a short run is a real check.

@@ -3,7 +3,7 @@
 //! onto processing elements.
 
 use rumba_faults::FaultPlan;
-use rumba_nn::{Matrix, MatrixView, NnError, Scratch, TrainedModel};
+use rumba_nn::{FixedModel, Matrix, MatrixView, NnError, Scratch, TrainedModel};
 
 /// Microarchitectural parameters of the accelerator.
 ///
@@ -26,6 +26,12 @@ pub struct NpuParams {
     /// the "dial up the approximation" knob the `ablate_precision` harness
     /// sweeps.
     pub precision_bits: Option<u32>,
+    /// Evaluate the limited-precision datapath on the true `i16`/`i32`
+    /// fixed-point path ([`rumba_nn::FixedModel`]) instead of the f64
+    /// grid simulation. Only meaningful with `precision_bits: Some(_)`
+    /// (ignored otherwise); off by default so existing configurations and
+    /// goldens are untouched.
+    pub fixed_point: bool,
 }
 
 impl Default for NpuParams {
@@ -39,6 +45,7 @@ impl Default for NpuParams {
             io_cycles_per_word: 4,
             invocation_overhead: 16,
             precision_bits: None,
+            fixed_point: false,
         }
     }
 }
@@ -61,6 +68,9 @@ pub struct Npu {
     params: NpuParams,
     cycles_per_invocation: u64,
     fault_plan: Option<FaultPlan>,
+    /// Prepared once at construction when `params.fixed_point` asks for
+    /// the integer datapath, so invocations pay no quantization setup.
+    fixed: Option<FixedModel>,
 }
 
 impl Npu {
@@ -73,7 +83,11 @@ impl Npu {
     pub fn new(model: TrainedModel, params: NpuParams) -> Self {
         assert!(params.pe_count > 0, "accelerator needs at least one PE");
         let cycles_per_invocation = cycle_model(&model, &params);
-        Self { model, params, cycles_per_invocation, fault_plan: None }
+        let fixed = match (params.fixed_point, params.precision_bits) {
+            (true, Some(bits)) => Some(model.prepare_fixed(bits)),
+            _ => None,
+        };
+        Self { model, params, cycles_per_invocation, fault_plan: None, fixed }
     }
 
     /// Attaches a fault-injection plan (builder style). With a plan
@@ -131,9 +145,10 @@ impl Npu {
             }
             _ => input,
         };
-        let mut outputs = match self.params.precision_bits {
-            Some(bits) => self.model.predict_quantized(effective, bits)?,
-            None => self.model.predict(effective)?,
+        let mut outputs = match (&self.fixed, self.params.precision_bits) {
+            (Some(fixed), _) => fixed.predict(effective)?,
+            (None, Some(bits)) => self.model.predict_quantized(effective, bits)?,
+            (None, None) => self.model.predict(effective)?,
         };
         if let Some(plan) = &self.fault_plan {
             plan.corrupt_output(invocation, &mut outputs);
@@ -197,9 +212,12 @@ impl Npu {
             }
             _ => inputs,
         };
-        match self.params.precision_bits {
-            Some(bits) => self.model.predict_batch_quantized(effective, bits, scratch, out)?,
-            None => self.model.predict_batch(effective, scratch, out)?,
+        match (&self.fixed, self.params.precision_bits) {
+            (Some(fixed), _) => fixed.predict_batch(effective, scratch, out)?,
+            (None, Some(bits)) => {
+                self.model.predict_batch_quantized(effective, bits, scratch, out)?;
+            }
+            (None, None) => self.model.predict_batch(effective, scratch, out)?,
         }
         if let Some(plan) = &self.fault_plan {
             if plan.has_output_faults() {
@@ -228,6 +246,13 @@ impl Npu {
     #[must_use]
     pub fn model(&self) -> &TrainedModel {
         &self.model
+    }
+
+    /// The prepared fixed-point lowering, when `params.fixed_point`
+    /// selected the integer datapath.
+    #[must_use]
+    pub fn fixed_model(&self) -> Option<&FixedModel> {
+        self.fixed.as_ref()
     }
 
     /// The accelerator's microarchitectural parameters.
@@ -350,6 +375,51 @@ mod tests {
                 assert_eq!(batch_bits, row_bits, "precision {precision:?} row {i}");
             }
         }
+    }
+
+    #[test]
+    fn fixed_point_requires_precision_bits() {
+        let model = toy_model(&[2, 6, 2]);
+        let no_bits =
+            Npu::new(model.clone(), NpuParams { fixed_point: true, ..NpuParams::default() });
+        assert!(no_bits.fixed_model().is_none(), "fixed_point without bits is a no-op");
+        let armed = Npu::new(
+            model,
+            NpuParams { fixed_point: true, precision_bits: Some(10), ..NpuParams::default() },
+        );
+        assert_eq!(armed.fixed_model().unwrap().frac_bits(), 10);
+    }
+
+    #[test]
+    fn fixed_point_batch_matches_fixed_point_serial_bitwise() {
+        let params =
+            NpuParams { fixed_point: true, precision_bits: Some(12), ..NpuParams::default() };
+        let npu = Npu::new(toy_model(&[2, 6, 2]), params);
+        let flat: Vec<f64> = (0..40).map(|i| i as f64 / 7.0).collect();
+        let inputs = MatrixView::new(&flat, 20, 2);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        let cycles = npu.invoke_batch(inputs, &mut scratch, &mut out).unwrap();
+        assert_eq!(cycles, npu.cycles_per_invocation());
+        for i in 0..20 {
+            let serial = npu.invoke(inputs.row(i)).unwrap();
+            let batch_bits: Vec<u64> = out.row(i).iter().map(|x| x.to_bits()).collect();
+            let row_bits: Vec<u64> = serial.outputs.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(batch_bits, row_bits, "row {i}");
+        }
+    }
+
+    #[test]
+    fn fixed_point_stays_near_the_float_datapath() {
+        let model = toy_model(&[2, 8, 1]);
+        let float_npu = Npu::new(model.clone(), NpuParams::default());
+        let fixed_npu = Npu::new(
+            model,
+            NpuParams { fixed_point: true, precision_bits: Some(14), ..NpuParams::default() },
+        );
+        let x = [0.31, 0.77];
+        let a = float_npu.invoke(&x).unwrap().outputs[0];
+        let b = fixed_npu.invoke(&x).unwrap().outputs[0];
+        assert!((a - b).abs() < 0.1, "integer datapath drifted: {a} vs {b}");
     }
 
     #[test]

@@ -8,7 +8,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rumba_accel::{Npu, NpuParams};
-use rumba_nn::{Activation, Matrix, MatrixView, NnDataset, Scratch, TrainParams, TrainedModel};
+use rumba_nn::{
+    Activation, Matrix, MatrixView, Mlp, NnDataset, Normalizer, Scratch, SimdMode, TrainParams,
+    TrainedModel,
+};
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -44,6 +47,10 @@ const BATCH_SIZES: [usize; 4] = [1, 16, 64, 256];
 // at these sizes the per-sample path's allocations are the dominant cost,
 // which is exactly what the flat engine removes.
 const TOPOLOGY: [usize; 3] = [2, 4, 1];
+// Wider layer for the SIMD series: at paper scale the transcendental
+// activation dominates and hides the matmul, so the scalar-vs-vector
+// ratio is measured where the row-lane kernels actually do the work.
+const SIMD_TOPOLOGY: [usize; 3] = [24, 48, 8];
 
 fn accelerator() -> Npu {
     let data = NnDataset::from_fn(TOPOLOGY[0], TOPOLOGY[2], 256, |i, x, y| {
@@ -109,6 +116,80 @@ fn steady_state_allocations(npu: &Npu) -> u64 {
     total / reps
 }
 
+/// The wide model for the SIMD series (normalizers fitted on the input
+/// distribution so the fixed-point path quantizes sensible values).
+fn simd_model() -> TrainedModel {
+    let mlp = Mlp::new(&SIMD_TOPOLOGY, Activation::Relu, 9).expect("valid topology");
+    let rows = simd_inputs(64);
+    let out_rows: Vec<f64> = (0..64 * SIMD_TOPOLOGY[2]).map(|i| (i % 17) as f64 / 17.0).collect();
+    let input_norm = Normalizer::fit(rows.chunks(SIMD_TOPOLOGY[0]), SIMD_TOPOLOGY[0], 0.0, 1.0);
+    let output_norm =
+        Normalizer::fit(out_rows.chunks(SIMD_TOPOLOGY[2]), SIMD_TOPOLOGY[2], 0.0, 1.0);
+    TrainedModel::from_parts(mlp, input_norm, output_norm)
+}
+
+fn simd_inputs(n: usize) -> Vec<f64> {
+    (0..n * SIMD_TOPOLOGY[0]).map(|i| (i % 113) as f64 / 113.0 - 0.4).collect()
+}
+
+/// The SIMD gate: forced-vector and forced-scalar batches must be
+/// bit-identical at every benchmarked size, and the fixed-point batch
+/// must match its serial integer reference.
+fn assert_simd_bit_identical(model: &TrainedModel) {
+    let fixed = model.prepare_fixed(12);
+    let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+    let (mut scratch2, mut out2) = (Scratch::new(), Matrix::default());
+    for &n in &BATCH_SIZES {
+        let flat = simd_inputs(n);
+        let view = MatrixView::new(&flat, n, SIMD_TOPOLOGY[0]);
+        rumba_nn::set_simd_override(Some(SimdMode::Off));
+        model.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+        rumba_nn::set_simd_override(Some(SimdMode::On));
+        model.predict_batch(view, &mut scratch2, &mut out2).expect("width matches");
+        let bits = |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&out), bits(&out2), "scalar vs simd, batch {n}");
+        fixed.predict_batch(view, &mut scratch2, &mut out2).expect("width matches");
+        for i in 0..n {
+            let serial = fixed.predict(view.row(i)).expect("width matches");
+            let row: Vec<u64> = out2.row(i).iter().map(|x| x.to_bits()).collect();
+            let refr: Vec<u64> = serial.iter().map(|x| x.to_bits()).collect();
+            assert_eq!(row, refr, "fixed batch {n} row {i}");
+        }
+    }
+    rumba_nn::set_simd_override(None);
+}
+
+/// Steady-state allocations for the new kernels: the SIMD batched float
+/// path and the fixed-point batched path, with reused workspaces on one
+/// thread, must allocate nothing after warmup (the lane-transpose and
+/// quantization buffers are grow-only).
+fn steady_state_allocations_simd(model: &TrainedModel) -> (u64, u64) {
+    rumba_parallel::set_thread_override(Some(1));
+    rumba_nn::set_simd_override(Some(SimdMode::On));
+    let flat = simd_inputs(256);
+    let view = MatrixView::new(&flat, 256, SIMD_TOPOLOGY[0]);
+    let fixed = model.prepare_fixed(12);
+    let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+    let reps = 64u64;
+    model.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..reps {
+        model.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+        black_box(out.as_slice());
+    }
+    let float_allocs = (ALLOCATIONS.load(Ordering::Relaxed) - before) / reps;
+    fixed.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+    let before = ALLOCATIONS.load(Ordering::Relaxed);
+    for _ in 0..reps {
+        fixed.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+        black_box(out.as_slice());
+    }
+    let fixed_allocs = (ALLOCATIONS.load(Ordering::Relaxed) - before) / reps;
+    rumba_nn::set_simd_override(None);
+    rumba_parallel::set_thread_override(None);
+    (float_allocs, fixed_allocs)
+}
+
 fn best_of<R>(reps: usize, mut work: impl FnMut() -> R) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..reps {
@@ -141,6 +222,34 @@ fn bench_forward_paths(c: &mut Criterion) {
     rumba_parallel::set_thread_override(None);
 }
 
+fn bench_simd_paths(c: &mut Criterion) {
+    let model = simd_model();
+    assert_simd_bit_identical(&model);
+    let fixed = model.prepare_fixed(12);
+
+    rumba_parallel::set_thread_override(Some(1));
+    let mut group = c.benchmark_group("matrix_simd");
+    for &n in &BATCH_SIZES {
+        let flat = simd_inputs(n);
+        let view = MatrixView::new(&flat, n, SIMD_TOPOLOGY[0]);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        rumba_nn::set_simd_override(Some(SimdMode::Off));
+        group.bench_function(&format!("scalar_{n}"), |b| {
+            b.iter(|| model.predict_batch(view, &mut scratch, &mut out).expect("width matches"));
+        });
+        rumba_nn::set_simd_override(Some(SimdMode::On));
+        group.bench_function(&format!("simd_{n}"), |b| {
+            b.iter(|| model.predict_batch(view, &mut scratch, &mut out).expect("width matches"));
+        });
+        group.bench_function(&format!("fixed_{n}"), |b| {
+            b.iter(|| fixed.predict_batch(view, &mut scratch, &mut out).expect("width matches"));
+        });
+        rumba_nn::set_simd_override(None);
+    }
+    group.finish();
+    rumba_parallel::set_thread_override(None);
+}
+
 /// Wall-clock comparison plus the allocation probe, written to
 /// `BENCH_matrix.json`.
 fn emit_json(_c: &mut Criterion) {
@@ -148,6 +257,11 @@ fn emit_json(_c: &mut Criterion) {
     assert_bit_identical(&npu);
     let allocs = steady_state_allocations(&npu);
     assert_eq!(allocs, 0, "steady-state invoke_batch must not allocate");
+    let model = simd_model();
+    assert_simd_bit_identical(&model);
+    let (simd_allocs, fixed_allocs) = steady_state_allocations_simd(&model);
+    assert_eq!(simd_allocs, 0, "steady-state SIMD predict_batch must not allocate");
+    assert_eq!(fixed_allocs, 0, "steady-state fixed-point predict_batch must not allocate");
 
     rumba_parallel::set_thread_override(Some(1));
     let mut rows = Vec::new();
@@ -176,13 +290,62 @@ fn emit_json(_c: &mut Criterion) {
             per_sample / batched
         ));
     }
+    // The SIMD series: forced-scalar vs forced-vector batched forward on
+    // the wide topology, plus the i16/i32 fixed-point path, all serial so
+    // the ratio isolates the kernels.
+    let fixed = model.prepare_fixed(12);
+    let mut simd_rows = Vec::new();
+    for &n in &BATCH_SIZES {
+        let flat = simd_inputs(n);
+        let view = MatrixView::new(&flat, n, SIMD_TOPOLOGY[0]);
+        let inner = (4096 / n.max(1)).max(1);
+        let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+        rumba_nn::set_simd_override(Some(SimdMode::Off));
+        model.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+        let scalar = best_of(30, || {
+            for _ in 0..inner {
+                model.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+            }
+        }) / inner as f64;
+        rumba_nn::set_simd_override(Some(SimdMode::On));
+        model.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+        let simd = best_of(30, || {
+            for _ in 0..inner {
+                model.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+            }
+        }) / inner as f64;
+        fixed.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+        let fixed_point = best_of(30, || {
+            for _ in 0..inner {
+                fixed.predict_batch(view, &mut scratch, &mut out).expect("width matches");
+            }
+        }) / inner as f64;
+        rumba_nn::set_simd_override(None);
+        simd_rows.push(format!(
+            "    {{\"batch_size\": {n}, \"scalar_seconds\": {scalar:.9}, \
+             \"simd_seconds\": {simd:.9}, \"simd_speedup\": {:.3}, \
+             \"fixed_point_seconds\": {fixed_point:.9}}}",
+            scalar / simd
+        ));
+    }
     rumba_parallel::set_thread_override(None);
+
+    // Record what `--simd 1` actually dispatches on this machine (the
+    // kernels fall back to scalar where AVX2/NEON is absent).
+    rumba_nn::set_simd_override(Some(SimdMode::On));
+    let isa = rumba_nn::active_isa().name();
+    rumba_nn::set_simd_override(None);
 
     let json = format!(
         "{{\n  \"bench\": \"matrix\",\n  \"topology\": {:?},\n  \
-         \"steady_state_allocations_per_invoke_batch\": {allocs},\n  \"batch\": [\n{}\n  ]\n}}\n",
+         \"steady_state_allocations_per_invoke_batch\": {allocs},\n  \"batch\": [\n{}\n  ],\n  \
+         \"simd_isa\": \"{isa}\",\n  \"simd_topology\": {:?},\n  \
+         \"steady_state_allocations_simd\": {simd_allocs},\n  \
+         \"steady_state_allocations_fixed_point\": {fixed_allocs},\n  \"simd\": [\n{}\n  ]\n}}\n",
         TOPOLOGY,
         rows.join(",\n"),
+        SIMD_TOPOLOGY,
+        simd_rows.join(",\n"),
     );
     let path =
         std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").join("BENCH_matrix.json");
@@ -201,6 +364,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_forward_paths, emit_json
+    targets = bench_forward_paths, bench_simd_paths, emit_json
 }
 criterion_main!(benches);

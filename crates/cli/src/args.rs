@@ -4,6 +4,8 @@
 
 use std::fmt;
 
+use rumba_nn::SimdMode;
+
 /// Which checker the `run` subcommand attaches to the accelerator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CheckerChoice {
@@ -71,6 +73,10 @@ pub enum Command {
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). Results are identical at any setting.
         threads: Option<usize>,
+        /// SIMD dispatch override (`--simd 0|1|auto`; `None` leaves the
+        /// `RUMBA_SIMD` environment variable in charge). Results are
+        /// bit-identical at any setting.
+        simd: Option<SimdMode>,
         /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
         /// `RUMBA_METRICS_OUT` environment variable in charge.
         metrics_out: Option<String>,
@@ -90,6 +96,10 @@ pub enum Command {
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). Results are identical at any setting.
         threads: Option<usize>,
+        /// SIMD dispatch override (`--simd 0|1|auto`; `None` leaves the
+        /// `RUMBA_SIMD` environment variable in charge). Results are
+        /// bit-identical at any setting.
+        simd: Option<SimdMode>,
         /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
         /// `RUMBA_METRICS_OUT` environment variable in charge.
         metrics_out: Option<String>,
@@ -108,6 +118,10 @@ pub enum Command {
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). Results are identical at any setting.
         threads: Option<usize>,
+        /// SIMD dispatch override (`--simd 0|1|auto`; `None` leaves the
+        /// `RUMBA_SIMD` environment variable in charge). Results are
+        /// bit-identical at any setting.
+        simd: Option<SimdMode>,
         /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
         /// `RUMBA_METRICS_OUT` environment variable in charge.
         metrics_out: Option<String>,
@@ -130,6 +144,10 @@ pub enum Command {
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). Results are identical at any setting.
         threads: Option<usize>,
+        /// SIMD dispatch override (`--simd 0|1|auto`; `None` leaves the
+        /// `RUMBA_SIMD` environment variable in charge). Results are
+        /// bit-identical at any setting.
+        simd: Option<SimdMode>,
     },
     /// `rumba bench-serve` — replay the seeded multi-tenant workload
     /// trace (the serving conformance artifact).
@@ -146,6 +164,10 @@ pub enum Command {
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). The trace is identical at any setting.
         threads: Option<usize>,
+        /// SIMD dispatch override (`--simd 0|1|auto`; `None` leaves the
+        /// `RUMBA_SIMD` environment variable in charge). The trace is
+        /// bit-identical at any setting.
+        simd: Option<SimdMode>,
     },
     /// `rumba help` or no arguments.
     Help,
@@ -223,6 +245,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
             let mut seed = 42u64;
             let mut threads = None;
+            let mut simd = None;
             let mut metrics_out = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
@@ -236,6 +259,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         threads = Some(parse_threads(rest.get(k + 1).copied())?);
                         k += 2;
                     }
+                    "--simd" => {
+                        simd = Some(parse_simd(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
                     "--metrics-out" => {
                         metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
                         k += 2;
@@ -243,7 +270,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Train { kernel, seed, threads, metrics_out })
+            Ok(Command::Train { kernel, seed, threads, simd, metrics_out })
         }
         Some("faults") => {
             let mut kernels = Vec::new();
@@ -251,6 +278,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut rate = 1e-3;
             let mut window = 128usize;
             let mut threads = None;
+            let mut simd = None;
             let mut metrics_out = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
@@ -301,6 +329,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         threads = Some(parse_threads(rest.get(k + 1).copied())?);
                         k += 2;
                     }
+                    "--simd" => {
+                        simd = Some(parse_simd(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
                     "--metrics-out" => {
                         metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
                         k += 2;
@@ -308,11 +340,12 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Faults { kernels, seed, rate, window, threads, metrics_out })
+            Ok(Command::Faults { kernels, seed, rate, window, threads, simd, metrics_out })
         }
         Some("serve") => {
             let mut socket = None;
             let mut threads = None;
+            let mut simd = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
             while k < rest.len() {
@@ -325,10 +358,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         threads = Some(parse_threads(rest.get(k + 1).copied())?);
                         k += 2;
                     }
+                    "--simd" => {
+                        simd = Some(parse_simd(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Serve { socket, threads })
+            Ok(Command::Serve { socket, threads, simd })
         }
         Some("bench-serve") => {
             let mut seed = 7u64;
@@ -336,6 +373,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut requests = 40usize;
             let mut json_out = None;
             let mut threads = None;
+            let mut simd = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
             while k < rest.len() {
@@ -376,10 +414,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         threads = Some(parse_threads(rest.get(k + 1).copied())?);
                         k += 2;
                     }
+                    "--simd" => {
+                        simd = Some(parse_simd(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::BenchServe { seed, tenants, requests, json_out, threads })
+            Ok(Command::BenchServe { seed, tenants, requests, json_out, threads, simd })
         }
         Some("run") => {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
@@ -388,6 +430,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             let mut mode = ModeChoice::default();
             let mut window = 256usize;
             let mut threads = None;
+            let mut simd = None;
             let mut metrics_out = None;
             let rest: Vec<&str> = it.collect();
             let mut k = 0;
@@ -439,6 +482,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                         threads = Some(parse_threads(rest.get(k + 1).copied())?);
                         k += 2;
                     }
+                    "--simd" => {
+                        simd = Some(parse_simd(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
                     "--metrics-out" => {
                         metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
                         k += 2;
@@ -446,7 +493,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Run { kernel, seed, checker, mode, window, threads, metrics_out })
+            Ok(Command::Run { kernel, seed, checker, mode, window, threads, simd, metrics_out })
         }
         Some(other) => Err(ParseError::UnknownCommand(other.to_owned())),
     }
@@ -473,6 +520,15 @@ fn parse_threads(value: Option<&str>) -> Result<usize, ParseError> {
     Ok(v as usize)
 }
 
+fn parse_simd(value: Option<&str>) -> Result<SimdMode, ParseError> {
+    let text = value.ok_or(ParseError::MissingValue("--simd"))?;
+    SimdMode::parse(text).ok_or_else(|| ParseError::BadValue {
+        flag: "--simd",
+        value: text.to_owned(),
+        expected: "0|1|auto",
+    })
+}
+
 fn parse_path(value: Option<&str>, flag: &'static str) -> Result<String, ParseError> {
     let text = value.ok_or(ParseError::MissingValue(flag))?;
     if text.trim().is_empty() {
@@ -496,18 +552,19 @@ rumba — online quality management for approximate accelerators
 
 USAGE:
     rumba list
-    rumba train <kernel> [--seed N] [--threads N] [--metrics-out PATH]
+    rumba train <kernel> [--seed N] [--threads N] [--simd M]
+                         [--metrics-out PATH]
     rumba run <kernel> [--checker linear|tree|ema|evp|table|ensemble]
                        [--toq Q | --budget N | --quality-mode]
-                       [--window N] [--seed N] [--threads N]
+                       [--window N] [--seed N] [--threads N] [--simd M]
                        [--metrics-out PATH]
     rumba faults [--kernels a,b,...] [--seed N] [--rate R] [--window N]
-                 [--threads N] [--metrics-out PATH]
+                 [--threads N] [--simd M] [--metrics-out PATH]
     rumba report <path.jsonl>
     rumba purity <kernel>
-    rumba serve [--socket PATH] [--threads N]
+    rumba serve [--socket PATH] [--threads N] [--simd M]
     rumba bench-serve [--seed N] [--tenants N] [--requests N]
-                      [--json-out PATH] [--threads N]
+                      [--json-out PATH] [--threads N] [--simd M]
     rumba help
 
 THREADS:
@@ -515,6 +572,16 @@ THREADS:
     evaluation, overriding the RUMBA_THREADS environment variable (the
     default is the machine's available parallelism). Output is
     bit-identical at every thread count; --threads 1 runs fully serial.
+
+SIMD:
+    --simd 0|1|auto selects the neural-network batch kernels, overriding
+    the RUMBA_SIMD environment variable: 0 forces the scalar path, 1
+    requests the vector path (AVX2 on x86_64, NEON on aarch64), auto (the
+    default) picks the best ISA the CPU supports. The vector kernels keep
+    the scalar reduction order exactly, so output is bit-identical at
+    every setting; on hardware without AVX2/NEON, --simd 1 silently falls
+    back to scalar. The dispatched ISA is recorded in the 'pool'
+    telemetry event ('rumba report' prints it).
 
 TELEMETRY:
     --metrics-out PATH streams control-loop telemetry (per-window
@@ -582,6 +649,7 @@ mod tests {
                 mode: ModeChoice::Toq(0.9),
                 window: 256,
                 threads: None,
+                simd: None,
                 metrics_out: None,
             }
         );
@@ -589,7 +657,7 @@ mod tests {
 
     #[test]
     fn parses_run_with_all_flags() {
-        let cmd = p("run jmeint --checker ema --toq 0.95 --window 128 --seed 7 --threads 4 --metrics-out m.jsonl")
+        let cmd = p("run jmeint --checker ema --toq 0.95 --window 128 --seed 7 --threads 4 --simd 1 --metrics-out m.jsonl")
             .unwrap();
         assert_eq!(
             cmd,
@@ -600,6 +668,7 @@ mod tests {
                 mode: ModeChoice::Toq(0.95),
                 window: 128,
                 threads: Some(4),
+                simd: Some(SimdMode::On),
                 metrics_out: Some("m.jsonl".into()),
             }
         );
@@ -613,12 +682,19 @@ mod tests {
                 kernel: "kmeans".into(),
                 seed: 42,
                 threads: Some(8),
+                simd: None,
                 metrics_out: None
             }
         );
         assert_eq!(
             p("train kmeans").unwrap(),
-            Command::Train { kernel: "kmeans".into(), seed: 42, threads: None, metrics_out: None }
+            Command::Train {
+                kernel: "kmeans".into(),
+                seed: 42,
+                threads: None,
+                simd: None,
+                metrics_out: None
+            }
         );
         assert!(matches!(p("run fft --threads 0"), Err(ParseError::BadValue { .. })));
         assert!(matches!(p("train fft --threads"), Err(ParseError::MissingValue("--threads"))));
@@ -629,6 +705,36 @@ mod tests {
     fn help_documents_threads_flag() {
         assert!(HELP.contains("--threads N"));
         assert!(HELP.contains("RUMBA_THREADS"));
+    }
+
+    #[test]
+    fn parses_simd_spellings_and_rejects_garbage() {
+        assert!(matches!(
+            p("run fft --simd 0").unwrap(),
+            Command::Run { simd: Some(SimdMode::Off), .. }
+        ));
+        assert!(matches!(
+            p("run fft --simd on").unwrap(),
+            Command::Run { simd: Some(SimdMode::On), .. }
+        ));
+        assert!(matches!(
+            p("train fft --simd auto").unwrap(),
+            Command::Train { simd: Some(SimdMode::Auto), .. }
+        ));
+        assert!(matches!(
+            p("serve --simd scalar").unwrap(),
+            Command::Serve { simd: Some(SimdMode::Off), .. }
+        ));
+        assert!(matches!(p("run fft --simd"), Err(ParseError::MissingValue("--simd"))));
+        assert!(matches!(p("run fft --simd avx512"), Err(ParseError::BadValue { .. })));
+    }
+
+    #[test]
+    fn help_documents_simd_flag() {
+        assert!(HELP.contains("--simd 0|1|auto"));
+        assert!(HELP.contains("RUMBA_SIMD"));
+        assert!(HELP.contains("AVX2"));
+        assert!(HELP.contains("NEON"));
     }
 
     #[test]
@@ -675,11 +781,12 @@ mod tests {
                 rate: 1e-3,
                 window: 128,
                 threads: None,
+                simd: None,
                 metrics_out: None,
             }
         );
         assert_eq!(
-            p("faults --kernels gaussian,fft --seed 7 --rate 0.01 --window 64 --threads 2 --metrics-out f.jsonl")
+            p("faults --kernels gaussian,fft --seed 7 --rate 0.01 --window 64 --threads 2 --simd 0 --metrics-out f.jsonl")
                 .unwrap(),
             Command::Faults {
                 kernels: vec!["gaussian".into(), "fft".into()],
@@ -687,6 +794,7 @@ mod tests {
                 rate: 0.01,
                 window: 64,
                 threads: Some(2),
+                simd: Some(SimdMode::Off),
                 metrics_out: Some("f.jsonl".into()),
             }
         );
@@ -706,10 +814,14 @@ mod tests {
 
     #[test]
     fn parses_serve_and_bench_serve() {
-        assert_eq!(p("serve").unwrap(), Command::Serve { socket: None, threads: None });
+        assert_eq!(p("serve").unwrap(), Command::Serve { socket: None, threads: None, simd: None });
         assert_eq!(
-            p("serve --socket /tmp/rumba.sock --threads 2").unwrap(),
-            Command::Serve { socket: Some("/tmp/rumba.sock".into()), threads: Some(2) }
+            p("serve --socket /tmp/rumba.sock --threads 2 --simd auto").unwrap(),
+            Command::Serve {
+                socket: Some("/tmp/rumba.sock".into()),
+                threads: Some(2),
+                simd: Some(SimdMode::Auto),
+            }
         );
         assert_eq!(
             p("bench-serve").unwrap(),
@@ -718,11 +830,12 @@ mod tests {
                 tenants: 3,
                 requests: 40,
                 json_out: None,
-                threads: None
+                threads: None,
+                simd: None,
             }
         );
         assert_eq!(
-            p("bench-serve --seed 9 --tenants 2 --requests 12 --json-out b.json --threads 4")
+            p("bench-serve --seed 9 --tenants 2 --requests 12 --json-out b.json --threads 4 --simd 1")
                 .unwrap(),
             Command::BenchServe {
                 seed: 9,
@@ -730,6 +843,7 @@ mod tests {
                 requests: 12,
                 json_out: Some("b.json".into()),
                 threads: Some(4),
+                simd: Some(SimdMode::On),
             }
         );
         assert!(matches!(p("serve --socket"), Err(ParseError::MissingValue("--socket"))));

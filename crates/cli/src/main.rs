@@ -42,8 +42,9 @@ fn main() -> ExitCode {
             print!("{}", commands::list());
             return ExitCode::SUCCESS;
         }
-        Command::Train { kernel, seed, threads, metrics_out } => {
+        Command::Train { kernel, seed, threads, simd, metrics_out } => {
             rumba_parallel::set_thread_override(threads);
+            rumba_nn::set_simd_override(simd);
             if let Some(path) = metrics_out {
                 if let Err(code) = install_metrics_sink(&path) {
                     return code;
@@ -51,8 +52,9 @@ fn main() -> ExitCode {
             }
             commands::train(&kernel, seed)
         }
-        Command::Run { kernel, seed, checker, mode, window, threads, metrics_out } => {
+        Command::Run { kernel, seed, checker, mode, window, threads, simd, metrics_out } => {
             rumba_parallel::set_thread_override(threads);
+            rumba_nn::set_simd_override(simd);
             if let Some(path) = metrics_out {
                 if let Err(code) = install_metrics_sink(&path) {
                     return code;
@@ -60,8 +62,9 @@ fn main() -> ExitCode {
             }
             commands::run(&kernel, seed, checker, mode, window)
         }
-        Command::Faults { kernels, seed, rate, window, threads, metrics_out } => {
+        Command::Faults { kernels, seed, rate, window, threads, simd, metrics_out } => {
             rumba_parallel::set_thread_override(threads);
+            rumba_nn::set_simd_override(simd);
             if let Some(path) = metrics_out {
                 if let Err(code) = install_metrics_sink(&path) {
                     return code;
@@ -71,12 +74,14 @@ fn main() -> ExitCode {
         }
         Command::Report { path } => commands::report(&path),
         Command::Purity { kernel } => commands::purity(&kernel),
-        Command::Serve { socket, threads } => {
+        Command::Serve { socket, threads, simd } => {
             rumba_parallel::set_thread_override(threads);
+            rumba_nn::set_simd_override(simd);
             commands::serve(socket.as_deref())
         }
-        Command::BenchServe { seed, tenants, requests, json_out, threads } => {
+        Command::BenchServe { seed, tenants, requests, json_out, threads, simd } => {
             rumba_parallel::set_thread_override(threads);
+            rumba_nn::set_simd_override(simd);
             commands::bench_serve(seed, tenants, requests, json_out.as_deref())
         }
     };

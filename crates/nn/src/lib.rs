@@ -43,9 +43,11 @@ mod activation;
 mod config_words;
 mod dataset;
 mod error;
+mod fixed;
 mod matrix;
 mod mlp;
 mod model;
+mod simd;
 mod topology;
 mod trainer;
 
@@ -53,9 +55,11 @@ pub use activation::Activation;
 pub use config_words::{decode_model, encode_model, MODEL_MAGIC};
 pub use dataset::{NnDataset, Normalizer};
 pub use error::NnError;
+pub use fixed::FixedModel;
 pub use matrix::{Matrix, MatrixView, MatrixViewMut, Scratch};
 pub use mlp::{Layer, Mlp};
 pub use model::TrainedModel;
+pub use simd::{active_isa, detected_isa, set_simd_override, simd_mode, Isa, SimdMode};
 pub use topology::{TopologyCandidate, TopologySearch, TopologySearchReport};
 pub use trainer::{TrainParams, TrainReport, Trainer};
 

@@ -214,18 +214,48 @@ impl<'a> MatrixViewMut<'a> {
     }
 }
 
+/// Lane workspace for the SIMD batched kernels: the transpose-packed input
+/// tile, the per-neuron padded accumulator row, and the hoisted
+/// (pre-quantized) per-layer weight/bias copies of the quantized path. All
+/// grow-only `Vec`s, preserving the zero-allocation steady state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LaneScratch {
+    /// Transpose-packed input tile: `in_dim` features × `rp` padded rows,
+    /// feature-major so each feature's row axis is contiguous (the SIMD
+    /// load axis).
+    pub(crate) xt: Vec<f64>,
+    /// One output neuron's accumulators across the padded tile rows.
+    pub(crate) yt: Vec<f64>,
+    /// Per-layer hoisted quantized weights (the quantization grid is a
+    /// pure per-element function, so hoisting is bit-identical to the old
+    /// per-element rounding in the inner loop — just not redundant).
+    pub(crate) qw: Vec<f64>,
+    /// Per-layer hoisted quantized biases.
+    pub(crate) qb: Vec<f64>,
+}
+
+/// Integer workspace for the fixed-point forward path: ping-pong i16
+/// activation buffers (grow-only, like everything else here).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FixedScratch {
+    pub(crate) qa: Vec<i16>,
+    pub(crate) qb: Vec<i16>,
+}
+
 /// Reusable workspace for the batched forward/predict paths.
 ///
 /// Holds the ping-pong activation buffers (`a`/`b`) the layer loop
-/// alternates between and a staging buffer for normalized inputs. All three
-/// are grow-only [`Matrix`] values, so a `Scratch` reused across calls
-/// reaches a zero-allocation steady state after the first call at the
-/// largest batch shape.
+/// alternates between, a staging buffer for normalized inputs, the SIMD
+/// lane workspace, and the fixed-point integer buffers. All are grow-only,
+/// so a `Scratch` reused across calls reaches a zero-allocation steady
+/// state after the first call at the largest batch shape.
 #[derive(Debug, Clone, Default)]
 pub struct Scratch {
     pub(crate) a: Matrix,
     pub(crate) b: Matrix,
     pub(crate) staged: Matrix,
+    pub(crate) lanes: LaneScratch,
+    pub(crate) fixed: FixedScratch,
 }
 
 impl Scratch {

@@ -1,6 +1,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::matrix::LaneScratch;
+use crate::simd::{self, Isa};
 use crate::{Activation, Matrix, MatrixView, NnError, Result, Scratch};
 
 /// Cache-block tile sizes for the batched layer kernel: `ROW_BLOCK` batch
@@ -67,14 +69,21 @@ impl Layer {
     }
 
     fn forward_into(&self, input: &[f64], output: &mut [f64]) {
-        self.forward_batch_into(1, input, output);
+        self.forward_batch_into(1, input, output, Isa::Scalar, &mut LaneScratch::default());
     }
 
     /// Evaluates one layer on a limited-precision datapath: weights, biases,
     /// and the activated outputs are all rounded to a `2^-bits` grid — the
     /// behaviour of an analog or reduced-width digital implementation.
     fn forward_into_quantized(&self, input: &[f64], output: &mut [f64], bits: u32) {
-        self.forward_batch_into_quantized(1, input, output, bits);
+        self.forward_batch_into_quantized(
+            1,
+            input,
+            output,
+            bits,
+            Isa::Scalar,
+            &mut LaneScratch::default(),
+        );
     }
 
     /// Cache-blocked batched evaluation of `n` rows (`input` is flat
@@ -83,10 +92,38 @@ impl Layer {
     /// Blocking only reorders *which* `(row, neuron)` output element is
     /// produced when; each element's inner dot product is the exact serial
     /// loop (bias first, then ascending input index), so every output is
-    /// bit-identical to the per-sample path regardless of tile shape.
-    pub(crate) fn forward_batch_into(&self, n: usize, input: &[f64], output: &mut [f64]) {
+    /// bit-identical to the per-sample path regardless of tile shape. The
+    /// SIMD path keeps the same contract by mapping vector lanes to batch
+    /// rows (one whole accumulator per lane — see `simd`), so dispatching
+    /// on `isa` never changes the produced bits, only the speed.
+    pub(crate) fn forward_batch_into(
+        &self,
+        n: usize,
+        input: &[f64],
+        output: &mut [f64],
+        isa: Isa,
+        lanes: &mut LaneScratch,
+    ) {
         debug_assert_eq!(input.len(), n * self.in_dim);
         debug_assert_eq!(output.len(), n * self.out_dim);
+        if isa.lanes_f64() > 1 && n >= isa.lanes_f64() {
+            let LaneScratch { xt, yt, .. } = lanes;
+            tile_lanes(
+                self.in_dim,
+                self.out_dim,
+                self.activation,
+                n,
+                input,
+                output,
+                isa,
+                xt,
+                yt,
+                &self.weights,
+                &self.biases,
+                None,
+            );
+            return;
+        }
         for r0 in (0..n).step_by(ROW_BLOCK) {
             let r1 = (r0 + ROW_BLOCK).min(n);
             for o0 in (0..self.out_dim).step_by(COL_BLOCK) {
@@ -109,17 +146,50 @@ impl Layer {
 
     /// Quantized counterpart of [`Layer::forward_batch_into`]; same tiling,
     /// same per-element rounding as the serial quantized path.
+    ///
+    /// The grid-rounded weights and biases are hoisted into `lanes` once
+    /// per call instead of re-deriving `q(w)` for every `(row, element)`
+    /// pair in the inner loop; the grid is a pure per-element function, so
+    /// the output bits are unchanged.
     pub(crate) fn forward_batch_into_quantized(
         &self,
         n: usize,
         input: &[f64],
         output: &mut [f64],
         bits: u32,
+        isa: Isa,
+        lanes: &mut LaneScratch,
     ) {
         debug_assert_eq!(input.len(), n * self.in_dim);
         debug_assert_eq!(output.len(), n * self.out_dim);
         let scale = f64::from(1u32 << bits.min(30));
         let q = |v: f64| (v * scale).round() / scale;
+        let LaneScratch { xt, yt, qw, qb } = lanes;
+        let qw = simd::ensure_len(qw, self.weights.len());
+        for (dst, &w) in qw.iter_mut().zip(&self.weights) {
+            *dst = q(w);
+        }
+        let qb = simd::ensure_len(qb, self.biases.len());
+        for (dst, &b) in qb.iter_mut().zip(&self.biases) {
+            *dst = q(b);
+        }
+        if isa.lanes_f64() > 1 && n >= isa.lanes_f64() {
+            tile_lanes(
+                self.in_dim,
+                self.out_dim,
+                self.activation,
+                n,
+                input,
+                output,
+                isa,
+                xt,
+                yt,
+                qw,
+                qb,
+                Some(scale),
+            );
+            return;
+        }
         for r0 in (0..n).step_by(ROW_BLOCK) {
             let r1 = (r0 + ROW_BLOCK).min(n);
             for o0 in (0..self.out_dim).step_by(COL_BLOCK) {
@@ -128,12 +198,69 @@ impl Layer {
                     let input_row = &input[r * self.in_dim..(r + 1) * self.in_dim];
                     let output_row = &mut output[r * self.out_dim..(r + 1) * self.out_dim];
                     for (o, out_val) in (o0..).zip(output_row[o0..o1].iter_mut()) {
-                        let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
-                        let mut acc = q(self.biases[o]);
+                        let row = &qw[o * self.in_dim..(o + 1) * self.in_dim];
+                        let mut acc = qb[o];
                         for (w, x) in row.iter().zip(input_row) {
-                            acc += q(*w) * x;
+                            acc += w * x;
                         }
                         *out_val = q(self.activation.apply(acc));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The SIMD batched layer kernel: lanes are batch rows.
+///
+/// Each `ROW_BLOCK` tile of input rows is transpose-packed into `xt`
+/// (feature-major, rows padded to the lane width), then every output
+/// neuron is evaluated across all tile rows at once — per row the exact
+/// serial reduction (`bias`, then one multiply-then-add per feature,
+/// ascending). Padding lanes compute finite garbage that is never
+/// unpacked. `quant_scale` applies the quantized path's output rounding;
+/// its hoisted weights/biases arrive via `weights`/`biases`.
+#[allow(clippy::too_many_arguments)]
+fn tile_lanes(
+    in_dim: usize,
+    out_dim: usize,
+    act: Activation,
+    n: usize,
+    input: &[f64],
+    output: &mut [f64],
+    isa: Isa,
+    xt: &mut Vec<f64>,
+    yt: &mut Vec<f64>,
+    weights: &[f64],
+    biases: &[f64],
+    quant_scale: Option<f64>,
+) {
+    let lw = isa.lanes_f64();
+    for r0 in (0..n).step_by(ROW_BLOCK) {
+        let r1 = (r0 + ROW_BLOCK).min(n);
+        let rows = r1 - r0;
+        let rp = rows.next_multiple_of(lw);
+        let xt = simd::ensure_len(xt, in_dim * rp);
+        for (k, col) in xt.chunks_exact_mut(rp).enumerate() {
+            for (r, c) in col[..rows].iter_mut().enumerate() {
+                *c = input[(r0 + r) * in_dim + k];
+            }
+            for c in &mut col[rows..] {
+                *c = 0.0;
+            }
+        }
+        let yt = simd::ensure_len(yt, rp);
+        for (o, (wrow, &bias)) in weights.chunks_exact(in_dim).zip(biases).enumerate() {
+            simd::neuron_rows_dispatch(isa, wrow, bias, xt, rp, yt);
+            match quant_scale {
+                None => {
+                    for (r, &acc) in yt[..rows].iter().enumerate() {
+                        output[(r0 + r) * out_dim + o] = act.apply(acc);
+                    }
+                }
+                Some(scale) => {
+                    for (r, &acc) in yt[..rows].iter().enumerate() {
+                        output[(r0 + r) * out_dim + o] = (act.apply(acc) * scale).round() / scale;
                     }
                 }
             }
@@ -326,8 +453,8 @@ impl Mlp {
         out.resize(n, out_dim);
         let pool = rumba_parallel::ThreadPool::new();
         if pool.threads() <= 1 {
-            let Scratch { a, b, .. } = scratch;
-            self.forward_rows_flat(n, inputs.as_slice(), quant, a, b, out.as_mut_slice());
+            let Scratch { a, b, lanes, .. } = scratch;
+            self.forward_rows_flat(n, inputs.as_slice(), quant, a, b, lanes, out.as_mut_slice());
         } else {
             // Rows are independent, so chunking over them is bit-exact at
             // any thread count; each chunk gets a private workspace.
@@ -340,6 +467,7 @@ impl Mlp {
                     quant,
                     &mut local.a,
                     &mut local.b,
+                    &mut local.lanes,
                     chunk_out,
                 );
             });
@@ -349,7 +477,10 @@ impl Mlp {
 
     /// Serial whole-network batched forward over a flat `n × input_dim`
     /// buffer, writing the flat `n × output_dim` result into `out`.
-    /// `a`/`b` are the grow-only ping-pong activation workspaces.
+    /// `a`/`b` are the grow-only ping-pong activation workspaces; `lanes`
+    /// is the SIMD tile workspace. The ISA is resolved once per call and
+    /// recorded in telemetry; dispatch never changes the produced bits.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn forward_rows_flat(
         &self,
         n: usize,
@@ -357,11 +488,15 @@ impl Mlp {
         quant: Option<u32>,
         a: &mut Matrix,
         b: &mut Matrix,
+        lanes: &mut LaneScratch,
         out: &mut [f64],
     ) {
-        let run = |layer: &Layer, src: &[f64], dst: &mut [f64]| match quant {
-            None => layer.forward_batch_into(n, src, dst),
-            Some(bits) => layer.forward_batch_into_quantized(n, src, dst, bits),
+        let isa = simd::active_isa();
+        simd::note_dispatch(isa);
+        let run = |layer: &Layer, src: &[f64], dst: &mut [f64], lanes: &mut LaneScratch| match quant
+        {
+            None => layer.forward_batch_into(n, src, dst, isa, lanes),
+            Some(bits) => layer.forward_batch_into_quantized(n, src, dst, bits, isa, lanes),
         };
         let last = self.layers.len() - 1;
         for (li, layer) in self.layers.iter().enumerate() {
@@ -376,16 +511,16 @@ impl Mlp {
                 } else {
                     b.as_slice()
                 };
-                run(layer, src, out);
+                run(layer, src, out, lanes);
             } else if li == 0 {
                 a.resize(n, layer.out_dim());
-                run(layer, input, a.as_mut_slice());
+                run(layer, input, a.as_mut_slice(), lanes);
             } else if li % 2 == 1 {
                 b.resize(n, layer.out_dim());
-                run(layer, a.as_slice(), b.as_mut_slice());
+                run(layer, a.as_slice(), b.as_mut_slice(), lanes);
             } else {
                 a.resize(n, layer.out_dim());
-                run(layer, b.as_slice(), a.as_mut_slice());
+                run(layer, b.as_slice(), a.as_mut_slice(), lanes);
             }
         }
     }

@@ -169,13 +169,13 @@ impl TrainedModel {
         out: &mut [f64],
     ) {
         let n = inputs.rows();
-        let Scratch { a, b, staged } = scratch;
+        let Scratch { a, b, staged, lanes, .. } = scratch;
         staged.resize(n, inputs.cols());
         staged.as_mut_slice().copy_from_slice(inputs.as_slice());
         for r in 0..n {
             self.input_norm.apply(staged.row_mut(r));
         }
-        self.mlp.forward_rows_flat(n, staged.as_slice(), quant, a, b, out);
+        self.mlp.forward_rows_flat(n, staged.as_slice(), quant, a, b, lanes, out);
         let out_dim = self.mlp.output_dim();
         for row in out.chunks_mut(out_dim) {
             self.output_norm.invert(row);

@@ -2,6 +2,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
+use crate::matrix::LaneScratch;
+use crate::simd::{self, Isa};
 use crate::{Matrix, Mlp, NnDataset, NnError, Result};
 
 /// Hyper-parameters for [`Trainer`].
@@ -156,6 +158,11 @@ impl Trainer {
         let mut grads_b: Vec<Vec<f64>> = shape_b.iter().map(|&n| vec![0.0; n]).collect();
         let mut scratch = BatchScratch::new(mlp.layers().len());
 
+        // Resolved once per run; lane dispatch never changes the gradient
+        // bits (see `simd`), only how fast they are accumulated.
+        let isa = simd::active_isa();
+        simd::note_dispatch(isa);
+
         let mut report = TrainReport::default();
         for _ in 0..self.params.epochs {
             order.shuffle(&mut rng);
@@ -168,6 +175,7 @@ impl Trainer {
                     mlp,
                     data,
                     chunk,
+                    isa,
                     &mut scratch,
                     &mut grads_w,
                     &mut grads_b,
@@ -204,6 +212,7 @@ struct BatchScratch {
     acts: Vec<Matrix>,
     delta: Matrix,
     prev_delta: Matrix,
+    lanes: LaneScratch,
 }
 
 impl BatchScratch {
@@ -214,6 +223,7 @@ impl BatchScratch {
             acts: vec![Matrix::default(); n_layers],
             delta: Matrix::default(),
             prev_delta: Matrix::default(),
+            lanes: LaneScratch::default(),
         }
     }
 }
@@ -228,11 +238,16 @@ impl BatchScratch {
 /// innermost loop over samples in `chunk` order — the exact summation
 /// sequence of the per-sample trainer. The resulting parameter trajectory
 /// is therefore bit-identical to running `accumulate_example` sample by
-/// sample.
+/// sample. The backward pass vectorizes over the weight-row axis (`j`)
+/// with a broadcast per-sample scalar, which leaves every accumulator
+/// cell's contribution order untouched, so the SIMD and scalar builds
+/// follow the same trajectory bit for bit.
+#[allow(clippy::too_many_arguments)]
 fn accumulate_batch(
     mlp: &Mlp,
     data: &NnDataset,
     chunk: &[usize],
+    isa: Isa,
     scratch: &mut BatchScratch,
     grads_w: &mut [Vec<f64>],
     grads_b: &mut [Vec<f64>],
@@ -240,7 +255,7 @@ fn accumulate_batch(
 ) {
     let bsz = chunk.len();
     let layers = mlp.layers();
-    let BatchScratch { batch_in, batch_tgt, acts, delta, prev_delta } = scratch;
+    let BatchScratch { batch_in, batch_tgt, acts, delta, prev_delta, lanes } = scratch;
 
     // Gather the shuffled samples into contiguous rows.
     batch_in.resize(bsz, mlp.input_dim());
@@ -257,7 +272,7 @@ fn accumulate_batch(
         let src: &[f64] = if li == 0 { batch_in.as_slice() } else { done[li - 1].as_slice() };
         let dst = &mut todo[0];
         dst.resize(bsz, layers[li].out_dim());
-        layers[li].forward_batch_into(bsz, src, dst.as_mut_slice());
+        layers[li].forward_batch_into(bsz, src, dst.as_mut_slice(), isa, lanes);
     }
 
     // Output-layer deltas and losses, samples in chunk order.
@@ -290,9 +305,9 @@ fn accumulate_batch(
             for (o, &dv) in d.iter().enumerate() {
                 gb[o] += dv;
                 let row = o * in_dim;
-                for (j, &xv) in x.iter().enumerate() {
-                    gw[row + j] += dv * xv;
-                }
+                // gw[row + j] += dv * x[j] across the whole weight row —
+                // one contribution per cell, same order as the scalar loop.
+                simd::axpy_dispatch(isa, dv, x, &mut gw[row..row + in_dim]);
             }
         }
         if li > 0 {
@@ -302,12 +317,16 @@ fn accumulate_batch(
                 let d = delta.row(r);
                 let x = layer_input.row(r);
                 let pd = prev_delta.row_mut(r);
-                for (j, pd_j) in pd.iter_mut().enumerate() {
-                    let mut acc = 0.0;
-                    for (o, &dv) in d.iter().enumerate() {
-                        acc += layer.weights()[o * in_dim + j] * dv;
-                    }
-                    *pd_j = acc * prev_act.derivative_from_output(x[j]);
+                // pd[j] = (Σ_o w[o*in+j] * d[o]) * act'(x[j]), with the o
+                // sum accumulated ascending per cell — the per-sample
+                // trainer's exact operation sequence, vectorized over j.
+                pd.fill(0.0);
+                for (o, &dv) in d.iter().enumerate() {
+                    let wrow = &layer.weights()[o * in_dim..(o + 1) * in_dim];
+                    simd::xpay_dispatch(isa, dv, wrow, pd);
+                }
+                for (pd_j, &xv) in pd.iter_mut().zip(x) {
+                    *pd_j *= prev_act.derivative_from_output(xv);
                 }
             }
             std::mem::swap(delta, prev_delta);

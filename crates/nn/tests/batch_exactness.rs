@@ -2,10 +2,19 @@
 //! per-sample reference loops, across random topologies, batch sizes,
 //! seeds, quantization grids, and thread counts.
 
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rumba_nn::{Activation, Matrix, MatrixView, Mlp, Normalizer, Scratch, TrainedModel};
+use rumba_nn::{Activation, Matrix, MatrixView, Mlp, Normalizer, Scratch, SimdMode, TrainedModel};
+
+/// Serializes every test that flips the process-wide SIMD override, so a
+/// concurrently scheduled case never observes a mid-run mode change.
+fn simd_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 fn random_inputs(n: usize, dim: usize, seed: u64) -> Vec<f64> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -135,6 +144,245 @@ proptest! {
             prop_assert_eq!(row_bits(out.row(i)), row_bits(&serial));
         }
     }
+}
+
+/// Independent reference for the fixed-point datapath, built from the
+/// model's public accessors: Q-format `i16` weights/activations at scale
+/// `2^frac_bits`, `i32` biases at the squared scale, wrapping `i32`
+/// accumulation, activation through `f64`. Any divergence between the
+/// shipped kernels (scalar or SIMD) and this loop is a bug.
+fn reference_fixed_predict(model: &TrainedModel, frac_bits: u32, input: &[f64]) -> Vec<f64> {
+    let s = f64::from(1u32 << frac_bits.clamp(1, 14));
+    let q16 = |v: f64| (v * s).round() as i16;
+    let q32 = |v: f64| (v * s * s).round() as i32;
+    let mut x = input.to_vec();
+    model.input_norm().apply(&mut x);
+    let mut act: Vec<i16> = x.iter().map(|&v| q16(v)).collect();
+    let layers = model.mlp().layers();
+    let last = layers.len() - 1;
+    let mut out = Vec::new();
+    for (li, layer) in layers.iter().enumerate() {
+        let (ind, outd) = (layer.in_dim(), layer.out_dim());
+        let mut next = vec![0i16; outd];
+        for (o, slot) in next.iter_mut().enumerate() {
+            let mut acc = q32(layer.biases()[o]);
+            for (k, &a) in act.iter().enumerate().take(ind) {
+                let w = i32::from(q16(layer.weights()[o * ind + k]));
+                acc = acc.wrapping_add(w.wrapping_mul(i32::from(a)));
+            }
+            let v = layer.activation().apply(f64::from(acc) / (s * s));
+            if li == last {
+                out.push(v);
+            } else {
+                *slot = q16(v);
+            }
+        }
+        act = next;
+    }
+    model.output_norm().invert(&mut out);
+    out
+}
+
+/// Independent reference for the f64 quantized forward, written the way
+/// the pre-hoist kernel computed it — quantization scale re-derived at
+/// every element. Pins the hoisted per-layer `q(w)`/`q(b)` tables to the
+/// original per-element semantics bit for bit.
+fn reference_quantized_forward(mlp: &Mlp, bits: u32, input: &[f64]) -> Vec<f64> {
+    let mut x = input.to_vec();
+    for layer in mlp.layers() {
+        let (ind, outd) = (layer.in_dim(), layer.out_dim());
+        let mut next = vec![0.0; outd];
+        for (o, slot) in next.iter_mut().enumerate() {
+            let scale = f64::from(1u32 << bits.min(30));
+            let mut acc = (layer.biases()[o] * scale).round() / scale;
+            for (k, &xv) in x.iter().enumerate().take(ind) {
+                let scale = f64::from(1u32 << bits.min(30));
+                let w = (layer.weights()[o * ind + k] * scale).round() / scale;
+                acc += w * xv;
+            }
+            let scale = f64::from(1u32 << bits.min(30));
+            *slot = (layer.activation().apply(acc) * scale).round() / scale;
+        }
+        x = next;
+    }
+    x
+}
+
+proptest! {
+    /// Tentpole contract: forcing the vector kernels and forcing the
+    /// scalar kernels produce bitwise-identical batches across random
+    /// topologies, ragged tail sizes (n % lane-width != 0), the 32-row
+    /// tile boundary, and 1/4 worker threads — and both match the
+    /// per-row serial loop.
+    #[test]
+    fn forward_batch_is_simd_invariant(
+        in_dim in 1usize..6,
+        hidden in proptest::collection::vec(1usize..9, 1..3),
+        out_dim in 1usize..5,
+        n in 0usize..70,
+        seed in 0u64..1_000,
+        threads_idx in 0usize..2,
+    ) {
+        let _guard = simd_lock();
+        let threads = [1usize, 4][threads_idx];
+        let topo = topology(in_dim, &hidden, out_dim);
+        let mlp = Mlp::new(&topo, Activation::Sigmoid, seed).unwrap();
+        let flat = random_inputs(n, in_dim, seed ^ 0xabcd);
+        let inputs = MatrixView::new(&flat, n, in_dim);
+        rumba_parallel::set_thread_override(Some(threads));
+        let mut per_mode = Vec::new();
+        for mode in [SimdMode::Off, SimdMode::On] {
+            rumba_nn::set_simd_override(Some(mode));
+            let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+            mlp.forward_batch(inputs, &mut scratch, &mut out).unwrap();
+            per_mode.push(out);
+        }
+        rumba_nn::set_simd_override(None);
+        rumba_parallel::set_thread_override(None);
+        let (off, on) = (&per_mode[0], &per_mode[1]);
+        for i in 0..n {
+            prop_assert_eq!(row_bits(off.row(i)), row_bits(on.row(i)));
+            let serial = mlp.forward(inputs.row(i)).unwrap();
+            prop_assert_eq!(row_bits(on.row(i)), row_bits(&serial));
+        }
+    }
+
+    /// The same contract for the f64 quantized path, which additionally
+    /// pins the hoisted per-layer quantized-parameter tables against a
+    /// reference that re-derives the scale per element (the pre-hoist
+    /// code shape).
+    #[test]
+    fn quantized_batch_is_simd_invariant_and_matches_prehoist_reference(
+        in_dim in 1usize..6,
+        hidden in proptest::collection::vec(1usize..9, 1..3),
+        out_dim in 1usize..5,
+        n in 0usize..70,
+        seed in 0u64..1_000,
+        bits in 0u32..12,
+        threads_idx in 0usize..2,
+    ) {
+        let _guard = simd_lock();
+        let threads = [1usize, 4][threads_idx];
+        let topo = topology(in_dim, &hidden, out_dim);
+        let mlp = Mlp::new(&topo, Activation::Tanh, seed).unwrap();
+        let flat = random_inputs(n, in_dim, seed ^ 0x1177);
+        let inputs = MatrixView::new(&flat, n, in_dim);
+        rumba_parallel::set_thread_override(Some(threads));
+        let mut per_mode = Vec::new();
+        for mode in [SimdMode::Off, SimdMode::On] {
+            rumba_nn::set_simd_override(Some(mode));
+            let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+            mlp.forward_batch_quantized(inputs, bits, &mut scratch, &mut out).unwrap();
+            per_mode.push(out);
+        }
+        rumba_nn::set_simd_override(None);
+        rumba_parallel::set_thread_override(None);
+        let (off, on) = (&per_mode[0], &per_mode[1]);
+        for i in 0..n {
+            prop_assert_eq!(row_bits(off.row(i)), row_bits(on.row(i)));
+            let reference = reference_quantized_forward(&mlp, bits, inputs.row(i));
+            prop_assert_eq!(row_bits(on.row(i)), row_bits(&reference));
+        }
+    }
+
+    /// End-to-end SIMD invariance for the full model path (normalizers,
+    /// staging, inversion), at 1 and 4 worker threads.
+    #[test]
+    fn predict_batch_is_simd_invariant(
+        in_dim in 1usize..5,
+        hidden in proptest::collection::vec(1usize..7, 1..3),
+        out_dim in 1usize..4,
+        n in 0usize..48,
+        seed in 0u64..1_000,
+        threads_idx in 0usize..2,
+    ) {
+        let _guard = simd_lock();
+        let threads = [1usize, 4][threads_idx];
+        let topo = topology(in_dim, &hidden, out_dim);
+        let model = model_for(&topo, seed);
+        let flat = random_inputs(n, in_dim, seed ^ 0x3344);
+        let inputs = MatrixView::new(&flat, n, in_dim);
+        rumba_parallel::set_thread_override(Some(threads));
+        let mut per_mode = Vec::new();
+        for mode in [SimdMode::Off, SimdMode::On] {
+            rumba_nn::set_simd_override(Some(mode));
+            let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+            model.predict_batch(inputs, &mut scratch, &mut out).unwrap();
+            per_mode.push(out);
+        }
+        rumba_nn::set_simd_override(None);
+        rumba_parallel::set_thread_override(None);
+        for i in 0..n {
+            prop_assert_eq!(row_bits(per_mode[0].row(i)), row_bits(per_mode[1].row(i)));
+        }
+    }
+
+    /// The i16/i32 fixed-point path, pinned against the independent
+    /// integer reference loop above — serial, batched, scalar, SIMD, and
+    /// 1/4 threads all bit-identical.
+    #[test]
+    fn fixed_point_batch_matches_reference_integer_loop(
+        in_dim in 1usize..5,
+        hidden in proptest::collection::vec(1usize..7, 1..3),
+        out_dim in 1usize..4,
+        n in 0usize..48,
+        seed in 0u64..1_000,
+        frac_bits in 0u32..16,
+        threads_idx in 0usize..2,
+    ) {
+        let _guard = simd_lock();
+        let threads = [1usize, 4][threads_idx];
+        let topo = topology(in_dim, &hidden, out_dim);
+        let model = model_for(&topo, seed);
+        let fixed = model.prepare_fixed(frac_bits);
+        let flat = random_inputs(n, in_dim, seed ^ 0x5566);
+        let inputs = MatrixView::new(&flat, n, in_dim);
+        rumba_parallel::set_thread_override(Some(threads));
+        let mut per_mode = Vec::new();
+        for mode in [SimdMode::Off, SimdMode::On] {
+            rumba_nn::set_simd_override(Some(mode));
+            let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+            fixed.predict_batch(inputs, &mut scratch, &mut out).unwrap();
+            per_mode.push(out);
+        }
+        rumba_nn::set_simd_override(None);
+        rumba_parallel::set_thread_override(None);
+        for i in 0..n {
+            prop_assert_eq!(row_bits(per_mode[0].row(i)), row_bits(per_mode[1].row(i)));
+            let serial = fixed.predict(inputs.row(i)).unwrap();
+            prop_assert_eq!(row_bits(per_mode[1].row(i)), row_bits(&serial));
+            let reference = reference_fixed_predict(&model, frac_bits, inputs.row(i));
+            prop_assert_eq!(row_bits(&serial), row_bits(&reference));
+        }
+    }
+}
+
+/// Deterministic regression for the hoisted quantization scale: the
+/// batched quantized path must reproduce the per-element re-derivation
+/// semantics exactly, including at the widths where rounding actually
+/// bites (low bit counts).
+#[test]
+fn quantized_hoist_is_bitwise_identical_to_per_element_rederivation() {
+    let _guard = simd_lock();
+    let mlp = Mlp::new(&[3, 9, 5, 2], Activation::Sigmoid, 71).unwrap();
+    let flat = random_inputs(37, 3, 0xfeed);
+    let inputs = MatrixView::new(&flat, 37, 3);
+    for bits in [0u32, 1, 2, 4, 8, 16, 31] {
+        for mode in [SimdMode::Off, SimdMode::On] {
+            rumba_nn::set_simd_override(Some(mode));
+            let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+            mlp.forward_batch_quantized(inputs, bits, &mut scratch, &mut out).unwrap();
+            for i in 0..37 {
+                let reference = reference_quantized_forward(&mlp, bits, inputs.row(i));
+                assert_eq!(
+                    row_bits(out.row(i)),
+                    row_bits(&reference),
+                    "bits {bits} mode {mode:?} row {i}"
+                );
+            }
+        }
+    }
+    rumba_nn::set_simd_override(None);
 }
 
 #[test]

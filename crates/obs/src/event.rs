@@ -91,6 +91,12 @@ pub enum Event {
         chunks: u64,
         /// Worker-thread count of the most recent map.
         threads: u64,
+        /// Instruction set the batched kernels dispatched to
+        /// (`scalar`/`avx2`/`neon`; decodes as `scalar` on streams from
+        /// builds that predate the field).
+        isa: String,
+        /// Whether vector kernels were active (`isa != scalar`).
+        simd: bool,
     },
     /// Offline threshold calibration completed.
     Calibration {
@@ -244,8 +250,12 @@ impl Event {
             Event::Cache { hit, key } => {
                 w.boolean("hit", *hit).string("key", key);
             }
-            Event::Pool { maps, chunks, threads } => {
-                w.count("maps", *maps).count("chunks", *chunks).count("threads", *threads);
+            Event::Pool { maps, chunks, threads, isa, simd } => {
+                w.count("maps", *maps)
+                    .count("chunks", *chunks)
+                    .count("threads", *threads)
+                    .string("isa", isa)
+                    .boolean("simd", *simd);
             }
             Event::Calibration { samples, sanitized, threshold } => {
                 w.count("samples", *samples)
@@ -345,6 +355,10 @@ impl Event {
                 maps: obj.count("maps").ok_or_else(|| field("maps"))?,
                 chunks: obj.count("chunks").ok_or_else(|| field("chunks"))?,
                 threads: obj.count("threads").ok_or_else(|| field("threads"))?,
+                // Streams from builds without SIMD dispatch decode as the
+                // scalar kernels they actually ran.
+                isa: obj.string("isa").unwrap_or("scalar").to_owned(),
+                simd: obj.boolean("simd").unwrap_or(false),
             }),
             "calibration" => Ok(Event::Calibration {
                 samples: obj.count("samples").ok_or_else(|| field("samples"))?,
@@ -431,7 +445,7 @@ mod tests {
             },
             Event::Cache { hit: true, key: "gaussian-s42-0123456789abcdef.words".into() },
             Event::Cache { hit: false, key: "fft-s7-fedcba9876543210.words".into() },
-            Event::Pool { maps: 120, chunks: 4096, threads: 4 },
+            Event::Pool { maps: 120, chunks: 4096, threads: 4, isa: "avx2".into(), simd: true },
             Event::Calibration { samples: 2048, sanitized: 3, threshold: 1e-6 },
             Event::RunSummary {
                 kernel: "inversek2j".into(),
@@ -507,6 +521,21 @@ mod tests {
         assert!(line.contains("\"mean_unfixed_pred\":null"), "{line}");
         match Event::parse(&line).unwrap() {
             Event::WindowEnd { mean_unfixed_pred, .. } => assert!(mean_unfixed_pred.is_nan()),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pre_simd_pool_lines_decode_with_scalar_defaults() {
+        // Streams recorded before the `pool` event carried the dispatched
+        // ISA must keep decoding; those builds only ever ran scalar.
+        let old = "{\"type\":\"pool\",\"maps\":7,\"chunks\":28,\"threads\":2}";
+        match Event::parse(old).unwrap() {
+            Event::Pool { maps, chunks, threads, isa, simd } => {
+                assert_eq!((maps, chunks, threads), (7, 28, 2));
+                assert_eq!(isa, "scalar");
+                assert!(!simd);
+            }
             other => panic!("wrong variant {other:?}"),
         }
     }

@@ -130,10 +130,20 @@ pub fn finish_run() {
         return;
     }
     let snap = metrics().snapshot();
+    // The batched kernels record the dispatched ISA as a numeric gauge
+    // (0 scalar / 1 avx2 / 2 neon — `rumba_nn::Isa::code`); a process that
+    // never dispatched a batched kernel reports the scalar default.
+    let isa = match snap.gauge("pool.simd_isa").unwrap_or(0.0) as u8 {
+        1 => "avx2",
+        2 => "neon",
+        _ => "scalar",
+    };
     sink.emit(&Event::Pool {
         maps: snap.counter("pool.maps"),
         chunks: snap.counter("pool.chunks"),
         threads: snap.gauge("pool.threads").unwrap_or(0.0) as u64,
+        isa: isa.to_owned(),
+        simd: isa != "scalar",
     });
     sink.flush();
 }
@@ -192,9 +202,13 @@ mod tests {
         finish_run();
         let pools = memory.events_where(|e| matches!(e, Event::Pool { .. }));
         assert!(!pools.is_empty());
-        if let Event::Pool { maps, chunks, threads } = pools[pools.len() - 1] {
+        if let Event::Pool { maps, chunks, threads, ref isa, simd } = pools[pools.len() - 1] {
             assert!(maps >= 3 && chunks >= 12);
             assert_eq!(threads, 2);
+            // No batched kernel ran in this test, so the gauge is unset
+            // and the summary reports the scalar default.
+            assert_eq!(isa, "scalar");
+            assert!(!simd);
         }
         // Restore the disabled default for any test scheduled after.
         set_global_sink(Arc::new(NullSink));

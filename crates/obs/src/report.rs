@@ -204,8 +204,13 @@ impl fmt::Display for Report {
         }
 
         for event in &self.events {
-            if let Event::Pool { maps, chunks, threads } = event {
-                writeln!(f, "pool: {maps} parallel maps, {chunks} chunks, {threads} threads")?;
+            if let Event::Pool { maps, chunks, threads, isa, simd } = event {
+                let simd = if *simd { "on" } else { "off" };
+                writeln!(
+                    f,
+                    "pool: {maps} parallel maps, {chunks} chunks, {threads} threads, \
+                     isa {isa} (simd {simd})"
+                )?;
             }
         }
 
@@ -304,7 +309,11 @@ mod tests {
         }
         text.push_str(&(Event::Cache { hit: true, key: "a".into() }.to_jsonl() + "\n"));
         text.push_str(&(Event::Cache { hit: false, key: "b".into() }.to_jsonl() + "\n"));
-        text.push_str(&(Event::Pool { maps: 7, chunks: 11, threads: 2 }.to_jsonl() + "\n"));
+        text.push_str(
+            &(Event::Pool { maps: 7, chunks: 11, threads: 2, isa: "avx2".into(), simd: true }
+                .to_jsonl()
+                + "\n"),
+        );
         text.push_str(
             &(Event::RunSummary {
                 kernel: "gaussian".into(),

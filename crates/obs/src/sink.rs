@@ -143,15 +143,19 @@ mod tests {
         sink.flush();
     }
 
+    fn pool_sample() -> Event {
+        Event::Pool { maps: 1, chunks: 2, threads: 3, isa: "scalar".into(), simd: false }
+    }
+
     #[test]
     fn memory_sink_records_in_order() {
         let sink = MemorySink::new();
         assert!(sink.enabled());
-        sink.emit(&Event::Pool { maps: 1, chunks: 2, threads: 3 });
+        sink.emit(&pool_sample());
         sink.emit(&Event::Cache { hit: false, key: "x".into() });
         let events = sink.events();
         assert_eq!(events.len(), 2);
-        assert_eq!(events[0], Event::Pool { maps: 1, chunks: 2, threads: 3 });
+        assert_eq!(events[0], pool_sample());
         assert_eq!(sink.events_where(|e| matches!(e, Event::Cache { .. })).len(), 1);
     }
 

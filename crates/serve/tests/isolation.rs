@@ -210,6 +210,35 @@ fn multiplexed_serving_is_thread_invariant() {
     }
 }
 
+/// The lane-reduction contract reaches the serving layer: forcing the
+/// scalar kernels and forcing the vector kernels (at one and at four
+/// workers) all produce bitwise-identical sessions, so the committed
+/// serve trace stays valid on any hardware and any `RUMBA_SIMD` setting.
+#[test]
+fn multiplexed_serving_is_simd_invariant() {
+    use rumba_nn::SimdMode;
+
+    let schedule = schedule_from(3, 16, &[]);
+    let drains: Vec<bool> = (0..48).map(|i| i % 5 == 4).collect();
+
+    let mut traces = Vec::new();
+    for threads in [1usize, 4] {
+        for mode in [SimdMode::Off, SimdMode::On] {
+            rumba_parallel::set_thread_override(Some(threads));
+            rumba_nn::set_simd_override(Some(mode));
+            traces.push(run_multiplexed(3, 16, Some(2), &schedule, &drains));
+        }
+    }
+    rumba_nn::set_simd_override(None);
+    rumba_parallel::set_thread_override(None);
+
+    for other in &traces[1..] {
+        for (a, b) in traces[0].iter().zip(other) {
+            assert_identical(a, b);
+        }
+    }
+}
+
 /// Event-stream isolation, down to the telemetry layer: with a fault plan
 /// armed in one session, every event tagged with a *clean* session's
 /// label is identical to the events that session emits when it runs the
