@@ -157,6 +157,29 @@ for simd in 0 1; do
 done
 echo "    fig10 + serve trace byte-identical under RUMBA_SIMD=0 and 1 at 1 and 4 threads"
 
+echo "==> sharded TCP gate: multi-client trace vs ci/serve_net.golden"
+# The same seeded workload over real TCP — one lockstep connection per
+# tenant, fanned into shard threads by the session-placement hash. The
+# trace must match the committed golden at every shard x thread x SIMD
+# combination: shard count, like thread count and ISA, must be
+# unobservable in the payload bytes.
+for shards in 1 2; do
+    for simd in 0 1; do
+        for t in 1 4; do
+            RUMBA_CACHE=0 RUMBA_THREADS=$t RUMBA_SIMD=$simd \
+                cargo run --release -q -p rumba-cli --bin rumba -- \
+                bench-serve --seed 7 --shards $shards \
+                >"$smoke_dir/serve_net.n$shards.s$simd.t$t" 2>/dev/null
+            if ! cmp -s "$smoke_dir/serve_net.n$shards.s$simd.t$t" ci/serve_net.golden; then
+                echo "FAIL: sharded bench-serve trace (shards=$shards, RUMBA_SIMD=$simd, RUMBA_THREADS=$t) differs from ci/serve_net.golden" >&2
+                diff ci/serve_net.golden "$smoke_dir/serve_net.n$shards.s$simd.t$t" | head -20 >&2
+                exit 1
+            fi
+        done
+    done
+done
+echo "    sharded TCP trace byte-identical at shards {1,2} x SIMD {0,1} x threads {1,4}"
+
 echo "==> matrix bench smoke (bit-exactness gate + allocation probe)"
 # The bench asserts batched == per-sample bitwise and zero steady-state
 # allocations before it times anything, so a short run is a real check.

@@ -88,6 +88,29 @@ impl CheckerUnit {
     pub fn estimator(&self) -> &dyn ErrorEstimator {
         self.estimator.as_ref()
     }
+
+    /// Serializes the datapath's online state (prediction counter plus the
+    /// estimator's own words) for session snapshots.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u64> {
+        let mut words = vec![self.predictions];
+        words.extend(self.estimator.export_state());
+        words
+    }
+
+    /// Restores state exported by [`CheckerUnit::export_state`] onto an
+    /// identically configured unit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when the words do not decode.
+    pub fn import_state(&mut self, words: &[u64]) -> Result<(), String> {
+        let (&predictions, rest) =
+            words.split_first().ok_or_else(|| "checker state is empty".to_owned())?;
+        self.estimator.import_state(rest)?;
+        self.predictions = predictions;
+        Ok(())
+    }
 }
 
 fn cycles_of(cost: CheckerCost) -> u64 {

@@ -7,7 +7,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use rumba_apps::{kernel_by_name, Split};
 use rumba_core::event_sim::QueueConfig;
 use rumba_core::tuner::TuningMode;
-use rumba_serve::bench::{run_trace, BenchConfig};
+use rumba_serve::bench::{run_net_trace, run_trace, BenchConfig};
 use rumba_serve::{AdmissionPolicy, CheckerKind, ServeRuntime, SessionConfig};
 use std::hint::black_box;
 
@@ -69,5 +69,22 @@ fn bench_trace(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_drain, bench_trace);
+fn bench_net(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_net");
+    // Lockstep multi-client TCP replay per shard count — the shard
+    // fan-out overhead on top of the in-process `replay` baseline.
+    for shards in [1usize, 2] {
+        group.bench_function(&format!("tcp replay shards={shards}"), |b| {
+            b.iter(|| {
+                black_box(
+                    run_net_trace(BenchConfig { seed: 7, tenants: 3, requests: 20 }, shards)
+                        .expect("replays"),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_drain, bench_trace, bench_net);
 criterion_main!(benches);

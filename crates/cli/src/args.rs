@@ -137,10 +137,16 @@ pub enum Command {
         kernel: String,
     },
     /// `rumba serve` — multi-tenant NDJSON serving loop over
-    /// stdin/stdout or a Unix socket.
+    /// stdin/stdout, a Unix socket, or a sharded TCP listener.
     Serve {
-        /// Unix socket path (`None` serves stdin/stdout).
+        /// Unix socket path (`None` and no `--tcp` serves stdin/stdout).
         socket: Option<String>,
+        /// TCP listen address (`host:port`); sharded multi-client serving.
+        tcp: Option<String>,
+        /// Shard-thread count for the socket/TCP transports. Session
+        /// placement is a pure hash of the session name, so responses are
+        /// bit-identical at any shard count.
+        shards: usize,
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). Results are identical at any setting.
         threads: Option<usize>,
@@ -161,6 +167,10 @@ pub enum Command {
         /// Where to write the tenant-sweep throughput report
         /// (`BENCH_serve.json`); `None` skips the sweep.
         json_out: Option<String>,
+        /// When set, replay the workload over real TCP through this many
+        /// shards (one lockstep connection per tenant) and print the
+        /// multi-client trace instead of the in-process one.
+        shards: Option<usize>,
         /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
         /// charge). The trace is identical at any setting.
         threads: Option<usize>,
@@ -344,6 +354,8 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
         }
         Some("serve") => {
             let mut socket = None;
+            let mut tcp = None;
+            let mut shards = 1usize;
             let mut threads = None;
             let mut simd = None;
             let rest: Vec<&str> = it.collect();
@@ -352,6 +364,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 match rest[k] {
                     "--socket" => {
                         socket = Some(parse_path(rest.get(k + 1).copied(), "--socket")?);
+                        k += 2;
+                    }
+                    "--tcp" => {
+                        tcp = Some(parse_path(rest.get(k + 1).copied(), "--tcp")?);
+                        k += 2;
+                    }
+                    "--shards" => {
+                        shards = parse_shards(rest.get(k + 1).copied())?;
                         k += 2;
                     }
                     "--threads" => {
@@ -365,13 +385,14 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::Serve { socket, threads, simd })
+            Ok(Command::Serve { socket, tcp, shards, threads, simd })
         }
         Some("bench-serve") => {
             let mut seed = 7u64;
             let mut tenants = 3usize;
             let mut requests = 40usize;
             let mut json_out = None;
+            let mut shards = None;
             let mut threads = None;
             let mut simd = None;
             let rest: Vec<&str> = it.collect();
@@ -380,6 +401,10 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 match rest[k] {
                     "--seed" => {
                         seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
+                        k += 2;
+                    }
+                    "--shards" => {
+                        shards = Some(parse_shards(rest.get(k + 1).copied())?);
                         k += 2;
                     }
                     "--tenants" => {
@@ -421,7 +446,7 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                     other => return Err(ParseError::UnknownFlag(other.to_owned())),
                 }
             }
-            Ok(Command::BenchServe { seed, tenants, requests, json_out, threads, simd })
+            Ok(Command::BenchServe { seed, tenants, requests, json_out, shards, threads, simd })
         }
         Some("run") => {
             let kernel = it.next().ok_or(ParseError::MissingKernel)?.to_owned();
@@ -508,6 +533,18 @@ fn parse_u64(value: Option<&str>, flag: &'static str) -> Result<u64, ParseError>
     })
 }
 
+fn parse_shards(value: Option<&str>) -> Result<usize, ParseError> {
+    let v = parse_u64(value, "--shards")?;
+    if v == 0 {
+        return Err(ParseError::BadValue {
+            flag: "--shards",
+            value: "0".into(),
+            expected: "a positive shard count",
+        });
+    }
+    Ok(v as usize)
+}
+
 fn parse_threads(value: Option<&str>) -> Result<usize, ParseError> {
     let v = parse_u64(value, "--threads")?;
     if v == 0 {
@@ -562,9 +599,11 @@ USAGE:
                  [--threads N] [--simd M] [--metrics-out PATH]
     rumba report <path.jsonl>
     rumba purity <kernel>
-    rumba serve [--socket PATH] [--threads N] [--simd M]
+    rumba serve [--socket PATH | --tcp HOST:PORT] [--shards N]
+                [--threads N] [--simd M]
     rumba bench-serve [--seed N] [--tenants N] [--requests N]
-                      [--json-out PATH] [--threads N] [--simd M]
+                      [--shards N] [--json-out PATH] [--threads N]
+                      [--simd M]
     rumba help
 
 THREADS:
@@ -602,14 +641,24 @@ SERVING:
     rumba serve runs a long-lived multi-tenant serving loop: clients open
     named sessions (each with its own kernel, checker, tuning mode, fault
     plan and quality state), submit requests, and drain results over a
-    newline-delimited JSON protocol on stdin/stdout (or --socket PATH, a
-    Unix domain socket). Per-session bounded queues apply shed (503-style
-    rejection) or block admission when full. One tenant's faults never
-    move another tenant's threshold. rumba bench-serve replays a seeded
-    interleaved workload and prints the canonical response trace; the
-    trace is byte-identical at every thread count (ci/serve_trace.golden
-    gates this). --json-out additionally sweeps the tenant count and
-    writes a throughput/queue-depth report.
+    newline-delimited JSON protocol on stdin/stdout, --socket PATH (a
+    Unix domain socket) or --tcp HOST:PORT. The socket and TCP transports
+    accept many concurrent connections and fan them into --shards N shard
+    threads (default 1); each shard owns the sessions that hash to it, so
+    placement is reproducible and responses are bit-identical at any
+    shard count. The snapshot op serializes a session's live state as one
+    plain-text line; restore rebuilds it bit-for-bit (under any name, so
+    sessions migrate between shards and survive crashes). shutdown drains
+    every shard, removes the socket file and flushes telemetry before the
+    ack. Per-session bounded queues apply shed (503-style rejection) or
+    block admission when full. One tenant's faults never move another
+    tenant's threshold. rumba bench-serve replays a seeded interleaved
+    workload and prints the canonical response trace; the trace is
+    byte-identical at every thread count (ci/serve_trace.golden gates
+    this). With --shards N the same workload runs over real TCP, one
+    lockstep connection per tenant (ci/serve_net.golden gates this at
+    shards 1 and 2). --json-out additionally sweeps the tenant count and
+    the shard x client grid and writes a throughput/queue-depth report.
 
 EXAMPLES:
     rumba run inversek2j --checker tree --toq 0.9
@@ -814,13 +863,28 @@ mod tests {
 
     #[test]
     fn parses_serve_and_bench_serve() {
-        assert_eq!(p("serve").unwrap(), Command::Serve { socket: None, threads: None, simd: None });
+        assert_eq!(
+            p("serve").unwrap(),
+            Command::Serve { socket: None, tcp: None, shards: 1, threads: None, simd: None }
+        );
         assert_eq!(
             p("serve --socket /tmp/rumba.sock --threads 2 --simd auto").unwrap(),
             Command::Serve {
                 socket: Some("/tmp/rumba.sock".into()),
+                tcp: None,
+                shards: 1,
                 threads: Some(2),
                 simd: Some(SimdMode::Auto),
+            }
+        );
+        assert_eq!(
+            p("serve --tcp 127.0.0.1:7077 --shards 4").unwrap(),
+            Command::Serve {
+                socket: None,
+                tcp: Some("127.0.0.1:7077".into()),
+                shards: 4,
+                threads: None,
+                simd: None,
             }
         );
         assert_eq!(
@@ -830,23 +894,27 @@ mod tests {
                 tenants: 3,
                 requests: 40,
                 json_out: None,
+                shards: None,
                 threads: None,
                 simd: None,
             }
         );
         assert_eq!(
-            p("bench-serve --seed 9 --tenants 2 --requests 12 --json-out b.json --threads 4 --simd 1")
+            p("bench-serve --seed 9 --tenants 2 --requests 12 --shards 2 --json-out b.json --threads 4 --simd 1")
                 .unwrap(),
             Command::BenchServe {
                 seed: 9,
                 tenants: 2,
                 requests: 12,
                 json_out: Some("b.json".into()),
+                shards: Some(2),
                 threads: Some(4),
                 simd: Some(SimdMode::On),
             }
         );
         assert!(matches!(p("serve --socket"), Err(ParseError::MissingValue("--socket"))));
+        assert!(matches!(p("serve --shards 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("bench-serve --shards 0"), Err(ParseError::BadValue { .. })));
         assert!(matches!(p("bench-serve --tenants 0"), Err(ParseError::BadValue { .. })));
         assert!(matches!(p("bench-serve --requests 0"), Err(ParseError::BadValue { .. })));
         assert!(matches!(p("serve --wat"), Err(ParseError::UnknownFlag(_))));
@@ -857,6 +925,9 @@ mod tests {
         assert!(HELP.contains("rumba serve"));
         assert!(HELP.contains("rumba bench-serve"));
         assert!(HELP.contains("serve_trace.golden"));
+        assert!(HELP.contains("serve_net.golden"));
+        assert!(HELP.contains("--shards"));
+        assert!(HELP.contains("snapshot"));
     }
 
     #[test]

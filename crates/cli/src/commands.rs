@@ -365,57 +365,53 @@ pub fn purity(kernel: &str) -> Result<String, CommandError> {
     ))
 }
 
-/// `rumba serve [--socket PATH]`: runs the multi-tenant NDJSON loop over
-/// stdin/stdout, or accepts Unix-socket connections sequentially (one
-/// shared session registry across connections) until a client sends the
-/// `shutdown` op.
+/// `rumba serve [--socket PATH | --tcp HOST:PORT] [--shards N]`: runs the
+/// multi-tenant NDJSON loop over stdin/stdout, or serves concurrent
+/// connections on a Unix socket / TCP listener fanned into `shards`
+/// shard threads until a client sends the `shutdown` op. Shutdown drains
+/// every shard's in-flight sessions, unlinks the socket file and flushes
+/// telemetry before the process exits.
 ///
 /// # Errors
 ///
-/// Returns a [`CommandError`] for socket or stream I/O failures.
-pub fn serve(socket: Option<&str>) -> Result<String, CommandError> {
-    let mut rt = rumba_serve::ServeRuntime::new();
-    match socket {
-        None => {
+/// Returns a [`CommandError`] for socket or stream I/O failures, or when
+/// both `--socket` and `--tcp` are given.
+pub fn serve(
+    socket: Option<&str>,
+    tcp: Option<&str>,
+    shards: usize,
+) -> Result<String, CommandError> {
+    let server = match (socket, tcp) {
+        (Some(_), Some(_)) => {
+            return Err(CommandError("choose one transport: --socket or --tcp".into()))
+        }
+        (None, None) => {
+            let mut rt = rumba_serve::ServeRuntime::new();
             let stdin = std::io::stdin();
             let stdout = std::io::stdout();
             let mut out = stdout.lock();
             rumba_serve::protocol::serve_loop(&mut rt, stdin.lock(), &mut out)
                 .map_err(|e| CommandError(format!("serve: {e}")))?;
-            Ok(String::new())
+            return Ok(String::new());
         }
-        Some(path) => {
-            // Re-binding over a stale socket file from a previous run.
-            let _ = std::fs::remove_file(path);
-            let listener = std::os::unix::net::UnixListener::bind(path)
-                .map_err(|e| CommandError(format!("cannot bind {path}: {e}")))?;
-            eprintln!("serving on {path}");
-            let mut served = 0u64;
-            loop {
-                let (stream, _) = listener
-                    .accept()
-                    .map_err(|e| CommandError(format!("accept on {path}: {e}")))?;
-                served += 1;
-                let reader = std::io::BufReader::new(stream.try_clone().map_err(|e| {
-                    CommandError(format!("cannot clone connection on {path}: {e}"))
-                })?);
-                let mut writer = stream;
-                let shutdown = rumba_serve::protocol::serve_loop(&mut rt, reader, &mut writer)
-                    .map_err(|e| CommandError(format!("serve: {e}")))?;
-                if shutdown {
-                    break;
-                }
-            }
-            let _ = std::fs::remove_file(path);
-            Ok(format!("served {served} connection(s) on {path}\n"))
-        }
-    }
+        (Some(path), None) => rumba_serve::transport::NetServer::bind_unix(path, shards)
+            .map_err(|e| CommandError(format!("cannot bind {path}: {e}")))?,
+        (None, Some(addr)) => rumba_serve::transport::NetServer::bind_tcp(addr, shards)
+            .map_err(|e| CommandError(format!("cannot bind {addr}: {e}")))?,
+    };
+    let addr = server.addr().to_owned();
+    eprintln!("serving on {addr} ({shards} shard(s))");
+    let served = server.join().map_err(|e| CommandError(format!("serve on {addr}: {e}")))?;
+    Ok(format!("served {served} connection(s) on {addr}\n"))
 }
 
 /// `rumba bench-serve`: replays the seeded multi-tenant workload and
 /// returns the canonical protocol response trace (the serving
-/// conformance artifact). With `json_out`, additionally sweeps the
-/// tenant count and writes the throughput/queue-depth report there.
+/// conformance artifact). With `shards`, the same workload runs over
+/// real TCP through a sharded server, one lockstep connection per
+/// tenant (the `ci/serve_net.golden` artifact). With `json_out`,
+/// additionally sweeps the tenant count and the shard × client grid and
+/// writes the throughput/queue-depth report there.
 ///
 /// # Errors
 ///
@@ -426,9 +422,14 @@ pub fn bench_serve(
     tenants: usize,
     requests: usize,
     json_out: Option<&str>,
+    shards: Option<usize>,
 ) -> Result<String, CommandError> {
     let cfg = rumba_serve::bench::BenchConfig { seed, tenants, requests };
-    let (trace, _) = rumba_serve::bench::run_trace(cfg).map_err(|e| CommandError(e.to_string()))?;
+    let trace = match shards {
+        Some(shards) => rumba_serve::bench::run_net_trace(cfg, shards)
+            .map_err(|e| CommandError(e.to_string()))?,
+        None => rumba_serve::bench::run_trace(cfg).map_err(|e| CommandError(e.to_string()))?.0,
+    };
     if let Some(path) = json_out {
         let report =
             rumba_serve::bench::bench_report(cfg).map_err(|e| CommandError(e.to_string()))?;
@@ -543,11 +544,20 @@ mod tests {
 
     #[test]
     fn bench_serve_trace_is_reproducible_and_clean() {
-        let a = bench_serve(7, 2, 6, None).unwrap();
-        let b = bench_serve(7, 2, 6, None).unwrap();
+        let a = bench_serve(7, 2, 6, None, None).unwrap();
+        let b = bench_serve(7, 2, 6, None, None).unwrap();
         assert_eq!(a, b);
         assert!(a.contains("\"op\":\"open\""));
         assert!(a.contains("\"type\":\"closed\""));
         assert!(!a.contains("\"type\":\"error\""), "trace must be clean:\n{a}");
+        // The sharded TCP replay carries the same payloads, prefixed with
+        // the observing connection.
+        let net = bench_serve(7, 2, 6, None, Some(2)).unwrap();
+        let stripped: String = net.lines().fold(String::new(), |mut acc, l| {
+            acc.push_str(l.split_once(' ').expect("prefixed line").1);
+            acc.push('\n');
+            acc
+        });
+        assert_eq!(stripped, a);
     }
 }

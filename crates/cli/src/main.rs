@@ -74,15 +74,15 @@ fn main() -> ExitCode {
         }
         Command::Report { path } => commands::report(&path),
         Command::Purity { kernel } => commands::purity(&kernel),
-        Command::Serve { socket, threads, simd } => {
+        Command::Serve { socket, tcp, shards, threads, simd } => {
             rumba_parallel::set_thread_override(threads);
             rumba_nn::set_simd_override(simd);
-            commands::serve(socket.as_deref())
+            commands::serve(socket.as_deref(), tcp.as_deref(), shards)
         }
-        Command::BenchServe { seed, tenants, requests, json_out, threads, simd } => {
+        Command::BenchServe { seed, tenants, requests, json_out, shards, threads, simd } => {
             rumba_parallel::set_thread_override(threads);
             rumba_nn::set_simd_override(simd);
-            commands::bench_serve(seed, tenants, requests, json_out.as_deref())
+            commands::bench_serve(seed, tenants, requests, json_out.as_deref(), shards)
         }
     };
 

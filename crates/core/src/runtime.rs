@@ -275,6 +275,109 @@ impl RumbaSystem {
         &self.tuner
     }
 
+    /// Serializes the system's *streaming* state — tuner threshold,
+    /// calibration anchor, window counters, degradation-ladder position,
+    /// fault accounting, and the checker's online words — as plain `u64`
+    /// config-words. Together with the construction-time configuration
+    /// (which the serving layer's snapshot records separately) this is
+    /// everything needed to resume a stream bit-for-bit on a freshly
+    /// built system.
+    #[must_use]
+    pub fn export_state(&self) -> Vec<u64> {
+        let stage = match self.stage {
+            DegradeStage::Normal => 0,
+            DegradeStage::Recalibrated => 1,
+            DegradeStage::CpuFallback => 2,
+        };
+        let checker = self.checker.export_state();
+        let mut words = vec![
+            self.tuner.threshold().to_bits(),
+            self.initial_threshold.to_bits(),
+            self.window_fired as u64,
+            self.window_suppressed as u64,
+            self.window_pred_sum.to_bits(),
+            self.window_len as u64,
+            self.window_queue_depth,
+            self.window_quarantined as u64,
+            self.windows_flushed,
+            self.stream_fixes as u64,
+            self.stream_invocations as u64,
+            stage,
+            u64::from(self.dirty_windows),
+            self.fault_stats.injected_outputs,
+            self.fault_stats.drifted_inputs,
+            self.fault_stats.checker_blinded,
+            self.fault_stats.quarantined,
+            self.fault_stats.detected,
+            self.fault_stats.escaped,
+            self.fault_stats.recalibrations,
+            self.fault_stats.fallbacks,
+            checker.len() as u64,
+        ];
+        words.extend(checker);
+        words
+    }
+
+    /// Restores streaming state exported by [`RumbaSystem::export_state`]
+    /// onto an identically configured system (same kernel, checker kind,
+    /// tuning mode, window, and queue configuration). The tuner is rebuilt
+    /// at the exported threshold, so the next `process_approx` behaves
+    /// exactly as it would have on the exporting system.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed word when the state
+    /// does not decode for this system's configuration.
+    pub fn import_state(&mut self, words: &[u64]) -> std::result::Result<(), String> {
+        const HEAD: usize = 22;
+        if words.len() < HEAD {
+            return Err(format!("runtime state wants at least {HEAD} words, got {}", words.len()));
+        }
+        let checker_len = words[21] as usize;
+        if words.len() != HEAD + checker_len {
+            return Err(format!(
+                "runtime state declares {checker_len} checker words but carries {}",
+                words.len() - HEAD
+            ));
+        }
+        let threshold = f64::from_bits(words[0]);
+        let tuner = Tuner::new(self.tuner.mode(), threshold)
+            .map_err(|e| format!("restored threshold rejected: {e}"))?;
+        let stage = match words[11] {
+            0 => DegradeStage::Normal,
+            1 => DegradeStage::Recalibrated,
+            2 => DegradeStage::CpuFallback,
+            tag => return Err(format!("degrade stage tag must be 0|1|2, got {tag}")),
+        };
+        let dirty_windows = u32::try_from(words[12])
+            .map_err(|_| format!("dirty_windows overflows u32: {}", words[12]))?;
+        self.checker.import_state(&words[HEAD..])?;
+        self.tuner = tuner;
+        self.initial_threshold = f64::from_bits(words[1]);
+        self.window_fired = words[2] as usize;
+        self.window_suppressed = words[3] as usize;
+        self.window_pred_sum = f64::from_bits(words[4]);
+        self.window_len = words[5] as usize;
+        self.window_queue_depth = words[6];
+        self.window_quarantined = words[7] as usize;
+        self.windows_flushed = words[8];
+        self.stream_fixes = words[9] as usize;
+        self.stream_invocations = words[10] as usize;
+        self.stage = stage;
+        self.dirty_windows = dirty_windows;
+        self.fault_stats = FaultStats {
+            injected_outputs: words[13],
+            drifted_inputs: words[14],
+            checker_blinded: words[15],
+            quarantined: words[16],
+            detected: words[17],
+            escaped: words[18],
+            recalibrations: words[19],
+            fallbacks: words[20],
+        };
+        Ok(())
+    }
+
     /// Resets streaming state for a fresh invocation stream (clears the
     /// checker's online history and the tuning-window counters).
     pub fn begin_stream(&mut self) {
@@ -897,6 +1000,62 @@ mod tests {
         assert_eq!(merged, batch.merged_outputs);
         assert_eq!(fixes, batch.fixes);
         assert_eq!(stream_system.stream_fixes(), batch.fixes);
+    }
+
+    #[test]
+    fn exported_state_resumes_a_stream_bit_for_bit() {
+        // Run the reference stream start to finish, then replay it with a
+        // mid-stream export onto a freshly built system: the resumed tail
+        // must reproduce the reference outputs and counters exactly.
+        let (kernel, mut reference, test) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        reference.begin_stream();
+        let out_dim = kernel.output_dim();
+        let mut buf = vec![0.0; out_dim];
+        let mut expected = Vec::with_capacity(test.len() * out_dim);
+        for i in 0..test.len() {
+            reference.process(kernel.as_ref(), test.input(i), &mut buf).unwrap();
+            expected.extend_from_slice(&buf);
+        }
+        reference.end_stream(kernel.as_ref());
+
+        let cut = test.len() / 2;
+        let (_, mut head, _) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        head.begin_stream();
+        let mut merged = Vec::with_capacity(test.len() * out_dim);
+        for i in 0..cut {
+            head.process(kernel.as_ref(), test.input(i), &mut buf).unwrap();
+            merged.extend_from_slice(&buf);
+        }
+        let words = head.export_state();
+
+        let (_, mut tail, _) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        tail.begin_stream();
+        tail.import_state(&words).unwrap();
+        // The NPU's fault stream is keyed on stream position, which
+        // `import_state` restored via `stream_invocations`; continue.
+        for i in cut..test.len() {
+            tail.process(kernel.as_ref(), test.input(i), &mut buf).unwrap();
+            merged.extend_from_slice(&buf);
+        }
+        tail.end_stream(kernel.as_ref());
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&merged), bits(&expected));
+        assert_eq!(tail.stream_fixes(), reference.stream_fixes());
+        assert_eq!(tail.windows_flushed(), reference.windows_flushed());
+        assert_eq!(tail.tuner().threshold().to_bits(), reference.tuner().threshold().to_bits());
+    }
+
+    #[test]
+    fn import_state_rejects_malformed_words() {
+        let (_, mut system, _) = build_system(TuningMode::BestQuality);
+        assert!(system.import_state(&[0; 5]).is_err());
+        let mut words = system.export_state();
+        words[11] = 9; // invalid degrade-stage tag
+        assert!(system.import_state(&words).is_err());
+        let mut truncated = system.export_state();
+        truncated.pop();
+        assert!(system.import_state(&truncated).is_err());
     }
 
     #[test]

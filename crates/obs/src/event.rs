@@ -147,6 +147,31 @@ pub enum Event {
         /// The session tuner's current firing threshold.
         threshold: f64,
     },
+    /// One serving shard's lifecycle (`rumba serve` network layer): the
+    /// shard thread started, or stopped at shutdown with its final
+    /// ownership and request counters.
+    Shard {
+        /// Zero-based shard index within the pool.
+        shard: u64,
+        /// `start` | `stop`.
+        action: String,
+        /// Sessions the shard owned at the event (0 on `start`).
+        sessions: u64,
+        /// Request lines the shard had handled at the event.
+        requests: u64,
+    },
+    /// One client connection on the serving network layer was accepted or
+    /// finished.
+    Connection {
+        /// Per-server connection sequence number (accept order).
+        id: u64,
+        /// `tcp` | `unix`.
+        transport: String,
+        /// `accept` | `close`.
+        action: String,
+        /// Request lines handled over the connection (0 on `accept`).
+        requests: u64,
+    },
     /// An admission-control decision on a full session queue: a `shed`
     /// policy rejected the request (the 503 path), a `block` policy forced
     /// a synchronous drain before accepting it.
@@ -177,6 +202,8 @@ impl Event {
             Event::Calibration { .. } => "calibration",
             Event::RunSummary { .. } => "run_summary",
             Event::Session { .. } => "session",
+            Event::Shard { .. } => "shard",
+            Event::Connection { .. } => "connection",
             Event::Admission { .. } => "admission",
         }
     }
@@ -292,6 +319,18 @@ impl Event {
                     .count("shed", *shed)
                     .float("threshold", *threshold);
             }
+            Event::Shard { shard, action, sessions, requests } => {
+                w.count("shard", *shard)
+                    .string("action", action)
+                    .count("sessions", *sessions)
+                    .count("requests", *requests);
+            }
+            Event::Connection { id, transport, action, requests } => {
+                w.count("id", *id)
+                    .string("transport", transport)
+                    .string("action", action)
+                    .count("requests", *requests);
+            }
             Event::Admission { session, policy, queue_depth, capacity, shed_total } => {
                 w.string("session", session)
                     .string("policy", policy)
@@ -388,6 +427,18 @@ impl Event {
                 shed: obj.count("shed").ok_or_else(|| field("shed"))?,
                 threshold: obj.number("threshold").ok_or_else(|| field("threshold"))?,
             }),
+            "shard" => Ok(Event::Shard {
+                shard: obj.count("shard").ok_or_else(|| field("shard"))?,
+                action: obj.string("action").ok_or_else(|| field("action"))?.to_owned(),
+                sessions: obj.count("sessions").ok_or_else(|| field("sessions"))?,
+                requests: obj.count("requests").ok_or_else(|| field("requests"))?,
+            }),
+            "connection" => Ok(Event::Connection {
+                id: obj.count("id").ok_or_else(|| field("id"))?,
+                transport: obj.string("transport").ok_or_else(|| field("transport"))?.to_owned(),
+                action: obj.string("action").ok_or_else(|| field("action"))?.to_owned(),
+                requests: obj.count("requests").ok_or_else(|| field("requests"))?,
+            }),
             "admission" => Ok(Event::Admission {
                 session: obj.string("session").ok_or_else(|| field("session"))?.to_owned(),
                 policy: obj.string("policy").ok_or_else(|| field("policy"))?.to_owned(),
@@ -465,6 +516,13 @@ mod tests {
                 fixes: 31,
                 shed: 4,
                 threshold: 0.071,
+            },
+            Event::Shard { shard: 1, action: "stop".into(), sessions: 3, requests: 412 },
+            Event::Connection {
+                id: 7,
+                transport: "tcp".into(),
+                action: "close".into(),
+                requests: 25,
             },
             Event::Admission {
                 session: "tenant-3".into(),

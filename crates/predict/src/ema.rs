@@ -145,6 +145,47 @@ impl ErrorEstimator for EmaDetector {
         self.skipped_non_finite = 0;
     }
 
+    fn export_state(&self) -> Vec<u64> {
+        // (flag, bits) per slot: a NaN sentinel could not distinguish
+        // "never seen" from a genuinely poisoned average, so seededness is
+        // its own word. The skip counter rides along at the end.
+        let mut words = Vec::with_capacity(2 * self.state.len() + 1);
+        for slot in &self.state {
+            match slot {
+                Some(ema) => {
+                    words.push(1);
+                    words.push(ema.to_bits());
+                }
+                None => {
+                    words.push(0);
+                    words.push(0);
+                }
+            }
+        }
+        words.push(self.skipped_non_finite);
+        words
+    }
+
+    fn import_state(&mut self, words: &[u64]) -> std::result::Result<(), String> {
+        let expect = 2 * self.state.len() + 1;
+        if words.len() != expect {
+            return Err(format!(
+                "EMA state wants {expect} words for {} slots, got {}",
+                self.state.len(),
+                words.len()
+            ));
+        }
+        for (i, slot) in self.state.iter_mut().enumerate() {
+            *slot = match words[2 * i] {
+                0 => None,
+                1 => Some(f64::from_bits(words[2 * i + 1])),
+                flag => return Err(format!("EMA slot {i} flag must be 0|1, got {flag}")),
+            };
+        }
+        self.skipped_non_finite = words[expect - 1];
+        Ok(())
+    }
+
     fn is_input_based(&self) -> bool {
         false
     }
@@ -187,6 +228,27 @@ mod tests {
         let _ = ema.estimate(&[], &[3.0]);
         // EMA = 3*0.5 + 1*0.5 = 2.0
         assert!((ema.current(0).unwrap() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn state_round_trips_bit_for_bit() {
+        let mut ema = EmaDetector::new(5, 3).unwrap();
+        let _ = ema.estimate(&[], &[0.3, f64::NAN, 0.9]);
+        let _ = ema.estimate(&[], &[0.7, 0.1, 1.1]);
+        let words = ema.export_state();
+        let mut fresh = EmaDetector::new(5, 3).unwrap();
+        fresh.import_state(&words).unwrap();
+        assert_eq!(fresh, ema);
+        // The restored detector scores the next sample identically.
+        let next = [0.4, 0.2, 0.8];
+        assert_eq!(ema.estimate(&[], &next).to_bits(), fresh.estimate(&[], &next).to_bits());
+    }
+
+    #[test]
+    fn import_rejects_malformed_words() {
+        let mut ema = EmaDetector::new(4, 2).unwrap();
+        assert!(ema.import_state(&[1, 0, 0]).is_err()); // wrong length
+        assert!(ema.import_state(&[2, 0, 0, 0, 0]).is_err()); // bad flag
     }
 
     #[test]

@@ -158,6 +158,32 @@ pub trait ErrorEstimator: fmt::Debug + Send {
     /// Clears any online state. Stateless estimators need not override.
     fn reset(&mut self) {}
 
+    /// Serializes the estimator's *online* state (not its trained
+    /// coefficients) as plain `u64` config-words — the currency of the
+    /// serving layer's session snapshots. Stateless estimators (linear,
+    /// tree, EVP: everything they know is in the trained model) return an
+    /// empty word list; only online detectors like the EMA override.
+    fn export_state(&self) -> Vec<u64> {
+        Vec::new()
+    }
+
+    /// Restores state previously produced by
+    /// [`ErrorEstimator::export_state`] on an identically configured
+    /// estimator, bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when `words` does not decode
+    /// for this estimator's configuration. Stateless estimators accept
+    /// only an empty word list.
+    fn import_state(&mut self, words: &[u64]) -> std::result::Result<(), String> {
+        if words.is_empty() {
+            Ok(())
+        } else {
+            Err(format!("{} carries no online state, got {} words", self.name(), words.len()))
+        }
+    }
+
     /// Whether the estimator reads accelerator inputs (true) or approximate
     /// outputs (false) — §3.5's placement constraint: only input-based
     /// detectors can run before/parallel to the accelerator.

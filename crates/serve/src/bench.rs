@@ -12,6 +12,8 @@
 //! timing is intentionally kept out of the golden trace.
 
 use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 use std::time::Instant;
 
 use rumba_apps::{kernel_by_name, Split};
@@ -19,6 +21,7 @@ use rumba_obs::json::JsonWriter;
 
 use crate::protocol::handle_line;
 use crate::registry::ServeRuntime;
+use crate::transport::NetServer;
 use crate::ServeError;
 
 /// Workload shape for one trace replay.
@@ -198,19 +201,227 @@ pub fn run_trace(cfg: BenchConfig) -> Result<(String, TraceStats), ServeError> {
     Ok((trace, stats))
 }
 
-/// Sweeps the tenant count from 1 to `cfg.tenants` and reports wall-clock
-/// throughput and p99 queue depth per point — the `BENCH_serve.json`
-/// payload. Never golden-gated (it contains timing).
+/// One lockstep TCP client in a [`run_net_trace`] replay: sends a request
+/// line and reads the complete response group before the driver moves on,
+/// so the multi-connection trace is exactly as deterministic as the
+/// in-process one.
+struct NetClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl NetClient {
+    fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self { reader, writer: stream })
+    }
+
+    /// Sends one request and reads its full response group. Most ops
+    /// answer with exactly one line; `drain`, `close` and `shutdown`
+    /// stream result lines first, so their replies are read up to the
+    /// op's terminal line (route-level failures answer with a single
+    /// `error` line instead).
+    fn request(&mut self, line: &str, op: &str) -> std::io::Result<Vec<String>> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut lines: Vec<String> = Vec::new();
+        loop {
+            let mut buf = String::new();
+            if self.reader.read_line(&mut buf)? == 0 {
+                return Ok(lines);
+            }
+            let line = buf.trim_end_matches(['\n', '\r']).to_owned();
+            let first_is_error = lines.is_empty() && line.starts_with("{\"type\":\"error\"");
+            let terminal = match op {
+                "drain" => line.starts_with("{\"type\":\"ack\",\"op\":\"drain\""),
+                "close" => line.starts_with("{\"type\":\"closed\""),
+                "shutdown" => line.starts_with("{\"type\":\"ack\",\"op\":\"shutdown\""),
+                _ => true,
+            };
+            lines.push(line);
+            if terminal || first_is_error {
+                return Ok(lines);
+            }
+        }
+    }
+}
+
+fn net_io(e: std::io::Error) -> ServeError {
+    ServeError::Runtime(format!("net bench I/O: {e}"))
+}
+
+/// Replays the [`run_trace`] workload over real TCP: one in-process
+/// sharded [`NetServer`], one client connection per tenant, the same
+/// seeded schedule driven in lockstep (global ops go through client 0).
+/// Each response line is prefixed with `[c<i>] ` naming the connection
+/// that observed it — stripped of prefixes, the trace is byte-identical
+/// to the in-process [`run_trace`] trace at any shard count, which is
+/// what `ci/serve_net.golden` pins.
 ///
 /// # Errors
 ///
-/// Propagates [`run_trace`] failures.
+/// Fails on connection errors or when a tenant cannot be opened.
+pub fn run_net_trace(cfg: BenchConfig, shards: usize) -> Result<String, ServeError> {
+    let kernel = kernel_by_name("gaussian")
+        .ok_or_else(|| ServeError::UnknownKernel("gaussian".to_owned()))?;
+    let dataset = kernel.generate(Split::Test, cfg.seed);
+    let n = dataset.len();
+
+    let server = NetServer::bind_tcp("127.0.0.1:0", shards).map_err(net_io)?;
+    let addr = server.addr().to_owned();
+    let mut clients: Vec<NetClient> = Vec::with_capacity(cfg.tenants);
+    for _ in 0..cfg.tenants.max(1) {
+        clients.push(NetClient::connect(&addr).map_err(net_io)?);
+    }
+
+    let mut trace = String::new();
+    let emit = |trace: &mut String, client: usize, lines: &[String]| {
+        for line in lines {
+            let _ = writeln!(trace, "[c{client}] {line}");
+        }
+    };
+
+    for (t, client) in clients.iter_mut().enumerate().take(cfg.tenants) {
+        let lines = client.request(&open_line(t, cfg.seed), "open").map_err(net_io)?;
+        if lines.first().is_some_and(|l| l.starts_with("{\"type\":\"error\"")) {
+            return Err(ServeError::InvalidConfig(lines[0].clone()));
+        }
+        emit(&mut trace, t, &lines);
+    }
+
+    let mut schedule: Vec<usize> =
+        (0..cfg.tenants * cfg.requests).map(|i| i % cfg.tenants).collect();
+    for i in (1..schedule.len()).rev() {
+        let j = (splitmix(cfg.seed ^ (i as u64).wrapping_mul(0x9E37)) % (i as u64 + 1)) as usize;
+        schedule.swap(i, j);
+    }
+
+    let mut next_row = vec![0usize; cfg.tenants];
+    for (step, &tenant) in schedule.iter().enumerate() {
+        let row = (tenant * 997 + next_row[tenant]) % n.max(1);
+        next_row[tenant] += 1;
+        let lines = clients[tenant]
+            .request(&invoke_line(tenant, dataset.input(row)), "invoke")
+            .map_err(net_io)?;
+        emit(&mut trace, tenant, &lines);
+        if step % 9 == 8 {
+            let lines = clients[0].request("{\"op\":\"drain\"}", "drain").map_err(net_io)?;
+            emit(&mut trace, 0, &lines);
+        } else if step % 13 == 12 {
+            let lines = clients[0]
+                .request("{\"op\":\"drain\",\"session\":\"tenant-0\"}", "drain")
+                .map_err(net_io)?;
+            emit(&mut trace, 0, &lines);
+        }
+    }
+
+    for (t, client) in clients.iter_mut().enumerate().take(cfg.tenants) {
+        let line = format!("{{\"op\":\"stats\",\"session\":\"tenant-{t}\"}}");
+        let lines = client.request(&line, "stats").map_err(net_io)?;
+        emit(&mut trace, t, &lines);
+    }
+    let lines = clients[0].request("{\"op\":\"shutdown\"}", "shutdown").map_err(net_io)?;
+    emit(&mut trace, 0, &lines);
+
+    drop(clients);
+    server.join().map_err(net_io)?;
+    Ok(trace)
+}
+
+/// One measured point of the shard-scaling sweep: `clients` concurrent
+/// TCP connections, each driving its own disjoint tenant set against a
+/// `shards`-shard server.
+#[derive(Debug, Clone, Copy)]
+struct NetPoint {
+    shards: usize,
+    clients: usize,
+    submitted: u64,
+    secs: f64,
+}
+
+/// Drives `clients` concurrent connections (client `c` owns the tenants
+/// with `t % clients == c`) and measures wall-clock throughput. Unlike
+/// [`run_net_trace`], clients run freely in parallel — this is the perf
+/// number, not a conformance artifact.
+fn run_net_workload(
+    cfg: BenchConfig,
+    shards: usize,
+    clients: usize,
+) -> Result<NetPoint, ServeError> {
+    let tenants = cfg.tenants.max(clients);
+    let server = NetServer::bind_tcp("127.0.0.1:0", shards).map_err(net_io)?;
+    let addr = server.addr().to_owned();
+    let start = Instant::now();
+    let submitted: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let addr = addr.clone();
+                scope.spawn(move || -> Result<u64, ServeError> {
+                    let kernel = kernel_by_name("gaussian")
+                        .ok_or_else(|| ServeError::UnknownKernel("gaussian".to_owned()))?;
+                    let dataset = kernel.generate(Split::Test, cfg.seed);
+                    let n = dataset.len().max(1);
+                    let mut client = NetClient::connect(&addr).map_err(net_io)?;
+                    let mut submitted = 0u64;
+                    for t in (c..tenants).step_by(clients) {
+                        client.request(&open_line(t, cfg.seed), "open").map_err(net_io)?;
+                        for r in 0..cfg.requests {
+                            let row = (t * 997 + r) % n;
+                            client
+                                .request(&invoke_line(t, dataset.input(row)), "invoke")
+                                .map_err(net_io)?;
+                            submitted += 1;
+                            if r % 8 == 7 {
+                                let drain =
+                                    format!("{{\"op\":\"drain\",\"session\":\"tenant-{t}\"}}");
+                                client.request(&drain, "drain").map_err(net_io)?;
+                            }
+                        }
+                        let close = format!("{{\"op\":\"close\",\"session\":\"tenant-{t}\"}}");
+                        client.request(&close, "close").map_err(net_io)?;
+                    }
+                    Ok(submitted)
+                })
+            })
+            .collect();
+        let mut total = 0u64;
+        for handle in handles {
+            total += handle
+                .join()
+                .map_err(|_| ServeError::Runtime("net bench client panicked".to_owned()))??;
+        }
+        Ok::<u64, ServeError>(total)
+    })?;
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let mut control = NetClient::connect(&addr).map_err(net_io)?;
+    control.request("{\"op\":\"shutdown\"}", "shutdown").map_err(net_io)?;
+    drop(control);
+    server.join().map_err(net_io)?;
+    Ok(NetPoint { shards, clients, submitted, secs })
+}
+
+/// Sweeps the tenant count from 1 to `cfg.tenants` and reports wall-clock
+/// throughput and p99 queue depth per point, then sweeps shard × client
+/// counts over real TCP (the shard-scaling series) — the
+/// `BENCH_serve.json` payload. The execution environment (worker threads,
+/// dispatched SIMD ISA) is recorded alongside, mirroring
+/// `BENCH_matrix.json`. Never golden-gated (it contains timing).
+///
+/// # Errors
+///
+/// Propagates [`run_trace`] and network failures.
 pub fn bench_report(cfg: BenchConfig) -> Result<String, ServeError> {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"bench\":\"serve\",\"seed\":{},\"requests_per_tenant\":{},\"points\":[",
-        cfg.seed, cfg.requests
+        "{{\"bench\":\"serve\",\"seed\":{},\"requests_per_tenant\":{},\
+         \"threads\":{},\"simd_isa\":\"{}\",\"points\":[",
+        cfg.seed,
+        cfg.requests,
+        rumba_parallel::max_threads(),
+        rumba_nn::active_isa().name()
     );
     for tenants in 1..=cfg.tenants.max(1) {
         let point = BenchConfig { tenants, ..cfg };
@@ -229,6 +440,22 @@ pub fn bench_report(cfg: BenchConfig) -> Result<String, ServeError> {
             stats.processed,
             stats.shed,
             stats.blocked
+        );
+    }
+    out.push_str("],\"net_points\":[");
+    let sweep = [(1usize, 1usize), (1, 4), (2, 4), (4, 4)];
+    for (i, &(shards, clients)) in sweep.iter().enumerate() {
+        let point = run_net_workload(cfg, shards, clients)?;
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"shards\":{},\"clients\":{},\"submitted\":{},\"throughput_rps\":{:.1}}}",
+            point.shards,
+            point.clients,
+            point.submitted,
+            point.submitted as f64 / point.secs
         );
     }
     out.push_str("]}");
@@ -264,6 +491,24 @@ mod tests {
         assert_eq!(stats.submitted, (cfg.tenants * cfg.requests) as u64);
         assert_eq!(stats.processed + stats.shed, stats.submitted, "trace:\n{trace}");
         assert!(trace.contains("\"type\":\"closed\""));
+    }
+
+    #[test]
+    fn net_trace_matches_the_solo_trace_at_any_shard_count() {
+        let cfg = BenchConfig { seed: 11, tenants: 2, requests: 8 };
+        let (solo, _) = run_trace(cfg).unwrap();
+        for shards in [1, 2] {
+            let net = run_net_trace(cfg, shards).unwrap();
+            let stripped: String = net
+                .lines()
+                .map(|l| l.split_once(' ').expect("prefixed line").1)
+                .fold(String::new(), |mut acc, l| {
+                    acc.push_str(l);
+                    acc.push('\n');
+                    acc
+                });
+            assert_eq!(stripped, solo, "shards={shards}");
+        }
     }
 
     #[test]

@@ -28,6 +28,9 @@ pub mod bench;
 pub mod protocol;
 pub mod registry;
 pub mod session;
+pub mod shard;
+pub mod snapshot;
+pub mod transport;
 
 pub use registry::{ServeRuntime, Submit};
 pub use session::{

@@ -15,6 +15,8 @@
 //! | `drain`    | `session` (optional — omitted drains **all** sessions through one multiplexed scheduling round) |
 //! | `stats`    | `session`                                                         |
 //! | `close`    | `session`                                                         |
+//! | `snapshot` | `session` — serialize the session's live state as one config-word line |
+//! | `restore`  | `session`, `state` (a `snapshot` payload) — rebuild the session, bit-for-bit |
 //! | `shutdown` | —                                                                 |
 
 use std::io::{BufRead, Write};
@@ -28,13 +30,13 @@ use crate::registry::{ServeRuntime, Submit};
 use crate::session::{AdmissionPolicy, CheckerKind, SessionConfig, SessionResult, SessionStats};
 use crate::ServeError;
 
-fn error_line(op: &str, message: &str) -> String {
+pub(crate) fn error_line(op: &str, message: &str) -> String {
     let mut w = JsonWriter::object("error");
     w.string("op", op).string("message", message);
     w.finish()
 }
 
-fn result_line(session: &str, r: &SessionResult) -> String {
+pub(crate) fn result_line(session: &str, r: &SessionResult) -> String {
     let mut w = JsonWriter::object("result");
     w.string("session", session)
         .count("index", r.index as u64)
@@ -45,7 +47,7 @@ fn result_line(session: &str, r: &SessionResult) -> String {
     w.finish()
 }
 
-fn closed_line(session: &str, stats: &SessionStats) -> String {
+pub(crate) fn closed_line(session: &str, stats: &SessionStats) -> String {
     let mut w = JsonWriter::object("closed");
     w.string("session", session)
         .count("processed", stats.processed)
@@ -219,6 +221,29 @@ fn handle_op(
             lines.push(closed_line(name, &stats));
             Ok((lines, false))
         }
+        "snapshot" => {
+            let name = required_session(obj, op)?;
+            let session = rt
+                .session(name)
+                .ok_or_else(|| ServeError::UnknownSession(name.to_owned()).to_string())?;
+            let mut w = JsonWriter::object("snapshot");
+            w.string("session", name).string("state", &session.snapshot());
+            Ok((vec![w.finish()], false))
+        }
+        "restore" => {
+            let name = required_session(obj, op)?;
+            let state = obj
+                .string("state")
+                .ok_or_else(|| "op \"restore\" requires a \"state\" string".to_owned())?;
+            let threshold = rt.restore(name, state).map_err(|e| e.to_string())?;
+            let session = rt.session(name).expect("restored session is open");
+            let mut w = JsonWriter::object("ack");
+            w.string("op", "restore")
+                .string("session", name)
+                .string("kernel", session.kernel_name())
+                .float("threshold", threshold);
+            Ok((vec![w.finish()], false))
+        }
         "shutdown" => {
             let closed = rt.close_all().map_err(|e| e.to_string())?;
             let mut lines = Vec::new();
@@ -240,29 +265,49 @@ fn handle_op(
 /// immediately. Returns `true` when the loop ended because of a
 /// `shutdown` op (socket servers use this to stop accepting).
 ///
+/// Request lines are capped at [`crate::transport::MAX_LINE`] bytes; an
+/// oversized line costs one in-band `error` response, not the loop. A
+/// final line without a terminator is processed (matching
+/// [`BufRead::lines`] on stdin scripts).
+///
 /// # Errors
 ///
 /// Propagates I/O failures from the reader or writer.
 pub fn serve_loop(
     rt: &mut ServeRuntime,
-    reader: impl BufRead,
+    mut reader: impl BufRead,
     writer: &mut impl Write,
 ) -> std::io::Result<bool> {
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
+    use crate::transport::{read_line_capped, LineRead, MAX_LINE};
+    loop {
+        let (line, last) = match read_line_capped(&mut reader, MAX_LINE)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::Oversized => {
+                writeln!(
+                    writer,
+                    "{}",
+                    error_line("parse", &format!("line exceeds {MAX_LINE} bytes"))
+                )?;
+                writer.flush()?;
+                continue;
+            }
+            LineRead::Line(line) => (line, false),
+            LineRead::Partial(line) => (line, true),
+        };
+        if !line.trim().is_empty() {
+            let (responses, shutdown) = handle_line(rt, &line);
+            for response in &responses {
+                writeln!(writer, "{response}")?;
+            }
+            writer.flush()?;
+            if shutdown {
+                return Ok(true);
+            }
         }
-        let (responses, shutdown) = handle_line(rt, &line);
-        for response in &responses {
-            writeln!(writer, "{response}")?;
-        }
-        writer.flush()?;
-        if shutdown {
-            return Ok(true);
+        if last {
+            return Ok(false);
         }
     }
-    Ok(false)
 }
 
 #[cfg(test)]

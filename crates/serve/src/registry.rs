@@ -71,6 +71,27 @@ impl ServeRuntime {
         Ok(threshold)
     }
 
+    /// Restores a session from a [`Session::snapshot`] line under `name`,
+    /// continuing its stream bit-for-bit; returns the restored firing
+    /// threshold. The name is free — restoring under a new name is how a
+    /// snapshot migrates between shards.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty or duplicate names and malformed snapshots.
+    pub fn restore(&mut self, name: &str, state: &str) -> Result<f64, ServeError> {
+        if name.is_empty() {
+            return Err(ServeError::InvalidConfig("session name must be non-empty".into()));
+        }
+        if self.index(name).is_ok() {
+            return Err(ServeError::DuplicateSession(name.to_owned()));
+        }
+        let session = Session::restore(name, state)?;
+        let threshold = session.threshold();
+        self.sessions.push(session);
+        Ok(threshold)
+    }
+
     fn index(&self, name: &str) -> Result<usize, ServeError> {
         self.sessions
             .iter()

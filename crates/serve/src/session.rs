@@ -14,6 +14,7 @@ use rumba_nn::{Matrix, MatrixView, NnError, Scratch};
 use rumba_obs::Event;
 use rumba_predict::{EmaDetector, ErrorEstimator};
 
+use crate::snapshot::SnapshotParts;
 use crate::ServeError;
 
 /// Which online checker a session runs. Mirrors the CLI's checker choice,
@@ -106,7 +107,7 @@ impl AdmissionPolicy {
 /// `rumba run`: train (or cache-load) the app, probe the checker on the
 /// train split, calibrate the firing threshold against the mode's error
 /// target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionConfig {
     /// Benchmark kernel name (Table 1 of the paper).
     pub kernel: String,
@@ -264,6 +265,9 @@ pub struct Session {
     admission: AdmissionPolicy,
     queue: QueueConfig,
     fault_plan: Option<FaultPlan>,
+    /// The full opening configuration, kept verbatim so a snapshot can
+    /// reproduce this session on any shard or process.
+    config: SessionConfig,
     cpu_cycles: f64,
     /// Flat row-major request queue (depth = `pending_rows`).
     pending_inputs: Vec<f64>,
@@ -288,18 +292,98 @@ impl Session {
     pub fn open(name: &str, config: SessionConfig) -> Result<Self, ServeError> {
         let kernel = kernel_by_name(&config.kernel)
             .ok_or_else(|| ServeError::UnknownKernel(config.kernel.clone()))?;
+        let offline = OfflineConfig { seed: config.seed, ..OfflineConfig::default() };
+        let app = train_app(kernel.as_ref(), &offline)?;
+        let threshold = calibrate(&app, config.checker, kernel.as_ref(), config.seed, config.mode)?;
+        let session = Self::assemble(name, config, &app, threshold)?;
+        session.emit_session_event("open");
+        Ok(session)
+    }
+
+    /// Rebuilds a session from a [`Session::snapshot`] line under `name`
+    /// (which need not match the snapshotted session's name — placement is
+    /// a pure hash of the name, so restoring under a new name migrates the
+    /// stream to whatever shard owns it). The restored session continues
+    /// bit-for-bit where the snapshot was taken: same tuner threshold,
+    /// checker history, fault-stream position, queued inputs, and
+    /// uncollected results.
+    ///
+    /// # Errors
+    ///
+    /// Fails on malformed snapshot text, unknown kernels, or offline
+    /// training failures.
+    pub fn restore(name: &str, text: &str) -> Result<Self, ServeError> {
+        let parts = SnapshotParts::parse(text)
+            .map_err(|e| ServeError::InvalidConfig(format!("snapshot: {e}")))?;
+        let config = parts.config.clone();
+        let kernel = kernel_by_name(&config.kernel)
+            .ok_or_else(|| ServeError::UnknownKernel(config.kernel.clone()))?;
+        let offline = OfflineConfig { seed: config.seed, ..OfflineConfig::default() };
+        let app = train_app(kernel.as_ref(), &offline)?;
+        // The placeholder threshold never fires: `import_state` rebuilds
+        // the tuner at the snapshotted threshold (and the calibration
+        // anchor), so the calibration probe is skipped entirely.
+        let mut session = Self::assemble(name, config, &app, 1.0)?;
+        session
+            .system
+            .import_state(&parts.runtime)
+            .map_err(|e| ServeError::InvalidConfig(format!("snapshot runtime: {e}")))?;
+        session.import_stats(&parts.stats)?;
+        session.import_queue(&parts.queue)?;
+        session.import_completed(&parts.completed)?;
+        session.emit_session_event("restore");
+        Ok(session)
+    }
+
+    /// Serializes the session's full live state as one plain-text
+    /// config-word line (see [`crate::snapshot`] for the format). The
+    /// session keeps running; the snapshot is a copy, not a detach.
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        let dim = self.kernel.input_dim();
+        let mut queue = Vec::with_capacity(1 + self.pending_rows * dim);
+        queue.push(self.pending_rows as u64);
+        queue.extend(self.pending_inputs[..self.pending_rows * dim].iter().map(|x| x.to_bits()));
+        let out_dim = self.kernel.output_dim();
+        let mut completed = Vec::with_capacity(1 + self.completed.len() * (4 + out_dim));
+        completed.push(self.completed.len() as u64);
+        for r in &self.completed {
+            completed.extend([
+                r.index as u64,
+                u64::from(r.fired),
+                r.predicted_error.to_bits(),
+                r.measured_error.to_bits(),
+            ]);
+            completed.extend(r.output.iter().map(|x| x.to_bits()));
+        }
+        SnapshotParts {
+            config: self.config.clone(),
+            runtime: self.system.export_state(),
+            stats: self.export_stats(),
+            queue,
+            completed,
+        }
+        .encode()
+    }
+
+    /// Shared construction path of [`Session::open`] and
+    /// [`Session::restore`]: validates the configuration and assembles the
+    /// pipeline around an already-trained app at the given threshold.
+    fn assemble(
+        name: &str,
+        config: SessionConfig,
+        app: &TrainedApp,
+        threshold: f64,
+    ) -> Result<Self, ServeError> {
+        let kernel = kernel_by_name(&config.kernel)
+            .ok_or_else(|| ServeError::UnknownKernel(config.kernel.clone()))?;
         if config.window == 0 {
             return Err(ServeError::InvalidConfig("window must be positive".into()));
         }
         if config.queue.input_capacity == 0 {
             return Err(ServeError::InvalidConfig("queue capacity must be positive".into()));
         }
-
-        let offline = OfflineConfig { seed: config.seed, ..OfflineConfig::default() };
-        let app = train_app(kernel.as_ref(), &offline)?;
-        let checker = build_checker(config.checker, &app, kernel.as_ref())?;
-        let threshold = calibrate(&app, config.checker, kernel.as_ref(), config.seed, config.mode)?;
-
+        let checker = build_checker(config.checker, app, kernel.as_ref())?;
         let runtime = RuntimeConfig {
             window: config.window,
             recovery_queue_capacity: config.queue.recovery_capacity,
@@ -318,13 +402,13 @@ impl Session {
 
         let (input_dim, output_dim) = (kernel.input_dim(), kernel.output_dim());
         let cpu_cycles = kernel.cpu_cycles();
-        let session = Self {
+        Ok(Self {
             name: name.to_owned(),
             kernel,
             system,
             admission: config.admission,
             queue: config.queue,
-            fault_plan: config.faults,
+            fault_plan: config.faults.clone(),
             cpu_cycles,
             pending_inputs: Vec::with_capacity(config.queue.input_capacity * input_dim),
             pending_rows: 0,
@@ -334,19 +418,124 @@ impl Session {
             out_buf: vec![0.0; output_dim],
             exact_buf: vec![0.0; output_dim],
             stats: SessionStats::default(),
-        };
+            config,
+        })
+    }
+
+    fn emit_session_event(&self, action: &str) {
         if rumba_obs::enabled() {
             rumba_obs::global_sink().emit(&Event::Session {
-                session: session.name.clone(),
-                action: "open".to_owned(),
-                kernel: config.kernel,
-                invocations: 0,
-                fixes: 0,
-                shed: 0,
-                threshold,
+                session: self.name.clone(),
+                action: action.to_owned(),
+                kernel: self.kernel.name().to_owned(),
+                invocations: self.stats.processed,
+                fixes: self.stats.fixes,
+                shed: self.stats.shed,
+                threshold: self.system.tuner().threshold(),
             });
         }
-        Ok(session)
+    }
+
+    /// The 13 `SessionStats` counters as snapshot words, floats as bits.
+    fn export_stats(&self) -> Vec<u64> {
+        let s = &self.stats;
+        vec![
+            s.submitted,
+            s.processed,
+            s.fixes,
+            s.shed,
+            s.blocked,
+            s.queue_high_water as u64,
+            s.error_sum.to_bits(),
+            s.drains,
+            s.back_pressured_drains,
+            s.recovery_high_water as u64,
+            s.total_cycles.to_bits(),
+            s.cpu_busy_cycles.to_bits(),
+            s.final_threshold.to_bits(),
+        ]
+    }
+
+    fn import_stats(&mut self, words: &[u64]) -> Result<(), ServeError> {
+        if words.len() != 13 {
+            return Err(ServeError::InvalidConfig(format!(
+                "snapshot stats wants 13 words, got {}",
+                words.len()
+            )));
+        }
+        self.stats = SessionStats {
+            submitted: words[0],
+            processed: words[1],
+            fixes: words[2],
+            shed: words[3],
+            blocked: words[4],
+            queue_high_water: words[5] as usize,
+            error_sum: f64::from_bits(words[6]),
+            drains: words[7],
+            back_pressured_drains: words[8],
+            recovery_high_water: words[9] as usize,
+            total_cycles: f64::from_bits(words[10]),
+            cpu_busy_cycles: f64::from_bits(words[11]),
+            final_threshold: f64::from_bits(words[12]),
+        };
+        Ok(())
+    }
+
+    fn import_queue(&mut self, words: &[u64]) -> Result<(), ServeError> {
+        let malformed =
+            |detail: String| ServeError::InvalidConfig(format!("snapshot queue: {detail}"));
+        let (&rows, inputs) =
+            words.split_first().ok_or_else(|| malformed("empty section".into()))?;
+        let rows = rows as usize;
+        let expect = rows
+            .checked_mul(self.kernel.input_dim())
+            .ok_or_else(|| malformed(format!("row count {rows} overflows")))?;
+        if inputs.len() != expect {
+            return Err(malformed(format!(
+                "{rows} rows want {expect} input words, got {}",
+                inputs.len()
+            )));
+        }
+        self.pending_inputs.clear();
+        self.pending_inputs.extend(inputs.iter().map(|&w| f64::from_bits(w)));
+        self.pending_rows = rows;
+        Ok(())
+    }
+
+    fn import_completed(&mut self, words: &[u64]) -> Result<(), ServeError> {
+        let malformed =
+            |detail: String| ServeError::InvalidConfig(format!("snapshot completed: {detail}"));
+        let (&count, mut rest) =
+            words.split_first().ok_or_else(|| malformed("empty section".into()))?;
+        let out_dim = self.kernel.output_dim();
+        let record = 4 + out_dim;
+        let expect = (count as usize)
+            .checked_mul(record)
+            .ok_or_else(|| malformed(format!("result count {count} overflows")))?;
+        if rest.len() != expect {
+            return Err(malformed(format!(
+                "{count} results want {expect} words, got {}",
+                rest.len()
+            )));
+        }
+        self.completed.clear();
+        for _ in 0..count {
+            let (head, tail) = rest.split_at(record);
+            let fired = match head[1] {
+                0 => false,
+                1 => true,
+                flag => return Err(malformed(format!("fired flag must be 0|1, got {flag}"))),
+            };
+            self.completed.push_back(SessionResult {
+                index: head[0] as usize,
+                fired,
+                predicted_error: f64::from_bits(head[2]),
+                measured_error: f64::from_bits(head[3]),
+                output: head[4..].iter().map(|&w| f64::from_bits(w)).collect(),
+            });
+            rest = tail;
+        }
+        Ok(())
     }
 
     /// Session name (the telemetry label).

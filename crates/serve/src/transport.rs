@@ -1,0 +1,409 @@
+//! Network transports for `rumba serve`: TCP and Unix-socket listeners
+//! that fan client connections into the shard pool.
+//!
+//! Both transports share one path: a non-blocking acceptor thread polls
+//! the listener and spawns a detached thread per connection; each
+//! connection thread reads newline-delimited requests with a hard line
+//! cap ([`MAX_LINE`]) and forwards them to the shared [`Router`], so a
+//! malformed, oversized or torn line costs only its own connection —
+//! never the shard or other clients.
+//!
+//! The Unix transport owns its socket file via an RAII guard: the path
+//! is unlinked when the server is joined or dropped (including on error
+//! paths), so a clean `shutdown` no longer leaves a stale socket behind.
+
+use std::io::{self, BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rumba_obs::Event;
+
+use crate::protocol::error_line;
+use crate::shard::Router;
+
+/// Hard cap on one request line, in bytes (newline excluded). Longer
+/// lines are consumed and answered with a single `error` response
+/// instead of buffering without bound.
+pub const MAX_LINE: usize = 256 * 1024;
+
+/// Outcome of reading one capped line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineRead {
+    /// A complete line within the cap (terminator stripped).
+    Line(String),
+    /// The stream ended mid-line: the unterminated tail (an abrupt
+    /// client disconnect on sockets; a final line without `\n` on stdin).
+    Partial(String),
+    /// The line exceeded `cap` bytes; its payload was consumed and
+    /// discarded up to and including the next newline (or EOF).
+    Oversized,
+    /// Clean end of stream at a line boundary.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line of at most `cap` bytes. A trailing
+/// `\r` is stripped (matching [`BufRead::lines`]), and oversized input
+/// is drained rather than buffered, so a hostile client cannot grow
+/// server memory past the cap.
+///
+/// # Errors
+///
+/// Propagates reader I/O failures other than `Interrupted`.
+pub fn read_line_capped(reader: &mut impl BufRead, cap: usize) -> io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut oversized = false;
+    loop {
+        let chunk = match reader.fill_buf() {
+            Ok(chunk) => chunk,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF.
+            if oversized {
+                return Ok(LineRead::Oversized);
+            }
+            if buf.is_empty() {
+                return Ok(LineRead::Eof);
+            }
+            strip_cr(&mut buf);
+            return Ok(LineRead::Partial(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        if let Some(pos) = chunk.iter().position(|&b| b == b'\n') {
+            if !oversized && buf.len() + pos <= cap {
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                strip_cr(&mut buf);
+                return Ok(LineRead::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            reader.consume(pos + 1);
+            return Ok(LineRead::Oversized);
+        }
+        let len = chunk.len();
+        if !oversized {
+            if buf.len() + len > cap {
+                oversized = true;
+                buf.clear();
+            } else {
+                buf.extend_from_slice(chunk);
+            }
+        }
+        reader.consume(len);
+    }
+}
+
+fn strip_cr(buf: &mut Vec<u8>) {
+    if buf.last() == Some(&b'\r') {
+        buf.pop();
+    }
+}
+
+/// Serves one connection against the router until EOF, a torn line, or
+/// an I/O failure; returns the number of requests handled. Oversized
+/// lines are answered in-band and the connection continues; a partial
+/// final line (abrupt disconnect mid-request) is discarded — a torn
+/// request is never executed.
+fn drive(router: &Router, reader: &mut impl BufRead, writer: &mut impl Write) -> io::Result<u64> {
+    let mut requests = 0u64;
+    loop {
+        match read_line_capped(reader, MAX_LINE)? {
+            LineRead::Eof | LineRead::Partial(_) => return Ok(requests),
+            LineRead::Oversized => {
+                requests += 1;
+                let msg = format!("line exceeds {MAX_LINE} bytes");
+                writeln!(writer, "{}", error_line("parse", &msg))?;
+                writer.flush()?;
+            }
+            LineRead::Line(line) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                requests += 1;
+                for response in router.route(&line) {
+                    writeln!(writer, "{response}")?;
+                }
+                writer.flush()?;
+            }
+        }
+    }
+}
+
+/// Unlinks the Unix socket path when the server winds down, including on
+/// panic and error paths.
+#[derive(Debug)]
+struct SocketGuard(PathBuf);
+
+impl Drop for SocketGuard {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+/// A running network server: acceptor thread + shard pool behind one
+/// [`Router`].
+#[derive(Debug)]
+pub struct NetServer {
+    addr: String,
+    router: Arc<Router>,
+    acceptor: JoinHandle<io::Result<u64>>,
+    socket_guard: Option<SocketGuard>,
+}
+
+impl NetServer {
+    /// Binds a TCP listener (use port `:0` for an ephemeral port; the
+    /// resolved address is [`NetServer::addr`]) over `shards` shard
+    /// threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_tcp(addr: &str, shards: usize) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?.to_string();
+        listener.set_nonblocking(true)?;
+        let router = Arc::new(Router::new(shards));
+        let acceptor = {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || {
+                accept_loop(&router, "tcp", || match listener.accept() {
+                    Ok((stream, _)) => {
+                        // Request/response round trips on a Nagle'd socket
+                        // stall ~40ms each on the delayed-ACK timer.
+                        stream.set_nodelay(true)?;
+                        let reader = stream.try_clone()?;
+                        Ok(Some((reader, stream)))
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                    Err(e) => Err(e),
+                })
+            })
+        };
+        Ok(Self { addr, router, acceptor, socket_guard: None })
+    }
+
+    /// Binds a Unix-socket listener at `path` over `shards` shard
+    /// threads. A stale socket file from a crashed predecessor is
+    /// unlinked before binding, and the file is removed again when the
+    /// server winds down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind_unix(path: &str, shards: usize) -> io::Result<Self> {
+        // Rebind fallback: clear a stale socket left by a crashed server.
+        let _ = std::fs::remove_file(path);
+        let listener = UnixListener::bind(path)?;
+        let guard = SocketGuard(PathBuf::from(path));
+        listener.set_nonblocking(true)?;
+        let router = Arc::new(Router::new(shards));
+        let acceptor = {
+            let router = Arc::clone(&router);
+            std::thread::spawn(move || {
+                accept_loop(&router, "unix", || match listener.accept() {
+                    Ok((stream, _)) => {
+                        let reader = stream.try_clone()?;
+                        Ok(Some((reader, stream)))
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => Ok(None),
+                    Err(e) => Err(e),
+                })
+            })
+        };
+        Ok(Self { addr: path.to_owned(), router, acceptor, socket_guard: Some(guard) })
+    }
+
+    /// The bound address: `host:port` for TCP, the socket path for Unix.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The shared router (e.g. for in-process requests or tests).
+    #[must_use]
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    /// Waits for the acceptor to stop (a client sent `shutdown`) and
+    /// returns the number of connections served. The Unix socket file, if
+    /// any, is unlinked here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener I/O failures from the acceptor thread.
+    pub fn join(self) -> io::Result<u64> {
+        let served =
+            self.acceptor.join().map_err(|_| io::Error::other("acceptor thread panicked"))??;
+        drop(self.socket_guard);
+        Ok(served)
+    }
+}
+
+/// Polls `accept` until the router closes (a `shutdown` was processed),
+/// spawning a detached thread per connection. Returns the number of
+/// connections accepted.
+fn accept_loop<S, F>(
+    router: &Arc<Router>,
+    transport: &'static str,
+    mut accept: F,
+) -> io::Result<u64>
+where
+    S: Read + Write + Send + 'static,
+    F: FnMut() -> io::Result<Option<(S, S)>>,
+{
+    static CONNECTION_ID: AtomicU64 = AtomicU64::new(0);
+    let mut served = 0u64;
+    while !router.is_closed() {
+        match accept()? {
+            Some((reader, writer)) => {
+                served += 1;
+                let id = CONNECTION_ID.fetch_add(1, Ordering::Relaxed);
+                let router = Arc::clone(router);
+                std::thread::spawn(move || {
+                    if rumba_obs::enabled() {
+                        rumba_obs::global_sink().emit(&Event::Connection {
+                            id,
+                            transport: transport.to_owned(),
+                            action: "accept".to_owned(),
+                            requests: 0,
+                        });
+                    }
+                    let mut reader = BufReader::new(reader);
+                    let mut writer = writer;
+                    let requests = drive(&router, &mut reader, &mut writer).unwrap_or(0);
+                    if rumba_obs::enabled() {
+                        rumba_obs::global_sink().emit(&Event::Connection {
+                            id,
+                            transport: transport.to_owned(),
+                            action: "close".to_owned(),
+                            requests,
+                        });
+                    }
+                });
+            }
+            None => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    Ok(served)
+}
+
+/// Connects to a server over TCP (`host:port`) or a Unix socket path and
+/// returns buffered reader/writer halves — the client side of the
+/// transports above, shared by the CLI and the bench harness.
+///
+/// # Errors
+///
+/// Propagates connect failures.
+pub fn connect(addr: &str) -> io::Result<(Box<dyn BufRead + Send>, Box<dyn Write + Send>)> {
+    if addr.contains(':') {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = stream.try_clone()?;
+        Ok((Box::new(BufReader::new(reader)), Box::new(stream)))
+    } else {
+        let stream = UnixStream::connect(addr)?;
+        let reader = stream.try_clone()?;
+        Ok((Box::new(BufReader::new(reader)), Box::new(stream)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_all(input: &str, cap: usize) -> Vec<LineRead> {
+        let mut reader = io::BufReader::new(input.as_bytes());
+        let mut out = Vec::new();
+        loop {
+            let item = read_line_capped(&mut reader, cap).unwrap();
+            let done = item == LineRead::Eof;
+            out.push(item);
+            if done {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn capped_reader_matches_lines_for_well_formed_input() {
+        let got = read_all("alpha\nbeta\r\n\ngamma", 64);
+        assert_eq!(
+            got,
+            vec![
+                LineRead::Line("alpha".into()),
+                LineRead::Line("beta".into()),
+                LineRead::Line(String::new()),
+                LineRead::Partial("gamma".into()),
+                LineRead::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_lines_are_drained_not_buffered() {
+        let long = "x".repeat(100);
+        let input = format!("{long}\nshort\n");
+        let got = read_all(&input, 16);
+        assert_eq!(got, vec![LineRead::Oversized, LineRead::Line("short".into()), LineRead::Eof]);
+        // Oversized tail without a newline drains to EOF.
+        assert_eq!(read_all(&long, 16), vec![LineRead::Oversized, LineRead::Eof]);
+        // Exactly at the cap still passes.
+        assert_eq!(read_all("abcd\n", 4), vec![LineRead::Line("abcd".into()), LineRead::Eof]);
+        // One past the cap does not.
+        assert_eq!(read_all("abcde\n", 4), vec![LineRead::Oversized, LineRead::Eof]);
+    }
+
+    #[test]
+    fn tcp_server_round_trips_and_shuts_down() {
+        let server = NetServer::bind_tcp("127.0.0.1:0", 2).unwrap();
+        let addr = server.addr().to_owned();
+        let (mut reader, mut writer) = connect(&addr).unwrap();
+        writeln!(
+            writer,
+            "{{\"op\":\"open\",\"session\":\"t0\",\"kernel\":\"gaussian\",\"seed\":7,\
+             \"window\":16,\"queue\":4}}"
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("{\"type\":\"ack\",\"op\":\"open\""), "{line}");
+        writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+        writer.flush().unwrap();
+        let mut saw_ack = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line).unwrap() == 0 {
+                break;
+            }
+            if line.contains("\"op\":\"shutdown\"") {
+                saw_ack = true;
+                break;
+            }
+        }
+        assert!(saw_ack);
+        assert!(server.join().unwrap() >= 1);
+    }
+
+    #[test]
+    fn unix_socket_file_is_unlinked_on_join() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("rumba-transport-test-{}.sock", std::process::id()));
+        let path_str = path.to_str().unwrap().to_owned();
+        let server = NetServer::bind_unix(&path_str, 1).unwrap();
+        assert!(path.exists());
+        let (mut reader, mut writer) = connect(&path_str).unwrap();
+        writeln!(writer, "{{\"op\":\"shutdown\"}}").unwrap();
+        writer.flush().unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"op\":\"shutdown\""), "{line}");
+        server.join().unwrap();
+        assert!(!path.exists(), "stale socket file left behind");
+    }
+}

@@ -1,0 +1,421 @@
+//! Sharded multi-client network serving: the conformance promises of the
+//! TCP transport layered on the serving layer's determinism contract.
+//!
+//! * Multiplexing clients over a sharded TCP server changes *nothing*:
+//!   each session's responses are bit-identical to its solo stream, and
+//!   the full multi-client trace is byte-identical at any shard count.
+//! * A `snapshot` → `restore` → continue run is bitwise identical to the
+//!   uninterrupted run, including online checker state, armed fault
+//!   plans and the watchdog — and restoring under a new name migrates a
+//!   session to a different shard without perturbing its stream.
+//! * Protocol error paths (malformed NDJSON, oversized lines, abrupt
+//!   disconnects mid-line) cost exactly one connection-scoped error and
+//!   never poison the shard or other clients.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use rumba_apps::{kernel_by_name, Split};
+use rumba_nn::NnDataset;
+use rumba_obs::json::{parse_object, JsonWriter, ObjectExt};
+use rumba_serve::bench::{run_net_trace, run_trace, BenchConfig};
+use rumba_serve::protocol::handle_line;
+use rumba_serve::shard::shard_of;
+use rumba_serve::transport::NetServer;
+use rumba_serve::ServeRuntime;
+
+fn workload() -> &'static NnDataset {
+    static DATA: OnceLock<NnDataset> = OnceLock::new();
+    DATA.get_or_init(|| {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        kernel.generate(Split::Test, 42)
+    })
+}
+
+fn open_req(name: &str) -> String {
+    format!(
+        "{{\"op\":\"open\",\"session\":\"{name}\",\"kernel\":\"gaussian\",\"seed\":42,\
+         \"checker\":\"ema\",\"mode\":\"toq\",\"toq\":0.9,\"window\":8,\"queue\":8,\
+         \"admission\":\"shed\",\"faults\":\"non_finite=0.05\",\"fault_seed\":42,\
+         \"watchdog\":true}}"
+    )
+}
+
+fn invoke_req(name: &str, input: &[f64]) -> String {
+    let mut w = JsonWriter::object("request");
+    w.string("op", "invoke").string("session", name).floats("input", input);
+    w.finish().replacen("\"type\":\"request\",", "", 1)
+}
+
+/// One lockstep client connection: sends a request line and reads the
+/// complete response group (multi-line ops up to their terminal line).
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        Self { reader: BufReader::new(stream.try_clone().unwrap()), writer: stream }
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) {
+        self.writer.write_all(bytes).unwrap();
+        self.writer.flush().unwrap();
+    }
+
+    fn read_group(&mut self, op: &str) -> Vec<String> {
+        let mut lines: Vec<String> = Vec::new();
+        loop {
+            let mut buf = String::new();
+            if self.reader.read_line(&mut buf).unwrap() == 0 {
+                return lines;
+            }
+            let line = buf.trim_end_matches(['\n', '\r']).to_owned();
+            let first_is_error = lines.is_empty() && line.starts_with("{\"type\":\"error\"");
+            let terminal = match op {
+                "drain" => line.starts_with("{\"type\":\"ack\",\"op\":\"drain\""),
+                "close" => line.starts_with("{\"type\":\"closed\""),
+                "shutdown" => line.starts_with("{\"type\":\"ack\",\"op\":\"shutdown\""),
+                _ => true,
+            };
+            lines.push(line);
+            if terminal || first_is_error {
+                return lines;
+            }
+        }
+    }
+
+    fn request(&mut self, line: &str, op: &str) -> Vec<String> {
+        self.send_raw(format!("{line}\n").as_bytes());
+        self.read_group(op)
+    }
+}
+
+/// The per-session op script the multi-client/solo comparison runs: the
+/// session's own stream, independent of any other tenant.
+fn session_script(name: &str, rows_base: usize) -> Vec<(String, &'static str)> {
+    let data = workload();
+    let mut script = vec![(open_req(name), "open")];
+    for k in 0..12 {
+        let row = (rows_base + k * 7) % data.len();
+        script.push((invoke_req(name, data.input(row)), "invoke"));
+        if k % 4 == 3 {
+            script.push((format!("{{\"op\":\"drain\",\"session\":\"{name}\"}}"), "drain"));
+        }
+    }
+    script.push((format!("{{\"op\":\"stats\",\"session\":\"{name}\"}}"), "stats"));
+    script.push((format!("{{\"op\":\"close\",\"session\":\"{name}\"}}"), "close"));
+    script
+}
+
+#[test]
+fn net_trace_is_shard_count_invariant_and_matches_solo() {
+    let cfg = BenchConfig { seed: 7, tenants: 3, requests: 18 };
+    let (solo, _) = run_trace(cfg).unwrap();
+    let one = run_net_trace(cfg, 1).unwrap();
+    let two = run_net_trace(cfg, 2).unwrap();
+    assert_eq!(one, two, "trace must not depend on the shard count");
+    let stripped: String = one.lines().fold(String::new(), |mut acc, l| {
+        acc.push_str(l.split_once(' ').expect("[cN] prefix").1);
+        acc.push('\n');
+        acc
+    });
+    assert_eq!(stripped, solo, "multi-client payloads must match the in-process trace");
+}
+
+#[test]
+fn each_client_sees_its_solo_stream_bit_for_bit() {
+    let server = NetServer::bind_tcp("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr().to_owned();
+    let names = ["tenant-a", "tenant-b", "tenant-c"];
+    let mut clients: Vec<Client> = names.iter().map(|_| Client::connect(&addr)).collect();
+    let scripts: Vec<_> =
+        names.iter().enumerate().map(|(t, n)| session_script(n, t * 31)).collect();
+
+    // Interleave the three clients round-robin, one request per turn —
+    // every session is multiplexed against the other two the whole time.
+    let mut observed: Vec<Vec<String>> = vec![Vec::new(); names.len()];
+    let longest = scripts.iter().map(Vec::len).max().unwrap();
+    for step in 0..longest {
+        for (t, script) in scripts.iter().enumerate() {
+            if let Some((line, op)) = script.get(step) {
+                observed[t].extend(clients[t].request(line, op));
+            }
+        }
+    }
+    clients[0].request("{\"op\":\"shutdown\"}", "shutdown");
+    drop(clients);
+    server.join().unwrap();
+
+    // Reference: each session's script alone on a fresh in-process runtime.
+    for (t, script) in scripts.iter().enumerate() {
+        let mut rt = ServeRuntime::new();
+        let mut expected = Vec::new();
+        for (line, _) in script {
+            let (lines, _) = handle_line(&mut rt, line);
+            expected.extend(lines);
+        }
+        assert_eq!(observed[t], expected, "session {} diverged from its solo stream", names[t]);
+    }
+}
+
+/// Runs `script` through `rt`, collecting every response line.
+fn replay(rt: &mut ServeRuntime, script: &[(String, &str)]) -> Vec<String> {
+    let mut out = Vec::new();
+    for (line, _) in script {
+        let (lines, _) = handle_line(rt, line);
+        out.extend(lines);
+    }
+    out
+}
+
+fn continuation_script(name: &str) -> Vec<(String, &'static str)> {
+    let data = workload();
+    let mut script = Vec::new();
+    for k in 10..20 {
+        let row = (k * 7) % data.len();
+        script.push((invoke_req(name, data.input(row)), "invoke"));
+        if k % 4 == 3 {
+            script.push((format!("{{\"op\":\"drain\",\"session\":\"{name}\"}}"), "drain"));
+        }
+    }
+    script.push((format!("{{\"op\":\"stats\",\"session\":\"{name}\"}}"), "stats"));
+    script.push((format!("{{\"op\":\"close\",\"session\":\"{name}\"}}"), "close"));
+    script
+}
+
+#[test]
+fn snapshot_restore_continue_is_bitwise_identical() {
+    let data = workload();
+    // Head: open (ema checker + fault plan + watchdog) and run 10 requests
+    // with interleaved drains, leaving two requests queued at the cut.
+    let mut head: Vec<(String, &str)> = vec![(open_req("t0"), "open")];
+    for k in 0..10 {
+        let row = (k * 7) % data.len();
+        head.push((invoke_req("t0", data.input(row)), "invoke"));
+        if k % 4 == 3 {
+            head.push(("{\"op\":\"drain\",\"session\":\"t0\"}".to_owned(), "drain"));
+        }
+    }
+    let tail = continuation_script("t0");
+
+    // Uninterrupted reference.
+    let mut rt = ServeRuntime::new();
+    replay(&mut rt, &head);
+    let expected = replay(&mut rt, &tail);
+
+    // Interrupted run: snapshot at the cut, "crash" (drop the runtime),
+    // restore into a fresh one, continue.
+    let mut rt = ServeRuntime::new();
+    replay(&mut rt, &head);
+    let (snap_lines, _) = handle_line(&mut rt, "{\"op\":\"snapshot\",\"session\":\"t0\"}");
+    assert!(snap_lines[0].starts_with("{\"type\":\"snapshot\""), "{snap_lines:?}");
+    let state =
+        parse_object(&snap_lines[0]).unwrap().string("state").expect("state field").to_owned();
+    drop(rt);
+
+    let mut rt = ServeRuntime::new();
+    let mut w = JsonWriter::object("request");
+    w.string("op", "restore").string("session", "t0").string("state", &state);
+    let restore_req = w.finish().replacen("\"type\":\"request\",", "", 1);
+    let (ack, _) = handle_line(&mut rt, &restore_req);
+    assert!(ack[0].starts_with("{\"type\":\"ack\",\"op\":\"restore\""), "{ack:?}");
+
+    // The restored session's own snapshot is the exact same config-word
+    // line — the codec is a fixed point under restore.
+    let (resnap, _) = handle_line(&mut rt, "{\"op\":\"snapshot\",\"session\":\"t0\"}");
+    let restate = parse_object(&resnap[0]).unwrap().string("state").unwrap().to_owned();
+    assert_eq!(restate, state, "snapshot must round-trip bit-exactly through restore");
+
+    let continued = replay(&mut rt, &tail);
+    assert_eq!(continued, expected, "restored session diverged from the uninterrupted run");
+}
+
+#[test]
+fn snapshot_migrates_to_another_shard_under_a_new_name() {
+    let old = "alice";
+    // A new name that lands on the other shard of a 2-shard pool.
+    let new = ["bob", "carol", "dave", "erin"]
+        .into_iter()
+        .find(|n| shard_of(n, 2) != shard_of(old, 2))
+        .expect("some candidate hashes to the other shard");
+
+    let server = NetServer::bind_tcp("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr().to_owned();
+    let data = workload();
+    let mut client = Client::connect(&addr);
+
+    // Uninterrupted reference, solo and in-process.
+    let mut head: Vec<(String, &str)> = vec![(open_req(old), "open")];
+    for k in 0..10 {
+        head.push((invoke_req(old, data.input((k * 7) % data.len())), "invoke"));
+        if k % 4 == 3 {
+            head.push((format!("{{\"op\":\"drain\",\"session\":\"{old}\"}}"), "drain"));
+        }
+    }
+    let mut rt = ServeRuntime::new();
+    replay(&mut rt, &head);
+    let expected = replay(&mut rt, &continuation_script(old));
+
+    // Networked run: same head on `old`'s shard, snapshot, close the
+    // original, restore under `new` — which hashes to the *other* shard —
+    // and continue there.
+    for (line, op) in &head {
+        client.request(line, op);
+    }
+    let snap =
+        client.request(&format!("{{\"op\":\"snapshot\",\"session\":\"{old}\"}}"), "snapshot");
+    let state = parse_object(&snap[0]).unwrap().string("state").expect("state").to_owned();
+    client.request(&format!("{{\"op\":\"close\",\"session\":\"{old}\"}}"), "close");
+
+    let mut w = JsonWriter::object("request");
+    w.string("op", "restore").string("session", new).string("state", &state);
+    let restore_req = w.finish().replacen("\"type\":\"request\",", "", 1);
+    let ack = client.request(&restore_req, "restore");
+    assert!(ack[0].starts_with("{\"type\":\"ack\",\"op\":\"restore\""), "{ack:?}");
+
+    let mut migrated = Vec::new();
+    for (line, op) in &continuation_script(new) {
+        migrated.extend(client.request(line, op));
+    }
+    client.request("{\"op\":\"shutdown\"}", "shutdown");
+    drop(client);
+    server.join().unwrap();
+
+    // Identical streams modulo the session's name.
+    let renamed: Vec<String> = migrated
+        .iter()
+        .map(|l| l.replace(&format!("\"session\":\"{new}\""), &format!("\"session\":\"{old}\"")))
+        .collect();
+    assert_eq!(renamed, expected, "migrated session diverged from the uninterrupted run");
+}
+
+#[test]
+fn malformed_and_oversized_lines_stay_connection_scoped() {
+    let server = NetServer::bind_tcp("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr().to_owned();
+    let data = workload();
+    let mut bad = Client::connect(&addr);
+    let mut good = Client::connect(&addr);
+
+    good.request(&open_req("steady"), "open");
+
+    // Malformed NDJSON answers with one error line on the bad connection.
+    let err = bad.request("this is not json", "garbage");
+    assert_eq!(err.len(), 1);
+    assert!(err[0].starts_with("{\"type\":\"error\""), "{err:?}");
+
+    // Oversized line: consumed, answered in-band, connection survives.
+    let huge = format!("{}\n", "x".repeat(300 * 1024));
+    bad.send_raw(huge.as_bytes());
+    let err = bad.read_group("oversized");
+    assert!(err[0].contains("exceeds"), "{err:?}");
+    let after = bad.request("{\"op\":\"stats\",\"session\":\"steady\"}", "stats");
+    assert!(after[0].starts_with("{\"type\":\"stats\""), "bad connection poisoned: {after:?}");
+
+    // The well-behaved client's session is untouched throughout.
+    let ack = good.request(&invoke_req("steady", data.input(0)), "invoke");
+    assert!(ack[0].starts_with("{\"type\":\"ack\",\"op\":\"invoke\""), "{ack:?}");
+    let drained = good.request("{\"op\":\"drain\",\"session\":\"steady\"}", "drain");
+    assert!(drained.iter().any(|l| l.starts_with("{\"type\":\"result\"")), "{drained:?}");
+
+    good.request("{\"op\":\"shutdown\"}", "shutdown");
+    drop((bad, good));
+    server.join().unwrap();
+}
+
+#[test]
+fn abrupt_disconnect_mid_line_never_executes_the_torn_request() {
+    let server = NetServer::bind_tcp("127.0.0.1:0", 2).unwrap();
+    let addr = server.addr().to_owned();
+    let data = workload();
+
+    let mut doomed = Client::connect(&addr);
+    doomed.request(&open_req("orphan"), "open");
+    doomed.request(&invoke_req("orphan", data.input(3)), "invoke");
+    // A torn request: half a close op, no newline, then a hard drop. The
+    // tail must be discarded — were it executed, `orphan` would close.
+    doomed.send_raw(b"{\"op\":\"close\",\"session\":\"orp");
+    drop(doomed);
+
+    let mut good = Client::connect(&addr);
+    good.request(&open_req("steady"), "open");
+    good.request(&invoke_req("steady", data.input(0)), "invoke");
+    let drained = good.request("{\"op\":\"drain\",\"session\":\"steady\"}", "drain");
+    assert!(drained.iter().any(|l| l.starts_with("{\"type\":\"result\"")), "{drained:?}");
+
+    // Shutdown drains the orphaned session: it was opened, never closed,
+    // and still owns one queued request — its shard is alive and flushes
+    // it on the way out.
+    let down = good.request("{\"op\":\"shutdown\"}", "shutdown");
+    assert!(
+        down.iter().any(|l| l.starts_with("{\"type\":\"closed\",\"session\":\"orphan\"")),
+        "torn connection poisoned its shard: {down:?}"
+    );
+    assert!(
+        down.iter().any(|l| l.starts_with("{\"type\":\"result\",\"session\":\"orphan\"")),
+        "orphaned in-flight request was not drained: {down:?}"
+    );
+    drop(good);
+    server.join().unwrap();
+}
+
+/// Printable-ASCII garbage derived from a seed (the vendored proptest
+/// shim has no string strategies): everything from empty lines to brace
+/// soup that almost parses.
+fn garbage_line(seed: u64) -> String {
+    let len = (seed % 61) as usize;
+    let mut x = seed;
+    (0..len)
+        .map(|_| {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            char::from(32 + ((x >> 33) % 95) as u8)
+        })
+        .collect()
+}
+
+proptest! {
+    /// Arbitrary garbage lines between valid requests never poison the
+    /// shard: every garbage line gets exactly one error response and the
+    /// session's stream continues bit-identically to a garbage-free run.
+    #[test]
+    fn garbage_lines_never_poison_the_shard(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..6),
+        interleave in proptest::collection::vec(0u64..4, 6),
+    ) {
+        let garbage: Vec<String> = seeds.iter().map(|&s| garbage_line(s)).collect();
+        let script = session_script("t0", 0);
+
+        let mut clean_rt = ServeRuntime::new();
+        let clean = replay(&mut clean_rt, &script);
+
+        let mut rt = ServeRuntime::new();
+        let mut observed = Vec::new();
+        let mut g = 0usize;
+        for (i, (line, _)) in script.iter().enumerate() {
+            if interleave.get(i % interleave.len()).is_some_and(|&k| k == 0) && g < garbage.len() {
+                // Garbage that parses as a valid request would mutate the
+                // session; the grammar makes that practically impossible,
+                // but guard the invariant explicitly.
+                let (lines, shutdown) = handle_line(&mut rt, &garbage[g]);
+                g += 1;
+                if !garbage[g - 1].trim().is_empty() {
+                    prop_assert!(!shutdown);
+                    prop_assert_eq!(lines.len(), 1);
+                    prop_assert!(
+                        lines[0].starts_with("{\"type\":\"error\""),
+                        "garbage produced a non-error: {:?}", lines
+                    );
+                }
+            }
+            let (lines, _) = handle_line(&mut rt, line);
+            observed.extend(lines);
+        }
+        prop_assert_eq!(observed, clean);
+    }
+}
