@@ -180,6 +180,25 @@ for shards in 1 2; do
 done
 echo "    sharded TCP trace byte-identical at shards {1,2} x SIMD {0,1} x threads {1,4}"
 
+echo "==> golden check: compensate sweep vs ci/compensate.golden"
+# The predict-and-compensate sweep (signed-error fits, band search,
+# energy split) is pure arithmetic over the deterministic test streams,
+# so its report must be byte-identical at every thread x SIMD
+# combination — and must match the committed golden bit for bit.
+for simd in 0 1; do
+    for t in 1 4; do
+        RUMBA_CACHE=0 RUMBA_THREADS=$t RUMBA_SIMD=$simd \
+            cargo run --release -q -p rumba-cli --bin rumba -- \
+            compensate >"$smoke_dir/comp.s$simd.t$t" 2>/dev/null
+        if ! cmp -s "$smoke_dir/comp.s$simd.t$t" ci/compensate.golden; then
+            echo "FAIL: compensate sweep (RUMBA_SIMD=$simd, RUMBA_THREADS=$t) differs from ci/compensate.golden" >&2
+            diff ci/compensate.golden "$smoke_dir/comp.s$simd.t$t" | head -20 >&2
+            exit 1
+        fi
+    done
+done
+echo "    compensate sweep byte-identical at SIMD {0,1} x threads {1,4}"
+
 echo "==> matrix bench smoke (bit-exactness gate + allocation probe)"
 # The bench asserts batched == per-sample bitwise and zero steady-state
 # allocations before it times anything, so a short run is a real check.

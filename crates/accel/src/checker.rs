@@ -46,6 +46,15 @@ impl CheckerUnit {
         self.estimator.estimate(input, approx_output)
     }
 
+    /// Signed output-space error estimate for the invocation most recently
+    /// scored by [`CheckerUnit::predict`] (`magnitude` is that score). Pure:
+    /// no counter bump, no estimator state change — the compensation path
+    /// reuses the datapath pass the magnitude prediction already paid for.
+    #[must_use]
+    pub fn predict_signed(&self, input: &[f64], approx_output: &[f64], magnitude: f64) -> f64 {
+        self.estimator.estimate_signed(input, approx_output, magnitude)
+    }
+
     /// Cycles one prediction occupies the checker datapath.
     #[must_use]
     pub fn cycles_per_prediction(&self) -> u64 {
@@ -89,11 +98,12 @@ impl CheckerUnit {
         self.estimator.as_ref()
     }
 
-    /// Serializes the datapath's online state (prediction counter plus the
-    /// estimator's own words) for session snapshots.
+    /// Serializes the datapath's online state (prediction counter, the
+    /// estimator's configuration fingerprint, then the estimator's own
+    /// words) for session snapshots.
     #[must_use]
     pub fn export_state(&self) -> Vec<u64> {
-        let mut words = vec![self.predictions];
+        let mut words = vec![self.predictions, self.estimator.state_config_word()];
         words.extend(self.estimator.export_state());
         words
     }
@@ -103,10 +113,24 @@ impl CheckerUnit {
     ///
     /// # Errors
     ///
-    /// Returns a description of the mismatch when the words do not decode.
+    /// Returns a description of the mismatch when the words do not decode,
+    /// or when the embedded configuration fingerprint disagrees with this
+    /// unit's estimator — state words from a differently-configured checker
+    /// (another kind, another EMA window, another model shape) can share a
+    /// word count and would otherwise corrupt online state silently.
     pub fn import_state(&mut self, words: &[u64]) -> Result<(), String> {
-        let (&predictions, rest) =
-            words.split_first().ok_or_else(|| "checker state is empty".to_owned())?;
+        if words.len() < 2 {
+            return Err(format!("checker state wants at least 2 words, got {}", words.len()));
+        }
+        let (predictions, config_word, rest) = (words[0], words[1], &words[2..]);
+        let expected = self.estimator.state_config_word();
+        if config_word != expected {
+            return Err(format!(
+                "checker config mismatch: snapshot was taken under {config_word:#018x}, \
+                 this session's {} checker is {expected:#018x}",
+                self.estimator.name()
+            ));
+        }
         self.estimator.import_state(rest)?;
         self.predictions = predictions;
         Ok(())
@@ -165,5 +189,37 @@ mod tests {
         let unit = linear_unit(3);
         assert_eq!(unit.name(), "linearErrors");
         assert!(unit.is_input_based());
+    }
+
+    #[test]
+    fn state_round_trips_through_the_config_word() {
+        let mut unit = CheckerUnit::new(Box::new(EmaDetector::new(4, 2).unwrap()));
+        let _ = unit.predict(&[], &[1.0, 2.0]);
+        let words = unit.export_state();
+        let mut fresh = CheckerUnit::new(Box::new(EmaDetector::new(4, 2).unwrap()));
+        fresh.import_state(&words).unwrap();
+        assert_eq!(fresh.predictions(), 1);
+        assert_eq!(fresh.export_state(), words);
+    }
+
+    #[test]
+    fn import_rejects_a_differently_configured_checker() {
+        // Same output_dim → identical estimator word counts; only the
+        // config fingerprint tells an 8-window EMA from a 4-window one.
+        let unit = CheckerUnit::new(Box::new(EmaDetector::new(8, 1).unwrap()));
+        let words = unit.export_state();
+        let mut other_alpha = CheckerUnit::new(Box::new(EmaDetector::new(4, 1).unwrap()));
+        let err = other_alpha.import_state(&words).unwrap_err();
+        assert!(err.contains("config mismatch"), "{err}");
+
+        // Cross-kind: linear state under a tree checker.
+        let linear = linear_unit(1);
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![i as f64 / 100.0]).collect();
+        let errors: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 0.5 } else { 0.0 }).collect();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut tree = CheckerUnit::new(Box::new(
+            TreeErrors::train(&refs, &errors, &TreeParams::default()).unwrap(),
+        ));
+        assert!(tree.import_state(&linear.export_state()).unwrap_err().contains("mismatch"));
     }
 }

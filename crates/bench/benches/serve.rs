@@ -22,6 +22,7 @@ fn profile(tenant: usize) -> SessionConfig {
         admission: AdmissionPolicy::Shed,
         faults: None,
         watchdog: None,
+        ..SessionConfig::default()
     }
 }
 

@@ -126,6 +126,28 @@ pub enum Command {
         /// `RUMBA_METRICS_OUT` environment variable in charge.
         metrics_out: Option<String>,
     },
+    /// `rumba compensate [flags]` — predict-and-compensate sweep: per
+    /// kernel and checker, the re-execution-only fix count that meets the
+    /// TOQ versus the mixed recovery (worst offenders re-executed, the
+    /// mildly wrong band compensated in place), with energy per fix.
+    Compensate {
+        /// Benchmarks to sweep (default gaussian + fft + inversek2j).
+        kernels: Vec<String>,
+        /// Master seed.
+        seed: u64,
+        /// Target output quality the sweep holds both recovery mixes to.
+        toq: f64,
+        /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
+        /// charge). Results are identical at any setting.
+        threads: Option<usize>,
+        /// SIMD dispatch override (`--simd 0|1|auto`; `None` leaves the
+        /// `RUMBA_SIMD` environment variable in charge). Results are
+        /// bit-identical at any setting.
+        simd: Option<SimdMode>,
+        /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
+        /// `RUMBA_METRICS_OUT` environment variable in charge.
+        metrics_out: Option<String>,
+    },
     /// `rumba report <path.jsonl>` — summarize a telemetry stream.
     Report {
         /// Path to a JSONL file written via `--metrics-out`.
@@ -351,6 +373,63 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
                 }
             }
             Ok(Command::Faults { kernels, seed, rate, window, threads, simd, metrics_out })
+        }
+        Some("compensate") => {
+            let mut kernels = Vec::new();
+            let mut seed = 42u64;
+            let mut toq = 0.9f64;
+            let mut threads = None;
+            let mut simd = None;
+            let mut metrics_out = None;
+            let rest: Vec<&str> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k] {
+                    "--kernels" => {
+                        let v = rest.get(k + 1).ok_or(ParseError::MissingValue("--kernels"))?;
+                        kernels =
+                            v.split(',').filter(|s| !s.is_empty()).map(str::to_owned).collect();
+                        if kernels.is_empty() {
+                            return Err(ParseError::BadValue {
+                                flag: "--kernels",
+                                value: (*v).to_owned(),
+                                expected: "a comma-separated benchmark list",
+                            });
+                        }
+                        k += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
+                        k += 2;
+                    }
+                    "--toq" => {
+                        let v = parse_f64(rest.get(k + 1).copied(), "--toq")?;
+                        if !(0.0 < v && v <= 1.0) {
+                            return Err(ParseError::BadValue {
+                                flag: "--toq",
+                                value: v.to_string(),
+                                expected: "a quality in (0, 1]",
+                            });
+                        }
+                        toq = v;
+                        k += 2;
+                    }
+                    "--threads" => {
+                        threads = Some(parse_threads(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    "--simd" => {
+                        simd = Some(parse_simd(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
+                        k += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Compensate { kernels, seed, toq, threads, simd, metrics_out })
         }
         Some("serve") => {
             let mut socket = None;
@@ -597,6 +676,8 @@ USAGE:
                        [--metrics-out PATH]
     rumba faults [--kernels a,b,...] [--seed N] [--rate R] [--window N]
                  [--threads N] [--simd M] [--metrics-out PATH]
+    rumba compensate [--kernels a,b,...] [--seed N] [--toq Q]
+                     [--threads N] [--simd M] [--metrics-out PATH]
     rumba report <path.jsonl>
     rumba purity <kernel>
     rumba serve [--socket PATH | --tcp HOST:PORT] [--shards N]
@@ -637,6 +718,20 @@ FAULTS:
     demonstrate quarantine + watchdog degradation: merged outputs must
     stay finite or the command fails. --kernels defaults to gaussian,fft.
 
+COMPENSATION:
+    rumba compensate analyses the predict-and-compensate recovery mix:
+    checkers emit signed error estimates, so flagged invocations whose
+    predicted error is small can be repaired in place (approx minus
+    predicted error) instead of re-executed on the CPU. Per kernel and
+    checker the sweep reports how many CPU re-executions the
+    re-execution-only policy needs to meet --toq (default 0.9), the
+    mixed policy's split (worst offenders re-executed, the mildly wrong
+    band compensated), the residual error of both at equal quality, and
+    the energy per repaired invocation. Online, the same mechanism is
+    the Compensate fix scheme: 'rumba serve' sessions opt in with
+    fix=compensate plus a band, and the tuner co-adapts the band with
+    the firing threshold.
+
 SERVING:
     rumba serve runs a long-lived multi-tenant serving loop: clients open
     named sessions (each with its own kernel, checker, tuning mode, fault
@@ -662,6 +757,7 @@ SERVING:
 
 EXAMPLES:
     rumba run inversek2j --checker tree --toq 0.9
+    rumba compensate --kernels gaussian,fft --toq 0.9
     rumba run blackscholes --budget 16 --window 256
     rumba run fft --checker ensemble --quality-mode
     rumba train kmeans --threads 4
@@ -852,6 +948,44 @@ mod tests {
         assert!(matches!(p("faults --kernels"), Err(ParseError::MissingValue("--kernels"))));
         assert!(matches!(p("faults --kernels ,"), Err(ParseError::BadValue { .. })));
         assert!(matches!(p("faults --wat"), Err(ParseError::UnknownFlag(_))));
+    }
+
+    #[test]
+    fn parses_compensate_with_defaults_and_flags() {
+        assert_eq!(
+            p("compensate").unwrap(),
+            Command::Compensate {
+                kernels: vec![],
+                seed: 42,
+                toq: 0.9,
+                threads: None,
+                simd: None,
+                metrics_out: None,
+            }
+        );
+        assert_eq!(
+            p("compensate --kernels gaussian,fft --seed 9 --toq 0.95 --threads 2 --simd 1 --metrics-out c.jsonl")
+                .unwrap(),
+            Command::Compensate {
+                kernels: vec!["gaussian".into(), "fft".into()],
+                seed: 9,
+                toq: 0.95,
+                threads: Some(2),
+                simd: Some(SimdMode::On),
+                metrics_out: Some("c.jsonl".into()),
+            }
+        );
+        assert!(matches!(p("compensate --toq 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("compensate --toq 1.5"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("compensate --kernels ,"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("compensate --wat"), Err(ParseError::UnknownFlag(_))));
+    }
+
+    #[test]
+    fn help_documents_compensation() {
+        assert!(HELP.contains("rumba compensate"));
+        assert!(HELP.contains("signed error estimates"));
+        assert!(HELP.contains("fix=compensate"));
     }
 
     #[test]

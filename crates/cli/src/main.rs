@@ -72,6 +72,16 @@ fn main() -> ExitCode {
             }
             commands::faults(&kernels, seed, rate, window)
         }
+        Command::Compensate { kernels, seed, toq, threads, simd, metrics_out } => {
+            rumba_parallel::set_thread_override(threads);
+            rumba_nn::set_simd_override(simd);
+            if let Some(path) = metrics_out {
+                if let Err(code) = install_metrics_sink(&path) {
+                    return code;
+                }
+            }
+            commands::compensate(&kernels, seed, toq)
+        }
         Command::Report { path } => commands::report(&path),
         Command::Purity { kernel } => commands::purity(&kernel),
         Command::Serve { socket, tcp, shards, threads, simd } => {

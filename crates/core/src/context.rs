@@ -283,6 +283,7 @@ impl AppContext {
             checker_invocations: if kind.has_checker() { n } else { 0 },
             checker_cost: self.scores(kind).checker_cost(),
             reexecutions: fixes.min(n),
+            compensations: 0,
             serial_detector_cycles: 0.0,
         }
     }
@@ -298,6 +299,7 @@ impl AppContext {
             checker_invocations: 0,
             checker_cost: CheckerCost::free(),
             reexecutions: 0,
+            compensations: 0,
             serial_detector_cycles: 0.0,
         }
     }

@@ -13,6 +13,25 @@ use crate::pipeline::{simulate, PipelineRun};
 use crate::tuner::{Tuner, WindowStats};
 use crate::{Result, RumbaError};
 
+/// How a fired check is repaired.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum FixPolicy {
+    /// Every fired check re-executes the invocation exactly on the CPU
+    /// (the paper's recovery path, and the default).
+    #[default]
+    Reexecute,
+    /// Predict-and-compensate: a fired check whose predicted error is at
+    /// most `band` is repaired in place by subtracting the checker's
+    /// *signed* error estimate from the approximate output — no recovery-
+    /// queue slot, no CPU re-execution. Predictions above the band still
+    /// re-execute. The band co-adapts with the firing threshold (the
+    /// tuner's second knob) and is clamped to stay at or above it.
+    Compensate {
+        /// Upper edge of the compensable |error| band.
+        band: f64,
+    },
+}
+
 /// Configuration of the online system.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RuntimeConfig {
@@ -28,6 +47,10 @@ pub struct RuntimeConfig {
     /// `None` (the default) disables the watchdog entirely, keeping the
     /// fault-off control loop byte-identical to builds without it.
     pub watchdog: Option<WatchdogConfig>,
+    /// Recovery mix for fired checks. [`FixPolicy::Reexecute`] (the
+    /// default) keeps the control loop byte-identical to builds without
+    /// the compensation path.
+    pub fix_policy: FixPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -37,6 +60,7 @@ impl Default for RuntimeConfig {
             recovery_queue_capacity: 64,
             placement: Placement::Parallel,
             watchdog: None,
+            fix_policy: FixPolicy::Reexecute,
         }
     }
 }
@@ -85,6 +109,9 @@ pub struct RunOutcome {
     pub fired: Vec<bool>,
     /// Number of iterations actually re-executed.
     pub fixes: usize,
+    /// Number of iterations repaired in place by subtracting the signed
+    /// error estimate (always 0 under [`FixPolicy::Reexecute`]).
+    pub compensated: usize,
     /// Measured output error of the merged stream against the exact
     /// targets.
     pub output_error: f64,
@@ -111,6 +138,9 @@ pub struct RunOutcome {
 pub struct StreamOutcome {
     /// Whether the check fired and the iteration was re-executed exactly.
     pub fired: bool,
+    /// Whether the iteration was repaired in place with the signed
+    /// estimate instead of re-executing (mutually exclusive with `fired`).
+    pub compensated: bool,
     /// The checker's predicted error for this invocation.
     pub predicted_error: f64,
 }
@@ -161,8 +191,10 @@ pub struct RumbaSystem {
     window_len: usize,
     window_queue_depth: u64,
     window_quarantined: usize,
+    window_compensated: usize,
     windows_flushed: u64,
     stream_fixes: usize,
+    stream_compensations: usize,
     stream_invocations: usize,
     // Degradation-ladder state.
     stage: DegradeStage,
@@ -198,6 +230,12 @@ impl RumbaSystem {
                 value: "0".into(),
             });
         }
+        // The compensation band lives in the tuner (it co-adapts with the
+        // threshold); a degenerate band is rejected here, at assembly.
+        let tuner = match config.fix_policy {
+            FixPolicy::Reexecute => tuner,
+            FixPolicy::Compensate { band } => tuner.with_compensation_band(band)?,
+        };
         let initial_threshold = tuner.threshold();
         let fault_plan = npu.fault_plan().cloned();
         Ok(Self {
@@ -213,8 +251,10 @@ impl RumbaSystem {
             window_len: 0,
             window_queue_depth: 0,
             window_quarantined: 0,
+            window_compensated: 0,
             windows_flushed: 0,
             stream_fixes: 0,
+            stream_compensations: 0,
             stream_invocations: 0,
             stage: DegradeStage::Normal,
             dirty_windows: 0,
@@ -290,6 +330,10 @@ impl RumbaSystem {
             DegradeStage::CpuFallback => 2,
         };
         let checker = self.checker.export_state();
+        let (band_flag, band_bits) = match self.tuner.compensation_band() {
+            Some(band) => (1, band.to_bits()),
+            None => (0, 0),
+        };
         let mut words = vec![
             self.tuner.threshold().to_bits(),
             self.initial_threshold.to_bits(),
@@ -312,6 +356,10 @@ impl RumbaSystem {
             self.fault_stats.escaped,
             self.fault_stats.recalibrations,
             self.fault_stats.fallbacks,
+            band_flag,
+            band_bits,
+            self.window_compensated as u64,
+            self.stream_compensations as u64,
             checker.len() as u64,
         ];
         words.extend(checker);
@@ -329,11 +377,11 @@ impl RumbaSystem {
     /// Returns a description of the first malformed word when the state
     /// does not decode for this system's configuration.
     pub fn import_state(&mut self, words: &[u64]) -> std::result::Result<(), String> {
-        const HEAD: usize = 22;
+        const HEAD: usize = 26;
         if words.len() < HEAD {
             return Err(format!("runtime state wants at least {HEAD} words, got {}", words.len()));
         }
-        let checker_len = words[21] as usize;
+        let checker_len = words[25] as usize;
         if words.len() != HEAD + checker_len {
             return Err(format!(
                 "runtime state declares {checker_len} checker words but carries {}",
@@ -341,8 +389,16 @@ impl RumbaSystem {
             ));
         }
         let threshold = f64::from_bits(words[0]);
-        let tuner = Tuner::new(self.tuner.mode(), threshold)
+        let mut tuner = Tuner::new(self.tuner.mode(), threshold)
             .map_err(|e| format!("restored threshold rejected: {e}"))?;
+        let band = match words[21] {
+            0 => None,
+            1 => Some(f64::from_bits(words[22])),
+            flag => return Err(format!("compensation-band flag must be 0|1, got {flag}")),
+        };
+        // Restored verbatim, not re-validated/re-clamped: the exporting
+        // tuner already evolved this band, and re-clamping would change it.
+        tuner.set_compensation_band_raw(band);
         let stage = match words[11] {
             0 => DegradeStage::Normal,
             1 => DegradeStage::Recalibrated,
@@ -363,6 +419,8 @@ impl RumbaSystem {
         self.windows_flushed = words[8];
         self.stream_fixes = words[9] as usize;
         self.stream_invocations = words[10] as usize;
+        self.window_compensated = words[23] as usize;
+        self.stream_compensations = words[24] as usize;
         self.stage = stage;
         self.dirty_windows = dirty_windows;
         self.fault_stats = FaultStats {
@@ -388,8 +446,10 @@ impl RumbaSystem {
         self.window_len = 0;
         self.window_queue_depth = 0;
         self.window_quarantined = 0;
+        self.window_compensated = 0;
         self.windows_flushed = 0;
         self.stream_fixes = 0;
+        self.stream_compensations = 0;
         self.stream_invocations = 0;
         self.stage = DegradeStage::Normal;
         self.dirty_windows = 0;
@@ -466,14 +526,14 @@ impl RumbaSystem {
         // abandoned entirely.
         let cpu_forced = quarantined || self.stage == DegradeStage::CpuFallback;
 
-        let (fired, predicted) = if cpu_forced {
+        let (fired, compensated, predicted) = if cpu_forced {
             kernel.compute(input, output);
             self.stream_fixes += 1;
             if quarantined {
                 self.window_quarantined += 1;
                 self.fault_stats.quarantined += 1;
             }
-            (true, f64::INFINITY)
+            (true, false, f64::INFINITY)
         } else {
             let mut predicted = self.checker.predict(input, approx_output);
             let blinded =
@@ -485,11 +545,32 @@ impl RumbaSystem {
             let cap = self.tuner.reexec_cap(cpu_capacity_per_window);
             let budget_left = cap.is_none_or(|c| self.window_fired < c);
             let wants_fire = predicted > self.tuner.threshold();
-            let fired = wants_fire && budget_left;
+            // Predict-and-compensate split: a fired check inside the band
+            // (threshold < predicted <= band) is repaired in place; only
+            // the worst offenders above the band still re-execute. The
+            // decision is a pure function of (predicted, tuner state), so
+            // it replays bit-identically at any threads × shards × SIMD.
+            let compensable =
+                wants_fire && self.tuner.compensation_band().is_some_and(|band| predicted <= band);
+            let fired = wants_fire && !compensable && budget_left;
             if fired {
                 kernel.compute(input, output);
                 self.window_fired += 1;
                 self.stream_fixes += 1;
+            } else if compensable {
+                // Same quarantine discipline as forced-exact rows: the
+                // repaired row contributes nothing to `window_pred_sum`
+                // (its residual is not the prediction), consumes no
+                // re-execution budget, and takes no recovery-queue slot.
+                // The paired `predict` call above already advanced any
+                // online checker state; `predict_signed` is pure.
+                let signed = self.checker.predict_signed(input, approx_output, predicted);
+                let signed = if signed.is_finite() { signed } else { 0.0 };
+                for (out, &approx) in output[..approx_output.len()].iter_mut().zip(approx_output) {
+                    *out = approx - signed;
+                }
+                self.window_compensated += 1;
+                self.stream_compensations += 1;
             } else {
                 if wants_fire {
                     // Check fired but the re-execution budget for this window
@@ -499,7 +580,7 @@ impl RumbaSystem {
                 output[..approx_output.len()].copy_from_slice(approx_output);
                 self.window_pred_sum += predicted;
             }
-            (fired, predicted)
+            (fired, compensable, predicted)
         };
 
         self.note_faults(invocation, approx_output.len(), quarantined, fired);
@@ -509,7 +590,7 @@ impl RumbaSystem {
         if self.window_len == self.config.window {
             self.flush_window(cpu_capacity_per_window, capacity_clamped);
         }
-        Ok(StreamOutcome { fired, predicted_error: predicted })
+        Ok(StreamOutcome { fired, compensated, predicted_error: predicted })
     }
 
     /// Replays the plan's decisions for one invocation to attribute every
@@ -574,6 +655,12 @@ impl RumbaSystem {
     #[must_use]
     pub fn stream_fixes(&self) -> usize {
         self.stream_fixes
+    }
+
+    /// Total in-place compensations since [`RumbaSystem::begin_stream`].
+    #[must_use]
+    pub fn stream_compensations(&self) -> usize {
+        self.stream_compensations
     }
 
     /// Total invocations since [`RumbaSystem::begin_stream`].
@@ -645,6 +732,7 @@ impl RumbaSystem {
                 queue_depth_max: self.window_queue_depth,
                 quarantined: self.window_quarantined as u64,
                 capacity_clamped,
+                compensated: self.window_compensated as u64,
                 session: self.session_label.clone(),
             });
         }
@@ -656,6 +744,7 @@ impl RumbaSystem {
         self.window_len = 0;
         self.window_queue_depth = 0;
         self.window_quarantined = 0;
+        self.window_compensated = 0;
     }
 
     /// The degradation ladder, evaluated once per completed window:
@@ -800,6 +889,7 @@ impl RumbaSystem {
                 kernel: kernel.name().to_owned(),
                 invocations: n as u64,
                 fixes: fixes as u64,
+                compensated: self.stream_compensations as u64,
                 output_error,
                 windows: self.windows_flushed,
                 cpu_utilization: pipeline.cpu_utilization,
@@ -814,6 +904,7 @@ impl RumbaSystem {
             checker_invocations: n,
             checker_cost: self.checker.cost(),
             reexecutions: fixes,
+            compensations: self.stream_compensations,
             serial_detector_cycles,
         };
 
@@ -821,6 +912,7 @@ impl RumbaSystem {
             merged_outputs: merged,
             fired,
             fixes,
+            compensated: self.stream_compensations,
             output_error,
             invocation_errors,
             activity,
@@ -957,6 +1049,7 @@ mod tests {
             merged_outputs: vec![0.0; 7],
             fired: vec![false; 7],
             fixes: 0,
+            compensated: 0,
             output_error: 4.0,
             invocation_errors: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0],
             activity: SchemeActivity::default(),
@@ -1162,6 +1255,159 @@ mod tests {
         assert_eq!(outcome.fixes, test.len(), "fallback runs everything on the CPU");
         assert!(outcome.merged_outputs.iter().all(|v| v.is_finite()));
         assert!((outcome.output_error).abs() < 1e-12, "all-CPU stream is exact");
+    }
+
+    #[test]
+    fn compensation_band_at_threshold_is_bitwise_reexecute_only() {
+        // Satellite (4a) as a unit test: a band clamped down to the firing
+        // threshold makes the compensable set empty (threshold < p <= band
+        // has no solutions), so the whole run — outputs, fixes, threshold
+        // trajectory — must be bit-identical to the re-execution-only path.
+        let (kernel, mut plain, test) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        let reference = plain.run(kernel.as_ref(), &test).unwrap();
+
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let threshold = plain.initial_threshold;
+        let mut banded = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree)),
+            Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, threshold).unwrap(),
+            RuntimeConfig {
+                fix_policy: FixPolicy::Compensate { band: threshold * 1e-3 },
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        // The degenerate band clamps up to the threshold and stays there.
+        assert_eq!(banded.tuner().compensation_band(), Some(threshold));
+        let outcome = banded.run(kernel.as_ref(), &test).unwrap();
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&outcome.merged_outputs), bits(&reference.merged_outputs));
+        assert_eq!(outcome.fixes, reference.fixes);
+        assert_eq!(outcome.compensated, 0);
+        assert_eq!(outcome.threshold_history, reference.threshold_history);
+    }
+
+    #[test]
+    fn wide_band_trades_reexecutions_for_compensations() {
+        let (kernel, mut plain, test) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        let reference = plain.run(kernel.as_ref(), &test).unwrap();
+        let threshold = plain.initial_threshold;
+
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let mut banded = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree)),
+            Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, threshold).unwrap(),
+            RuntimeConfig {
+                fix_policy: FixPolicy::Compensate { band: 1e6 },
+                ..RuntimeConfig::default()
+            },
+        )
+        .unwrap();
+        let outcome = banded.run(kernel.as_ref(), &test).unwrap();
+        assert!(outcome.compensated > 0, "a wide band must compensate something");
+        assert!(
+            outcome.fixes < reference.fixes,
+            "compensated rows must come out of the re-execution count: {} vs {}",
+            outcome.fixes,
+            reference.fixes
+        );
+        assert_eq!(outcome.activity.compensations, outcome.compensated);
+        assert!(outcome.merged_outputs.iter().all(|v| v.is_finite()));
+        // The unchecked accelerator's error is the bar compensation must
+        // still clear: subtracting the predicted error must help, not hurt.
+        let unchecked = crate::trainer::invocation_errors(kernel.as_ref(), &app.rumba_npu, &test)
+            .unwrap()
+            .iter()
+            .sum::<f64>()
+            / test.len() as f64;
+        assert!(
+            outcome.output_error < unchecked,
+            "compensated {} vs unchecked {unchecked}",
+            outcome.output_error
+        );
+    }
+
+    #[test]
+    fn exported_state_with_a_band_resumes_bit_for_bit() {
+        // The satellite-4c shape as a unit test: snapshot mid-stream with a
+        // nonzero compensation band and live compensation counters, restore
+        // onto a fresh system, and the tail must match the uncut reference.
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let config = RuntimeConfig {
+            window: 64,
+            fix_policy: FixPolicy::Compensate { band: 0.5 },
+            ..RuntimeConfig::default()
+        };
+        let build = || {
+            RumbaSystem::new(
+                app.rumba_npu.clone(),
+                CheckerUnit::new(Box::new(app.tree.clone())),
+                Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.02).unwrap(),
+                config,
+            )
+            .unwrap()
+        };
+        let test = kernel.generate(Split::Test, 42);
+        let out_dim = kernel.output_dim();
+        let mut buf = vec![0.0; out_dim];
+
+        let mut reference = build();
+        reference.begin_stream();
+        let mut expected = Vec::with_capacity(test.len() * out_dim);
+        for i in 0..test.len() {
+            reference.process(kernel.as_ref(), test.input(i), &mut buf).unwrap();
+            expected.extend_from_slice(&buf);
+        }
+        reference.end_stream(kernel.as_ref());
+        assert!(reference.stream_compensations() > 0, "band 0.5 must compensate");
+
+        let cut = test.len() / 3;
+        let mut head = build();
+        head.begin_stream();
+        let mut merged = Vec::with_capacity(test.len() * out_dim);
+        for i in 0..cut {
+            head.process(kernel.as_ref(), test.input(i), &mut buf).unwrap();
+            merged.extend_from_slice(&buf);
+        }
+        let words = head.export_state();
+
+        let mut tail = build();
+        tail.begin_stream();
+        tail.import_state(&words).unwrap();
+        assert_eq!(tail.tuner().compensation_band(), head.tuner().compensation_band());
+        for i in cut..test.len() {
+            tail.process(kernel.as_ref(), test.input(i), &mut buf).unwrap();
+            merged.extend_from_slice(&buf);
+        }
+        tail.end_stream(kernel.as_ref());
+
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&merged), bits(&expected));
+        assert_eq!(tail.stream_fixes(), reference.stream_fixes());
+        assert_eq!(tail.stream_compensations(), reference.stream_compensations());
+        assert_eq!(tail.tuner().threshold().to_bits(), reference.tuner().threshold().to_bits());
+        assert_eq!(tail.tuner().compensation_band(), reference.tuner().compensation_band());
+    }
+
+    #[test]
+    fn rejects_degenerate_compensation_band() {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        for band in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let bad = RumbaSystem::new(
+                app.rumba_npu.clone(),
+                CheckerUnit::new(Box::new(app.tree.clone())),
+                Tuner::new(TuningMode::BestQuality, 0.1).unwrap(),
+                RuntimeConfig {
+                    fix_policy: FixPolicy::Compensate { band },
+                    ..RuntimeConfig::default()
+                },
+            );
+            assert!(bad.is_err(), "band {band} must be rejected");
+        }
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub enum SchemeKind {
     /// Errors-by-value-prediction alternative (§3.2, evaluated by the
     /// `evp_eep` harness; not part of the headline figures).
     Evp,
+    /// Predict-and-compensate split on the linear checker: flagged
+    /// invocations inside the compensation band get the signed estimate
+    /// subtracted in place, the worst offenders re-execute on the CPU
+    /// (evaluated by `rumba compensate`; not part of the headline figures).
+    CompensateLinear,
+    /// Predict-and-compensate split on the tree checker.
+    CompensateTree,
 }
 
 impl SchemeKind {
@@ -58,6 +65,8 @@ impl SchemeKind {
             SchemeKind::LinearErrors => "linearErrors",
             SchemeKind::TreeErrors => "treeErrors",
             SchemeKind::Evp => "EVP",
+            SchemeKind::CompensateLinear => "compensateLinear",
+            SchemeKind::CompensateTree => "compensateTree",
         }
     }
 
@@ -67,8 +76,24 @@ impl SchemeKind {
     pub fn has_checker(self) -> bool {
         matches!(
             self,
-            SchemeKind::Ema | SchemeKind::LinearErrors | SchemeKind::TreeErrors | SchemeKind::Evp
+            SchemeKind::Ema
+                | SchemeKind::LinearErrors
+                | SchemeKind::TreeErrors
+                | SchemeKind::Evp
+                | SchemeKind::CompensateLinear
+                | SchemeKind::CompensateTree
         )
+    }
+
+    /// The detection scheme whose scores a compensate variant flags with
+    /// (identity for the plain schemes).
+    #[must_use]
+    pub fn detection_base(self) -> SchemeKind {
+        match self {
+            SchemeKind::CompensateLinear => SchemeKind::LinearErrors,
+            SchemeKind::CompensateTree => SchemeKind::TreeErrors,
+            other => other,
+        }
     }
 }
 
@@ -149,6 +174,12 @@ impl SchemeScores {
 
     /// The indices whose score strictly exceeds `threshold` — the set the
     /// online detector would flag.
+    ///
+    /// This is *the* boundary rule, pinned codebase-wide: a check fires iff
+    /// `score > threshold` (strictly). The runtime's firing decision uses
+    /// the same comparison, and `calibrate_threshold` places its cut
+    /// strictly below the smallest score it intends to fire, so duplicated
+    /// scores at the cut all fire together.
     #[must_use]
     pub fn fired(&self, threshold: f64) -> Vec<usize> {
         (0..self.scores.len()).filter(|&i| self.scores[i] > threshold).collect()
@@ -240,5 +271,32 @@ mod tests {
         assert!(!SchemeKind::Random.has_checker());
         assert!(SchemeKind::TreeErrors.has_checker());
         assert!(SchemeKind::Ema.has_checker());
+        assert!(SchemeKind::CompensateLinear.has_checker());
+        assert!(SchemeKind::CompensateTree.has_checker());
+    }
+
+    #[test]
+    fn compensate_variants_flag_with_their_detection_base() {
+        assert_eq!(SchemeKind::CompensateLinear.detection_base(), SchemeKind::LinearErrors);
+        assert_eq!(SchemeKind::CompensateTree.detection_base(), SchemeKind::TreeErrors);
+        assert_eq!(SchemeKind::Ema.detection_base(), SchemeKind::Ema);
+        assert_eq!(SchemeKind::CompensateLinear.label(), "compensateLinear");
+        // The paper's legend is untouched by the new variants.
+        assert_eq!(SchemeKind::paper_set().len(), 6);
+    }
+
+    #[test]
+    fn negative_and_mixed_sign_scores_order_and_fire_correctly() {
+        // Signed estimates make negative scores legal; the descending
+        // order and the strict-> rule must hold without any silent abs().
+        let s = SchemeScores::new(
+            SchemeKind::CompensateLinear,
+            vec![-0.1, 0.4, -0.3, 0.0, -0.1],
+            CheckerCost::free(),
+        );
+        assert_eq!(s.fix_order(), &[1, 3, 0, 4, 2], "descending, ties by index");
+        assert_eq!(s.fired(-0.1), vec![1, 3], "strictly above the cut");
+        assert_eq!(s.fired(-0.4).len(), 5, "a cut below every score fires all");
+        assert_eq!(s.top_k(2), &[1, 3]);
     }
 }

@@ -12,7 +12,7 @@
 use rumba_accel::{Npu, NpuParams};
 use rumba_apps::Kernel;
 use rumba_nn::{Activation, Matrix, NnDataset, Scratch, TrainParams, TrainedModel};
-use rumba_predict::{EvpErrors, LinearErrors, TreeErrors, TreeParams};
+use rumba_predict::{DecisionTree, EvpErrors, LinearErrors, LinearModel, TreeErrors, TreeParams};
 
 use crate::cache::TrainedModelCache;
 use crate::{Result, RumbaError};
@@ -54,9 +54,11 @@ pub struct TrainedApp {
     /// Accelerator configured with the unchecked-NPU topology (the §5
     /// baseline).
     pub baseline_npu: Npu,
-    /// Trained linear error checker.
+    /// Trained linear error checker (magnitude model for detection, plus a
+    /// signed-error fit for the compensation path).
     pub linear: LinearErrors,
-    /// Trained decision-tree error checker.
+    /// Trained decision-tree error checker (magnitude tree plus a signed
+    /// fit, as for `linear`).
     pub tree: TreeErrors,
     /// Trained value-prediction (EVP) checker.
     pub evp: EvpErrors,
@@ -136,15 +138,19 @@ pub fn train_app_with_cache(
 
     if let Some(cached) = cache.load(kernel.name(), topologies, cfg, &nn_params) {
         // The cached config-words are bit-exact, so everything derived
-        // from them below matches a fresh training run exactly.
+        // from them below matches a fresh training run exactly. Signed
+        // fits are not part of the cache codec: they are refit here, which
+        // is deterministic because the batched replay is bit-exact.
         let rumba_npu = Npu::new(cached.rumba_model, cfg.npu_params);
         let baseline_npu = Npu::new(cached.baseline_model, cfg.npu_params);
+        let (linear, tree) =
+            attach_signed_fits(&rumba_npu, &train, cfg, cached.linear, cached.tree)?;
         return Ok(TrainedApp {
             name: kernel.name().to_owned(),
             rumba_npu,
             baseline_npu,
-            linear: cached.linear,
-            tree: cached.tree,
+            linear,
+            tree,
             evp: cached.evp,
             ema_window: cfg.ema_window,
             train_errors: cached.train_errors,
@@ -175,6 +181,9 @@ pub fn train_app_with_cache(
     let linear = LinearErrors::train(&rows, &train_errors, cfg.ridge)?;
     let tree = TreeErrors::train(&rows, &train_errors, &cfg.tree_params)?;
     let evp = EvpErrors::train(&rows, &exact_rows, cfg.ridge)?;
+    // The magnitude models above go in the cache; signed fits ride outside
+    // it (see the cache-hit path) so stored entries stay format-stable.
+    let (linear, tree) = attach_signed_fits(&rumba_npu, &train, cfg, linear, tree)?;
 
     cache.store(
         kernel.name(),
@@ -201,6 +210,34 @@ pub fn train_app_with_cache(
         ema_window: cfg.ema_window,
         train_errors,
     })
+}
+
+/// Fits the *signed* error models the compensation path subtracts and
+/// attaches them to the magnitude checkers. The target is the per-row mean
+/// signed output error, `mean_j(approx[j] − exact[j])`, observed by
+/// replaying the accelerator over the train split — the same replay the
+/// magnitude targets came from, so the fit is deterministic on both the
+/// fresh and cache-hit paths.
+fn attach_signed_fits(
+    rumba_npu: &Npu,
+    train: &NnDataset,
+    cfg: &OfflineConfig,
+    linear: LinearErrors,
+    tree: TreeErrors,
+) -> Result<(LinearErrors, TreeErrors)> {
+    let approx = approximate_outputs(rumba_npu, train)?;
+    let out_dim = rumba_npu.output_dim();
+    let signed: Vec<f64> = (0..train.len())
+        .map(|i| {
+            let row = &approx[i * out_dim..(i + 1) * out_dim];
+            let exact = train.target(i);
+            row.iter().zip(exact).map(|(a, e)| a - e).sum::<f64>() / out_dim as f64
+        })
+        .collect();
+    let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+    let signed_linear = LinearModel::fit(&rows, &signed, cfg.ridge)?;
+    let signed_tree = DecisionTree::fit(&rows, &signed, &cfg.tree_params)?;
+    Ok((linear.with_signed_model(signed_linear), tree.with_signed_tree(signed_tree)))
 }
 
 /// Replays an accelerator over a dataset and scores each invocation with
@@ -262,6 +299,44 @@ mod tests {
         let a = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
         let b = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
         assert_eq!(a.train_errors, b.train_errors);
+    }
+
+    #[test]
+    fn signed_fits_are_attached_on_fresh_and_cached_paths() {
+        use crate::cache::TrainedModelCache;
+        use rumba_predict::ErrorEstimator;
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("rumba-signed-fit-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TrainedModelCache::with_dir(&dir);
+        let cfg = OfflineConfig::default();
+
+        let fresh = train_app_with_cache(kernel.as_ref(), &cfg, &cache).unwrap();
+        assert!(fresh.linear.signed_model().is_some());
+        assert!(fresh.tree.signed_tree().is_some());
+
+        // The cache-hit path refits the signed models deterministically.
+        let cached = train_app_with_cache(kernel.as_ref(), &cfg, &cache).unwrap();
+        let probe = kernel.generate(rumba_apps::Split::Test, 42);
+        for i in (0..probe.len()).step_by(97) {
+            let input = probe.input(i);
+            assert_eq!(
+                fresh.linear.estimate_signed(input, &[], 0.0).to_bits(),
+                cached.linear.estimate_signed(input, &[], 0.0).to_bits(),
+            );
+            assert_eq!(
+                fresh.tree.estimate_signed(input, &[], 0.0).to_bits(),
+                cached.tree.estimate_signed(input, &[], 0.0).to_bits(),
+            );
+        }
+        // The signed fit carries sign information the magnitude model
+        // cannot: over the train split at least one estimate is negative.
+        let train = kernel.generate(rumba_apps::Split::Train, 42);
+        let any_negative =
+            (0..train.len()).any(|i| fresh.linear.estimate_signed(train.input(i), &[], 0.0) < 0.0);
+        assert!(any_negative, "a signed fit must be able to go negative");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -141,6 +141,10 @@ pub struct Tuner {
     policy: StepPolicy,
     min_threshold: f64,
     max_threshold: f64,
+    // Upper cut of the compensation band (None = compensation disabled).
+    // Flagged invocations predicted in `(threshold, comp_band]` are
+    // compensated in place; above the band they re-execute on the CPU.
+    comp_band: Option<f64>,
 }
 
 /// Default bound on [`Tuner::history`]. Before this cap existed the
@@ -195,7 +199,42 @@ impl Tuner {
             policy,
             min_threshold: 1e-6,
             max_threshold: 1e6,
+            comp_band: None,
         })
+    }
+
+    /// Enables the predict-and-compensate split: flagged invocations whose
+    /// predicted error lies in `(threshold, band]` are compensated in place
+    /// instead of re-executed. The band is the tuner's second knob — it
+    /// widens when the threshold relaxes (quality headroom → cheaper fixes)
+    /// and shrinks toward the threshold when quality is violated, so the
+    /// worst offenders always fall back to exact CPU re-execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RumbaError::InvalidConfig`] for a non-finite or
+    /// nonpositive band.
+    pub fn with_compensation_band(mut self, band: f64) -> Result<Self> {
+        if !(band > 0.0 && band.is_finite()) {
+            return Err(RumbaError::InvalidConfig {
+                name: "compensation_band",
+                value: band.to_string(),
+            });
+        }
+        self.comp_band = Some(band.clamp(self.threshold, self.max_threshold));
+        Ok(self)
+    }
+
+    /// Restores the compensation band verbatim (snapshot import).
+    pub fn set_compensation_band_raw(&mut self, band: Option<f64>) {
+        self.comp_band = band;
+    }
+
+    /// The current compensation-band upper cut (`None` = compensation
+    /// disabled).
+    #[must_use]
+    pub fn compensation_band(&self) -> Option<f64> {
+        self.comp_band
     }
 
     /// Bounds the retained threshold history to the most recent `capacity`
@@ -298,13 +337,27 @@ impl Tuner {
         }
         self.threshold = self.threshold.clamp(self.min_threshold, self.max_threshold);
         self.push_history(self.threshold);
-        if self.threshold > before {
+        let action = if self.threshold > before {
             ThresholdAction::Raised
         } else if self.threshold < before {
             ThresholdAction::Lowered
         } else {
             ThresholdAction::Held
+        };
+        if let Some(band) = self.comp_band {
+            // The band tracks the threshold's verdict: quality headroom
+            // (threshold raised) admits more near-free compensations, a
+            // quality violation (threshold lowered) shrinks the band toward
+            // the threshold so more of the flagged traffic re-executes
+            // exactly. The clamp keeps the band a valid upper cut.
+            let moved = match action {
+                ThresholdAction::Raised => self.policy.raise(band),
+                ThresholdAction::Lowered => self.policy.lower(band),
+                ThresholdAction::Held => band,
+            };
+            self.comp_band = Some(moved.clamp(self.threshold, self.max_threshold));
         }
+        action
     }
 
     /// Snaps the threshold back to `threshold` (clamped to the tuner's
@@ -316,6 +369,7 @@ impl Tuner {
         let sane =
             if threshold.is_finite() && threshold > 0.0 { threshold } else { self.min_threshold };
         self.threshold = sane.clamp(self.min_threshold, self.max_threshold);
+        self.comp_band = self.comp_band.map(|b| b.clamp(self.threshold, self.max_threshold));
         self.push_history(self.threshold);
     }
 
@@ -353,14 +407,24 @@ pub struct Calibration {
 /// errors such that fixing every training invocation predicted above it
 /// brings training output error within `target_error`.
 ///
+/// Boundary rule (pinned for the whole codebase): a check **fires iff its
+/// score is strictly greater than the threshold** — see
+/// [`crate::SchemeScores::fired`] and the runtime's firing decision.
+/// Calibration therefore always places the threshold strictly *below* the
+/// smallest prediction it intends to fire, so duplicated score values at
+/// the cut all fire together and the calibrated set is never smaller than
+/// promised.
+///
 /// Falls back to the smallest positive predicted error (fix everything
 /// predictable) when even that cannot reach the target.
 ///
 /// Non-finite predictions (a degenerate checker emitting NaN/inf — this
 /// used to panic the whole CLI through a `partial_cmp(..).expect`) are
 /// treated as +∞, i.e. ranked as the first invocations to fix; the
-/// returned threshold is always finite so it remains a valid
-/// [`Tuner::new`] starting point.
+/// returned threshold is always finite. For the usual nonnegative
+/// magnitude predictions it is also positive, a valid [`Tuner::new`]
+/// starting point; signed prediction vectors (legal since checkers grew
+/// `estimate_signed`) may calibrate to a negative cut.
 ///
 /// # Panics
 ///
@@ -409,6 +473,32 @@ pub fn calibrate_threshold_detailed(
     calibration
 }
 
+/// A threshold strictly above prediction `x` under the strict-`>` firing
+/// rule, so `x` itself does *not* fire. Nonnegative predictions keep the
+/// historical `(x * 1.01).max(1e-6)` form bit-for-bit; negative ones
+/// (legal since checkers grew signed estimates) move toward zero — the old
+/// `max(1e-6)` silently clobbered them, and `* 1.01` walks a negative
+/// value the wrong way.
+fn just_above(x: f64) -> f64 {
+    if x >= 0.0 {
+        (x * 1.01).max(1e-6)
+    } else {
+        x * 0.99
+    }
+}
+
+/// A threshold strictly below prediction `x`, so `x` (and any duplicate of
+/// it) fires. Nonnegative predictions keep the historical
+/// `x.max(1e-6) * 0.999` form bit-for-bit; negative ones move away from
+/// zero.
+fn just_below(x: f64) -> f64 {
+    if x >= 0.0 {
+        x.max(1e-6) * 0.999
+    } else {
+        x * 1.001
+    }
+}
+
 /// The calibration scan over sanitized (NaN-free) predictions; may return
 /// +∞ when the decisive prediction was itself sanitized.
 fn raw_threshold(sane: &[f64], true_errors: &[f64], target_error: f64) -> f64 {
@@ -422,20 +512,29 @@ fn raw_threshold(sane: &[f64], true_errors: &[f64], target_error: f64) -> f64 {
     let mut remaining = total;
     if remaining / n as f64 <= target_error {
         // Already within budget: fire only above the largest prediction.
-        return (sane[order[0]] * 1.01).max(1e-6);
+        return just_above(sane[order[0]]);
     }
     for &i in &order {
         remaining -= true_errors[i];
         if remaining / n as f64 <= target_error {
-            return sane[i].max(1e-6) * 0.999;
+            return just_below(sane[i]);
         }
     }
+    // Fallback: fix everything predictable. The historical positive-only
+    // cut is kept verbatim; with no positive prediction the cut must sit
+    // below the smallest (possibly negative) finite one instead of being
+    // clamped to 1e-6, which would fire nothing.
     let min_pos =
         sane.iter().copied().filter(|&p| p > 0.0 && p.is_finite()).fold(f64::INFINITY, f64::min);
     if min_pos.is_finite() {
         min_pos * 0.999
     } else {
-        1e-6
+        let min_fin = sane.iter().copied().filter(|p| p.is_finite()).fold(f64::INFINITY, f64::min);
+        if min_fin.is_finite() && min_fin < 0.0 {
+            min_fin * 1.001
+        } else {
+            1e-6
+        }
     }
 }
 
@@ -450,7 +549,7 @@ fn finite_threshold(threshold: f64, sane: &[f64]) -> f64 {
     let max_finite =
         sane.iter().copied().filter(|p| p.is_finite()).fold(f64::NEG_INFINITY, f64::max);
     if max_finite.is_finite() {
-        (max_finite * 1.01).max(1e-6)
+        just_above(max_finite)
     } else {
         1e-6
     }
@@ -697,6 +796,106 @@ mod tests {
         // No finite prediction to anchor on: the floor threshold means
         // every prediction above it fires.
         assert_eq!(cal.threshold, 1e-6);
+    }
+
+    #[test]
+    fn calibration_with_negative_scores_is_sign_correct() {
+        // Signed estimates make negative scores legal. The old scan
+        // clamped every negative cut to 1e-6 (firing nothing) and the
+        // already-within-budget branch multiplied by 1.01, which moves a
+        // negative bound the wrong way.
+        let scores = [-0.5, -0.05, -0.4, -0.02, -0.3, -0.01];
+        let errors = [0.5, 0.05, 0.4, 0.02, 0.3, 0.01];
+        let th = calibrate_threshold(&scores, &errors, 0.05);
+        // Everything must still be fixable: the threshold sits below the
+        // scores the scan selected, not clamped above all of them.
+        let remaining: f64 =
+            scores.iter().zip(&errors).filter(|(&s, _)| s <= th).map(|(_, &e)| e).sum();
+        assert!(remaining / errors.len() as f64 <= 0.05, "threshold {th}");
+        assert!(th < 0.0, "negative scores need a negative cut, got {th}");
+
+        // Already within budget: nothing may fire, including the largest
+        // (negative) score.
+        let easy = calibrate_threshold(&[-0.2, -0.1], &[0.01, 0.01], 0.5);
+        assert!(easy > -0.1 && easy < 0.0, "cut {easy} must sit just above -0.1");
+
+        // Mixed-sign vector: the selected positive scores keep the
+        // historical cut, negatives fire below it.
+        let mixed_scores = [0.4, -0.3, 0.2, -0.1];
+        let mixed_errors = [0.4, 0.3, 0.2, 0.1];
+        let th = calibrate_threshold(&mixed_scores, &mixed_errors, 0.0);
+        let remaining: f64 =
+            mixed_scores.iter().zip(&mixed_errors).filter(|(&s, _)| s <= th).map(|(_, &e)| e).sum();
+        assert!(remaining <= 1e-12, "threshold {th} must fire everything");
+    }
+
+    #[test]
+    fn calibration_fires_duplicated_scores_together() {
+        // Duplicates straddling the cut: four invocations share the score
+        // 0.3, and fixing at least three of them is required. Under the
+        // strict-> rule the threshold must land below 0.3 so all four
+        // fire — firing fewer than promised broke the TOQ contract.
+        let scores = [0.3, 0.3, 0.3, 0.3, 0.1, 0.1];
+        let errors = [0.4, 0.4, 0.4, 0.4, 0.0, 0.0];
+        let th = calibrate_threshold(&scores, &errors, 0.1);
+        let fired = scores.iter().filter(|&&s| s > th).count();
+        assert!(th < 0.3, "threshold {th}");
+        assert_eq!(fired, 4, "every duplicate at the cut fires");
+        let remaining: f64 =
+            scores.iter().zip(&errors).filter(|(&s, _)| s <= th).map(|(_, &e)| e).sum();
+        assert!(remaining / errors.len() as f64 <= 0.1);
+    }
+
+    #[test]
+    fn compensation_band_tracks_the_threshold() {
+        let mut t = Tuner::new(TuningMode::TargetQuality { toq: 0.9 }, 0.2)
+            .unwrap()
+            .with_compensation_band(0.5)
+            .unwrap();
+        assert_eq!(t.compensation_band(), Some(0.5));
+        // Quality headroom: threshold raises, band widens.
+        t.observe_window(WindowStats {
+            window_len: 100,
+            fired: 5,
+            mean_unfixed_predicted_error: 0.01,
+            cpu_capacity: 50,
+        });
+        let widened = t.compensation_band().unwrap();
+        assert!(widened > 0.5, "band {widened}");
+        // Quality violation: threshold lowers, band shrinks but never
+        // below the threshold.
+        for _ in 0..200 {
+            t.observe_window(WindowStats {
+                window_len: 100,
+                fired: 5,
+                mean_unfixed_predicted_error: 0.9,
+                cpu_capacity: 50,
+            });
+        }
+        let band = t.compensation_band().unwrap();
+        assert!(band < widened);
+        assert!(band >= t.threshold(), "band {band} vs threshold {}", t.threshold());
+    }
+
+    #[test]
+    fn compensation_band_rejects_degenerate_values_and_survives_reset() {
+        assert!(Tuner::new(TuningMode::BestQuality, 0.1)
+            .unwrap()
+            .with_compensation_band(f64::NAN)
+            .is_err());
+        assert!(Tuner::new(TuningMode::BestQuality, 0.1)
+            .unwrap()
+            .with_compensation_band(0.0)
+            .is_err());
+        // A band below the threshold clamps up to it (empty band).
+        let t =
+            Tuner::new(TuningMode::BestQuality, 0.3).unwrap().with_compensation_band(0.1).unwrap();
+        assert_eq!(t.compensation_band(), Some(0.3));
+        // Watchdog recalibration keeps the band a valid upper cut.
+        let mut t =
+            Tuner::new(TuningMode::BestQuality, 0.2).unwrap().with_compensation_band(0.4).unwrap();
+        t.reset_to(0.9);
+        assert_eq!(t.compensation_band(), Some(0.9));
     }
 
     #[test]

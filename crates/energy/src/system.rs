@@ -53,6 +53,11 @@ pub struct SchemeActivity {
     pub checker_cost: CheckerCost,
     /// Iterations re-executed exactly on the CPU.
     pub reexecutions: usize,
+    /// Iterations repaired in place by subtracting the checker's signed
+    /// error estimate (the predict-and-compensate path). Each costs one
+    /// subtract per transferred word on the merger side — orders of
+    /// magnitude below a CPU re-execution.
+    pub compensations: usize,
     /// Extra cycles serialized into the kernel phase (e.g. detector latency
     /// under placement Configuration 1).
     pub serial_detector_cycles: f64,
@@ -83,6 +88,9 @@ pub struct EnergyBreakdown {
     pub checker_nj: f64,
     /// CPU-active energy of exact re-executions.
     pub reexecution_nj: f64,
+    /// Merger-side energy of in-place compensations (one subtract per
+    /// transferred word, at checker-MAC energy).
+    pub compensation_nj: f64,
     /// CPU wait energy while the accelerator runs uncovered by recovery.
     pub idle_nj: f64,
 }
@@ -96,14 +104,16 @@ impl EnergyBreakdown {
             + self.queue_nj
             + self.checker_nj
             + self.reexecution_nj
+            + self.compensation_nj
             + self.idle_nj
     }
 
     /// The quality-management overhead: everything Rumba adds on top of an
-    /// unchecked accelerator (checker + re-execution energy).
+    /// unchecked accelerator (checker + recovery energy, both the
+    /// re-executed and the compensated kind).
     #[must_use]
     pub fn management_overhead_nj(&self) -> f64 {
-        self.checker_nj + self.reexecution_nj
+        self.checker_nj + self.reexecution_nj + self.compensation_nj
     }
 }
 
@@ -191,6 +201,12 @@ impl SystemModel {
             checker_nj: activity.checker_invocations as f64
                 * p.checker_prediction_nj(activity.checker_cost),
             reexecution_nj: reexec_stream * p.cpu_active_nj_per_cycle,
+            // One subtract per transferred word per compensated iteration
+            // (io_words is a conservative stand-in for the output width).
+            // The work hides in the merger, so it costs energy but no time.
+            compensation_nj: activity.compensations as f64
+                * activity.io_words_per_invocation as f64
+                * p.checker_mac_nj,
             idle_nj: (idle_gap + activity.serial_detector_cycles) * p.cpu_idle_nj_per_cycle,
         };
         (RunCost { cycles, energy_nj: breakdown.total_nj() }, breakdown)
@@ -218,6 +234,7 @@ mod tests {
             checker_invocations: 10_000,
             checker_cost: CheckerCost { macs: 4, comparisons: 1, table_reads: 4 },
             reexecutions: reexec,
+            compensations: 0,
             serial_detector_cycles: 0.0,
         }
     }
@@ -260,6 +277,25 @@ mod tests {
         let clean = m.accelerated(&w, &npu_activity(0));
         let heavy = m.accelerated(&w, &npu_activity(5_000));
         assert!(heavy.cycles > clean.cycles, "CPU became the bottleneck");
+    }
+
+    #[test]
+    fn compensation_is_orders_of_magnitude_cheaper_than_reexecution() {
+        let m = SystemModel::new(EnergyParams::default());
+        let w = workload();
+        let clean = m.accelerated(&w, &npu_activity(0));
+        let mut a = npu_activity(0);
+        a.compensations = 1_000;
+        let (compensated, breakdown) = m.accelerated_detailed(&w, &a);
+        let reexecuted = m.accelerated(&w, &npu_activity(1_000));
+        assert_eq!(compensated.cycles, clean.cycles, "compensation adds no time");
+        assert!(breakdown.compensation_nj > 0.0);
+        let comp_cost = compensated.energy_nj - clean.energy_nj;
+        let reexec_cost = reexecuted.energy_nj - clean.energy_nj;
+        assert!(
+            comp_cost * 100.0 < reexec_cost,
+            "per-fix: compensation {comp_cost} vs re-execution {reexec_cost}"
+        );
     }
 
     #[test]

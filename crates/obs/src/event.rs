@@ -40,6 +40,11 @@ pub enum Event {
         /// window budget floored to zero (recovery would otherwise be
         /// silently impossible).
         capacity_clamped: bool,
+        /// Flagged invocations repaired in place by subtracting the
+        /// signed error estimate instead of re-executing (0 — and omitted
+        /// from the JSON — when the compensation band is disabled, so
+        /// re-execution-only streams keep the pre-compensation schema).
+        compensated: u64,
         /// Serving-session label (empty outside the multi-tenant serving
         /// layer; empty labels are omitted from the JSON so single-tenant
         /// streams stay byte-identical to the pre-serving schema).
@@ -116,6 +121,9 @@ pub enum Event {
         invocations: u64,
         /// Iterations re-executed.
         fixes: u64,
+        /// Iterations compensated in place (0 — and omitted from the
+        /// JSON — when the compensation band is disabled).
+        compensated: u64,
         /// Measured mean output error of the merged stream.
         output_error: f64,
         /// Tuning windows observed.
@@ -244,6 +252,7 @@ impl Event {
                 queue_depth_max,
                 quarantined,
                 capacity_clamped,
+                compensated,
                 session,
             } => {
                 w.count("window", *window)
@@ -255,6 +264,9 @@ impl Event {
                     .count("queue_depth_max", *queue_depth_max)
                     .count("quarantined", *quarantined)
                     .boolean("capacity_clamped", *capacity_clamped);
+                if *compensated > 0 {
+                    w.count("compensated", *compensated);
+                }
                 if !session.is_empty() {
                     w.string("session", session);
                 }
@@ -293,6 +305,7 @@ impl Event {
                 kernel,
                 invocations,
                 fixes,
+                compensated,
                 output_error,
                 windows,
                 cpu_utilization,
@@ -301,8 +314,11 @@ impl Event {
             } => {
                 w.string("kernel", kernel)
                     .count("invocations", *invocations)
-                    .count("fixes", *fixes)
-                    .float("output_error", *output_error)
+                    .count("fixes", *fixes);
+                if *compensated > 0 {
+                    w.count("compensated", *compensated);
+                }
+                w.float("output_error", *output_error)
                     .count("windows", *windows)
                     .float("cpu_utilization", *cpu_utilization)
                     .float("final_threshold", *final_threshold);
@@ -371,6 +387,9 @@ impl Event {
                 capacity_clamped: obj
                     .boolean("capacity_clamped")
                     .ok_or_else(|| field("capacity_clamped"))?,
+                // Streams recorded before the compensate path existed carry
+                // no counter; those runs compensated nothing.
+                compensated: obj.count("compensated").unwrap_or(0),
                 session: obj.string("session").unwrap_or_default().to_owned(),
             }),
             "fault" => Ok(Event::Fault {
@@ -408,6 +427,7 @@ impl Event {
                 kernel: obj.string("kernel").ok_or_else(|| field("kernel"))?.to_owned(),
                 invocations: obj.count("invocations").ok_or_else(|| field("invocations"))?,
                 fixes: obj.count("fixes").ok_or_else(|| field("fixes"))?,
+                compensated: obj.count("compensated").unwrap_or(0),
                 output_error: obj.number("output_error").ok_or_else(|| field("output_error"))?,
                 windows: obj.count("windows").ok_or_else(|| field("windows"))?,
                 cpu_utilization: obj
@@ -467,6 +487,7 @@ mod tests {
                 queue_depth_max: 5,
                 quarantined: 4,
                 capacity_clamped: true,
+                compensated: 6,
                 session: String::new(),
             },
             Event::WindowEnd {
@@ -479,6 +500,7 @@ mod tests {
                 queue_depth_max: 1,
                 quarantined: 0,
                 capacity_clamped: false,
+                compensated: 0,
                 session: "tenant-1".into(),
             },
             Event::Fault {
@@ -502,6 +524,7 @@ mod tests {
                 kernel: "inversek2j".into(),
                 invocations: 10_000,
                 fixes: 731,
+                compensated: 112,
                 output_error: 0.0231,
                 windows: 40,
                 cpu_utilization: 0.412,
@@ -573,6 +596,7 @@ mod tests {
             queue_depth_max: 0,
             quarantined: 0,
             capacity_clamped: false,
+            compensated: 0,
             session: String::new(),
         };
         let line = event.to_jsonl();
@@ -646,5 +670,21 @@ mod tests {
         };
         // The tag is appended after every legacy field.
         assert!(tagged.to_jsonl().ends_with("\"session\":\"t\"}"), "{}", tagged.to_jsonl());
+    }
+
+    #[test]
+    fn zero_compensated_counts_are_omitted_from_the_wire() {
+        // Same golden contract as the session tag: runs that never
+        // compensate serialize exactly as they did before the field existed.
+        for event in samples() {
+            let line = event.to_jsonl();
+            let has = line.contains("\"compensated\"");
+            match &event {
+                Event::WindowEnd { compensated, .. } | Event::RunSummary { compensated, .. } => {
+                    assert_eq!(has, *compensated > 0, "{line}");
+                }
+                _ => assert!(!has, "{line}"),
+            }
+        }
     }
 }

@@ -111,6 +111,7 @@ impl fmt::Display for Report {
         let mut queue_max = 0u64;
         let mut quarantined_total = 0u64;
         let mut clamped_windows = 0usize;
+        let mut compensated_total = 0u64;
         for event in &self.events {
             if let Event::WindowEnd {
                 threshold,
@@ -120,6 +121,7 @@ impl fmt::Display for Report {
                 queue_depth_max,
                 quarantined,
                 capacity_clamped,
+                compensated,
                 ..
             } = event
             {
@@ -130,6 +132,7 @@ impl fmt::Display for Report {
                 queue_max = queue_max.max(*queue_depth_max);
                 quarantined_total += quarantined;
                 clamped_windows += usize::from(*capacity_clamped);
+                compensated_total += compensated;
             }
         }
         if !thresholds.is_empty() {
@@ -162,6 +165,9 @@ impl fmt::Display for Report {
                 fired_total as f64 / n as f64,
             )?;
             writeln!(f, "  recovery queue depth max: {queue_max}")?;
+            if compensated_total > 0 {
+                writeln!(f, "  compensated in place (no CPU re-execution): {compensated_total}")?;
+            }
             if quarantined_total > 0 {
                 writeln!(f, "  quarantined (non-finite NPU output): {quarantined_total}")?;
             }
@@ -219,6 +225,7 @@ impl fmt::Display for Report {
                 kernel,
                 invocations,
                 fixes,
+                compensated,
                 output_error,
                 windows,
                 cpu_utilization,
@@ -228,9 +235,14 @@ impl fmt::Display for Report {
             {
                 let scope =
                     if session.is_empty() { String::new() } else { format!("[{session}] ") };
+                let comp = if *compensated > 0 {
+                    format!(", {compensated} compensated")
+                } else {
+                    String::new()
+                };
                 writeln!(
                     f,
-                    "run: {scope}{kernel} — {invocations} invocations, {fixes} fixes ({}), output error {}, {windows} windows, cpu utilization {}, final threshold {final_threshold:.6}",
+                    "run: {scope}{kernel} — {invocations} invocations, {fixes} fixes ({}){comp}, output error {}, {windows} windows, cpu utilization {}, final threshold {final_threshold:.6}",
                     pct(*fixes as f64 / (*invocations).max(1) as f64),
                     pct(*output_error),
                     pct(*cpu_utilization),
@@ -293,6 +305,7 @@ mod tests {
             queue_depth_max: i,
             quarantined: i,
             capacity_clamped: i == 0,
+            compensated: 2 * i,
             session: String::new(),
         }
         .to_jsonl()
@@ -319,6 +332,7 @@ mod tests {
                 kernel: "gaussian".into(),
                 invocations: 1024,
                 fixes: 46,
+                compensated: 12,
                 output_error: 0.021,
                 windows: 4,
                 cpu_utilization: 0.5,
@@ -387,6 +401,8 @@ mod tests {
         assert!(rendered.contains("fired: 46 total"), "{rendered}");
         assert!(rendered.contains("suppressed by budget: 6"), "{rendered}");
         assert!(rendered.contains("quarantined (non-finite NPU output): 6"), "{rendered}");
+        assert!(rendered.contains("compensated in place (no CPU re-execution): 12"), "{rendered}");
+        assert!(rendered.contains("46 fixes (4.49%), 12 compensated"), "{rendered}");
         assert!(rendered.contains("cpu capacity clamped to 1 in 1 window(s)"), "{rendered}");
         assert!(rendered.contains("non_finite/quarantined: 1"), "{rendered}");
         assert!(rendered.contains("degrade: window 2 -> recalibrate"), "{rendered}");

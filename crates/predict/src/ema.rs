@@ -132,6 +132,35 @@ impl ErrorEstimator for EmaDetector {
         }
     }
 
+    fn estimate_signed(&self, _input: &[f64], approx_output: &[f64], magnitude: f64) -> f64 {
+        // Signed deviation from the moving trend, in output space. Pure:
+        // the averages were already advanced by the paired `estimate` call
+        // and must not move again. Unseeded or non-finite slots contribute
+        // nothing; with no usable slot, fall back to the magnitude.
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for (slot, &e) in self.state.iter().zip(approx_output) {
+            if let Some(ema) = slot {
+                if e.is_finite() {
+                    total += e - *ema;
+                    counted += 1;
+                }
+            }
+        }
+        if counted == 0 {
+            magnitude
+        } else {
+            total / counted as f64
+        }
+    }
+
+    fn state_config_word(&self) -> u64 {
+        crate::config_fingerprint(
+            self.name(),
+            &[self.history_len as u64, self.state.len() as u64, self.eps.to_bits()],
+        )
+    }
+
     fn cost(&self) -> CheckerCost {
         // Per element: one multiply-add to update the average, one
         // subtract/compare against the threshold.

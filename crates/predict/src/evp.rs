@@ -88,6 +88,28 @@ impl ErrorEstimator for EvpErrors {
         }
     }
 
+    fn estimate_signed(&self, input: &[f64], approx_output: &[f64], magnitude: f64) -> f64 {
+        // EVP's output-difference is already signed: the mean of
+        // `approx[j] − predicted[j]` over the output elements.
+        let mut total = 0.0;
+        let mut counted = 0usize;
+        for (model, &a) in self.models.iter().zip(approx_output) {
+            total += a - model.predict(input);
+            counted += 1;
+        }
+        if counted == 0 {
+            magnitude
+        } else {
+            total / counted as f64
+        }
+    }
+
+    fn state_config_word(&self) -> u64 {
+        let mut params = vec![self.models.len() as u64, self.eps.to_bits()];
+        params.extend(self.models.iter().map(|m| m.weights().len() as u64));
+        crate::config_fingerprint(self.name(), &params)
+    }
+
     fn cost(&self) -> CheckerCost {
         let per_model = self.models.first().map_or(0, |m| m.weights().len() + 1);
         CheckerCost {

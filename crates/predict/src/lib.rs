@@ -119,6 +119,22 @@ pub trait ErrorEstimator: fmt::Debug + Send {
     /// Predicts the invocation's approximation error.
     fn estimate(&mut self, input: &[f64], approx_output: &[f64]) -> f64;
 
+    /// Predicts the invocation's *signed* output-space error — the mean of
+    /// `approx[j] − exact[j]` over the output elements — so the runtime can
+    /// compensate by subtracting it from the approximate output in place.
+    ///
+    /// `magnitude` is the value [`ErrorEstimator::estimate`] returned for
+    /// this same invocation; the default implementation echoes it back
+    /// (magnitude-only checkers compensate as if the error were positive).
+    /// Implementations must be pure (`&self`): the runtime calls this only
+    /// *after* `estimate` for the row, and it must not advance any online
+    /// state — compensated rows follow the same quarantine discipline as
+    /// forced-exact ones.
+    fn estimate_signed(&self, input: &[f64], approx_output: &[f64], magnitude: f64) -> f64 {
+        let _ = (input, approx_output);
+        magnitude
+    }
+
     /// Scores `n` invocations from flat row-major buffers, appending one
     /// estimate per row to `scores` (cleared first). `inputs` is
     /// `n × input_dim` and `approx_outputs` is `n × output_dim`; a width of
@@ -184,10 +200,41 @@ pub trait ErrorEstimator: fmt::Debug + Send {
         }
     }
 
+    /// A deterministic fingerprint of the estimator's *configuration* —
+    /// kind plus the shape parameters that govern how
+    /// [`ErrorEstimator::export_state`] words decode (EMA alpha window and
+    /// slot count, model widths, tree size). Two estimators whose state
+    /// words are interchangeable bit-for-bit must agree on this word; two
+    /// whose word counts merely coincide (an EMA under a different alpha, a
+    /// linear snapshot restored as tree) must not. The serving layer stores
+    /// it alongside the state words and rejects restores onto a
+    /// differently-configured checker.
+    fn state_config_word(&self) -> u64 {
+        config_fingerprint(self.name(), &[])
+    }
+
     /// Whether the estimator reads accelerator inputs (true) or approximate
     /// outputs (false) — §3.5's placement constraint: only input-based
     /// detectors can run before/parallel to the accelerator.
     fn is_input_based(&self) -> bool;
+}
+
+/// FNV-1a over the estimator name and its shape parameters — the default
+/// currency of [`ErrorEstimator::state_config_word`].
+#[must_use]
+pub fn config_fingerprint(name: &str, params: &[u64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    for &p in params {
+        for b in p.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
 }
 
 #[cfg(test)]

@@ -72,10 +72,13 @@ impl LinearModel {
 }
 
 /// The `linearErrors` checker: an input-based EEP estimator backed by one
-/// [`LinearModel`] trained directly on observed invocation errors.
+/// [`LinearModel`] trained directly on observed invocation errors, plus an
+/// optional second model fit on *signed* output-space errors for the
+/// compensation path.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinearErrors {
     model: LinearModel,
+    signed: Option<LinearModel>,
 }
 
 impl LinearErrors {
@@ -86,20 +89,35 @@ impl LinearErrors {
     ///
     /// Propagates shape and singularity errors from the solver.
     pub fn train(rows: &[&[f64]], errors: &[f64], ridge: f64) -> Result<Self> {
-        Ok(Self { model: LinearModel::fit(rows, errors, ridge)? })
+        Ok(Self { model: LinearModel::fit(rows, errors, ridge)?, signed: None })
     }
 
     /// Wraps an already-built model (the config-stream decoder's
     /// constructor).
     #[must_use]
     pub fn from_model(model: LinearModel) -> Self {
-        Self { model }
+        Self { model, signed: None }
+    }
+
+    /// Attaches a model fit on signed output-space errors (mean of
+    /// `approx[j] − exact[j]` per row); [`ErrorEstimator::estimate_signed`]
+    /// evaluates it unclamped.
+    #[must_use]
+    pub fn with_signed_model(mut self, signed: LinearModel) -> Self {
+        self.signed = Some(signed);
+        self
     }
 
     /// The underlying affine model (weights feed the coefficient buffer).
     #[must_use]
     pub fn model(&self) -> &LinearModel {
         &self.model
+    }
+
+    /// The signed-error model, when one was attached.
+    #[must_use]
+    pub fn signed_model(&self) -> Option<&LinearModel> {
+        self.signed.as_ref()
     }
 }
 
@@ -109,8 +127,23 @@ impl ErrorEstimator for LinearErrors {
     }
 
     fn estimate(&mut self, input: &[f64], _approx_output: &[f64]) -> f64 {
-        // Errors are nonnegative by definition; clamp the affine output.
+        // Magnitude estimates stay nonnegative; clamp the affine output.
+        // The signed path below is deliberately unclamped.
         self.model.predict(input).max(0.0)
+    }
+
+    fn estimate_signed(&self, input: &[f64], _approx_output: &[f64], magnitude: f64) -> f64 {
+        match &self.signed {
+            Some(m) => m.predict(input),
+            None => magnitude,
+        }
+    }
+
+    fn state_config_word(&self) -> u64 {
+        crate::config_fingerprint(
+            self.name(),
+            &[self.model.weights().len() as u64, u64::from(self.signed.is_some())],
+        )
     }
 
     fn cost(&self) -> CheckerCost {

@@ -299,6 +299,7 @@ fn measure(node: &Node) -> (usize, usize) {
 #[derive(Debug, Clone, PartialEq)]
 pub struct TreeErrors {
     tree: Arc<DecisionTree>,
+    signed: Option<Arc<DecisionTree>>,
 }
 
 impl TreeErrors {
@@ -315,13 +316,28 @@ impl TreeErrors {
     /// constructor).
     #[must_use]
     pub fn from_tree(tree: DecisionTree) -> Self {
-        Self { tree: Arc::new(tree) }
+        Self { tree: Arc::new(tree), signed: None }
+    }
+
+    /// Attaches a tree fit on signed output-space errors (mean of
+    /// `approx[j] − exact[j]` per row); [`ErrorEstimator::estimate_signed`]
+    /// evaluates it unclamped.
+    #[must_use]
+    pub fn with_signed_tree(mut self, signed: DecisionTree) -> Self {
+        self.signed = Some(Arc::new(signed));
+        self
     }
 
     /// The trained tree (structure feeds the coefficient buffer).
     #[must_use]
     pub fn tree(&self) -> &DecisionTree {
         &self.tree
+    }
+
+    /// The signed-error tree, when one was attached.
+    #[must_use]
+    pub fn signed_tree(&self) -> Option<&DecisionTree> {
+        self.signed.as_deref()
     }
 }
 
@@ -332,6 +348,20 @@ impl ErrorEstimator for TreeErrors {
 
     fn estimate(&mut self, input: &[f64], _approx_output: &[f64]) -> f64 {
         self.tree.predict(input).max(0.0)
+    }
+
+    fn estimate_signed(&self, input: &[f64], _approx_output: &[f64], magnitude: f64) -> f64 {
+        match &self.signed {
+            Some(t) => t.predict(input),
+            None => magnitude,
+        }
+    }
+
+    fn state_config_word(&self) -> u64 {
+        crate::config_fingerprint(
+            self.name(),
+            &[self.tree.node_count() as u64, u64::from(self.signed.is_some())],
+        )
     }
 
     fn cost(&self) -> CheckerCost {

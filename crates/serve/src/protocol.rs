@@ -10,7 +10,7 @@
 //!
 //! | op         | fields                                                            |
 //! |------------|-------------------------------------------------------------------|
-//! | `open`     | `session` (required), `kernel`, `seed`, `checker`, `mode` (`toq`/`energy`/`best`), `toq`, `budget`, `window`, `queue`, `admission` (`shed`/`block`), `faults` (spec string), `fault_seed`, `watchdog` (bool) |
+//! | `open`     | `session` (required), `kernel`, `seed`, `checker`, `mode` (`toq`/`energy`/`best`), `toq`, `budget`, `window`, `queue`, `admission` (`shed`/`block`), `faults` (spec string), `fault_seed`, `watchdog` (bool), `fix` (`reexecute`/`compensate`), `band` (compensation band, required with `fix=compensate`) |
 //! | `invoke`   | `session`, `input` (number array)                                 |
 //! | `drain`    | `session` (optional — omitted drains **all** sessions through one multiplexed scheduling round) |
 //! | `stats`    | `session`                                                         |
@@ -21,7 +21,7 @@
 
 use std::io::{BufRead, Write};
 
-use rumba_core::runtime::WatchdogConfig;
+use rumba_core::runtime::{FixPolicy, WatchdogConfig};
 use rumba_core::tuner::TuningMode;
 use rumba_faults::FaultPlan;
 use rumba_obs::json::{parse_object, JsonObject, JsonWriter, ObjectExt};
@@ -49,10 +49,14 @@ pub(crate) fn result_line(session: &str, r: &SessionResult) -> String {
 
 pub(crate) fn closed_line(session: &str, stats: &SessionStats) -> String {
     let mut w = JsonWriter::object("closed");
-    w.string("session", session)
-        .count("processed", stats.processed)
-        .count("fixes", stats.fixes)
-        .count("shed", stats.shed)
+    w.string("session", session).count("processed", stats.processed).count("fixes", stats.fixes);
+    // Like the telemetry events, the compensated count is omitted when
+    // zero so re-execution-only transcripts are byte-identical to the
+    // pre-compensation wire format.
+    if stats.compensated > 0 {
+        w.count("compensated", stats.compensated);
+    }
+    w.count("shed", stats.shed)
         .count("blocked", stats.blocked)
         .float("mean_error", stats.mean_error())
         .float("cpu_utilization", stats.cpu_utilization())
@@ -104,6 +108,22 @@ fn parse_config(obj: &JsonObject) -> Result<SessionConfig, ServeError> {
     }
     if obj.boolean("watchdog").unwrap_or(false) {
         config.watchdog = Some(WatchdogConfig::default());
+    }
+    match obj.string("fix") {
+        None | Some("reexecute") => {}
+        Some("compensate") => {
+            let band = obj.number("band").ok_or_else(|| {
+                ServeError::InvalidConfig(
+                    "fix \"compensate\" requires a \"band\" number".to_owned(),
+                )
+            })?;
+            config.fix_policy = FixPolicy::Compensate { band };
+        }
+        Some(other) => {
+            return Err(ServeError::InvalidConfig(format!(
+                "unknown fix policy {other:?} (expected reexecute or compensate)"
+            )))
+        }
     }
     Ok(config)
 }
@@ -205,8 +225,11 @@ fn handle_op(
                 .count("queue_depth", session.queue_depth() as u64)
                 .count("capacity", session.effective_capacity() as u64)
                 .count("processed", stats.processed)
-                .count("fixes", stats.fixes)
-                .count("shed", stats.shed)
+                .count("fixes", stats.fixes);
+            if stats.compensated > 0 {
+                w.count("compensated", stats.compensated);
+            }
+            w.count("shed", stats.shed)
                 .count("blocked", stats.blocked)
                 .count("queue_high_water", stats.queue_high_water as u64)
                 .float("mean_error", stats.mean_error())

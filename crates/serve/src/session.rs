@@ -6,7 +6,7 @@ use std::collections::VecDeque;
 use rumba_accel::{CheckerUnit, Npu};
 use rumba_apps::{kernel_by_name, Kernel, Split};
 use rumba_core::event_sim::{simulate_detailed_with_faults, QueueConfig};
-use rumba_core::runtime::{RumbaSystem, RuntimeConfig, WatchdogConfig};
+use rumba_core::runtime::{FixPolicy, RumbaSystem, RuntimeConfig, WatchdogConfig};
 use rumba_core::trainer::{train_app, OfflineConfig, TrainedApp};
 use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
 use rumba_faults::FaultPlan;
@@ -128,6 +128,9 @@ pub struct SessionConfig {
     pub faults: Option<FaultPlan>,
     /// Optional quality watchdog for graceful degradation.
     pub watchdog: Option<WatchdogConfig>,
+    /// What flagged invocations get: CPU re-execution (the default) or
+    /// in-place compensation for the mildly wrong band.
+    pub fix_policy: FixPolicy,
 }
 
 impl Default for SessionConfig {
@@ -142,6 +145,7 @@ impl Default for SessionConfig {
             admission: AdmissionPolicy::default(),
             faults: None,
             watchdog: None,
+            fix_policy: FixPolicy::default(),
         }
     }
 }
@@ -172,6 +176,9 @@ pub struct SessionStats {
     pub processed: u64,
     /// Invocations re-executed on the CPU.
     pub fixes: u64,
+    /// Invocations compensated in place (predicted error subtracted; no
+    /// CPU re-execution).
+    pub compensated: u64,
     /// Requests rejected by the shed policy.
     pub shed: u64,
     /// Requests that forced a blocking drain before admission.
@@ -388,6 +395,7 @@ impl Session {
             window: config.window,
             recovery_queue_capacity: config.queue.recovery_capacity,
             watchdog: config.watchdog,
+            fix_policy: config.fix_policy,
             ..RuntimeConfig::default()
         };
         let mut system = RumbaSystem::new(
@@ -436,10 +444,13 @@ impl Session {
         }
     }
 
-    /// The 13 `SessionStats` counters as snapshot words, floats as bits.
+    /// The `SessionStats` counters as snapshot words, floats as bits. The
+    /// 14th word (`compensated`) is appended only when nonzero, so
+    /// re-execution-only sessions keep the historical 13-word layout byte
+    /// for byte.
     fn export_stats(&self) -> Vec<u64> {
         let s = &self.stats;
-        vec![
+        let mut words = vec![
             s.submitted,
             s.processed,
             s.fixes,
@@ -453,13 +464,17 @@ impl Session {
             s.total_cycles.to_bits(),
             s.cpu_busy_cycles.to_bits(),
             s.final_threshold.to_bits(),
-        ]
+        ];
+        if s.compensated > 0 {
+            words.push(s.compensated);
+        }
+        words
     }
 
     fn import_stats(&mut self, words: &[u64]) -> Result<(), ServeError> {
-        if words.len() != 13 {
+        if words.len() != 13 && words.len() != 14 {
             return Err(ServeError::InvalidConfig(format!(
-                "snapshot stats wants 13 words, got {}",
+                "snapshot stats wants 13 or 14 words, got {}",
                 words.len()
             )));
         }
@@ -477,6 +492,7 @@ impl Session {
             total_cycles: f64::from_bits(words[10]),
             cpu_busy_cycles: f64::from_bits(words[11]),
             final_threshold: f64::from_bits(words[12]),
+            compensated: words.get(13).copied().unwrap_or(0),
         };
         Ok(())
     }
@@ -714,6 +730,7 @@ impl Session {
             });
         }
         self.stats.fixes = self.system.stream_fixes() as u64;
+        self.stats.compensated = self.system.stream_compensations() as u64;
 
         let run = simulate_detailed_with_faults(
             batch.rows,
@@ -780,6 +797,7 @@ impl Session {
                 kernel: self.kernel.name().to_owned(),
                 invocations: self.stats.processed,
                 fixes: self.stats.fixes,
+                compensated: self.stats.compensated,
                 output_error: self.stats.mean_error(),
                 windows: self.system.windows_flushed(),
                 cpu_utilization: self.stats.cpu_utilization(),

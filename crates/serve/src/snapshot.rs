@@ -25,7 +25,7 @@
 //! the name — or to a differently named session entirely.
 
 use rumba_core::event_sim::QueueConfig;
-use rumba_core::runtime::WatchdogConfig;
+use rumba_core::runtime::{FixPolicy, WatchdogConfig};
 use rumba_core::tuner::TuningMode;
 use rumba_faults::{FaultModel, FaultPlan};
 
@@ -44,7 +44,8 @@ pub(crate) struct SnapshotParts {
     pub(crate) config: SessionConfig,
     /// `RumbaSystem::export_state` words (tuner, windows, checker, ...).
     pub(crate) runtime: Vec<u64>,
-    /// The 13 `SessionStats` counters.
+    /// The `SessionStats` counters (13, plus a trailing `compensated`
+    /// word when nonzero).
     pub(crate) stats: Vec<u64>,
     /// Queued-but-undrained request rows: `[rows, input bits...]`.
     pub(crate) queue: Vec<u64>,
@@ -82,6 +83,12 @@ impl SnapshotParts {
             c.queue.recovery_capacity,
             c.admission.label()
         );
+        // Omitted for the default re-execution policy, so snapshots of
+        // sessions that never heard of compensation are byte-identical to
+        // the pre-compensation encoding.
+        if let FixPolicy::Compensate { band } = c.fix_policy {
+            let _ = write!(out, " fix=comp:{:016x}", band.to_bits());
+        }
         if let Some(plan) = &c.faults {
             push_section(&mut out, "faults", &encode_fault_plan(plan));
         }
@@ -131,6 +138,7 @@ impl SnapshotParts {
                 "admission" => {
                     config.admission = AdmissionPolicy::parse(value).map_err(|e| e.to_string())?;
                 }
+                "fix" => config.fix_policy = parse_fix(value)?,
                 other => return Err(format!("unknown config key {other:?}")),
             }
         }
@@ -219,6 +227,14 @@ fn parse_mode(value: &str) -> Result<TuningMode, String> {
         "energy" => Ok(TuningMode::EnergyBudget { budget: parse_dec(param, "budget")? as usize }),
         other => Err(format!("unknown mode {other:?}")),
     }
+}
+
+fn parse_fix(value: &str) -> Result<FixPolicy, String> {
+    let Some(("comp", bits)) = value.split_once(':') else {
+        return Err(format!("malformed fix token {value:?} (expected comp:<band bits>)"));
+    };
+    let bits = u64::from_str_radix(bits, 16).map_err(|_| format!("bad band bits {bits:?}"))?;
+    Ok(FixPolicy::Compensate { band: f64::from_bits(bits) })
 }
 
 fn parse_queue(value: &str) -> Result<QueueConfig, String> {
@@ -316,6 +332,7 @@ mod tests {
                     .with(FaultModel::QueuePressure { start: 8, slots: 2 }),
             ),
             watchdog: Some(WatchdogConfig::default()),
+            fix_policy: FixPolicy::Compensate { band: 0.125 },
         }
     }
 
@@ -357,5 +374,31 @@ mod tests {
         assert!(SnapshotParts::parse(text.trim_end_matches(char::is_alphanumeric)).is_err());
         let truncated = text.rsplit_once(' ').unwrap().0;
         assert!(SnapshotParts::parse(truncated).is_err());
+    }
+
+    #[test]
+    fn default_fix_policy_leaves_the_encoding_untouched() {
+        let parts = SnapshotParts {
+            config: SessionConfig::default(),
+            runtime: vec![1],
+            stats: vec![0; 13],
+            queue: vec![0],
+            completed: vec![0],
+        };
+        let text = parts.encode();
+        assert!(!text.contains("fix="), "{text}");
+        assert_eq!(SnapshotParts::parse(&text).unwrap().config.fix_policy, FixPolicy::Reexecute);
+
+        let comp = SnapshotParts {
+            config: SessionConfig {
+                fix_policy: FixPolicy::Compensate { band: 0.25 },
+                ..SessionConfig::default()
+            },
+            ..parts
+        };
+        let comp_text = comp.encode();
+        assert!(comp_text.contains("fix=comp:"), "{comp_text}");
+        assert_eq!(SnapshotParts::parse(&comp_text).unwrap(), comp);
+        assert!(SnapshotParts::parse(&comp_text.replace("comp:", "warp:")).is_err());
     }
 }

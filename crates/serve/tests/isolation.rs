@@ -61,6 +61,7 @@ fn profile(tenant: usize, faulty: bool) -> SessionConfig {
         admission: AdmissionPolicy::Shed,
         faults: None,
         watchdog: None,
+        ..SessionConfig::default()
     };
     if faulty {
         config.faults = Some(

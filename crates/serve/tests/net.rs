@@ -365,6 +365,151 @@ fn abrupt_disconnect_mid_line_never_executes_the_torn_request() {
     server.join().unwrap();
 }
 
+/// The compensating variant of [`open_req`]: flagged invocations whose
+/// predicted error sits at or below `band` are repaired in place instead
+/// of queued for CPU re-execution.
+fn open_compensate_req(name: &str, band: f64) -> String {
+    open_req(name).replacen(
+        "\"watchdog\":true}",
+        &format!("\"watchdog\":true,\"fix\":\"compensate\",\"band\":{band}}}"),
+        1,
+    )
+}
+
+/// [`open_compensate_req`] at a quality target tight enough that the
+/// firing threshold lands inside the checker's score range: ordinary
+/// finite scores then actually flag, giving the band something to
+/// compensate (at `toq = 0.9` only fault-injected non-finite scores fire,
+/// and those always sit above any band).
+fn open_compensate_tight_req(name: &str, band: f64) -> String {
+    open_compensate_req(name, band).replacen("\"toq\":0.9,", "\"toq\":0.995,", 1)
+}
+
+/// Restoring a snapshot onto a differently-configured checker must fail
+/// in-band: the config word embedded in the exported checker state
+/// detects the mismatch before any coefficients are imported, instead of
+/// silently priming an incompatible predictor with another model's state.
+#[test]
+fn restore_under_a_different_checker_is_rejected_in_band() {
+    let data = workload();
+    let mut rt = ServeRuntime::new();
+    let mut head: Vec<(String, &str)> = vec![(open_req("t0"), "open")];
+    for k in 0..6 {
+        head.push((invoke_req("t0", data.input((k * 7) % data.len())), "invoke"));
+    }
+    head.push(("{\"op\":\"drain\",\"session\":\"t0\"}".to_owned(), "drain"));
+    replay(&mut rt, &head);
+    let (snap, _) = handle_line(&mut rt, "{\"op\":\"snapshot\",\"session\":\"t0\"}");
+    let state = parse_object(&snap[0]).unwrap().string("state").expect("state").to_owned();
+    drop(rt);
+
+    // Tamper the config line: claim the snapshot was taken under a tree
+    // checker. The embedded checker state still carries the EMA config
+    // word, so the restore must be refused.
+    assert!(state.contains("checker=ema"), "snapshot must name its checker: {state}");
+    let tampered = state.replace("checker=ema", "checker=tree");
+
+    let restore_req = |state: &str| {
+        let mut w = JsonWriter::object("request");
+        w.string("op", "restore").string("session", "t1").string("state", state);
+        w.finish().replacen("\"type\":\"request\",", "", 1)
+    };
+    let mut rt = ServeRuntime::new();
+    let (lines, shutdown) = handle_line(&mut rt, &restore_req(&tampered));
+    assert!(!shutdown);
+    assert_eq!(lines.len(), 1, "{lines:?}");
+    assert!(lines[0].starts_with("{\"type\":\"error\""), "{lines:?}");
+    assert!(lines[0].contains("checker config mismatch"), "{lines:?}");
+
+    // The rejection is clean: the same runtime still accepts the
+    // untampered snapshot afterwards.
+    let (ack, _) = handle_line(&mut rt, &restore_req(&state));
+    assert!(ack[0].starts_with("{\"type\":\"ack\",\"op\":\"restore\""), "{ack:?}");
+}
+
+/// A compensating session survives snapshot → restore → continue bit for
+/// bit: the band travels in the config line, the compensation counter in
+/// the runtime state, and the continuation replays identically to the
+/// uninterrupted run.
+#[test]
+fn compensating_snapshot_restore_continue_is_bitwise_identical() {
+    let data = workload();
+    let mut head: Vec<(String, &str)> = vec![(open_compensate_tight_req("t0", 5.0), "open")];
+    for k in 0..10 {
+        head.push((invoke_req("t0", data.input((k * 7) % data.len())), "invoke"));
+        if k % 4 == 3 {
+            head.push(("{\"op\":\"drain\",\"session\":\"t0\"}".to_owned(), "drain"));
+        }
+    }
+    let tail = continuation_script("t0");
+
+    let mut rt = ServeRuntime::new();
+    replay(&mut rt, &head);
+    let expected = replay(&mut rt, &tail);
+
+    let mut rt = ServeRuntime::new();
+    replay(&mut rt, &head);
+    let (snap, _) = handle_line(&mut rt, "{\"op\":\"snapshot\",\"session\":\"t0\"}");
+    let state = parse_object(&snap[0]).unwrap().string("state").expect("state").to_owned();
+    assert!(state.contains("fix=comp:"), "compensating snapshot must carry its band: {state}");
+    drop(rt);
+
+    let mut rt = ServeRuntime::new();
+    let mut w = JsonWriter::object("request");
+    w.string("op", "restore").string("session", "t0").string("state", &state);
+    let restore_req = w.finish().replacen("\"type\":\"request\",", "", 1);
+    let (ack, _) = handle_line(&mut rt, &restore_req);
+    assert!(ack[0].starts_with("{\"type\":\"ack\",\"op\":\"restore\""), "{ack:?}");
+    let continued = replay(&mut rt, &tail);
+    assert_eq!(continued, expected, "restored compensating session diverged");
+
+    // The run repaired something in place — the invariance above is not
+    // vacuous — and the closed line reports it.
+    let closed = expected.last().unwrap();
+    assert!(closed.contains("\"compensated\":"), "no compensation happened: {closed}");
+}
+
+/// Compensation decisions live on the deterministic quality path: the
+/// same compensating script produces byte-identical response streams at
+/// one and four workers, scalar and vector kernels, and over a sharded
+/// TCP server at one and two shards.
+#[test]
+fn compensation_is_thread_simd_and_shard_invariant() {
+    use rumba_nn::SimdMode;
+
+    let mut script = session_script("t0", 5);
+    script[0] = (open_compensate_tight_req("t0", 5.0), "open");
+
+    let mut traces = Vec::new();
+    for threads in [1usize, 4] {
+        for mode in [SimdMode::Off, SimdMode::On] {
+            rumba_parallel::set_thread_override(Some(threads));
+            rumba_nn::set_simd_override(Some(mode));
+            let mut rt = ServeRuntime::new();
+            traces.push(replay(&mut rt, &script));
+        }
+    }
+    rumba_nn::set_simd_override(None);
+    rumba_parallel::set_thread_override(None);
+    for other in &traces[1..] {
+        assert_eq!(&traces[0], other, "compensation moved across threads/SIMD");
+    }
+
+    for shards in [1usize, 2] {
+        let server = NetServer::bind_tcp("127.0.0.1:0", shards).unwrap();
+        let addr = server.addr().to_owned();
+        let mut client = Client::connect(&addr);
+        let mut observed = Vec::new();
+        for (line, op) in &script {
+            observed.extend(client.request(line, op));
+        }
+        client.request("{\"op\":\"shutdown\"}", "shutdown");
+        drop(client);
+        server.join().unwrap();
+        assert_eq!(observed, traces[0], "compensation moved across the net at {shards} shard(s)");
+    }
+}
+
 /// Printable-ASCII garbage derived from a seed (the vendored proptest
 /// shim has no string strategies): everything from empty lines to brace
 /// soup that almost parses.
@@ -417,5 +562,36 @@ proptest! {
             observed.extend(lines);
         }
         prop_assert_eq!(observed, clean);
+    }
+
+    /// `fix=compensate` with an empty band is the re-execution-only
+    /// policy bit for bit, over arbitrary request streams and drain
+    /// points: a vanishing band clamps up to the firing threshold, where
+    /// `threshold < predicted <= band` has no solutions, so the
+    /// compensation machinery must be pure scaffolding until the band
+    /// actually opens.
+    #[test]
+    fn empty_compensation_band_is_bitwise_reexecute_only(
+        rows in proptest::collection::vec(0usize..512, 8..20),
+        drains in proptest::collection::vec(proptest::bool::ANY, 20),
+    ) {
+        let data = workload();
+        let build = |open: String| {
+            let mut script: Vec<(String, &'static str)> = vec![(open, "open")];
+            for (k, &r) in rows.iter().enumerate() {
+                script.push((invoke_req("t0", data.input(r % data.len())), "invoke"));
+                if drains.get(k).copied().unwrap_or(false) {
+                    script.push(("{\"op\":\"drain\",\"session\":\"t0\"}".to_owned(), "drain"));
+                }
+            }
+            script.push(("{\"op\":\"stats\",\"session\":\"t0\"}".to_owned(), "stats"));
+            script.push(("{\"op\":\"close\",\"session\":\"t0\"}".to_owned(), "close"));
+            script
+        };
+        let mut rt = ServeRuntime::new();
+        let reexec = replay(&mut rt, &build(open_req("t0")));
+        let mut rt = ServeRuntime::new();
+        let comp = replay(&mut rt, &build(open_compensate_req("t0", 1e-12)));
+        prop_assert_eq!(comp, reexec);
     }
 }
