@@ -199,6 +199,28 @@ for simd in 0 1; do
 done
 echo "    compensate sweep byte-identical at SIMD {0,1} x threads {1,4}"
 
+echo "==> golden check: model-zoo sweep vs ci/zoo.golden"
+# The zoo sweep (tier ladder training, topology search, bar calibration,
+# per-invocation routing, energy accounting) is pure arithmetic over the
+# deterministic splits: router decisions are fixed serially at the
+# calibrated bar, so the report must be byte-identical at every
+# thread x SIMD combination — and match the committed golden bit for
+# bit. The pre-existing run/fig goldens double as the proof that the
+# zoo-disabled paths are untouched.
+for simd in 0 1; do
+    for t in 1 4; do
+        RUMBA_CACHE=0 RUMBA_THREADS=$t RUMBA_SIMD=$simd \
+            cargo run --release -q -p rumba-cli --bin rumba -- \
+            zoo --seed 7 >"$smoke_dir/zoo.s$simd.t$t" 2>/dev/null
+        if ! cmp -s "$smoke_dir/zoo.s$simd.t$t" ci/zoo.golden; then
+            echo "FAIL: zoo sweep (RUMBA_SIMD=$simd, RUMBA_THREADS=$t) differs from ci/zoo.golden" >&2
+            diff ci/zoo.golden "$smoke_dir/zoo.s$simd.t$t" | head -20 >&2
+            exit 1
+        fi
+    done
+done
+echo "    zoo sweep byte-identical at SIMD {0,1} x threads {1,4}"
+
 echo "==> matrix bench smoke (bit-exactness gate + allocation probe)"
 # The bench asserts batched == per-sample bitwise and zero steady-state
 # allocations before it times anything, so a short run is a real check.

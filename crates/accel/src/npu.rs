@@ -229,6 +229,60 @@ impl Npu {
         Ok(self.cycles_per_invocation)
     }
 
+    /// [`Npu::invoke_batch_at`] for a *gathered* batch: row `i` of
+    /// `inputs` is treated as stream invocation `positions[i]` for every
+    /// fault decision. The model-zoo router uses this to dispatch the
+    /// subset of a window routed to one tier as a single flat-matrix
+    /// batch (keeping the SIMD paths hot) while every row's fault stream
+    /// stays keyed on its true stream position — so a routed run is
+    /// corrupted bit-identically to per-row [`Npu::invoke_at`] calls.
+    ///
+    /// # Errors
+    ///
+    /// Returns a dimension error if `inputs` does not match the configured
+    /// topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `positions.len()` differs from `inputs.rows()`.
+    pub fn invoke_rows_at(
+        &self,
+        positions: &[usize],
+        inputs: MatrixView<'_>,
+        scratch: &mut Scratch,
+        out: &mut Matrix,
+    ) -> Result<u64, NnError> {
+        assert_eq!(positions.len(), inputs.rows(), "one stream position per gathered row");
+        let drifted;
+        let effective = match &self.fault_plan {
+            Some(plan) if plan.has_input_faults() => {
+                let mut flat = inputs.as_slice().to_vec();
+                let cols = inputs.cols().max(1);
+                for (row, chunk) in flat.chunks_mut(cols).enumerate() {
+                    plan.drift_input(positions[row], chunk);
+                }
+                drifted = flat;
+                MatrixView::new(&drifted, inputs.rows(), inputs.cols())
+            }
+            _ => inputs,
+        };
+        match (&self.fixed, self.params.precision_bits) {
+            (Some(fixed), _) => fixed.predict_batch(effective, scratch, out)?,
+            (None, Some(bits)) => {
+                self.model.predict_batch_quantized(effective, bits, scratch, out)?;
+            }
+            (None, None) => self.model.predict_batch(effective, scratch, out)?,
+        }
+        if let Some(plan) = &self.fault_plan {
+            if plan.has_output_faults() {
+                for (row, &position) in positions.iter().enumerate() {
+                    plan.corrupt_output(position, out.row_mut(row));
+                }
+            }
+        }
+        Ok(self.cycles_per_invocation)
+    }
+
     /// Cycles every invocation costs (the model is static, so this is a
     /// constant per configuration).
     #[must_use]
@@ -490,6 +544,50 @@ mod tests {
                 assert_eq!(batch_bits, row_bits, "base {base} row {i}");
             }
         }
+    }
+
+    #[test]
+    fn gathered_rows_match_serial_invocations_at_their_true_positions() {
+        use rumba_faults::{FaultModel, FaultPlan};
+        // A routed sub-batch gathers non-contiguous stream positions; every
+        // fault decision must key on the true position, not the gathered
+        // row index — for the float, quantized, and fixed-point datapaths.
+        let plan = FaultPlan::new(0x2007)
+            .with(FaultModel::BitFlip { rate: 0.2 })
+            .with(FaultModel::InputDrift { start: 3, ramp: 5, magnitude: 0.25 });
+        for params in [
+            NpuParams::default(),
+            NpuParams { precision_bits: Some(8), ..NpuParams::default() },
+            NpuParams { precision_bits: Some(10), fixed_point: true, ..NpuParams::default() },
+        ] {
+            let npu = Npu::new(toy_model(&[2, 6, 2]), params).with_fault_plan(plan.clone());
+            let positions = [2usize, 5, 11, 17, 23];
+            let flat: Vec<f64> = (0..10).map(|i| i as f64 / 3.0).collect();
+            let gathered = MatrixView::new(&flat, 5, 2);
+            let (mut scratch, mut out) = (Scratch::new(), Matrix::default());
+            let cycles = npu.invoke_rows_at(&positions, gathered, &mut scratch, &mut out).unwrap();
+            assert_eq!(cycles, npu.cycles_per_invocation());
+            for (i, &pos) in positions.iter().enumerate() {
+                let serial = npu.invoke_at(pos, gathered.row(i)).unwrap();
+                let batch_bits: Vec<u64> = out.row(i).iter().map(|x| x.to_bits()).collect();
+                let row_bits: Vec<u64> = serial.outputs.iter().map(|x| x.to_bits()).collect();
+                assert_eq!(batch_bits, row_bits, "params {params:?} position {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn contiguous_gathered_rows_match_invoke_batch_at_bitwise() {
+        let npu = Npu::new(toy_model(&[2, 6, 2]), NpuParams::default());
+        let flat: Vec<f64> = (0..40).map(|i| i as f64 / 7.0).collect();
+        let inputs = MatrixView::new(&flat, 20, 2);
+        let positions: Vec<usize> = (9..29).collect();
+        let (mut s1, mut plain) = (Scratch::new(), Matrix::default());
+        npu.invoke_batch_at(9, inputs, &mut s1, &mut plain).unwrap();
+        let (mut s2, mut routed) = (Scratch::new(), Matrix::default());
+        npu.invoke_rows_at(&positions, inputs, &mut s2, &mut routed).unwrap();
+        let bits = |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&plain), bits(&routed));
     }
 
     #[test]

@@ -1,0 +1,75 @@
+//! Cost of model-zoo routing: the per-invocation router decision (a
+//! linear predict per tier until one fits the bar) and the end-to-end
+//! overhead of a zoo-routed stream against the single-model runtime it
+//! replaces — the router must stay far below one accelerator invocation
+//! for tiered serving to pay for itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumba_accel::CheckerUnit;
+use rumba_apps::{kernel_by_name, Split};
+use rumba_core::cache::TrainedModelCache;
+use rumba_core::runtime::{RumbaSystem, RuntimeConfig};
+use rumba_core::trainer::{train_app, OfflineConfig};
+use rumba_core::tuner::{Tuner, TuningMode};
+use rumba_core::zoo::train_zoo_with_cache;
+use std::hint::black_box;
+
+fn bench_zoo(c: &mut Criterion) {
+    let kernel = kernel_by_name("gaussian").expect("didactic kernel");
+    let cfg = OfflineConfig::default();
+    let app = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
+    let zoo = train_zoo_with_cache(kernel.as_ref(), &app, &cfg, 3, &TrainedModelCache::disabled())
+        .expect("zoo training succeeds");
+    let test = kernel.generate(Split::Test, 42);
+
+    let mut group = c.benchmark_group("model_zoo");
+    // The pure router decision, amortized over the test split: one
+    // linear predict per tier until a tier meets the bar.
+    group.bench_function("route_per_invocation", |b| {
+        b.iter(|| {
+            let mut sum = 0usize;
+            for i in 0..test.len() {
+                sum += zoo.route(black_box(test.input(i)), black_box(0.05));
+            }
+            black_box(sum)
+        });
+    });
+
+    let build = || {
+        RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.05).expect("valid"),
+            RuntimeConfig::default(),
+        )
+        .expect("valid config")
+    };
+    group.bench_function("single_model_stream", |b| {
+        b.iter(|| {
+            let mut system = build();
+            black_box(system.run(kernel.as_ref(), &test).expect("run succeeds"))
+        });
+    });
+    group.bench_function("zoo_routed_stream", |b| {
+        b.iter(|| {
+            let mut system = build();
+            system.attach_zoo(zoo.clone(), 0.05).expect("zoo attaches");
+            black_box(system.run(kernel.as_ref(), &test).expect("run succeeds"))
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_zoo
+}
+criterion_main!(benches);

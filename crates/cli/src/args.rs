@@ -148,6 +148,31 @@ pub enum Command {
         /// `RUMBA_METRICS_OUT` environment variable in charge.
         metrics_out: Option<String>,
     },
+    /// `rumba zoo [flags]` — invocation-driven model-zoo sweep: per
+    /// kernel, train a quality/energy ladder of approximators, route each
+    /// invocation to the cheapest tier predicted to meet the TOQ (exact
+    /// CPU as the last resort), and report the modeled energy saved at
+    /// equal quality versus the single-model baseline.
+    Zoo {
+        /// Benchmarks to sweep (default gaussian + fft + inversek2j).
+        kernels: Vec<String>,
+        /// Master seed.
+        seed: u64,
+        /// Target output quality both the baseline and the zoo hold.
+        toq: f64,
+        /// Ladder size (model tiers per kernel, exact CPU not counted).
+        tiers: usize,
+        /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
+        /// charge). Results are identical at any setting.
+        threads: Option<usize>,
+        /// SIMD dispatch override (`--simd 0|1|auto`; `None` leaves the
+        /// `RUMBA_SIMD` environment variable in charge). Results are
+        /// bit-identical at any setting.
+        simd: Option<SimdMode>,
+        /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
+        /// `RUMBA_METRICS_OUT` environment variable in charge.
+        metrics_out: Option<String>,
+    },
     /// `rumba report <path.jsonl>` — summarize a telemetry stream.
     Report {
         /// Path to a JSONL file written via `--metrics-out`.
@@ -431,6 +456,76 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Compensate { kernels, seed, toq, threads, simd, metrics_out })
         }
+        Some("zoo") => {
+            let mut kernels = Vec::new();
+            let mut seed = 42u64;
+            let mut toq = 0.95f64;
+            let mut tiers = 3usize;
+            let mut threads = None;
+            let mut simd = None;
+            let mut metrics_out = None;
+            let rest: Vec<&str> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k] {
+                    "--kernels" => {
+                        let v = rest.get(k + 1).ok_or(ParseError::MissingValue("--kernels"))?;
+                        kernels =
+                            v.split(',').filter(|s| !s.is_empty()).map(str::to_owned).collect();
+                        if kernels.is_empty() {
+                            return Err(ParseError::BadValue {
+                                flag: "--kernels",
+                                value: (*v).to_owned(),
+                                expected: "a comma-separated benchmark list",
+                            });
+                        }
+                        k += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
+                        k += 2;
+                    }
+                    "--toq" => {
+                        let v = parse_f64(rest.get(k + 1).copied(), "--toq")?;
+                        if !(0.0 < v && v <= 1.0) {
+                            return Err(ParseError::BadValue {
+                                flag: "--toq",
+                                value: v.to_string(),
+                                expected: "a quality in (0, 1]",
+                            });
+                        }
+                        toq = v;
+                        k += 2;
+                    }
+                    "--tiers" => {
+                        let v = parse_u64(rest.get(k + 1).copied(), "--tiers")?;
+                        if !(1..=8).contains(&v) {
+                            return Err(ParseError::BadValue {
+                                flag: "--tiers",
+                                value: v.to_string(),
+                                expected: "a ladder size in 1..=8",
+                            });
+                        }
+                        tiers = v as usize;
+                        k += 2;
+                    }
+                    "--threads" => {
+                        threads = Some(parse_threads(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    "--simd" => {
+                        simd = Some(parse_simd(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
+                        k += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Zoo { kernels, seed, toq, tiers, threads, simd, metrics_out })
+        }
         Some("serve") => {
             let mut socket = None;
             let mut tcp = None;
@@ -678,6 +773,8 @@ USAGE:
                  [--threads N] [--simd M] [--metrics-out PATH]
     rumba compensate [--kernels a,b,...] [--seed N] [--toq Q]
                      [--threads N] [--simd M] [--metrics-out PATH]
+    rumba zoo [--kernels a,b,...] [--seed N] [--toq Q] [--tiers N]
+              [--threads N] [--simd M] [--metrics-out PATH]
     rumba report <path.jsonl>
     rumba purity <kernel>
     rumba serve [--socket PATH | --tcp HOST:PORT] [--shards N]
@@ -732,6 +829,21 @@ COMPENSATION:
     fix=compensate plus a band, and the tuner co-adapts the band with
     the firing threshold.
 
+MODEL ZOO:
+    rumba zoo trains, per kernel, a ladder of --tiers approximators at
+    distinct quality/energy points (smaller hidden layers, fewer
+    fixed-point fraction bits) on top of the full Rumba accelerator, plus
+    a cheap per-tier linear router that predicts each tier's invocation
+    error from the input features. Online, every invocation is routed to
+    the cheapest tier predicted to meet --toq (default 0.95), with exact
+    CPU execution as the last resort; the checker/recovery loop still
+    guards every model-tier invocation, so the TOQ holds. The sweep
+    reports the modeled energy of the routed zoo against the single-model
+    baseline at equal quality, plus the tier mix. 'rumba serve' sessions
+    opt in with zoo=N; under queue pressure a serving session degrades to
+    cheaper tiers before shedding requests. Trained ladders persist in
+    the model cache, so figure binaries reload instead of retraining.
+
 SERVING:
     rumba serve runs a long-lived multi-tenant serving loop: clients open
     named sessions (each with its own kernel, checker, tuning mode, fault
@@ -758,6 +870,7 @@ SERVING:
 EXAMPLES:
     rumba run inversek2j --checker tree --toq 0.9
     rumba compensate --kernels gaussian,fft --toq 0.9
+    rumba zoo --kernels gaussian,inversek2j --tiers 3 --toq 0.95
     rumba run blackscholes --budget 16 --window 256
     rumba run fft --checker ensemble --quality-mode
     rumba train kmeans --threads 4
@@ -986,6 +1099,47 @@ mod tests {
         assert!(HELP.contains("rumba compensate"));
         assert!(HELP.contains("signed error estimates"));
         assert!(HELP.contains("fix=compensate"));
+    }
+
+    #[test]
+    fn parses_zoo_with_defaults_and_flags() {
+        assert_eq!(
+            p("zoo").unwrap(),
+            Command::Zoo {
+                kernels: vec![],
+                seed: 42,
+                toq: 0.95,
+                tiers: 3,
+                threads: None,
+                simd: None,
+                metrics_out: None,
+            }
+        );
+        assert_eq!(
+            p("zoo --kernels gaussian,fft --seed 9 --toq 0.9 --tiers 4 --threads 2 --simd 1 --metrics-out z.jsonl")
+                .unwrap(),
+            Command::Zoo {
+                kernels: vec!["gaussian".into(), "fft".into()],
+                seed: 9,
+                toq: 0.9,
+                tiers: 4,
+                threads: Some(2),
+                simd: Some(SimdMode::On),
+                metrics_out: Some("z.jsonl".into()),
+            }
+        );
+        assert!(matches!(p("zoo --toq 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("zoo --tiers 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("zoo --tiers 9"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("zoo --wat"), Err(ParseError::UnknownFlag(_))));
+    }
+
+    #[test]
+    fn help_documents_the_model_zoo() {
+        assert!(HELP.contains("rumba zoo"));
+        assert!(HELP.contains("--tiers"));
+        assert!(HELP.contains("zoo=N"));
+        assert!(HELP.contains("cheaper tiers before shedding"));
     }
 
     #[test]

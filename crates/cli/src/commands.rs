@@ -7,8 +7,9 @@ use rumba_core::context::AppContext;
 use rumba_core::report::RunReport;
 use rumba_core::runtime::{RumbaSystem, RuntimeConfig, WatchdogConfig};
 use rumba_core::scheme::SchemeKind;
-use rumba_core::trainer::{train_app, OfflineConfig, TrainedApp};
+use rumba_core::trainer::{invocation_errors, train_app, OfflineConfig, TrainedApp};
 use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
+use rumba_core::zoo::train_zoo;
 use rumba_energy::{EnergyParams, SystemModel, WorkloadProfile};
 use rumba_faults::{FaultModel, FaultPlan};
 use rumba_nn::encode_model;
@@ -508,6 +509,165 @@ pub fn compensate(kernels: &[String], seed: u64, toq: f64) -> Result<String, Com
     Ok(out)
 }
 
+/// One kernel's section of the `rumba zoo` sweep: train the tier ladder,
+/// run the test stream once through the single-model system and once
+/// through the zoo-routed system at the same TOQ, and compare modeled
+/// energy. Returns whether the routed run met the TOQ at strictly lower
+/// modeled energy than the single-model baseline.
+fn zoo_kernel(
+    name: &str,
+    seed: u64,
+    toq: f64,
+    tiers: usize,
+    out: &mut String,
+) -> Result<bool, CommandError> {
+    use std::fmt::Write;
+
+    let kernel = resolve(name)?;
+    let cfg = OfflineConfig { seed, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg)?;
+    let ladder = train_zoo(kernel.as_ref(), &app, &cfg, tiers)?;
+
+    // Calibrate the firing threshold exactly as `rumba run --toq` does:
+    // tree checker probed on the train split, budgeted at 1 - toq.
+    let train = kernel.generate(Split::Train, seed);
+    let mut probe = app.tree.clone();
+    let mut scratch = rumba_nn::Scratch::new();
+    let mut approx_train = rumba_nn::Matrix::default();
+    app.rumba_npu.invoke_batch(train.inputs_view(), &mut scratch, &mut approx_train)?;
+    let predicted: Vec<f64> =
+        (0..train.len()).map(|i| probe.estimate(train.input(i), approx_train.row(i))).collect();
+    let budget = 1.0 - toq;
+    let threshold = calibrate_threshold(&predicted, &app.train_errors, budget);
+
+    let build = || -> Result<RumbaSystem, CommandError> {
+        Ok(RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::new(TuningMode::TargetQuality { toq }, threshold)?,
+            RuntimeConfig::default(),
+        )?)
+    };
+
+    let test = kernel.generate(Split::Test, seed);
+    let n = test.len();
+    let workload = WorkloadProfile {
+        invocations: n,
+        cpu_cycles_per_invocation: kernel.cpu_cycles(),
+        kernel_fraction: kernel.kernel_fraction(),
+    };
+    let model = SystemModel::new(EnergyParams::default());
+
+    let mut single = build()?;
+    let base = single.run(kernel.as_ref(), &test)?;
+    let base_cost = model.accelerated(&workload, &base.activity);
+
+    // The routing bar is calibrated on the train split with the same
+    // mean-error contract as the firing threshold: the widest bar whose
+    // routed mean measured error still fits 1 - toq. Rows the checker
+    // fires on are masked to zero error first — the tree checker is
+    // input-based, so its fire set is the same whichever tier computed
+    // the row, and a fired row re-executes exactly. Routing those rows
+    // cheap is free, and masking them lets the bar widen to where the
+    // cheap tiers carry real traffic.
+    let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+    let tier_errors: Vec<Vec<f64>> = ladder
+        .tiers()
+        .iter()
+        .map(|t| {
+            let mut errs = invocation_errors(kernel.as_ref(), &t.npu, &train)?;
+            for (e, p) in errs.iter_mut().zip(&predicted) {
+                if *p > threshold {
+                    *e = 0.0;
+                }
+            }
+            Ok(errs)
+        })
+        .collect::<Result<_, CommandError>>()?;
+    // A tenth of the budget is held back as generalization margin: the
+    // tiers and routers were fit on these same rows, so a bar calibrated
+    // to the full budget sits exactly at the train-split edge.
+    let bar = ladder.calibrate_bar(&rows, &tier_errors, 0.9 * budget);
+    let mut routed_sys = build()?;
+    routed_sys.attach_zoo(ladder.clone(), bar)?;
+    let routed = routed_sys.run(kernel.as_ref(), &test)?;
+    let routed_cost = model.accelerated(&workload, &routed.activity);
+    let mix = routed_sys.stream_tiers().to_vec();
+
+    let _ = writeln!(out, "== {name} ({n} test invocations, TOQ {toq}) ==");
+    let ladder_desc: Vec<String> = ladder
+        .tiers()
+        .iter()
+        .enumerate()
+        .map(|(t, tier)| {
+            format!(
+                "t{t} {} cyc ({:.2}% train err)",
+                tier.npu.cycles_per_invocation(),
+                tier.train_error * 100.0,
+            )
+        })
+        .collect();
+    let _ = writeln!(out, "  ladder: {} + exact CPU", ladder_desc.join("  "));
+    let _ = writeln!(
+        out,
+        "  single-model: error {:.2}%  fixes {}  energy {:.0} nJ",
+        base.output_error * 100.0,
+        base.fixes,
+        base_cost.energy_nj,
+    );
+    let _ = writeln!(
+        out,
+        "  zoo-routed:   error {:.2}%  fixes {}  energy {:.0} nJ",
+        routed.output_error * 100.0,
+        routed.fixes,
+        routed_cost.energy_nj,
+    );
+    let (cpu, models) = mix.split_last().expect("tier counts non-empty");
+    let mix_desc: Vec<String> =
+        models.iter().enumerate().map(|(t, c)| format!("t{t}:{c}")).collect();
+    let _ = writeln!(out, "  tier mix: {} cpu:{cpu}", mix_desc.join(" "));
+
+    let meets_toq = routed.output_error <= budget;
+    let saves = routed_cost.energy_nj < base_cost.energy_nj;
+    let saved = 100.0 * (base_cost.energy_nj - routed_cost.energy_nj) / base_cost.energy_nj;
+    let _ = writeln!(
+        out,
+        "  energy saved: {saved:.1}%  (TOQ {})",
+        if meets_toq { "met" } else { "missed" },
+    );
+    Ok(meets_toq && saves)
+}
+
+/// `rumba zoo [flags]` — the model-zoo sweep: per kernel, train an
+/// `n`-tier approximator ladder with a per-tier input-feature router and
+/// report the modeled energy the router saves at equal target output
+/// quality versus the single-model system.
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] for unknown benchmarks or training
+/// failures.
+pub fn zoo(kernels: &[String], seed: u64, toq: f64, tiers: usize) -> Result<String, CommandError> {
+    let names: Vec<String> = if kernels.is_empty() {
+        vec!["gaussian".into(), "fft".into(), "inversek2j".into()]
+    } else {
+        kernels.to_vec()
+    };
+    let mut out = format!("rumba zoo: seed {seed}, TOQ {toq}, {tiers} tier(s)\n\n");
+    let mut met = 0usize;
+    for name in &names {
+        if zoo_kernel(name, seed, toq, tiers, &mut out)? {
+            met += 1;
+        }
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{met} of {} kernels meet the TOQ at lower modeled energy than the single model\n",
+        names.len()
+    ));
+    Ok(out)
+}
+
 /// `rumba report <path.jsonl>` — summarize a telemetry stream produced
 /// with `--metrics-out` (or `RUMBA_METRICS_OUT`).
 ///
@@ -695,6 +855,26 @@ mod tests {
     }
 
     #[test]
+    fn zoo_sweep_reports_the_ladder_and_tier_mix() {
+        let text = zoo(&["gaussian".into()], 42, 0.95, 2).unwrap();
+        assert!(text.contains("rumba zoo"), "{text}");
+        assert!(text.contains("== gaussian"), "{text}");
+        assert!(text.contains("ladder:"), "{text}");
+        assert!(text.contains("single-model:"), "{text}");
+        assert!(text.contains("zoo-routed:"), "{text}");
+        assert!(text.contains("tier mix:"), "{text}");
+        assert!(text.contains("kernels meet the TOQ"), "{text}");
+        // Deterministic: the sweep is golden-able.
+        assert_eq!(text, zoo(&["gaussian".into()], 42, 0.95, 2).unwrap());
+    }
+
+    #[test]
+    fn zoo_rejects_unknown_kernels() {
+        let e = zoo(&["doom".into()], 1, 0.95, 2).unwrap_err();
+        assert!(e.to_string().contains("doom"));
+    }
+
+    #[test]
     fn compensate_rejects_unknown_kernels() {
         let e = compensate(&["doom".into()], 1, 0.9).unwrap_err();
         assert!(e.to_string().contains("doom"));
@@ -728,6 +908,7 @@ mod tests {
                 quarantined: 0,
                 capacity_clamped: false,
                 compensated: 0,
+                tiers: Vec::new(),
                 session: String::new(),
             }
             .to_jsonl(),

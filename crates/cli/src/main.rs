@@ -82,6 +82,16 @@ fn main() -> ExitCode {
             }
             commands::compensate(&kernels, seed, toq)
         }
+        Command::Zoo { kernels, seed, toq, tiers, threads, simd, metrics_out } => {
+            rumba_parallel::set_thread_override(threads);
+            rumba_nn::set_simd_override(simd);
+            if let Some(path) = metrics_out {
+                if let Err(code) = install_metrics_sink(&path) {
+                    return code;
+                }
+            }
+            commands::zoo(&kernels, seed, toq, tiers)
+        }
         Command::Report { path } => commands::report(&path),
         Command::Purity { kernel } => commands::purity(&kernel),
         Command::Serve { socket, tcp, shards, threads, simd } => {

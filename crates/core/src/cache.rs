@@ -25,13 +25,15 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use rumba_accel::{Npu, NpuParams};
 use rumba_nn::{decode_model, encode_model, TrainParams, TrainedModel};
 use rumba_predict::{
     decode_evp, decode_linear, decode_tree, encode_evp, encode_linear, encode_tree, EvpErrors,
-    LinearErrors, TreeErrors,
+    LinearErrors, LinearModel, TreeErrors,
 };
 
 use crate::trainer::OfflineConfig;
+use crate::zoo::{ModelZoo, ZooTier};
 
 const FORMAT_HEADER: &str = "rumba-trained-model-cache v1";
 
@@ -190,6 +192,66 @@ impl TrainedModelCache {
             eprintln!("[cache] store failed for {kernel_name}: {e}");
         }
     }
+
+    /// The file a model zoo for this training problem would be cached
+    /// under. The requested tier count is part of both the visible name
+    /// and the key, so zoos of different depth never collide.
+    #[must_use]
+    pub fn zoo_entry_path(
+        &self,
+        kernel_name: &str,
+        cfg: &OfflineConfig,
+        n_tiers: usize,
+        nn_params: &TrainParams,
+    ) -> PathBuf {
+        let key = cache_key(kernel_name, (&[n_tiers], &[]), cfg, nn_params);
+        self.dir.join(format!("{kernel_name}-zoo{n_tiers}-s{}-{key:016x}.words", cfg.seed))
+    }
+
+    /// Loads and decodes a cached model zoo, if present and well-formed.
+    /// Any malformed or stale file reads as a miss (and retrains).
+    #[must_use]
+    pub fn load_zoo(
+        &self,
+        kernel_name: &str,
+        cfg: &OfflineConfig,
+        n_tiers: usize,
+        nn_params: &TrainParams,
+    ) -> Option<ModelZoo> {
+        if !self.enabled {
+            return None;
+        }
+        let path = self.zoo_entry_path(kernel_name, cfg, n_tiers, nn_params);
+        let key = entry_key(&path).expect("zoo_entry_path produces a keyed .words name");
+        let zoo = fs::read_to_string(&path)
+            .ok()
+            .as_deref()
+            .and_then(|text| parse_zoo_entry(text, &cfg.npu_params));
+        emit_cache_event(zoo.is_some(), &key);
+        if zoo.is_some() {
+            eprintln!("[cache] hit: {kernel_name} zoo (seed {}) from {}", cfg.seed, path.display());
+        }
+        zoo
+    }
+
+    /// Encodes and persists a trained model zoo. Like [`Self::store`],
+    /// failures are reported but never propagate.
+    pub fn store_zoo(
+        &self,
+        kernel_name: &str,
+        cfg: &OfflineConfig,
+        n_tiers: usize,
+        nn_params: &TrainParams,
+        zoo: &ModelZoo,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let path = self.zoo_entry_path(kernel_name, cfg, n_tiers, nn_params);
+        if let Err(e) = write_zoo_entry(&path, kernel_name, zoo) {
+            eprintln!("[cache] zoo store failed for {kernel_name}: {e}");
+        }
+    }
 }
 
 /// What [`TrainedModelCache::scan`] found in the cache directory.
@@ -302,7 +364,10 @@ fn write_entry(path: &Path, kernel_name: &str, models: &CachedModels) -> std::io
     fs::rename(&tmp, path)
 }
 
-fn parse_entry(text: &str) -> Option<CachedModels> {
+/// Parses the shared envelope — format header, `kernel <name>` line, and
+/// the counted hex-word sections — that both the per-app entry and the
+/// zoo entry use. Returns `None` for any malformed line or count.
+fn parse_sections(text: &str) -> Option<Vec<(String, Vec<f64>)>> {
     let mut lines = text.lines();
     if lines.next()? != FORMAT_HEADER {
         return None;
@@ -335,7 +400,11 @@ fn parse_entry(text: &str) -> Option<CachedModels> {
         }
         sections.push((name, words));
     }
+    Some(sections)
+}
 
+fn parse_entry(text: &str) -> Option<CachedModels> {
+    let sections = parse_sections(text)?;
     let find = |name: &str| sections.iter().find(|(n, _)| n == name).map(|(_, w)| w.as_slice());
     Some(CachedModels {
         rumba_model: decode_model(find("rumba_model")?).ok()?,
@@ -345,6 +414,88 @@ fn parse_entry(text: &str) -> Option<CachedModels> {
         evp: decode_evp(find("evp")?).ok()?,
         train_errors: find("train_errors")?.to_vec(),
     })
+}
+
+/// The zoo entry reuses the v1 envelope with a `zoo_spec` section — the
+/// stored tier count followed by `[precision_bits (-1 for none),
+/// fixed_point flag, train_error]` per tier — plus per-tier `zoo_model_i`
+/// (accelerator config-words) and `zoo_router_i`
+/// (`[n_weights, weights..., bias]`) sections. Per-tier datapath settings
+/// live in the spec; everything else in `NpuParams` comes from the
+/// caller's [`OfflineConfig`], matching how the tier was built.
+fn write_zoo_entry(path: &Path, kernel_name: &str, zoo: &ModelZoo) -> std::io::Result<()> {
+    let mut text = String::new();
+    let _ = writeln!(text, "{FORMAT_HEADER}");
+    let _ = writeln!(text, "kernel {kernel_name}");
+    let mut spec: Vec<f64> = vec![zoo.len() as f64];
+    for tier in zoo.tiers() {
+        let params = tier.npu.params();
+        spec.push(params.precision_bits.map_or(-1.0, f64::from));
+        spec.push(f64::from(u8::from(params.fixed_point)));
+        spec.push(tier.train_error);
+    }
+    push_section(&mut text, "zoo_spec", &spec);
+    for (i, tier) in zoo.tiers().iter().enumerate() {
+        push_section(&mut text, &format!("zoo_model_{i}"), &encode_model(tier.npu.model()));
+        let mut router: Vec<f64> = vec![tier.router.weights().len() as f64];
+        router.extend_from_slice(tier.router.weights());
+        router.push(tier.router.bias());
+        push_section(&mut text, &format!("zoo_router_{i}"), &router);
+    }
+
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    static WRITE_SERIAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let serial = WRITE_SERIAL.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let tmp = path.with_extension(format!("tmp.{}.{serial}", std::process::id()));
+    fs::write(&tmp, &text)?;
+    fs::rename(&tmp, path)
+}
+
+fn parse_zoo_entry(text: &str, base_params: &NpuParams) -> Option<ModelZoo> {
+    let sections = parse_sections(text)?;
+    let find = |name: &str| sections.iter().find(|(n, _)| n == name).map(|(_, w)| w.as_slice());
+    let spec = find("zoo_spec")?;
+    let n = to_count(*spec.first()?)?;
+    if spec.len() != 1 + 3 * n || n == 0 {
+        return None;
+    }
+    let mut tiers = Vec::with_capacity(n);
+    for i in 0..n {
+        let (precision, fixed, train_error) = (spec[1 + 3 * i], spec[2 + 3 * i], spec[3 + 3 * i]);
+        let params = NpuParams {
+            precision_bits: if precision < 0.0 {
+                None
+            } else {
+                Some(u32::try_from(to_count(precision)?).ok()?)
+            },
+            fixed_point: fixed != 0.0,
+            ..*base_params
+        };
+        let model = decode_model(find(&format!("zoo_model_{i}"))?).ok()?;
+        let router_words = find(&format!("zoo_router_{i}"))?;
+        let n_weights = to_count(*router_words.first()?)?;
+        if router_words.len() != n_weights + 2 {
+            return None;
+        }
+        let router = LinearModel::from_parts(
+            router_words[1..=n_weights].to_vec(),
+            router_words[n_weights + 1],
+        );
+        tiers.push(ZooTier { npu: Npu::new(model, params), router, train_error });
+    }
+    ModelZoo::from_tiers(tiers).ok()
+}
+
+/// A stored count word back as a `usize`, rejecting non-integral or
+/// out-of-range values (a corrupt file must read as a miss, not a panic).
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn to_count(word: f64) -> Option<usize> {
+    if word.fract() != 0.0 || !(0.0..=1e9).contains(&word) {
+        return None;
+    }
+    Some(word as usize)
 }
 
 #[cfg(test)]

@@ -285,6 +285,7 @@ impl AppContext {
             reexecutions: fixes.min(n),
             compensations: 0,
             serial_detector_cycles: 0.0,
+            tiered_accelerator_cycles: 0.0,
         }
     }
 
@@ -301,6 +302,7 @@ impl AppContext {
             reexecutions: 0,
             compensations: 0,
             serial_detector_cycles: 0.0,
+            tiered_accelerator_cycles: 0.0,
         }
     }
 }

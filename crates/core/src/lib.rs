@@ -48,6 +48,7 @@ pub mod runtime;
 pub mod scheme;
 pub mod trainer;
 pub mod tuner;
+pub mod zoo;
 
 mod error;
 

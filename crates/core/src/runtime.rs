@@ -7,10 +7,11 @@ use rumba_accel::{CheckerUnit, Npu, Placement};
 use rumba_apps::Kernel;
 use rumba_energy::SchemeActivity;
 use rumba_faults::{FaultKind, FaultPlan, FaultStats};
-use rumba_nn::{Matrix, NnDataset, Scratch};
+use rumba_nn::{Matrix, MatrixView, NnDataset, Scratch};
 
 use crate::pipeline::{simulate, PipelineRun};
 use crate::tuner::{Tuner, WindowStats};
+use crate::zoo::ModelZoo;
 use crate::{Result, RumbaError};
 
 /// How a fired check is repaired.
@@ -206,6 +207,37 @@ pub struct RumbaSystem {
     // empty (the default) keeps single-tenant streams on the pre-serving
     // wire format exactly.
     session_label: String,
+    // Model-zoo routing state (None = the pre-zoo single-model path,
+    // byte-identical to builds without the zoo compiled in).
+    zoo_state: Option<ZooState>,
+}
+
+/// Cap on the queue-pressure exponent: each degradation step doubles the
+/// routing bar, and five doublings already push any sane budget past the
+/// widest tier.
+pub const MAX_ZOO_PRESSURE: u32 = 5;
+
+/// Streaming state of the attached model zoo.
+#[derive(Debug)]
+struct ZooState {
+    zoo: ModelZoo,
+    // The session's error budget (1 - TOQ); the routing bar is this times
+    // the tuner's tier scale, widened by queue-pressure degradation.
+    quality_budget: f64,
+    // Serving-layer degradation rung: each step doubles the routing bar so
+    // traffic slides to cheaper tiers before any request is shed.
+    pressure: u32,
+    // Widest bar queue-pressure degradation may reach (infinite until the
+    // serving layer installs its calibrated ceiling); the rung widening
+    // saturates here so degraded routing stays inside what the
+    // checker/recovery loop can vouch for.
+    pressure_ceiling: f64,
+    // Per-tier invocation counts, `zoo.len() + 1` long (last = exact CPU).
+    window_tiers: Vec<u64>,
+    stream_tiers: Vec<u64>,
+    // Accelerator cycles actually spent across routed model-tier rows —
+    // what the energy model uses instead of `invocations × top cycles`.
+    tier_cycles_total: f64,
 }
 
 impl RumbaSystem {
@@ -261,7 +293,105 @@ impl RumbaSystem {
             fault_stats: FaultStats::default(),
             fault_log: Vec::new(),
             session_label: String::new(),
+            zoo_state: None,
         })
+    }
+
+    /// Arms per-invocation model-zoo routing: every invocation is
+    /// dispatched to the cheapest tier whose predicted error meets the
+    /// routing bar (`quality_budget × tier scale`, doubled per
+    /// queue-pressure rung), with exact CPU as the final tier. Also arms
+    /// the tuner's tier knob at scale 1.0, so the bar co-adapts with the
+    /// threshold between windows. The checker/recovery loop still guards
+    /// every model-tier row, so the TOQ contract is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RumbaError::InvalidConfig`] for a non-finite or
+    /// nonpositive quality budget, or a zoo whose top tier does not match
+    /// this system's accelerator dimensions.
+    pub fn attach_zoo(&mut self, zoo: ModelZoo, quality_budget: f64) -> Result<()> {
+        if !(quality_budget > 0.0 && quality_budget.is_finite()) {
+            return Err(RumbaError::InvalidConfig {
+                name: "zoo quality_budget",
+                value: quality_budget.to_string(),
+            });
+        }
+        let top = &zoo.tier(zoo.len() - 1).npu;
+        if top.input_dim() != self.npu.input_dim() || top.output_dim() != self.npu.output_dim() {
+            return Err(RumbaError::InvalidConfig {
+                name: "zoo dimensions",
+                value: format!("{}x{}", top.input_dim(), top.output_dim()),
+            });
+        }
+        self.tuner.set_tier_scale_raw(Some(1.0));
+        let counts = zoo.len() + 1;
+        self.zoo_state = Some(ZooState {
+            zoo,
+            quality_budget,
+            pressure: 0,
+            pressure_ceiling: f64::INFINITY,
+            window_tiers: vec![0; counts],
+            stream_tiers: vec![0; counts],
+            tier_cycles_total: 0.0,
+        });
+        Ok(())
+    }
+
+    /// The attached model zoo, if routing is armed.
+    #[must_use]
+    pub fn zoo(&self) -> Option<&ModelZoo> {
+        self.zoo_state.as_ref().map(|z| &z.zoo)
+    }
+
+    /// The current queue-pressure degradation rung (0 = no degradation).
+    #[must_use]
+    pub fn zoo_pressure(&self) -> u32 {
+        self.zoo_state.as_ref().map_or(0, |z| z.pressure)
+    }
+
+    /// Sets the degradation rung (clamped to [`MAX_ZOO_PRESSURE`]). The
+    /// serving layer raises it under queue pressure — each rung doubles
+    /// the routing bar so traffic slides toward cheaper tiers before any
+    /// request is shed — and lowers it as the queue drains. No-op without
+    /// an attached zoo.
+    pub fn set_zoo_pressure(&mut self, pressure: u32) {
+        if let Some(zs) = self.zoo_state.as_mut() {
+            zs.pressure = pressure.min(MAX_ZOO_PRESSURE);
+        }
+    }
+
+    /// Caps how far queue-pressure degradation may widen the routing bar.
+    /// The rung widening saturates at `ceiling` (never below the base
+    /// budget — a ceiling under the base bar would invert the routing
+    /// semantics), so degraded traffic stays inside the widest bar the
+    /// caller's calibration can still vouch for. Non-finite or
+    /// non-positive ceilings are ignored; no-op without an attached zoo.
+    pub fn set_zoo_pressure_ceiling(&mut self, ceiling: f64) {
+        if let Some(zs) = self.zoo_state.as_mut() {
+            if ceiling.is_finite() && ceiling > 0.0 {
+                zs.pressure_ceiling = ceiling.max(zs.quality_budget);
+            }
+        }
+    }
+
+    /// Per-tier invocation counts since [`RumbaSystem::begin_stream`]
+    /// (`zoo.len() + 1` entries, last = exact CPU); empty without a zoo.
+    #[must_use]
+    pub fn stream_tiers(&self) -> &[u64] {
+        self.zoo_state.as_ref().map_or(&[], |z| &z.stream_tiers)
+    }
+
+    /// The current routing bar — the predicted-error cut a tier must meet
+    /// to take an invocation — or `None` when no zoo is attached. Pure in
+    /// the tuner/pressure state: it only moves at window flushes and
+    /// explicit pressure changes, never mid-window.
+    #[must_use]
+    pub fn routing_bar(&self) -> Option<f64> {
+        let zs = self.zoo_state.as_ref()?;
+        let scale = self.tuner.tier_scale().unwrap_or(1.0);
+        let widened = zs.quality_budget * f64::from(1u32 << zs.pressure.min(MAX_ZOO_PRESSURE));
+        Some(widened.min(zs.pressure_ceiling) * scale)
     }
 
     /// Labels every telemetry event this system emits with a serving
@@ -363,6 +493,16 @@ impl RumbaSystem {
             checker.len() as u64,
         ];
         words.extend(checker);
+        // Zoo routing state rides after the checker words, only when a zoo
+        // is attached — the legacy word layout is byte-identical otherwise.
+        if let Some(zs) = &self.zoo_state {
+            words.push(self.tuner.tier_scale().unwrap_or(1.0).to_bits());
+            words.push(u64::from(zs.pressure));
+            words.push(zs.window_tiers.len() as u64);
+            words.extend_from_slice(&zs.window_tiers);
+            words.extend_from_slice(&zs.stream_tiers);
+            words.push(zs.tier_cycles_total.to_bits());
+        }
         words
     }
 
@@ -382,12 +522,44 @@ impl RumbaSystem {
             return Err(format!("runtime state wants at least {HEAD} words, got {}", words.len()));
         }
         let checker_len = words[25] as usize;
-        if words.len() != HEAD + checker_len {
+        // A zoo-armed system expects the routing words after the checker's;
+        // a legacy system expects none. Either mismatch is a hard error —
+        // silently dropping or inventing routing state would fork the
+        // stream from the exporting system.
+        let tier_counts = self.zoo_state.as_ref().map(|zs| zs.window_tiers.len());
+        let zoo_len = tier_counts.map_or(0, |t| 4 + 2 * t);
+        if words.len() != HEAD + checker_len + zoo_len {
             return Err(format!(
-                "runtime state declares {checker_len} checker words but carries {}",
+                "runtime state declares {checker_len} checker words (+{zoo_len} zoo words) \
+                 but carries {}",
                 words.len() - HEAD
             ));
         }
+        let zoo_restore = match tier_counts {
+            Some(counts) => {
+                let base = HEAD + checker_len;
+                let scale = f64::from_bits(words[base]);
+                if !(scale > 0.0 && scale.is_finite()) {
+                    return Err(format!("restored tier scale rejected: {scale}"));
+                }
+                let pressure = u32::try_from(words[base + 1])
+                    .map_err(|_| format!("zoo pressure overflows u32: {}", words[base + 1]))?;
+                if words[base + 2] as usize != counts {
+                    return Err(format!(
+                        "zoo tier count mismatch: state has {}, system has {counts}",
+                        words[base + 2]
+                    ));
+                }
+                let window_tiers = words[base + 3..base + 3 + counts].to_vec();
+                let stream_tiers = words[base + 3 + counts..base + 3 + 2 * counts].to_vec();
+                let tier_cycles_total = f64::from_bits(words[base + 3 + 2 * counts]);
+                if !tier_cycles_total.is_finite() || tier_cycles_total < 0.0 {
+                    return Err(format!("restored tier cycles rejected: {tier_cycles_total}"));
+                }
+                Some((scale, pressure, window_tiers, stream_tiers, tier_cycles_total))
+            }
+            None => None,
+        };
         let threshold = f64::from_bits(words[0]);
         let mut tuner = Tuner::new(self.tuner.mode(), threshold)
             .map_err(|e| format!("restored threshold rejected: {e}"))?;
@@ -399,6 +571,9 @@ impl RumbaSystem {
         // Restored verbatim, not re-validated/re-clamped: the exporting
         // tuner already evolved this band, and re-clamping would change it.
         tuner.set_compensation_band_raw(band);
+        if let Some((scale, _, _, _, _)) = &zoo_restore {
+            tuner.set_tier_scale_raw(Some(*scale));
+        }
         let stage = match words[11] {
             0 => DegradeStage::Normal,
             1 => DegradeStage::Recalibrated,
@@ -433,6 +608,13 @@ impl RumbaSystem {
             recalibrations: words[19],
             fallbacks: words[20],
         };
+        if let Some((_, pressure, window_tiers, stream_tiers, tier_cycles_total)) = zoo_restore {
+            let zs = self.zoo_state.as_mut().expect("tier_counts came from zoo_state");
+            zs.pressure = pressure.min(MAX_ZOO_PRESSURE);
+            zs.window_tiers = window_tiers;
+            zs.stream_tiers = stream_tiers;
+            zs.tier_cycles_total = tier_cycles_total;
+        }
         Ok(())
     }
 
@@ -454,6 +636,11 @@ impl RumbaSystem {
         self.stage = DegradeStage::Normal;
         self.dirty_windows = 0;
         self.fault_stats = FaultStats::default();
+        if let Some(zs) = self.zoo_state.as_mut() {
+            zs.window_tiers.fill(0);
+            zs.stream_tiers.fill(0);
+            zs.tier_cycles_total = 0.0;
+        }
     }
 
     /// Processes one invocation in streaming mode: runs the accelerator and
@@ -477,10 +664,73 @@ impl RumbaSystem {
         input: &[f64],
         output: &mut [f64],
     ) -> Result<StreamOutcome> {
+        if self.zoo_state.is_some() {
+            let bar = self.routing_bar().expect("zoo attached");
+            let zs = self.zoo_state.as_ref().expect("zoo attached");
+            let tier = zs.zoo.route(input, bar);
+            let approx = if tier == zs.zoo.cpu_tier() {
+                None
+            } else {
+                Some(zs.zoo.tier(tier).npu.invoke_at(self.stream_invocations, input)?.outputs)
+            };
+            return self.process_routed(kernel, input, tier, approx.as_deref(), output);
+        }
         // The stream index keys the fault decisions, so a streaming run is
         // corrupted bit-identically to a batched `run` over the same rows.
         let result = self.npu.invoke_at(self.stream_invocations, input)?;
         self.process_approx(kernel, input, &result.outputs, output)
+    }
+
+    /// The routed half of a zoo-armed [`RumbaSystem::process`]: accounts
+    /// the tier decision, then either replays the normal checked path on
+    /// the tier's approximate output, or — for the exact-CPU tier
+    /// (`approx_output == None`) — computes the row exactly with no
+    /// checker involvement (scheduled exact execution is not recovery: it
+    /// consumes no re-execution budget and contributes nothing to the
+    /// tuner's unfixed-prediction mass).
+    ///
+    /// The serving scheduler calls this directly with tier decisions and
+    /// per-tier sub-batch outputs computed at drain time; `tier` must be
+    /// the decision [`ModelZoo::route`] makes for this row under the bar
+    /// in force when the row was dispatched.
+    ///
+    /// # Errors
+    ///
+    /// Mirrors [`RumbaSystem::process_approx`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no zoo is attached, the tier index is out of range, or
+    /// `output` is narrower than the kernel's output width.
+    pub fn process_routed(
+        &mut self,
+        kernel: &dyn Kernel,
+        input: &[f64],
+        tier: usize,
+        approx_output: Option<&[f64]>,
+        output: &mut [f64],
+    ) -> Result<StreamOutcome> {
+        {
+            let zs = self.zoo_state.as_mut().expect("process_routed requires an attached zoo");
+            zs.window_tiers[tier] += 1;
+            zs.stream_tiers[tier] += 1;
+            if tier < zs.zoo.len() {
+                zs.tier_cycles_total += zs.zoo.tier_cycles(tier) as f64;
+            }
+        }
+        match approx_output {
+            Some(approx) => self.process_approx(kernel, input, approx, output),
+            None => {
+                kernel.compute(input, output);
+                let (cpu_capacity, capacity_clamped) = self.cpu_capacity_per_window(kernel);
+                self.window_len += 1;
+                self.stream_invocations += 1;
+                if self.window_len == self.config.window {
+                    self.flush_window(cpu_capacity, capacity_clamped);
+                }
+                Ok(StreamOutcome { fired: false, compensated: false, predicted_error: 0.0 })
+            }
+        }
     }
 
     /// The stateful half of [`RumbaSystem::process`], taking an already-
@@ -733,6 +983,7 @@ impl RumbaSystem {
                 quarantined: self.window_quarantined as u64,
                 capacity_clamped,
                 compensated: self.window_compensated as u64,
+                tiers: self.zoo_state.as_ref().map(|z| z.window_tiers.clone()).unwrap_or_default(),
                 session: self.session_label.clone(),
             });
         }
@@ -745,6 +996,9 @@ impl RumbaSystem {
         self.window_queue_depth = 0;
         self.window_quarantined = 0;
         self.window_compensated = 0;
+        if let Some(zs) = self.zoo_state.as_mut() {
+            zs.window_tiers.fill(0);
+        }
     }
 
     /// The degradation ladder, evaluated once per completed window:
@@ -810,6 +1064,9 @@ impl RumbaSystem {
     pub fn run(&mut self, kernel: &dyn Kernel, data: &NnDataset) -> Result<RunOutcome> {
         if data.is_empty() {
             return Err(RumbaError::EmptyWorkload);
+        }
+        if self.zoo_state.is_some() {
+            return self.run_zoo(kernel, data);
         }
         let _span = rumba_obs::span("core.run");
         let n = data.len();
@@ -894,6 +1151,7 @@ impl RumbaSystem {
                 windows: self.windows_flushed,
                 cpu_utilization: pipeline.cpu_utilization,
                 final_threshold: self.tuner.threshold(),
+                tiers: Vec::new(),
                 session: self.session_label.clone(),
             });
         }
@@ -906,6 +1164,158 @@ impl RumbaSystem {
             reexecutions: fixes,
             compensations: self.stream_compensations,
             serial_detector_cycles,
+            tiered_accelerator_cycles: 0.0,
+        };
+
+        Ok(RunOutcome {
+            merged_outputs: merged,
+            fired,
+            fixes,
+            compensated: self.stream_compensations,
+            output_error,
+            invocation_errors,
+            activity,
+            pipeline,
+            threshold_history: self.tuner.history().to_vec(),
+            quarantined: self.fault_stats.quarantined as usize,
+            fault_stats: self.fault_stats,
+            degrade_stage: self.stage,
+        })
+    }
+
+    /// The zoo-armed batch path. Work proceeds in window-aligned chunks:
+    /// within a chunk the routing bar is constant (the tuner's tier scale
+    /// only moves at window flushes), so every row's tier is a pure
+    /// function of its input and the chunk's bar — identical to streaming
+    /// the rows one at a time. Per chunk, rows are grouped into per-tier
+    /// sub-batches and gathered through [`Npu::invoke_rows_at`], so the
+    /// SIMD/flat-matrix batch paths still run and still produce the exact
+    /// bits of per-row invocations; the stateful decision loop then
+    /// replays serially in row order, exactly like [`RumbaSystem::run`].
+    fn run_zoo(&mut self, kernel: &dyn Kernel, data: &NnDataset) -> Result<RunOutcome> {
+        let _span = rumba_obs::span("core.run_zoo");
+        let n = data.len();
+        let out_dim = self.npu.output_dim();
+        let in_dim = self.npu.input_dim();
+        let metric = kernel.metric();
+        let cpu_cycles = kernel.cpu_cycles();
+        let npu_cycles = self.npu.cycles_per_invocation() as f64;
+        let (cpu_capacity_per_window, capacity_clamped) = self.cpu_capacity_per_window(kernel);
+
+        self.begin_stream();
+        let window = self.config.window;
+        let mut recovery_queue: Fifo<RecoveryBit> = Fifo::new(self.config.recovery_queue_capacity);
+        let mut merged = Vec::with_capacity(n * out_dim);
+        let mut fired = vec![false; n];
+        // Rows the CPU executes exactly — checker-fired recoveries plus
+        // rows routed to the exact tier; this is what the pipeline overlap
+        // and the energy model's re-execution stream must see.
+        let mut cpu_rows = vec![false; n];
+        let mut fixes = 0usize;
+        let mut out_buf = vec![0.0; out_dim];
+        let mut scratch = Scratch::new();
+        let mut tier_out = Matrix::default();
+
+        let mut start = 0usize;
+        while start < n {
+            let end = (start + window).min(n);
+            let bar = self.routing_bar().expect("zoo attached");
+            let zs = self.zoo_state.as_ref().expect("zoo attached");
+            let routes: Vec<usize> =
+                (start..end).map(|i| zs.zoo.route(data.input(i), bar)).collect();
+            let mut approx_rows: Vec<Option<Vec<f64>>> = vec![None; end - start];
+            for t in 0..zs.zoo.len() {
+                let positions: Vec<usize> =
+                    (start..end).filter(|&i| routes[i - start] == t).collect();
+                if positions.is_empty() {
+                    continue;
+                }
+                let mut flat = Vec::with_capacity(positions.len() * in_dim);
+                for &i in &positions {
+                    flat.extend_from_slice(data.input(i));
+                }
+                let view = MatrixView::new(&flat, positions.len(), in_dim);
+                zs.zoo.tier(t).npu.invoke_rows_at(&positions, view, &mut scratch, &mut tier_out)?;
+                for (r, &i) in positions.iter().enumerate() {
+                    approx_rows[i - start] = Some(tier_out.row(r).to_vec());
+                }
+            }
+            for i in start..end {
+                let tier = routes[i - start];
+                let approx = approx_rows[i - start].as_deref();
+                if approx.is_none() {
+                    cpu_rows[i] = true;
+                }
+                let outcome =
+                    self.process_routed(kernel, data.input(i), tier, approx, &mut out_buf)?;
+                if outcome.fired {
+                    let pressure =
+                        self.fault_plan.as_ref().map_or(0, |plan| plan.queue_pressure(i));
+                    let effective_cap =
+                        self.config.recovery_queue_capacity.saturating_sub(pressure).max(1);
+                    let bit = RecoveryBit {
+                        iteration: i,
+                        predicted_error: OrderedF64::new(outcome.predicted_error),
+                    };
+                    while recovery_queue.len() >= effective_cap {
+                        let _ = recovery_queue.pop();
+                    }
+                    recovery_queue.push(bit).expect("drained below capacity");
+                    self.note_queue_depth(recovery_queue.len() + pressure);
+                    let _ = recovery_queue.pop().expect("just pushed");
+                    fired[i] = true;
+                    cpu_rows[i] = true;
+                    fixes += 1;
+                }
+                merged.extend_from_slice(&out_buf);
+            }
+            start = end;
+        }
+        self.flush_window(cpu_capacity_per_window, capacity_clamped);
+
+        let merged_ref = &merged;
+        let invocation_errors: Vec<f64> = rumba_parallel::par_map_range(n, |i| {
+            metric.invocation_error(data.target(i), &merged_ref[i * out_dim..(i + 1) * out_dim])
+        });
+        let output_error = invocation_errors.iter().sum::<f64>() / n as f64;
+
+        let serial_detector_cycles = match (self.config.placement, self.checker.is_input_based()) {
+            (Placement::BeforeAccelerator, true) => {
+                n as f64 * self.checker.cycles_per_prediction() as f64
+            }
+            _ => 0.0,
+        };
+        let pipeline = simulate(n, npu_cycles, cpu_cycles, &cpu_rows);
+        let zs = self.zoo_state.as_ref().expect("zoo attached");
+        let cpu_routed = *zs.stream_tiers.last().expect("tier counts non-empty") as usize;
+        let model_rows = n - cpu_routed;
+        if rumba_obs::enabled() {
+            rumba_obs::global_sink().emit(&rumba_obs::Event::RunSummary {
+                kernel: kernel.name().to_owned(),
+                invocations: n as u64,
+                fixes: fixes as u64,
+                compensated: self.stream_compensations as u64,
+                output_error,
+                windows: self.windows_flushed,
+                cpu_utilization: pipeline.cpu_utilization,
+                final_threshold: self.tuner.threshold(),
+                tiers: zs.stream_tiers.clone(),
+                session: self.session_label.clone(),
+            });
+        }
+        // Exact-tier rows cost the CPU what a re-execution costs, but only
+        // model-tier rows touch the accelerator, its I/O, or the checker;
+        // the accelerator stream's cycle total is the routed per-tier sum.
+        let activity = SchemeActivity {
+            accelerator_invocations: model_rows,
+            npu_cycles_per_invocation: self.npu.cycles_per_invocation(),
+            io_words_per_invocation: self.npu.input_dim() + self.npu.output_dim(),
+            checker_invocations: model_rows,
+            checker_cost: self.checker.cost(),
+            reexecutions: fixes + cpu_routed,
+            compensations: self.stream_compensations,
+            serial_detector_cycles,
+            tiered_accelerator_cycles: zs.tier_cycles_total,
         };
 
         Ok(RunOutcome {
@@ -1422,5 +1832,48 @@ mod tests {
         assert_eq!(bits(&clean.merged_outputs), bits(&rerun.merged_outputs));
         assert_eq!(clean.fixes, rerun.fixes);
         assert!(!rerun.fault_stats.any());
+    }
+
+    #[test]
+    fn pressure_widening_saturates_at_the_calibrated_ceiling() {
+        use crate::cache::TrainedModelCache;
+        use crate::zoo::train_zoo_with_cache;
+
+        let (kernel, mut system, _) = build_system(TuningMode::TargetQuality { toq: 0.95 });
+        let app = train_app(kernel.as_ref(), &OfflineConfig::default()).unwrap();
+        let zoo = train_zoo_with_cache(
+            kernel.as_ref(),
+            &app,
+            &OfflineConfig::default(),
+            2,
+            &TrainedModelCache::disabled(),
+        )
+        .unwrap();
+        system.attach_zoo(zoo, 0.05).unwrap();
+        let bar = |s: &RumbaSystem| s.routing_bar().unwrap();
+        assert_eq!(bar(&system), 0.05);
+
+        // Unbounded by default: each rung doubles the bar.
+        system.set_zoo_pressure(MAX_ZOO_PRESSURE);
+        assert_eq!(bar(&system), 0.05 * 32.0);
+
+        // The ceiling caps the widening, not the base bar.
+        system.set_zoo_pressure_ceiling(0.2);
+        assert_eq!(bar(&system), 0.2);
+        system.set_zoo_pressure(1);
+        assert_eq!(bar(&system), 0.1);
+        system.set_zoo_pressure(0);
+        assert_eq!(bar(&system), 0.05);
+
+        // A ceiling below the base budget clamps up to it (it would
+        // invert the routing semantics), and degenerate ceilings are
+        // ignored outright.
+        system.set_zoo_pressure_ceiling(0.01);
+        system.set_zoo_pressure(MAX_ZOO_PRESSURE);
+        assert_eq!(bar(&system), 0.05);
+        system.set_zoo_pressure_ceiling(f64::NAN);
+        system.set_zoo_pressure_ceiling(f64::INFINITY);
+        system.set_zoo_pressure_ceiling(-1.0);
+        assert_eq!(bar(&system), 0.05, "degenerate ceilings must leave the cap untouched");
     }
 }

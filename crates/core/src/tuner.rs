@@ -145,7 +145,21 @@ pub struct Tuner {
     // Flagged invocations predicted in `(threshold, comp_band]` are
     // compensated in place; above the band they re-execute on the CPU.
     comp_band: Option<f64>,
+    // Multiplier on the model-zoo routing bar (None = zoo disabled). Like
+    // the band, it tracks the threshold's verdict: a quality violation
+    // shrinks it (traffic escalates to better tiers / exact CPU), and
+    // headroom relaxes it back toward the calibrated base.
+    tier_scale: Option<f64>,
 }
+
+/// Bounds on [`Tuner::tier_scale`]: the routing bar never collapses below
+/// a quarter of its calibrated base, and never stretches past it. The
+/// offline calibration already fixed the *widest* bar whose routed mean
+/// train error fits the quality budget, so online adaptation may only
+/// tighten the bar and relax it back — an input-based checker cannot see
+/// a cheap tier's extra error, so its "headroom" verdict must never widen
+/// routing past what calibration proved safe.
+pub const TIER_SCALE_BOUNDS: (f64, f64) = (0.25, 1.0);
 
 /// Default bound on [`Tuner::history`]. Before this cap existed the
 /// history grew one `f64` per window forever — an unbounded leak in the
@@ -200,6 +214,7 @@ impl Tuner {
             min_threshold: 1e-6,
             max_threshold: 1e6,
             comp_band: None,
+            tier_scale: None,
         })
     }
 
@@ -235,6 +250,35 @@ impl Tuner {
     #[must_use]
     pub fn compensation_band(&self) -> Option<f64> {
         self.comp_band
+    }
+
+    /// Arms the model-zoo tier knob: the routing bar becomes
+    /// `quality budget × tier_scale`, and the scale co-adapts with the
+    /// threshold (headroom widens it toward cheap tiers, violations
+    /// shrink it toward exact execution), clamped to
+    /// [`TIER_SCALE_BOUNDS`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RumbaError::InvalidConfig`] for a non-finite or
+    /// nonpositive scale.
+    pub fn with_tier_scale(mut self, scale: f64) -> Result<Self> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(RumbaError::InvalidConfig { name: "tier_scale", value: scale.to_string() });
+        }
+        self.tier_scale = Some(scale.clamp(TIER_SCALE_BOUNDS.0, TIER_SCALE_BOUNDS.1));
+        Ok(self)
+    }
+
+    /// Restores the tier scale verbatim (snapshot import).
+    pub fn set_tier_scale_raw(&mut self, scale: Option<f64>) {
+        self.tier_scale = scale;
+    }
+
+    /// The current routing-bar multiplier (`None` = zoo routing disabled).
+    #[must_use]
+    pub fn tier_scale(&self) -> Option<f64> {
+        self.tier_scale
     }
 
     /// Bounds the retained threshold history to the most recent `capacity`
@@ -356,6 +400,19 @@ impl Tuner {
                 ThresholdAction::Held => band,
             };
             self.comp_band = Some(moved.clamp(self.threshold, self.max_threshold));
+        }
+        if let Some(scale) = self.tier_scale {
+            // The zoo's tier knob moves with the same verdict: a raised
+            // threshold means quality headroom, so the routing bar widens
+            // and more invocations ride cheap tiers; a lowered threshold
+            // means the budget was violated, so the bar shrinks and
+            // traffic escalates toward the full model and exact CPU.
+            let moved = match action {
+                ThresholdAction::Raised => self.policy.raise(scale),
+                ThresholdAction::Lowered => self.policy.lower(scale),
+                ThresholdAction::Held => scale,
+            };
+            self.tier_scale = Some(moved.clamp(TIER_SCALE_BOUNDS.0, TIER_SCALE_BOUNDS.1));
         }
         action
     }
@@ -896,6 +953,61 @@ mod tests {
             Tuner::new(TuningMode::BestQuality, 0.2).unwrap().with_compensation_band(0.4).unwrap();
         t.reset_to(0.9);
         assert_eq!(t.compensation_band(), Some(0.9));
+    }
+
+    #[test]
+    fn tier_scale_co_adapts_with_the_threshold_inside_bounds() {
+        let mut t = Tuner::new(TuningMode::TargetQuality { toq: 0.9 }, 0.2)
+            .unwrap()
+            .with_tier_scale(1.0)
+            .unwrap();
+        assert_eq!(t.tier_scale(), Some(1.0));
+        // Quality headroom never widens the bar past its calibrated base:
+        // the offline calibration already proved the widest safe bar, and
+        // the checker cannot vouch for a cheap tier's extra error.
+        t.observe_window(WindowStats {
+            window_len: 100,
+            fired: 5,
+            mean_unfixed_predicted_error: 0.01,
+            cpu_capacity: 50,
+        });
+        assert_eq!(t.tier_scale(), Some(TIER_SCALE_BOUNDS.1));
+        // Sustained violations: bar shrinks but never below the floor.
+        for _ in 0..200 {
+            t.observe_window(WindowStats {
+                window_len: 100,
+                fired: 5,
+                mean_unfixed_predicted_error: 0.9,
+                cpu_capacity: 50,
+            });
+        }
+        let scale = t.tier_scale().unwrap();
+        assert!(scale < 1.0);
+        assert!(scale >= TIER_SCALE_BOUNDS.0, "scale {scale}");
+        // Sustained headroom: bar relaxes back up, capping at the base.
+        for _ in 0..200 {
+            t.observe_window(WindowStats {
+                window_len: 100,
+                fired: 5,
+                mean_unfixed_predicted_error: 0.0,
+                cpu_capacity: 50,
+            });
+        }
+        assert_eq!(t.tier_scale(), Some(TIER_SCALE_BOUNDS.1));
+    }
+
+    #[test]
+    fn tier_scale_rejects_degenerate_values_and_defaults_off() {
+        assert!(Tuner::new(TuningMode::BestQuality, 0.1).unwrap().with_tier_scale(0.0).is_err());
+        assert!(Tuner::new(TuningMode::BestQuality, 0.1)
+            .unwrap()
+            .with_tier_scale(f64::NAN)
+            .is_err());
+        let t = Tuner::new(TuningMode::BestQuality, 0.1).unwrap();
+        assert_eq!(t.tier_scale(), None, "zoo routing is opt-in");
+        // Out-of-range scales clamp into the bounds rather than erroring.
+        let t = Tuner::new(TuningMode::BestQuality, 0.1).unwrap().with_tier_scale(99.0).unwrap();
+        assert_eq!(t.tier_scale(), Some(TIER_SCALE_BOUNDS.1));
     }
 
     #[test]

@@ -1,0 +1,474 @@
+//! The invocation-driven model zoo and quality/energy router.
+//!
+//! A single trained accelerator gives the tuner exactly one quality/energy
+//! operating point per kernel; the whole trade space is the firing
+//! threshold. Following the invocation-driven zoo line of work (and the
+//! autoAx-style offline sweep), [`ModelZoo`] trains *several* approximators
+//! per kernel at distinct quality/energy points — smaller hidden layers
+//! found by [`TopologySearch`], lowered to the true fixed-point datapath
+//! with fewer fractional bits — and a cheap per-tier linear **router**
+//! predicts, from the input features alone, each tier's invocation error.
+//! Per invocation the runtime then picks the cheapest tier predicted to
+//! meet the session's quality budget, with exact CPU execution as the
+//! final tier when even the full-quality model is predicted to miss.
+//!
+//! Every routing decision is a pure function of `(input, routing bar)`:
+//! the runtime replays decisions serially (the same discipline as the
+//! checker/tuner loop), so routed streams are bit-identical at any
+//! threads × SIMD × shards combination.
+
+use rumba_accel::{Npu, NpuParams};
+use rumba_apps::Kernel;
+use rumba_nn::TopologySearch;
+use rumba_predict::LinearModel;
+
+use crate::cache::TrainedModelCache;
+use crate::trainer::{invocation_errors, nn_params_for, OfflineConfig, TrainedApp};
+use crate::{Result, RumbaError};
+
+/// One quality/energy point of the zoo: an accelerator plus the router's
+/// error predictor for it.
+#[derive(Debug, Clone)]
+pub struct ZooTier {
+    /// The accelerator evaluating this tier's model.
+    pub npu: Npu,
+    /// Linear fit `input features -> this tier's invocation error` — the
+    /// router's per-tier quality forecast (pure, stateless).
+    pub router: LinearModel,
+    /// Mean invocation error of this tier on the train split.
+    pub train_error: f64,
+}
+
+/// The per-kernel menu of approximators, cheapest first; the last model
+/// tier is always the full-quality Rumba accelerator, and index
+/// [`ModelZoo::cpu_tier`] denotes exact CPU execution.
+#[derive(Debug, Clone)]
+pub struct ModelZoo {
+    tiers: Vec<ZooTier>,
+}
+
+impl ModelZoo {
+    /// Builds a zoo from pre-trained tiers (cheapest first). Used by the
+    /// cache decode path; [`train_zoo`] is the normal constructor.
+    ///
+    /// # Errors
+    ///
+    /// Rejects an empty tier list.
+    pub fn from_tiers(tiers: Vec<ZooTier>) -> Result<Self> {
+        if tiers.is_empty() {
+            return Err(RumbaError::InvalidConfig { name: "zoo tiers", value: "0".into() });
+        }
+        Ok(Self { tiers })
+    }
+
+    /// Number of model tiers (excluding the exact-CPU tier).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// A zoo always has at least one tier.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The model tiers, cheapest first.
+    #[must_use]
+    pub fn tiers(&self) -> &[ZooTier] {
+        &self.tiers
+    }
+
+    /// One tier by index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a model-tier index.
+    #[must_use]
+    pub fn tier(&self, t: usize) -> &ZooTier {
+        &self.tiers[t]
+    }
+
+    /// The index denoting exact CPU execution (one past the model tiers).
+    #[must_use]
+    pub fn cpu_tier(&self) -> usize {
+        self.tiers.len()
+    }
+
+    /// Routes one invocation: the cheapest model tier whose predicted
+    /// invocation error is at or under `bar`, falling back to exact CPU
+    /// execution ([`ModelZoo::cpu_tier`]) when every model tier is
+    /// predicted to miss. Pure — safe to evaluate from any thread, and
+    /// bit-identical wherever it is evaluated.
+    ///
+    /// A single-tier zoo has no routing choice: it always dispatches its
+    /// one model, which makes a zoo of size 1 decision-for-decision
+    /// identical to the pre-zoo single-model path (the checker/recovery
+    /// loop remains the quality guard, exactly as before).
+    #[must_use]
+    pub fn route(&self, input: &[f64], bar: f64) -> usize {
+        if self.tiers.len() == 1 {
+            return 0;
+        }
+        for (t, tier) in self.tiers.iter().enumerate() {
+            if tier.router.predict(input) <= bar {
+                return t;
+            }
+        }
+        self.cpu_tier()
+    }
+
+    /// Accelerator cycles one invocation of tier `t` costs (the per-tier
+    /// figure the energy model aggregates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is not a model-tier index.
+    #[must_use]
+    pub fn tier_cycles(&self, t: usize) -> u64 {
+        self.tiers[t].npu.cycles_per_invocation()
+    }
+
+    /// Calibrates the session's base routing bar on the train split: the
+    /// widest bar (drawn from the per-tier router predictions on `rows`)
+    /// whose routed **mean** true invocation error still fits `budget`.
+    /// `tier_errors[t][r]` is model tier `t`'s measured error on row `r`
+    /// (exact-CPU rows contribute zero error). This is the same
+    /// mean-error contract [`crate::tuner::calibrate_threshold`] uses for
+    /// the firing threshold — a per-invocation cut of `budget` itself
+    /// would be far stricter than the TOQ (which bounds the mean),
+    /// starving the cheap tiers on easy kernels and over-routing to exact
+    /// CPU on hard ones. Calibrating against the measured errors rather
+    /// than the routers' own predictions keeps an optimistic router from
+    /// widening the bar past what the tiers actually deliver.
+    ///
+    /// Falls back to `budget` for a single-tier zoo (no routing choice),
+    /// empty rows, or mismatched `tier_errors`.
+    #[must_use]
+    pub fn calibrate_bar(&self, rows: &[&[f64]], tier_errors: &[Vec<f64>], budget: f64) -> f64 {
+        let n = rows.len();
+        if self.tiers.len() == 1
+            || n == 0
+            || tier_errors.len() != self.tiers.len()
+            || tier_errors.iter().any(|e| e.len() != n)
+        {
+            return budget;
+        }
+        let preds: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|row| self.tiers.iter().map(|t| t.router.predict(row)).collect())
+            .collect();
+        let mut candidates: Vec<f64> =
+            preds.iter().flatten().copied().filter(|p| p.is_finite() && *p > 0.0).collect();
+        candidates.sort_by(f64::total_cmp);
+        candidates.dedup();
+        // The routed mean is evaluated on a quantile grid of the
+        // prediction set (the mean is not exactly monotone in the bar once
+        // true errors replace predictions, so every candidate is scored).
+        // A bar is feasible only when BOTH halves of the split fit the
+        // budget independently: the routers were fit on these same rows,
+        // so a bar whose budget only balances across the full split is a
+        // router-overfit artifact that will not survive unseen inputs.
+        const GRID: usize = 512;
+        let step = candidates.len().div_ceil(GRID).max(1);
+        let half = n / 2;
+        let mean_over = |bar: f64, range: std::ops::Range<usize>| -> f64 {
+            let len = range.len().max(1);
+            range
+                .map(|r| match preds[r].iter().position(|&p| p <= bar) {
+                    Some(t) => tier_errors[t][r],
+                    None => 0.0,
+                })
+                .sum::<f64>()
+                / len as f64
+        };
+        let fits = |bar: f64| -> bool {
+            mean_over(bar, 0..half) <= budget && mean_over(bar, half..n) <= budget
+        };
+        let mut best = 0.0f64;
+        for bar in candidates.iter().copied().step_by(step).chain(std::iter::once(budget)) {
+            if bar > best && fits(bar) {
+                best = bar;
+            }
+        }
+        // No feasible positive bar: an (effectively) all-CPU bar is always
+        // quality-safe.
+        if best > 0.0 {
+            best
+        } else {
+            f64::MIN_POSITIVE
+        }
+    }
+
+    /// [`ModelZoo::calibrate_bar`] with the per-tier train errors measured
+    /// in place: runs every model tier over `train` and calibrates against
+    /// the observed invocation errors.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accelerator invocation failures.
+    pub fn calibrate_bar_on(
+        &self,
+        kernel: &dyn Kernel,
+        train: &rumba_nn::NnDataset,
+        budget: f64,
+    ) -> Result<f64> {
+        if self.tiers.len() == 1 || train.is_empty() {
+            return Ok(budget);
+        }
+        let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+        let tier_errors: Vec<Vec<f64>> = self
+            .tiers
+            .iter()
+            .map(|t| invocation_errors(kernel, &t.npu, train))
+            .collect::<Result<_>>()?;
+        Ok(self.calibrate_bar(&rows, &tier_errors, budget))
+    }
+}
+
+/// Trains an `n_tiers` zoo for one kernel, consulting the
+/// environment-configured [`TrainedModelCache`].
+///
+/// # Errors
+///
+/// Rejects `n_tiers == 0`; propagates training failures.
+pub fn train_zoo(
+    kernel: &dyn Kernel,
+    app: &TrainedApp,
+    cfg: &OfflineConfig,
+    n_tiers: usize,
+) -> Result<ModelZoo> {
+    train_zoo_with_cache(kernel, app, cfg, n_tiers, &TrainedModelCache::from_env())
+}
+
+/// [`train_zoo`] with an explicit cache (tests inject temp directories).
+///
+/// The top tier reuses the app's already-trained Rumba accelerator
+/// verbatim, so a zoo of size 1 carries bit-identical weights to the
+/// single-model path. Each cheaper tier runs a [`TopologySearch`] over
+/// halved hidden sizes with a relaxed error cap and is lowered onto the
+/// fixed-point datapath with fewer fractional bits; per tier, a linear
+/// router fit maps input features to that tier's observed invocation
+/// error on the train split.
+///
+/// # Errors
+///
+/// Rejects `n_tiers == 0`; propagates training failures.
+pub fn train_zoo_with_cache(
+    kernel: &dyn Kernel,
+    app: &TrainedApp,
+    cfg: &OfflineConfig,
+    n_tiers: usize,
+    cache: &TrainedModelCache,
+) -> Result<ModelZoo> {
+    if n_tiers == 0 {
+        return Err(RumbaError::InvalidConfig { name: "zoo tiers", value: "0".into() });
+    }
+    let nn_params = nn_params_for(kernel);
+    if let Some(zoo) = cache.load_zoo(kernel.name(), cfg, n_tiers, &nn_params) {
+        return Ok(zoo);
+    }
+    let train = kernel.generate(rumba_apps::Split::Train, cfg.seed);
+    if train.is_empty() {
+        return Err(RumbaError::EmptyWorkload);
+    }
+    let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+    let fit_tier = |npu: Npu| -> Result<ZooTier> {
+        let errors = invocation_errors(kernel, &npu, &train)?;
+        let train_error = errors.iter().sum::<f64>() / errors.len() as f64;
+        let router = LinearModel::fit(&rows, &errors, cfg.ridge)?;
+        Ok(ZooTier { npu, router, train_error })
+    };
+
+    let top = fit_tier(app.rumba_npu.clone())?;
+    let topology = kernel.rumba_topology();
+    let hidden = &topology[1..topology.len() - 1];
+    let mut cheap: Vec<ZooTier> = Vec::new();
+    // Level 1 is one step below the full model, level `n_tiers - 1` the
+    // cheapest; candidates shrink the full topology's hidden widths by
+    // 2^level and the datapath loses two fractional bits per level.
+    for level in 1..n_tiers {
+        let mut sizes: Vec<usize> = hidden.iter().map(|&h| (h >> level).max(1)).collect();
+        sizes.push(1);
+        sizes.sort_unstable();
+        sizes.dedup();
+        // The cap relaxes with the level: each step down tolerates twice
+        // the full model's training error, so the search can actually pick
+        // a smaller network instead of falling back to the biggest one.
+        let cap = (top.train_error.max(1e-6)) * (1u64 << level) as f64;
+        let search = TopologySearch::new(cap)
+            .with_hidden_sizes(&sizes)
+            .with_max_hidden_layers(1)
+            .with_train_params(nn_params.clone());
+        let (model, _report) = search.run(&train, cfg.seed ^ (0x5a00 + level as u64))?;
+        let frac_bits = 12u32.saturating_sub(2 * level as u32).max(4);
+        let params =
+            NpuParams { precision_bits: Some(frac_bits), fixed_point: true, ..cfg.npu_params };
+        cheap.push(fit_tier(Npu::new(model, params))?);
+    }
+    // Cheapest first; a "cheap" tier that came out at least as expensive as
+    // the full model is off the Pareto front and is dropped.
+    cheap.retain(|t| t.npu.cycles_per_invocation() < top.npu.cycles_per_invocation());
+    cheap.sort_by_key(|t| t.npu.cycles_per_invocation());
+    let mut tiers = cheap;
+    tiers.push(top);
+    let zoo = ModelZoo::from_tiers(tiers)?;
+    cache.store_zoo(kernel.name(), cfg, n_tiers, &nn_params, &zoo);
+    Ok(zoo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::train_app;
+    use rumba_apps::kernel_by_name;
+
+    fn gaussian_zoo(n: usize) -> (Box<dyn Kernel>, TrainedApp, ModelZoo) {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let cfg = OfflineConfig::default();
+        let app = train_app(kernel.as_ref(), &cfg).unwrap();
+        let zoo =
+            train_zoo_with_cache(kernel.as_ref(), &app, &cfg, n, &TrainedModelCache::disabled())
+                .unwrap();
+        (kernel, app, zoo)
+    }
+
+    #[test]
+    fn zoo_of_one_is_the_rumba_accelerator_verbatim() {
+        let (_, app, zoo) = gaussian_zoo(1);
+        assert_eq!(zoo.len(), 1);
+        assert_eq!(zoo.tier(0).npu, app.rumba_npu);
+        // No routing choice exists, so every input routes to tier 0 even
+        // with an impossible bar.
+        assert_eq!(zoo.route(&[0.5], -1.0), 0);
+    }
+
+    #[test]
+    fn tiers_are_cheapest_first_and_top_is_the_full_model() {
+        let (_, app, zoo) = gaussian_zoo(3);
+        assert!(zoo.len() >= 2, "gaussian must yield at least one cheaper tier");
+        let cycles: Vec<u64> = (0..zoo.len()).map(|t| zoo.tier_cycles(t)).collect();
+        assert!(cycles.windows(2).all(|w| w[0] <= w[1]), "{cycles:?}");
+        assert_eq!(zoo.tier(zoo.len() - 1).npu, app.rumba_npu);
+        assert!(
+            cycles[0] < *cycles.last().unwrap(),
+            "the cheapest tier must actually be cheaper: {cycles:?}"
+        );
+    }
+
+    #[test]
+    fn routing_is_monotone_in_the_bar() {
+        let (kernel, _, zoo) = gaussian_zoo(3);
+        let test = kernel.generate(rumba_apps::Split::Test, 42);
+        let mut saw_cheap = false;
+        let mut saw_cpu = false;
+        for i in (0..test.len()).step_by(41) {
+            let input = test.input(i);
+            // An infinite bar always admits the cheapest tier; an
+            // impossible bar always falls through to exact CPU.
+            assert_eq!(zoo.route(input, f64::INFINITY), 0);
+            assert_eq!(zoo.route(input, -1.0), zoo.cpu_tier());
+            let mid = zoo.route(input, 0.1);
+            assert!(mid <= zoo.cpu_tier());
+            saw_cheap |= mid < zoo.len() - 1;
+            saw_cpu |= mid == zoo.cpu_tier();
+            // Widening the bar can only move the decision cheaper.
+            assert!(zoo.route(input, 0.4) <= mid);
+        }
+        assert!(saw_cheap || saw_cpu, "a 0.1 bar must exercise some routing spread");
+    }
+
+    #[test]
+    fn calibrated_bar_keeps_the_routed_mean_train_error_inside_the_budget() {
+        let (kernel, _, zoo) = gaussian_zoo(3);
+        let train = kernel.generate(rumba_apps::Split::Train, 42);
+        let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+        let tier_errors: Vec<Vec<f64>> = (0..zoo.len())
+            .map(|t| invocation_errors(kernel.as_ref(), &zoo.tier(t).npu, &train).unwrap())
+            .collect();
+        for budget in [0.01, 0.05, 0.2] {
+            let bar = zoo.calibrate_bar(&rows, &tier_errors, budget);
+            assert!(bar > 0.0, "bar must stay positive (budget {budget})");
+            // The routed mean measured error at the calibrated bar fits
+            // the budget (CPU rows contribute zero).
+            let mean = rows
+                .iter()
+                .enumerate()
+                .map(|(r, row)| {
+                    let t = zoo.route(row, bar);
+                    if t == zoo.cpu_tier() {
+                        0.0
+                    } else {
+                        tier_errors[t][r]
+                    }
+                })
+                .sum::<f64>()
+                / rows.len() as f64;
+            assert!(mean <= budget + 1e-12, "mean {mean} over budget {budget} at bar {bar}");
+        }
+        // Wider budgets can only widen the bar.
+        let narrow = zoo.calibrate_bar(&rows, &tier_errors, 0.01);
+        let wide = zoo.calibrate_bar(&rows, &tier_errors, 0.2);
+        assert!(wide >= narrow, "{wide} < {narrow}");
+        // The measured-error convenience wrapper agrees with the explicit
+        // call bit-for-bit.
+        let on = zoo.calibrate_bar_on(kernel.as_ref(), &train, 0.05).unwrap();
+        assert_eq!(on.to_bits(), zoo.calibrate_bar(&rows, &tier_errors, 0.05).to_bits());
+        // Degenerate shapes fall back to the budget: a single-tier zoo has
+        // no routing choice, and mismatched inputs never calibrate.
+        let (_, _, solo) = gaussian_zoo(1);
+        assert_eq!(solo.calibrate_bar(&rows, &tier_errors[..1], 0.05), 0.05);
+        assert_eq!(zoo.calibrate_bar(&[], &[], 0.05), 0.05);
+        assert_eq!(zoo.calibrate_bar(&rows, &[], 0.05), 0.05);
+    }
+
+    #[test]
+    fn zero_tier_zoo_is_rejected() {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let cfg = OfflineConfig::default();
+        let app = train_app(kernel.as_ref(), &cfg).unwrap();
+        assert!(train_zoo_with_cache(
+            kernel.as_ref(),
+            &app,
+            &cfg,
+            0,
+            &TrainedModelCache::disabled()
+        )
+        .is_err());
+        assert!(ModelZoo::from_tiers(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn zoo_cache_round_trip_is_bit_exact() {
+        let kernel = kernel_by_name("gaussian").unwrap();
+        let cfg = OfflineConfig::default();
+        let app = train_app(kernel.as_ref(), &cfg).unwrap();
+        let dir = std::env::temp_dir().join(format!("rumba-zoo-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = TrainedModelCache::with_dir(&dir);
+        let fresh = train_zoo_with_cache(kernel.as_ref(), &app, &cfg, 3, &cache).unwrap();
+        let reloaded = train_zoo_with_cache(kernel.as_ref(), &app, &cfg, 3, &cache).unwrap();
+        assert_eq!(fresh.len(), reloaded.len());
+        let test = kernel.generate(rumba_apps::Split::Test, 42);
+        for t in 0..fresh.len() {
+            assert_eq!(fresh.tier_cycles(t), reloaded.tier_cycles(t));
+            assert_eq!(fresh.tier(t).train_error.to_bits(), reloaded.tier(t).train_error.to_bits());
+            for i in (0..test.len()).step_by(97) {
+                let input = test.input(i);
+                assert_eq!(
+                    fresh.tier(t).router.predict(input).to_bits(),
+                    reloaded.tier(t).router.predict(input).to_bits(),
+                    "tier {t} row {i}"
+                );
+                let a = fresh.tier(t).npu.invoke(input).unwrap().outputs;
+                let b = reloaded.tier(t).npu.invoke(input).unwrap().outputs;
+                let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&a), bits(&b), "tier {t} row {i}");
+            }
+        }
+        // A different tier count must miss (distinct entries).
+        let nn_params = nn_params_for(kernel.as_ref());
+        assert!(cache.load_zoo(kernel.name(), &cfg, 2, &nn_params).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -61,6 +61,12 @@ pub struct SchemeActivity {
     /// Extra cycles serialized into the kernel phase (e.g. detector latency
     /// under placement Configuration 1).
     pub serial_detector_cycles: f64,
+    /// Total accelerator cycles across a model-zoo routed stream, where
+    /// different invocations ran different-cost tiers. When positive it
+    /// replaces `accelerator_invocations × npu_cycles_per_invocation` as
+    /// the accelerator stream; zero (the default) keeps the uniform
+    /// single-model arithmetic bit-for-bit.
+    pub tiered_accelerator_cycles: f64,
 }
 
 /// Total cost of one application run.
@@ -185,8 +191,11 @@ impl SystemModel {
         activity: &SchemeActivity,
     ) -> (RunCost, EnergyBreakdown) {
         let p = &self.params;
-        let accel_stream =
-            activity.accelerator_invocations as f64 * activity.npu_cycles_per_invocation as f64;
+        let accel_stream = if activity.tiered_accelerator_cycles > 0.0 {
+            activity.tiered_accelerator_cycles
+        } else {
+            activity.accelerator_invocations as f64 * activity.npu_cycles_per_invocation as f64
+        };
         let reexec_stream = activity.reexecutions as f64 * workload.cpu_cycles_per_invocation;
         let kernel_phase = accel_stream.max(reexec_stream) + activity.serial_detector_cycles;
         let cycles = workload.non_kernel_cycles() + kernel_phase;
@@ -236,6 +245,7 @@ mod tests {
             reexecutions: reexec,
             compensations: 0,
             serial_detector_cycles: 0.0,
+            tiered_accelerator_cycles: 0.0,
         }
     }
 
@@ -296,6 +306,22 @@ mod tests {
             comp_cost * 100.0 < reexec_cost,
             "per-fix: compensation {comp_cost} vs re-execution {reexec_cost}"
         );
+    }
+
+    #[test]
+    fn tiered_cycles_replace_the_uniform_accelerator_stream() {
+        let m = SystemModel::new(EnergyParams::default());
+        let w = workload();
+        let uniform = m.accelerated(&w, &npu_activity(0));
+        let mut a = npu_activity(0);
+        // Half the stream rode a tier a fifth the cost of the top model.
+        a.tiered_accelerator_cycles = 5_000.0 * 50.0 + 5_000.0 * 10.0;
+        let routed = m.accelerated(&w, &a);
+        assert!(routed.energy_nj < uniform.energy_nj, "cheap tiers must save energy");
+        assert!(routed.cycles <= uniform.cycles, "a shorter stream never takes longer");
+        // An explicit tier total equal to the uniform product is identical.
+        a.tiered_accelerator_cycles = 10_000.0 * 50.0;
+        assert_eq!(m.accelerated(&w, &a), uniform);
     }
 
     #[test]

@@ -7,8 +7,9 @@ pub struct TopologyCandidate {
     pub layers: Vec<usize>,
     /// Mean relative error on the validation set.
     pub validation_error: f64,
-    /// Multiply-accumulates per evaluation — the cost proxy the search
-    /// minimizes after accuracy.
+    /// Ops per evaluation (weight MACs plus per-output bias adds and
+    /// activation evaluations) — the cost proxy the search minimizes
+    /// after accuracy.
     pub mac_count: usize,
 }
 
@@ -131,29 +132,43 @@ impl TopologySearch {
             return Err(crate::NnError::EmptyDataset);
         }
         let n = data.len();
-        let n_val =
-            ((n as f64 * self.validation_fraction) as usize).clamp(1, n.saturating_sub(1).max(1));
-        let val_idx: Vec<usize> = (0..n_val).map(|k| k * n / n_val).collect();
-        let val_set: std::collections::BTreeSet<usize> = val_idx.iter().copied().collect();
-        let train_idx: Vec<usize> = (0..n).filter(|i| !val_set.contains(i)).collect();
-        let (train, val) = if train_idx.is_empty() {
-            (data.clone(), data.subset(&val_idx))
-        } else {
-            (data.subset(&train_idx), data.subset(&val_idx))
-        };
+        if n < 2 {
+            // One row cannot be split into disjoint train/validation sets;
+            // the former fallback silently trained on the full dataset and
+            // validated on a subset of it, selecting on training error.
+            return Err(crate::NnError::InvalidParam {
+                name: "dataset rows",
+                value: format!("{n} (the validation split needs at least 2)"),
+            });
+        }
+        let (train_idx, val_idx) = split_indices(n, self.validation_fraction);
+        let (train, val) = (data.subset(&train_idx), data.subset(&val_idx));
 
         let topos = self.enumerate(data.input_dim(), data.output_dim());
         let pool = rumba_parallel::ThreadPool::new();
 
-        // Speculative parallel training: each candidate's RNG stream is
-        // `seed ^ index`, independent of every other candidate, so all of
-        // them can train concurrently. Selection (including the legacy
-        // early exit) is then replayed serially over the results, which
+        // Bounded speculative training: candidates train in MAC-sorted
+        // waves of one candidate per thread. Each candidate's RNG stream is
+        // `seed ^ index`, independent of every other candidate, so a wave
+        // can train concurrently; selection (including the legacy early
+        // exit) is then replayed serially over the wave's results, which
         // makes the report and the chosen model bit-identical to the
-        // serial walk for every thread count. With one thread nothing is
-        // speculated — candidates past the stopping point never train.
-        let mut trained: Vec<Option<Result<(TrainedModel, f64)>>> = if pool.threads() > 1 {
-            pool.par_map_indexed(&topos, |ci, topo| {
+        // serial walk for every thread count. Once the stopping point is
+        // known, no further wave launches — at most one wave (minus the
+        // winner) is ever wasted, instead of the whole candidate list.
+        // With one thread the wave is a single candidate and nothing is
+        // speculated.
+        let wave = pool.threads().max(1);
+        let mut candidates = Vec::new();
+        let mut best_model: Option<TrainedModel> = None;
+        let mut best_idx = 0usize;
+        let mut found_under_cap = false;
+        let mut stopped = false;
+        let mut start = 0usize;
+
+        while start < topos.len() && !stopped {
+            let end = (start + wave).min(topos.len());
+            let fit_one = |ci: usize, topo: &Vec<usize>| -> Result<(TrainedModel, f64)> {
                 let model = TrainedModel::fit(
                     topo,
                     self.activation,
@@ -163,57 +178,45 @@ impl TopologySearch {
                 )?;
                 let err = model.mean_relative_error(&val)?;
                 Ok((model, err))
-            })
-            .into_iter()
-            .map(Some)
-            .collect()
-        } else {
-            std::iter::repeat_with(|| None).take(topos.len()).collect()
-        };
-
-        let mut candidates = Vec::new();
-        let mut best_model: Option<TrainedModel> = None;
-        let mut best_idx = 0usize;
-        let mut found_under_cap = false;
-
-        for (ci, topo) in topos.iter().enumerate() {
-            let (model, err) = match trained[ci].take() {
-                Some(result) => result?,
-                None => {
-                    let model = TrainedModel::fit(
-                        topo,
-                        self.activation,
-                        &train,
-                        &self.params,
-                        seed ^ ci as u64,
-                    )?;
-                    let err = model.mean_relative_error(&val)?;
-                    (model, err)
+            };
+            let wave_results: Vec<Result<(TrainedModel, f64)>> = if pool.threads() > 1 {
+                pool.par_map_indexed(&topos[start..end], |off, topo| fit_one(start + off, topo))
+            } else {
+                topos[start..end]
+                    .iter()
+                    .enumerate()
+                    .map(|(off, topo)| fit_one(start + off, topo))
+                    .collect()
+            };
+            for (off, result) in wave_results.into_iter().enumerate() {
+                let ci = start + off;
+                let (model, err) = result?;
+                candidates.push(TopologyCandidate {
+                    layers: topos[ci].clone(),
+                    validation_error: err,
+                    mac_count: mac_count_of(&topos[ci]),
+                });
+                let better = match &best_model {
+                    None => true,
+                    Some(_) if !found_under_cap && err <= self.error_cap => true,
+                    Some(_) if !found_under_cap => err < candidates[best_idx].validation_error,
+                    Some(_) => false, // already have the smallest under-cap network
+                };
+                if better {
+                    best_idx = ci;
+                    best_model = Some(model);
+                    if err <= self.error_cap {
+                        found_under_cap = true;
+                    }
                 }
-            };
-            candidates.push(TopologyCandidate {
-                layers: topo.clone(),
-                validation_error: err,
-                mac_count: mac_count_of(topo),
-            });
-            let better = match &best_model {
-                None => true,
-                Some(_) if !found_under_cap && err <= self.error_cap => true,
-                Some(_) if !found_under_cap => err < candidates[best_idx].validation_error,
-                Some(_) => false, // already have the smallest under-cap network
-            };
-            if better {
-                best_idx = ci;
-                best_model = Some(model);
-                if err <= self.error_cap {
-                    found_under_cap = true;
+                if found_under_cap && best_idx != ci {
+                    // Candidates are MAC-sorted; once one passes the cap,
+                    // no later (larger) candidate can be preferred.
+                    stopped = true;
+                    break;
                 }
             }
-            if found_under_cap && best_idx != ci {
-                // Candidates are MAC-sorted; once one passes the cap, no
-                // later (larger) candidate can be preferred.
-                break;
-            }
+            start = end;
         }
 
         Ok((
@@ -223,8 +226,28 @@ impl TopologySearch {
     }
 }
 
+/// Strided disjoint train/validation index split. Every `k * n / n_val`
+/// index (distinct because `n_val < n`) goes to validation; everything
+/// else trains. Requires `n >= 2` so both halves are non-empty.
+fn split_indices(n: usize, validation_fraction: f64) -> (Vec<usize>, Vec<usize>) {
+    debug_assert!(n >= 2);
+    let n_val = ((n as f64 * validation_fraction) as usize).clamp(1, n - 1);
+    let val_idx: Vec<usize> = (0..n_val).map(|k| k * n / n_val).collect();
+    let val_set: std::collections::BTreeSet<usize> = val_idx.iter().copied().collect();
+    let train_idx: Vec<usize> = (0..n).filter(|i| !val_set.contains(i)).collect();
+    (train_idx, val_idx)
+}
+
+/// Per-evaluation op count of a topology — the search's cost proxy. Each
+/// output element of a layer costs `in` weight MACs, one bias add, and one
+/// activation evaluation (the exact serial reduction the datapath
+/// performs), so a layer is `out * (in + 2)` ops. Counting only the weight
+/// MACs (as [`crate::Mlp::mac_count`] does for the accelerator cycle
+/// model) undercounts depth: two same-weight-MAC candidates of different
+/// depths would tie even though the deeper one performs more bias/
+/// activation work per evaluation.
 fn mac_count_of(topology: &[usize]) -> usize {
-    topology.windows(2).map(|w| w[0] * w[1]).sum()
+    topology.windows(2).map(|w| w[1] * (w[0] + 2)).sum()
 }
 
 #[cfg(test)]
@@ -275,6 +298,48 @@ mod tests {
     fn empty_dataset_is_rejected() {
         let data = NnDataset::new(1, 1).unwrap();
         assert!(TopologySearch::new(0.1).run(&data, 0).is_err());
+    }
+
+    #[test]
+    fn single_row_dataset_is_rejected_not_overlapped() {
+        // Regression: with one row the old fallback trained on the full
+        // dataset and validated on the same row — selection on training
+        // error. A disjoint split is impossible, so the run must refuse.
+        let data = NnDataset::from_fn(1, 1, 1, |_, x, y| {
+            x[0] = 0.5;
+            y[0] = 0.25;
+        })
+        .unwrap();
+        let err = TopologySearch::new(0.1).run(&data, 0).unwrap_err();
+        assert!(matches!(err, crate::NnError::InvalidParam { name: "dataset rows", .. }));
+    }
+
+    #[test]
+    fn validation_split_is_disjoint_and_covering_at_every_small_n() {
+        for n in 2..64 {
+            for frac in [0.1, 0.25, 0.5, 0.9] {
+                let (train, val) = split_indices(n, frac);
+                assert!(!train.is_empty(), "n={n} frac={frac}");
+                assert!(!val.is_empty(), "n={n} frac={frac}");
+                let t: std::collections::BTreeSet<usize> = train.iter().copied().collect();
+                let v: std::collections::BTreeSet<usize> = val.iter().copied().collect();
+                assert!(t.is_disjoint(&v), "overlap at n={n} frac={frac}");
+                assert_eq!(t.len() + v.len(), n, "split must cover every row");
+                assert!(t.union(&v).all(|&i| i < n));
+            }
+        }
+    }
+
+    #[test]
+    fn op_count_breaks_weight_mac_ties() {
+        // [1,12,1] and [1,4,4,1] tie at 24 weight MACs, but carry 13 vs 9
+        // neurons' worth of bias adds and activations — the old
+        // weight-MACs-only count could not tell them apart.
+        let wide = mac_count_of(&[1, 12, 1]);
+        let deep = mac_count_of(&[1, 4, 4, 1]);
+        assert_eq!(wide, 24 + 2 * 13, "24 weight MACs + 13 bias adds + 13 activations");
+        assert_eq!(deep, 24 + 2 * 9, "24 weight MACs + 9 bias adds + 9 activations");
+        assert_ne!(wide, deep, "the op count must break the weight-MAC tie");
     }
 
     #[test]

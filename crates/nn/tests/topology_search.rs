@@ -1,0 +1,85 @@
+//! Pins the topology search's bounded speculative training (MAC-sorted
+//! waves of one candidate per thread) to the serial walk: the selected
+//! model, the candidates report, and the early-exit point must be
+//! bit-identical at every thread count.
+
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+use proptest::prelude::*;
+use rumba_nn::{NnDataset, TopologySearch};
+
+/// Serializes every test that flips the process-wide thread override, so a
+/// concurrently scheduled case never observes a mid-run change.
+fn thread_lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(())).lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn wavy_dataset(n: usize, freq: f64) -> NnDataset {
+    NnDataset::from_fn(1, 1, n, |i, x, y| {
+        x[0] = i as f64 / n as f64;
+        y[0] = (x[0] * freq).sin() * 0.5 + 0.5;
+    })
+    .unwrap()
+}
+
+proptest! {
+    /// Selection replay is bit-identical to the serial walk at every
+    /// thread count, for caps that early-exit quickly, late, and never.
+    #[test]
+    fn wave_speculation_matches_serial_selection_bitwise(
+        seed in 0u64..200,
+        cap_idx in 0usize..3,
+        threads in 2usize..5,
+    ) {
+        let _guard = thread_lock();
+        let cap = [0.5, 0.05, 0.0][cap_idx];
+        let data = wavy_dataset(96, 7.0);
+        let search = TopologySearch::new(cap).with_hidden_sizes(&[1, 2, 4]);
+
+        rumba_parallel::set_thread_override(Some(1));
+        let serial = search.run(&data, seed);
+        rumba_parallel::set_thread_override(Some(threads));
+        let parallel = search.run(&data, seed);
+        rumba_parallel::set_thread_override(None);
+
+        let (serial_model, serial_report) = serial.unwrap();
+        let (parallel_model, parallel_report) = parallel.unwrap();
+        prop_assert_eq!(serial_report.selected, parallel_report.selected);
+        prop_assert_eq!(serial_report.candidates.len(), parallel_report.candidates.len());
+        for (a, b) in serial_report.candidates.iter().zip(&parallel_report.candidates) {
+            prop_assert_eq!(&a.layers, &b.layers);
+            prop_assert_eq!(a.validation_error.to_bits(), b.validation_error.to_bits());
+            prop_assert_eq!(a.mac_count, b.mac_count);
+        }
+        let bits = |m: &rumba_nn::TrainedModel| {
+            m.mlp().to_flat_params().iter().map(|p| p.to_bits()).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(bits(&serial_model), bits(&parallel_model));
+    }
+}
+
+/// An early exit must keep the legacy report shape: the candidate list
+/// stops exactly one entry past the winner (the probe that proved no
+/// larger candidate can win), regardless of thread count.
+#[test]
+fn early_exit_report_stops_one_past_the_winner_at_any_thread_count() {
+    let _guard = thread_lock();
+    let data = wavy_dataset(128, 2.0);
+    // A generous cap that the first or second candidate meets.
+    let search = TopologySearch::new(0.5).with_hidden_sizes(&[1, 2, 4, 8, 16]);
+    let mut shapes = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        rumba_parallel::set_thread_override(Some(threads));
+        let (_, report) = search.run(&data, 9).unwrap();
+        rumba_parallel::set_thread_override(None);
+        assert!(
+            report.candidates.len() <= report.selected + 2,
+            "threads {threads}: {} candidates for winner {}",
+            report.candidates.len(),
+            report.selected
+        );
+        shapes.push((report.selected, report.candidates.len()));
+    }
+    assert!(shapes.windows(2).all(|w| w[0] == w[1]), "report shape varies by threads: {shapes:?}");
+}

@@ -45,6 +45,12 @@ pub enum Event {
         /// from the JSON — when the compensation band is disabled, so
         /// re-execution-only streams keep the pre-compensation schema).
         compensated: u64,
+        /// Per-tier invocation counts for this window when a model zoo is
+        /// attached: one slot per approximator (cheapest first) plus a
+        /// final slot for exact-CPU routing. Empty — and omitted from the
+        /// JSON — when no zoo is attached, so zoo-disabled streams keep
+        /// the pre-zoo schema byte-for-byte.
+        tiers: Vec<u64>,
         /// Serving-session label (empty outside the multi-tenant serving
         /// layer; empty labels are omitted from the JSON so single-tenant
         /// streams stay byte-identical to the pre-serving schema).
@@ -132,6 +138,10 @@ pub enum Event {
         cpu_utilization: f64,
         /// Threshold at end of run.
         final_threshold: f64,
+        /// Whole-stream per-tier invocation counts (same layout as the
+        /// `window_end` field; empty — and omitted from the JSON — when no
+        /// zoo is attached).
+        tiers: Vec<u64>,
         /// Serving-session label (empty outside the serving layer; the
         /// serving runtime emits one tagged `run_summary` per session at
         /// close, so a multi-tenant stream carries one summary per tenant).
@@ -253,6 +263,7 @@ impl Event {
                 quarantined,
                 capacity_clamped,
                 compensated,
+                tiers,
                 session,
             } => {
                 w.count("window", *window)
@@ -266,6 +277,9 @@ impl Event {
                     .boolean("capacity_clamped", *capacity_clamped);
                 if *compensated > 0 {
                     w.count("compensated", *compensated);
+                }
+                if !tiers.is_empty() {
+                    w.counts("tiers", tiers);
                 }
                 if !session.is_empty() {
                     w.string("session", session);
@@ -310,6 +324,7 @@ impl Event {
                 windows,
                 cpu_utilization,
                 final_threshold,
+                tiers,
                 session,
             } => {
                 w.string("kernel", kernel)
@@ -322,6 +337,9 @@ impl Event {
                     .count("windows", *windows)
                     .float("cpu_utilization", *cpu_utilization)
                     .float("final_threshold", *final_threshold);
+                if !tiers.is_empty() {
+                    w.counts("tiers", tiers);
+                }
                 if !session.is_empty() {
                     w.string("session", session);
                 }
@@ -390,6 +408,9 @@ impl Event {
                 // Streams recorded before the compensate path existed carry
                 // no counter; those runs compensated nothing.
                 compensated: obj.count("compensated").unwrap_or(0),
+                // Pre-zoo streams carry no tier counts; those runs routed
+                // every invocation to the single accelerator.
+                tiers: obj.counts_array("tiers").unwrap_or_default(),
                 session: obj.string("session").unwrap_or_default().to_owned(),
             }),
             "fault" => Ok(Event::Fault {
@@ -436,6 +457,7 @@ impl Event {
                 final_threshold: obj
                     .number("final_threshold")
                     .ok_or_else(|| field("final_threshold"))?,
+                tiers: obj.counts_array("tiers").unwrap_or_default(),
                 session: obj.string("session").unwrap_or_default().to_owned(),
             }),
             "session" => Ok(Event::Session {
@@ -488,6 +510,7 @@ mod tests {
                 quarantined: 4,
                 capacity_clamped: true,
                 compensated: 6,
+                tiers: Vec::new(),
                 session: String::new(),
             },
             Event::WindowEnd {
@@ -501,6 +524,7 @@ mod tests {
                 quarantined: 0,
                 capacity_clamped: false,
                 compensated: 0,
+                tiers: vec![40, 21, 3],
                 session: "tenant-1".into(),
             },
             Event::Fault {
@@ -529,6 +553,7 @@ mod tests {
                 windows: 40,
                 cpu_utilization: 0.412,
                 final_threshold: 0.05,
+                tiers: vec![9_000, 731, 269],
                 session: String::new(),
             },
             Event::Session {
@@ -597,6 +622,7 @@ mod tests {
             quarantined: 0,
             capacity_clamped: false,
             compensated: 0,
+            tiers: Vec::new(),
             session: String::new(),
         };
         let line = event.to_jsonl();
@@ -670,6 +696,22 @@ mod tests {
         };
         // The tag is appended after every legacy field.
         assert!(tagged.to_jsonl().ends_with("\"session\":\"t\"}"), "{}", tagged.to_jsonl());
+    }
+
+    #[test]
+    fn empty_tier_counts_are_omitted_from_the_wire() {
+        // Same golden contract again: streams with no model zoo attached
+        // serialize exactly as they did before the field existed.
+        for event in samples() {
+            let line = event.to_jsonl();
+            let has = line.contains("\"tiers\"");
+            match &event {
+                Event::WindowEnd { tiers, .. } | Event::RunSummary { tiers, .. } => {
+                    assert_eq!(has, !tiers.is_empty(), "{line}");
+                }
+                _ => assert!(!has, "{line}"),
+            }
+        }
     }
 
     #[test]

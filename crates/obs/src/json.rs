@@ -43,6 +43,9 @@ pub trait ObjectExt {
     /// The array field `key` decoded as an `f64` vector; `null` elements
     /// read as NaN (the writer encodes non-finite floats as `null`).
     fn numbers(&self, key: &str) -> Option<Vec<f64>>;
+    /// The array field `key` decoded as integer counts; any negative or
+    /// fractional element poisons the read.
+    fn counts_array(&self, key: &str) -> Option<Vec<u64>>;
 }
 
 impl ObjectExt for JsonObject {
@@ -82,6 +85,19 @@ impl ObjectExt for JsonObject {
                 .map(|v| match v {
                     JsonValue::Num(x) => Some(*x),
                     JsonValue::Null => Some(f64::NAN),
+                    _ => None,
+                })
+                .collect(),
+            _ => None,
+        }
+    }
+
+    fn counts_array(&self, key: &str) -> Option<Vec<u64>> {
+        match self.get(key)? {
+            JsonValue::Arr(items) => items
+                .iter()
+                .map(|v| match v {
+                    JsonValue::Num(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
                     _ => None,
                 })
                 .collect(),
@@ -182,6 +198,20 @@ impl JsonWriter {
             } else {
                 self.out.push_str("null");
             }
+        }
+        self.out.push(']');
+        self
+    }
+
+    /// Appends a flat integer-count array field.
+    pub fn counts(&mut self, key: &str, values: &[u64]) -> &mut Self {
+        self.raw_key(key);
+        self.out.push('[');
+        for (i, value) in values.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            let _ = write!(self.out, "{value}");
         }
         self.out.push(']');
         self
@@ -414,6 +444,21 @@ mod tests {
         }
         assert_eq!(obj.numbers("empty"), Some(Vec::new()));
         assert_eq!(obj.numbers("type"), None, "scalars are not arrays");
+    }
+
+    #[test]
+    fn count_arrays_round_trip_and_reject_non_integers() {
+        let mut w = JsonWriter::object("t");
+        w.counts("tiers", &[3, 0, u64::from(u32::MAX) + 7]).counts("none", &[]);
+        let line = w.finish();
+        assert!(line.contains("\"tiers\":[3,0,4294967302]"), "{line}");
+        let obj = parse_object(&line).unwrap();
+        assert_eq!(obj.counts_array("tiers"), Some(vec![3, 0, 4_294_967_302]));
+        assert_eq!(obj.counts_array("none"), Some(Vec::new()));
+        let mixed = parse_object("{\"a\":[1,2.5],\"b\":[-1],\"c\":1}").unwrap();
+        assert_eq!(mixed.counts_array("a"), None, "fractional element poisons the read");
+        assert_eq!(mixed.counts_array("b"), None, "negative element poisons the read");
+        assert_eq!(mixed.counts_array("c"), None, "scalars are not arrays");
     }
 
     #[test]

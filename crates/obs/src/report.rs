@@ -230,6 +230,7 @@ impl fmt::Display for Report {
                 windows,
                 cpu_utilization,
                 final_threshold,
+                tiers,
                 session,
             } = event
             {
@@ -247,6 +248,14 @@ impl fmt::Display for Report {
                     pct(*output_error),
                     pct(*cpu_utilization),
                 )?;
+                if !tiers.is_empty() {
+                    // Last slot is exact-CPU routing; the rest are the zoo
+                    // tiers, cheapest first.
+                    let (cpu, models) = tiers.split_last().expect("non-empty");
+                    let mix: Vec<String> =
+                        models.iter().enumerate().map(|(t, n)| format!("t{t}:{n}")).collect();
+                    writeln!(f, "  tier mix: {} cpu:{cpu}", mix.join(" "))?;
+                }
             }
         }
 
@@ -306,6 +315,7 @@ mod tests {
             quarantined: i,
             capacity_clamped: i == 0,
             compensated: 2 * i,
+            tiers: Vec::new(),
             session: String::new(),
         }
         .to_jsonl()
@@ -337,6 +347,7 @@ mod tests {
                 windows: 4,
                 cpu_utilization: 0.5,
                 final_threshold: 0.08,
+                tiers: Vec::new(),
                 session: String::new(),
             }
             .to_jsonl()

@@ -10,7 +10,7 @@
 //!
 //! | op         | fields                                                            |
 //! |------------|-------------------------------------------------------------------|
-//! | `open`     | `session` (required), `kernel`, `seed`, `checker`, `mode` (`toq`/`energy`/`best`), `toq`, `budget`, `window`, `queue`, `admission` (`shed`/`block`), `faults` (spec string), `fault_seed`, `watchdog` (bool), `fix` (`reexecute`/`compensate`), `band` (compensation band, required with `fix=compensate`) |
+//! | `open`     | `session` (required), `kernel`, `seed`, `checker`, `mode` (`toq`/`energy`/`best`), `toq`, `budget`, `window`, `queue`, `admission` (`shed`/`block`), `faults` (spec string), `fault_seed`, `watchdog` (bool), `fix` (`reexecute`/`compensate`), `band` (compensation band, required with `fix=compensate`), `zoo` (tier count; 0 = single-model serving) |
 //! | `invoke`   | `session`, `input` (number array)                                 |
 //! | `drain`    | `session` (optional — omitted drains **all** sessions through one multiplexed scheduling round) |
 //! | `stats`    | `session`                                                         |
@@ -108,6 +108,9 @@ fn parse_config(obj: &JsonObject) -> Result<SessionConfig, ServeError> {
     }
     if obj.boolean("watchdog").unwrap_or(false) {
         config.watchdog = Some(WatchdogConfig::default());
+    }
+    if let Some(zoo) = obj.count("zoo") {
+        config.zoo = zoo as usize;
     }
     match obj.string("fix") {
         None | Some("reexecute") => {}

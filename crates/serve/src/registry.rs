@@ -1,6 +1,7 @@
 //! Session registry and the deterministic multi-tenant batch scheduler.
 
 use rumba_accel::Npu;
+use rumba_core::zoo::ModelZoo;
 use rumba_nn::{Matrix, NnError, Scratch};
 
 use crate::session::{
@@ -184,17 +185,22 @@ impl ServeRuntime {
         }
 
         // Phase 2: pure accelerator compute, one worker task per session
-        // batch. Only `&Npu` (plain immutable data) crosses threads.
+        // batch. Only `&Npu` / `&ModelZoo` (plain immutable data) cross
+        // threads; routed batches carry their per-row tier decisions from
+        // phase 1, so workers never make a routing choice.
         let outputs: Vec<Result<Matrix, NnError>> = {
-            let metas: Vec<(&Npu, usize)> = jobs
+            let metas: Vec<(&Npu, Option<&ModelZoo>, usize)> = jobs
                 .iter()
-                .map(|(i, _)| (self.sessions[*i].npu(), self.sessions[*i].input_dim()))
+                .map(|(i, _)| {
+                    let s = &self.sessions[*i];
+                    (s.npu(), s.zoo(), s.input_dim())
+                })
                 .collect();
             rumba_parallel::par_map_indexed(&jobs, |j, (_, batch)| {
-                let (npu, input_dim) = metas[j];
+                let (npu, zoo, input_dim) = metas[j];
                 let mut scratch = Scratch::new();
                 let mut out = Matrix::default();
-                compute_batch(npu, input_dim, batch, &mut scratch, &mut out).map(|()| out)
+                compute_batch(npu, zoo, input_dim, batch, &mut scratch, &mut out).map(|()| out)
             })
         };
 

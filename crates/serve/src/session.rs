@@ -6,11 +6,13 @@ use std::collections::VecDeque;
 use rumba_accel::{CheckerUnit, Npu};
 use rumba_apps::{kernel_by_name, Kernel, Split};
 use rumba_core::event_sim::{simulate_detailed_with_faults, QueueConfig};
+use rumba_core::runtime::MAX_ZOO_PRESSURE;
 use rumba_core::runtime::{FixPolicy, RumbaSystem, RuntimeConfig, WatchdogConfig};
-use rumba_core::trainer::{train_app, OfflineConfig, TrainedApp};
+use rumba_core::trainer::{invocation_errors, train_app, OfflineConfig, TrainedApp};
 use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
+use rumba_core::zoo::{train_zoo, ModelZoo};
 use rumba_faults::FaultPlan;
-use rumba_nn::{Matrix, MatrixView, NnError, Scratch};
+use rumba_nn::{Matrix, MatrixView, NnDataset, NnError, Scratch};
 use rumba_obs::Event;
 use rumba_predict::{EmaDetector, ErrorEstimator};
 
@@ -131,6 +133,13 @@ pub struct SessionConfig {
     /// What flagged invocations get: CPU re-execution (the default) or
     /// in-place compensation for the mildly wrong band.
     pub fix_policy: FixPolicy,
+    /// Model-zoo size: 0 (the default) serves the single Rumba
+    /// accelerator exactly as before; `N > 0` trains an `N`-tier
+    /// quality/energy ladder and routes every request to the cheapest
+    /// tier predicted to meet the session's quality target (exact CPU as
+    /// the last resort). Under queue pressure the session degrades to
+    /// cheaper tiers before any request is shed.
+    pub zoo: usize,
 }
 
 impl Default for SessionConfig {
@@ -146,6 +155,7 @@ impl Default for SessionConfig {
             faults: None,
             watchdog: None,
             fix_policy: FixPolicy::default(),
+            zoo: 0,
         }
     }
 }
@@ -245,20 +255,59 @@ pub(crate) struct PendingBatch {
     pub(crate) base: usize,
     pub(crate) rows: usize,
     pub(crate) inputs: Vec<f64>,
+    /// Per-row zoo tier decisions, fixed serially at detach time from the
+    /// session's routing bar (`None` without a zoo). Routing before the
+    /// parallel phase keeps the decision a pure function of (input,
+    /// session state), independent of worker count.
+    pub(crate) routes: Option<Vec<usize>>,
 }
 
 /// Pure accelerator compute for one pending batch. Free-standing (rather
 /// than a `Session` method) so the scheduler's parallel phase can run it
-/// from `&Npu` alone — `Session` itself is deliberately not `Sync`.
+/// from `&Npu` / `&ModelZoo` alone — `Session` itself is deliberately not
+/// `Sync`.
+///
+/// A routed batch is grouped into per-tier sub-batches so each tier's
+/// SIMD/flat-matrix path still runs over contiguous gathered rows; rows
+/// routed to the exact-CPU tier are left zeroed (the serial replay
+/// computes them exactly).
 pub(crate) fn compute_batch(
     npu: &Npu,
+    zoo: Option<&ModelZoo>,
     input_dim: usize,
     batch: &PendingBatch,
     scratch: &mut Scratch,
     out: &mut Matrix,
 ) -> Result<(), NnError> {
-    let view = MatrixView::new(&batch.inputs, batch.rows, input_dim);
-    npu.invoke_batch_at(batch.base, view, scratch, out)?;
+    let (Some(routes), Some(zoo)) = (&batch.routes, zoo) else {
+        let view = MatrixView::new(&batch.inputs, batch.rows, input_dim);
+        npu.invoke_batch_at(batch.base, view, scratch, out)?;
+        return Ok(());
+    };
+    out.resize(batch.rows, npu.output_dim());
+    let mut gathered = Vec::new();
+    let mut positions = Vec::new();
+    let mut tier_out = Matrix::default();
+    for t in 0..zoo.len() {
+        gathered.clear();
+        positions.clear();
+        let mut local_rows = Vec::new();
+        for (r, &route) in routes.iter().enumerate() {
+            if route == t {
+                gathered.extend_from_slice(&batch.inputs[r * input_dim..(r + 1) * input_dim]);
+                positions.push(batch.base + r);
+                local_rows.push(r);
+            }
+        }
+        if positions.is_empty() {
+            continue;
+        }
+        let view = MatrixView::new(&gathered, positions.len(), input_dim);
+        zoo.tier(t).npu.invoke_rows_at(&positions, view, scratch, &mut tier_out)?;
+        for (g, &r) in local_rows.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(tier_out.row(g));
+        }
+    }
     Ok(())
 }
 
@@ -406,6 +455,45 @@ impl Session {
         )?;
         system.set_session_label(name);
         system.set_fault_plan(config.faults.clone());
+        if config.zoo > 0 {
+            let offline = OfflineConfig { seed: config.seed, ..OfflineConfig::default() };
+            let zoo = train_zoo(kernel.as_ref(), app, &offline, config.zoo)?;
+            // The bar base is calibrated on the train split under the same
+            // mean-error contract as the firing threshold (a raw 1 - toq
+            // per-invocation cut would over-route to exact CPU).
+            let train = kernel.generate(Split::Train, config.seed);
+            // A tenth of the budget is held back as generalization margin
+            // (the tiers and routers were fit on this same split).
+            let budget = 0.9 * quality_budget(config.mode);
+            let rows: Vec<&[f64]> = (0..train.len()).map(|i| train.input(i)).collect();
+            let mut tier_errors: Vec<Vec<f64>> = zoo
+                .tiers()
+                .iter()
+                .map(|t| invocation_errors(kernel.as_ref(), &t.npu, &train))
+                .collect::<Result<_, _>>()?;
+            let bar = zoo.calibrate_bar(&rows, &tier_errors, budget);
+            // Queue-pressure degradation may widen the bar only as far as
+            // the checker/recovery loop can still vouch for the budget:
+            // rows the checker flags re-execute exactly at every tier, so
+            // they are credited as zero error and the same calibration run
+            // again gives the widest safe bar. The mask uses the
+            // calibration-time threshold — a pure function of the config,
+            // not the tuner's adaptive state — so `restore` rebuilds the
+            // identical ceiling.
+            let predicted = probe_predictions(app, config.checker, kernel.as_ref(), &train)?;
+            let fire_threshold =
+                calibrate_threshold(&predicted, &app.train_errors, quality_budget(config.mode));
+            for errors in &mut tier_errors {
+                for (e, p) in errors.iter_mut().zip(&predicted) {
+                    if *p > fire_threshold {
+                        *e = 0.0;
+                    }
+                }
+            }
+            let ceiling = zoo.calibrate_bar(&rows, &tier_errors, budget);
+            system.attach_zoo(zoo, bar)?;
+            system.set_zoo_pressure_ceiling(ceiling);
+        }
         system.begin_stream();
 
         let (input_dim, output_dim) = (kernel.input_dim(), kernel.output_dim());
@@ -615,6 +703,28 @@ impl Session {
         self.system.npu()
     }
 
+    /// The session's model zoo, if one is attached (immutable during
+    /// serving, so the scheduler can borrow it across threads like the
+    /// NPU).
+    #[must_use]
+    pub(crate) fn zoo(&self) -> Option<&ModelZoo> {
+        self.system.zoo()
+    }
+
+    /// The session's current queue-pressure degradation rung (0 = no
+    /// degradation; meaningful only with a zoo attached).
+    #[must_use]
+    pub fn zoo_pressure(&self) -> u32 {
+        self.system.zoo_pressure()
+    }
+
+    /// Whole-stream per-tier routing counts (`zoo + 1` slots, last =
+    /// exact CPU; empty without a zoo).
+    #[must_use]
+    pub fn stream_tiers(&self) -> &[u64] {
+        self.system.stream_tiers()
+    }
+
     /// Queue bound after `QueuePressure` faults shrink it — never below 1,
     /// so a pressured session degrades to request-at-a-time service
     /// instead of deadlocking.
@@ -645,6 +755,14 @@ impl Session {
             )));
         }
         if self.pending_rows >= self.effective_capacity() {
+            // Degrade before shedding: every full-queue event raises the
+            // zoo's pressure rung (doubling the routing bar), sliding
+            // subsequent traffic toward cheaper tiers so drains finish
+            // sooner. The rung decays as drains run under-capacity.
+            let rung = self.system.zoo_pressure();
+            if self.system.zoo().is_some() && rung < MAX_ZOO_PRESSURE {
+                self.system.set_zoo_pressure(rung + 1);
+            }
             return match self.admission {
                 AdmissionPolicy::Shed => {
                     self.stats.shed += 1;
@@ -686,10 +804,21 @@ impl Session {
         if self.pending_rows == 0 {
             return None;
         }
+        let dim = self.kernel.input_dim();
+        // Route the whole batch serially at the drain-time bar (which only
+        // moves at window flushes and pressure changes), before any
+        // parallel compute sees it.
+        let routes = self.system.routing_bar().map(|bar| {
+            let zoo = self.system.zoo().expect("a routing bar implies an attached zoo");
+            (0..self.pending_rows)
+                .map(|r| zoo.route(&self.pending_inputs[r * dim..(r + 1) * dim], bar))
+                .collect()
+        });
         let batch = PendingBatch {
             base: self.system.stream_invocations(),
             rows: self.pending_rows,
             inputs: std::mem::take(&mut self.pending_inputs),
+            routes,
         };
         self.pending_rows = 0;
         Some(batch)
@@ -707,18 +836,37 @@ impl Session {
         let dim = self.kernel.input_dim();
         let out_dim = self.kernel.output_dim();
         let metric = self.kernel.metric();
+        let routes = batch.routes.as_deref();
+        let model_tiers = self.system.zoo().map_or(usize::MAX, rumba_core::zoo::ModelZoo::len);
         let mut fired = vec![false; batch.rows];
         for (i, fired_slot) in fired.iter_mut().enumerate() {
             let input = &batch.inputs[i * dim..(i + 1) * dim];
-            let outcome = self.system.process_approx(
-                &*self.kernel,
-                input,
-                approx.row(i),
-                &mut self.out_buf,
-            )?;
+            let outcome = match routes {
+                Some(routes) => {
+                    let tier = routes[i];
+                    // CPU-routed rows carry no precomputed approximation;
+                    // the runtime computes them exactly in the replay.
+                    let approx_row = (tier < model_tiers).then(|| approx.row(i));
+                    self.system.process_routed(
+                        &*self.kernel,
+                        input,
+                        tier,
+                        approx_row,
+                        &mut self.out_buf,
+                    )?
+                }
+                None => self.system.process_approx(
+                    &*self.kernel,
+                    input,
+                    approx.row(i),
+                    &mut self.out_buf,
+                )?,
+            };
             self.kernel.compute(input, &mut self.exact_buf);
             let err = metric.invocation_error(&self.exact_buf, &self.out_buf[..out_dim]);
-            *fired_slot = outcome.fired;
+            // CPU-routed rows occupy the CPU lane of the drain's pipeline
+            // simulation exactly like a fired re-execution does.
+            *fired_slot = outcome.fired || routes.is_some_and(|r| r[i] == model_tiers);
             self.stats.processed += 1;
             self.stats.error_sum += err;
             self.completed.push_back(SessionResult {
@@ -749,6 +897,13 @@ impl Session {
         self.stats.total_cycles += run.total_cycles;
         self.stats.cpu_busy_cycles += run.cpu_busy_cycles;
 
+        // Under-capacity drains release queue-pressure degradation one
+        // rung at a time, the inverse of the full-queue raise.
+        if routes.is_some() && batch.rows * 2 < self.effective_capacity() {
+            let rung = self.system.zoo_pressure();
+            self.system.set_zoo_pressure(rung.saturating_sub(1));
+        }
+
         // Hand the (now larger-capacity) buffers back for reuse.
         if self.pending_inputs.capacity() < batch.inputs.capacity() {
             self.pending_inputs = batch.inputs;
@@ -769,8 +924,8 @@ impl Session {
         let Some(batch) = self.take_pending() else { return Ok(0) };
         let mut out = std::mem::take(&mut self.batch_out);
         {
-            let (scratch, npu) = (&mut self.scratch, self.system.npu());
-            compute_batch(npu, self.kernel.input_dim(), &batch, scratch, &mut out)?;
+            let (scratch, npu, zoo) = (&mut self.scratch, self.system.npu(), self.system.zoo());
+            compute_batch(npu, zoo, self.kernel.input_dim(), &batch, scratch, &mut out)?;
         }
         self.absorb(batch, out)
     }
@@ -802,6 +957,7 @@ impl Session {
                 windows: self.system.windows_flushed(),
                 cpu_utilization: self.stats.cpu_utilization(),
                 final_threshold: self.system.tuner().threshold(),
+                tiers: self.system.stream_tiers().to_vec(),
                 session: self.name.clone(),
             });
             sink.emit(&Event::Session {
@@ -832,6 +988,23 @@ fn build_checker(
     })
 }
 
+/// Probes a fresh checker of `kind` over the train split's accelerator
+/// outputs, returning the per-invocation error predictions the threshold
+/// (and the zoo's degradation ceiling) are calibrated against. Pure in
+/// the app and config, so `open` and `restore` reproduce it bit-for-bit.
+fn probe_predictions(
+    app: &TrainedApp,
+    kind: CheckerKind,
+    kernel: &dyn Kernel,
+    train: &NnDataset,
+) -> Result<Vec<f64>, ServeError> {
+    let mut probe = build_checker(kind, app, kernel)?;
+    let mut scratch = Scratch::new();
+    let mut approx = Matrix::default();
+    app.rumba_npu.invoke_batch(train.inputs_view(), &mut scratch, &mut approx)?;
+    Ok((0..train.len()).map(|i| probe.estimate(train.input(i), approx.row(i))).collect())
+}
+
 /// Threshold calibration, identical to `rumba run`: probe the checker over
 /// the train split's accelerator outputs, then pick the threshold whose
 /// firing rate meets the mode's error target on the training errors.
@@ -843,15 +1016,16 @@ fn calibrate(
     mode: TuningMode,
 ) -> Result<f64, ServeError> {
     let train = kernel.generate(Split::Train, seed);
-    let mut probe = build_checker(kind, app, kernel)?;
-    let mut scratch = Scratch::new();
-    let mut approx = Matrix::default();
-    app.rumba_npu.invoke_batch(train.inputs_view(), &mut scratch, &mut approx)?;
-    let predicted: Vec<f64> =
-        (0..train.len()).map(|i| probe.estimate(train.input(i), approx.row(i))).collect();
-    let target = match mode {
+    let predicted = probe_predictions(app, kind, kernel, &train)?;
+    Ok(calibrate_threshold(&predicted, &app.train_errors, quality_budget(mode)))
+}
+
+/// The session's mean-error budget: the threshold calibration target,
+/// and — when a zoo is attached — the budget
+/// [`ModelZoo::calibrate_bar`] fits the routing bar to.
+fn quality_budget(mode: TuningMode) -> f64 {
+    match mode {
         TuningMode::TargetQuality { toq } => 1.0 - toq,
         _ => 0.10,
-    };
-    Ok(calibrate_threshold(&predicted, &app.train_errors, target))
+    }
 }

@@ -89,6 +89,11 @@ impl SnapshotParts {
         if let FixPolicy::Compensate { band } = c.fix_policy {
             let _ = write!(out, " fix=comp:{:016x}", band.to_bits());
         }
+        // Omitted for zoo-less sessions, so their snapshots stay
+        // byte-identical to the pre-zoo encoding.
+        if c.zoo > 0 {
+            let _ = write!(out, " zoo={}", c.zoo);
+        }
         if let Some(plan) = &c.faults {
             push_section(&mut out, "faults", &encode_fault_plan(plan));
         }
@@ -139,6 +144,7 @@ impl SnapshotParts {
                     config.admission = AdmissionPolicy::parse(value).map_err(|e| e.to_string())?;
                 }
                 "fix" => config.fix_policy = parse_fix(value)?,
+                "zoo" => config.zoo = parse_dec(value, "zoo")? as usize,
                 other => return Err(format!("unknown config key {other:?}")),
             }
         }
@@ -333,6 +339,7 @@ mod tests {
             ),
             watchdog: Some(WatchdogConfig::default()),
             fix_policy: FixPolicy::Compensate { band: 0.125 },
+            zoo: 2,
         }
     }
 
@@ -400,5 +407,26 @@ mod tests {
         assert!(comp_text.contains("fix=comp:"), "{comp_text}");
         assert_eq!(SnapshotParts::parse(&comp_text).unwrap(), comp);
         assert!(SnapshotParts::parse(&comp_text.replace("comp:", "warp:")).is_err());
+    }
+
+    #[test]
+    fn zoo_less_sessions_leave_the_encoding_untouched() {
+        let parts = SnapshotParts {
+            config: SessionConfig::default(),
+            runtime: vec![1],
+            stats: vec![0; 13],
+            queue: vec![0],
+            completed: vec![0],
+        };
+        let text = parts.encode();
+        assert!(!text.contains("zoo="), "{text}");
+        assert_eq!(SnapshotParts::parse(&text).unwrap().config.zoo, 0);
+
+        let zooed =
+            SnapshotParts { config: SessionConfig { zoo: 3, ..SessionConfig::default() }, ..parts };
+        let zoo_text = zooed.encode();
+        assert!(zoo_text.contains(" zoo=3 "), "{zoo_text}");
+        assert_eq!(SnapshotParts::parse(&zoo_text).unwrap(), zooed);
+        assert!(SnapshotParts::parse(&zoo_text.replace("zoo=3", "zoo=x")).is_err());
     }
 }
