@@ -221,6 +221,34 @@ for simd in 0 1; do
 done
 echo "    zoo sweep byte-identical at SIMD {0,1} x threads {1,4}"
 
+echo "==> golden check: open-world drift sweep vs ci/drift.golden"
+# The drift sweep streams seeded open-world scenarios (every sample a
+# pure hash of seed x scenario x invocation) through the reset-only
+# watchdog and the online checker re-fit; its detection-coverage report
+# must be byte-identical at every thread x SIMD combination — and match
+# the committed golden bit for bit. The golden itself pins the recovery
+# claim: at seed 7 at least one kernel x scenario line reads
+# "recovered". The refit path is strictly opt-in, so the pre-existing
+# fig10 / serve / compensate / zoo goldens above double as the byte-
+# identity proof for every refit-off code path.
+for simd in 0 1; do
+    for t in 1 4; do
+        RUMBA_CACHE=0 RUMBA_THREADS=$t RUMBA_SIMD=$simd \
+            cargo run --release -q -p rumba-cli --bin rumba -- \
+            drift --seed 7 >"$smoke_dir/drift.s$simd.t$t" 2>/dev/null
+        if ! cmp -s "$smoke_dir/drift.s$simd.t$t" ci/drift.golden; then
+            echo "FAIL: drift sweep (RUMBA_SIMD=$simd, RUMBA_THREADS=$t) differs from ci/drift.golden" >&2
+            diff ci/drift.golden "$smoke_dir/drift.s$simd.t$t" | head -20 >&2
+            exit 1
+        fi
+    done
+done
+if ! grep -q "recovered" ci/drift.golden; then
+    echo "FAIL: ci/drift.golden pins no recovered kernel x scenario combo" >&2
+    exit 1
+fi
+echo "    drift sweep byte-identical at SIMD {0,1} x threads {1,4}; recovery pinned"
+
 echo "==> matrix bench smoke (bit-exactness gate + allocation probe)"
 # The bench asserts batched == per-sample bitwise and zero steady-state
 # allocations before it times anything, so a short run is a real check.

@@ -98,6 +98,55 @@ impl CheckerUnit {
         self.estimator.as_ref()
     }
 
+    /// Re-fits the wrapped estimator's trained model from online ground
+    /// truth (see [`ErrorEstimator::refit`]). The datapath cycle model is
+    /// refreshed afterwards: a refit tree may change depth, and the energy
+    /// model must charge the new walk length.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the estimator's refusal (output-based detectors carry no
+    /// refittable model); the estimator is unchanged on error.
+    pub fn refit(
+        &mut self,
+        rows: &[&[f64]],
+        targets: &[f64],
+        signed_targets: &[f64],
+    ) -> Result<(), String> {
+        self.estimator.refit(rows, targets, signed_targets)?;
+        self.cycles = cycles_of(self.estimator.cost());
+        Ok(())
+    }
+
+    /// Scores one row for *calibration* (threshold re-fitting) without
+    /// bumping the prediction counter: calibration probes are not datapath
+    /// traffic, so they must not show up in the energy accounting. Only
+    /// meaningful for stateless input-based estimators — the refit path
+    /// never reaches here for online (EMA-style) detectors.
+    pub fn probe(&mut self, input: &[f64], approx_output: &[f64]) -> f64 {
+        self.estimator.estimate(input, approx_output)
+    }
+
+    /// The wrapped estimator's trained-model words (see
+    /// [`ErrorEstimator::export_model_words`]); `None` when the estimator
+    /// kind does not support trained-model transport.
+    #[must_use]
+    pub fn export_model(&self) -> Option<Vec<u64>> {
+        self.estimator.export_model_words()
+    }
+
+    /// Restores trained-model words produced by
+    /// [`CheckerUnit::export_model`], refreshing the cycle model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the estimator's decode errors.
+    pub fn import_model(&mut self, words: &[u64]) -> Result<(), String> {
+        self.estimator.import_model_words(words)?;
+        self.cycles = cycles_of(self.estimator.cost());
+        Ok(())
+    }
+
     /// Serializes the datapath's online state (prediction counter, the
     /// estimator's configuration fingerprint, then the estimator's own
     /// words) for session snapshots.
@@ -200,6 +249,43 @@ mod tests {
         fresh.import_state(&words).unwrap();
         assert_eq!(fresh.predictions(), 1);
         assert_eq!(fresh.export_state(), words);
+    }
+
+    #[test]
+    fn refit_passes_through_and_refreshes_the_cycle_model() {
+        // Train a stump, refit into a deeper tree: the comparator-walk
+        // cycle count must grow with the new depth.
+        let rows: Vec<Vec<f64>> = (0..128).map(|i| vec![i as f64 / 128.0]).collect();
+        let flat: Vec<f64> = vec![0.1; 128];
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut unit = CheckerUnit::new(Box::new(
+            TreeErrors::train(&refs, &flat, &TreeParams::default()).unwrap(),
+        ));
+        let before = unit.cycles_per_prediction();
+        let wavy: Vec<f64> = rows.iter().map(|r| (r[0] * 20.0).sin().abs()).collect();
+        let signed: Vec<f64> = rows.iter().map(|r| r[0] - 0.5).collect();
+        unit.refit(&refs, &wavy, &signed).unwrap();
+        assert!(unit.cycles_per_prediction() > before);
+
+        // Probing does not count as datapath traffic.
+        let n = unit.predictions();
+        let _ = unit.probe(&[0.5], &[]);
+        assert_eq!(unit.predictions(), n);
+
+        // Model words migrate the refit checker onto a fresh unit.
+        let words = unit.export_model().unwrap();
+        let mut fresh = CheckerUnit::new(Box::new(
+            TreeErrors::train(&refs, &flat, &TreeParams::default()).unwrap(),
+        ));
+        fresh.import_model(&words).unwrap();
+        assert_eq!(fresh.export_model().unwrap(), words);
+        assert_eq!(fresh.cycles_per_prediction(), unit.cycles_per_prediction());
+
+        // Output-based detectors decline the whole surface.
+        let mut ema = CheckerUnit::new(Box::new(EmaDetector::new(4, 1).unwrap()));
+        assert!(ema.refit(&refs, &wavy, &signed).is_err());
+        assert!(ema.export_model().is_none());
+        assert!(ema.import_model(&words).is_err());
     }
 
     #[test]

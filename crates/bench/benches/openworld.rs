@@ -1,0 +1,105 @@
+//! Cost of the open-world machinery: synthesizing one scenario sample
+//! (a pure hash of seed x scenario x invocation), and the overhead the
+//! armed refit channel — audit sampling, reservoir capture, re-fit and
+//! re-calibration at the `Recalibrated` rung — adds to a drifting
+//! stream over the reset-only watchdog it replaces.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rumba_accel::CheckerUnit;
+use rumba_apps::{kernel_by_name, Split};
+use rumba_core::openworld::{scenarios, ScenarioStream};
+use rumba_core::runtime::{RefitConfig, RumbaSystem, RuntimeConfig, WatchdogConfig};
+use rumba_core::trainer::{train_app, OfflineConfig};
+use rumba_core::tuner::{Tuner, TuningMode};
+use std::hint::black_box;
+
+fn bench_openworld(c: &mut Criterion) {
+    let kernel = kernel_by_name("gaussian").expect("didactic kernel");
+    let cfg = OfflineConfig::default();
+    let app = train_app(kernel.as_ref(), &cfg).expect("training succeeds");
+    let pool = kernel.generate(Split::Test, 42);
+    let drift = scenarios().into_iter().find(|s| s.name == "drift").expect("drift scenario");
+    let stream = ScenarioStream::new(&pool, 7, drift);
+    let n = 1408usize;
+
+    let mut group = c.benchmark_group("openworld");
+    // Pure per-invocation sample synthesis, amortized over a stream.
+    group.bench_function("scenario_input_per_invocation", |b| {
+        b.iter(|| {
+            let mut sum = 0.0f64;
+            for i in 0..n {
+                sum += stream.input(black_box(i))[0];
+            }
+            black_box(sum)
+        });
+    });
+
+    let build = |refit: bool| {
+        let mut system = RumbaSystem::new(
+            app.rumba_npu.clone(),
+            CheckerUnit::new(Box::new(app.tree.clone())),
+            Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, 0.05).expect("valid"),
+            RuntimeConfig {
+                window: 128,
+                watchdog: Some(WatchdogConfig {
+                    quality_limit: 0.12,
+                    patience: 2,
+                    fallback_patience: 8,
+                }),
+                ..RuntimeConfig::default()
+            },
+        )
+        .expect("valid config");
+        if refit {
+            system
+                .arm_refit(RefitConfig {
+                    capacity: 192,
+                    min_rows: 24,
+                    audit_period: 8,
+                    quality_budget: 0.05,
+                })
+                .expect("refit arms");
+        }
+        system
+    };
+    let run = |system: &mut RumbaSystem| {
+        system.set_fault_plan(stream.fault_plan());
+        system.begin_stream();
+        let mut out = vec![0.0; kernel.output_dim()];
+        for i in 0..n {
+            system.process(kernel.as_ref(), &stream.input(i), &mut out).expect("process succeeds");
+        }
+        system.end_stream(kernel.as_ref());
+        out[0]
+    };
+    // The reset-only baseline: watchdog armed, refit off.
+    group.bench_function("drift_stream_reset_only", |b| {
+        b.iter(|| {
+            let mut system = build(false);
+            black_box(run(&mut system))
+        });
+    });
+    // The full open-world loop: audit channel + reservoir + at least one
+    // committed refit over the same stream.
+    group.bench_function("drift_stream_refit_on", |b| {
+        b.iter(|| {
+            let mut system = build(true);
+            black_box(run(&mut system))
+        });
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_openworld
+}
+criterion_main!(benches);

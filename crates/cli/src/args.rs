@@ -173,6 +173,30 @@ pub enum Command {
         /// `RUMBA_METRICS_OUT` environment variable in charge.
         metrics_out: Option<String>,
     },
+    /// `rumba drift [flags]` — open-world drift sweep: per kernel ×
+    /// generative scenario (steady, drifting inputs, diurnal load,
+    /// correlated bursts), compare the detection coverage of the
+    /// clean-stream baseline, the reset-only watchdog (refit off), and
+    /// the online checker re-fit (refit on) under a ramped `InputDrift`
+    /// plan.
+    Drift {
+        /// Benchmarks to sweep (default gaussian + fft).
+        kernels: Vec<String>,
+        /// Master seed (training, scenario and fault-plan seed).
+        seed: u64,
+        /// Tuning-window length (the refit commit boundary).
+        window: usize,
+        /// Worker-thread override (`None` leaves `RUMBA_THREADS`/auto in
+        /// charge). Results are identical at any setting.
+        threads: Option<usize>,
+        /// SIMD dispatch override (`--simd 0|1|auto`; `None` leaves the
+        /// `RUMBA_SIMD` environment variable in charge). Results are
+        /// bit-identical at any setting.
+        simd: Option<SimdMode>,
+        /// JSONL telemetry destination (`--metrics-out`); `None` leaves the
+        /// `RUMBA_METRICS_OUT` environment variable in charge.
+        metrics_out: Option<String>,
+    },
     /// `rumba report <path.jsonl>` — summarize a telemetry stream.
     Report {
         /// Path to a JSONL file written via `--metrics-out`.
@@ -526,6 +550,63 @@ pub fn parse(args: &[String]) -> Result<Command, ParseError> {
             }
             Ok(Command::Zoo { kernels, seed, toq, tiers, threads, simd, metrics_out })
         }
+        Some("drift") => {
+            let mut kernels = Vec::new();
+            let mut seed = 42u64;
+            let mut window = 128usize;
+            let mut threads = None;
+            let mut simd = None;
+            let mut metrics_out = None;
+            let rest: Vec<&str> = it.collect();
+            let mut k = 0;
+            while k < rest.len() {
+                match rest[k] {
+                    "--kernels" => {
+                        let v = rest.get(k + 1).ok_or(ParseError::MissingValue("--kernels"))?;
+                        kernels =
+                            v.split(',').filter(|s| !s.is_empty()).map(str::to_owned).collect();
+                        if kernels.is_empty() {
+                            return Err(ParseError::BadValue {
+                                flag: "--kernels",
+                                value: (*v).to_owned(),
+                                expected: "a comma-separated benchmark list",
+                            });
+                        }
+                        k += 2;
+                    }
+                    "--seed" => {
+                        seed = parse_u64(rest.get(k + 1).copied(), "--seed")?;
+                        k += 2;
+                    }
+                    "--window" => {
+                        let v = parse_u64(rest.get(k + 1).copied(), "--window")?;
+                        if v == 0 {
+                            return Err(ParseError::BadValue {
+                                flag: "--window",
+                                value: "0".into(),
+                                expected: "a positive window length",
+                            });
+                        }
+                        window = v as usize;
+                        k += 2;
+                    }
+                    "--threads" => {
+                        threads = Some(parse_threads(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    "--simd" => {
+                        simd = Some(parse_simd(rest.get(k + 1).copied())?);
+                        k += 2;
+                    }
+                    "--metrics-out" => {
+                        metrics_out = Some(parse_path(rest.get(k + 1).copied(), "--metrics-out")?);
+                        k += 2;
+                    }
+                    other => return Err(ParseError::UnknownFlag(other.to_owned())),
+                }
+            }
+            Ok(Command::Drift { kernels, seed, window, threads, simd, metrics_out })
+        }
         Some("serve") => {
             let mut socket = None;
             let mut tcp = None;
@@ -775,6 +856,8 @@ USAGE:
                      [--threads N] [--simd M] [--metrics-out PATH]
     rumba zoo [--kernels a,b,...] [--seed N] [--toq Q] [--tiers N]
               [--threads N] [--simd M] [--metrics-out PATH]
+    rumba drift [--kernels a,b,...] [--seed N] [--window N]
+                [--threads N] [--simd M] [--metrics-out PATH]
     rumba report <path.jsonl>
     rumba purity <kernel>
     rumba serve [--socket PATH | --tcp HOST:PORT] [--shards N]
@@ -844,6 +927,25 @@ MODEL ZOO:
     cheaper tiers before shedding requests. Trained ladders persist in
     the model cache, so figure binaries reload instead of retraining.
 
+DRIFT:
+    rumba drift streams seeded open-world workloads at each kernel —
+    steady replay, drifting input distributions, a diurnal load curve,
+    correlated multi-tenant bursts — every sample a pure hash of (seed,
+    scenario, invocation), so the sweep is bit-identical at any thread
+    count, SIMD path or shard layout. The drift scenario additionally
+    ramps an input_drift fault plan inside the accelerator: the checker
+    sees pristine inputs, so a checker fit offline goes blind. Per kernel
+    x scenario the sweep reports the detection coverage (share of
+    truly-bad invocations the checker fires on) of the clean-stream
+    baseline, of the reset-only watchdog (refit off), and of the online
+    checker re-fit (refit on), which audits every Nth invocation against
+    the exact kernel, accumulates (input, exact, approx) rows in a
+    bounded deterministic reservoir, and re-fits + re-calibrates the
+    checker at the Recalibrated rung of the watchdog ladder, committing
+    the swap serially at a --window boundary. 'rumba serve' sessions opt
+    in with refit=true; the reservoir and refit epoch travel in session
+    snapshots, so mid-refit migration is bit-for-bit.
+
 SERVING:
     rumba serve runs a long-lived multi-tenant serving loop: clients open
     named sessions (each with its own kernel, checker, tuning mode, fault
@@ -871,6 +973,7 @@ EXAMPLES:
     rumba run inversek2j --checker tree --toq 0.9
     rumba compensate --kernels gaussian,fft --toq 0.9
     rumba zoo --kernels gaussian,inversek2j --tiers 3 --toq 0.95
+    rumba drift --kernels gaussian --seed 7
     rumba run blackscholes --budget 16 --window 256
     rumba run fft --checker ensemble --quality-mode
     rumba train kmeans --threads 4
@@ -1132,6 +1235,44 @@ mod tests {
         assert!(matches!(p("zoo --tiers 0"), Err(ParseError::BadValue { .. })));
         assert!(matches!(p("zoo --tiers 9"), Err(ParseError::BadValue { .. })));
         assert!(matches!(p("zoo --wat"), Err(ParseError::UnknownFlag(_))));
+    }
+
+    #[test]
+    fn parses_drift_with_defaults_and_flags() {
+        assert_eq!(
+            p("drift").unwrap(),
+            Command::Drift {
+                kernels: vec![],
+                seed: 42,
+                window: 128,
+                threads: None,
+                simd: None,
+                metrics_out: None,
+            }
+        );
+        assert_eq!(
+            p("drift --kernels gaussian --seed 7 --window 64 --threads 4 --simd 0 --metrics-out d.jsonl")
+                .unwrap(),
+            Command::Drift {
+                kernels: vec!["gaussian".into()],
+                seed: 7,
+                window: 64,
+                threads: Some(4),
+                simd: Some(SimdMode::Off),
+                metrics_out: Some("d.jsonl".into()),
+            }
+        );
+        assert!(matches!(p("drift --window 0"), Err(ParseError::BadValue { .. })));
+        assert!(matches!(p("drift --kernels"), Err(ParseError::MissingValue("--kernels"))));
+        assert!(matches!(p("drift --wat"), Err(ParseError::UnknownFlag(_))));
+    }
+
+    #[test]
+    fn help_documents_drift() {
+        assert!(HELP.contains("rumba drift"));
+        assert!(HELP.contains("detection coverage"));
+        assert!(HELP.contains("refit=true"));
+        assert!(HELP.contains("Recalibrated rung"));
     }
 
     #[test]

@@ -4,8 +4,9 @@
 use rumba_accel::CheckerUnit;
 use rumba_apps::{all_kernels, kernel_by_name, Kernel, Split};
 use rumba_core::context::AppContext;
+use rumba_core::openworld::{scenarios, ScenarioStream};
 use rumba_core::report::RunReport;
-use rumba_core::runtime::{RumbaSystem, RuntimeConfig, WatchdogConfig};
+use rumba_core::runtime::{RefitConfig, RumbaSystem, RuntimeConfig, WatchdogConfig};
 use rumba_core::scheme::SchemeKind;
 use rumba_core::trainer::{invocation_errors, train_app, OfflineConfig, TrainedApp};
 use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
@@ -668,6 +669,243 @@ pub fn zoo(kernels: &[String], seed: u64, toq: f64, tiers: usize) -> Result<Stri
     Ok(out)
 }
 
+/// What one streamed open-world run measured: detection coverage over
+/// the settled back half of the stream (of the invocations whose raw
+/// accelerator output — under this run's fault plan — errs past the
+/// quality limit, the share the checker fired on), plus the watchdog and
+/// refit activity behind it.
+struct DriftRun {
+    /// `None` when the settled tail produced no bad rows.
+    coverage: Option<f64>,
+    bad: usize,
+    recalibrations: u64,
+    refit_epoch: u64,
+}
+
+/// Streams `n` scenario invocations through a freshly assembled system
+/// and measures its tail detection coverage against the raw (unchecked)
+/// accelerator outputs under the same fault plan.
+#[allow(clippy::too_many_arguments)]
+fn drift_run(
+    kernel: &dyn Kernel,
+    app: &TrainedApp,
+    threshold: f64,
+    window: usize,
+    limit: f64,
+    budget: f64,
+    stream: &ScenarioStream<'_>,
+    n: usize,
+    faulted: bool,
+    refit: bool,
+) -> Result<DriftRun, CommandError> {
+    let mut system = RumbaSystem::new(
+        app.rumba_npu.clone(),
+        CheckerUnit::new(Box::new(app.tree.clone())),
+        Tuner::new(TuningMode::TargetQuality { toq: 0.95 }, threshold)?,
+        RuntimeConfig {
+            window,
+            watchdog: Some(WatchdogConfig {
+                quality_limit: limit,
+                patience: 2,
+                fallback_patience: 8,
+            }),
+            ..RuntimeConfig::default()
+        },
+    )?;
+    if refit {
+        system.arm_refit(RefitConfig {
+            capacity: 192,
+            min_rows: 24,
+            audit_period: 8,
+            quality_budget: budget,
+        })?;
+    }
+    let plan = if faulted { stream.fault_plan() } else { None };
+    system.set_fault_plan(plan.clone());
+    system.begin_stream();
+
+    // The ground truth for "bad": what the tenant would consume with no
+    // checker at all — the same accelerator under the same plan.
+    let mut raw_npu = app.rumba_npu.clone();
+    raw_npu.set_fault_plan(plan);
+
+    let metric = kernel.metric();
+    let out_dim = kernel.output_dim();
+    let mut out = vec![0.0; out_dim];
+    let mut exact = vec![0.0; out_dim];
+    let tail = n / 2;
+    let (mut bad, mut detected) = (0usize, 0usize);
+    for i in 0..n {
+        let input = stream.input(i);
+        let outcome = system.process(kernel, &input, &mut out)?;
+        if i < tail {
+            continue; // ramp-up half: the regime is still changing
+        }
+        let raw = raw_npu.invoke_at(i, &input)?;
+        kernel.compute(&input, &mut exact);
+        if metric.invocation_error(&exact, &raw.outputs) > limit {
+            bad += 1;
+            if outcome.fired {
+                detected += 1;
+            }
+        }
+    }
+    system.end_stream(kernel);
+    Ok(DriftRun {
+        coverage: (bad > 0).then(|| detected as f64 / bad as f64),
+        bad,
+        recalibrations: system.fault_stats().recalibrations,
+        refit_epoch: system.refit_epoch(),
+    })
+}
+
+fn coverage_cell(run: &DriftRun) -> String {
+    run.coverage.map_or_else(|| "     --".into(), |c| format!("{c:.4} "))
+}
+
+/// One kernel's section of the `rumba drift` sweep. Returns
+/// `(recovered, scenarios)`: how many scenarios the online refit
+/// recovered (refit-on coverage at or above the clean-stream baseline
+/// while reset-only sits below it) out of how many were swept.
+fn drift_kernel(
+    name: &str,
+    seed: u64,
+    window: usize,
+    out: &mut String,
+) -> Result<(usize, usize), CommandError> {
+    use std::fmt::Write;
+
+    let kernel = resolve(name)?;
+    let cfg = OfflineConfig { seed, ..OfflineConfig::default() };
+    let app = train_app(kernel.as_ref(), &cfg)?;
+    let pool = kernel.generate(Split::Test, seed);
+    let n = 11 * window;
+
+    // Scale the quality knobs to the kernel: "bad" is raw error past
+    // twice the accelerator's clean mean, the refit re-calibrates to
+    // half of it, and the firing threshold starts where the train split
+    // says that budget is met.
+    let clean_errs = invocation_errors(kernel.as_ref(), &app.rumba_npu, &pool)?;
+    let mean_err = clean_errs.iter().sum::<f64>() / clean_errs.len().max(1) as f64;
+    let limit = (2.0 * mean_err).max(1e-9);
+    let budget = (0.5 * mean_err).max(1e-9);
+
+    let train = kernel.generate(Split::Train, seed);
+    let mut probe = app.tree.clone();
+    let mut scratch = rumba_nn::Scratch::new();
+    let mut approx_train = rumba_nn::Matrix::default();
+    app.rumba_npu.invoke_batch(train.inputs_view(), &mut scratch, &mut approx_train)?;
+    let predicted: Vec<f64> =
+        (0..train.len()).map(|i| probe.estimate(train.input(i), approx_train.row(i))).collect();
+    let threshold = calibrate_threshold(&predicted, &app.train_errors, budget);
+
+    let _ = writeln!(
+        out,
+        "== {name} ({n} stream invocations, quality limit {limit:.4}, refit budget {budget:.4}) =="
+    );
+
+    // Clean-stream baseline: the steady scenario, no fault plan, no
+    // refit — the coverage a freshly calibrated checker delivers when
+    // the world has not moved.
+    let steady = scenarios().into_iter().find(|s| s.name == "steady").expect("steady scenario");
+    let baseline_stream = ScenarioStream::new(&pool, seed, steady);
+    let baseline = drift_run(
+        kernel.as_ref(),
+        &app,
+        threshold,
+        window,
+        limit,
+        budget,
+        &baseline_stream,
+        n,
+        false,
+        false,
+    )?;
+    let _ = writeln!(
+        out,
+        "  clean-stream baseline: tail coverage {} ({} bad tail rows)",
+        coverage_cell(&baseline).trim_end(),
+        baseline.bad,
+    );
+
+    let _ = writeln!(out, "  scenario      bad   refit-off   refit-on   recals  epoch  verdict");
+    let (mut recovered, mut swept) = (0usize, 0usize);
+    for scenario in scenarios() {
+        let stream = ScenarioStream::new(&pool, seed, scenario);
+        let off = drift_run(
+            kernel.as_ref(),
+            &app,
+            threshold,
+            window,
+            limit,
+            budget,
+            &stream,
+            n,
+            true,
+            false,
+        )?;
+        let on = drift_run(
+            kernel.as_ref(),
+            &app,
+            threshold,
+            window,
+            limit,
+            budget,
+            &stream,
+            n,
+            true,
+            true,
+        )?;
+        swept += 1;
+        let verdict = match (baseline.coverage, off.coverage, on.coverage) {
+            (Some(base), Some(o), Some(r)) if r >= base && o < base => {
+                recovered += 1;
+                "recovered"
+            }
+            (Some(base), _, Some(r)) if r >= base => "holds",
+            _ => "--",
+        };
+        let _ = writeln!(
+            out,
+            "  {:<11} {:>5}   {:>9}   {:>8}   {:>2}/{:<2}  {:>5}  {verdict}",
+            scenario.name,
+            on.bad,
+            coverage_cell(&off).trim_end(),
+            coverage_cell(&on).trim_end(),
+            off.recalibrations,
+            on.recalibrations,
+            on.refit_epoch,
+        );
+    }
+    Ok((recovered, swept))
+}
+
+/// `rumba drift [flags]` — the open-world sweep: per kernel × generative
+/// scenario, compare the detection coverage of the clean-stream
+/// baseline, the reset-only watchdog, and the online checker re-fit.
+///
+/// # Errors
+///
+/// Returns a [`CommandError`] for unknown benchmarks or training
+/// failures.
+pub fn drift(kernels: &[String], seed: u64, window: usize) -> Result<String, CommandError> {
+    let names: Vec<String> =
+        if kernels.is_empty() { vec!["gaussian".into(), "fft".into()] } else { kernels.to_vec() };
+    let mut out = format!("rumba drift: seed {seed}, window {window}\n\n");
+    let (mut recovered, mut swept) = (0usize, 0usize);
+    for name in &names {
+        let (r, s) = drift_kernel(name, seed, window, &mut out)?;
+        recovered += r;
+        swept += s;
+        out.push('\n');
+    }
+    out.push_str(&format!(
+        "{recovered} of {swept} kernel x scenario combos: online refit restores detection \
+         coverage to at least the clean-stream baseline where reset-only falls below it\n"
+    ));
+    Ok(out)
+}
+
 /// `rumba report <path.jsonl>` — summarize a telemetry stream produced
 /// with `--metrics-out` (or `RUMBA_METRICS_OUT`).
 ///
@@ -866,6 +1104,30 @@ mod tests {
         assert!(text.contains("kernels meet the TOQ"), "{text}");
         // Deterministic: the sweep is golden-able.
         assert_eq!(text, zoo(&["gaussian".into()], 42, 0.95, 2).unwrap());
+    }
+
+    #[test]
+    fn drift_sweep_recovers_coverage_and_is_deterministic() {
+        // The acceptance contract: at seed 7 at least one kernel ×
+        // scenario must come out "recovered" — online refit restores
+        // detection coverage to at least the clean-stream baseline while
+        // the reset-only watchdog sits below it.
+        let text = drift(&["gaussian".into()], 7, 128).unwrap();
+        assert!(text.contains("rumba drift"), "{text}");
+        assert!(text.contains("== gaussian"), "{text}");
+        assert!(text.contains("clean-stream baseline"), "{text}");
+        for scenario in ["steady", "drift", "diurnal", "burst"] {
+            assert!(text.contains(scenario), "missing {scenario} row:\n{text}");
+        }
+        assert!(text.contains("recovered"), "{text}");
+        // Deterministic: the sweep is golden-able.
+        assert_eq!(text, drift(&["gaussian".into()], 7, 128).unwrap());
+    }
+
+    #[test]
+    fn drift_rejects_unknown_kernels() {
+        let e = drift(&["doom".into()], 1, 128).unwrap_err();
+        assert!(e.to_string().contains("doom"));
     }
 
     #[test]

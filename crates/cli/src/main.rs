@@ -92,6 +92,16 @@ fn main() -> ExitCode {
             }
             commands::zoo(&kernels, seed, toq, tiers)
         }
+        Command::Drift { kernels, seed, window, threads, simd, metrics_out } => {
+            rumba_parallel::set_thread_override(threads);
+            rumba_nn::set_simd_override(simd);
+            if let Some(path) = metrics_out {
+                if let Err(code) = install_metrics_sink(&path) {
+                    return code;
+                }
+            }
+            commands::drift(&kernels, seed, window)
+        }
         Command::Report { path } => commands::report(&path),
         Command::Purity { kernel } => commands::purity(&kernel),
         Command::Serve { socket, tcp, shards, threads, simd } => {

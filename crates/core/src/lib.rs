@@ -42,6 +42,7 @@ pub mod analysis;
 pub mod cache;
 pub mod context;
 pub mod event_sim;
+pub mod openworld;
 pub mod pipeline;
 pub mod report;
 pub mod runtime;

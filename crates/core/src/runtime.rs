@@ -9,8 +9,9 @@ use rumba_energy::SchemeActivity;
 use rumba_faults::{FaultKind, FaultPlan, FaultStats};
 use rumba_nn::{Matrix, MatrixView, NnDataset, Scratch};
 
+use crate::openworld::{Reservoir, ReservoirRow};
 use crate::pipeline::{simulate, PipelineRun};
-use crate::tuner::{Tuner, WindowStats};
+use crate::tuner::{calibrate_threshold, Tuner, WindowStats};
 use crate::zoo::ModelZoo;
 use crate::{Result, RumbaError};
 
@@ -87,6 +88,59 @@ impl Default for WatchdogConfig {
     fn default() -> Self {
         Self { quality_limit: 0.2, patience: 3, fallback_patience: 6 }
     }
+}
+
+/// Configuration of the online checker re-fit armed by
+/// [`RumbaSystem::arm_refit`] — the machinery that makes the watchdog's
+/// `Recalibrated` rung *adapt* instead of merely resetting.
+///
+/// When armed, the runtime audits every `audit_period`-th invocation by
+/// also computing the exact result (measurement only — the merged output
+/// is untouched), folds the measured merged-stream error into the
+/// watchdog's dirty signal, and accumulates the audited and re-executed
+/// `(input, exact, approx)` triples in a bounded deterministic
+/// [`Reservoir`]. At the `Recalibrated` rung the checker — and its signed
+/// companion — is re-fitted on the reservoir's clean rows and the firing
+/// threshold re-calibrated on the refreshed fit, so a checker trained
+/// before an input-distribution shift re-learns the drifted regime
+/// online. Rows captured while a `checker_blind` or `non_finite` fault
+/// was active are held with a poisoned provenance tag and never trained
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefitConfig {
+    /// Reservoir capacity in rows.
+    pub capacity: usize,
+    /// Clean (non-poisoned) rows required before a refit replaces the
+    /// reset-only recalibration.
+    pub min_rows: usize,
+    /// Every `audit_period`-th invocation is audited: the exact result is
+    /// computed alongside the approximate one to measure true merged
+    /// quality and feed the reservoir.
+    pub audit_period: usize,
+    /// Target error the refreshed threshold is calibrated for (the
+    /// session's error budget, `1 − TOQ`).
+    pub quality_budget: f64,
+}
+
+impl Default for RefitConfig {
+    fn default() -> Self {
+        Self { capacity: 256, min_rows: 32, audit_period: 16, quality_budget: 0.1 }
+    }
+}
+
+/// Streaming state of the armed online re-fit.
+#[derive(Debug)]
+struct RefitState {
+    cfg: RefitConfig,
+    reservoir: Reservoir,
+    // Committed refits since `begin_stream` (stamps telemetry and the
+    // session snapshot, so a restored stream resumes the same epoch).
+    epoch: u64,
+    // Measured merged-stream error over this window's audited rows — the
+    // ground-truth dirty signal a stale (under-predicting) checker cannot
+    // fake, unlike the prediction mass the base watchdog watches.
+    window_audit_sum: f64,
+    window_audit_count: usize,
 }
 
 /// Where the degradation ladder currently stands.
@@ -210,6 +264,9 @@ pub struct RumbaSystem {
     // Model-zoo routing state (None = the pre-zoo single-model path,
     // byte-identical to builds without the zoo compiled in).
     zoo_state: Option<ZooState>,
+    // Online-refit state (None = the reset-only recalibration path,
+    // byte-identical to builds without the refit machinery compiled in).
+    refit_state: Option<RefitState>,
 }
 
 /// Cap on the queue-pressure exponent: each degradation step doubles the
@@ -294,7 +351,69 @@ impl RumbaSystem {
             fault_log: Vec::new(),
             session_label: String::new(),
             zoo_state: None,
+            refit_state: None,
         })
+    }
+
+    /// Arms the online checker re-fit (see [`RefitConfig`]). Opt-in: an
+    /// unarmed system keeps the reset-only `Recalibrated` rung and its
+    /// exported state layout byte-identical to pre-refit builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RumbaError::InvalidConfig`] for a zero capacity or audit
+    /// period, fewer than two minimum rows (a one-row fit is degenerate),
+    /// a minimum exceeding the capacity, or a non-finite/non-positive
+    /// quality budget.
+    pub fn arm_refit(&mut self, cfg: RefitConfig) -> Result<()> {
+        if cfg.capacity == 0 {
+            return Err(RumbaError::InvalidConfig { name: "refit capacity", value: "0".into() });
+        }
+        if cfg.min_rows < 2 || cfg.min_rows > cfg.capacity {
+            return Err(RumbaError::InvalidConfig {
+                name: "refit min_rows",
+                value: cfg.min_rows.to_string(),
+            });
+        }
+        if cfg.audit_period == 0 {
+            return Err(RumbaError::InvalidConfig {
+                name: "refit audit_period",
+                value: "0".into(),
+            });
+        }
+        if !(cfg.quality_budget > 0.0 && cfg.quality_budget.is_finite()) {
+            return Err(RumbaError::InvalidConfig {
+                name: "refit quality_budget",
+                value: cfg.quality_budget.to_string(),
+            });
+        }
+        self.refit_state = Some(RefitState {
+            reservoir: Reservoir::new(cfg.capacity),
+            cfg,
+            epoch: 0,
+            window_audit_sum: 0.0,
+            window_audit_count: 0,
+        });
+        Ok(())
+    }
+
+    /// Whether the online re-fit is armed.
+    #[must_use]
+    pub fn refit_armed(&self) -> bool {
+        self.refit_state.is_some()
+    }
+
+    /// Committed refits since [`RumbaSystem::begin_stream`] (0 when the
+    /// refit is unarmed or has not fired).
+    #[must_use]
+    pub fn refit_epoch(&self) -> u64 {
+        self.refit_state.as_ref().map_or(0, |rs| rs.epoch)
+    }
+
+    /// The refit reservoir, when armed (tests and telemetry).
+    #[must_use]
+    pub fn refit_reservoir(&self) -> Option<&Reservoir> {
+        self.refit_state.as_ref().map(|rs| &rs.reservoir)
     }
 
     /// Arms per-invocation model-zoo routing: every invocation is
@@ -503,6 +622,19 @@ impl RumbaSystem {
             words.extend_from_slice(&zs.stream_tiers);
             words.push(zs.tier_cycles_total.to_bits());
         }
+        // Refit state rides last, only when armed. The checker's trained
+        // model travels with it: after the first online refit the model
+        // is no longer reproducible from the offline pipeline, so a
+        // restore must transplant the coefficients, not retrain them.
+        if let Some(rs) = &self.refit_state {
+            words.push(rs.epoch);
+            words.push(rs.window_audit_sum.to_bits());
+            words.push(rs.window_audit_count as u64);
+            let model = self.checker.export_model().unwrap_or_default();
+            words.push(model.len() as u64);
+            words.extend(model);
+            rs.reservoir.to_words(&mut words);
+        }
         words
     }
 
@@ -528,7 +660,12 @@ impl RumbaSystem {
         // stream from the exporting system.
         let tier_counts = self.zoo_state.as_ref().map(|zs| zs.window_tiers.len());
         let zoo_len = tier_counts.map_or(0, |t| 4 + 2 * t);
-        if words.len() != HEAD + checker_len + zoo_len {
+        // A refit-armed system expects a variable-length refit tail after
+        // the zoo words; an unarmed one expects the stream to end there.
+        let refit_armed = self.refit_state.is_some();
+        if (refit_armed && words.len() < HEAD + checker_len + zoo_len)
+            || (!refit_armed && words.len() != HEAD + checker_len + zoo_len)
+        {
             return Err(format!(
                 "runtime state declares {checker_len} checker words (+{zoo_len} zoo words) \
                  but carries {}",
@@ -582,7 +719,47 @@ impl RumbaSystem {
         };
         let dirty_windows = u32::try_from(words[12])
             .map_err(|_| format!("dirty_windows overflows u32: {}", words[12]))?;
-        self.checker.import_state(&words[HEAD..])?;
+        let refit_restore = match &self.refit_state {
+            Some(rs) => {
+                let mut pos = HEAD + checker_len + zoo_len;
+                let take = |words: &[u64], pos: &mut usize, what: &str| {
+                    let w =
+                        words.get(*pos).copied().ok_or(format!("refit words ended at {what}"))?;
+                    *pos += 1;
+                    Ok::<u64, String>(w)
+                };
+                let epoch = take(words, &mut pos, "epoch")?;
+                let audit_sum = f64::from_bits(take(words, &mut pos, "audit sum")?);
+                if !audit_sum.is_finite() {
+                    return Err(format!("restored audit sum rejected: {audit_sum}"));
+                }
+                let audit_count = take(words, &mut pos, "audit count")? as usize;
+                let model_len = take(words, &mut pos, "model length")? as usize;
+                if model_len > words.len().saturating_sub(pos) {
+                    return Err(format!("refit model claims {model_len} words, stream ran out"));
+                }
+                let model = words[pos..pos + model_len].to_vec();
+                pos += model_len;
+                let reservoir = Reservoir::from_words(rs.cfg.capacity, words, &mut pos)?;
+                if pos != words.len() {
+                    return Err(format!(
+                        "{} trailing words after the refit tail",
+                        words.len() - pos
+                    ));
+                }
+                Some((epoch, audit_sum, audit_count, model, reservoir))
+            }
+            None => None,
+        };
+        // The trained model must land before the checker's online words:
+        // a refitted tree/signed pair changes the state-config
+        // fingerprint, and import_state verifies it.
+        if let Some((_, _, _, model, _)) = &refit_restore {
+            if !model.is_empty() {
+                self.checker.import_model(model)?;
+            }
+        }
+        self.checker.import_state(&words[HEAD..HEAD + checker_len])?;
         self.tuner = tuner;
         self.initial_threshold = f64::from_bits(words[1]);
         self.window_fired = words[2] as usize;
@@ -615,6 +792,13 @@ impl RumbaSystem {
             zs.stream_tiers = stream_tiers;
             zs.tier_cycles_total = tier_cycles_total;
         }
+        if let Some((epoch, audit_sum, audit_count, _, reservoir)) = refit_restore {
+            let rs = self.refit_state.as_mut().expect("refit_restore came from refit_state");
+            rs.epoch = epoch;
+            rs.window_audit_sum = audit_sum;
+            rs.window_audit_count = audit_count;
+            rs.reservoir = reservoir;
+        }
         Ok(())
     }
 
@@ -640,6 +824,12 @@ impl RumbaSystem {
             zs.window_tiers.fill(0);
             zs.stream_tiers.fill(0);
             zs.tier_cycles_total = 0.0;
+        }
+        if let Some(rs) = self.refit_state.as_mut() {
+            rs.reservoir.clear();
+            rs.epoch = 0;
+            rs.window_audit_sum = 0.0;
+            rs.window_audit_count = 0;
         }
     }
 
@@ -726,7 +916,7 @@ impl RumbaSystem {
                 self.window_len += 1;
                 self.stream_invocations += 1;
                 if self.window_len == self.config.window {
-                    self.flush_window(cpu_capacity, capacity_clamped);
+                    self.flush_window(kernel, cpu_capacity, capacity_clamped);
                 }
                 Ok(StreamOutcome { fired: false, compensated: false, predicted_error: 0.0 })
             }
@@ -833,14 +1023,87 @@ impl RumbaSystem {
             (fired, compensable, predicted)
         };
 
+        self.capture_refit_row(
+            kernel,
+            invocation,
+            input,
+            approx_output,
+            output,
+            quarantined,
+            fired,
+        );
         self.note_faults(invocation, approx_output.len(), quarantined, fired);
         self.window_len += 1;
         self.stream_invocations += 1;
 
         if self.window_len == self.config.window {
-            self.flush_window(cpu_capacity_per_window, capacity_clamped);
+            self.flush_window(kernel, cpu_capacity_per_window, capacity_clamped);
         }
         Ok(StreamOutcome { fired, compensated, predicted_error: predicted })
+    }
+
+    /// The armed refit's ground-truth capture for one processed row:
+    /// audited rows (every `audit_period`-th invocation) and rows whose
+    /// exact result was paid for anyway (quarantined or fired) are offered
+    /// to the reservoir, and audited rows fold their measured
+    /// merged-stream error into the watchdog's dirty signal. Pure in the
+    /// stream position, so capture replays bit-identically at any
+    /// threads × SIMD × shards — and a no-op (not even a branch into the
+    /// kernel) when the refit is unarmed or the ladder has abandoned the
+    /// accelerator.
+    #[allow(clippy::too_many_arguments)]
+    fn capture_refit_row(
+        &mut self,
+        kernel: &dyn Kernel,
+        invocation: usize,
+        input: &[f64],
+        approx_output: &[f64],
+        merged: &[f64],
+        quarantined: bool,
+        fired: bool,
+    ) {
+        if self.refit_state.is_none() || self.stage == DegradeStage::CpuFallback {
+            return;
+        }
+        let audit =
+            invocation.is_multiple_of(self.refit_state.as_ref().expect("checked").cfg.audit_period);
+        // Quarantined and fired rows already computed the exact result
+        // into the merged output; only an audited soft row pays for one.
+        let exact_known = quarantined || fired;
+        if !audit && !exact_known {
+            return;
+        }
+        let out_w = approx_output.len();
+        let exact: Vec<f64> = if exact_known {
+            merged[..out_w].to_vec()
+        } else {
+            let mut exact = vec![0.0; out_w];
+            kernel.compute(input, &mut exact);
+            exact
+        };
+        // Provenance: a row produced while the checker was blinded or the
+        // datapath emitted non-finite values must never train the refit.
+        let poisoned = quarantined
+            || self.fault_plan.as_ref().is_some_and(|plan| plan.blind_checker(invocation));
+        let rs = self.refit_state.as_mut().expect("checked");
+        if audit {
+            // The audit measures the *merged* stream (what the tenant
+            // receives): rows fixed exactly contribute zero, unfixed and
+            // compensated rows their true residual error.
+            let merged_err = if exact_known {
+                0.0
+            } else {
+                kernel.metric().invocation_error(&exact, &merged[..out_w])
+            };
+            rs.window_audit_sum += merged_err;
+            rs.window_audit_count += 1;
+        }
+        rs.reservoir.offer(ReservoirRow {
+            input: input.to_vec(),
+            exact,
+            approx: approx_output.to_vec(),
+            poisoned,
+        });
     }
 
     /// Replays the plan's decisions for one invocation to attribute every
@@ -951,10 +1214,10 @@ impl RumbaSystem {
     /// `window_end` telemetry.
     pub fn end_stream(&mut self, kernel: &dyn Kernel) {
         let (cpu_capacity, capacity_clamped) = self.cpu_capacity_per_window(kernel);
-        self.flush_window(cpu_capacity, capacity_clamped);
+        self.flush_window(kernel, cpu_capacity, capacity_clamped);
     }
 
-    fn flush_window(&mut self, cpu_capacity: usize, capacity_clamped: bool) {
+    fn flush_window(&mut self, kernel: &dyn Kernel, cpu_capacity: usize, capacity_clamped: bool) {
         if self.window_len == 0 {
             return;
         }
@@ -987,7 +1250,7 @@ impl RumbaSystem {
                 session: self.session_label.clone(),
             });
         }
-        self.observe_watchdog(mean_unfixed_pred);
+        self.observe_watchdog(kernel, mean_unfixed_pred);
         self.windows_flushed += 1;
         self.window_fired = 0;
         self.window_suppressed = 0;
@@ -999,6 +1262,10 @@ impl RumbaSystem {
         if let Some(zs) = self.zoo_state.as_mut() {
             zs.window_tiers.fill(0);
         }
+        if let Some(rs) = self.refit_state.as_mut() {
+            rs.window_audit_sum = 0.0;
+            rs.window_audit_count = 0;
+        }
     }
 
     /// The degradation ladder, evaluated once per completed window:
@@ -1006,15 +1273,24 @@ impl RumbaSystem {
     /// state, snap the threshold back to its calibrated start); a streak
     /// reaching `fallback_patience` → abandon the accelerator for the rest
     /// of the stream; one clean window after a recalibration → recovered.
-    fn observe_watchdog(&mut self, mean_unfixed_pred: f64) {
+    fn observe_watchdog(&mut self, kernel: &dyn Kernel, mean_unfixed_pred: f64) {
         let Some(wd) = self.config.watchdog else {
             return;
         };
         if self.stage == DegradeStage::CpuFallback {
             return;
         }
-        let dirty =
-            mean_unfixed_pred > wd.quality_limit || self.window_quarantined * 4 >= self.window_len;
+        // The armed refit's audit channel measures the *true* merged
+        // error of sampled rows, so a stale checker that under-predicts a
+        // drifted regime (and therefore keeps the prediction mass low)
+        // still drives the window dirty.
+        let audit_dirty = self.refit_state.as_ref().is_some_and(|rs| {
+            rs.window_audit_count > 0
+                && rs.window_audit_sum / rs.window_audit_count as f64 > wd.quality_limit
+        });
+        let dirty = mean_unfixed_pred > wd.quality_limit
+            || self.window_quarantined * 4 >= self.window_len
+            || audit_dirty;
         if !dirty {
             if self.stage == DegradeStage::Recalibrated {
                 self.stage = DegradeStage::Normal;
@@ -1034,12 +1310,90 @@ impl RumbaSystem {
             self.stage = DegradeStage::Recalibrated;
             self.fault_stats.recalibrations += 1;
             self.emit_degrade("recalibrate", &detail);
+            self.try_refit(kernel);
         } else if self.stage == DegradeStage::Recalibrated
             && self.dirty_windows >= wd.fallback_patience
         {
             self.stage = DegradeStage::CpuFallback;
             self.fault_stats.fallbacks += 1;
             self.emit_degrade("cpu_fallback", &detail);
+        } else if self.stage == DegradeStage::Recalibrated {
+            // Still dirty but not yet at the fallback rung: keep adapting
+            // — each window's audits add drifted-regime rows, so a refit
+            // that missed the moving target gets another shot before the
+            // accelerator is abandoned.
+            self.try_refit(kernel);
+        }
+    }
+
+    /// The `Recalibrated` rung's online re-fit: trains the checker (and
+    /// its signed companion) on the reservoir's clean rows and
+    /// re-calibrates the firing threshold on the refreshed fit. The
+    /// per-row targets fan out over the deterministic `rumba-parallel`
+    /// pool; the model swap and threshold commit happen serially here, at
+    /// the window boundary, so the stream's decision sequence stays a
+    /// pure function of (seed, window). A no-op when the refit is
+    /// unarmed, the reservoir holds too few clean rows, or the checker
+    /// kind does not support refit (the reset-only recalibration already
+    /// performed then stands).
+    fn try_refit(&mut self, kernel: &dyn Kernel) {
+        let Some(rs) = self.refit_state.as_ref() else {
+            return;
+        };
+        let clean = rs.reservoir.clean_indices();
+        let excluded = rs.reservoir.len() - clean.len();
+        if clean.len() < rs.cfg.min_rows {
+            return;
+        }
+        let quality_budget = rs.cfg.quality_budget;
+        let (inputs, approxes): (Vec<Vec<f64>>, Vec<Vec<f64>>) = clean
+            .iter()
+            .map(|&i| {
+                let row = &rs.reservoir.rows()[i];
+                (row.input.clone(), row.approx.clone())
+            })
+            .unzip();
+        let metric = kernel.metric();
+        let rows = &rs.reservoir.rows();
+        let clean_ref = &clean;
+        // (magnitude, signed) targets per clean row, fanned over the
+        // deterministic pool — bit-identical at any thread count.
+        let targets: Vec<(f64, f64)> = rumba_parallel::par_map_range(clean.len(), |i| {
+            let row = &rows[clean_ref[i]];
+            let magnitude = metric.invocation_error(&row.exact, &row.approx);
+            let signed = row.approx.iter().zip(&row.exact).map(|(a, e)| a - e).sum::<f64>()
+                / row.exact.len().max(1) as f64;
+            (magnitude, signed)
+        });
+        let magnitudes: Vec<f64> = targets.iter().map(|t| t.0).collect();
+        let signed: Vec<f64> = targets.iter().map(|t| t.1).collect();
+        let row_refs: Vec<&[f64]> = inputs.iter().map(Vec::as_slice).collect();
+        if self.checker.refit(&row_refs, &magnitudes, &signed).is_err() {
+            // Unsupported checker kind (EMA, ensembles): the reset-only
+            // recalibration already applied is the whole remedy.
+            return;
+        }
+        // Re-run the offline calibration recipe on the refreshed fit:
+        // probe (counter-free) predictions over the reservoir vs its
+        // measured errors.
+        let predictions: Vec<f64> = inputs
+            .iter()
+            .zip(&approxes)
+            .map(|(input, approx)| self.checker.probe(input, approx))
+            .collect();
+        let threshold = calibrate_threshold(&predictions, &magnitudes, quality_budget);
+        self.tuner.reset_to(threshold);
+        let rs = self.refit_state.as_mut().expect("refit state checked above");
+        rs.epoch += 1;
+        if rumba_obs::enabled() {
+            rumba_obs::global_sink().emit(&rumba_obs::Event::Refit {
+                window: self.windows_flushed,
+                epoch: rs.epoch,
+                rows: inputs.len() as u64,
+                excluded: excluded as u64,
+                threshold,
+                session: self.session_label.clone(),
+            });
         }
     }
 
@@ -1124,7 +1478,7 @@ impl RumbaSystem {
             merged.extend_from_slice(&out_buf);
         }
         // Flush the final partial window.
-        self.flush_window(cpu_capacity_per_window, capacity_clamped);
+        self.flush_window(kernel, cpu_capacity_per_window, capacity_clamped);
 
         // Measured quality of the merged stream (pure per invocation, so
         // the scoring also fans out).
@@ -1271,7 +1625,7 @@ impl RumbaSystem {
             }
             start = end;
         }
-        self.flush_window(cpu_capacity_per_window, capacity_clamped);
+        self.flush_window(kernel, cpu_capacity_per_window, capacity_clamped);
 
         let merged_ref = &merged;
         let invocation_errors: Vec<f64> = rumba_parallel::par_map_range(n, |i| {

@@ -86,6 +86,25 @@ pub enum Event {
         /// Serving-session label (empty outside the serving layer).
         session: String,
     },
+    /// The watchdog's `Recalibrated` rung re-fitted the checker from its
+    /// recovery reservoir (open-world drift adaptation) instead of the
+    /// reset-only recalibration.
+    Refit {
+        /// Window index at which the refit committed.
+        window: u64,
+        /// Refit epoch after the commit (1 = first online refit).
+        epoch: u64,
+        /// Clean reservoir rows the new model was trained on.
+        rows: u64,
+        /// Reservoir rows excluded for poisoned provenance (a
+        /// `checker_blind` or `non_finite` fault was active when the row
+        /// was captured).
+        excluded: u64,
+        /// The threshold re-calibrated on the refreshed fit.
+        threshold: f64,
+        /// Serving-session label (empty outside the serving layer).
+        session: String,
+    },
     /// One trained-model cache lookup resolved.
     Cache {
         /// Whether the entry was found and decoded.
@@ -215,6 +234,7 @@ impl Event {
             Event::WindowEnd { .. } => "window_end",
             Event::Fault { .. } => "fault",
             Event::Degrade { .. } => "degrade",
+            Event::Refit { .. } => "refit",
             Event::Cache { .. } => "cache",
             Event::Pool { .. } => "pool",
             Event::Calibration { .. } => "calibration",
@@ -234,6 +254,7 @@ impl Event {
             Event::WindowEnd { session, .. }
             | Event::Fault { session, .. }
             | Event::Degrade { session, .. }
+            | Event::Refit { session, .. }
             | Event::RunSummary { session, .. }
             | Event::Session { session, .. }
             | Event::Admission { session, .. } => session.as_str(),
@@ -296,6 +317,16 @@ impl Event {
             }
             Event::Degrade { window, action, detail, session } => {
                 w.count("window", *window).string("action", action).string("detail", detail);
+                if !session.is_empty() {
+                    w.string("session", session);
+                }
+            }
+            Event::Refit { window, epoch, rows, excluded, threshold, session } => {
+                w.count("window", *window)
+                    .count("epoch", *epoch)
+                    .count("rows", *rows)
+                    .count("excluded", *excluded)
+                    .float("threshold", *threshold);
                 if !session.is_empty() {
                     w.string("session", session);
                 }
@@ -426,6 +457,14 @@ impl Event {
                 detail: obj.string("detail").ok_or_else(|| field("detail"))?.to_owned(),
                 session: obj.string("session").unwrap_or_default().to_owned(),
             }),
+            "refit" => Ok(Event::Refit {
+                window: obj.count("window").ok_or_else(|| field("window"))?,
+                epoch: obj.count("epoch").ok_or_else(|| field("epoch"))?,
+                rows: obj.count("rows").ok_or_else(|| field("rows"))?,
+                excluded: obj.count("excluded").ok_or_else(|| field("excluded"))?,
+                threshold: obj.number("threshold").ok_or_else(|| field("threshold"))?,
+                session: obj.string("session").unwrap_or_default().to_owned(),
+            }),
             "cache" => Ok(Event::Cache {
                 hit: obj.boolean("hit").ok_or_else(|| field("hit"))?,
                 key: obj.string("key").ok_or_else(|| field("key"))?.to_owned(),
@@ -539,6 +578,22 @@ mod tests {
                 action: "recalibrate".into(),
                 detail: "3 dirty windows, quality 0.31".into(),
                 session: "tenant-2".into(),
+            },
+            Event::Refit {
+                window: 12,
+                epoch: 1,
+                rows: 96,
+                excluded: 4,
+                threshold: 0.0021,
+                session: "tenant-2".into(),
+            },
+            Event::Refit {
+                window: 4,
+                epoch: 2,
+                rows: 48,
+                excluded: 0,
+                threshold: 0.3,
+                session: String::new(),
             },
             Event::Cache { hit: true, key: "gaussian-s42-0123456789abcdef.words".into() },
             Event::Cache { hit: false, key: "fft-s7-fedcba9876543210.words".into() },
@@ -663,6 +718,7 @@ mod tests {
             "window_end",
             "fault",
             "degrade",
+            "refit",
             "cache",
             "pool",
             "calibration",

@@ -200,6 +200,59 @@ pub trait ErrorEstimator: fmt::Debug + Send {
         }
     }
 
+    /// Re-fits the estimator's *trained* model — and its signed companion —
+    /// from ground truth collected online: `rows` are accelerator input
+    /// rows, `targets` the observed invocation-error magnitudes, and
+    /// `signed_targets` the per-row mean signed output errors
+    /// (`mean_j(approx[j] − exact[j])`). The runtime's watchdog calls this
+    /// at the `Recalibrated` rung with the rows its recovery reservoir
+    /// accumulated, so a checker trained before an input-distribution
+    /// shift can re-learn the drifted regime without an offline pass.
+    ///
+    /// The default declines: output-based detectors (EMA) and composite
+    /// estimators carry no refittable model, and the runtime falls back to
+    /// its reset-only recalibration when refit is unsupported.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of why the refit was refused or failed; on
+    /// error the estimator's trained model is unchanged.
+    fn refit(
+        &mut self,
+        rows: &[&[f64]],
+        targets: &[f64],
+        signed_targets: &[f64],
+    ) -> std::result::Result<(), String> {
+        let _ = (rows, targets, signed_targets);
+        Err(format!("{} does not support online refit", self.name()))
+    }
+
+    /// Serializes the estimator's *trained* model (coefficients or tree
+    /// nodes, plus the signed companion) as `u64` config-words, so a
+    /// session snapshot can migrate a checker that was re-fitted online —
+    /// [`ErrorEstimator::export_state`] deliberately covers only online
+    /// state and assumes the trained model is reproducible from the
+    /// offline pipeline, which stops being true after the first
+    /// [`ErrorEstimator::refit`]. Returns `None` for estimators without
+    /// refit support (their trained state never diverges from offline
+    /// training).
+    fn export_model_words(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Restores a trained model previously produced by
+    /// [`ErrorEstimator::export_model_words`], bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when `words` does not decode
+    /// for this estimator kind, or when the estimator does not support
+    /// trained-model transport at all.
+    fn import_model_words(&mut self, words: &[u64]) -> std::result::Result<(), String> {
+        let _ = words;
+        Err(format!("{} does not support trained-model import", self.name()))
+    }
+
     /// A deterministic fingerprint of the estimator's *configuration* —
     /// kind plus the shape parameters that govern how
     /// [`ErrorEstimator::export_state`] words decode (EMA alpha window and
@@ -218,6 +271,12 @@ pub trait ErrorEstimator: fmt::Debug + Send {
     /// detectors can run before/parallel to the accelerator.
     fn is_input_based(&self) -> bool;
 }
+
+/// Ridge damping used by [`ErrorEstimator::refit`] implementations.
+/// Stiffer than the offline trainer's default because refit reservoirs
+/// are small and biased toward fired rows, which leaves the normal
+/// equations ill-conditioned under the offline damping.
+pub const REFIT_RIDGE: f64 = 1e-4;
 
 /// FNV-1a over the estimator name and its shape parameters — the default
 /// currency of [`ErrorEstimator::state_config_word`].

@@ -6,7 +6,7 @@
 //! threshold comparison.
 
 use crate::linalg::ridge_fit;
-use crate::{CheckerCost, ErrorEstimator, Result};
+use crate::{CheckerCost, ErrorEstimator, Result, REFIT_RIDGE};
 
 /// A plain affine function `w · x + c`, reusable for value prediction (EVP)
 /// as well as error prediction (EEP).
@@ -121,6 +121,34 @@ impl LinearErrors {
     }
 }
 
+/// Appends one affine model as `[width, weight bits..., bias bits]`.
+fn push_model_words(out: &mut Vec<u64>, model: &LinearModel) {
+    out.push(model.weights().len() as u64);
+    out.extend(model.weights().iter().map(|w| w.to_bits()));
+    out.push(model.bias().to_bits());
+}
+
+/// Parses one affine model written by [`push_model_words`], advancing
+/// `pos` past it.
+fn parse_model_words(words: &[u64], pos: &mut usize) -> std::result::Result<LinearModel, String> {
+    let width = *words.get(*pos).ok_or("linear model words ended before the width")? as usize;
+    if width >= words.len() {
+        return Err(format!("linear model claims {width} weights, only {} words", words.len()));
+    }
+    let end = *pos + 1 + width + 1;
+    if words.len() < end {
+        return Err(format!("linear model wants {width} weights + bias, words ran out"));
+    }
+    let weights: Vec<f64> =
+        words[*pos + 1..*pos + 1 + width].iter().map(|&w| f64::from_bits(w)).collect();
+    let bias = f64::from_bits(words[end - 1]);
+    if weights.iter().chain([&bias]).any(|v| !v.is_finite()) {
+        return Err("linear model words decode to non-finite coefficients".to_owned());
+    }
+    *pos = end;
+    Ok(LinearModel { weights, bias })
+}
+
 impl ErrorEstimator for LinearErrors {
     fn name(&self) -> &'static str {
         "linearErrors"
@@ -152,6 +180,57 @@ impl ErrorEstimator for LinearErrors {
             comparisons: 1,
             table_reads: self.model.weights().len() + 1,
         }
+    }
+
+    fn refit(
+        &mut self,
+        rows: &[&[f64]],
+        targets: &[f64],
+        signed_targets: &[f64],
+    ) -> std::result::Result<(), String> {
+        // Fit both models before swapping either, so a failed signed fit
+        // cannot leave a half-replaced checker behind.
+        let model = LinearModel::fit(rows, targets, REFIT_RIDGE).map_err(|e| e.to_string())?;
+        let signed =
+            LinearModel::fit(rows, signed_targets, REFIT_RIDGE).map_err(|e| e.to_string())?;
+        self.model = model;
+        self.signed = Some(signed);
+        Ok(())
+    }
+
+    fn export_model_words(&self) -> Option<Vec<u64>> {
+        let mut out = Vec::new();
+        push_model_words(&mut out, &self.model);
+        match &self.signed {
+            Some(signed) => {
+                out.push(1);
+                push_model_words(&mut out, signed);
+            }
+            None => out.push(0),
+        }
+        Some(out)
+    }
+
+    fn import_model_words(&mut self, words: &[u64]) -> std::result::Result<(), String> {
+        let mut pos = 0usize;
+        let model = parse_model_words(words, &mut pos)?;
+        let signed = match words.get(pos).copied() {
+            Some(0) => {
+                pos += 1;
+                None
+            }
+            Some(1) => {
+                pos += 1;
+                Some(parse_model_words(words, &mut pos)?)
+            }
+            other => return Err(format!("linear signed flag must be 0|1, got {other:?}")),
+        };
+        if pos != words.len() {
+            return Err(format!("{} unused linear model words", words.len() - pos));
+        }
+        self.model = model;
+        self.signed = signed;
+        Ok(())
     }
 
     fn is_input_based(&self) -> bool {
@@ -205,6 +284,42 @@ mod tests {
         let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
         let le = LinearErrors::train(&refs, &[0.1, 0.2], 1e-6).unwrap();
         assert_eq!(le.name(), "linearErrors");
+    }
+
+    #[test]
+    fn refit_replaces_both_models_deterministically() {
+        let (rows, ys) = affine_rows(64);
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut le = LinearErrors::train(&refs, &ys, 1e-6).unwrap();
+        assert!(le.signed_model().is_none());
+        let new_targets: Vec<f64> = rows.iter().map(|r| 0.9 * r[0] + 0.2).collect();
+        let signed: Vec<f64> = rows.iter().map(|r| 0.5 * r[1] - 0.1).collect();
+        le.refit(&refs, &new_targets, &signed).unwrap();
+        assert!((le.model().predict(&[1.0, 0.0]) - 1.1).abs() < 1e-3);
+        assert!(le.signed_model().is_some());
+        let mut again = LinearErrors::train(&refs, &ys, 1e-6).unwrap();
+        again.refit(&refs, &new_targets, &signed).unwrap();
+        assert_eq!(le.model().weights(), again.model().weights());
+    }
+
+    #[test]
+    fn model_words_round_trip_bit_for_bit() {
+        let (rows, ys) = affine_rows(32);
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let signed: Vec<f64> = rows.iter().map(|r| r[0] - r[1]).collect();
+        let mut le = LinearErrors::train(&refs, &ys, 1e-6).unwrap();
+        le.refit(&refs, &ys, &signed).unwrap();
+        let words = le.export_model_words().unwrap();
+        let mut other = LinearErrors::train(&refs, &signed, 1e-6).unwrap();
+        other.import_model_words(&words).unwrap();
+        assert_eq!(other.export_model_words().unwrap(), words);
+        assert_eq!(
+            le.model().predict(&[0.3, 0.7]).to_bits(),
+            other.model().predict(&[0.3, 0.7]).to_bits()
+        );
+        // Truncated and garbage streams are rejected.
+        assert!(other.import_model_words(&words[..words.len() - 1]).is_err());
+        assert!(other.import_model_words(&[u64::MAX]).is_err());
     }
 
     #[test]

@@ -9,6 +9,52 @@ use std::sync::Arc;
 
 use crate::{CheckerCost, ErrorEstimator, PredictError, Result};
 
+/// Appends one tree as `[node_count, then per node: tag, feature, bits]`
+/// in preorder (`tag` 0 = leaf with `bits` = value, 1 = split on
+/// `feature` at threshold `bits`).
+fn push_tree_words(out: &mut Vec<u64>, tree: &DecisionTree) {
+    let nodes = tree.to_node_words();
+    out.push(nodes.len() as u64);
+    for node in nodes {
+        match node {
+            TreeNodeWord::Leaf { value } => {
+                out.push(0);
+                out.push(0);
+                out.push(value.to_bits());
+            }
+            TreeNodeWord::Split { feature, threshold } => {
+                out.push(1);
+                out.push(feature as u64);
+                out.push(threshold.to_bits());
+            }
+        }
+    }
+}
+
+/// Parses one tree written by [`push_tree_words`], advancing `pos`.
+fn parse_tree_words(words: &[u64], pos: &mut usize) -> std::result::Result<DecisionTree, String> {
+    let count = *words.get(*pos).ok_or("tree model words ended before the node count")? as usize;
+    if count >= words.len() {
+        return Err(format!("tree model claims {count} nodes, only {} words", words.len()));
+    }
+    let end = *pos + 1 + 3 * count;
+    if words.len() < end {
+        return Err(format!("tree model wants {count} nodes, words ran out"));
+    }
+    let mut nodes = Vec::with_capacity(count);
+    for i in 0..count {
+        let base = *pos + 1 + 3 * i;
+        let value = f64::from_bits(words[base + 2]);
+        nodes.push(match words[base] {
+            0 => TreeNodeWord::Leaf { value },
+            1 => TreeNodeWord::Split { feature: words[base + 1] as usize, threshold: value },
+            tag => return Err(format!("tree node tag must be 0|1, got {tag}")),
+        });
+    }
+    *pos = end;
+    DecisionTree::from_node_words(&nodes).map_err(|e| e.to_string())
+}
+
 /// Training hyper-parameters for [`DecisionTree`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TreeParams {
@@ -374,6 +420,57 @@ impl ErrorEstimator for TreeErrors {
         }
     }
 
+    fn refit(
+        &mut self,
+        rows: &[&[f64]],
+        targets: &[f64],
+        signed_targets: &[f64],
+    ) -> std::result::Result<(), String> {
+        let params = TreeParams::default();
+        // Fit both trees before swapping either, so a failed signed fit
+        // cannot leave a half-replaced checker behind.
+        let tree = DecisionTree::fit(rows, targets, &params).map_err(|e| e.to_string())?;
+        let signed = DecisionTree::fit(rows, signed_targets, &params).map_err(|e| e.to_string())?;
+        self.tree = Arc::new(tree);
+        self.signed = Some(Arc::new(signed));
+        Ok(())
+    }
+
+    fn export_model_words(&self) -> Option<Vec<u64>> {
+        let mut out = Vec::new();
+        push_tree_words(&mut out, &self.tree);
+        match &self.signed {
+            Some(signed) => {
+                out.push(1);
+                push_tree_words(&mut out, signed);
+            }
+            None => out.push(0),
+        }
+        Some(out)
+    }
+
+    fn import_model_words(&mut self, words: &[u64]) -> std::result::Result<(), String> {
+        let mut pos = 0usize;
+        let tree = parse_tree_words(words, &mut pos)?;
+        let signed = match words.get(pos).copied() {
+            Some(0) => {
+                pos += 1;
+                None
+            }
+            Some(1) => {
+                pos += 1;
+                Some(Arc::new(parse_tree_words(words, &mut pos)?))
+            }
+            other => return Err(format!("tree signed flag must be 0|1, got {other:?}")),
+        };
+        if pos != words.len() {
+            return Err(format!("{} unused tree model words", words.len() - pos));
+        }
+        self.tree = Arc::new(tree);
+        self.signed = signed;
+        Ok(())
+    }
+
     fn is_input_based(&self) -> bool {
         true
     }
@@ -451,6 +548,31 @@ mod tests {
         assert!(cost.comparisons >= 2);
         assert!(te.is_input_based());
         assert_eq!(te.name(), "treeErrors");
+    }
+
+    #[test]
+    fn refit_replaces_the_tree_and_model_words_round_trip() {
+        let (rows, ys) = step_data();
+        let refs: Vec<&[f64]> = rows.iter().map(Vec::as_slice).collect();
+        let mut te = TreeErrors::train(&refs, &ys, &TreeParams::default()).unwrap();
+        assert!(te.signed_tree().is_none());
+        // New regime: the step flips sides; the refit tree must track it.
+        let flipped: Vec<f64> = rows.iter().map(|r| if r[0] > 0.5 { 0.1 } else { 0.9 }).collect();
+        let signed: Vec<f64> = rows.iter().map(|r| r[0] - 0.5).collect();
+        te.refit(&refs, &flipped, &signed).unwrap();
+        assert!(te.tree().predict(&[0.1, 0.5]) > 0.5);
+        assert!(te.signed_tree().is_some());
+
+        let words = te.export_model_words().unwrap();
+        let mut other = TreeErrors::train(&refs, &ys, &TreeParams::default()).unwrap();
+        other.import_model_words(&words).unwrap();
+        assert_eq!(other.export_model_words().unwrap(), words);
+        assert_eq!(
+            other.tree().predict(&[0.3, 0.9]).to_bits(),
+            te.tree().predict(&[0.3, 0.9]).to_bits()
+        );
+        assert!(other.import_model_words(&words[..words.len() - 2]).is_err());
+        assert!(other.import_model_words(&[7]).is_err());
     }
 
     proptest! {

@@ -10,7 +10,7 @@
 //!
 //! | op         | fields                                                            |
 //! |------------|-------------------------------------------------------------------|
-//! | `open`     | `session` (required), `kernel`, `seed`, `checker`, `mode` (`toq`/`energy`/`best`), `toq`, `budget`, `window`, `queue`, `admission` (`shed`/`block`), `faults` (spec string), `fault_seed`, `watchdog` (bool), `fix` (`reexecute`/`compensate`), `band` (compensation band, required with `fix=compensate`), `zoo` (tier count; 0 = single-model serving) |
+//! | `open`     | `session` (required), `kernel`, `seed`, `checker`, `mode` (`toq`/`energy`/`best`), `toq`, `budget`, `window`, `queue`, `admission` (`shed`/`block`), `faults` (spec string), `fault_seed`, `watchdog` (bool), `fix` (`reexecute`/`compensate`), `band` (compensation band, required with `fix=compensate`), `zoo` (tier count; 0 = single-model serving), `refit` (bool; arm the online checker re-fit at the watchdog's `Recalibrated` rung) |
 //! | `invoke`   | `session`, `input` (number array)                                 |
 //! | `drain`    | `session` (optional — omitted drains **all** sessions through one multiplexed scheduling round) |
 //! | `stats`    | `session`                                                         |
@@ -111,6 +111,9 @@ fn parse_config(obj: &JsonObject) -> Result<SessionConfig, ServeError> {
     }
     if let Some(zoo) = obj.count("zoo") {
         config.zoo = zoo as usize;
+    }
+    if obj.boolean("refit").unwrap_or(false) {
+        config.refit = true;
     }
     match obj.string("fix") {
         None | Some("reexecute") => {}

@@ -7,7 +7,7 @@ use rumba_accel::{CheckerUnit, Npu};
 use rumba_apps::{kernel_by_name, Kernel, Split};
 use rumba_core::event_sim::{simulate_detailed_with_faults, QueueConfig};
 use rumba_core::runtime::MAX_ZOO_PRESSURE;
-use rumba_core::runtime::{FixPolicy, RumbaSystem, RuntimeConfig, WatchdogConfig};
+use rumba_core::runtime::{FixPolicy, RefitConfig, RumbaSystem, RuntimeConfig, WatchdogConfig};
 use rumba_core::trainer::{invocation_errors, train_app, OfflineConfig, TrainedApp};
 use rumba_core::tuner::{calibrate_threshold, Tuner, TuningMode};
 use rumba_core::zoo::{train_zoo, ModelZoo};
@@ -140,6 +140,15 @@ pub struct SessionConfig {
     /// the last resort). Under queue pressure the session degrades to
     /// cheaper tiers before any request is shed.
     pub zoo: usize,
+    /// Opt-in online checker re-fit (`false`, the default, serves exactly
+    /// as before, byte for byte): when set, the session arms the
+    /// runtime's refit machinery — an exact-result audit channel feeding
+    /// a bounded deterministic reservoir, re-fit and threshold
+    /// re-calibration at the watchdog's `Recalibrated` rung — with the
+    /// session's own quality budget as the re-calibration target. The
+    /// reservoir and refit epoch travel in the snapshot, so a mid-refit
+    /// migration continues bit-for-bit.
+    pub refit: bool,
 }
 
 impl Default for SessionConfig {
@@ -156,6 +165,7 @@ impl Default for SessionConfig {
             watchdog: None,
             fix_policy: FixPolicy::default(),
             zoo: 0,
+            refit: false,
         }
     }
 }
@@ -493,6 +503,16 @@ impl Session {
             let ceiling = zoo.calibrate_bar(&rows, &tier_errors, budget);
             system.attach_zoo(zoo, bar)?;
             system.set_zoo_pressure_ceiling(ceiling);
+        }
+        // Armed before `begin_stream` (and thus before any `restore`
+        // imports state), so a snapshot's refit tail — epoch, audit
+        // accumulators, re-fit model words, reservoir — parses and lands
+        // in an already-armed runtime.
+        if config.refit {
+            system.arm_refit(RefitConfig {
+                quality_budget: quality_budget(config.mode),
+                ..RefitConfig::default()
+            })?;
         }
         system.begin_stream();
 

@@ -94,6 +94,14 @@ impl SnapshotParts {
         if c.zoo > 0 {
             let _ = write!(out, " zoo={}", c.zoo);
         }
+        // Omitted for refit-less sessions, so their snapshots stay
+        // byte-identical to the pre-refit encoding. The token arms the
+        // restore *before* the runtime words are imported — the runtime
+        // section of a refit session carries a trailing reservoir/epoch
+        // tail that only an armed system knows how to parse.
+        if c.refit {
+            out.push_str(" refit=1");
+        }
         if let Some(plan) = &c.faults {
             push_section(&mut out, "faults", &encode_fault_plan(plan));
         }
@@ -145,6 +153,12 @@ impl SnapshotParts {
                 }
                 "fix" => config.fix_policy = parse_fix(value)?,
                 "zoo" => config.zoo = parse_dec(value, "zoo")? as usize,
+                "refit" => {
+                    if value != "1" {
+                        return Err(format!("bad refit value {value:?} (expected 1)"));
+                    }
+                    config.refit = true;
+                }
                 other => return Err(format!("unknown config key {other:?}")),
             }
         }
@@ -340,6 +354,7 @@ mod tests {
             watchdog: Some(WatchdogConfig::default()),
             fix_policy: FixPolicy::Compensate { band: 0.125 },
             zoo: 2,
+            refit: true,
         }
     }
 
@@ -428,5 +443,28 @@ mod tests {
         assert!(zoo_text.contains(" zoo=3 "), "{zoo_text}");
         assert_eq!(SnapshotParts::parse(&zoo_text).unwrap(), zooed);
         assert!(SnapshotParts::parse(&zoo_text.replace("zoo=3", "zoo=x")).is_err());
+    }
+
+    #[test]
+    fn refit_less_sessions_leave_the_encoding_untouched() {
+        let parts = SnapshotParts {
+            config: SessionConfig::default(),
+            runtime: vec![1],
+            stats: vec![0; 13],
+            queue: vec![0],
+            completed: vec![0],
+        };
+        let text = parts.encode();
+        assert!(!text.contains("refit="), "{text}");
+        assert!(!SnapshotParts::parse(&text).unwrap().config.refit);
+
+        let armed = SnapshotParts {
+            config: SessionConfig { refit: true, ..SessionConfig::default() },
+            ..parts
+        };
+        let armed_text = armed.encode();
+        assert!(armed_text.contains(" refit=1 "), "{armed_text}");
+        assert_eq!(SnapshotParts::parse(&armed_text).unwrap(), armed);
+        assert!(SnapshotParts::parse(&armed_text.replace("refit=1", "refit=2")).is_err());
     }
 }
